@@ -1,0 +1,76 @@
+//! Resource-manager benchmarks: Algorithm 1 over the paper's 16-server
+//! scenario (the paper notes "each line was generated in under one
+//! second"; one line is a full load sweep at one slack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfpred_hydra::{HistoricalModel, ServerObservations};
+use perfpred_resman::algorithm::allocate;
+use perfpred_resman::costs::{sweep_loads, SweepConfig};
+use perfpred_resman::runtime::RuntimeOptions;
+use perfpred_resman::scenario::{paper_pool, paper_workload, UniformErrorModel};
+use std::hint::black_box;
+
+fn historical_model() -> HistoricalModel {
+    let m = 0.1424;
+    let obs = |name: &str, mx: f64, c: f64, lam: f64| {
+        let n_star = mx / m;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+            .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+            .with_throughput(0.3 * n_star, m * 0.3 * n_star)
+    };
+    HistoricalModel::builder()
+        .observations(obs("AppServF", 186.0, 18.5, 5.6e-4))
+        .observations(obs("AppServVF", 320.0, 11.7, 3.3e-4))
+        .r3_points(&[(0.0, 186.0), (25.0, 151.0), (50.0, 127.0), (100.0, 95.0)])
+        .class_deviation(0.86, 1.43)
+        .build()
+        .expect("synthetic calibration")
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_16_servers");
+    let model = historical_model();
+    let pool = paper_pool();
+    for &load in &[2_000u32, 6_000, 10_000] {
+        let w = paper_workload(load);
+        group.bench_with_input(BenchmarkId::new("clients", load), &w, |b, w| {
+            b.iter(|| allocate(black_box(&model), black_box(&pool), black_box(w), 1.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_sweep_line(c: &mut Criterion) {
+    // One "line" of fig 5/6: a 12-load sweep at one slack, planner +
+    // runtime evaluation (the paper: "under one second").
+    let truth = historical_model();
+    let planner = UniformErrorModel::new(historical_model(), 1.075);
+    let pool = paper_pool();
+    let template = paper_workload(1_000);
+    let config = SweepConfig {
+        loads: (1..=12).map(|i| i * 1_000).collect(),
+        runtime: RuntimeOptions::default(),
+    };
+    let mut group = c.benchmark_group("fig5_line");
+    group.sample_size(10);
+    group.bench_function("sweep_12_loads_slack_1.1", |b| {
+        b.iter(|| {
+            sweep_loads(
+                black_box(&planner),
+                black_box(&truth),
+                &pool,
+                &template,
+                &config,
+                1.1,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_full_sweep_line);
+criterion_main!(benches);

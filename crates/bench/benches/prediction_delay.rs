@@ -1,0 +1,112 @@
+//! §8.5 — "Delay when evaluating a prediction".
+//!
+//! The paper's findings, reproduced as wall-clock measurements:
+//!
+//! * the layered queuing method pays an iterative solve per prediction
+//!   (up to ~3 s on its 2004 hardware at the 20 ms criterion);
+//! * the historical method's closed-form predictions are near-instant;
+//! * the hybrid method pays a one-off start-up (its 11 s) and then
+//!   predicts at historical speed;
+//! * searching for the max SLA-compliant client count multiplies the
+//!   layered queuing cost (bisection of solves) while the historical
+//!   method inverts its equations in closed form (§8.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfpred_core::{PerformanceModel, ServerArch, Workload};
+use perfpred_hybrid::{HybridModel, HybridOptions};
+use perfpred_hydra::{HistoricalModel, ServerObservations};
+use perfpred_lqns::trade::TradeLqnConfig;
+use perfpred_lqns::LqnPredictor;
+use std::hint::black_box;
+
+/// A synthetic (but realistically-shaped) historical calibration, so the
+/// benches run without simulator campaigns.
+fn historical_model() -> HistoricalModel {
+    let m = 0.1424;
+    let obs = |name: &str, mx: f64, c: f64, lam: f64| {
+        let n_star = mx / m;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+            .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+            .with_throughput(0.3 * n_star, m * 0.3 * n_star)
+    };
+    HistoricalModel::builder()
+        .observations(obs("AppServF", 186.0, 18.5, 5.6e-4))
+        .observations(obs("AppServVF", 320.0, 11.7, 3.3e-4))
+        .r3_points(&[(0.0, 186.0), (25.0, 151.0), (50.0, 127.0), (100.0, 95.0)])
+        .class_deviation(0.86, 1.43)
+        .build()
+        .expect("synthetic calibration")
+}
+
+fn bench_single_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_mrt");
+    let server = ServerArch::app_serv_f();
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let hist = historical_model();
+    let hybrid = HybridModel::advanced(
+        &lqn,
+        &ServerArch::case_study_servers(),
+        &HybridOptions::default(),
+    )
+    .expect("hybrid");
+
+    for &clients in &[400u32, 1_400, 2_200] {
+        let w = Workload::typical(clients);
+        group.bench_with_input(BenchmarkId::new("historical", clients), &w, |b, w| {
+            b.iter(|| hist.predict(black_box(&server), black_box(w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("layered_queuing", clients), &w, |b, w| {
+            b.iter(|| lqn.predict(black_box(&server), black_box(w)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", clients), &w, |b, w| {
+            b.iter(|| hybrid.predict(black_box(&server), black_box(w)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_startup(c: &mut Criterion) {
+    // The §8.5 start-up delay: building the advanced hybrid model (pseudo
+    // data for three architectures + relationship 3 + deviation factors).
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let servers = ServerArch::case_study_servers();
+    c.bench_function("hybrid_startup_advanced_3_servers", |b| {
+        b.iter(|| {
+            HybridModel::advanced(
+                black_box(&lqn),
+                black_box(&servers),
+                &HybridOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_max_clients_search(c: &mut Criterion) {
+    // §8.2: the layered queuing method must *search* for the max
+    // SLA-compliant population; the historical method inverts eqs 1–2.
+    let mut group = c.benchmark_group("max_clients_for_300ms_goal");
+    let server = ServerArch::app_serv_f();
+    let template = Workload::typical(100);
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let hist = historical_model();
+    group.bench_function("historical_closed_form", |b| {
+        b.iter(|| hist.max_clients(black_box(&server), black_box(&template), 300.0).unwrap())
+    });
+    group.sample_size(20);
+    group.bench_function("layered_queuing_bisection", |b| {
+        b.iter(|| lqn.max_clients(black_box(&server), black_box(&template), 300.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_prediction,
+    bench_hybrid_startup,
+    bench_max_clients_search
+);
+criterion_main!(benches);

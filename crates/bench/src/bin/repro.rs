@@ -1,0 +1,58 @@
+//! `repro` — regenerates every table and figure of the paper against the
+//! simulated testbed.
+//!
+//! ```text
+//! repro all              # everything, in paper order
+//! repro fig2 table1      # just these
+//! repro --list           # available experiment ids
+//! ```
+//!
+//! Reports are printed and mirrored under `results/<id>.txt`. The RNG seed
+//! can be overridden with `PERFPRED_SEED`.
+
+use perfpred_bench::experiments;
+use perfpred_bench::report::save;
+use perfpred_bench::Experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let seed = std::env::var("PERFPRED_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(perfpred_bench::context::DEFAULT_SEED);
+    let ctx = Experiments::new(seed);
+    println!("perfpred repro (seed {seed})\n");
+
+    let mut failed = false;
+    for id in ids {
+        let start = Instant::now();
+        match experiments::run(&ctx, id) {
+            Some(report) => {
+                println!("================ {id} ================");
+                println!("{report}");
+                println!("[{id} completed in {:.1?}]\n", start.elapsed());
+                save(id, &report);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared experiment context: the ground truth, the case-study servers,
+//! and lazily-built (cached) calibrations of the three prediction methods.
+
+use perfpred_core::{PerformanceModel, ServerArch, Workload};
+use perfpred_hybrid::{HybridModel, HybridOptions};
+use perfpred_hydra::{HistoricalModel, ServerObservations};
+use perfpred_lqns::LqnPredictor;
+use perfpred_tradesim::calibrate::calibrate_lqn;
+use perfpred_tradesim::config::{GroundTruth, SimOptions};
+use perfpred_tradesim::harness::{find_max_throughput, run, sweep, MeasuredPoint};
+use std::cell::OnceCell;
+
+/// The nominal clients→throughput gradient of the case study: one request
+/// per client per (think + light-load response) interval.
+pub const M_NOMINAL: f64 = 1_000.0 / 7_020.0;
+
+/// The default seed.
+pub const DEFAULT_SEED: u64 = 20040426; // the IPDPS 2004 workshop date
+
+/// Grid of operating points for the fig-2 style sweeps, as fractions of
+/// the max-throughput client count.
+pub const GRID_FRACTIONS: [f64; 12] =
+    [0.10, 0.25, 0.40, 0.55, 0.66, 0.80, 0.95, 1.05, 1.10, 1.25, 1.40, 1.55];
+
+/// Experiment context. All expensive calibrations (simulator measurement
+/// campaigns, LQN calibration, hybrid start-up) happen once and are cached.
+pub struct Experiments {
+    /// The synthetic testbed's ground truth.
+    pub gt: GroundTruth,
+    /// Measurement-grade simulation options.
+    pub sim: SimOptions,
+    seed: u64,
+    lqn: OnceCell<LqnPredictor>,
+    historical: OnceCell<HistoricalModel>,
+    hybrid: OnceCell<HybridModel>,
+    measured_mx: OnceCell<[f64; 3]>,
+}
+
+impl Default for Experiments {
+    fn default() -> Self {
+        Self::new(DEFAULT_SEED)
+    }
+}
+
+impl Experiments {
+    /// A context with measurement-grade simulation settings.
+    pub fn new(seed: u64) -> Self {
+        Experiments {
+            gt: GroundTruth::default(),
+            sim: SimOptions { seed, warmup_ms: 30_000.0, measure_ms: 240_000.0, ..Default::default() },
+            seed,
+            lqn: OnceCell::new(),
+            historical: OnceCell::new(),
+            hybrid: OnceCell::new(),
+            measured_mx: OnceCell::new(),
+        }
+    }
+
+    /// A context with short simulations, for tests.
+    pub fn quick(seed: u64) -> Self {
+        let mut ctx = Self::new(seed);
+        ctx.sim = SimOptions::quick(seed);
+        ctx
+    }
+
+    /// The case-study servers: `[AppServS, AppServF, AppServVF]` (index 0
+    /// is the "new" architecture).
+    pub fn servers() -> [ServerArch; 3] {
+        [ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+    }
+
+    /// The established servers used for calibration (F and VF).
+    pub fn established() -> [ServerArch; 2] {
+        [ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+    }
+
+    /// Measured typical-workload max throughputs `[S, F, VF]` — the §2
+    /// "application-specific benchmark" service.
+    pub fn measured_max_tputs(&self) -> [f64; 3] {
+        *self.measured_mx.get_or_init(|| {
+            let servers = Self::servers();
+            let mut out = [0.0; 3];
+            for (i, s) in servers.iter().enumerate() {
+                out[i] = find_max_throughput(
+                    &self.gt,
+                    s,
+                    &Workload::typical(200),
+                    &self.sim.with_seed(self.seed.wrapping_add(1_000 + i as u64)),
+                );
+            }
+            out
+        })
+    }
+
+    /// The measured max throughput of one server (by its position in
+    /// [`Experiments::servers`]).
+    pub fn measured_mx_of(&self, server: &ServerArch) -> f64 {
+        let idx = Self::servers()
+            .iter()
+            .position(|s| s.name == server.name)
+            .expect("case-study server");
+        self.measured_max_tputs()[idx]
+    }
+
+    /// The client count at max throughput for a server.
+    pub fn n_star(&self, server: &ServerArch) -> f64 {
+        self.measured_mx_of(server) / M_NOMINAL
+    }
+
+    /// The fig-2 client grid for a server.
+    pub fn grid(&self, server: &ServerArch) -> Vec<u32> {
+        let n_star = self.n_star(server);
+        GRID_FRACTIONS.iter().map(|f| (f * n_star).round().max(2.0) as u32).collect()
+    }
+
+    /// Measures the typical workload at each grid point (parallel sweep).
+    pub fn measure_grid(
+        &self,
+        server: &ServerArch,
+        grid: &[u32],
+        store_samples: bool,
+    ) -> Vec<MeasuredPoint> {
+        let mut opts = self.sim.with_seed(self.seed.wrapping_mul(31).wrapping_add(7));
+        opts.store_samples = store_samples;
+        sweep(&self.gt, server, &Workload::typical(100), grid, &opts)
+    }
+
+    /// Gathers historical observations for one server by *measurement*:
+    /// `nldp` lower points ending at 66 % of the max-throughput load and
+    /// `nudp` upper points starting at 110 % (§4.2's anchors), plus
+    /// throughput samples for the gradient.
+    pub fn measure_observations(
+        &self,
+        server: &ServerArch,
+        nldp: usize,
+        nudp: usize,
+    ) -> ServerObservations {
+        let mx = self.measured_mx_of(server);
+        let n_star = mx / M_NOMINAL;
+        let mut obs = ServerObservations::new(server.name.clone(), mx);
+        let lower_grid: Vec<u32> = (0..nldp)
+            .map(|i| {
+                let frac = 0.15 + (0.66 - 0.15) * i as f64 / (nldp.max(2) as f64 - 1.0);
+                (frac * n_star).round() as u32
+            })
+            .collect();
+        let upper_grid: Vec<u32> = (0..nudp)
+            .map(|i| {
+                let frac = 1.10 + (1.55 - 1.10) * i as f64 / (nudp.max(2) as f64 - 1.0);
+                (frac * n_star).round() as u32
+            })
+            .collect();
+        let lower =
+            sweep(&self.gt, server, &Workload::typical(100), &lower_grid, &self.sim);
+        for p in &lower {
+            obs = obs
+                .with_lower(f64::from(p.clients), p.mrt_ms)
+                .with_throughput(f64::from(p.clients), p.throughput_rps);
+        }
+        let upper =
+            sweep(&self.gt, server, &Workload::typical(100), &upper_grid, &self.sim);
+        for p in &upper {
+            obs = obs.with_upper(f64::from(p.clients), p.mrt_ms);
+        }
+        obs
+    }
+
+    /// The layered queuing predictor, calibrated on AppServF per §5
+    /// (dedicated single-request-type runs, utilisation ÷ throughput).
+    pub fn lqn(&self) -> &LqnPredictor {
+        self.lqn.get_or_init(|| {
+            let cfg = calibrate_lqn(&self.gt, &ServerArch::app_serv_f(), &self.sim);
+            LqnPredictor::new(cfg)
+        })
+    }
+
+    /// The historical model, calibrated by measurement on the established
+    /// servers (F, VF) with the paper's minimal data volume
+    /// (`nldp = nudp = 2`), relationship 3 from measured max throughputs
+    /// across the buy range on F (see EXPERIMENTS.md deviation note 3),
+    /// and class deviation factors from one mixed measurement.
+    pub fn historical(&self) -> &HistoricalModel {
+        self.historical.get_or_init(|| {
+            let mut builder = HistoricalModel::builder().think_time_ms(7_000.0);
+            for server in Self::established() {
+                builder = builder.observations(self.measure_observations(&server, 2, 2));
+            }
+            // Relationship 3: measured max throughputs across the buy
+            // range on AppServF. The paper calibrates at 0 %/25 % only;
+            // the wider range keeps the linear fit usable at the pure-buy
+            // mixes the resource manager's allocation creates.
+            let f_server = ServerArch::app_serv_f();
+            let mut r3_points = vec![(0.0, self.measured_mx_of(&f_server))];
+            for (i, b) in [25.0, 50.0, 100.0].iter().enumerate() {
+                let mx = find_max_throughput(
+                    &self.gt,
+                    &f_server,
+                    &Workload::with_buy_pct(1_000, *b),
+                    &self.sim.with_seed(self.seed.wrapping_add(2_500 + i as u64)),
+                );
+                r3_points.push((*b, mx));
+            }
+            builder = builder.r3_points(&r3_points);
+            // Class deviation from one heterogeneous measurement at a
+            // moderate load.
+            let mixed = run(
+                &self.gt,
+                &f_server,
+                &Workload::with_buy_pct(800, 25.0),
+                &self.sim.with_seed(self.seed.wrapping_add(2_600)),
+            );
+            if mixed.mrt_ms > 0.0 && mixed.classes.len() == 2 {
+                builder = builder.class_deviation(
+                    mixed.classes[0].mrt_ms / mixed.mrt_ms,
+                    mixed.classes[1].mrt_ms / mixed.mrt_ms,
+                );
+            }
+            builder.build().expect("historical calibration")
+        })
+    }
+
+    /// The advanced hybrid model over all three case-study architectures.
+    pub fn hybrid(&self) -> &HybridModel {
+        self.hybrid.get_or_init(|| {
+            HybridModel::advanced(self.lqn(), &Self::servers(), &HybridOptions::default())
+                .expect("hybrid calibration")
+        })
+    }
+
+    /// Convenience: predictions from one model over a grid of typical
+    /// workload points; returns (mrt, throughput) pairs (NaN rows where the
+    /// model errored).
+    pub fn predict_grid<Mdl: PerformanceModel + ?Sized>(
+        model: &Mdl,
+        server: &ServerArch,
+        grid: &[u32],
+    ) -> Vec<(f64, f64)> {
+        grid.iter()
+            .map(|&n| match model.predict(server, &Workload::typical(n)) {
+                Ok(p) => (p.mrt_ms, p.throughput_rps),
+                Err(_) => (f64::NAN, f64::NAN),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_scale_with_server_speed() {
+        let ctx = Experiments::quick(99);
+        let s = &Experiments::servers()[0];
+        let vf = &Experiments::servers()[2];
+        let gs = ctx.grid(s);
+        let gvf = ctx.grid(vf);
+        assert_eq!(gs.len(), GRID_FRACTIONS.len());
+        // VF sustains ~3.7× the clients of S at the same fraction.
+        let ratio = f64::from(gvf[5]) / f64::from(gs[5]);
+        assert!((ratio - 320.0 / 86.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn measured_max_tputs_near_design() {
+        let ctx = Experiments::quick(99);
+        let [s, f, vf] = ctx.measured_max_tputs();
+        assert!((s - 86.0).abs() < 6.0, "S {s}");
+        assert!((f - 186.0).abs() < 8.0, "F {f}");
+        assert!((vf - 320.0).abs() < 14.0, "VF {vf}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. the §4.1 *transition* relationship (exponential phasing between the
+//!    lower and upper equations, 66–110 % of the max-throughput load)
+//!    versus a hard switch at max throughput;
+//! 2. calibration data volume — `nldp = nudp` of 2 (the paper's minimum)
+//!    versus 3 and 4 points per equation;
+//! 3. the basic versus advanced hybrid variants (§6) on the new
+//!    architecture.
+
+use crate::context::{GRID_FRACTIONS, M_NOMINAL};
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_core::{AccuracyReport, PerformanceModel, ServerArch, Workload};
+use perfpred_hybrid::{HybridModel, HybridOptions};
+use perfpred_hydra::Relationship1;
+use std::fmt::Write as _;
+
+/// Runs the experiment.
+pub fn run(ctx: &Experiments) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablations\n");
+
+    // --- 1. transition phasing vs hard switch, on AppServF ---
+    let server = ServerArch::app_serv_f();
+    let grid = ctx.grid(&server);
+    let measured = ctx.measure_grid(&server, &grid, false);
+    let r1 = *ctx
+        .historical()
+        .established_r1(&server.name)
+        .expect("F is established");
+    let hard_switch = |r1: &Relationship1, n: f64| -> f64 {
+        if n < r1.clients_at_max() {
+            r1.lower.eval(n)
+        } else {
+            r1.upper.eval(n).max(0.0)
+        }
+    };
+    let mut with_t = AccuracyReport::new();
+    let mut without_t = AccuracyReport::new();
+    for (i, point) in measured.iter().enumerate() {
+        let n = f64::from(grid[i]);
+        with_t.push(r1.predict_mrt(n).unwrap(), point.mrt_ms);
+        without_t.push(hard_switch(&r1, n), point.mrt_ms);
+    }
+    let _ = writeln!(out, "1. transition phasing ({}, all grid points):", server.name);
+    let _ = writeln!(
+        out,
+        "   with transition {:.1} %  |  hard switch at N* {:.1} %",
+        with_t.mean_accuracy(),
+        without_t.mean_accuracy()
+    );
+    let _ = writeln!(
+        out,
+        "   (§4.1 reports the transition \"can increase predictive accuracy\" on its \
+         testbed; our simulated knee is sharper than an exponential phase-in, so here the \
+         hard switch wins — which choice helps is testbed-dependent, exactly why HYDRA \
+         validates relationships against recorded data before trusting them)\n"
+    );
+
+    // --- 2. calibration data volume ---
+    let _ = writeln!(out, "2. calibration data volume (AppServF, mean accuracy on the grid):");
+    let mut table = Table::new(&["nldp = nudp", "accuracy %", "data points"]);
+    for n_points in [2usize, 3, 4] {
+        let obs = ctx.measure_observations(&server, n_points, n_points);
+        let r1n = Relationship1::calibrate(&obs, M_NOMINAL).expect("calibration");
+        let mut rep = AccuracyReport::new();
+        for (i, point) in measured.iter().enumerate() {
+            rep.push(r1n.predict_mrt(f64::from(grid[i])).unwrap(), point.mrt_ms);
+        }
+        table.row(&[
+            n_points.to_string(),
+            f(rep.mean_accuracy(), 1),
+            obs.point_count().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "   (paper §4.2: \"accurate predictions can be made even when nudp and nldp are \
+         both reduced to 2\")\n"
+    );
+
+    // --- 3. basic vs advanced hybrid on the new server ---
+    let new_server = ServerArch::app_serv_s();
+    let lqn = ctx.lqn();
+    let advanced = ctx.hybrid();
+    let basic = HybridModel::basic(
+        lqn,
+        &[ServerArch::app_serv_f(), ServerArch::app_serv_vf()],
+        &HybridOptions::default(),
+    )
+    .expect("basic hybrid");
+    let s_grid = ctx.grid(&new_server);
+    let s_measured = ctx.measure_grid(&new_server, &s_grid, false);
+    let mut adv_rep = (AccuracyReport::new(), AccuracyReport::new()); // (lower, upper)
+    let mut bas_rep = (AccuracyReport::new(), AccuracyReport::new());
+    for (i, point) in s_measured.iter().enumerate() {
+        let w = Workload::typical(s_grid[i]);
+        let frac = GRID_FRACTIONS[i];
+        let a = advanced.predict(&new_server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
+        let b = basic.predict(&new_server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
+        if frac <= 0.66 {
+            adv_rep.0.push(a, point.mrt_ms);
+            bas_rep.0.push(b, point.mrt_ms);
+        } else if frac >= 1.10 {
+            adv_rep.1.push(a, point.mrt_ms);
+            bas_rep.1.push(b, point.mrt_ms);
+        }
+    }
+    let _ = writeln!(out, "3. hybrid variants on {} (lower/upper mean, §4.2 style):", new_server.name);
+    let _ = writeln!(
+        out,
+        "   advanced (pseudo data for the target architecture): {:.1} %",
+        AccuracyReport::paired_mean(&adv_rep.0, &adv_rep.1)
+    );
+    let _ = writeln!(
+        out,
+        "   basic (relationship 2 from established pseudo data): {:.1} %",
+        AccuracyReport::paired_mean(&bas_rep.0, &bas_rep.1)
+    );
+    let _ = writeln!(
+        out,
+        "   (§6: the advanced model exists because generating data for the target \
+         architecture \"increases\" the basic model's accuracy)"
+    );
+    out
+}

@@ -1,0 +1,73 @@
+//! Extension experiment — §9.1's closing direction: "cost functions ...
+//! could map SLA failure and server usage metrics to their associated
+//! costs. Given such functions the y-axis of figure 7 could become a
+//! single cost axis ... Slack setting(s) with the lowest cost could then
+//! be determined."
+//!
+//! We run the fig-7 slack sweep once, then evaluate three cost regimes —
+//! penalty-dominated, balanced, and hardware-dominated — and report each
+//! regime's optimal slack.
+
+use crate::experiments::fig5_6::loads;
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_resman::costs::{slack_sweep, CostModel, SweepConfig};
+use perfpred_resman::runtime::RuntimeOptions;
+use perfpred_resman::scenario::{paper_pool, paper_workload};
+use std::fmt::Write as _;
+
+/// Runs the experiment.
+pub fn run(ctx: &Experiments) -> String {
+    let config = SweepConfig { loads: loads(), runtime: RuntimeOptions::default() };
+    let slacks: Vec<f64> = (0..=22).rev().map(|i| f64::from(i) / 20.0).collect(); // 1.1 → 0
+    let (su_max, curves) = slack_sweep(
+        ctx.hybrid(),
+        ctx.historical(),
+        &paper_pool(),
+        &paper_workload(1_000),
+        &config,
+        &slacks,
+        1.1,
+    )
+    .expect("slack sweep");
+
+    let regimes = [
+        ("SLA-dominated (penalties 20:1)", CostModel { sla_penalty_per_pct: 20.0, server_cost_per_pct: 1.0 }),
+        ("balanced (1:1)", CostModel { sla_penalty_per_pct: 1.0, server_cost_per_pct: 1.0 }),
+        ("hardware-dominated (1:20)", CostModel { sla_penalty_per_pct: 1.0, server_cost_per_pct: 20.0 }),
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§9.1 extension — single-axis cost and optimal slack (SUmax = {su_max:.1} %)\n"
+    );
+    let mut table =
+        Table::new(&["slack", "avg % fail", "avg % saving", "cost 20:1", "cost 1:1", "cost 1:20"]);
+    for c in &curves {
+        table.row(&[
+            f(c.slack, 2),
+            f(c.avg_sla_failure_pct, 2),
+            f(c.avg_usage_saving_pct, 2),
+            f(regimes[0].1.total_cost(c, su_max), 1),
+            f(regimes[1].1.total_cost(c, su_max), 1),
+            f(regimes[2].1.total_cost(c, su_max), 1),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    for (name, model) in &regimes {
+        let best = model.optimal_slack(&curves, su_max).expect("non-empty sweep");
+        let _ = writeln!(
+            out,
+            "optimal slack under {name}: {:.2} (fail {:.1} %, saving {:.1} %)",
+            best.slack, best.avg_sla_failure_pct, best.avg_usage_saving_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nexpected shape: expensive SLAs keep the slack at/near the zero-failure setting; \
+         expensive hardware pushes it down the fig-7 curve"
+    );
+    out
+}

@@ -1,0 +1,87 @@
+//! Figures 7 and 8: balancing the two §9.1 costs as the slack falls.
+//!
+//! Fig 7 sweeps the slack from 1.1 (the minimum giving 0 % SLA failures;
+//! the paper's SUmax = 62.7 % there) down to 0, reporting the *average %
+//! SLA failures* and *average % server-usage saving* across loads before
+//! 100 % usage. Fig 8 zooms into slack 1.1 → 0.9, the region where the
+//! first saving is cheap ("during the first 0.1 reduction in slack, the
+//! increase in average % SLA failures is smaller than the increase in the
+//! average % server usage saving").
+
+use crate::experiments::fig5_6::loads;
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_resman::costs::{slack_sweep, SweepConfig};
+use perfpred_resman::runtime::RuntimeOptions;
+use perfpred_resman::scenario::{paper_pool, paper_workload};
+use std::fmt::Write as _;
+
+const REFERENCE_SLACK: f64 = 1.1;
+
+fn run_sweep(ctx: &Experiments, slacks: &[f64]) -> (f64, Vec<perfpred_resman::costs::SlackCurve>) {
+    let config = SweepConfig { loads: loads(), runtime: RuntimeOptions::default() };
+    slack_sweep(
+        ctx.hybrid(),
+        ctx.historical(),
+        &paper_pool(),
+        &paper_workload(1_000),
+        &config,
+        slacks,
+        REFERENCE_SLACK,
+    )
+    .expect("slack sweep")
+}
+
+/// Fig 7: slack 1.1 → 0.
+pub fn run_fig7(ctx: &Experiments) -> String {
+    let slacks: Vec<f64> = (0..=11).rev().map(|i| f64::from(i) / 10.0).collect();
+    let (su_max, curves) = run_sweep(ctx, &slacks);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — average % SLA failures and % server-usage saving, slack 1.1 -> 0\n"
+    );
+    let _ = writeln!(out, "SUmax (usage at slack 1.1) = {:.1} % (paper: 62.7 %)\n", su_max);
+    let mut table =
+        Table::new(&["slack", "avg % SLA failures", "avg % server usage saving"]);
+    for c in &curves {
+        table.row(&[f(c.slack, 1), f(c.avg_sla_failure_pct, 2), f(c.avg_usage_saving_pct, 2)]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\npaper shape: first 0.1 of slack reduction saves more usage than it costs in \
+         failures; between 1.0 and 0.9 the two rates are almost identical; below that \
+         failures outpace savings until 100 % failures / SUmax saving at slack 0"
+    );
+    out
+}
+
+/// Fig 8: the failure/saving trade-off, slack 1.1 → 0.9.
+pub fn run_fig8(ctx: &Experiments) -> String {
+    let slacks: Vec<f64> = (0..=8).map(|i| 1.1 - 0.025 * f64::from(i)).collect();
+    let (su_max, curves) = run_sweep(ctx, &slacks);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8 — SLA failures vs server-usage saving as slack falls 1.1 -> 0.9\n"
+    );
+    let _ = writeln!(out, "SUmax = {:.1} %\n", su_max);
+    let mut table =
+        Table::new(&["slack", "avg % SLA failures", "avg % usage saving", "saving - failures"]);
+    for c in &curves {
+        table.row(&[
+            f(c.slack, 3),
+            f(c.avg_sla_failure_pct, 2),
+            f(c.avg_usage_saving_pct, 2),
+            f(c.avg_usage_saving_pct - c.avg_sla_failure_pct, 2),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\npaper: in this window the saving initially outpaces the failures, then the two \
+         grow at nearly the same rate — the sweet spot for a cost-balancing operator"
+    );
+    out
+}

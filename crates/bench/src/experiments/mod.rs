@@ -1,0 +1,70 @@
+//! One module per reproduced artefact. Every experiment takes the shared
+//! [`crate::Experiments`] context and returns a plain-text report.
+
+pub mod ablation;
+pub mod caching;
+pub mod cluster;
+pub mod cost;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5_6;
+pub mod fig7_8;
+pub mod open;
+pub mod percentiles;
+pub mod priority;
+pub mod rel1m;
+pub mod table1;
+pub mod table2;
+pub mod uniform;
+
+use crate::Experiments;
+
+/// All experiment ids, in presentation order.
+pub const ALL: [&str; 18] = [
+    "table1",
+    "table2",
+    "rel1m",
+    "fig2",
+    "fig3",
+    "fig4",
+    "percentiles",
+    "caching",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "uniform",
+    // Extensions beyond the paper's evaluation (see DESIGN.md).
+    "open",
+    "priority",
+    "cost",
+    "cluster",
+    "ablation",
+];
+
+/// Runs one experiment by id, returning its report.
+pub fn run(ctx: &Experiments, id: &str) -> Option<String> {
+    let report = match id {
+        "table1" => table1::run(ctx),
+        "table2" => table2::run(ctx),
+        "rel1m" => rel1m::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "fig3" => fig3::run(ctx),
+        "fig4" => fig4::run(ctx),
+        "percentiles" => percentiles::run(ctx),
+        "caching" => caching::run(ctx),
+        "fig5" => fig5_6::run_fig5(ctx),
+        "fig6" => fig5_6::run_fig6(ctx),
+        "fig7" => fig7_8::run_fig7(ctx),
+        "fig8" => fig7_8::run_fig8(ctx),
+        "uniform" => uniform::run(ctx),
+        "open" => open::run(ctx),
+        "priority" => priority::run(ctx),
+        "cost" => cost::run(ctx),
+        "cluster" => cluster::run(ctx),
+        "ablation" => ablation::run(ctx),
+        _ => return None,
+    };
+    Some(report)
+}

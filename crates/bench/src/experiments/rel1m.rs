@@ -1,0 +1,60 @@
+//! §4.1's throughput relationship: the clients→throughput gradient `m` is
+//! the same for every architecture (it depends on the think time, not the
+//! CPU speed), `m ≈ 0.14` in the case study, and predicting each server's
+//! below-saturation throughput with the *pooled* `m` is accurate to ~1.3 %.
+
+use crate::context::M_NOMINAL;
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_core::Workload;
+use perfpred_hydra::ThroughputRelation;
+use perfpred_tradesim::harness::sweep;
+use std::fmt::Write as _;
+
+/// Runs the experiment.
+pub fn run(ctx: &Experiments) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§4.1 — clients→throughput gradient m across architectures\n");
+
+    // Unsaturated measurement points per server (20..60 % of the knee).
+    /// (server name, its own fitted m, its (clients, throughput) samples).
+    type ServerFit = (String, f64, Vec<(f64, f64)>);
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let mut per_server: Vec<ServerFit> = Vec::new();
+    for server in Experiments::servers() {
+        let n_star = ctx.n_star(&server);
+        let grid: Vec<u32> =
+            [0.2, 0.4, 0.6].iter().map(|frac| (frac * n_star).round() as u32).collect();
+        let points = sweep(&ctx.gt, &server, &Workload::typical(100), &grid, &ctx.sim);
+        let samples: Vec<(f64, f64)> =
+            points.iter().map(|p| (f64::from(p.clients), p.throughput_rps)).collect();
+        let own_m = ThroughputRelation::fit(&samples).unwrap().m;
+        pooled.extend_from_slice(&samples);
+        per_server.push((server.name.clone(), own_m, samples));
+    }
+    let m = ThroughputRelation::fit(&pooled).unwrap().m;
+
+    let mut table = Table::new(&["server", "own m", "pooled m", "tput err % (pooled m)"]);
+    let mut worst_err = 0.0f64;
+    for (name, own_m, samples) in &per_server {
+        let mut err_acc = 0.0;
+        for &(n, x) in samples {
+            err_acc += 100.0 * (m * n - x).abs() / x;
+        }
+        let err = err_acc / samples.len() as f64;
+        worst_err = worst_err.max(err);
+        table.row(&[name.clone(), f(*own_m, 4), f(m, 4), f(err, 2)]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\npooled m = {:.4} (paper: 0.14); nominal 1/(think + light rt) = {:.4}",
+        m, M_NOMINAL
+    );
+    let _ = writeln!(
+        out,
+        "worst per-server throughput error with the shared gradient: {:.2} % (paper: 1.3 %)",
+        worst_err
+    );
+    out
+}

@@ -1,0 +1,63 @@
+//! Table 1: the historical method's relationship-1 parameters per server,
+//! calibrated with the paper's minimal data volume (nldp = nudp = 2).
+//!
+//! Paper values (its 2004 testbed):
+//!
+//! | server | cL (ms) | λL     |
+//! |--------|---------|--------|
+//! | S      | 138.9   | 4e-06  |
+//! | F      | 84.1    | 1e-04  |
+//! | VF     | 10.7    | 9e-04  |
+//!
+//! Absolute values depend on the testbed; the *shape* to reproduce is that
+//! `cL` falls as max throughput rises (eq 3) while the established fits
+//! interpolate their own data exactly.
+
+use crate::report::{f, Table};
+use crate::Experiments;
+use std::fmt::Write as _;
+
+/// Runs the experiment.
+pub fn run(ctx: &Experiments) -> String {
+    let historical = ctx.historical();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — historical relationship-1 parameters (nldp = nudp = 2)\n"
+    );
+    let mut table = Table::new(&[
+        "server", "mx (req/s)", "cL (ms)", "lambdaL", "lambdaU", "cU (ms)", "source",
+    ]);
+    for server in Experiments::servers() {
+        let (r1, source) = match historical.established_r1(&server.name) {
+            Some(r1) => (*r1, "measured (established)"),
+            None => (
+                historical
+                    .r2()
+                    .expect("two established servers")
+                    .r1_for_max_throughput(server.max_throughput_rps)
+                    .expect("within calibrated range"),
+                "relationship 2 (new)",
+            ),
+        };
+        table.row(&[
+            server.name.clone(),
+            f(r1.max_throughput_rps, 1),
+            f(r1.lower.c, 1),
+            format!("{:.2e}", r1.lower.lambda),
+            format!("{:.4}", r1.upper.slope),
+            f(r1.upper.intercept, 0),
+            source.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\npaper (2004 testbed): cL = 138.9 / 84.1 / 10.7 ms, lambdaL = 4e-06 / 1e-04 / 9e-04"
+    );
+    let _ = writeln!(
+        out,
+        "shape check: cL decreases with max throughput; lambdaU scales ~1/mx; cU ~ -think time"
+    );
+    out
+}

@@ -1,0 +1,66 @@
+//! Table 2: layered queuing processing-time parameters calibrated on
+//! AppServF by dedicated single-request-type runs (§5).
+//!
+//! Paper values: browse 4.505 ms (app) / 0.8294 ms (DB), buy 8.761 / 1.613,
+//! with 1.14 / 2 database calls per request. Our testbed's CPU demands
+//! differ in absolute terms (they are chosen so max throughput lands at
+//! 186 req/s); the reproduced shape is the buy/browse ratio (~1.94 on the
+//! app tier, ~1.95 on the DB tier) and the calibration's agreement with
+//! the simulator's ground-truth demands.
+
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_core::RequestType;
+use std::fmt::Write as _;
+
+/// Runs the experiment.
+pub fn run(ctx: &Experiments) -> String {
+    let cfg = ctx.lqn().config();
+    let gt = &ctx.gt;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — layered queuing processing times calibrated on AppServF\n"
+    );
+    let mut table = Table::new(&[
+        "request type",
+        "app (ms)",
+        "app truth",
+        "db/call (ms)",
+        "db truth",
+        "db calls",
+        "disk/call (ms)",
+    ]);
+    for rt in RequestType::ALL {
+        let p = cfg.params(rt);
+        let (app_truth, db_truth) = match rt {
+            RequestType::Browse => (gt.browse_app_demand_ms, gt.browse_db_demand_ms),
+            RequestType::Buy => (gt.buy_app_demand_ms, gt.buy_db_demand_ms),
+        };
+        table.row(&[
+            rt.label().to_string(),
+            f(p.app_demand_ms, 3),
+            f(app_truth, 3),
+            f(p.db_demand_ms, 3),
+            f(db_truth, 3),
+            f(p.db_calls, 2),
+            f(p.disk_demand_ms, 3),
+        ]);
+    }
+    out.push_str(&table.render());
+    let ratio_app = cfg.buy.app_demand_ms / cfg.browse.app_demand_ms;
+    let ratio_db = cfg.buy.db_demand_ms / cfg.browse.db_demand_ms;
+    let _ = writeln!(
+        out,
+        "\nbuy/browse demand ratios: app {:.2} (paper {:.2}), db {:.2} (paper {:.2})",
+        ratio_app,
+        8.761 / 4.505,
+        ratio_db,
+        1.613 / 0.8294
+    );
+    let _ = writeln!(
+        out,
+        "paper absolute values: browse 4.505/0.8294 ms, buy 8.761/1.613 ms (its hardware)"
+    );
+    out
+}

@@ -1,0 +1,70 @@
+//! §9.1's uniform-error control experiment: when the planner's error is
+//! *uniform* — predictions equal the truth evaluated at `y ×` the actual
+//! client count — setting the slack to exactly `y` yields 0 % SLA failures
+//! below 100 % server usage, and the server usage at a given load is
+//! constant in `y`.
+
+use crate::report::{f, Table};
+use crate::Experiments;
+use perfpred_resman::costs::{sweep_loads, SweepConfig};
+use perfpred_resman::runtime::RuntimeOptions;
+use perfpred_resman::scenario::{paper_pool, paper_workload, UniformErrorModel};
+use std::fmt::Write as _;
+
+const YS: [f64; 3] = [1.05, 1.075, 1.25];
+
+/// Runs the experiment. The truth is the historical model; the planner is
+/// the same model wrapped with uniform error `y`.
+pub fn run(ctx: &Experiments) -> String {
+    let truth = ctx.historical();
+    let pool = paper_pool();
+    let template = paper_workload(1_000);
+    let loads: Vec<u32> = (1..=8).map(|i| i * 1_000).collect();
+    // No runtime threshold/optimiser: isolate the slack-vs-error algebra.
+    let config = SweepConfig {
+        loads: loads.clone(),
+        runtime: RuntimeOptions { threshold: 0.0, optimize: false },
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§9.1 — uniform predictive error y compensated by slack = y (truth: historical)\n"
+    );
+    let mut table = Table::new(&[
+        "y",
+        "slack",
+        "max % SLA failures",
+        "avg % usage",
+        "usage vs y=1 (pp)",
+    ]);
+    // Baseline usage with a perfect planner.
+    let base = sweep_loads(truth, truth, &pool, &template, &config, 1.0).unwrap();
+    let base_usage: f64 =
+        base.iter().map(|p| p.server_usage_pct).sum::<f64>() / base.len() as f64;
+
+    for &y in &YS {
+        let planner = UniformErrorModel::new(ctx.historical().clone(), y);
+        for &slack in &[1.0, y] {
+            let pts = sweep_loads(&planner, truth, &pool, &template, &config, slack).unwrap();
+            let max_fail =
+                pts.iter().map(|p| p.sla_failure_pct).fold(0.0f64, f64::max);
+            let avg_usage =
+                pts.iter().map(|p| p.server_usage_pct).sum::<f64>() / pts.len() as f64;
+            table.row(&[
+                f(y, 3),
+                f(slack, 3),
+                f(max_fail, 2),
+                f(avg_usage, 1),
+                f(avg_usage - base_usage, 1),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nexpected: slack = y rows show 0 % failures and (near-)constant server usage \
+         across y — the paper's \"straightforward\" uniform case; slack 1.0 rows fail"
+    );
+    out
+}

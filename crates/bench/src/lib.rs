@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # perfpred-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures against the simulated testbed, plus criterion
+//! benchmarks for the §8.5 prediction-delay comparison.
+//!
+//! The `repro` binary drives it:
+//!
+//! ```text
+//! cargo run --release -p perfpred-bench --bin repro -- all
+//! cargo run --release -p perfpred-bench --bin repro -- fig2
+//! ```
+//!
+//! Each experiment prints a plain-text table mirroring the paper's artefact
+//! and writes a copy under `results/`. See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured commentary.
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::Experiments;

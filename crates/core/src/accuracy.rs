@@ -1,0 +1,166 @@
+//! Predictive-accuracy metrics, matching the paper's reporting convention.
+//!
+//! The paper reports accuracies like "89.1 % for the established servers and
+//! 83 % for the new server" (§4.2). We interpret the accuracy of a single
+//! prediction as `100 × (1 − |predicted − measured| / measured)`, floored at
+//! zero, and the accuracy of a prediction *set* as the mean of the
+//! per-prediction accuracies. §4.2 additionally defines the overall R1
+//! accuracy as the mean of the lower-equation and upper-equation accuracies,
+//! which callers compose from two [`AccuracyReport`]s.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one prediction against one measurement, in percent (0–100).
+///
+/// `measured` must be positive; a non-positive measurement yields 0 %
+/// accuracy (rather than a NaN propagating into reports).
+pub fn accuracy_pct(predicted: f64, measured: f64) -> f64 {
+    // `!(x > 0)` deliberately treats NaN like a degenerate measurement.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(measured > 0.0) || !predicted.is_finite() {
+        return 0.0;
+    }
+    let rel_err = (predicted - measured).abs() / measured;
+    (100.0 * (1.0 - rel_err)).clamp(0.0, 100.0)
+}
+
+/// Mean per-prediction accuracy over `(predicted, measured)` pairs, percent.
+/// Returns 0 for an empty slice.
+pub fn mean_accuracy_pct(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(p, m)| accuracy_pct(p, m)).sum::<f64>() / pairs.len() as f64
+}
+
+/// A labelled accuracy report over a set of predictions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// `(predicted, measured)` pairs, in insertion order.
+    pub pairs: Vec<(f64, f64)>,
+}
+
+impl AccuracyReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction/measurement pair.
+    pub fn push(&mut self, predicted: f64, measured: f64) {
+        self.pairs.push((predicted, measured));
+    }
+
+    /// Mean accuracy in percent (see [`mean_accuracy_pct`]).
+    pub fn mean_accuracy(&self) -> f64 {
+        mean_accuracy_pct(&self.pairs)
+    }
+
+    /// Mean absolute percentage error, percent.
+    pub fn mape(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs
+            .iter()
+            .map(|&(p, m)| if m > 0.0 { 100.0 * (p - m).abs() / m } else { 100.0 })
+            .sum::<f64>()
+            / self.pairs.len() as f64
+    }
+
+    /// Worst (lowest) single-prediction accuracy, percent. 100 if empty.
+    pub fn worst_accuracy(&self) -> f64 {
+        self.pairs
+            .iter()
+            .map(|&(p, m)| accuracy_pct(p, m))
+            .fold(100.0, f64::min)
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: &AccuracyReport) {
+        self.pairs.extend_from_slice(&other.pairs);
+    }
+
+    /// The paper's §4.2 convention: overall accuracy as the unweighted mean
+    /// of two sub-reports' accuracies (lower + upper equation).
+    pub fn paired_mean(a: &AccuracyReport, b: &AccuracyReport) -> f64 {
+        (a.mean_accuracy() + b.mean_accuracy()) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_prediction_is_100pct() {
+        assert_eq!(accuracy_pct(42.0, 42.0), 100.0);
+    }
+
+    #[test]
+    fn relative_error_maps_linearly() {
+        assert!((accuracy_pct(110.0, 100.0) - 90.0).abs() < 1e-12);
+        assert!((accuracy_pct(90.0, 100.0) - 90.0).abs() < 1e-12);
+        assert!((accuracy_pct(150.0, 100.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gross_overprediction_floors_at_zero() {
+        assert_eq!(accuracy_pct(500.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_measurement_is_zero_accuracy() {
+        assert_eq!(accuracy_pct(10.0, 0.0), 0.0);
+        assert_eq!(accuracy_pct(10.0, -5.0), 0.0);
+        assert_eq!(accuracy_pct(f64::NAN, 10.0), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = AccuracyReport::new();
+        r.push(110.0, 100.0); // 90 %
+        r.push(100.0, 100.0); // 100 %
+        assert!((r.mean_accuracy() - 95.0).abs() < 1e-12);
+        assert!((r.mape() - 5.0).abs() < 1e-12);
+        assert!((r.worst_accuracy() - 90.0).abs() < 1e-12);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = AccuracyReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean_accuracy(), 0.0);
+        assert_eq!(r.worst_accuracy(), 100.0);
+    }
+
+    #[test]
+    fn paired_mean_matches_paper_convention() {
+        let mut lower = AccuracyReport::new();
+        lower.push(80.0, 100.0); // 80 %
+        let mut upper = AccuracyReport::new();
+        upper.push(95.0, 100.0); // 95 %
+        assert!((AccuracyReport::paired_mean(&lower, &upper) - 87.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = AccuracyReport::new();
+        a.push(1.0, 1.0);
+        let mut b = AccuracyReport::new();
+        b.push(2.0, 2.0);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Response-time distributions for percentile prediction (paper §7.1).
+//!
+//! After max throughput (100 % application-server CPU utilisation) the
+//! dominant response-time component is application-server queuing, and the
+//! request response-time distribution changes shape. The paper approximates
+//! the distribution as:
+//!
+//! * **before** saturation — exponential around the predicted mean `r_p`
+//!   (eq 6): `P(X ≤ x) = 1 − e^(−x / r_p)`;
+//! * **after** saturation — double exponential (Laplace) with location
+//!   `a = r_p` and a scale `b` that is constant across server architectures
+//!   with heterogeneous processing speeds (eq 7; calibrated at `b = 204.1`
+//!   in the paper's testbed).
+//!
+//! Both functions are *relative to the predicted mean*, so a percentile
+//! metric (e.g. "90 % of requests within r_max") can be extrapolated from
+//! any method's mean response-time prediction.
+
+use crate::error::PredictError;
+use serde::{Deserialize, Serialize};
+
+/// Exponential response-time distribution with mean `mean_ms` (eq 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialRt {
+    /// Mean (= scale) of the distribution, milliseconds.
+    pub mean_ms: f64,
+}
+
+impl ExponentialRt {
+    /// Creates the distribution; `mean_ms` must be positive.
+    pub fn new(mean_ms: f64) -> Result<Self, PredictError> {
+        // `!(x > 0)` deliberately rejects NaN as well as non-positives.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(mean_ms > 0.0) {
+            return Err(PredictError::OutOfRange(format!(
+                "exponential mean must be positive, got {mean_ms}"
+            )));
+        }
+        Ok(ExponentialRt { mean_ms })
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x_ms: f64) -> f64 {
+        if x_ms <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-x_ms / self.mean_ms).exp()
+        }
+    }
+
+    /// Inverse CDF: the response time below which a fraction `p` (0 ≤ p < 1)
+    /// of requests fall.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+        -self.mean_ms * (1.0 - p).ln()
+    }
+}
+
+/// Double exponential (Laplace) response-time distribution (eq 7), used
+/// after saturation: location `a` at the predicted mean, constant scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoubleExponentialRt {
+    /// Location parameter `a`, milliseconds (set to the predicted mean
+    /// response time `r_p` in §7.1).
+    pub location_ms: f64,
+    /// Scale parameter `b`, milliseconds (204.1 in the paper's testbed;
+    /// found constant across heterogeneous server speeds).
+    pub scale_ms: f64,
+}
+
+impl DoubleExponentialRt {
+    /// Creates the distribution; `scale_ms` must be positive.
+    pub fn new(location_ms: f64, scale_ms: f64) -> Result<Self, PredictError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(scale_ms > 0.0) {
+            return Err(PredictError::OutOfRange(format!(
+                "double-exponential scale must be positive, got {scale_ms}"
+            )));
+        }
+        Ok(DoubleExponentialRt { location_ms, scale_ms })
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x_ms: f64) -> f64 {
+        let z = (x_ms - self.location_ms) / self.scale_ms;
+        if x_ms >= self.location_ms {
+            1.0 - 0.5 * (-z).exp()
+        } else {
+            0.5 * z.exp()
+        }
+    }
+
+    /// Inverse CDF for `p` in (0, 1).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+        if p < 0.5 {
+            self.location_ms + self.scale_ms * (2.0 * p).ln()
+        } else {
+            self.location_ms - self.scale_ms * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// Maximum-likelihood fit of the scale `b` given a fixed location:
+    /// the mean absolute deviation of the samples from the location.
+    pub fn fit_scale(location_ms: f64, samples_ms: &[f64]) -> Result<f64, PredictError> {
+        if samples_ms.is_empty() {
+            return Err(PredictError::Calibration(
+                "cannot fit double-exponential scale from zero samples".into(),
+            ));
+        }
+        let b = samples_ms.iter().map(|&x| (x - location_ms).abs()).sum::<f64>()
+            / samples_ms.len() as f64;
+        if b > 0.0 {
+            Ok(b)
+        } else {
+            Err(PredictError::Calibration("degenerate samples: zero dispersion".into()))
+        }
+    }
+}
+
+/// A response-time distribution extrapolated from a mean prediction, per
+/// §7.1: exponential before saturation, double exponential after.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RtDistribution {
+    /// Pre-saturation shape (eq 6).
+    Exponential(ExponentialRt),
+    /// Post-saturation shape (eq 7).
+    DoubleExponential(DoubleExponentialRt),
+}
+
+impl RtDistribution {
+    /// Builds the §7.1 distribution around a predicted mean response time.
+    ///
+    /// * `predicted_mrt_ms` — the mean prediction `r_p` from any method;
+    /// * `saturated` — whether the operating point is at/after max
+    ///   throughput (100 % CPU utilisation);
+    /// * `scale_ms` — the calibrated double-exponential scale `b` (only used
+    ///   when `saturated`; the paper's value is 204.1).
+    pub fn from_mean_prediction(
+        predicted_mrt_ms: f64,
+        saturated: bool,
+        scale_ms: f64,
+    ) -> Result<Self, PredictError> {
+        if saturated {
+            Ok(RtDistribution::DoubleExponential(DoubleExponentialRt::new(
+                predicted_mrt_ms,
+                scale_ms,
+            )?))
+        } else {
+            Ok(RtDistribution::Exponential(ExponentialRt::new(predicted_mrt_ms)?))
+        }
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x_ms: f64) -> f64 {
+        match self {
+            RtDistribution::Exponential(d) => d.cdf(x_ms),
+            RtDistribution::DoubleExponential(d) => d.cdf(x_ms),
+        }
+    }
+
+    /// The response time at percentile `pct` (0 < pct < 100): the `r_max`
+    /// such that `pct` % of requests respond within `r_max`.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!(pct > 0.0 && pct < 100.0, "pct must be in (0,100)");
+        match self {
+            RtDistribution::Exponential(d) => d.quantile(pct / 100.0),
+            RtDistribution::DoubleExponential(d) => d.quantile(pct / 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_cdf_basics() {
+        let d = ExponentialRt::new(100.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-5.0), 0.0);
+        assert!((d.cdf(100.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(d.cdf(1e9) > 0.999_999);
+    }
+
+    #[test]
+    fn exponential_quantile_inverts_cdf() {
+        let d = ExponentialRt::new(250.0).unwrap();
+        for &p in &[0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12);
+        }
+        // Median of exponential is mean·ln 2.
+        assert!((d.quantile(0.5) - 250.0 * std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_rejects_nonpositive_mean() {
+        assert!(ExponentialRt::new(0.0).is_err());
+        assert!(ExponentialRt::new(-1.0).is_err());
+        assert!(ExponentialRt::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn laplace_cdf_continuous_and_symmetric() {
+        let d = DoubleExponentialRt::new(600.0, 204.1).unwrap();
+        // Continuous at the location, value 1/2.
+        assert!((d.cdf(600.0) - 0.5).abs() < 1e-12);
+        let below = d.cdf(600.0 - 1e-9);
+        assert!((below - 0.5).abs() < 1e-6);
+        // Symmetry: P(X ≤ a−t) = 1 − P(X ≤ a+t).
+        for &t in &[10.0, 100.0, 500.0] {
+            assert!((d.cdf(600.0 - t) - (1.0 - d.cdf(600.0 + t))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplace_quantile_inverts_cdf() {
+        let d = DoubleExponentialRt::new(600.0, 204.1).unwrap();
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+        assert_eq!(d.quantile(0.5), 600.0);
+    }
+
+    #[test]
+    fn laplace_scale_fit_recovers_known_scale() {
+        // Mean |X − a| of a Laplace(a, b) is exactly b; check with a
+        // deterministic symmetric sample set.
+        let a = 100.0;
+        let samples: Vec<f64> = vec![100.0 - 30.0, 100.0 + 30.0, 100.0 - 10.0, 100.0 + 10.0];
+        let b = DoubleExponentialRt::fit_scale(a, &samples).unwrap();
+        assert!((b - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_scale_fit_rejects_empty_or_degenerate() {
+        assert!(DoubleExponentialRt::fit_scale(1.0, &[]).is_err());
+        assert!(DoubleExponentialRt::fit_scale(5.0, &[5.0, 5.0]).is_err());
+    }
+
+    #[test]
+    fn from_mean_prediction_picks_shape() {
+        let pre = RtDistribution::from_mean_prediction(100.0, false, 204.1).unwrap();
+        let post = RtDistribution::from_mean_prediction(900.0, true, 204.1).unwrap();
+        assert!(matches!(pre, RtDistribution::Exponential(_)));
+        assert!(matches!(post, RtDistribution::DoubleExponential(_)));
+        // 90th percentile of the saturated distribution sits above its mean.
+        assert!(post.percentile(90.0) > 900.0);
+        // Pre-saturation 90th percentile of an exponential: mean·ln 10.
+        assert!((pre.percentile(90.0) - 100.0 * 10.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone_in_pct() {
+        let d = RtDistribution::from_mean_prediction(500.0, true, 204.1).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for pct in [10.0, 30.0, 50.0, 70.0, 90.0, 99.0] {
+            let q = d.percentile(pct);
+            assert!(q > last);
+            last = q;
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Least-squares trend fitting.
+//!
+//! The historical method (§4.2) calibrates its relationship parameters "by
+//! fitting trend-lines (using a least squares fit) to historical data". The
+//! three functional forms the paper uses are implemented here:
+//!
+//! * [`LinearFit`] — `y = m·x + c` (relationship 1 upper equation,
+//!   throughput-vs-clients gradient, relationship 2 eq 3, relationship 3);
+//! * [`ExpFit`] — `y = c·e^(λ·x)` (relationship 1 lower equation), fitted by
+//!   ordinary least squares on `ln y`;
+//! * [`PowerFit`] — `y = c·x^λ` (relationship 2 eq 4), fitted on
+//!   `ln y` vs `ln x`.
+
+use crate::error::PredictError;
+use serde::{Deserialize, Serialize};
+
+fn check_same_len(xs: &[f64], ys: &[f64], min: usize) -> Result<(), PredictError> {
+    if xs.len() != ys.len() {
+        return Err(PredictError::Calibration(format!(
+            "x/y length mismatch: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < min {
+        return Err(PredictError::Calibration(format!(
+            "need at least {min} data points, got {}",
+            xs.len()
+        )));
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(PredictError::Calibration("non-finite value in fit data".into()));
+    }
+    Ok(())
+}
+
+/// Ordinary least squares on raw `(x, y)` pairs.
+fn ols(xs: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), PredictError> {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return Err(PredictError::Calibration(
+            "all x values identical: slope is undefined".into(),
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok((slope, intercept, r2))
+}
+
+/// A fitted straight line `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Gradient.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit, in `[0, 1]`.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Least-squares fit through `(xs, ys)`; needs ≥ 2 points with distinct
+    /// x values.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, PredictError> {
+        check_same_len(xs, ys, 2)?;
+        let (slope, intercept, r2) = ols(xs, ys)?;
+        Ok(LinearFit { slope, intercept, r2 })
+    }
+
+    /// The exact line through two points.
+    pub fn through(p0: (f64, f64), p1: (f64, f64)) -> Result<Self, PredictError> {
+        Self::fit(&[p0.0, p1.0], &[p0.1, p1.1])
+    }
+
+    /// Evaluates the line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Solves `y = slope·x + intercept` for x. Errors on zero slope.
+    pub fn invert(&self, y: f64) -> Result<f64, PredictError> {
+        if self.slope == 0.0 {
+            return Err(PredictError::OutOfRange("cannot invert a flat line".into()));
+        }
+        Ok((y - self.intercept) / self.slope)
+    }
+}
+
+/// A fitted exponential `y = c·e^(λ·x)` (relationship 1's lower equation:
+/// `mrt = cL·e^(λL·n)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpFit {
+    /// Multiplier `c` (the response time at zero clients).
+    pub c: f64,
+    /// Exponent rate `λ`.
+    pub lambda: f64,
+    /// R² of the underlying `ln y` linear fit.
+    pub r2: f64,
+}
+
+impl ExpFit {
+    /// Least-squares fit on `ln y`; all `ys` must be positive.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, PredictError> {
+        check_same_len(xs, ys, 2)?;
+        if ys.iter().any(|&y| y <= 0.0) {
+            return Err(PredictError::Calibration(
+                "exponential fit requires positive y values".into(),
+            ));
+        }
+        let log_ys: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+        let (slope, intercept, r2) = ols(xs, &log_ys)?;
+        Ok(ExpFit { c: intercept.exp(), lambda: slope, r2 })
+    }
+
+    /// The exact exponential through two points.
+    pub fn through(p0: (f64, f64), p1: (f64, f64)) -> Result<Self, PredictError> {
+        Self::fit(&[p0.0, p1.0], &[p0.1, p1.1])
+    }
+
+    /// Evaluates `c·e^(λx)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.c * (self.lambda * x).exp()
+    }
+
+    /// Solves `y = c·e^(λx)` for x. Errors on λ = 0 or non-positive `y/c`.
+    pub fn invert(&self, y: f64) -> Result<f64, PredictError> {
+        if self.lambda == 0.0 {
+            return Err(PredictError::OutOfRange("cannot invert a flat exponential".into()));
+        }
+        let ratio = y / self.c;
+        if ratio <= 0.0 {
+            return Err(PredictError::OutOfRange(format!(
+                "no solution: y={y} incompatible with c={}",
+                self.c
+            )));
+        }
+        Ok(ratio.ln() / self.lambda)
+    }
+}
+
+/// A fitted power law `y = c·x^λ` (relationship 2's eq 4:
+/// `λL = C(λL)·mx_throughput^Λ(λL)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerFit {
+    /// Multiplier `c`.
+    pub c: f64,
+    /// Exponent `λ`.
+    pub exponent: f64,
+    /// R² of the underlying log–log linear fit.
+    pub r2: f64,
+}
+
+impl PowerFit {
+    /// Least-squares fit on `ln y` vs `ln x`; all values must be positive.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, PredictError> {
+        check_same_len(xs, ys, 2)?;
+        if xs.iter().any(|&x| x <= 0.0) || ys.iter().any(|&y| y <= 0.0) {
+            return Err(PredictError::Calibration(
+                "power-law fit requires positive x and y values".into(),
+            ));
+        }
+        let log_xs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let log_ys: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+        let (slope, intercept, r2) = ols(&log_xs, &log_ys)?;
+        Ok(PowerFit { c: intercept.exp(), exponent: slope, r2 })
+    }
+
+    /// The exact power law through two points.
+    pub fn through(p0: (f64, f64), p1: (f64, f64)) -> Result<Self, PredictError> {
+        Self::fit(&[p0.0, p1.0], &[p0.1, p1.1])
+    }
+
+    /// Evaluates `c·x^λ`; `x` must be positive.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.c * x.powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 2.0).collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.5).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.eval(10.0) - 33.0).abs() < 1e-12);
+        assert!((f.invert(33.0).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_noisy_fit_has_sub_unity_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.2, 2.8];
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(f.r2 < 1.0);
+        assert!(f.r2 > 0.9);
+        assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    fn linear_rejects_degenerate_inputs() {
+        assert!(LinearFit::fit(&[1.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(LinearFit::fit(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn exp_recovers_exact_exponential() {
+        let xs = [0.0, 100.0, 200.0, 300.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 84.1 * (1e-4 * x).exp()).collect();
+        let f = ExpFit::fit(&xs, &ys).unwrap();
+        assert!((f.c - 84.1).abs() < 1e-9);
+        assert!((f.lambda - 1e-4).abs() < 1e-12);
+        let x = f.invert(f.eval(250.0)).unwrap();
+        assert!((x - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_through_two_points() {
+        let f = ExpFit::through((0.0, 10.0), (100.0, 20.0)).unwrap();
+        assert!((f.eval(0.0) - 10.0).abs() < 1e-9);
+        assert!((f.eval(100.0) - 20.0).abs() < 1e-9);
+        // Doubling distance doubles again.
+        assert!((f.eval(200.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_rejects_nonpositive_y() {
+        assert!(ExpFit::fit(&[0.0, 1.0], &[0.0, 1.0]).is_err());
+        assert!(ExpFit::fit(&[0.0, 1.0], &[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn power_recovers_exact_power_law() {
+        let xs = [86.0, 186.0, 320.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 2.5 * x.powf(-1.3)).collect();
+        let f = PowerFit::fit(&xs, &ys).unwrap();
+        assert!((f.c - 2.5).abs() < 1e-9);
+        assert!((f.exponent + 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_rejects_nonpositive_values() {
+        assert!(PowerFit::fit(&[0.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(PowerFit::fit(&[1.0, 2.0], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn flat_line_inversion_errors() {
+        let f = LinearFit { slope: 0.0, intercept: 5.0, r2: 1.0 };
+        assert!(f.invert(5.0).is_err());
+        let e = ExpFit { c: 5.0, lambda: 0.0, r2: 1.0 };
+        assert!(e.invert(5.0).is_err());
+    }
+}

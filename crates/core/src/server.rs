@@ -1,0 +1,129 @@
+//! Application-server architecture descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// An application-server architecture, as visible to the prediction methods.
+///
+/// The paper's case study (§3.2) uses three architectures:
+///
+/// | name       | hardware            | max tput (typical workload) |
+/// |------------|---------------------|-----------------------------|
+/// | `AppServS` | P3 450 MHz, 128 MB  | 86 req/s (the "new" server) |
+/// | `AppServF` | P4 1.8 GHz, 256 MB  | 186 req/s (established)     |
+/// | `AppServVF`| P4 2.66 GHz, 256 MB | 320 req/s (established)     |
+///
+/// Prediction methods consume only `speed_factor` (relative request
+/// processing speed, used by the layered queuing method to scale calibrated
+/// processing times, §5) and `max_throughput_rps` (the application-specific
+/// benchmark result used by the historical method's relationship 2, §4.2).
+/// `session_memory_bytes` matters only for the caching extension (§7.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerArch {
+    /// Human-readable architecture name, e.g. `"AppServF"`.
+    pub name: String,
+    /// Request processing speed relative to the reference architecture
+    /// (`AppServF` = 1.0). Larger is faster.
+    pub speed_factor: f64,
+    /// Max throughput under the *typical* (all-browse) workload, in
+    /// requests/second, as measured by the application-specific benchmark
+    /// service of §2. This is the primary calibration input for the
+    /// historical method's relationship 2.
+    pub max_throughput_rps: f64,
+    /// Main memory available for caching per-client session data, in bytes
+    /// (the heap of §3.2). Only exercised by the §7.2 caching extension.
+    pub session_memory_bytes: u64,
+    /// Maximum number of requests the application server processes
+    /// concurrently via time sharing (50 in the case study, §5.1).
+    pub max_concurrency: u32,
+}
+
+impl ServerArch {
+    /// Creates an architecture with the case-study defaults for concurrency
+    /// (50) and a 256 MB session heap.
+    pub fn new(name: impl Into<String>, speed_factor: f64, max_throughput_rps: f64) -> Self {
+        ServerArch {
+            name: name.into(),
+            speed_factor,
+            max_throughput_rps,
+            session_memory_bytes: 256 * 1024 * 1024,
+            max_concurrency: 50,
+        }
+        .validated()
+    }
+
+    fn validated(self) -> Self {
+        debug_assert!(self.speed_factor > 0.0, "speed factor must be positive");
+        debug_assert!(self.max_throughput_rps > 0.0, "max throughput must be positive");
+        self
+    }
+
+    /// The paper's "slow" / "new" architecture (P3 450 MHz).
+    pub fn app_serv_s() -> Self {
+        let mut s = ServerArch::new("AppServS", 86.0 / 186.0, 86.0);
+        s.session_memory_bytes = 128 * 1024 * 1024;
+        s
+    }
+
+    /// The paper's "fast" established architecture (P4 1.8 GHz); the
+    /// reference for layered-queuing calibration (Table 2).
+    pub fn app_serv_f() -> Self {
+        ServerArch::new("AppServF", 1.0, 186.0)
+    }
+
+    /// The paper's "very fast" established architecture (P4 2.66 GHz).
+    pub fn app_serv_vf() -> Self {
+        ServerArch::new("AppServVF", 320.0 / 186.0, 320.0)
+    }
+
+    /// All three case-study architectures, slow to fast.
+    pub fn case_study_servers() -> Vec<ServerArch> {
+        vec![Self::app_serv_s(), Self::app_serv_f(), Self::app_serv_vf()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_ordering() {
+        let servers = ServerArch::case_study_servers();
+        assert_eq!(servers.len(), 3);
+        for w in servers.windows(2) {
+            assert!(w[0].speed_factor < w[1].speed_factor);
+            assert!(w[0].max_throughput_rps < w[1].max_throughput_rps);
+        }
+    }
+
+    #[test]
+    fn reference_server_is_unit_speed() {
+        let f = ServerArch::app_serv_f();
+        assert_eq!(f.speed_factor, 1.0);
+        assert_eq!(f.max_throughput_rps, 186.0);
+        assert_eq!(f.max_concurrency, 50);
+    }
+
+    #[test]
+    fn slow_server_has_smaller_heap() {
+        let s = ServerArch::app_serv_s();
+        let f = ServerArch::app_serv_f();
+        assert!(s.session_memory_bytes < f.session_memory_bytes);
+    }
+
+    #[test]
+    fn speed_factors_track_max_throughput() {
+        // The case-study speed factors are defined as max-throughput ratios
+        // relative to AppServF, which is how the LQ method benchmarks a new
+        // server's request processing speed (§5).
+        for srv in ServerArch::case_study_servers() {
+            let expected = srv.max_throughput_rps / 186.0;
+            assert!((srv.speed_factor - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let s = ServerArch::app_serv_vf();
+        assert_eq!(s.clone(), s);
+    }
+}

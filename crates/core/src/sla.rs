@@ -1,0 +1,160 @@
+//! Service-level-agreement response-time goals.
+//!
+//! SLAs in the paper come in two flavours (§7.1): *mean* goals ("the mean
+//! response time of class c must stay below r ms") and *percentile* goals
+//! ("p % of requests must complete within r_max ms"). The historical method
+//! can record and predict percentile metrics directly; the layered queuing
+//! and hybrid methods predict only means and must extrapolate a distribution
+//! around them (see [`crate::distribution`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A response-time goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlaGoal {
+    /// Mean response time must not exceed `max_mrt_ms`.
+    Mean {
+        /// The mean-response-time bound, ms.
+        max_mrt_ms: f64,
+    },
+    /// `percentile` percent of requests (0 < percentile < 100) must respond
+    /// within `max_rt_ms`.
+    Percentile {
+        /// The percentile the goal constrains (0 < p < 100).
+        percentile: f64,
+        /// The response-time bound at that percentile, ms.
+        max_rt_ms: f64,
+    },
+}
+
+impl SlaGoal {
+    /// A mean-response-time goal.
+    pub fn mean(max_mrt_ms: f64) -> Self {
+        assert!(max_mrt_ms > 0.0);
+        SlaGoal::Mean { max_mrt_ms }
+    }
+
+    /// A percentile goal, e.g. `SlaGoal::percentile(90.0, 600.0)` for "90 %
+    /// of requests within 600 ms".
+    pub fn percentile(percentile: f64, max_rt_ms: f64) -> Self {
+        assert!(percentile > 0.0 && percentile < 100.0);
+        assert!(max_rt_ms > 0.0);
+        SlaGoal::Percentile { percentile, max_rt_ms }
+    }
+
+    /// The response-time bound of the goal, ms (regardless of flavour).
+    pub fn bound_ms(&self) -> f64 {
+        match *self {
+            SlaGoal::Mean { max_mrt_ms } => max_mrt_ms,
+            SlaGoal::Percentile { max_rt_ms, .. } => max_rt_ms,
+        }
+    }
+
+    /// Checks a *mean* observation against a mean goal. Percentile goals
+    /// cannot be checked from a mean alone and return `None`.
+    pub fn check_mean(&self, observed_mrt_ms: f64) -> Option<bool> {
+        match *self {
+            SlaGoal::Mean { max_mrt_ms } => Some(observed_mrt_ms <= max_mrt_ms),
+            SlaGoal::Percentile { .. } => None,
+        }
+    }
+}
+
+/// An SLA: one goal per service class, keyed by class name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlaSpec {
+    entries: Vec<(String, SlaGoal)>,
+}
+
+impl SlaSpec {
+    /// An empty SLA (no goals).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the goal for `class_name`.
+    pub fn set(&mut self, class_name: impl Into<String>, goal: SlaGoal) -> &mut Self {
+        let name = class_name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = goal;
+        } else {
+            self.entries.push((name, goal));
+        }
+        self
+    }
+
+    /// Builder-style [`SlaSpec::set`].
+    pub fn with(mut self, class_name: impl Into<String>, goal: SlaGoal) -> Self {
+        self.set(class_name, goal);
+        self
+    }
+
+    /// The goal for `class_name`, if one was set.
+    pub fn goal_for(&self, class_name: &str) -> Option<SlaGoal> {
+        self.entries.iter().find(|(n, _)| n == class_name).map(|(_, g)| *g)
+    }
+
+    /// Number of classes with goals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no goals are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(class_name, goal)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SlaGoal)> {
+        self.entries.iter().map(|(n, g)| (n.as_str(), *g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_goal_checks() {
+        let g = SlaGoal::mean(300.0);
+        assert_eq!(g.check_mean(250.0), Some(true));
+        assert_eq!(g.check_mean(300.0), Some(true));
+        assert_eq!(g.check_mean(301.0), Some(false));
+        assert_eq!(g.bound_ms(), 300.0);
+    }
+
+    #[test]
+    fn percentile_goal_cannot_check_mean() {
+        let g = SlaGoal::percentile(90.0, 600.0);
+        assert_eq!(g.check_mean(100.0), None);
+        assert_eq!(g.bound_ms(), 600.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let _ = SlaGoal::percentile(100.0, 600.0);
+    }
+
+    #[test]
+    fn spec_set_and_replace() {
+        let mut spec = SlaSpec::new();
+        spec.set("buy", SlaGoal::mean(150.0));
+        spec.set("browse-hi", SlaGoal::mean(300.0));
+        assert_eq!(spec.len(), 2);
+        spec.set("buy", SlaGoal::mean(100.0));
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.goal_for("buy").unwrap().bound_ms(), 100.0);
+        assert!(spec.goal_for("nonexistent").is_none());
+    }
+
+    #[test]
+    fn builder_style() {
+        let spec = SlaSpec::new()
+            .with("buy", SlaGoal::mean(150.0))
+            .with("browse-lo", SlaGoal::percentile(90.0, 600.0));
+        assert!(!spec.is_empty());
+        let names: Vec<&str> = spec.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["buy", "browse-lo"]);
+    }
+}

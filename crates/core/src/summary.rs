@@ -1,0 +1,136 @@
+//! Offline summaries of measurement samples (means, deviations,
+//! percentiles) used when reducing simulator output to "historical data
+//! points".
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of samples (e.g. per-request response
+/// times from a measurement run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for < 2 samples.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from samples. Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        })
+    }
+
+    /// The `pct`-th percentile (0 < pct < 100) by linear interpolation
+    /// between closest ranks.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!(pct > 0.0 && pct < 100.0, "pct must be in (0,100)");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = pct / 100.0 * (n as f64 - 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Mean absolute deviation from `center` — the MLE scale estimator for
+    /// the §7.1 double-exponential distribution.
+    pub fn mean_abs_deviation(&self, center: f64) -> f64 {
+        self.sorted.iter().map(|&x| (x - center).abs()).sum::<f64>() / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[42.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.percentile(90.0), 42.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        // Sample variance with n−1 = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Summary::from_samples(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(s.median(), 25.0);
+        // 25th percentile: rank 0.75 → 10 + 0.75·10 = 17.5
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+        // Monotone.
+        assert!(s.percentile(90.0) > s.percentile(50.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::from_samples(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn mean_abs_deviation() {
+        let s = Summary::from_samples(&[90.0, 110.0, 70.0, 130.0]).unwrap();
+        assert!((s.mean_abs_deviation(100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        let _ = s.percentile(100.0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # perfpred-desim
+//!
+//! A small discrete-event simulation kernel used by `perfpred-tradesim` to
+//! stand in for the paper's physical WebSphere/Trade/DB2 testbed.
+//!
+//! The kernel provides:
+//!
+//! * [`queue::EventQueue`] — a cancellable priority queue of timestamped
+//!   events with deterministic FIFO tie-breaking;
+//! * [`rng::SimRng`] — a seeded random stream with the distributions the
+//!   simulator needs (exponential think/service times, log-normal session
+//!   sizes), implemented from scratch on top of a seeded `StdRng`;
+//! * [`station::PsStation`] — an exact (quantum-free) egalitarian
+//!   processor-sharing server with a concurrency limit and FIFO admission
+//!   queue, matching the paper's §2 server model ("a single FIFO waiting
+//!   queue is used by each application server ... both servers can process
+//!   multiple requests concurrently via time-sharing");
+//! * [`station::FifoStation`] — a non-preemptive single-server FIFO queue
+//!   (the database disk of §5, which "can only process one request at a
+//!   time");
+//! * [`stats`] — online statistics: Welford mean/variance, time-weighted
+//!   averages for utilisation, and a P² streaming quantile estimator.
+//!
+//! Time is a plain `f64` in **milliseconds** throughout the workspace.
+
+pub mod queue;
+pub mod rng;
+pub mod station;
+pub mod stats;
+
+pub use queue::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use station::{FifoStation, PsStation, StationMetrics};
+pub use stats::{P2Quantile, TimeWeighted, Welford};

@@ -1,0 +1,247 @@
+//! A cancellable event queue with deterministic ordering.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous
+//! events fire in the order they were scheduled — which keeps simulations
+//! bit-for-bit reproducible for a given seed. Cancellation is *lazy*: a
+//! cancelled handle leaves a tombstone that is skipped on pop, which keeps
+//! both `schedule` and `cancel` O(log n) / O(1).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first. `time` is
+        // never NaN (asserted on schedule), so `partial_cmp` cannot fail.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event time is NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue. `E` is the caller's event payload type.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (0 before any pop).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time` (must be ≥ `now()` and
+    /// finite). Returns a handle usable with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: f64, payload: E) -> EventHandle {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Schedules `payload` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventHandle {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pops the next live event, advancing the clock to its time. Returns
+    /// `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        // Drop leading tombstones so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live events (excludes cancelled-but-unpopped tombstones).
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 1);
+        q.schedule(2.0, 2);
+        q.schedule(2.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 4.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "first");
+        q.pop();
+        q.schedule_in(5.0, "second");
+        assert_eq!(q.pop(), Some((15.0, "second")));
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(1.0, "dead");
+        q.schedule(2.0, "alive");
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((2.0, "alive")));
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(1.0, ());
+        q.cancel(h);
+        q.cancel(h);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(1.0, "dead");
+        q.schedule(3.0, "alive");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(3.0));
+        assert_eq!(q.pop(), Some((3.0, "alive")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, ());
+        q.pop();
+        q.schedule(5.0, ());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,487 @@
+//! Queueing stations: exact processor sharing and single-server FIFO.
+//!
+//! Both stations are *passive*: they never schedule events themselves.
+//! The driving engine asks [`PsStation::next_completion`] /
+//! [`FifoStation::next_completion`] after every mutation and (re)schedules a
+//! completion event in its own [`crate::queue::EventQueue`]. On firing the
+//! event, the engine calls `pop_completed` to collect finished jobs.
+//!
+//! Work is measured in **milliseconds of dedicated CPU at speed 1.0**; a
+//! station with `speed = 2.0` completes 1 ms of work in 0.5 ms of simulated
+//! time when a job runs alone.
+
+use std::collections::VecDeque;
+
+/// Completion tolerance: 1e-6 ms (one nanosecond) of residual work.
+const WORK_EPS: f64 = 1e-6;
+
+/// Aggregate counters every station keeps; used to derive utilisation,
+/// mean queue lengths and throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StationMetrics {
+    /// Total time with at least one job in service, ms.
+    pub busy_time_ms: f64,
+    /// Number of jobs completed.
+    pub completed: u64,
+    /// Time-integral of the number of jobs in service (∫ n_active dt).
+    pub area_in_service: f64,
+    /// Time-integral of the number of jobs waiting for admission
+    /// (∫ n_queue dt).
+    pub area_in_queue: f64,
+}
+
+impl StationMetrics {
+    /// Server utilisation over `[0, horizon_ms]` (fraction of time busy).
+    pub fn utilization(&self, horizon_ms: f64) -> f64 {
+        if horizon_ms <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time_ms / horizon_ms).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Mean number of jobs at the station (in service + queued) over the
+    /// horizon — Little's-law cross-check material.
+    pub fn mean_jobs(&self, horizon_ms: f64) -> f64 {
+        if horizon_ms <= 0.0 {
+            0.0
+        } else {
+            (self.area_in_service + self.area_in_queue) / horizon_ms
+        }
+    }
+}
+
+struct PsJob<J> {
+    payload: J,
+    remaining: f64,
+}
+
+/// An egalitarian processor-sharing server with a concurrency limit and a
+/// FIFO admission queue (the §2 application/database server model: one FIFO
+/// waiting queue, up to `limit` requests processed concurrently via time
+/// sharing on one CPU).
+///
+/// The simulation is exact (quantum-free): job remaining-work is depleted
+/// analytically between events, and completion instants are computed in
+/// closed form.
+///
+/// ```
+/// use perfpred_desim::PsStation;
+///
+/// let mut cpu: PsStation<&str> = PsStation::new(1.0, 50);
+/// cpu.arrive(0.0, "a", 10.0);
+/// cpu.arrive(0.0, "b", 10.0);
+/// // Two equal jobs share the processor: both finish at t = 20.
+/// assert_eq!(cpu.next_completion(), Some(20.0));
+/// assert_eq!(cpu.pop_completed(20.0), vec!["a", "b"]);
+/// ```
+pub struct PsStation<J> {
+    speed: f64,
+    limit: usize,
+    active: Vec<PsJob<J>>,
+    waiting: VecDeque<PsJob<J>>,
+    last_time: f64,
+    metrics: StationMetrics,
+}
+
+impl<J> PsStation<J> {
+    /// A station with the given speed multiplier and concurrency limit.
+    pub fn new(speed: f64, limit: usize) -> Self {
+        assert!(speed > 0.0, "station speed must be positive");
+        assert!(limit > 0, "concurrency limit must be positive");
+        PsStation {
+            speed,
+            limit,
+            active: Vec::new(),
+            waiting: VecDeque::new(),
+            last_time: 0.0,
+            metrics: StationMetrics::default(),
+        }
+    }
+
+    /// The station's speed multiplier.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Jobs currently in service.
+    pub fn in_service(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Jobs waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> StationMetrics {
+        self.metrics
+    }
+
+    /// Advances internal accounting to `now`, depleting remaining work.
+    /// The engine must not advance past a pending completion (it learns the
+    /// completion time from [`PsStation::next_completion`]).
+    pub fn advance_to(&mut self, now: f64) {
+        debug_assert!(now >= self.last_time - 1e-9, "time went backwards");
+        let dt = (now - self.last_time).max(0.0);
+        if dt > 0.0 {
+            let n = self.active.len();
+            if n > 0 {
+                let per_job = self.speed * dt / n as f64;
+                for job in &mut self.active {
+                    job.remaining -= per_job;
+                    debug_assert!(
+                        job.remaining > -1e-3,
+                        "advanced past a completion: residual {}",
+                        job.remaining
+                    );
+                }
+                self.metrics.busy_time_ms += dt;
+                self.metrics.area_in_service += dt * n as f64;
+            }
+            self.metrics.area_in_queue += dt * self.waiting.len() as f64;
+        }
+        self.last_time = now;
+    }
+
+    /// A job arrives at `now` bringing `work` ms of speed-1.0 CPU demand.
+    /// It enters service immediately if a slot is free, else queues FIFO.
+    pub fn arrive(&mut self, now: f64, payload: J, work: f64) {
+        assert!(work > 0.0, "job work must be positive");
+        self.advance_to(now);
+        let job = PsJob { payload, remaining: work };
+        if self.active.len() < self.limit {
+            self.active.push(job);
+        } else {
+            self.waiting.push_back(job);
+        }
+    }
+
+    /// The absolute time of the next job completion given the current job
+    /// set, or `None` if idle. Only valid immediately after a mutation or
+    /// `advance_to(now)`.
+    pub fn next_completion(&self) -> Option<f64> {
+        let n = self.active.len();
+        if n == 0 {
+            return None;
+        }
+        let min_rem = self
+            .active
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        Some(self.last_time + min_rem.max(0.0) * n as f64 / self.speed)
+    }
+
+    /// Collects every job whose work is exhausted at `now`, admitting queued
+    /// jobs into the freed slots. Returns completed payloads in admission
+    /// order.
+    pub fn pop_completed(&mut self, now: f64) -> Vec<J> {
+        self.advance_to(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining <= WORK_EPS {
+                let job = self.active.remove(i);
+                self.metrics.completed += 1;
+                done.push(job.payload);
+            } else {
+                i += 1;
+            }
+        }
+        while self.active.len() < self.limit {
+            match self.waiting.pop_front() {
+                Some(job) => self.active.push(job),
+                None => break,
+            }
+        }
+        done
+    }
+}
+
+enum FifoState<J> {
+    Idle,
+    Busy { payload: J, finish: f64 },
+}
+
+/// A non-preemptive single-server FIFO queue — the database disk of §5,
+/// "modelled as a processor that can only process one request at a time".
+pub struct FifoStation<J> {
+    speed: f64,
+    state: FifoState<J>,
+    waiting: VecDeque<(J, f64)>,
+    last_time: f64,
+    metrics: StationMetrics,
+}
+
+impl<J> FifoStation<J> {
+    /// A FIFO station with the given speed multiplier.
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0, "station speed must be positive");
+        FifoStation {
+            speed,
+            state: FifoState::Idle,
+            waiting: VecDeque::new(),
+            last_time: 0.0,
+            metrics: StationMetrics::default(),
+        }
+    }
+
+    /// True if a job is in service.
+    pub fn is_busy(&self) -> bool {
+        matches!(self.state, FifoState::Busy { .. })
+    }
+
+    /// Jobs waiting behind the one in service.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> StationMetrics {
+        self.metrics
+    }
+
+    fn account_to(&mut self, now: f64) {
+        let dt = (now - self.last_time).max(0.0);
+        if dt > 0.0 {
+            if self.is_busy() {
+                self.metrics.busy_time_ms += dt;
+                self.metrics.area_in_service += dt;
+            }
+            self.metrics.area_in_queue += dt * self.waiting.len() as f64;
+        }
+        self.last_time = now;
+    }
+
+    /// A job arrives at `now` with `work` ms of speed-1.0 demand.
+    pub fn arrive(&mut self, now: f64, payload: J, work: f64) {
+        assert!(work > 0.0, "job work must be positive");
+        self.account_to(now);
+        match self.state {
+            FifoState::Idle => {
+                self.state = FifoState::Busy { payload, finish: now + work / self.speed };
+            }
+            FifoState::Busy { .. } => self.waiting.push_back((payload, work)),
+        }
+    }
+
+    /// The absolute completion time of the job in service, if any.
+    pub fn next_completion(&self) -> Option<f64> {
+        match &self.state {
+            FifoState::Idle => None,
+            FifoState::Busy { finish, .. } => Some(*finish),
+        }
+    }
+
+    /// Completes the in-service job if its finish time has arrived, starting
+    /// the next queued job. Returns the completed payload.
+    pub fn pop_completed(&mut self, now: f64) -> Option<J> {
+        self.account_to(now);
+        let finish = match &self.state {
+            FifoState::Busy { finish, .. } => *finish,
+            FifoState::Idle => return None,
+        };
+        if finish > now + WORK_EPS {
+            return None;
+        }
+        let prev = std::mem::replace(&mut self.state, FifoState::Idle);
+        let payload = match prev {
+            FifoState::Busy { payload, .. } => payload,
+            FifoState::Idle => unreachable!(),
+        };
+        self.metrics.completed += 1;
+        if let Some((next, work)) = self.waiting.pop_front() {
+            self.state = FifoState::Busy { payload: next, finish: now + work / self.speed };
+        }
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // --- PsStation ---
+
+    #[test]
+    fn lone_job_runs_at_full_speed() {
+        let mut ps: PsStation<&str> = PsStation::new(2.0, 10);
+        ps.arrive(0.0, "a", 10.0);
+        assert_eq!(ps.next_completion(), Some(5.0)); // 10 units at speed 2
+        let done = ps.pop_completed(5.0);
+        assert_eq!(done, vec!["a"]);
+        assert_eq!(ps.next_completion(), None);
+    }
+
+    #[test]
+    fn two_equal_jobs_share_the_processor() {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 10);
+        ps.arrive(0.0, 1, 10.0);
+        ps.arrive(0.0, 2, 10.0);
+        // Each gets half the CPU: both finish at t=20.
+        assert_eq!(ps.next_completion(), Some(20.0));
+        let done = ps.pop_completed(20.0);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn late_arrival_slows_the_first_job() {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 10);
+        ps.arrive(0.0, 1, 10.0);
+        // At t=5, job 1 has 5 units left; job 2 arrives with 5 units.
+        ps.arrive(5.0, 2, 5.0);
+        // Now sharing: each depletes at 0.5/ms, both finish at t=15.
+        assert_eq!(ps.next_completion(), Some(15.0));
+        let done = ps.pop_completed(15.0);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn unequal_jobs_complete_in_work_order() {
+        let mut ps: PsStation<&str> = PsStation::new(1.0, 10);
+        ps.arrive(0.0, "short", 4.0);
+        ps.arrive(0.0, "long", 12.0);
+        // Sharing: short finishes when it has received 4 units at rate 1/2
+        // → t=8; long then has 8 units left, alone → t=16.
+        assert_eq!(ps.next_completion(), Some(8.0));
+        assert_eq!(ps.pop_completed(8.0), vec!["short"]);
+        assert_eq!(ps.next_completion(), Some(16.0));
+        assert_eq!(ps.pop_completed(16.0), vec!["long"]);
+    }
+
+    #[test]
+    fn concurrency_limit_queues_fifo() {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 2);
+        ps.arrive(0.0, 1, 10.0);
+        ps.arrive(0.0, 2, 10.0);
+        ps.arrive(0.0, 3, 10.0);
+        ps.arrive(0.0, 4, 10.0);
+        assert_eq!(ps.in_service(), 2);
+        assert_eq!(ps.queued(), 2);
+        // Jobs 1,2 finish at t=20; jobs 3,4 admitted then.
+        let done = ps.pop_completed(20.0);
+        assert_eq!(done, vec![1, 2]);
+        assert_eq!(ps.in_service(), 2);
+        assert_eq!(ps.queued(), 0);
+        assert_eq!(ps.next_completion(), Some(40.0));
+        assert_eq!(ps.pop_completed(40.0), vec![3, 4]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut ps: PsStation<()> = PsStation::new(1.0, 4);
+        ps.arrive(0.0, (), 10.0);
+        ps.pop_completed(10.0);
+        ps.advance_to(20.0); // idle 10 ms
+        let m = ps.metrics();
+        assert!((m.busy_time_ms - 10.0).abs() < 1e-9);
+        assert!((m.utilization(20.0) - 0.5).abs() < 1e-9);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn mean_jobs_tracks_queue_and_service() {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 1);
+        ps.arrive(0.0, 1, 10.0);
+        ps.arrive(0.0, 2, 10.0); // waits 10 ms
+        ps.pop_completed(10.0);
+        ps.pop_completed(20.0);
+        let m = ps.metrics();
+        // In service: 1 job for 20 ms; queued: 1 job for 10 ms.
+        assert!((m.area_in_service - 20.0).abs() < 1e-9);
+        assert!((m.area_in_queue - 10.0).abs() < 1e-9);
+        assert!((m.mean_jobs(20.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pop_before_completion_returns_nothing() {
+        let mut ps: PsStation<()> = PsStation::new(1.0, 4);
+        ps.arrive(0.0, (), 10.0);
+        assert!(ps.pop_completed(5.0).is_empty());
+        assert_eq!(ps.in_service(), 1);
+        // Completion time shifts out as expected after the partial advance.
+        assert_eq!(ps.next_completion(), Some(10.0));
+    }
+
+    #[test]
+    fn simultaneous_completions_pop_together() {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 8);
+        for i in 0..4 {
+            ps.arrive(0.0, i, 8.0);
+        }
+        assert_eq!(ps.next_completion(), Some(32.0));
+        assert_eq!(ps.pop_completed(32.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_work_job_panics() {
+        let mut ps: PsStation<()> = PsStation::new(1.0, 1);
+        ps.arrive(0.0, (), 0.0);
+    }
+
+    // --- FifoStation ---
+
+    #[test]
+    fn fifo_serves_in_order() {
+        let mut d: FifoStation<&str> = FifoStation::new(1.0);
+        d.arrive(0.0, "a", 5.0);
+        d.arrive(1.0, "b", 5.0);
+        d.arrive(2.0, "c", 5.0);
+        assert_eq!(d.next_completion(), Some(5.0));
+        assert_eq!(d.pop_completed(5.0), Some("a"));
+        assert_eq!(d.next_completion(), Some(10.0));
+        assert_eq!(d.pop_completed(10.0), Some("b"));
+        assert_eq!(d.pop_completed(15.0), Some("c"));
+        assert_eq!(d.pop_completed(16.0), None);
+    }
+
+    #[test]
+    fn fifo_is_nonpreemptive() {
+        let mut d: FifoStation<&str> = FifoStation::new(1.0);
+        d.arrive(0.0, "long", 100.0);
+        d.arrive(1.0, "short", 1.0);
+        // Short must wait for long despite being shorter.
+        assert_eq!(d.pop_completed(100.0), Some("long"));
+        assert_eq!(d.next_completion(), Some(101.0));
+    }
+
+    #[test]
+    fn fifo_speed_scales_service() {
+        let mut d: FifoStation<()> = FifoStation::new(4.0);
+        d.arrive(0.0, (), 8.0);
+        assert_eq!(d.next_completion(), Some(2.0));
+    }
+
+    #[test]
+    fn fifo_idle_gap_resets_clock() {
+        let mut d: FifoStation<u32> = FifoStation::new(1.0);
+        d.arrive(0.0, 1, 2.0);
+        assert_eq!(d.pop_completed(2.0), Some(1));
+        d.arrive(10.0, 2, 2.0);
+        assert_eq!(d.next_completion(), Some(12.0));
+        let m = d.metrics();
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn fifo_premature_pop_is_none() {
+        let mut d: FifoStation<()> = FifoStation::new(1.0);
+        d.arrive(0.0, (), 10.0);
+        assert_eq!(d.pop_completed(3.0), None);
+        assert!(d.is_busy());
+    }
+
+    #[test]
+    fn fifo_metrics_busy_time() {
+        let mut d: FifoStation<u32> = FifoStation::new(1.0);
+        d.arrive(0.0, 1, 5.0);
+        d.pop_completed(5.0);
+        d.account_to(10.0);
+        let m = d.metrics();
+        assert!((m.busy_time_ms - 5.0).abs() < 1e-9);
+        assert!((m.utilization(10.0) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,397 @@
+//! Online statistics: Welford mean/variance, time-weighted averages, and
+//! the P² streaming quantile estimator.
+
+/// Welford's online algorithm for mean and variance — numerically stable
+/// one-pass accumulation of response-time samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1); 0 with < 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (queue length,
+/// utilisation level, cache occupancy, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeighted {
+    last_time: f64,
+    last_value: f64,
+    area: f64,
+    start: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `time` with initial `value`.
+    pub fn new(time: f64, value: f64) -> Self {
+        TimeWeighted { last_time: time, last_value: value, area: 0.0, start: time }
+    }
+
+    /// Records a new value effective from `time` on.
+    pub fn set(&mut self, time: f64, value: f64) {
+        debug_assert!(time >= self.last_time - 1e-9, "time went backwards");
+        self.area += self.last_value * (time - self.last_time).max(0.0);
+        self.last_time = time;
+        self.last_value = value;
+    }
+
+    /// The time-weighted mean up to `time`.
+    pub fn mean_until(&self, time: f64) -> f64 {
+        let span = time - self.start;
+        if span <= 0.0 {
+            return self.last_value;
+        }
+        let area = self.area + self.last_value * (time - self.last_time).max(0.0);
+        area / span
+    }
+
+    /// The current (last-set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// The P² algorithm (Jain & Chlamtac 1985): streaming estimation of a single
+/// quantile with O(1) memory — used for online percentile tracking when
+/// storing every response-time sample would be too expensive.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` in (0, 1) — e.g. 0.9 for the 90th
+    /// percentile used by the paper's §7.1 SLA metric.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find the cell k containing x and update extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers with the piecewise-parabolic formula.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate. For fewer than 5 samples, falls back
+    /// to the exact empirical quantile of what has been seen.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = (self.p * (v.len() as f64 - 1.0)).round() as usize;
+            return v[rank.min(v.len() - 1)];
+        }
+        self.q[2]
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), 3.0);
+        assert_eq!(w1.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e.mean(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.set(10.0, 2.0); // 0 for [0,10)
+        tw.set(20.0, 4.0); // 2 for [10,20)
+        // mean over [0,30): (0·10 + 2·10 + 4·10)/30 = 2
+        assert!((tw.mean_until(30.0) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(5.0, 3.0);
+        assert_eq!(tw.mean_until(5.0), 3.0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_ramp() {
+        let mut p2 = P2Quantile::new(0.5);
+        for i in 1..=10_001 {
+            p2.push(f64::from(i));
+        }
+        let est = p2.estimate();
+        assert!((est - 5_001.0).abs() / 5_001.0 < 0.02, "estimate {est}");
+    }
+
+    #[test]
+    fn p2_p90_of_known_distribution() {
+        // Exponential with mean 100 via inverse transform on a low-discrepancy
+        // ramp; true p90 = 100·ln(10) ≈ 230.26.
+        let mut p2 = P2Quantile::new(0.9);
+        let n = 50_000;
+        for i in 0..n {
+            // Van der Corput sequence in base 2 for deterministic uniforms.
+            let mut u = 0.0;
+            let mut denom = 0.5;
+            let mut k = i + 1;
+            while k > 0 {
+                if k & 1 == 1 {
+                    u += denom;
+                }
+                denom *= 0.5;
+                k >>= 1;
+            }
+            let x: f64 = -100.0 * (1.0f64 - u).max(1e-12).ln();
+            p2.push(x);
+        }
+        let est = p2.estimate();
+        let truth = 100.0 * 10.0f64.ln();
+        assert!((est - truth).abs() / truth < 0.05, "estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn p2_few_samples_falls_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.9);
+        p2.push(10.0);
+        p2.push(30.0);
+        p2.push(20.0);
+        assert_eq!(p2.count(), 3);
+        // Exact rank-based estimate on 3 samples: round(0.9·2)=2 → 30.
+        assert_eq!(p2.estimate(), 30.0);
+        assert_eq!(P2Quantile::new(0.5).estimate(), 0.0);
+    }
+
+    #[test]
+    fn p2_monotone_marker_heights() {
+        let mut p2 = P2Quantile::new(0.75);
+        for i in 0..5_000 {
+            let x = ((i * 2_654_435_761_u64) % 10_000) as f64;
+            p2.push(x);
+        }
+        for w in p2.q.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "markers out of order: {:?}", p2.q);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

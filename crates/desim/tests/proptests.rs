@@ -1,0 +1,162 @@
+//! Property-based tests for the simulation kernel.
+
+use perfpred_desim::{EventQueue, P2Quantile, PsStation, SimRng, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in proptest::collection::vec(0.0f64..1e6, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times.iter().enumerate().map(|(i, &t)| (q.schedule(t, i), i)).collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for ((h, i), &c) in handles.iter().zip(cancel_mask.iter()) {
+            if c {
+                q.cancel(*h);
+                cancelled.insert(*i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "cancelled event {} fired", i);
+            seen.insert(i);
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+    }
+
+    /// Welford mean/variance agree with the naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..400)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(1.0);
+        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        let vscale = var.abs().max(1.0);
+        prop_assert!((w.variance() - var).abs() / vscale < 1e-6);
+    }
+
+    /// Welford merge is equivalent to sequential accumulation at any split.
+    #[test]
+    fn welford_merge_any_split(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9 * all.mean().abs().max(1.0));
+        prop_assert_eq!(a.count(), all.count());
+    }
+
+    /// A PS station conserves work: every job admitted eventually
+    /// completes, and completion times never precede arrivals.
+    #[test]
+    fn ps_station_conserves_jobs(
+        seed in any::<u64>(),
+        n_jobs in 1usize..60,
+        limit in 1usize..8,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut ps: PsStation<usize> = PsStation::new(1.0, limit);
+        let mut t = 0.0;
+        let mut arrivals = vec![0.0f64; n_jobs];
+        let mut completed = vec![false; n_jobs];
+        for i in 0..n_jobs {
+            t += rng.exp(2.0);
+            // Drain completions due before this arrival — the engine
+            // contract: never advance a station past a pending completion.
+            while let Some(ct) = ps.next_completion() {
+                if ct > t {
+                    break;
+                }
+                for id in ps.pop_completed(ct) {
+                    prop_assert!(ct >= arrivals[id] - 1e-9);
+                    prop_assert!(!completed[id]);
+                    completed[id] = true;
+                }
+            }
+            arrivals[i] = t;
+            ps.arrive(t, i, rng.exp(5.0).max(1e-6));
+        }
+        // Drain.
+        let mut guard = 0;
+        while let Some(ct) = ps.next_completion() {
+            for id in ps.pop_completed(ct) {
+                prop_assert!(!completed[id]);
+                completed[id] = true;
+            }
+            guard += 1;
+            prop_assert!(guard < 10 * n_jobs, "drain did not terminate");
+        }
+        prop_assert!(completed.iter().all(|&c| c));
+        prop_assert_eq!(ps.metrics().completed as usize, n_jobs);
+    }
+
+    /// The P² estimate is always within the observed sample range.
+    #[test]
+    fn p2_within_range(seed in any::<u64>(), n in 5usize..2000, p in 0.05f64..0.95) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut p2 = P2Quantile::new(p);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let x = rng.exp(100.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            p2.push(x);
+        }
+        let est = p2.estimate();
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate {} outside [{}, {}]", est, lo, hi);
+    }
+
+    /// Derived RNG streams are deterministic functions of (seed, id).
+    #[test]
+    fn rng_derivation_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+        let a: Vec<u64> = {
+            let mut r = SimRng::seed_from(seed).derive(stream);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::seed_from(seed).derive(stream);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+}

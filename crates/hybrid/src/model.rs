@@ -1,0 +1,280 @@
+//! The assembled hybrid model.
+
+use crate::pseudo::generate_observations;
+use perfpred_core::{
+    PerformanceModel, PredictError, Prediction, ServerArch, Workload,
+};
+use perfpred_hydra::HistoricalModel;
+use perfpred_lqns::LqnPredictor;
+use std::time::{Duration, Instant};
+
+/// Options for hybrid calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridOptions {
+    /// Pseudo points for the lower equation per server (§6: max 4).
+    pub n_lower: usize,
+    /// Pseudo points for the upper equation per server.
+    pub n_upper: usize,
+    /// Buy percentages at which relationship 3 is calibrated from the LQN.
+    /// The paper calibrates at 0 % and 25 % on AppServF; the default here
+    /// covers the full range because the resource manager's greedy
+    /// allocation creates pure-buy servers, where a 0–25 % line
+    /// extrapolates poorly.
+    pub r3_buy_pcts: Vec<f64>,
+    /// Mean client think time, ms.
+    pub think_ms: f64,
+}
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            n_lower: 2,
+            n_upper: 2,
+            r3_buy_pcts: vec![0.0, 25.0, 50.0, 100.0],
+            think_ms: 7_000.0,
+        }
+    }
+}
+
+/// Accounting for the hybrid method's one-off start-up cost (§8.5: "as
+/// short as an 11 second delay" on the paper's hardware; afterwards
+/// "predictions are almost instantaneous").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StartupReport {
+    /// LQN solves performed during calibration.
+    pub lqn_solves: usize,
+    /// Pseudo data points generated.
+    pub pseudo_points: usize,
+    /// Wall-clock calibration time.
+    pub elapsed: Duration,
+}
+
+/// The hybrid model: a [`HistoricalModel`] whose "historical" data came
+/// from a layered queuing model.
+#[derive(Debug, Clone)]
+pub struct HybridModel {
+    historical: HistoricalModel,
+    startup: StartupReport,
+    advanced: bool,
+}
+
+impl HybridModel {
+    /// Builds an **advanced** hybrid model (§6): pseudo data is generated
+    /// for every *target* architecture, so each is treated as established.
+    pub fn advanced(
+        predictor: &LqnPredictor,
+        target_servers: &[ServerArch],
+        opts: &HybridOptions,
+    ) -> Result<Self, PredictError> {
+        Self::build(predictor, target_servers, opts, true)
+    }
+
+    /// Builds a **basic** hybrid model: pseudo data only for the
+    /// `established_servers`; other architectures go through
+    /// relationship 2.
+    pub fn basic(
+        predictor: &LqnPredictor,
+        established_servers: &[ServerArch],
+        opts: &HybridOptions,
+    ) -> Result<Self, PredictError> {
+        Self::build(predictor, established_servers, opts, false)
+    }
+
+    fn build(
+        predictor: &LqnPredictor,
+        servers: &[ServerArch],
+        opts: &HybridOptions,
+        advanced: bool,
+    ) -> Result<Self, PredictError> {
+        if servers.is_empty() {
+            return Err(PredictError::Calibration(
+                "hybrid calibration needs at least one server".into(),
+            ));
+        }
+        let start = Instant::now();
+        let mut solves = 0usize;
+        let mut points = 0usize;
+        let mut builder = HistoricalModel::builder().think_time_ms(opts.think_ms);
+
+        for server in servers {
+            let (obs, s) =
+                generate_observations(predictor, server, opts.n_lower, opts.n_upper, opts.think_ms)?;
+            solves += s;
+            points += obs.point_count();
+            builder = builder.observations(obs);
+        }
+
+        // Relationship 3 from LQN max throughputs at the configured buy
+        // mixes on the first (reference) server.
+        if opts.r3_buy_pcts.len() >= 2 {
+            let reference = &servers[0];
+            let mut r3 = Vec::with_capacity(opts.r3_buy_pcts.len());
+            for &b in &opts.r3_buy_pcts {
+                let template = Workload::with_buy_pct(1_000, b);
+                let mx = predictor.max_throughput_rps(reference, &template)?;
+                solves += 16;
+                r3.push((b, mx));
+            }
+            builder = builder.r3_points(&r3);
+        }
+
+        // Class deviation factors from one two-class LQN solve at a
+        // moderate load on the reference server.
+        {
+            let reference = &servers[0];
+            let w = Workload::with_buy_pct(800, 25.0);
+            let p = predictor.predict(reference, &w)?;
+            solves += 1;
+            if p.mrt_ms > 0.0 && p.per_class_mrt_ms.len() == 2 {
+                builder = builder
+                    .class_deviation(p.per_class_mrt_ms[0] / p.mrt_ms, p.per_class_mrt_ms[1] / p.mrt_ms);
+            }
+        }
+
+        let historical = builder.build()?;
+        Ok(HybridModel {
+            historical,
+            startup: StartupReport { lqn_solves: solves, pseudo_points: points, elapsed: start.elapsed() },
+            advanced,
+        })
+    }
+
+    /// The start-up cost incurred building this model.
+    pub fn startup(&self) -> StartupReport {
+        self.startup
+    }
+
+    /// Whether this is the advanced variant.
+    pub fn is_advanced(&self) -> bool {
+        self.advanced
+    }
+
+    /// The underlying historical model.
+    pub fn historical(&self) -> &HistoricalModel {
+        &self.historical
+    }
+}
+
+impl PerformanceModel for HybridModel {
+    fn method_name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+        self.historical.predict(server, workload)
+    }
+
+    fn max_clients(
+        &self,
+        server: &ServerArch,
+        template: &Workload,
+        rt_goal_ms: f64,
+    ) -> Result<u32, PredictError> {
+        self.historical.max_clients(server, template, rt_goal_ms)
+    }
+
+    /// The pseudo data is generated from *mean-value* LQN solutions, so
+    /// direct percentile recording is impossible (§8.2: a limitation the
+    /// hybrid method inherits from the layered queuing method).
+    fn supports_direct_percentiles(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfpred_core::accuracy_pct;
+    use perfpred_lqns::trade::TradeLqnConfig;
+
+    fn predictor() -> LqnPredictor {
+        LqnPredictor::new(TradeLqnConfig::paper_table2())
+    }
+
+    fn servers() -> Vec<ServerArch> {
+        ServerArch::case_study_servers()
+    }
+
+    #[test]
+    fn advanced_hybrid_tracks_the_lqn() {
+        let pred = predictor();
+        let hybrid = HybridModel::advanced(&pred, &servers(), &HybridOptions::default()).unwrap();
+        assert!(hybrid.is_advanced());
+        // The paper reports hybrid accuracy similar to the LQN's; compare
+        // the two methods directly across the operating range.
+        for server in servers() {
+            for frac in [0.3, 0.6, 1.3] {
+                let n_star = pred
+                    .max_throughput_rps(&server, &Workload::typical(100))
+                    .unwrap()
+                    * 7.0;
+                let n = (n_star * frac) as u32;
+                let lqn = pred.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
+                let hyb = hybrid.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
+                assert!(
+                    accuracy_pct(hyb, lqn) > 60.0,
+                    "{} at {n}: hybrid {hyb} vs lqn {lqn}",
+                    server.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn startup_report_counts_work() {
+        let hybrid =
+            HybridModel::advanced(&predictor(), &servers(), &HybridOptions::default()).unwrap();
+        let s = hybrid.startup();
+        // 3 servers × 4 points + R3 + deviation solves.
+        assert!(s.pseudo_points >= 12, "points {}", s.pseudo_points);
+        assert!(s.lqn_solves > s.pseudo_points);
+        assert!(s.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn basic_hybrid_extrapolates_new_architecture() {
+        let pred = predictor();
+        let established = vec![ServerArch::app_serv_f(), ServerArch::app_serv_vf()];
+        let hybrid = HybridModel::basic(&pred, &established, &HybridOptions::default()).unwrap();
+        assert!(!hybrid.is_advanced());
+        // AppServS was never given pseudo data: relationship 2 handles it.
+        let p = hybrid.predict(&ServerArch::app_serv_s(), &Workload::typical(300)).unwrap();
+        assert!(p.mrt_ms > 0.0);
+        assert!(p.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_predictions_supported() {
+        let hybrid =
+            HybridModel::advanced(&predictor(), &servers(), &HybridOptions::default()).unwrap();
+        let w = Workload::with_buy_pct(1_000, 25.0);
+        let p = hybrid.predict(&ServerArch::app_serv_s(), &w).unwrap();
+        assert_eq!(p.per_class_mrt_ms.len(), 2);
+        // Buy class slower than browse (deviation factors from the LQN).
+        assert!(p.per_class_mrt_ms[1] > p.per_class_mrt_ms[0]);
+    }
+
+    #[test]
+    fn no_direct_percentiles() {
+        let hybrid =
+            HybridModel::advanced(&predictor(), &servers()[..1], &HybridOptions::default())
+                .unwrap();
+        assert!(!hybrid.supports_direct_percentiles());
+        assert_eq!(hybrid.method_name(), "hybrid");
+    }
+
+    #[test]
+    fn empty_server_list_rejected() {
+        assert!(HybridModel::advanced(&predictor(), &[], &HybridOptions::default()).is_err());
+    }
+
+    #[test]
+    fn max_clients_is_closed_form_consistent() {
+        let hybrid =
+            HybridModel::advanced(&predictor(), &servers(), &HybridOptions::default()).unwrap();
+        let f = ServerArch::app_serv_f();
+        let n = hybrid.max_clients(&f, &Workload::typical(100), 200.0).unwrap();
+        let at = hybrid.predict(&f, &Workload::typical(n)).unwrap().mrt_ms;
+        assert!(at <= 200.0 + 1e-6);
+    }
+}

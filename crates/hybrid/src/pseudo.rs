@@ -1,0 +1,109 @@
+//! Pseudo-historical data generation from a layered queuing model.
+
+use perfpred_core::{PerformanceModel, PredictError, ServerArch, Workload};
+use perfpred_hydra::{ServerObservations, TRANSITION_HIGH, TRANSITION_LOW};
+use perfpred_lqns::LqnPredictor;
+
+/// Placement of generated points, as fractions of the max-throughput load:
+/// lower-equation points end at the transition edge (66 %), upper-equation
+/// points start at the other edge (110 %) — the anchor choice §4.2's
+/// supporting experiments use.
+const LOWER_START: f64 = 0.15;
+const UPPER_END: f64 = 1.60;
+
+/// Generates a [`ServerObservations`] set for `server` by evaluating the
+/// layered queuing model at `n_lower` points below the transition region
+/// and `n_upper` points above it (the paper's advanced model uses "a
+/// maximum of 4 historical data points for the lower and upper relationship
+/// 1 equations", §6).
+///
+/// Returns the observations and the number of LQN solves performed (the
+/// quantity behind the hybrid start-up delay).
+pub fn generate_observations(
+    predictor: &LqnPredictor,
+    server: &ServerArch,
+    n_lower: usize,
+    n_upper: usize,
+    think_ms: f64,
+) -> Result<(ServerObservations, usize), PredictError> {
+    if n_lower < 2 || n_upper < 2 {
+        return Err(PredictError::Calibration(
+            "need at least two pseudo points per equation".into(),
+        ));
+    }
+    let mut solves = 0usize;
+
+    // Benchmark the architecture's max throughput with the LQN itself.
+    let template = Workload::typical(100);
+    let mx = predictor.max_throughput_rps(server, &template)?;
+    solves += 16; // the search budget (upper bound; see LqnPredictor docs)
+
+    let m = 1_000.0 / think_ms; // the §4.1 think-time-derived gradient
+    let n_star = mx / m;
+
+    let mut obs = ServerObservations::new(server.name.clone(), mx);
+    for i in 0..n_lower {
+        let frac = LOWER_START
+            + (TRANSITION_LOW - LOWER_START) * i as f64 / (n_lower as f64 - 1.0);
+        let clients = (frac * n_star).round().max(1.0);
+        let p = predictor.predict(server, &Workload::typical(clients as u32))?;
+        solves += 1;
+        obs.lower_points.push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
+        obs.throughput_points.push((clients, p.throughput_rps));
+    }
+    for i in 0..n_upper {
+        let frac =
+            TRANSITION_HIGH + (UPPER_END - TRANSITION_HIGH) * i as f64 / (n_upper as f64 - 1.0);
+        let clients = (frac * n_star).round();
+        let p = predictor.predict(server, &Workload::typical(clients as u32))?;
+        solves += 1;
+        obs.upper_points.push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
+    }
+    Ok((obs, solves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfpred_lqns::trade::TradeLqnConfig;
+
+    fn predictor() -> LqnPredictor {
+        LqnPredictor::new(TradeLqnConfig::paper_table2())
+    }
+
+    #[test]
+    fn generates_requested_point_counts() {
+        let (obs, solves) =
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 2, 2, 7_000.0)
+                .unwrap();
+        assert_eq!(obs.lower_points.len(), 2);
+        assert_eq!(obs.upper_points.len(), 2);
+        assert!(solves >= 4);
+        // Max throughput benchmarked near the Table 2 CPU bound (≈222).
+        assert!((obs.max_throughput_rps - 222.0).abs() < 8.0, "mx {}", obs.max_throughput_rps);
+    }
+
+    #[test]
+    fn lower_points_below_transition_upper_above() {
+        let (obs, _) =
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 3, 3, 7_000.0)
+                .unwrap();
+        let n_star = obs.max_throughput_rps / (1_000.0 / 7_000.0);
+        for p in &obs.lower_points {
+            assert!(p.clients <= TRANSITION_LOW * n_star + 1.0);
+        }
+        for p in &obs.upper_points {
+            assert!(p.clients >= TRANSITION_HIGH * n_star - 1.0);
+        }
+        // Response times increase with load.
+        assert!(obs.upper_points[0].mrt_ms > obs.lower_points[0].mrt_ms);
+    }
+
+    #[test]
+    fn rejects_insufficient_points() {
+        assert!(
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 1, 2, 7_000.0)
+                .is_err()
+        );
+    }
+}

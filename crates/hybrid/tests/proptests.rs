@@ -1,0 +1,81 @@
+//! Property-based tests for the hybrid method: its predictions must be
+//! physical (finite, positive, monotone in load) for arbitrary plausible
+//! LQN calibrations, and its throughput must saturate at the LQN's own
+//! capacity bound.
+
+use perfpred_core::{PerformanceModel, ServerArch, Workload};
+use perfpred_hybrid::{HybridModel, HybridOptions};
+use perfpred_lqns::trade::{RequestTypeParams, TradeLqnConfig};
+use perfpred_lqns::LqnPredictor;
+use perfpred_lqns::solve::SolverOptions;
+use proptest::prelude::*;
+
+fn config(browse_app: f64, buy_factor: f64, db_demand: f64) -> TradeLqnConfig {
+    TradeLqnConfig {
+        browse: RequestTypeParams {
+            app_demand_ms: browse_app,
+            db_demand_ms: db_demand,
+            db_calls: 1.14,
+            disk_demand_ms: 0.0,
+        },
+        buy: RequestTypeParams {
+            app_demand_ms: browse_app * buy_factor,
+            db_demand_ms: db_demand * 1.9,
+            db_calls: 2.0,
+            disk_demand_ms: 0.0,
+        },
+        app_threads: 50,
+        db_connections: 20,
+        reference_speed: 1.0,
+        solver: SolverOptions::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random calibrations, the advanced hybrid is buildable and its
+    /// predictions behave physically across the operating range.
+    #[test]
+    fn hybrid_predictions_stay_physical(
+        browse_app in 2.0f64..12.0,
+        buy_factor in 1.2f64..3.0,
+        db_demand in 0.2f64..2.0,
+    ) {
+        let lqn = LqnPredictor::new(config(browse_app, buy_factor, db_demand));
+        let server = ServerArch::app_serv_f();
+        let hybrid = HybridModel::advanced(
+            &lqn,
+            std::slice::from_ref(&server),
+            &HybridOptions { r3_buy_pcts: vec![], ..Default::default() },
+        )
+        .unwrap();
+
+        let capacity = 1_000.0 / browse_app.max(db_demand * 1.14); // app or db bound
+        let n_star = capacity * 7.0;
+        let mut last = 0.0;
+        for frac in [0.2, 0.5, 0.8, 1.2, 1.5] {
+            let n = (n_star * frac) as u32;
+            let p = hybrid.predict(&server, &Workload::typical(n)).unwrap();
+            prop_assert!(p.mrt_ms.is_finite() && p.mrt_ms > 0.0, "mrt {}", p.mrt_ms);
+            prop_assert!(p.mrt_ms >= last * 0.9, "mrt fell {} -> {}", last, p.mrt_ms);
+            last = p.mrt_ms;
+            prop_assert!(
+                p.throughput_rps <= capacity * 1.1,
+                "X {} above capacity {}", p.throughput_rps, capacity
+            );
+        }
+    }
+
+    /// The start-up report grows with the number of target architectures.
+    #[test]
+    fn startup_scales_with_servers(browse_app in 3.0f64..8.0) {
+        let lqn = LqnPredictor::new(config(browse_app, 1.9, 1.0));
+        let opts = HybridOptions { r3_buy_pcts: vec![], ..Default::default() };
+        let one = HybridModel::advanced(&lqn, &[ServerArch::app_serv_f()], &opts).unwrap();
+        let three =
+            HybridModel::advanced(&lqn, &ServerArch::case_study_servers(), &opts).unwrap();
+        prop_assert!(three.startup().pseudo_points > one.startup().pseudo_points);
+        prop_assert!(three.startup().lqn_solves > one.startup().lqn_solves);
+    }
+}

@@ -1,0 +1,101 @@
+//! Historical data points and per-server observation sets.
+//!
+//! The historical method is data-source agnostic: points may come from live
+//! measurements (the simulator in this workspace), from a layered queuing
+//! model (the hybrid method, §6), or from production monitoring. §4.2 shows
+//! accurate calibration needs as few as two points per equation
+//! (`nldp = nudp = 2`) of 50 samples each.
+
+use serde::{Deserialize, Serialize};
+
+/// One historical data point for the typical workload: a client count and
+/// the mean response time observed (or generated) there.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Number of clients at the operating point.
+    pub clients: f64,
+    /// Mean response time, ms.
+    pub mrt_ms: f64,
+}
+
+impl DataPoint {
+    /// Convenience constructor.
+    pub fn new(clients: f64, mrt_ms: f64) -> Self {
+        DataPoint { clients, mrt_ms }
+    }
+}
+
+/// Everything recorded about one server architecture, as consumed by the
+/// relationship calibrations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerObservations {
+    /// Architecture name (matches [`perfpred_core::ServerArch::name`]).
+    pub server_name: String,
+    /// Benchmarked max throughput under the typical workload, req/s.
+    pub max_throughput_rps: f64,
+    /// `(clients, throughput req/s)` samples below saturation, for the
+    /// clients→throughput gradient `m`.
+    pub throughput_points: Vec<(f64, f64)>,
+    /// Mean-response-time points below the transition region (for eq 1).
+    pub lower_points: Vec<DataPoint>,
+    /// Mean-response-time points above the transition region (for eq 2).
+    pub upper_points: Vec<DataPoint>,
+}
+
+impl ServerObservations {
+    /// An empty observation set for `server_name`.
+    pub fn new(server_name: impl Into<String>, max_throughput_rps: f64) -> Self {
+        ServerObservations {
+            server_name: server_name.into(),
+            max_throughput_rps,
+            throughput_points: Vec::new(),
+            lower_points: Vec::new(),
+            upper_points: Vec::new(),
+        }
+    }
+
+    /// Adds a lower-region point (builder style).
+    pub fn with_lower(mut self, clients: f64, mrt_ms: f64) -> Self {
+        self.lower_points.push(DataPoint::new(clients, mrt_ms));
+        self
+    }
+
+    /// Adds an upper-region point (builder style).
+    pub fn with_upper(mut self, clients: f64, mrt_ms: f64) -> Self {
+        self.upper_points.push(DataPoint::new(clients, mrt_ms));
+        self
+    }
+
+    /// Adds a throughput sample (builder style).
+    pub fn with_throughput(mut self, clients: f64, rps: f64) -> Self {
+        self.throughput_points.push((clients, rps));
+        self
+    }
+
+    /// Total mean-response-time points recorded.
+    pub fn point_count(&self) -> usize {
+        self.lower_points.len() + self.upper_points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_points() {
+        let obs = ServerObservations::new("AppServF", 186.0)
+            .with_lower(100.0, 78.0)
+            .with_lower(870.0, 95.0)
+            .with_upper(1_450.0, 700.0)
+            .with_upper(2_000.0, 3_500.0)
+            .with_throughput(100.0, 14.2)
+            .with_throughput(400.0, 56.4);
+        assert_eq!(obs.point_count(), 4);
+        assert_eq!(obs.lower_points.len(), 2);
+        assert_eq!(obs.upper_points.len(), 2);
+        assert_eq!(obs.throughput_points.len(), 2);
+        assert_eq!(obs.server_name, "AppServF");
+        assert_eq!(obs.max_throughput_rps, 186.0);
+    }
+}

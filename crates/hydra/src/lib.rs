@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # perfpred-hydra
+//!
+//! The HYDRA historical performance prediction method (§4): extrapolate
+//! response times and throughputs for new workloads and new server
+//! architectures from a small number of fitted relationships over
+//! previously-gathered performance data.
+//!
+//! The method models the case study with three relationships:
+//!
+//! * **Relationship 1** ([`relationship1`]) — number of typical-workload
+//!   clients → mean response time. A *lower* exponential equation before
+//!   max throughput (eq 1: `mrt = cL·e^(λL·n)`), an *upper* linear equation
+//!   after (eq 2: `mrt = λU·n + cU`), and an exponential *transition*
+//!   relationship phasing between them between 66 % and 110 % of the
+//!   max-throughput load. A companion linear clients → throughput relation
+//!   with gradient `m` (≈ 0.14 in the case study) locates max throughput.
+//! * **Relationship 2** ([`relationship2`]) — how relationship 1's
+//!   parameters vary with a server's max throughput (eq 3: `cL` linear;
+//!   eq 4: `λL` power law; `λU` scaling inversely; `cU` constant), which is
+//!   what lets the model predict *new server architectures* from nothing
+//!   but their benchmarked max throughput.
+//! * **Relationship 3** ([`relationship3`]) — % of buy requests → max
+//!   throughput (linear on an established server, transferred to new
+//!   architectures by the eq 5 ratio rule), which extends predictions to
+//!   heterogeneous workloads.
+//!
+//! [`model::HistoricalModel`] assembles the three into a
+//! [`perfpred_core::PerformanceModel`]. Unlike the layered queuing method
+//! it can also record and predict *percentile* metrics directly (§8.2) —
+//! see [`model::HistoricalModelBuilder::percentile_observations`] — and
+//! model phenomena like caching by recording extra variables.
+
+pub mod dataset;
+pub mod model;
+pub mod persist;
+pub mod relationship1;
+pub mod relationship2;
+pub mod relationship3;
+
+pub use dataset::{DataPoint, ServerObservations};
+pub use model::{HistoricalModel, HistoricalModelBuilder};
+pub use relationship1::{Relationship1, ThroughputRelation, TRANSITION_HIGH, TRANSITION_LOW};
+pub use relationship2::Relationship2;
+pub use relationship3::Relationship3;

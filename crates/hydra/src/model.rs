@@ -1,0 +1,603 @@
+//! The assembled historical model: a [`PerformanceModel`] built from
+//! relationships 1–3, plus direct percentile prediction (§8.2's historical
+//! -method-only capability).
+
+use crate::dataset::ServerObservations;
+use crate::relationship1::{Relationship1, ThroughputRelation};
+use crate::relationship2::Relationship2;
+use crate::relationship3::Relationship3;
+use perfpred_core::{
+    PerformanceModel, PredictError, Prediction, ServerArch, Workload,
+};
+
+/// The HYDRA historical model.
+///
+/// *Established* servers (those with recorded observations) are predicted
+/// from their own relationship-1 fits; *new* architectures are predicted
+/// through relationship 2 from nothing but their benchmarked max
+/// throughput; heterogeneous workload mixes go through relationship 3.
+///
+/// ```
+/// use perfpred_core::{PerformanceModel, ServerArch, Workload};
+/// use perfpred_hydra::{HistoricalModel, ServerObservations};
+///
+/// // Two data points per equation per established server (§4.2's minimum).
+/// let obs = |name: &str, mx: f64, c_low: f64| {
+///     let n_star = mx / 0.1424; // clients at max throughput
+///     ServerObservations::new(name, mx)
+///         .with_lower(0.15 * n_star, c_low)
+///         .with_lower(0.66 * n_star, c_low * 1.4)
+///         .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+///         .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+///         .with_throughput(0.3 * n_star, 0.1424 * 0.3 * n_star)
+/// };
+/// let model = HistoricalModel::builder()
+///     .observations(obs("AppServF", 186.0, 20.0))
+///     .observations(obs("AppServVF", 320.0, 12.0))
+///     .build()
+///     .unwrap();
+///
+/// // Predict a *new* architecture from its benchmarked max throughput.
+/// let p = model.predict(&ServerArch::app_serv_s(), &Workload::typical(400)).unwrap();
+/// assert!(p.mrt_ms > 0.0);
+/// // Closed-form SLA capacity (§8.2): no search needed.
+/// let n = model.max_clients(&ServerArch::app_serv_f(), &Workload::typical(100), 300.0).unwrap();
+/// assert!(n > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoricalModel {
+    think_ms: f64,
+    m: f64,
+    established: Vec<(String, Relationship1)>,
+    r2: Option<Relationship2>,
+    r3: Option<Relationship3>,
+    /// Per-request-type response-time deviation factors (browse, buy),
+    /// §4.3's "deviation of service class specific response times from the
+    /// mean workload response time".
+    class_dev: [f64; 2],
+    percentile: Option<PercentileModel>,
+}
+
+/// Direct percentile prediction: the same relationship machinery fitted to
+/// percentile (rather than mean) response-time observations.
+#[derive(Debug, Clone)]
+struct PercentileModel {
+    pct: f64,
+    established: Vec<(String, Relationship1)>,
+    r2: Option<Relationship2>,
+}
+
+/// Builder for [`HistoricalModel`].
+#[derive(Debug, Clone)]
+pub struct HistoricalModelBuilder {
+    think_ms: f64,
+    observations: Vec<ServerObservations>,
+    r3_points: Vec<(f64, f64)>,
+    class_dev: [f64; 2],
+    percentile_obs: Option<(f64, Vec<ServerObservations>)>,
+}
+
+impl Default for HistoricalModelBuilder {
+    fn default() -> Self {
+        HistoricalModelBuilder {
+            think_ms: 7_000.0,
+            observations: Vec::new(),
+            r3_points: Vec::new(),
+            class_dev: [1.0, 1.0],
+            percentile_obs: None,
+        }
+    }
+}
+
+impl HistoricalModelBuilder {
+    /// Sets the mean client think time (default: the case study's 7 s).
+    pub fn think_time_ms(mut self, think_ms: f64) -> Self {
+        self.think_ms = think_ms;
+        self
+    }
+
+    /// Adds one established server's observations.
+    pub fn observations(mut self, obs: ServerObservations) -> Self {
+        self.observations.push(obs);
+        self
+    }
+
+    /// Adds relationship-3 calibration points: `(buy %, max throughput)`
+    /// measured (or LQN-generated) on one established server.
+    pub fn r3_points(mut self, points: &[(f64, f64)]) -> Self {
+        self.r3_points.extend_from_slice(points);
+        self
+    }
+
+    /// Sets per-request-type response-time deviation factors relative to
+    /// the workload mean (browse, buy). Calibrated on an established
+    /// server from a heterogeneous measurement, e.g.
+    /// `(browse_mrt / workload_mrt, buy_mrt / workload_mrt)`.
+    pub fn class_deviation(mut self, browse_factor: f64, buy_factor: f64) -> Self {
+        self.class_dev = [browse_factor, buy_factor];
+        self
+    }
+
+    /// Adds percentile observations (e.g. 90th-percentile response times at
+    /// each client count) so the model can predict the percentile metric
+    /// *directly* — the capability §8.2 reserves for the historical method.
+    pub fn percentile_observations(mut self, pct: f64, obs: Vec<ServerObservations>) -> Self {
+        assert!(pct > 0.0 && pct < 100.0);
+        self.percentile_obs = Some((pct, obs));
+        self
+    }
+
+    /// Calibrates every relationship and produces the model.
+    pub fn build(self) -> Result<HistoricalModel, PredictError> {
+        if self.observations.is_empty() {
+            return Err(PredictError::Calibration(
+                "historical model needs at least one established server".into(),
+            ));
+        }
+        // Pooled throughput gradient; fall back to the think-time estimate
+        // when no throughput samples were recorded.
+        let pooled: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .flat_map(|o| o.throughput_points.iter().copied())
+            .collect();
+        let m = if pooled.is_empty() {
+            ThroughputRelation::from_think_time(self.think_ms).m
+        } else {
+            ThroughputRelation::fit(&pooled)?.m
+        };
+
+        let mut established = Vec::with_capacity(self.observations.len());
+        for obs in &self.observations {
+            established.push((obs.server_name.clone(), Relationship1::calibrate(obs, m)?));
+        }
+        let r2 = if established.len() >= 2 {
+            let r1s: Vec<Relationship1> = established.iter().map(|(_, r)| *r).collect();
+            Some(Relationship2::calibrate(&r1s)?)
+        } else {
+            None
+        };
+        let r3 =
+            if self.r3_points.len() >= 2 { Some(Relationship3::calibrate(&self.r3_points)?) } else { None };
+
+        let percentile = match self.percentile_obs {
+            None => None,
+            Some((pct, obs_list)) => {
+                let mut est = Vec::with_capacity(obs_list.len());
+                for obs in &obs_list {
+                    est.push((obs.server_name.clone(), Relationship1::calibrate(obs, m)?));
+                }
+                let r2p = if est.len() >= 2 {
+                    let r1s: Vec<Relationship1> = est.iter().map(|(_, r)| *r).collect();
+                    Some(Relationship2::calibrate(&r1s)?)
+                } else {
+                    None
+                };
+                Some(PercentileModel { pct, established: est, r2: r2p })
+            }
+        };
+
+        Ok(HistoricalModel {
+            think_ms: self.think_ms,
+            m,
+            established,
+            r2,
+            r3,
+            class_dev: self.class_dev,
+            percentile,
+        })
+    }
+}
+
+impl HistoricalModel {
+    /// Starts building a model.
+    pub fn builder() -> HistoricalModelBuilder {
+        HistoricalModelBuilder::default()
+    }
+
+    /// The calibrated clients→throughput gradient `m`.
+    pub fn gradient(&self) -> f64 {
+        self.m
+    }
+
+    /// The calibration think time.
+    pub fn think_time_ms(&self) -> f64 {
+        self.think_ms
+    }
+
+    /// The relationship-1 fit recorded for an established server, if any.
+    pub fn established_r1(&self, server_name: &str) -> Option<&Relationship1> {
+        self.established.iter().find(|(n, _)| n == server_name).map(|(_, r)| r)
+    }
+
+    /// Relationship 2, when two or more established servers were available.
+    pub fn r2(&self) -> Option<&Relationship2> {
+        self.r2.as_ref()
+    }
+
+    /// Relationship 3, when buy-percentage calibration points were given.
+    pub fn r3(&self) -> Option<&Relationship3> {
+        self.r3.as_ref()
+    }
+
+    /// The per-request-type deviation factors (browse, buy).
+    pub fn class_deviation_factors(&self) -> [f64; 2] {
+        self.class_dev
+    }
+
+    /// Iterates the established-server fits in calibration order.
+    pub(crate) fn established_iter(&self) -> impl Iterator<Item = (&str, &Relationship1)> {
+        self.established.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Two points on the calibrated relationship-3 line (0 % and 100 %
+    /// buy), sufficient to reconstruct it; `None` if R3 is uncalibrated.
+    pub fn r3_calibration_points(&self) -> Option<Vec<(f64, f64)>> {
+        self.r3.as_ref().map(|r3| {
+            vec![(0.0, r3.established_rps(0.0)), (100.0, r3.established_rps(100.0))]
+        })
+    }
+
+    /// The percentile sub-model's recorded percentile and per-server fits,
+    /// if percentile observations were supplied.
+    pub fn percentile_fits(&self) -> Option<(f64, Vec<(&str, &Relationship1)>)> {
+        self.percentile.as_ref().map(|p| {
+            (p.pct, p.established.iter().map(|(n, r)| (n.as_str(), r)).collect())
+        })
+    }
+
+    /// The relationship 1 the model would use for `server` at a given buy
+    /// percentage — exposed for analysis and the reproduction harness.
+    pub fn resolved_r1(
+        &self,
+        server: &ServerArch,
+        buy_pct: f64,
+    ) -> Result<Relationship1, PredictError> {
+        self.resolve_r1(server, buy_pct)
+    }
+
+    /// The typical-workload max throughput the model uses for `server`:
+    /// its recorded value for established servers, else the benchmark
+    /// result carried on the [`ServerArch`].
+    fn typical_mx(&self, server: &ServerArch) -> f64 {
+        self.established_r1(&server.name)
+            .map(|r| r.max_throughput_rps)
+            .unwrap_or(server.max_throughput_rps)
+    }
+
+    /// Resolves the relationship 1 to use for `server` under a workload
+    /// with `buy_pct` percent buy clients.
+    fn resolve_r1(&self, server: &ServerArch, buy_pct: f64) -> Result<Relationship1, PredictError> {
+        let mx0 = self.typical_mx(server);
+        if buy_pct.abs() < 1e-12 {
+            if let Some(r1) = self.established_r1(&server.name) {
+                return Ok(*r1);
+            }
+            return self
+                .r2
+                .as_ref()
+                .ok_or_else(|| {
+                    PredictError::Calibration(
+                        "new-architecture prediction needs two established servers \
+                         (relationship 2 uncalibrated)"
+                            .into(),
+                    )
+                })?
+                .r1_for_max_throughput(mx0);
+        }
+        // Heterogeneous mixes always go through relationships 3 then 2,
+        // since max throughput (and with it every R1 parameter) shifts.
+        let r3 = self.r3.as_ref().ok_or(PredictError::Unsupported(
+            "heterogeneous workload prediction requires relationship 3 calibration",
+        ))?;
+        let mx_b = r3.transfer_rps(buy_pct, mx0)?;
+        self.r2
+            .as_ref()
+            .ok_or_else(|| {
+                PredictError::Calibration(
+                    "heterogeneous prediction needs relationship 2 (two established servers)"
+                        .into(),
+                )
+            })?
+            .r1_for_max_throughput(mx_b)
+    }
+
+    /// Directly predicts the calibrated percentile response time (§8.2) —
+    /// only the historical method supports this.
+    pub fn predict_percentile(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+        pct: f64,
+    ) -> Result<f64, PredictError> {
+        let p = self.percentile.as_ref().ok_or(PredictError::Unsupported(
+            "no percentile observations were recorded",
+        ))?;
+        if (p.pct - pct).abs() > 1e-9 {
+            return Err(PredictError::Unsupported("percentile differs from the recorded one"));
+        }
+        if workload.buy_pct() > 1e-12 {
+            return Err(PredictError::Unsupported(
+                "direct percentiles are recorded for the typical workload only",
+            ));
+        }
+        let r1 = match p.established.iter().find(|(n, _)| n == &server.name) {
+            Some((_, r1)) => *r1,
+            None => p
+                .r2
+                .as_ref()
+                .ok_or_else(|| {
+                    PredictError::Calibration(
+                        "percentile prediction for a new architecture needs two established \
+                         servers"
+                            .into(),
+                    )
+                })?
+                .r1_for_max_throughput(self.typical_mx(server))?,
+        };
+        r1.predict_mrt(f64::from(workload.total_clients()))
+    }
+
+    /// Splits a workload-mean prediction into per-class response times with
+    /// the deviation factors, normalised so the client-weighted mean stays
+    /// the workload mean.
+    fn per_class(&self, workload: &Workload, mrt: f64) -> Vec<f64> {
+        let total = f64::from(workload.total_clients());
+        if total == 0.0 {
+            return vec![0.0; workload.classes.len()];
+        }
+        let weighted: f64 = workload
+            .classes
+            .iter()
+            .map(|c| {
+                self.class_dev[c.class.request_type.index()] * f64::from(c.clients) / total
+            })
+            .sum();
+        let scale = if weighted > 0.0 { 1.0 / weighted } else { 1.0 };
+        workload
+            .classes
+            .iter()
+            .map(|c| mrt * self.class_dev[c.class.request_type.index()] * scale)
+            .collect()
+    }
+}
+
+impl PerformanceModel for HistoricalModel {
+    fn method_name(&self) -> &str {
+        "historical"
+    }
+
+    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+        let n = f64::from(workload.total_clients());
+        if n == 0.0 {
+            return Ok(Prediction {
+                mrt_ms: 0.0,
+                per_class_mrt_ms: vec![0.0; workload.classes.len()],
+                throughput_rps: 0.0,
+                utilization: None,
+                saturated: false,
+            });
+        }
+        let r1 = self.resolve_r1(server, workload.buy_pct())?;
+        let mrt = r1.predict_mrt(n)?;
+        Ok(Prediction {
+            mrt_ms: mrt,
+            per_class_mrt_ms: self.per_class(workload, mrt),
+            throughput_rps: r1.predict_rps(n),
+            utilization: None,
+            saturated: r1.saturated(n),
+        })
+    }
+
+    fn max_clients(
+        &self,
+        server: &ServerArch,
+        template: &Workload,
+        rt_goal_ms: f64,
+    ) -> Result<u32, PredictError> {
+        if template.is_empty() {
+            return Err(PredictError::OutOfRange("template workload is empty".into()));
+        }
+        // Closed-form inversion (§8.2) — no search required.
+        let r1 = self.resolve_r1(server, template.buy_pct())?;
+        let n = r1.max_clients_for_mrt(rt_goal_ms)?;
+        Ok(n.floor().max(0.0) as u32)
+    }
+
+    fn supports_direct_percentiles(&self) -> bool {
+        self.percentile.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfpred_core::workload::ClassLoad;
+    use perfpred_core::ServiceClass;
+
+    const M: f64 = 0.1428;
+
+    /// Synthetic exact observations for a server with closed-loop physics:
+    /// lower curve `c·e^(λn)`, upper curve `1000/mx·n − 7000`.
+    fn obs(name: &str, mx: f64, c: f64, lam: f64) -> ServerObservations {
+        let n_star = mx / M;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+            .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.60 * n_star, 1_000.0 / mx * 1.60 * n_star - 7_000.0)
+            .with_throughput(0.2 * n_star, M * 0.2 * n_star)
+            .with_throughput(0.5 * n_star, M * 0.5 * n_star)
+    }
+
+    fn model() -> HistoricalModel {
+        HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+            .observations(obs("AppServVF", 320.0, 46.0, 2.4e-4))
+            .r3_points(&[(0.0, 189.0), (25.0, 158.0)])
+            .class_deviation(0.95, 1.45)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn established_server_uses_its_own_fit() {
+        let m = model();
+        let f = ServerArch::app_serv_f();
+        let p = m.predict(&f, &Workload::typical(200)).unwrap();
+        // Direct lower-equation evaluation at n=200.
+        let expect = 84.0 * (1.0e-4 * 200.0f64).exp();
+        assert!((p.mrt_ms - expect).abs() < 1e-6, "{} vs {expect}", p.mrt_ms);
+        assert!(!p.saturated);
+        assert!((p.throughput_rps - M * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_server_predicted_through_r2() {
+        let m = model();
+        let s = ServerArch::app_serv_s(); // not in the observations
+        let p = m.predict(&s, &Workload::typical(200)).unwrap();
+        // cL extrapolated above the established values (slower server).
+        assert!(p.mrt_ms > 84.0, "mrt {}", p.mrt_ms);
+        // Saturation at mx/m ≈ 602 clients.
+        let sat = m.predict(&s, &Workload::typical(700)).unwrap();
+        assert!(sat.saturated);
+        assert_eq!(sat.throughput_rps, 86.0);
+    }
+
+    #[test]
+    fn heterogeneous_mix_shifts_max_throughput() {
+        let m = model();
+        let f = ServerArch::app_serv_f();
+        let typical = m.predict(&f, &Workload::typical(1_000)).unwrap();
+        let mixed = m.predict(&f, &Workload::with_buy_pct(1_000, 25.0)).unwrap();
+        // 25 % buys cut max throughput ⇒ earlier saturation, higher mrt.
+        assert!(mixed.mrt_ms > typical.mrt_ms);
+        // Throughput caps at the shifted max: 158/189 × 186 ≈ 155.5.
+        let deep = m.predict(&f, &Workload::with_buy_pct(3_000, 25.0)).unwrap();
+        assert!((deep.throughput_rps - 158.0 * 186.0 / 189.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn per_class_deviation_preserves_weighted_mean() {
+        let m = model();
+        let f = ServerArch::app_serv_f();
+        let w = Workload::with_buy_pct(1_000, 25.0);
+        let p = m.predict(&f, &w).unwrap();
+        let total: f64 = w.classes.iter().map(|c| f64::from(c.clients)).sum();
+        let weighted: f64 = w
+            .classes
+            .iter()
+            .zip(&p.per_class_mrt_ms)
+            .map(|(c, r)| r * f64::from(c.clients) / total)
+            .sum();
+        assert!((weighted - p.mrt_ms).abs() < 1e-9);
+        // Buy clients see slower responses than browse clients.
+        assert!(p.per_class_mrt_ms[1] > p.per_class_mrt_ms[0]);
+    }
+
+    #[test]
+    fn closed_form_max_clients() {
+        let m = model();
+        let f = ServerArch::app_serv_f();
+        let n = m.max_clients(&f, &Workload::typical(100), 300.0).unwrap();
+        let at = m.predict(&f, &Workload::typical(n)).unwrap().mrt_ms;
+        assert!(at <= 300.0 + 1e-6, "mrt {at} at {n}");
+        let over = m.predict(&f, &Workload::typical(n + 20)).unwrap().mrt_ms;
+        assert!(over > 300.0);
+    }
+
+    #[test]
+    fn zero_clients_prediction() {
+        let m = model();
+        let p = m.predict(&ServerArch::app_serv_f(), &Workload::empty()).unwrap();
+        assert_eq!(p.mrt_ms, 0.0);
+        assert_eq!(p.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn single_server_model_cannot_extrapolate() {
+        let m = HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+            .build()
+            .unwrap();
+        // Established server still works.
+        assert!(m.predict(&ServerArch::app_serv_f(), &Workload::typical(100)).is_ok());
+        // A new architecture does not (mirrors §8.4: the historical method
+        // needs two or more servers).
+        let err = m.predict(&ServerArch::app_serv_s(), &Workload::typical(100)).unwrap_err();
+        assert!(err.to_string().contains("two established servers"));
+    }
+
+    #[test]
+    fn heterogeneous_without_r3_unsupported() {
+        let m = HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+            .observations(obs("AppServVF", 320.0, 46.0, 2.4e-4))
+            .build()
+            .unwrap();
+        let err = m
+            .predict(&ServerArch::app_serv_f(), &Workload::with_buy_pct(100, 10.0))
+            .unwrap_err();
+        assert!(matches!(err, PredictError::Unsupported(_)));
+    }
+
+    #[test]
+    fn direct_percentile_prediction() {
+        let m = HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+            .observations(obs("AppServVF", 320.0, 46.0, 2.4e-4))
+            .percentile_observations(
+                90.0,
+                vec![
+                    obs("AppServF", 186.0, 190.0, 1.1e-4),
+                    obs("AppServVF", 320.0, 105.0, 2.5e-4),
+                ],
+            )
+            .build()
+            .unwrap();
+        assert!(m.supports_direct_percentiles());
+        let f = ServerArch::app_serv_f();
+        let p90 = m.predict_percentile(&f, &Workload::typical(300), 90.0).unwrap();
+        let mean = m.predict(&f, &Workload::typical(300)).unwrap().mrt_ms;
+        assert!(p90 > mean, "p90 {p90} should exceed mean {mean}");
+        // New architecture via the percentile R2.
+        let s90 = m.predict_percentile(&ServerArch::app_serv_s(), &Workload::typical(300), 90.0);
+        assert!(s90.is_ok());
+        // Unrecorded percentile refused.
+        assert!(m.predict_percentile(&f, &Workload::typical(300), 95.0).is_err());
+    }
+
+    #[test]
+    fn percentile_unsupported_without_observations() {
+        let m = model();
+        assert!(!m.supports_direct_percentiles());
+        assert!(m
+            .predict_percentile(&ServerArch::app_serv_f(), &Workload::typical(100), 90.0)
+            .is_err());
+    }
+
+    #[test]
+    fn gradient_close_to_paper() {
+        let m = model();
+        assert!((m.gradient() - 0.1428).abs() < 1e-6);
+        assert_eq!(m.think_time_ms(), 7_000.0);
+    }
+
+    #[test]
+    fn mixed_class_workload_with_explicit_classes() {
+        let m = model();
+        let w = Workload {
+            classes: vec![
+                ClassLoad { class: ServiceClass::browse().named("hi"), clients: 450 },
+                ClassLoad { class: ServiceClass::browse().named("lo"), clients: 450 },
+                ClassLoad { class: ServiceClass::buy(), clients: 100 },
+            ],
+        };
+        let p = m.predict(&ServerArch::app_serv_f(), &w).unwrap();
+        assert_eq!(p.per_class_mrt_ms.len(), 3);
+        // The two browse classes get identical predictions.
+        assert!((p.per_class_mrt_ms[0] - p.per_class_mrt_ms[1]).abs() < 1e-12);
+        assert!(p.per_class_mrt_ms[2] > p.per_class_mrt_ms[0]);
+    }
+}

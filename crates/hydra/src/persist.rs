@@ -1,0 +1,345 @@
+//! Persistence for calibrated historical models.
+//!
+//! §2's first supporting service: "allowing performance models to be
+//! recalibrated on established servers in order to save modelling
+//! variables that change infrequently". A resource manager recalibrates
+//! rarely and predicts constantly, so calibrations must survive restarts.
+//! This module writes a calibrated [`HistoricalModel`] to a line-oriented
+//! text format (and parses it back), in the same spirit as the LQN model
+//! format in `perfpred-lqns`.
+//!
+//! ```text
+//! # perfpred historical model v1
+//! think 7000
+//! gradient 0.1423
+//! class-deviation 0.86 1.43
+//! server AppServF mx=186.7 cL=18.5 lamL=5.65e-4 lamU=5.39 cU=-6998
+//! server AppServVF mx=320.7 cL=11.7 lamL=3.26e-4 lamU=3.09 cU=-6894
+//! r3 0=186.7 25=151.4 50=127.6 100=45.7
+//! ```
+//!
+//! Percentile sub-models are persisted as `pserver` lines with a `pct`
+//! header. Round-tripping re-derives relationships 2 and 3 from the saved
+//! parameters, so `parse(&serialize(m))` predicts identically to `m`.
+
+use crate::dataset::ServerObservations;
+use crate::model::{HistoricalModel, HistoricalModelBuilder};
+use crate::relationship1::Relationship1;
+use perfpred_core::PredictError;
+use std::fmt::Write as _;
+
+fn perr(line_no: usize, msg: impl std::fmt::Display) -> PredictError {
+    PredictError::Calibration(format!("model file line {line_no}: {msg}"))
+}
+
+/// Serialises a calibrated model. Only established-server fits, the
+/// gradient, deviation factors, R3 points and percentile fits are stored —
+/// everything else is re-derived on load.
+pub fn serialize(model: &HistoricalModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# perfpred historical model v1");
+    let _ = writeln!(out, "think {}", model.think_time_ms());
+    let _ = writeln!(out, "gradient {}", model.gradient());
+    let dev = model.class_deviation_factors();
+    let _ = writeln!(out, "class-deviation {} {}", dev[0], dev[1]);
+    for (name, r1) in model.established_fits() {
+        let _ = writeln!(
+            out,
+            "server {name} mx={} cL={} lamL={} lamU={} cU={}",
+            r1.max_throughput_rps, r1.lower.c, r1.lower.lambda, r1.upper.slope, r1.upper.intercept
+        );
+    }
+    if let Some(points) = model.r3_calibration_points() {
+        let parts: Vec<String> =
+            points.iter().map(|(b, mx)| format!("{b}={mx}")).collect();
+        let _ = writeln!(out, "r3 {}", parts.join(" "));
+    }
+    if let Some((pct, fits)) = model.percentile_fits() {
+        let _ = writeln!(out, "pct {pct}");
+        for (name, r1) in fits {
+            let _ = writeln!(
+                out,
+                "pserver {name} mx={} cL={} lamL={} lamU={} cU={}",
+                r1.max_throughput_rps,
+                r1.lower.c,
+                r1.lower.lambda,
+                r1.upper.slope,
+                r1.upper.intercept
+            );
+        }
+    }
+    out
+}
+
+/// Reconstructs synthetic observations that make `Relationship1::calibrate`
+/// reproduce a stored fit exactly (two exact points per equation).
+fn observations_for(name: &str, line: &StoredFit, m: f64) -> ServerObservations {
+    let n_star = line.mx / m;
+    let lower_at = |n: f64| line.cl * (line.lam_l * n).exp();
+    let upper_at = |n: f64| line.lam_u * n + line.cu;
+    ServerObservations::new(name, line.mx)
+        .with_lower(0.15 * n_star, lower_at(0.15 * n_star))
+        .with_lower(0.66 * n_star, lower_at(0.66 * n_star))
+        .with_upper(1.10 * n_star, upper_at(1.10 * n_star))
+        .with_upper(1.60 * n_star, upper_at(1.60 * n_star))
+}
+
+struct StoredFit {
+    mx: f64,
+    cl: f64,
+    lam_l: f64,
+    lam_u: f64,
+    cu: f64,
+}
+
+fn parse_fit(parts: &[&str], line_no: usize) -> Result<(String, StoredFit), PredictError> {
+    let name = parts.first().ok_or_else(|| perr(line_no, "missing server name"))?.to_string();
+    let mut fit =
+        StoredFit { mx: f64::NAN, cl: f64::NAN, lam_l: f64::NAN, lam_u: f64::NAN, cu: f64::NAN };
+    for kv in &parts[1..] {
+        let (k, v) =
+            kv.split_once('=').ok_or_else(|| perr(line_no, format!("expected key=value, got {kv}")))?;
+        let v: f64 = v.parse().map_err(|_| perr(line_no, format!("bad number in {kv}")))?;
+        match k {
+            "mx" => fit.mx = v,
+            "cL" => fit.cl = v,
+            "lamL" => fit.lam_l = v,
+            "lamU" => fit.lam_u = v,
+            "cU" => fit.cu = v,
+            other => return Err(perr(line_no, format!("unknown key {other}"))),
+        }
+    }
+    if [fit.mx, fit.cl, fit.lam_l, fit.lam_u, fit.cu].iter().any(|x| x.is_nan()) {
+        return Err(perr(line_no, "incomplete server line (need mx, cL, lamL, lamU, cU)"));
+    }
+    Ok((name, fit))
+}
+
+/// Parses a model file produced by [`serialize`].
+pub fn parse(text: &str) -> Result<HistoricalModel, PredictError> {
+    let mut think = 7_000.0f64;
+    let mut gradient: Option<f64> = None;
+    let mut deviation = [1.0f64, 1.0f64];
+    let mut servers: Vec<(String, StoredFit)> = Vec::new();
+    let mut pservers: Vec<(String, StoredFit)> = Vec::new();
+    let mut r3: Vec<(f64, f64)> = Vec::new();
+    let mut pct: Option<f64> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "think" => {
+                think = parts
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| perr(line_no, "bad think time"))?;
+            }
+            "gradient" => {
+                gradient = Some(
+                    parts
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| perr(line_no, "bad gradient"))?,
+                );
+            }
+            "class-deviation" => {
+                for (i, slot) in deviation.iter_mut().enumerate() {
+                    *slot = parts
+                        .get(1 + i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| perr(line_no, "bad deviation factors"))?;
+                }
+            }
+            "server" => servers.push(parse_fit(&parts[1..], line_no)?),
+            "pserver" => pservers.push(parse_fit(&parts[1..], line_no)?),
+            "pct" => {
+                pct = Some(
+                    parts
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| perr(line_no, "bad percentile"))?,
+                );
+            }
+            "r3" => {
+                for kv in &parts[1..] {
+                    let (b, mx) = kv
+                        .split_once('=')
+                        .ok_or_else(|| perr(line_no, format!("expected b=mx, got {kv}")))?;
+                    let b: f64 =
+                        b.parse().map_err(|_| perr(line_no, "bad buy percentage"))?;
+                    let mx: f64 =
+                        mx.parse().map_err(|_| perr(line_no, "bad max throughput"))?;
+                    r3.push((b, mx));
+                }
+            }
+            other => return Err(perr(line_no, format!("unknown declaration {other}"))),
+        }
+    }
+
+    if servers.is_empty() {
+        return Err(PredictError::Calibration("model file has no server lines".into()));
+    }
+    let m = gradient.unwrap_or(1_000.0 / think);
+
+    let mut builder: HistoricalModelBuilder = HistoricalModel::builder()
+        .think_time_ms(think)
+        .class_deviation(deviation[0], deviation[1]);
+    for (name, fit) in &servers {
+        let mut obs = observations_for(name, fit, m);
+        // Preserve the stored gradient through a synthetic throughput point.
+        obs = obs.with_throughput(100.0, m * 100.0);
+        builder = builder.observations(obs);
+    }
+    if r3.len() >= 2 {
+        builder = builder.r3_points(&r3);
+    }
+    if let Some(pct) = pct {
+        if !pservers.is_empty() {
+            let obs: Vec<ServerObservations> = pservers
+                .iter()
+                .map(|(name, fit)| observations_for(name, fit, m))
+                .collect();
+            builder = builder.percentile_observations(pct, obs);
+        }
+    }
+    builder.build()
+}
+
+/// Fidelity check used by tests: maximum relative parameter difference
+/// between two models' established fits.
+pub fn max_fit_divergence(a: &HistoricalModel, b: &HistoricalModel) -> f64 {
+    let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(1e-12);
+    let mut worst = 0.0f64;
+    for (name, ra) in a.established_fits() {
+        if let Some(rb) = b.established_r1(name) {
+            worst = worst
+                .max(rel(ra.max_throughput_rps, rb.max_throughput_rps))
+                .max(rel(ra.lower.c, rb.lower.c))
+                .max(rel(ra.lower.lambda, rb.lower.lambda))
+                .max(rel(ra.upper.slope, rb.upper.slope))
+                .max(rel(ra.upper.intercept, rb.upper.intercept));
+        } else {
+            worst = f64::INFINITY;
+        }
+    }
+    worst
+}
+
+/// Accessors the persistence layer needs; kept here to avoid widening the
+/// model's public surface beyond what serialisation requires.
+impl HistoricalModel {
+    /// The established-server fits, in calibration order.
+    pub fn established_fits(&self) -> Vec<(&str, &Relationship1)> {
+        self.established_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfpred_core::{PerformanceModel, ServerArch, Workload};
+
+    fn model() -> HistoricalModel {
+        let m = 0.1424;
+        let obs = |name: &str, mx: f64, c: f64, lam: f64| {
+            let n_star = mx / m;
+            ServerObservations::new(name, mx)
+                .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+                .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+                .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+                .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+                .with_throughput(0.3 * n_star, m * 0.3 * n_star)
+        };
+        HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 18.5, 5.6e-4))
+            .observations(obs("AppServVF", 320.0, 11.7, 3.3e-4))
+            .r3_points(&[(0.0, 186.0), (25.0, 151.0), (50.0, 127.0), (100.0, 95.0)])
+            .class_deviation(0.86, 1.43)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_fits() {
+        let m = model();
+        let text = serialize(&m);
+        let m2 = parse(&text).unwrap();
+        assert!(max_fit_divergence(&m, &m2) < 1e-9, "divergence {}", max_fit_divergence(&m, &m2));
+        assert!((m2.gradient() - m.gradient()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_predicts_identically() {
+        let m = model();
+        let m2 = parse(&serialize(&m)).unwrap();
+        for server in ServerArch::case_study_servers() {
+            for clients in [100u32, 700, 1_500, 2_500] {
+                for buy in [0.0, 10.0, 25.0] {
+                    let w = Workload::with_buy_pct(clients, buy);
+                    let a = m.predict(&server, &w).unwrap();
+                    let b = m2.predict(&server, &w).unwrap();
+                    assert!(
+                        (a.mrt_ms - b.mrt_ms).abs() / a.mrt_ms.max(1e-9) < 1e-6,
+                        "{} n={clients} b={buy}: {} vs {}",
+                        server.name,
+                        a.mrt_ms,
+                        b.mrt_ms
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_with_percentiles() {
+        let m = model();
+        // Attach a percentile sub-model, persist, reload.
+        let obs = |name: &str, mx: f64| {
+            let n_star: f64 = mx / 0.1424;
+            ServerObservations::new(name, mx)
+                .with_lower(0.15 * n_star, 50.0)
+                .with_lower(0.66 * n_star, 70.0)
+                .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 6_800.0)
+                .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 6_800.0)
+        };
+        let with_pct = HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0))
+            .observations(obs("AppServVF", 320.0))
+            .percentile_observations(90.0, vec![obs("AppServF", 186.0), obs("AppServVF", 320.0)])
+            .build()
+            .unwrap();
+        let m2 = parse(&serialize(&with_pct)).unwrap();
+        assert!(m2.supports_direct_percentiles());
+        let w = Workload::typical(500);
+        let f = ServerArch::app_serv_f();
+        let a = with_pct.predict_percentile(&f, &w, 90.0).unwrap();
+        let b = m2.predict_percentile(&f, &w, 90.0).unwrap();
+        assert!((a - b).abs() / a < 1e-6);
+        let _ = m;
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(parse("").is_err());
+        let err = parse("server X mx=10").unwrap_err();
+        assert!(err.to_string().contains("incomplete"), "{err}");
+        let err = parse("frobnicate 1").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse("server X mx=abc cL=1 lamL=1 lamU=1 cU=1").unwrap_err();
+        assert!(err.to_string().contains("bad number"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let text = format!("# header\n\n{}\n# trailer\n", serialize(&model()));
+        assert!(parse(&text).is_ok());
+    }
+}

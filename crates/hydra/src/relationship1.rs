@@ -1,0 +1,334 @@
+//! Relationship 1: number of typical-workload clients → mean response time
+//! (and throughput), §4.1.
+
+use crate::dataset::ServerObservations;
+use perfpred_core::{ExpFit, LinearFit, PredictError};
+use serde::{Deserialize, Serialize};
+
+/// Lower edge of the transition region, as a fraction of the
+/// max-throughput load (§4.2: "between 66 % and 110 % of the max
+/// throughput load").
+pub const TRANSITION_LOW: f64 = 0.66;
+/// Upper edge of the transition region.
+pub const TRANSITION_HIGH: f64 = 1.10;
+
+/// The linear clients → throughput relation: `X(n) = min(m·n, mx)`.
+///
+/// The gradient `m` "depends on and can be predicted from the mean client
+/// think-time, but does not vary due to different server CPU speeds"
+/// (§4.1; 0.14 in the case study), so one pooled fit serves every
+/// architecture and is what locates a server's max-throughput client count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRelation {
+    /// Gradient `m`, requests/second per client.
+    pub m: f64,
+}
+
+impl ThroughputRelation {
+    /// Least-squares fit through the origin over pooled unsaturated
+    /// `(clients, throughput)` samples from any number of servers.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, PredictError> {
+        if points.is_empty() {
+            return Err(PredictError::Calibration(
+                "throughput gradient needs at least one sample".into(),
+            ));
+        }
+        let sxx: f64 = points.iter().map(|&(n, _)| n * n).sum();
+        let sxy: f64 = points.iter().map(|&(n, x)| n * x).sum();
+        if sxx <= 0.0 {
+            return Err(PredictError::Calibration("degenerate throughput samples".into()));
+        }
+        let m = sxy / sxx;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(m > 0.0) {
+            return Err(PredictError::Calibration(format!("non-positive gradient {m}")));
+        }
+        Ok(ThroughputRelation { m })
+    }
+
+    /// The expected gradient for a think time: each client completes about
+    /// one request per `think + rt` interval; below saturation `rt` is
+    /// negligible next to the 7 s think time.
+    pub fn from_think_time(think_ms: f64) -> Self {
+        ThroughputRelation { m: 1_000.0 / think_ms }
+    }
+
+    /// Predicted throughput at `clients` on a server with max throughput
+    /// `mx` (linear until max throughput, then constant, §4.1).
+    pub fn predict_rps(&self, clients: f64, mx: f64) -> f64 {
+        (self.m * clients).min(mx)
+    }
+
+    /// The number of clients at which max throughput is reached.
+    pub fn clients_at_max(&self, mx: f64) -> f64 {
+        mx / self.m
+    }
+}
+
+/// Relationship 1 for one server: eqs 1–2 plus the transition phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Relationship1 {
+    /// Eq 1: `mrt = cL·e^(λL·n)` below the transition region.
+    pub lower: ExpFit,
+    /// Eq 2: `mrt = λU·n + cU` above it.
+    pub upper: LinearFit,
+    /// The clients → throughput gradient.
+    pub m: f64,
+    /// The server's max throughput under this workload mix, req/s.
+    pub max_throughput_rps: f64,
+}
+
+impl Relationship1 {
+    /// Calibrates both equations from a server's observations; needs at
+    /// least two points per equation (`nldp = nudp = 2`, §4.2).
+    pub fn calibrate(obs: &ServerObservations, m: f64) -> Result<Self, PredictError> {
+        let lx: Vec<f64> = obs.lower_points.iter().map(|p| p.clients).collect();
+        let ly: Vec<f64> = obs.lower_points.iter().map(|p| p.mrt_ms).collect();
+        let ux: Vec<f64> = obs.upper_points.iter().map(|p| p.clients).collect();
+        let uy: Vec<f64> = obs.upper_points.iter().map(|p| p.mrt_ms).collect();
+        let lower = ExpFit::fit(&lx, &ly).map_err(|e| {
+            PredictError::Calibration(format!("lower equation for {}: {e}", obs.server_name))
+        })?;
+        let upper = LinearFit::fit(&ux, &uy).map_err(|e| {
+            PredictError::Calibration(format!("upper equation for {}: {e}", obs.server_name))
+        })?;
+        if lower.lambda < 0.0 {
+            return Err(PredictError::Calibration(format!(
+                "lower equation for {} has negative rate {} — points may be noise-dominated",
+                obs.server_name, lower.lambda
+            )));
+        }
+        Ok(Relationship1 { lower, upper, m, max_throughput_rps: obs.max_throughput_rps })
+    }
+
+    /// Clients at max throughput (`N* = mx / m`).
+    pub fn clients_at_max(&self) -> f64 {
+        self.max_throughput_rps / self.m
+    }
+
+    /// Whether the operating point is at or past max throughput.
+    pub fn saturated(&self, clients: f64) -> bool {
+        clients >= self.clients_at_max()
+    }
+
+    /// The exponential transition relationship through the region's two
+    /// boundary points (phasing from eq 1 to eq 2, §4.2).
+    fn transition(&self) -> Result<ExpFit, PredictError> {
+        let n_star = self.clients_at_max();
+        let n_lo = TRANSITION_LOW * n_star;
+        let n_hi = TRANSITION_HIGH * n_star;
+        let y_lo = self.lower.eval(n_lo);
+        let y_hi = self.upper.eval(n_hi);
+        if y_lo <= 0.0 || y_hi <= 0.0 {
+            return Err(PredictError::OutOfRange(format!(
+                "transition endpoints non-positive ({y_lo}, {y_hi})"
+            )));
+        }
+        ExpFit::through((n_lo, y_lo), (n_hi, y_hi))
+    }
+
+    /// Predicts the mean response time at `clients` (§4.1's equation
+    /// choice: lower below 66 % of the max-throughput load, upper above
+    /// 110 %, exponential transition in between).
+    pub fn predict_mrt(&self, clients: f64) -> Result<f64, PredictError> {
+        if clients < 0.0 {
+            return Err(PredictError::OutOfRange(format!("negative clients {clients}")));
+        }
+        let n_star = self.clients_at_max();
+        let mrt = if clients <= TRANSITION_LOW * n_star {
+            self.lower.eval(clients)
+        } else if clients >= TRANSITION_HIGH * n_star {
+            self.upper.eval(clients)
+        } else {
+            match self.transition() {
+                Ok(t) => t.eval(clients),
+                // A degenerate transition (e.g. upper intercept still
+                // negative at 1.1·N*) falls back to the nearer equation.
+                Err(_) => {
+                    if clients < n_star {
+                        self.lower.eval(clients)
+                    } else {
+                        self.upper.eval(clients).max(self.lower.eval(n_star))
+                    }
+                }
+            }
+        };
+        if !mrt.is_finite() {
+            return Err(PredictError::Solver(format!("non-finite mrt at {clients} clients")));
+        }
+        Ok(mrt.max(0.0))
+    }
+
+    /// Predicted throughput at `clients`, req/s.
+    pub fn predict_rps(&self, clients: f64) -> f64 {
+        ThroughputRelation { m: self.m }.predict_rps(clients, self.max_throughput_rps)
+    }
+
+    /// The largest client count whose predicted mean response time stays at
+    /// or below `goal_ms` — eqs 1–2 "rewritten in terms of the mean
+    /// response time" (§8.2). Returns 0 if even one client misses the goal.
+    pub fn max_clients_for_mrt(&self, goal_ms: f64) -> Result<f64, PredictError> {
+        if goal_ms <= 0.0 {
+            return Err(PredictError::OutOfRange(format!("non-positive goal {goal_ms}")));
+        }
+        let n_star = self.clients_at_max();
+        let n_lo = TRANSITION_LOW * n_star;
+        let n_hi = TRANSITION_HIGH * n_star;
+        // Closed-form region-by-region inversion, consistent with
+        // predict_mrt's region selection.
+        if self.predict_mrt(n_lo)? >= goal_ms {
+            // Goal falls inside the lower region.
+            let n = self.lower.invert(goal_ms)?;
+            return Ok(n.clamp(0.0, n_lo));
+        }
+        if self.predict_mrt(n_hi)? >= goal_ms {
+            // Goal falls inside the transition region.
+            let t = self.transition()?;
+            return Ok(t.invert(goal_ms)?.clamp(n_lo, n_hi));
+        }
+        // Goal falls in the upper region.
+        if self.upper.slope <= 0.0 {
+            return Err(PredictError::Calibration(
+                "upper equation is non-increasing; cannot invert".into(),
+            ));
+        }
+        Ok(self.upper.invert(goal_ms)?.max(n_hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ServerObservations;
+
+    /// Observations shaped like the AppServF curve of the case study.
+    fn f_observations() -> ServerObservations {
+        ServerObservations::new("AppServF", 186.0)
+            .with_lower(100.0, 78.0)
+            .with_lower(877.0, 96.0) // 66 % of N* ≈ 1329
+            .with_upper(1_462.0, 860.0) // 110 % of N*
+            .with_upper(2_000.0, 3_755.0)
+            .with_throughput(100.0, 14.1)
+            .with_throughput(500.0, 70.5)
+            .with_throughput(900.0, 127.0)
+    }
+
+    fn r1() -> Relationship1 {
+        let m = ThroughputRelation::fit(&f_observations().throughput_points).unwrap().m;
+        Relationship1::calibrate(&f_observations(), m).unwrap()
+    }
+
+    #[test]
+    fn gradient_near_paper_value() {
+        let t = ThroughputRelation::fit(&f_observations().throughput_points).unwrap();
+        assert!((t.m - 0.141).abs() < 0.002, "m {}", t.m);
+        // Matches the think-time-derived estimate (§4.1).
+        let derived = ThroughputRelation::from_think_time(7_000.0);
+        assert!((t.m - derived.m).abs() / derived.m < 0.02);
+    }
+
+    #[test]
+    fn throughput_relation_saturates() {
+        let t = ThroughputRelation { m: 0.14 };
+        assert!((t.predict_rps(500.0, 186.0) - 70.0).abs() < 1e-9);
+        assert_eq!(t.predict_rps(5_000.0, 186.0), 186.0);
+        assert!((t.clients_at_max(186.0) - 1_328.57).abs() < 0.01);
+    }
+
+    #[test]
+    fn regions_use_their_equations() {
+        let r = r1();
+        let n_star = r.clients_at_max();
+        // Deep lower region: exponential equation exactly.
+        let n = 0.3 * n_star;
+        assert_eq!(r.predict_mrt(n).unwrap(), r.lower.eval(n));
+        // Deep upper region: linear equation exactly.
+        let n = 1.5 * n_star;
+        assert_eq!(r.predict_mrt(n).unwrap(), r.upper.eval(n));
+        // Transition: strictly between the boundary values.
+        let lo = r.predict_mrt(TRANSITION_LOW * n_star).unwrap();
+        let hi = r.predict_mrt(TRANSITION_HIGH * n_star).unwrap();
+        let mid = r.predict_mrt(n_star).unwrap();
+        assert!(mid > lo && mid < hi, "lo {lo} mid {mid} hi {hi}");
+    }
+
+    #[test]
+    fn prediction_is_monotone_across_regions() {
+        let r = r1();
+        let mut last = 0.0;
+        let n_star = r.clients_at_max();
+        for i in 1..=60 {
+            let n = n_star * 1.6 * f64::from(i) / 60.0;
+            let mrt = r.predict_mrt(n).unwrap();
+            assert!(mrt >= last - 1e-9, "mrt decreased at n={n}: {last} -> {mrt}");
+            last = mrt;
+        }
+    }
+
+    #[test]
+    fn saturation_flag() {
+        let r = r1();
+        assert!(!r.saturated(0.9 * r.clients_at_max()));
+        assert!(r.saturated(1.0 * r.clients_at_max()));
+    }
+
+    #[test]
+    fn inversion_round_trips_in_every_region() {
+        let r = r1();
+        let n_star = r.clients_at_max();
+        for &n in &[0.3 * n_star, 0.5 * n_star, 0.9 * n_star, 1.3 * n_star, 1.6 * n_star] {
+            let mrt = r.predict_mrt(n).unwrap();
+            let back = r.max_clients_for_mrt(mrt).unwrap();
+            assert!(
+                (back - n).abs() / n < 0.01,
+                "region round trip at n={n}: got {back} for mrt {mrt}"
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_respects_goal_direction() {
+        let r = r1();
+        let n = r.max_clients_for_mrt(300.0).unwrap();
+        assert!(r.predict_mrt(n).unwrap() <= 300.0 + 1e-6);
+        assert!(r.predict_mrt(n + n * 0.02).unwrap() > 300.0);
+    }
+
+    #[test]
+    fn calibrate_requires_points_in_both_regions() {
+        let mut obs = f_observations();
+        obs.upper_points.clear();
+        let err = Relationship1::calibrate(&obs, 0.14).unwrap_err();
+        assert!(err.to_string().contains("upper equation"));
+
+        let mut obs = f_observations();
+        obs.lower_points.truncate(1);
+        assert!(Relationship1::calibrate(&obs, 0.14).is_err());
+    }
+
+    #[test]
+    fn decreasing_lower_points_rejected() {
+        // Noise-dominated points where mrt falls with clients make an
+        // exponential with negative rate — flagged, as §4.2's x-experiment
+        // requires spotting.
+        let obs = ServerObservations::new("X", 186.0)
+            .with_lower(100.0, 90.0)
+            .with_lower(800.0, 80.0)
+            .with_upper(1_500.0, 900.0)
+            .with_upper(2_000.0, 3_000.0);
+        assert!(Relationship1::calibrate(&obs, 0.14).is_err());
+    }
+
+    #[test]
+    fn gradient_fit_input_validation() {
+        assert!(ThroughputRelation::fit(&[]).is_err());
+        assert!(ThroughputRelation::fit(&[(0.0, 0.0)]).is_err());
+        assert!(ThroughputRelation::fit(&[(100.0, -5.0)]).is_err());
+    }
+
+    #[test]
+    fn negative_clients_rejected() {
+        assert!(r1().predict_mrt(-1.0).is_err());
+        assert!(r1().max_clients_for_mrt(0.0).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Relationship 2: the effect of a server's max throughput on
+//! relationship 1's parameters (§4.2) — the mechanism that turns data from
+//! *established* servers into predictions for *new* architectures whose
+//! only measurement is a benchmarked max throughput.
+
+use crate::relationship1::Relationship1;
+use perfpred_core::{ExpFit, LinearFit, PowerFit, PredictError};
+use serde::{Deserialize, Serialize};
+
+/// Relationship 2, calibrated from two or more established servers'
+/// relationship-1 fits:
+///
+/// * eq 3 — `cL = Δ(cL)·mx + C(cL)` (linear);
+/// * eq 4 — `λL = C(λL)·mx^Λ(λL)` (power law);
+/// * `λU` scales inversely with max throughput ("given an
+///   increase/decrease in server max throughput of z %, λU is found to
+///   increase/decrease by roughly 1/z %");
+/// * `cU` is roughly constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Relationship2 {
+    /// Eq 3: `cL` as a function of max throughput.
+    pub c_l: LinearFit,
+    /// Eq 4: `λL` as a function of max throughput.
+    pub lambda_l: PowerFit,
+    /// Reference `λU · mx` product (constant under the inverse-scaling
+    /// rule), averaged over the established servers.
+    pub lambda_u_times_mx: f64,
+    /// Mean `cU` across established servers.
+    pub c_u: f64,
+    /// The shared clients→throughput gradient.
+    pub m: f64,
+}
+
+impl Relationship2 {
+    /// Calibrates from at least two established servers' relationship-1
+    /// fits (the paper uses AppServF and AppServVF, §4.2).
+    pub fn calibrate(r1s: &[Relationship1]) -> Result<Self, PredictError> {
+        if r1s.len() < 2 {
+            return Err(PredictError::Calibration(format!(
+                "relationship 2 needs at least two established servers, got {}",
+                r1s.len()
+            )));
+        }
+        let mx: Vec<f64> = r1s.iter().map(|r| r.max_throughput_rps).collect();
+        let cl: Vec<f64> = r1s.iter().map(|r| r.lower.c).collect();
+        let ll: Vec<f64> = r1s.iter().map(|r| r.lower.lambda).collect();
+        let c_l = LinearFit::fit(&mx, &cl)?;
+        let lambda_l = PowerFit::fit(&mx, &ll).map_err(|e| {
+            PredictError::Calibration(format!("eq 4 power fit: {e} (λL must be positive)"))
+        })?;
+        let lambda_u_times_mx = r1s
+            .iter()
+            .map(|r| r.upper.slope * r.max_throughput_rps)
+            .sum::<f64>()
+            / r1s.len() as f64;
+        let c_u = r1s.iter().map(|r| r.upper.intercept).sum::<f64>() / r1s.len() as f64;
+        let m = r1s.iter().map(|r| r.m).sum::<f64>() / r1s.len() as f64;
+        Ok(Relationship2 { c_l, lambda_l, lambda_u_times_mx, c_u, m })
+    }
+
+    /// Produces relationship 1 for a server knowing only its benchmarked
+    /// max throughput.
+    pub fn r1_for_max_throughput(&self, mx: f64) -> Result<Relationship1, PredictError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(mx > 0.0) {
+            return Err(PredictError::OutOfRange(format!("non-positive max throughput {mx}")));
+        }
+        let c = self.c_l.eval(mx);
+        if c <= 0.0 {
+            return Err(PredictError::OutOfRange(format!(
+                "eq 3 extrapolates a non-positive cL ({c}) at mx {mx} — outside the \
+                 calibrated range"
+            )));
+        }
+        let lambda = self.lambda_l.eval(mx);
+        let lower = ExpFit { c, lambda, r2: 1.0 };
+        let upper = LinearFit {
+            slope: self.lambda_u_times_mx / mx,
+            intercept: self.c_u,
+            r2: 1.0,
+        };
+        Ok(Relationship1 { lower, upper, m: self.m, max_throughput_rps: mx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ServerObservations;
+
+    /// Two established servers with closed-loop-consistent curves: the
+    /// upper equation slope is 1000/mx (each extra client past saturation
+    /// adds 1/mx seconds) with intercept −think, and the lower curve's base
+    /// response falls with max throughput.
+    fn established() -> Vec<Relationship1> {
+        let m = 0.1428;
+        let make = |name: &str, mx: f64, c_low: f64, lam: f64| {
+            let n_star = mx / m;
+            let slope = 1_000.0 / mx;
+            let obs = ServerObservations::new(name, mx)
+                .with_lower(0.1 * n_star, c_low * (lam * 0.1 * n_star).exp())
+                .with_lower(0.66 * n_star, c_low * (lam * 0.66 * n_star).exp())
+                .with_upper(1.1 * n_star, slope * 1.1 * n_star - 7_000.0)
+                .with_upper(1.5 * n_star, slope * 1.5 * n_star - 7_000.0);
+            Relationship1::calibrate(&obs, m).unwrap()
+        };
+        vec![make("F", 186.0, 84.0, 1.0e-4), make("VF", 320.0, 46.0, 2.4e-4)]
+    }
+
+    #[test]
+    fn interpolates_established_servers_exactly() {
+        let r2 = Relationship2::calibrate(&established()).unwrap();
+        let back = r2.r1_for_max_throughput(186.0).unwrap();
+        assert!((back.lower.c - 84.0).abs() < 1e-6);
+        assert!((back.lower.lambda - 1.0e-4).abs() < 1e-10);
+        assert!((back.upper.slope - 1_000.0 / 186.0).abs() < 1e-9);
+        assert!((back.upper.intercept + 7_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extrapolates_to_a_slower_server() {
+        let r2 = Relationship2::calibrate(&established()).unwrap();
+        let s = r2.r1_for_max_throughput(86.0).unwrap();
+        // cL grows as max throughput falls (eq 3's negative slope here).
+        assert!(s.lower.c > 84.0, "cL {}", s.lower.c);
+        // λU scales inversely: slower server's upper slope is steeper.
+        assert!((s.upper.slope - 1_000.0 / 86.0).abs() / (1_000.0 / 86.0) < 0.01);
+        // cU carried over.
+        assert!((s.upper.intercept + 7_000.0).abs() < 1e-6);
+        // The derived relationship predicts monotone response times.
+        let n_star = s.clients_at_max();
+        assert!(s.predict_mrt(1.4 * n_star).unwrap() > s.predict_mrt(0.3 * n_star).unwrap());
+    }
+
+    #[test]
+    fn lambda_u_inverse_scaling_rule() {
+        let r2 = Relationship2::calibrate(&established()).unwrap();
+        let a = r2.r1_for_max_throughput(100.0).unwrap();
+        let b = r2.r1_for_max_throughput(200.0).unwrap();
+        // Doubling max throughput halves λU.
+        assert!((a.upper.slope / b.upper.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_two_servers() {
+        let one = &established()[..1];
+        assert!(Relationship2::calibrate(one).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_extrapolation_targets() {
+        let r2 = Relationship2::calibrate(&established()).unwrap();
+        assert!(r2.r1_for_max_throughput(0.0).is_err());
+        assert!(r2.r1_for_max_throughput(-5.0).is_err());
+        // Far beyond the calibrated range eq 3 goes non-positive: flagged
+        // rather than silently predicting negative response times.
+        let err = r2.r1_for_max_throughput(5_000.0).unwrap_err();
+        assert!(err.to_string().contains("cL"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Relationship 3: % of buy requests → server max throughput (§4.3),
+//! extending the model to heterogeneous workloads.
+
+use perfpred_core::{LinearFit, PredictError};
+use serde::{Deserialize, Serialize};
+
+/// The linear buy-percentage → max-throughput relation calibrated on an
+/// established server, plus the eq 5 ratio rule for transferring it to any
+/// architecture:
+///
+/// ```text
+/// mx_N(b) = mx_E(b) × mx_N(0) / mx_E(0)
+/// ```
+///
+/// The paper calibrates it from just two points — AppServF's max
+/// throughput at 0 % and 25 % buy requests (189 and 158 req/s, themselves
+/// generated with LQNS).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Relationship3 {
+    /// Max throughput of the established server as a linear function of
+    /// the buy percentage `b` (0–100).
+    pub line: LinearFit,
+}
+
+impl Relationship3 {
+    /// Calibrates from `(buy_pct, max_throughput_rps)` points on one
+    /// established server. Needs at least two distinct buy percentages.
+    pub fn calibrate(points: &[(f64, f64)]) -> Result<Self, PredictError> {
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let line = LinearFit::fit(&xs, &ys)?;
+        if line.eval(0.0) <= 0.0 {
+            return Err(PredictError::Calibration(
+                "relationship 3 extrapolates non-positive typical max throughput".into(),
+            ));
+        }
+        Ok(Relationship3 { line })
+    }
+
+    /// Max throughput of the *established* server at buy percentage `b`.
+    pub fn established_rps(&self, buy_pct: f64) -> f64 {
+        self.line.eval(buy_pct)
+    }
+
+    /// Eq 5: max throughput of a server whose typical-workload (0 % buy)
+    /// max throughput is `mx_typical_rps`, at buy percentage `b`.
+    pub fn transfer_rps(&self, buy_pct: f64, mx_typical_rps: f64) -> Result<f64, PredictError> {
+        if !(0.0..=100.0).contains(&buy_pct) {
+            return Err(PredictError::OutOfRange(format!("buy percentage {buy_pct}")));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(mx_typical_rps > 0.0) {
+            return Err(PredictError::OutOfRange(format!(
+                "non-positive typical max throughput {mx_typical_rps}"
+            )));
+        }
+        let mx = self.established_rps(buy_pct) * mx_typical_rps / self.established_rps(0.0);
+        if mx <= 0.0 {
+            return Err(PredictError::OutOfRange(format!(
+                "extrapolated max throughput non-positive at {buy_pct}% buy"
+            )));
+        }
+        Ok(mx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's calibration points: AppServF (as predicted by LQNS) does
+    /// 189 req/s at 0 % buy and 158 req/s at 25 % buy.
+    fn paper_r3() -> Relationship3 {
+        Relationship3::calibrate(&[(0.0, 189.0), (25.0, 158.0)]).unwrap()
+    }
+
+    #[test]
+    fn established_line_through_calibration_points() {
+        let r = paper_r3();
+        assert!((r.established_rps(0.0) - 189.0).abs() < 1e-9);
+        assert!((r.established_rps(25.0) - 158.0).abs() < 1e-9);
+        // Interpolates linearly: 10 % ≈ 176.6.
+        assert!((r.established_rps(10.0) - 176.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn transfer_preserves_ratio() {
+        let r = paper_r3();
+        // New server AppServS: typical max 86 req/s.
+        let at_25 = r.transfer_rps(25.0, 86.0).unwrap();
+        assert!((at_25 - 158.0 * 86.0 / 189.0).abs() < 1e-9);
+        // 0 % buy returns the typical value untouched.
+        assert!((r.transfer_rps(0.0, 86.0).unwrap() - 86.0).abs() < 1e-12);
+        // More buys, less throughput.
+        assert!(r.transfer_rps(50.0, 86.0).unwrap() < at_25);
+    }
+
+    #[test]
+    fn rejects_out_of_range_inputs() {
+        let r = paper_r3();
+        assert!(r.transfer_rps(-1.0, 86.0).is_err());
+        assert!(r.transfer_rps(101.0, 86.0).is_err());
+        assert!(r.transfer_rps(25.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn calibration_validation() {
+        assert!(Relationship3::calibrate(&[(0.0, 189.0)]).is_err());
+        // A line that is non-positive at b=0 is rejected.
+        assert!(Relationship3::calibrate(&[(10.0, -20.0), (20.0, -10.0)]).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! A plain-text interchange format for LQN models, in the spirit of the
+//! LQNS input language but deliberately minimal.
+//!
+//! ```text
+//! # Trade, two tiers
+//! processor client-cpu infinite
+//! processor app-cpu multiplicity=1
+//! task app processor=app-cpu multiplicity=50
+//! reftask clients processor=client-cpu population=500 think=7000
+//! entry serve task=app demand=4.505
+//! entry cycle task=clients demand=0
+//! call cycle -> serve 1.0
+//! ```
+//!
+//! One declaration per line; `#` starts a comment; keys are `key=value`
+//! pairs. Names may contain any non-whitespace characters except `=`.
+
+use crate::model::{LqnModel, Multiplicity, TaskKind};
+use perfpred_core::PredictError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn perr(line_no: usize, msg: impl std::fmt::Display) -> PredictError {
+    PredictError::InvalidModel(format!("line {line_no}: {msg}"))
+}
+
+fn parse_kv<'a>(
+    parts: &[&'a str],
+    line_no: usize,
+) -> Result<HashMap<&'a str, &'a str>, PredictError> {
+    let mut map = HashMap::new();
+    for p in parts {
+        if *p == "infinite" {
+            map.insert("infinite", "true");
+            continue;
+        }
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| perr(line_no, format!("expected key=value, got `{p}`")))?;
+        if map.insert(k, v).is_some() {
+            return Err(perr(line_no, format!("duplicate key `{k}`")));
+        }
+    }
+    Ok(map)
+}
+
+fn get_f64(map: &HashMap<&str, &str>, key: &str, line_no: usize) -> Result<f64, PredictError> {
+    map.get(key)
+        .ok_or_else(|| perr(line_no, format!("missing `{key}`")))?
+        .parse::<f64>()
+        .map_err(|_| perr(line_no, format!("invalid number for `{key}`")))
+}
+
+fn get_u32(map: &HashMap<&str, &str>, key: &str, line_no: usize) -> Result<u32, PredictError> {
+    map.get(key)
+        .ok_or_else(|| perr(line_no, format!("missing `{key}`")))?
+        .parse::<u32>()
+        .map_err(|_| perr(line_no, format!("invalid integer for `{key}`")))
+}
+
+/// Parses a model from the text format. Returns the same validation errors
+/// as [`crate::model::LqnModelBuilder::build`], with line numbers for
+/// syntax problems.
+pub fn parse(text: &str) -> Result<LqnModel, PredictError> {
+    let mut b = LqnModel::builder();
+    let mut procs: HashMap<String, crate::model::ProcessorId> = HashMap::new();
+    let mut tasks: HashMap<String, crate::model::TaskId> = HashMap::new();
+    let mut entries: HashMap<String, crate::model::EntryId> = HashMap::new();
+    // Calls are resolved after all entries are declared.
+    let mut calls: Vec<(String, String, f64, usize)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "processor" => {
+                let name = *parts.get(1).ok_or_else(|| perr(line_no, "missing name"))?;
+                let kv = parse_kv(&parts[2..], line_no)?;
+                let pb = b.processor(name);
+                let id = if kv.contains_key("infinite") {
+                    pb.infinite().finish()
+                } else if kv.contains_key("multiplicity") {
+                    let m = get_u32(&kv, "multiplicity", line_no)?;
+                    pb.multiplicity(m).finish()
+                } else {
+                    pb.finish()
+                };
+                procs.insert(name.to_string(), id);
+            }
+            "task" | "reftask" | "openreftask" => {
+                let name = *parts.get(1).ok_or_else(|| perr(line_no, "missing name"))?;
+                let kv = parse_kv(&parts[2..], line_no)?;
+                let pname =
+                    *kv.get("processor").ok_or_else(|| perr(line_no, "missing `processor`"))?;
+                let pid = *procs
+                    .get(pname)
+                    .ok_or_else(|| perr(line_no, format!("unknown processor `{pname}`")))?;
+                let id = if parts[0] == "reftask" {
+                    let population = get_u32(&kv, "population", line_no)?;
+                    let think = get_f64(&kv, "think", line_no)?;
+                    b.reference_task(name, pid, population, think).finish()
+                } else if parts[0] == "openreftask" {
+                    let rate = get_f64(&kv, "rate", line_no)?;
+                    b.open_reference_task(name, pid, rate).finish()
+                } else {
+                    let tb = b.task(name, pid);
+                    if kv.contains_key("infinite") {
+                        tb.infinite().finish()
+                    } else if kv.contains_key("multiplicity") {
+                        let m = get_u32(&kv, "multiplicity", line_no)?;
+                        tb.multiplicity(m).finish()
+                    } else {
+                        tb.finish()
+                    }
+                };
+                tasks.insert(name.to_string(), id);
+            }
+            "entry" => {
+                let name = *parts.get(1).ok_or_else(|| perr(line_no, "missing name"))?;
+                let kv = parse_kv(&parts[2..], line_no)?;
+                let tname = *kv.get("task").ok_or_else(|| perr(line_no, "missing `task`"))?;
+                let tid = *tasks
+                    .get(tname)
+                    .ok_or_else(|| perr(line_no, format!("unknown task `{tname}`")))?;
+                let demand = if kv.contains_key("demand") {
+                    get_f64(&kv, "demand", line_no)?
+                } else {
+                    0.0
+                };
+                let phase2 = if kv.contains_key("phase2") {
+                    get_f64(&kv, "phase2", line_no)?
+                } else {
+                    0.0
+                };
+                let id = b.entry(name, tid).demand_ms(demand).phase2_ms(phase2).finish();
+                entries.insert(name.to_string(), id);
+            }
+            "call" => {
+                // call <from> -> <to> <mean>
+                if parts.len() != 5 || parts[2] != "->" {
+                    return Err(perr(line_no, "expected `call <from> -> <to> <mean>`"));
+                }
+                let mean: f64 = parts[4]
+                    .parse()
+                    .map_err(|_| perr(line_no, "invalid mean call count"))?;
+                calls.push((parts[1].to_string(), parts[3].to_string(), mean, line_no));
+            }
+            other => return Err(perr(line_no, format!("unknown declaration `{other}`"))),
+        }
+    }
+
+    for (from, to, mean, line_no) in calls {
+        let f = *entries
+            .get(&from)
+            .ok_or_else(|| perr(line_no, format!("unknown entry `{from}`")))?;
+        let t = *entries
+            .get(&to)
+            .ok_or_else(|| perr(line_no, format!("unknown entry `{to}`")))?;
+        b.call(f, t, mean);
+    }
+    b.build()
+}
+
+/// Serialises a model to the text format. `parse(&serialize(m))` produces a
+/// model equal to `m`.
+pub fn serialize(model: &LqnModel) -> String {
+    let mut out = String::new();
+    for p in model.processors() {
+        match p.multiplicity {
+            Multiplicity::Infinite => {
+                let _ = writeln!(out, "processor {} infinite", p.name);
+            }
+            Multiplicity::Finite(m) => {
+                let _ = writeln!(out, "processor {} multiplicity={m}", p.name);
+            }
+        }
+    }
+    for t in model.tasks() {
+        let pname = &model.processors()[t.processor.0].name;
+        match t.kind {
+            TaskKind::Reference { population, think_time_ms } => {
+                let _ = writeln!(
+                    out,
+                    "reftask {} processor={pname} population={population} think={think_time_ms}",
+                    t.name
+                );
+            }
+            TaskKind::OpenReference { rate_rps } => {
+                let _ = writeln!(
+                    out,
+                    "openreftask {} processor={pname} rate={rate_rps}",
+                    t.name
+                );
+            }
+            TaskKind::Server => match t.multiplicity {
+                Multiplicity::Infinite => {
+                    let _ = writeln!(out, "task {} processor={pname} infinite", t.name);
+                }
+                Multiplicity::Finite(m) => {
+                    let _ =
+                        writeln!(out, "task {} processor={pname} multiplicity={m}", t.name);
+                }
+            },
+        }
+    }
+    for e in model.entries() {
+        let tname = &model.tasks()[e.task.0].name;
+        if e.phase2_demand_ms > 0.0 {
+            let _ = writeln!(
+                out,
+                "entry {} task={tname} demand={} phase2={}",
+                e.name, e.demand_ms, e.phase2_demand_ms
+            );
+        } else {
+            let _ = writeln!(out, "entry {} task={tname} demand={}", e.name, e.demand_ms);
+        }
+    }
+    for e in model.entries() {
+        for c in &e.calls {
+            let _ = writeln!(
+                out,
+                "call {} -> {} {}",
+                e.name,
+                model.entries()[c.target.0].name,
+                c.mean_calls
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{solve, SolverOptions};
+
+    const TRADE: &str = "\
+# Trade case study, two tiers
+processor client-cpu infinite
+processor app-cpu multiplicity=1
+processor db-cpu multiplicity=1
+task app processor=app-cpu multiplicity=50
+task db processor=db-cpu multiplicity=20
+reftask clients processor=client-cpu population=500 think=7000
+entry serve task=app demand=4.505
+entry query task=db demand=0.8294
+entry cycle task=clients demand=0
+call serve -> query 1.14
+call cycle -> serve 1.0
+";
+
+    #[test]
+    fn parses_trade_model() {
+        let m = parse(TRADE).unwrap();
+        assert_eq!(m.processors().len(), 3);
+        assert_eq!(m.tasks().len(), 3);
+        assert_eq!(m.entries().len(), 3);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert!(sol.total_throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_model() {
+        let m = parse(TRADE).unwrap();
+        let text = serialize(&m);
+        let m2 = parse(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# only a comment\nprocessor p infinite\nreftask r processor=p population=1 think=0 # trailing\nentry e task=r demand=0\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.processors().len(), 1);
+    }
+
+    #[test]
+    fn unknown_declaration_rejected() {
+        let err = parse("frobnicate x").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        assert!(parse("task t processor=nope").is_err());
+        assert!(parse("entry e task=nope").is_err());
+        let text = "processor p infinite\nreftask r processor=p population=1 think=0\nentry e task=r demand=0\ncall e -> ghost 1.0\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse("processor").is_err());
+        assert!(parse("processor p multiplicity=abc").is_err());
+        let bad_call = "processor p infinite\nreftask r processor=p population=1 think=0\nentry a task=r\ncall a to b 1.0\n";
+        assert!(parse(bad_call).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse("processor p multiplicity=1 multiplicity=2").is_err());
+    }
+
+    #[test]
+    fn structural_validation_still_applies() {
+        // Cycle between tasks survives parsing but fails build validation.
+        let text = "\
+processor p infinite
+reftask r processor=p population=1 think=0
+task t1 processor=p
+task t2 processor=p
+entry re task=r
+entry e1 task=t1
+entry e2 task=t2
+call re -> e1 1
+call e1 -> e2 1
+call e2 -> e1 1
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("cyclic"));
+    }
+}

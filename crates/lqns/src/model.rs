@@ -1,0 +1,753 @@
+//! LQN model structure: processors, tasks, entries, synchronous calls —
+//! plus a builder with structural validation.
+
+use perfpred_core::PredictError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor within its [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessorId(pub usize);
+
+/// Index of a task within its [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// Index of an entry within its [`LqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EntryId(pub usize);
+
+/// Multiplicity of a processor (CPUs) or task (threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Multiplicity {
+    /// Exactly `n` servers/threads (n ≥ 1).
+    Finite(u32),
+    /// An infinite server — a pure delay (used for client processors).
+    Infinite,
+}
+
+impl Multiplicity {
+    /// The finite count, or `None` for an infinite server.
+    pub fn count(&self) -> Option<u32> {
+        match *self {
+            Multiplicity::Finite(n) => Some(n),
+            Multiplicity::Infinite => None,
+        }
+    }
+
+    /// True for [`Multiplicity::Infinite`].
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Multiplicity::Infinite)
+    }
+}
+
+/// A hardware resource tasks run on. Scheduling is processor sharing
+/// (time-slicing) for multiprogrammed CPUs or FIFO for devices like the
+/// database disk; under the exponential assumptions of approximate MVA the
+/// two yield the same mean values, so the distinction is descriptive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Processor name (unique among processors).
+    pub name: String,
+    /// Number of identical CPUs, or infinite for a pure delay.
+    pub multiplicity: Multiplicity,
+}
+
+/// What drives a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A software server with a finite (or infinite) thread pool.
+    Server,
+    /// A closed-workload source: `population` clients cycling with an
+    /// exponential think time of mean `think_time_ms` between responses and
+    /// next requests (§3.1's client model).
+    Reference {
+        /// Number of closed-loop clients.
+        population: u32,
+        /// Mean exponential think time between a response and the next
+        /// request, ms.
+        think_time_ms: f64,
+    },
+    /// An open-workload source: Poisson arrivals at `rate_rps`
+    /// requests/second (§8.1's "clients sending requests at a constant
+    /// rate").
+    OpenReference {
+        /// Poisson arrival rate, requests per second.
+        rate_rps: f64,
+    },
+}
+
+/// A software task: a thread pool bound to one processor, offering entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task name (unique among tasks).
+    pub name: String,
+    /// The processor the task's entries execute on.
+    pub processor: ProcessorId,
+    /// Thread-pool size. For reference tasks this is ignored (each client
+    /// is its own thread).
+    pub multiplicity: Multiplicity,
+    /// Server or reference (workload source).
+    pub kind: TaskKind,
+    /// Entries offered by this task (filled in by the builder).
+    pub entries: Vec<EntryId>,
+}
+
+impl Task {
+    /// True for closed reference (client-population) tasks.
+    pub fn is_reference(&self) -> bool {
+        matches!(self.kind, TaskKind::Reference { .. })
+    }
+
+    /// True for open reference (Poisson-source) tasks.
+    pub fn is_open_reference(&self) -> bool {
+        matches!(self.kind, TaskKind::OpenReference { .. })
+    }
+
+    /// True for any workload source (closed or open).
+    pub fn is_source(&self) -> bool {
+        self.is_reference() || self.is_open_reference()
+    }
+}
+
+/// A synchronous (rendezvous) call: the caller blocks — holding its thread —
+/// until the target entry replies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Call {
+    /// The entry being called.
+    pub target: EntryId,
+    /// Mean number of calls per invocation of the calling entry (may be
+    /// fractional, e.g. 1.14 database requests per browse request, §5.1).
+    pub mean_calls: f64,
+}
+
+/// A service entry: a unit of work offered by a task, with a host-processor
+/// demand and synchronous calls to lower-layer entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Entry name (unique among entries).
+    pub name: String,
+    /// The task offering this entry.
+    pub task: TaskId,
+    /// Mean host-processor demand per invocation in phase 1 (before the
+    /// reply), milliseconds (exponentially distributed, §5).
+    pub demand_ms: f64,
+    /// Mean *second-phase* demand, milliseconds: work done **after** the
+    /// reply is sent (§5's "service with a second phase"). The caller does
+    /// not wait for it, but the thread and processor stay busy.
+    pub phase2_demand_ms: f64,
+    /// Outgoing synchronous calls (made in phase 1).
+    pub calls: Vec<Call>,
+}
+
+/// A validated layered queuing network model.
+///
+/// Construct through [`LqnModel::builder`]; the builder's
+/// [`LqnModelBuilder::build`] enforces the structural invariants the solver
+/// relies on (acyclic task-level call graph, valid references, no calls
+/// into reference tasks, positive populations where required).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LqnModel {
+    pub(crate) processors: Vec<Processor>,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) entries: Vec<Entry>,
+}
+
+impl LqnModel {
+    /// Starts building a model.
+    pub fn builder() -> LqnModelBuilder {
+        LqnModelBuilder::default()
+    }
+
+    /// All processors.
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The closed reference tasks (chains), in id order.
+    pub fn reference_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_reference())
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// The open reference tasks (Poisson sources), in id order.
+    pub fn open_reference_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_open_reference())
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Looks up a processor id by name.
+    pub fn processor_by_name(&self, name: &str) -> Option<ProcessorId> {
+        self.processors.iter().position(|p| p.name == name).map(ProcessorId)
+    }
+
+    /// Looks up a task id by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
+    }
+
+    /// Looks up an entry id by name.
+    pub fn entry_by_name(&self, name: &str) -> Option<EntryId> {
+        self.entries.iter().position(|e| e.name == name).map(EntryId)
+    }
+
+    /// Call-depth of every task: reference tasks are depth 0; a server task
+    /// sits one below its deepest caller. Acyclicity is guaranteed by the
+    /// builder.
+    pub fn task_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.tasks.len()];
+        // Iterate to fixpoint; the task call graph is a DAG so at most
+        // `tasks.len()` rounds are needed.
+        for _ in 0..self.tasks.len() {
+            let mut changed = false;
+            for entry in &self.entries {
+                let caller_task = entry.task.0;
+                for call in &entry.calls {
+                    let callee_task = self.entries[call.target.0].task.0;
+                    let want = depth[caller_task] + 1;
+                    if depth[callee_task] < want {
+                        depth[callee_task] = want;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        depth
+    }
+}
+
+#[derive(Default)]
+struct PendingProcessor {
+    name: String,
+    multiplicity: Option<Multiplicity>,
+}
+
+struct PendingTask {
+    name: String,
+    processor: ProcessorId,
+    multiplicity: Multiplicity,
+    kind: TaskKind,
+}
+
+impl PendingTask {
+    fn is_source(&self) -> bool {
+        matches!(self.kind, TaskKind::Reference { .. } | TaskKind::OpenReference { .. })
+    }
+}
+
+struct PendingEntry {
+    name: String,
+    task: TaskId,
+    demand_ms: f64,
+    phase2_demand_ms: f64,
+    calls: Vec<Call>,
+}
+
+/// Builder for [`LqnModel`]. Ids are handed out eagerly so later items can
+/// reference earlier ones; [`LqnModelBuilder::build`] validates everything
+/// at once.
+#[derive(Default)]
+pub struct LqnModelBuilder {
+    processors: Vec<PendingProcessor>,
+    tasks: Vec<PendingTask>,
+    entries: Vec<PendingEntry>,
+}
+
+/// Fluent configuration for a processor under construction.
+pub struct ProcessorBuilder<'a> {
+    owner: &'a mut LqnModelBuilder,
+    id: ProcessorId,
+}
+
+impl ProcessorBuilder<'_> {
+    /// Sets a finite CPU count (default 1).
+    pub fn multiplicity(self, n: u32) -> Self {
+        self.owner.processors[self.id.0].multiplicity = Some(Multiplicity::Finite(n));
+        self
+    }
+
+    /// Marks the processor as an infinite server (pure delay).
+    pub fn infinite(self) -> Self {
+        self.owner.processors[self.id.0].multiplicity = Some(Multiplicity::Infinite);
+        self
+    }
+
+    /// Finishes, returning the processor id.
+    pub fn finish(self) -> ProcessorId {
+        self.id
+    }
+}
+
+/// Fluent configuration for a task under construction.
+pub struct TaskBuilder<'a> {
+    owner: &'a mut LqnModelBuilder,
+    id: TaskId,
+}
+
+impl TaskBuilder<'_> {
+    /// Sets the thread-pool size (default 1).
+    pub fn multiplicity(self, n: u32) -> Self {
+        self.owner.tasks[self.id.0].multiplicity = Multiplicity::Finite(n);
+        self
+    }
+
+    /// Gives the task an unbounded thread pool.
+    pub fn infinite(self) -> Self {
+        self.owner.tasks[self.id.0].multiplicity = Multiplicity::Infinite;
+        self
+    }
+
+    /// Finishes, returning the task id.
+    pub fn finish(self) -> TaskId {
+        self.id
+    }
+}
+
+/// Fluent configuration for an entry under construction.
+pub struct EntryBuilder<'a> {
+    owner: &'a mut LqnModelBuilder,
+    id: EntryId,
+}
+
+impl EntryBuilder<'_> {
+    /// Sets the phase-1 host-processor demand per invocation, ms
+    /// (default 0).
+    pub fn demand_ms(self, d: f64) -> Self {
+        self.owner.entries[self.id.0].demand_ms = d;
+        self
+    }
+
+    /// Sets the second-phase demand, ms (default 0): work performed after
+    /// the reply, holding the thread and processor but not the caller.
+    pub fn phase2_ms(self, d: f64) -> Self {
+        self.owner.entries[self.id.0].phase2_demand_ms = d;
+        self
+    }
+
+    /// Finishes, returning the entry id.
+    pub fn finish(self) -> EntryId {
+        self.id
+    }
+}
+
+impl LqnModelBuilder {
+    /// Declares a processor (default multiplicity 1).
+    pub fn processor(&mut self, name: impl Into<String>) -> ProcessorBuilder<'_> {
+        self.processors.push(PendingProcessor { name: name.into(), multiplicity: None });
+        let id = ProcessorId(self.processors.len() - 1);
+        ProcessorBuilder { owner: self, id }
+    }
+
+    /// Declares a server task on `processor` (default multiplicity 1).
+    pub fn task(&mut self, name: impl Into<String>, processor: ProcessorId) -> TaskBuilder<'_> {
+        self.tasks.push(PendingTask {
+            name: name.into(),
+            processor,
+            multiplicity: Multiplicity::Finite(1),
+            kind: TaskKind::Server,
+        });
+        let id = TaskId(self.tasks.len() - 1);
+        TaskBuilder { owner: self, id }
+    }
+
+    /// Declares a reference (workload-source) task: `population` clients
+    /// with exponential think time `think_time_ms`.
+    pub fn reference_task(
+        &mut self,
+        name: impl Into<String>,
+        processor: ProcessorId,
+        population: u32,
+        think_time_ms: f64,
+    ) -> TaskBuilder<'_> {
+        self.tasks.push(PendingTask {
+            name: name.into(),
+            processor,
+            multiplicity: Multiplicity::Infinite,
+            kind: TaskKind::Reference { population, think_time_ms },
+        });
+        let id = TaskId(self.tasks.len() - 1);
+        TaskBuilder { owner: self, id }
+    }
+
+    /// Declares an open reference (Poisson-source) task arriving at
+    /// `rate_rps` requests per second.
+    pub fn open_reference_task(
+        &mut self,
+        name: impl Into<String>,
+        processor: ProcessorId,
+        rate_rps: f64,
+    ) -> TaskBuilder<'_> {
+        self.tasks.push(PendingTask {
+            name: name.into(),
+            processor,
+            multiplicity: Multiplicity::Infinite,
+            kind: TaskKind::OpenReference { rate_rps },
+        });
+        let id = TaskId(self.tasks.len() - 1);
+        TaskBuilder { owner: self, id }
+    }
+
+    /// Declares an entry on `task` (default demand 0 ms).
+    pub fn entry(&mut self, name: impl Into<String>, task: TaskId) -> EntryBuilder<'_> {
+        self.entries.push(PendingEntry {
+            name: name.into(),
+            task,
+            demand_ms: 0.0,
+            phase2_demand_ms: 0.0,
+            calls: Vec::new(),
+        });
+        let id = EntryId(self.entries.len() - 1);
+        EntryBuilder { owner: self, id }
+    }
+
+    /// Adds a synchronous call: `from` makes `mean_calls` calls to `to` per
+    /// invocation.
+    pub fn call(&mut self, from: EntryId, to: EntryId, mean_calls: f64) -> &mut Self {
+        self.entries[from.0].calls.push(Call { target: to, mean_calls });
+        self
+    }
+
+    /// Validates and produces the model.
+    pub fn build(self) -> Result<LqnModel, PredictError> {
+        let inv = |msg: String| PredictError::InvalidModel(msg);
+
+        // Unique names.
+        for (kind, names) in [
+            ("processor", self.processors.iter().map(|p| &p.name).collect::<Vec<_>>()),
+            ("task", self.tasks.iter().map(|t| &t.name).collect()),
+            ("entry", self.entries.iter().map(|e| &e.name).collect()),
+        ] {
+            let mut sorted = names.clone();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(inv(format!("duplicate {kind} name: {}", w[0])));
+                }
+            }
+        }
+
+        // Index validity.
+        for t in &self.tasks {
+            if t.processor.0 >= self.processors.len() {
+                return Err(inv(format!("task {} references unknown processor", t.name)));
+            }
+        }
+        for e in &self.entries {
+            if e.task.0 >= self.tasks.len() {
+                return Err(inv(format!("entry {} references unknown task", e.name)));
+            }
+            if e.demand_ms < 0.0 || !e.demand_ms.is_finite() {
+                return Err(inv(format!("entry {} has invalid demand {}", e.name, e.demand_ms)));
+            }
+            if e.phase2_demand_ms < 0.0 || !e.phase2_demand_ms.is_finite() {
+                return Err(inv(format!(
+                    "entry {} has invalid phase-2 demand {}",
+                    e.name, e.phase2_demand_ms
+                )));
+            }
+            for c in &e.calls {
+                if c.target.0 >= self.entries.len() {
+                    return Err(inv(format!("entry {} calls unknown entry", e.name)));
+                }
+                #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+                if !(c.mean_calls > 0.0) || !c.mean_calls.is_finite() {
+                    return Err(inv(format!(
+                        "entry {} has non-positive mean calls {}",
+                        e.name, c.mean_calls
+                    )));
+                }
+                let target_task = &self.tasks[self.entries[c.target.0].task.0];
+                if target_task.is_source() {
+                    return Err(inv(format!(
+                        "entry {} calls into reference task {}",
+                        e.name, target_task.name
+                    )));
+                }
+                if self.entries[c.target.0].task.0 == e.task.0 {
+                    return Err(inv(format!("entry {} calls its own task", e.name)));
+                }
+            }
+        }
+
+        // Multiplicities.
+        for p in &self.processors {
+            if let Some(Multiplicity::Finite(0)) = p.multiplicity {
+                return Err(inv(format!("processor {} has zero multiplicity", p.name)));
+            }
+        }
+        for t in &self.tasks {
+            if let Multiplicity::Finite(0) = t.multiplicity {
+                return Err(inv(format!("task {} has zero multiplicity", t.name)));
+            }
+            if let TaskKind::Reference { think_time_ms, .. } = t.kind {
+                if think_time_ms < 0.0 || !think_time_ms.is_finite() {
+                    return Err(inv(format!("task {} has invalid think time", t.name)));
+                }
+            }
+        }
+
+        // At least one workload source.
+        if !self.tasks.iter().any(|t| t.is_source()) {
+            return Err(inv("model has no reference task (no workload source)".into()));
+        }
+
+        // Every source task offers at least one entry, and open rates are
+        // valid.
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.is_source() && !self.entries.iter().any(|e| e.task.0 == i) {
+                return Err(inv(format!("reference task {} has no entry", t.name)));
+            }
+            if let TaskKind::OpenReference { rate_rps } = t.kind {
+                #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+                if !(rate_rps >= 0.0) || !rate_rps.is_finite() {
+                    return Err(inv(format!("task {} has invalid arrival rate", t.name)));
+                }
+            }
+        }
+
+        // Acyclic task-level call graph (Kahn's algorithm).
+        let n_tasks = self.tasks.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_tasks];
+        let mut indeg = vec![0usize; n_tasks];
+        for e in &self.entries {
+            for c in &e.calls {
+                let from = e.task.0;
+                let to = self.entries[c.target.0].task.0;
+                adj[from].push(to);
+                indeg[to] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n_tasks).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(t) = queue.pop() {
+            visited += 1;
+            for &next in &adj[t] {
+                indeg[next] -= 1;
+                if indeg[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if visited != n_tasks {
+            return Err(inv("cyclic synchronous call graph between tasks".into()));
+        }
+
+        let processors = self
+            .processors
+            .into_iter()
+            .map(|p| Processor {
+                name: p.name,
+                multiplicity: p.multiplicity.unwrap_or(Multiplicity::Finite(1)),
+            })
+            .collect();
+        let mut tasks: Vec<Task> = self
+            .tasks
+            .into_iter()
+            .map(|t| Task {
+                name: t.name,
+                processor: t.processor,
+                multiplicity: t.multiplicity,
+                kind: t.kind,
+                entries: Vec::new(),
+            })
+            .collect();
+        let entries: Vec<Entry> = self
+            .entries
+            .into_iter()
+            .map(|e| Entry {
+                name: e.name,
+                task: e.task,
+                demand_ms: e.demand_ms,
+                phase2_demand_ms: e.phase2_demand_ms,
+                calls: e.calls,
+            })
+            .collect();
+        for (i, e) in entries.iter().enumerate() {
+            tasks[e.task.0].entries.push(EntryId(i));
+        }
+        Ok(LqnModel { processors, tasks, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> LqnModelBuilder {
+        let mut b = LqnModel::builder();
+        let cp = b.processor("client-cpu").infinite().finish();
+        let ap = b.processor("app-cpu").finish();
+        let app = b.task("app", ap).multiplicity(50).finish();
+        let serve = b.entry("serve", app).demand_ms(5.0).finish();
+        let clients = b.reference_task("clients", cp, 100, 7_000.0).finish();
+        let cycle = b.entry("cycle", clients).finish();
+        b.call(cycle, serve, 1.0);
+        b
+    }
+
+    #[test]
+    fn builds_valid_model() {
+        let m = two_tier().build().unwrap();
+        assert_eq!(m.processors().len(), 2);
+        assert_eq!(m.tasks().len(), 2);
+        assert_eq!(m.entries().len(), 2);
+        assert_eq!(m.reference_tasks().len(), 1);
+        assert_eq!(m.task_by_name("app"), Some(TaskId(0)));
+        assert_eq!(m.entry_by_name("cycle"), Some(EntryId(1)));
+        assert_eq!(m.processor_by_name("nope"), None);
+    }
+
+    #[test]
+    fn task_entries_are_linked() {
+        let m = two_tier().build().unwrap();
+        let app = m.task_by_name("app").unwrap();
+        assert_eq!(m.tasks()[app.0].entries, vec![EntryId(0)]);
+    }
+
+    #[test]
+    fn depths_follow_call_graph() {
+        let mut b = two_tier();
+        // Add a DB layer below the app.
+        let dp = b.processor("db-cpu").finish();
+        let db = b.task("db", dp).multiplicity(20).finish();
+        let q = b.entry("query", db).demand_ms(1.0).finish();
+        let serve = EntryId(0);
+        b.call(serve, q, 1.14);
+        let m = b.build().unwrap();
+        let depths = m.task_depths();
+        let app = m.task_by_name("app").unwrap().0;
+        let dbt = m.task_by_name("db").unwrap().0;
+        let clients = m.task_by_name("clients").unwrap().0;
+        assert_eq!(depths[clients], 0);
+        assert_eq!(depths[app], 1);
+        assert_eq!(depths[dbt], 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        b.processor("p").finish();
+        let t = b.task("t", p).finish();
+        b.entry("e", t).finish();
+        b.reference_task("r", p, 1, 0.0).finish();
+        assert!(matches!(b.build(), Err(PredictError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn missing_reference_task_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let t = b.task("t", p).finish();
+        b.entry("e", t).finish();
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("no reference task"));
+    }
+
+    #[test]
+    fn reference_task_without_entry_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        b.reference_task("r", p, 5, 100.0).finish();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn call_into_reference_task_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        let re = b.entry("re", r).finish();
+        let t = b.task("t", p).finish();
+        let te = b.entry("te", t).finish();
+        b.call(re, te, 1.0);
+        b.call(te, re, 1.0); // illegal: calls a reference task
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn cyclic_calls_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        let re = b.entry("re", r).finish();
+        let t1 = b.task("t1", p).finish();
+        let t2 = b.task("t2", p).finish();
+        let e1 = b.entry("e1", t1).finish();
+        let e2 = b.entry("e2", t2).finish();
+        b.call(re, e1, 1.0);
+        b.call(e1, e2, 1.0);
+        b.call(e2, e1, 1.0); // cycle t1 -> t2 -> t1
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn self_call_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        b.entry("re", r).finish();
+        let t = b.task("t", p).finish();
+        let e1 = b.entry("e1", t).finish();
+        let e2 = b.entry("e2", t).finish();
+        b.call(e1, e2, 1.0); // same task
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_rejected() {
+        // Negative demand.
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        b.entry("re", r).demand_ms(-1.0).finish();
+        assert!(b.build().is_err());
+
+        // Zero mean calls.
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        let re = b.entry("re", r).finish();
+        let t = b.task("t", p).finish();
+        let te = b.entry("te", t).finish();
+        b.call(re, te, 0.0);
+        assert!(b.build().is_err());
+
+        // Zero multiplicity.
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").finish();
+        let r = b.reference_task("r", p, 5, 100.0).finish();
+        b.entry("re", r).finish();
+        b.task("t", p).multiplicity(0).finish();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn multiplicity_helpers() {
+        assert_eq!(Multiplicity::Finite(3).count(), Some(3));
+        assert_eq!(Multiplicity::Infinite.count(), None);
+        assert!(Multiplicity::Infinite.is_infinite());
+        assert!(!Multiplicity::Finite(1).is_infinite());
+    }
+}

@@ -1,0 +1,974 @@
+//! Mean value analysis for closed multi-class queueing networks.
+//!
+//! Two solvers are provided:
+//!
+//! * [`solve_exact_single_chain`] — the textbook exact MVA recursion for a
+//!   single closed chain over single-server queueing stations and delay
+//!   stations; used as ground truth in tests and for small models;
+//! * [`solve_amva`] — the Bard–Schweitzer approximate MVA fixed point for
+//!   multiple chains, which is what the layered solver uses for its
+//!   submodels. Multiserver stations are handled with the Seidmann
+//!   transformation: an `m`-server station with per-chain demand `d`
+//!   becomes a single queueing station with demand `d/m` plus a pure delay
+//!   of `d·(m−1)/m`.
+//!
+//! Demands are *total per chain cycle* (visits × per-visit service time),
+//! in milliseconds. Throughputs come back in cycles per millisecond.
+
+use perfpred_core::PredictError;
+
+/// How a station serves customers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StationKind {
+    /// A queueing station with `servers` identical servers (FIFO or PS —
+    /// identical mean values under MVA's assumptions).
+    Queueing {
+        /// Number of identical servers at the station.
+        servers: u32,
+    },
+    /// An infinite server: customers never queue, only spend their demand.
+    Delay,
+}
+
+/// A service station in a closed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    /// Station kind.
+    pub kind: StationKind,
+    /// Per-chain demand per cycle (visits × service time), ms.
+    pub demands: Vec<f64>,
+}
+
+/// A closed multi-class queueing network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedNetwork {
+    /// Population of each chain (customers). Fractional populations are
+    /// permitted (useful for derived submodels).
+    pub populations: Vec<f64>,
+    /// Per-chain think time (pure delay outside all stations), ms.
+    pub think_ms: Vec<f64>,
+    /// The stations.
+    pub stations: Vec<Station>,
+}
+
+impl ClosedNetwork {
+    /// Number of chains.
+    pub fn n_chains(&self) -> usize {
+        self.populations.len()
+    }
+
+    fn validate(&self) -> Result<(), PredictError> {
+        let k = self.n_chains();
+        if self.think_ms.len() != k {
+            return Err(PredictError::InvalidModel(format!(
+                "think_ms has {} entries for {} chains",
+                self.think_ms.len(),
+                k
+            )));
+        }
+        for (i, s) in self.stations.iter().enumerate() {
+            if s.demands.len() != k {
+                return Err(PredictError::InvalidModel(format!(
+                    "station {i} has {} demands for {} chains",
+                    s.demands.len(),
+                    k
+                )));
+            }
+            if s.demands.iter().any(|d| !d.is_finite() || *d < 0.0) {
+                return Err(PredictError::InvalidModel(format!(
+                    "station {i} has a negative or non-finite demand"
+                )));
+            }
+            if let StationKind::Queueing { servers: 0 } = s.kind {
+                return Err(PredictError::InvalidModel(format!("station {i} has zero servers")));
+            }
+        }
+        if self
+            .populations
+            .iter()
+            .chain(&self.think_ms)
+            .any(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(PredictError::InvalidModel(
+                "negative or non-finite population/think time".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The solution of a closed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaSolution {
+    /// Residence time per chain per station (waiting + service, totalled
+    /// over all visits in a cycle), ms. Indexed `[chain][station]`.
+    pub residence_ms: Vec<Vec<f64>>,
+    /// Response time per cycle per chain (sum of residences), ms.
+    pub response_ms: Vec<f64>,
+    /// Chain throughput, cycles per **millisecond**.
+    pub throughput_per_ms: Vec<f64>,
+    /// Mean number of chain-k customers at each station.
+    pub queue_len: Vec<Vec<f64>>,
+    /// Iterations used (1 for exact MVA).
+    pub iterations: usize,
+}
+
+impl MvaSolution {
+    /// Total utilisation of station `s` (Σ_k X_k·D_k,s / servers); delay
+    /// stations report mean concurrency instead.
+    pub fn utilization(&self, net: &ClosedNetwork, s: usize) -> f64 {
+        let raw: f64 = (0..net.n_chains())
+            .map(|k| self.throughput_per_ms[k] * net.stations[s].demands[k])
+            .sum();
+        match net.stations[s].kind {
+            StationKind::Queueing { servers } => raw / f64::from(servers),
+            StationKind::Delay => raw,
+        }
+    }
+}
+
+/// Exact MVA for one closed chain over single-server queueing and delay
+/// stations. The population must be a non-negative integer.
+pub fn solve_exact_single_chain(net: &ClosedNetwork) -> Result<MvaSolution, PredictError> {
+    net.validate()?;
+    if net.n_chains() != 1 {
+        return Err(PredictError::InvalidModel(
+            "exact single-chain MVA requires exactly one chain".into(),
+        ));
+    }
+    for (i, s) in net.stations.iter().enumerate() {
+        if let StationKind::Queueing { servers } = s.kind {
+            if servers != 1 {
+                return Err(PredictError::InvalidModel(format!(
+                    "exact single-chain MVA supports only single-server stations (station {i} has {servers})"
+                )));
+            }
+        }
+    }
+    let n = net.populations[0];
+    if (n.fract()).abs() > 1e-9 {
+        return Err(PredictError::InvalidModel(
+            "exact MVA requires an integer population".into(),
+        ));
+    }
+    let n = n.round() as u64;
+    let z = net.think_ms[0];
+    let m = net.stations.len();
+    let mut q = vec![0.0f64; m];
+    let mut w = vec![0.0f64; m];
+    let mut x = 0.0f64;
+    for pop in 1..=n {
+        for s in 0..m {
+            let d = net.stations[s].demands[0];
+            w[s] = match net.stations[s].kind {
+                StationKind::Queueing { .. } => d * (1.0 + q[s]),
+                StationKind::Delay => d,
+            };
+        }
+        let r: f64 = w.iter().sum();
+        x = pop as f64 / (z + r);
+        for s in 0..m {
+            q[s] = x * w[s];
+        }
+    }
+    let r: f64 = w.iter().sum();
+    Ok(MvaSolution {
+        residence_ms: vec![w],
+        response_ms: vec![r],
+        throughput_per_ms: vec![x],
+        queue_len: vec![q],
+        iterations: 1,
+    })
+}
+
+/// Options for the Bard–Schweitzer fixed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmvaOptions {
+    /// Convergence tolerance on queue lengths.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Damping factor in (0, 1]: new = old + damping·(computed − old).
+    pub damping: f64,
+}
+
+impl Default for AmvaOptions {
+    fn default() -> Self {
+        AmvaOptions { tolerance: 1e-8, max_iterations: 20_000, damping: 0.7 }
+    }
+}
+
+/// Bard–Schweitzer approximate MVA for a closed multi-class network with
+/// multiserver stations (Seidmann transformation).
+pub fn solve_amva(net: &ClosedNetwork, opts: &AmvaOptions) -> Result<MvaSolution, PredictError> {
+    net.validate()?;
+    let kn = net.n_chains();
+    let sn = net.stations.len();
+
+    // Seidmann transformation: per-station effective queueing demand and
+    // extra per-chain delay.
+    let mut qdemand = vec![vec![0.0f64; sn]; kn]; // [chain][station]
+    let mut extra_delay = vec![0.0f64; kn];
+    let mut is_queueing = vec![false; sn];
+    for (s, st) in net.stations.iter().enumerate() {
+        match st.kind {
+            StationKind::Queueing { servers } => {
+                is_queueing[s] = true;
+                let m = f64::from(servers);
+                for (k, d) in st.demands.iter().enumerate() {
+                    qdemand[k][s] = d / m;
+                    extra_delay[k] += d * (m - 1.0) / m;
+                }
+            }
+            StationKind::Delay => {
+                for (k, d) in st.demands.iter().enumerate() {
+                    qdemand[k][s] = *d;
+                }
+            }
+        }
+    }
+
+    // Initial queue lengths: spread each chain's population across the
+    // queueing stations it actually visits.
+    let mut q = vec![vec![0.0f64; sn]; kn];
+    for k in 0..kn {
+        let visited: Vec<usize> =
+            (0..sn).filter(|&s| is_queueing[s] && qdemand[k][s] > 0.0).collect();
+        if !visited.is_empty() {
+            let share = net.populations[k] / visited.len() as f64;
+            for &s in &visited {
+                q[k][s] = share.min(net.populations[k]);
+            }
+        }
+    }
+
+    let mut w = vec![vec![0.0f64; sn]; kn];
+    let mut x = vec![0.0f64; kn];
+    let mut iterations = 0;
+    for iter in 1..=opts.max_iterations {
+        iterations = iter;
+        let mut max_delta = 0.0f64;
+        // Total queue per station (all chains) for arrival-theorem estimate.
+        let totals: Vec<f64> = (0..sn).map(|s| (0..kn).map(|k| q[k][s]).sum()).collect();
+        for k in 0..kn {
+            let nk = net.populations[k];
+            if nk <= 0.0 {
+                x[k] = 0.0;
+                w[k].fill(0.0);
+                continue;
+            }
+            let scale = (nk - 1.0).max(0.0) / nk;
+            let mut r = extra_delay[k];
+            for s in 0..sn {
+                let d = qdemand[k][s];
+                if d == 0.0 {
+                    w[k][s] = 0.0;
+                    continue;
+                }
+                w[k][s] = if is_queueing[s] {
+                    // Queue seen on arrival: others' queues in full, own
+                    // chain scaled by (N_k − 1)/N_k (Schweitzer estimate).
+                    let seen = totals[s] - q[k][s] + scale * q[k][s];
+                    d * (1.0 + seen)
+                } else {
+                    d
+                };
+                r += w[k][s];
+            }
+            let cycle = net.think_ms[k] + r;
+            x[k] = if cycle > 0.0 { nk / cycle } else { 0.0 };
+            for s in 0..sn {
+                let target = x[k] * w[k][s];
+                let updated = q[k][s] + opts.damping * (target - q[k][s]);
+                max_delta = max_delta.max((updated - q[k][s]).abs());
+                q[k][s] = updated;
+            }
+        }
+        if max_delta < opts.tolerance {
+            break;
+        }
+    }
+
+    // Final pass to report residence times consistent with the fixed point,
+    // and fold the Seidmann extra delay back into the multiserver station's
+    // residence so callers see the station's full residence time.
+    let mut residence = vec![vec![0.0f64; sn]; kn];
+    let mut response = vec![0.0f64; kn];
+    for k in 0..kn {
+        for (s, st) in net.stations.iter().enumerate() {
+            let extra = match st.kind {
+                StationKind::Queueing { servers } => {
+                    let m = f64::from(servers);
+                    st.demands[k] * (m - 1.0) / m
+                }
+                StationKind::Delay => 0.0,
+            };
+            residence[k][s] = w[k][s] + extra;
+            response[k] += residence[k][s];
+        }
+    }
+
+    let sol = MvaSolution {
+        residence_ms: residence,
+        response_ms: response,
+        throughput_per_ms: x,
+        queue_len: q,
+        iterations,
+    };
+    if sol.response_ms.iter().any(|r| !r.is_finite()) {
+        return Err(PredictError::Solver("AMVA produced a non-finite response time".into()));
+    }
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(net_demand: f64, servers: u32, pop: f64, think: f64) -> ClosedNetwork {
+        ClosedNetwork {
+            populations: vec![pop],
+            think_ms: vec![think],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers },
+                demands: vec![net_demand],
+            }],
+        }
+    }
+
+    #[test]
+    fn exact_single_customer_sees_no_queue() {
+        // One customer, one station: R = D, X = 1/(Z+D).
+        let net = single(10.0, 1, 1.0, 90.0);
+        let sol = solve_exact_single_chain(&net).unwrap();
+        assert!((sol.response_ms[0] - 10.0).abs() < 1e-12);
+        assert!((sol.throughput_per_ms[0] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_closed_form_machine_repairman() {
+        // N=2, Z=0, one station D=1: known exact MVA values.
+        // n=1: W=1, X=1, Q=1. n=2: W=1·(1+1)=2, X=2/2=1, Q=2.
+        let net = single(1.0, 1, 2.0, 0.0);
+        let sol = solve_exact_single_chain(&net).unwrap();
+        assert!((sol.response_ms[0] - 2.0).abs() < 1e-12);
+        assert!((sol.throughput_per_ms[0] - 1.0).abs() < 1e-12);
+        assert!((sol.queue_len[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_throughput_saturates_at_service_rate() {
+        let net = single(5.0, 1, 500.0, 100.0);
+        let sol = solve_exact_single_chain(&net).unwrap();
+        // Bottleneck bound: X ≤ 1/D = 0.2 per ms.
+        assert!(sol.throughput_per_ms[0] <= 0.2 + 1e-9);
+        assert!(sol.throughput_per_ms[0] > 0.199);
+        // Little's law on the full loop: N = X·(Z+R).
+        let n = sol.throughput_per_ms[0] * (100.0 + sol.response_ms[0]);
+        assert!((n - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_delay_station_adds_no_queueing() {
+        let net = ClosedNetwork {
+            populations: vec![10.0],
+            think_ms: vec![0.0],
+            stations: vec![
+                Station { kind: StationKind::Delay, demands: vec![50.0] },
+                Station { kind: StationKind::Queueing { servers: 1 }, demands: vec![1.0] },
+            ],
+        };
+        let sol = solve_exact_single_chain(&net).unwrap();
+        // The delay station always contributes exactly its demand.
+        assert!((sol.residence_ms[0][0] - 50.0).abs() < 1e-12);
+        assert!(sol.residence_ms[0][1] >= 1.0);
+    }
+
+    #[test]
+    fn exact_rejects_multichain_and_multiserver() {
+        let bad = ClosedNetwork {
+            populations: vec![1.0, 1.0],
+            think_ms: vec![0.0, 0.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![1.0, 1.0],
+            }],
+        };
+        assert!(solve_exact_single_chain(&bad).is_err());
+        let multi = single(1.0, 2, 5.0, 0.0);
+        assert!(solve_exact_single_chain(&multi).is_err());
+        let frac = single(1.0, 1, 2.5, 0.0);
+        assert!(solve_exact_single_chain(&frac).is_err());
+    }
+
+    #[test]
+    fn amva_close_to_exact_for_single_chain() {
+        for &(d, n, z) in &[(5.0, 20.0, 100.0), (1.0, 4.0, 0.0), (10.0, 200.0, 1_000.0)] {
+            let net = single(d, 1, n, z);
+            let exact = solve_exact_single_chain(&net).unwrap();
+            let approx = solve_amva(&net, &AmvaOptions::default()).unwrap();
+            let rel =
+                (approx.throughput_per_ms[0] - exact.throughput_per_ms[0]).abs()
+                    / exact.throughput_per_ms[0];
+            assert!(rel < 0.03, "throughput off by {rel} for d={d} n={n} z={z}");
+        }
+    }
+
+    #[test]
+    fn amva_single_customer_exact() {
+        // With N=1 the Schweitzer estimate is exact: R = D.
+        let net = single(10.0, 1, 1.0, 90.0);
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        assert!((sol.response_ms[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amva_multiserver_below_single_server_response() {
+        let one = single(10.0, 1, 50.0, 100.0);
+        let four = single(10.0, 4, 50.0, 100.0);
+        let r1 = solve_amva(&one, &AmvaOptions::default()).unwrap();
+        let r4 = solve_amva(&four, &AmvaOptions::default()).unwrap();
+        assert!(r4.response_ms[0] < r1.response_ms[0]);
+        assert!(r4.throughput_per_ms[0] > r1.throughput_per_ms[0]);
+        // 4 servers quadruple the saturation throughput bound.
+        assert!(r4.throughput_per_ms[0] <= 4.0 / 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn amva_multiserver_light_load_is_pure_service() {
+        // A single customer on an m-server station must see exactly D.
+        let net = single(12.0, 3, 1.0, 0.0);
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        assert!((sol.response_ms[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amva_two_chains_share_capacity() {
+        let net = ClosedNetwork {
+            populations: vec![30.0, 30.0],
+            think_ms: vec![100.0, 100.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![4.0, 4.0],
+            }],
+        };
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        // Symmetric chains get symmetric results.
+        assert!((sol.throughput_per_ms[0] - sol.throughput_per_ms[1]).abs() < 1e-9);
+        assert!((sol.response_ms[0] - sol.response_ms[1]).abs() < 1e-9);
+        // Combined throughput bounded by station capacity.
+        let total = sol.throughput_per_ms[0] + sol.throughput_per_ms[1];
+        assert!(total <= 1.0 / 4.0 + 1e-9);
+        assert!(total > 0.24);
+    }
+
+    #[test]
+    fn amva_asymmetric_chains() {
+        let net = ClosedNetwork {
+            populations: vec![10.0, 40.0],
+            think_ms: vec![0.0, 0.0],
+            stations: vec![
+                Station {
+                    kind: StationKind::Queueing { servers: 1 },
+                    demands: vec![2.0, 1.0],
+                },
+                Station {
+                    kind: StationKind::Queueing { servers: 1 },
+                    demands: vec![0.5, 3.0],
+                },
+            ],
+        };
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        // Little's law per chain: N_k = X_k (Z_k + R_k).
+        for k in 0..2 {
+            let n = sol.throughput_per_ms[k] * sol.response_ms[k];
+            assert!((n - net.populations[k]).abs() / net.populations[k] < 1e-4, "chain {k}");
+        }
+    }
+
+    #[test]
+    fn amva_zero_population_chain_is_inert() {
+        let net = ClosedNetwork {
+            populations: vec![0.0, 10.0],
+            think_ms: vec![50.0, 50.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![5.0, 5.0],
+            }],
+        };
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        assert_eq!(sol.throughput_per_ms[0], 0.0);
+        assert!(sol.throughput_per_ms[1] > 0.0);
+    }
+
+    #[test]
+    fn amva_utilization_reported() {
+        let net = single(5.0, 1, 200.0, 100.0);
+        let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        let u = sol.utilization(&net, 0);
+        assert!(u > 0.99 && u <= 1.0 + 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn amva_response_grows_with_population() {
+        let mut last = 0.0;
+        for &n in &[10.0, 100.0, 400.0, 1_000.0] {
+            let sol = solve_amva(&single(5.0, 1, n, 7_000.0), &AmvaOptions::default()).unwrap();
+            assert!(sol.response_ms[0] >= last);
+            last = sol.response_ms[0];
+        }
+        // Deep saturation: R ≈ N·D − Z.
+        let n = 4_000.0;
+        let sol = solve_amva(&single(5.0, 1, n, 7_000.0), &AmvaOptions::default()).unwrap();
+        let asymptote = n * 5.0 - 7_000.0;
+        assert!((sol.response_ms[0] - asymptote).abs() / asymptote < 0.02);
+    }
+
+    #[test]
+    fn amva_validation_errors() {
+        let mut net = single(5.0, 1, 10.0, 0.0);
+        net.stations[0].demands = vec![5.0, 1.0];
+        assert!(solve_amva(&net, &AmvaOptions::default()).is_err());
+
+        let net2 = single(-1.0, 1, 10.0, 0.0);
+        assert!(solve_amva(&net2, &AmvaOptions::default()).is_err());
+
+        let net3 = single(1.0, 0, 10.0, 0.0);
+        assert!(solve_amva(&net3, &AmvaOptions::default()).is_err());
+    }
+}
+
+/// An open (Poisson-arrival) customer class in a mixed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenClass {
+    /// Arrival rate, customers per millisecond.
+    pub rate_per_ms: f64,
+    /// Per-station demand per customer, ms.
+    pub demands: Vec<f64>,
+}
+
+/// A mixed network: closed chains plus open classes sharing the stations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedNetwork {
+    /// The closed part (chains, think times, stations).
+    pub closed: ClosedNetwork,
+    /// The open classes.
+    pub open: Vec<OpenClass>,
+}
+
+/// Solution of a mixed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSolution {
+    /// The closed chains' solution (demands already include the open-load
+    /// inflation).
+    pub closed: MvaSolution,
+    /// Residence time of each open class at each station, ms.
+    pub open_residence_ms: Vec<Vec<f64>>,
+    /// Total response time per open class, ms.
+    pub open_response_ms: Vec<f64>,
+}
+
+/// Solves a mixed open/closed network with the standard decomposition:
+/// open classes claim their utilisation first (stability required), closed
+/// chains are solved by AMVA over demands inflated by `1/(1 − ρ_open)`,
+/// and open-class residence times then see the closed queue lengths:
+///
+/// ```text
+/// W_open[s] = D_open[s] · (1 + Q_closed[s]) / (1 − ρ_open[s])
+/// ```
+///
+/// (multiservers via the Seidmann transformation on both sides).
+pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSolution, PredictError> {
+    net.closed.validate()?;
+    let sn = net.closed.stations.len();
+    for (o, oc) in net.open.iter().enumerate() {
+        if oc.demands.len() != sn {
+            return Err(PredictError::InvalidModel(format!(
+                "open class {o} has {} demands for {sn} stations",
+                oc.demands.len()
+            )));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(oc.rate_per_ms >= 0.0) || oc.demands.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(PredictError::InvalidModel(format!(
+                "open class {o} has a negative or non-finite rate/demand"
+            )));
+        }
+    }
+
+    // Open utilisation per station (per server).
+    let mut rho_open = vec![0.0f64; sn];
+    for (s, st) in net.closed.stations.iter().enumerate() {
+        let raw: f64 = net.open.iter().map(|oc| oc.rate_per_ms * oc.demands[s]).sum();
+        rho_open[s] = match st.kind {
+            StationKind::Queueing { servers } => raw / f64::from(servers),
+            StationKind::Delay => 0.0,
+        };
+        if rho_open[s] >= 0.999 {
+            return Err(PredictError::Solver(format!(
+                "open load saturates station {s} (rho = {:.3})",
+                rho_open[s]
+            )));
+        }
+    }
+
+    // Closed chains see service slowed by the open traffic.
+    let mut inflated = net.closed.clone();
+    for (s, st) in inflated.stations.iter_mut().enumerate() {
+        if matches!(st.kind, StationKind::Queueing { .. }) {
+            for d in &mut st.demands {
+                *d /= 1.0 - rho_open[s];
+            }
+        }
+    }
+    let closed_sol = solve_amva(&inflated, opts)?;
+
+    // Open residences against the closed queues.
+    let mut open_residence = Vec::with_capacity(net.open.len());
+    let mut open_response = Vec::with_capacity(net.open.len());
+    for oc in &net.open {
+        let mut per_station = Vec::with_capacity(sn);
+        let mut total = 0.0;
+        for (s, st) in net.closed.stations.iter().enumerate() {
+            let d = oc.demands[s];
+            let w = match st.kind {
+                StationKind::Delay => d,
+                StationKind::Queueing { servers } => {
+                    let m = f64::from(servers);
+                    let q_closed: f64 =
+                        (0..net.closed.n_chains()).map(|k| closed_sol.queue_len[k][s]).sum();
+                    // Seidmann: queueing part on d/m, the rest pure delay.
+                    (d / m) * (1.0 + q_closed) / (1.0 - rho_open[s]) + d * (m - 1.0) / m
+                }
+            };
+            per_station.push(w);
+            total += w;
+        }
+        open_residence.push(per_station);
+        open_response.push(total);
+    }
+
+    Ok(MixedSolution {
+        closed: closed_sol,
+        open_residence_ms: open_residence,
+        open_response_ms: open_response,
+    })
+}
+
+#[cfg(test)]
+mod mixed_tests {
+    use super::*;
+
+    fn station(demands_closed: Vec<f64>, servers: u32) -> Station {
+        Station { kind: StationKind::Queueing { servers }, demands: demands_closed }
+    }
+
+    #[test]
+    fn open_only_matches_mm1() {
+        // M/M/1: W = D / (1 − ρ).
+        let net = MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![],
+                think_ms: vec![],
+                stations: vec![station(vec![], 1)],
+            },
+            open: vec![OpenClass { rate_per_ms: 0.08, demands: vec![10.0] }],
+        };
+        let sol = solve_mixed(&net, &AmvaOptions::default()).unwrap();
+        let expect = 10.0 / (1.0 - 0.8);
+        assert!((sol.open_response_ms[0] - expect).abs() < 1e-9, "{}", sol.open_response_ms[0]);
+    }
+
+    #[test]
+    fn open_load_slows_closed_chain() {
+        let closed = ClosedNetwork {
+            populations: vec![10.0],
+            think_ms: vec![100.0],
+            stations: vec![station(vec![5.0], 1)],
+        };
+        let quiet = solve_amva(&closed, &AmvaOptions::default()).unwrap();
+        let busy = solve_mixed(
+            &MixedNetwork {
+                closed: closed.clone(),
+                open: vec![OpenClass { rate_per_ms: 0.1, demands: vec![5.0] }],
+            },
+            &AmvaOptions::default(),
+        )
+        .unwrap();
+        assert!(busy.closed.response_ms[0] > quiet.response_ms[0] * 1.5);
+        // Closed throughput drops accordingly.
+        assert!(busy.closed.throughput_per_ms[0] < quiet.throughput_per_ms[0]);
+    }
+
+    #[test]
+    fn open_class_sees_closed_queue() {
+        // A single closed customer adds queueing for the open stream.
+        let net = MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![5.0],
+                think_ms: vec![0.0],
+                stations: vec![station(vec![4.0], 1)],
+            },
+            open: vec![OpenClass { rate_per_ms: 0.02, demands: vec![4.0] }],
+        };
+        let sol = solve_mixed(&net, &AmvaOptions::default()).unwrap();
+        // Closed population ~5 queued at the station: open W >> D.
+        assert!(sol.open_response_ms[0] > 4.0 * 3.0, "{}", sol.open_response_ms[0]);
+    }
+
+    #[test]
+    fn saturating_open_load_rejected() {
+        let net = MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![],
+                think_ms: vec![],
+                stations: vec![station(vec![], 1)],
+            },
+            open: vec![OpenClass { rate_per_ms: 0.2, demands: vec![10.0] }],
+        };
+        assert!(solve_mixed(&net, &AmvaOptions::default()).is_err());
+    }
+
+    #[test]
+    fn multiserver_open_faster_than_single() {
+        let mk = |servers| MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![],
+                think_ms: vec![],
+                stations: vec![station(vec![], servers)],
+            },
+            open: vec![OpenClass { rate_per_ms: 0.15, demands: vec![10.0] }],
+        };
+        let one = solve_mixed(&mk(2), &AmvaOptions::default()).unwrap();
+        let four = solve_mixed(&mk(8), &AmvaOptions::default()).unwrap();
+        assert!(four.open_response_ms[0] < one.open_response_ms[0]);
+        // Never below the bare demand.
+        assert!(four.open_response_ms[0] >= 10.0);
+    }
+
+    #[test]
+    fn mixed_validation_errors() {
+        let net = MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![],
+                think_ms: vec![],
+                stations: vec![station(vec![], 1)],
+            },
+            open: vec![OpenClass { rate_per_ms: 0.1, demands: vec![1.0, 2.0] }],
+        };
+        assert!(solve_mixed(&net, &AmvaOptions::default()).is_err());
+        let neg = MixedNetwork {
+            closed: ClosedNetwork {
+                populations: vec![],
+                think_ms: vec![],
+                stations: vec![station(vec![], 1)],
+            },
+            open: vec![OpenClass { rate_per_ms: -0.1, demands: vec![1.0] }],
+        };
+        assert!(solve_mixed(&neg, &AmvaOptions::default()).is_err());
+    }
+}
+
+/// Exact multi-class MVA over single-server queueing and delay stations,
+/// by recursion over the population lattice with memoised queue lengths.
+///
+/// Cost is `∏(N_k + 1)` states; the function refuses networks with more
+/// than `MAX_EXACT_STATES` states. Intended for validating the
+/// Bard–Schweitzer approximation on small populations, where its error is
+/// largest.
+pub fn solve_exact_multiclass(
+    net: &ClosedNetwork,
+    populations: &[u32],
+) -> Result<MvaSolution, PredictError> {
+    const MAX_EXACT_STATES: u64 = 4_000_000;
+    net.validate()?;
+    let kn = net.n_chains();
+    if populations.len() != kn {
+        return Err(PredictError::InvalidModel(format!(
+            "{} populations for {} chains",
+            populations.len(),
+            kn
+        )));
+    }
+    for (k, (&n, &decl)) in populations.iter().zip(&net.populations).enumerate() {
+        if (f64::from(n) - decl).abs() > 1e-9 {
+            return Err(PredictError::InvalidModel(format!(
+                "population mismatch for chain {k}: {n} vs declared {decl}"
+            )));
+        }
+    }
+    for (i, s) in net.stations.iter().enumerate() {
+        if let StationKind::Queueing { servers } = s.kind {
+            if servers != 1 {
+                return Err(PredictError::InvalidModel(format!(
+                    "exact multiclass MVA supports single-server stations only (station {i})"
+                )));
+            }
+        }
+    }
+    let states: u64 = populations.iter().map(|&n| u64::from(n) + 1).product();
+    if states > MAX_EXACT_STATES {
+        return Err(PredictError::OutOfRange(format!(
+            "exact MVA state space too large ({states} > {MAX_EXACT_STATES})"
+        )));
+    }
+
+    let sn = net.stations.len();
+    // Iterate the lattice in an order where every predecessor (n − e_k) is
+    // already computed: mixed-radix counting does exactly that.
+    let mut queues: std::collections::HashMap<Vec<u32>, Vec<f64>> =
+        std::collections::HashMap::new();
+    queues.insert(vec![0; kn], vec![0.0; sn]);
+
+    let mut current = vec![0u32; kn];
+    let mut last_w = vec![vec![0.0f64; sn]; kn];
+    let mut last_x = vec![0.0f64; kn];
+    loop {
+        // Advance mixed-radix counter.
+        let mut carry = true;
+        for k in 0..kn {
+            if !carry {
+                break;
+            }
+            if current[k] < populations[k] {
+                current[k] += 1;
+                carry = false;
+            } else {
+                current[k] = 0;
+            }
+        }
+        if carry {
+            break; // wrapped: lattice exhausted
+        }
+
+        let mut q_here = vec![0.0f64; sn];
+        let mut w = vec![vec![0.0f64; sn]; kn];
+        let mut x = vec![0.0f64; kn];
+        for k in 0..kn {
+            if current[k] == 0 {
+                continue;
+            }
+            let mut prev = current.clone();
+            prev[k] -= 1;
+            let q_prev = queues.get(&prev).expect("predecessor computed");
+            let mut r = 0.0;
+            for s in 0..sn {
+                let d = net.stations[s].demands[k];
+                w[k][s] = match net.stations[s].kind {
+                    StationKind::Queueing { .. } => d * (1.0 + q_prev[s]),
+                    StationKind::Delay => d,
+                };
+                r += w[k][s];
+            }
+            let cycle = net.think_ms[k] + r;
+            x[k] = if cycle > 0.0 { f64::from(current[k]) / cycle } else { 0.0 };
+        }
+        for s in 0..sn {
+            q_here[s] = (0..kn).map(|k| x[k] * w[k][s]).sum();
+        }
+        let at_target = current.iter().zip(populations).all(|(a, b)| a == b);
+        if at_target {
+            last_w = w;
+            last_x = x;
+        }
+        queues.insert(current.clone(), q_here);
+        if at_target {
+            break;
+        }
+    }
+
+    let target: Vec<u32> = populations.to_vec();
+    let q_final = queues.remove(&target).unwrap_or_else(|| vec![0.0; sn]);
+    let response: Vec<f64> = last_w.iter().map(|ws| ws.iter().sum()).collect();
+    // Per-chain queue lengths at the final population.
+    let queue_len: Vec<Vec<f64>> = (0..kn)
+        .map(|k| (0..sn).map(|s| last_x[k] * last_w[k][s]).collect())
+        .collect();
+    let _ = q_final;
+    Ok(MvaSolution {
+        residence_ms: last_w,
+        response_ms: response,
+        throughput_per_ms: last_x,
+        queue_len,
+        iterations: 1,
+    })
+}
+
+#[cfg(test)]
+mod exact_multiclass_tests {
+    use super::*;
+
+    fn net(demands: Vec<Vec<f64>>, pops: Vec<f64>, think: Vec<f64>) -> ClosedNetwork {
+        let kn = pops.len();
+        let sn = demands[0].len();
+        ClosedNetwork {
+            populations: pops,
+            think_ms: think,
+            stations: (0..sn)
+                .map(|s| Station {
+                    kind: StationKind::Queueing { servers: 1 },
+                    demands: (0..kn).map(|k| demands[k][s]).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reduces_to_single_chain_exact() {
+        let n = net(vec![vec![5.0, 2.0]], vec![12.0], vec![100.0]);
+        let multi = solve_exact_multiclass(&n, &[12]).unwrap();
+        let single = solve_exact_single_chain(&n).unwrap();
+        assert!((multi.throughput_per_ms[0] - single.throughput_per_ms[0]).abs() < 1e-12);
+        assert!((multi.response_ms[0] - single.response_ms[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_chains_get_symmetric_results() {
+        let n = net(
+            vec![vec![3.0, 1.0], vec![3.0, 1.0]],
+            vec![6.0, 6.0],
+            vec![50.0, 50.0],
+        );
+        let sol = solve_exact_multiclass(&n, &[6, 6]).unwrap();
+        assert!((sol.throughput_per_ms[0] - sol.throughput_per_ms[1]).abs() < 1e-12);
+        assert!((sol.response_ms[0] - sol.response_ms[1]).abs() < 1e-12);
+        // Little's law.
+        let n_back = sol.throughput_per_ms[0] * (50.0 + sol.response_ms[0]);
+        assert!((n_back - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amva_error_bounded_against_exact_multiclass() {
+        // Asymmetric 2-chain network: Schweitzer should stay within a few
+        // percent of the exact answer at these populations.
+        let n = net(
+            vec![vec![4.0, 1.0], vec![1.0, 6.0]],
+            vec![8.0, 5.0],
+            vec![20.0, 0.0],
+        );
+        let exact = solve_exact_multiclass(&n, &[8, 5]).unwrap();
+        let approx = solve_amva(&n, &AmvaOptions::default()).unwrap();
+        for k in 0..2 {
+            let rel = (approx.throughput_per_ms[k] - exact.throughput_per_ms[k]).abs()
+                / exact.throughput_per_ms[k];
+            assert!(rel < 0.08, "chain {k} off by {rel}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_and_invalid_inputs() {
+        let n = net(vec![vec![1.0], vec![1.0]], vec![3000.0, 3000.0], vec![0.0, 0.0]);
+        assert!(solve_exact_multiclass(&n, &[3000, 3000]).is_err());
+        let n2 = net(vec![vec![1.0]], vec![5.0], vec![0.0]);
+        assert!(solve_exact_multiclass(&n2, &[4]).is_err()); // mismatch
+        let multi_server = ClosedNetwork {
+            populations: vec![2.0],
+            think_ms: vec![0.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 2 },
+                demands: vec![1.0],
+            }],
+        };
+        assert!(solve_exact_multiclass(&multi_server, &[2]).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Solver output: per-chain, per-entry, per-task and per-processor metrics.
+
+use crate::model::{LqnModel, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// The solution of a layered queuing model.
+///
+/// Chains are indexed in the order returned by
+/// [`LqnModel::reference_tasks`]; entries, tasks and processors use their
+/// model indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverResult {
+    /// The reference task of each chain.
+    pub chain_tasks: Vec<TaskId>,
+    /// Chain response time per cycle (excluding think time), ms.
+    pub chain_response_ms: Vec<f64>,
+    /// Chain throughput, requests (cycles) per second.
+    pub chain_throughput_rps: Vec<f64>,
+    /// The source task of each open flow.
+    pub open_tasks: Vec<TaskId>,
+    /// Response time per open flow, ms.
+    pub open_response_ms: Vec<f64>,
+    /// Throughput per open flow (its stable arrival rate), requests/second.
+    pub open_throughput_rps: Vec<f64>,
+    /// Thread-holding (elapsed) time of every entry for every chain, ms;
+    /// `entry_elapsed_ms[chain][entry]` is 0 where the chain never visits.
+    pub entry_elapsed_ms: Vec<Vec<f64>>,
+    /// Utilisation of each processor in `[0, 1]` (∞-servers report mean
+    /// concurrency instead).
+    pub processor_utilization: Vec<f64>,
+    /// Utilisation of each task's thread pool in `[0, 1]` (∞ pools report
+    /// mean concurrency).
+    pub task_utilization: Vec<f64>,
+    /// Outer (layer) iterations performed.
+    pub iterations: usize,
+    /// Whether the outer fixed point met the convergence criterion.
+    pub converged: bool,
+}
+
+impl SolverResult {
+    /// Aggregate throughput over all chains and open flows,
+    /// requests/second.
+    pub fn total_throughput_rps(&self) -> f64 {
+        self.chain_throughput_rps.iter().sum::<f64>()
+            + self.open_throughput_rps.iter().sum::<f64>()
+    }
+
+    /// Workload mean response time: per-chain responses weighted by chain
+    /// throughput, ms.
+    pub fn workload_mrt_ms(&self) -> f64 {
+        let total = self.total_throughput_rps();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let closed: f64 = self
+            .chain_response_ms
+            .iter()
+            .zip(&self.chain_throughput_rps)
+            .map(|(r, x)| r * x)
+            .sum();
+        let open: f64 = self
+            .open_response_ms
+            .iter()
+            .zip(&self.open_throughput_rps)
+            .map(|(r, x)| r * x)
+            .sum();
+        (closed + open) / total
+    }
+
+    /// The chain index driven by reference task `task`, if any.
+    pub fn chain_of(&self, task: TaskId) -> Option<usize> {
+        self.chain_tasks.iter().position(|&t| t == task)
+    }
+
+    /// Utilisation of the processor named `name`.
+    pub fn processor_utilization_by_name(&self, model: &LqnModel, name: &str) -> Option<f64> {
+        model.processor_by_name(name).map(|p| self.processor_utilization[p.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolverResult {
+        SolverResult {
+            chain_tasks: vec![TaskId(0), TaskId(2)],
+            chain_response_ms: vec![100.0, 300.0],
+            chain_throughput_rps: vec![30.0, 10.0],
+            open_tasks: vec![],
+            open_response_ms: vec![],
+            open_throughput_rps: vec![],
+            entry_elapsed_ms: vec![],
+            processor_utilization: vec![0.5],
+            task_utilization: vec![0.4],
+            iterations: 7,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn totals_and_weighted_mrt() {
+        let r = sample();
+        assert_eq!(r.total_throughput_rps(), 40.0);
+        // (100·30 + 300·10)/40 = 150
+        assert_eq!(r.workload_mrt_ms(), 150.0);
+    }
+
+    #[test]
+    fn chain_lookup() {
+        let r = sample();
+        assert_eq!(r.chain_of(TaskId(2)), Some(1));
+        assert_eq!(r.chain_of(TaskId(9)), None);
+    }
+
+    #[test]
+    fn zero_throughput_mrt_is_zero() {
+        let mut r = sample();
+        r.chain_throughput_rps = vec![0.0, 0.0];
+        assert_eq!(r.workload_mrt_ms(), 0.0);
+    }
+}

@@ -1,0 +1,1192 @@
+//! The layered (method-of-layers style) solver.
+//!
+//! The fixed point maintains two waiting-time surfaces:
+//!
+//! * `task_wait[k][t]` — time a chain-`k` request waits to acquire a thread
+//!   of task `t`, per call;
+//! * `proc_wait[k][p]` — time a chain-`k` entry invocation waits for
+//!   processor `p`, per visit;
+//!
+//! and alternates: (1) recompute entry *elapsed* (thread-holding) times
+//! bottom-up through the acyclic call graph; (2) re-estimate `task_wait`
+//! with one closed AMVA submodel per call-depth layer (tasks as multiserver
+//! stations, the rest of the cycle folded into a complementary delay); and
+//! (3) re-estimate `proc_wait` with a device submodel over the processors.
+//! Waits are under-relaxed between iterations; convergence is declared when
+//! no chain's predicted response time moves by more than
+//! [`SolverOptions::convergence_ms`] — the knob the paper sets to 20 ms
+//! (§5.1) and whose coarseness causes the small-`x` anomaly discussed in
+//! §4.2.
+
+use crate::model::{LqnModel, Multiplicity, TaskKind};
+use crate::mva::{solve_mixed, AmvaOptions, ClosedNetwork, MixedNetwork, OpenClass, Station, StationKind};
+use crate::results::SolverResult;
+use perfpred_core::PredictError;
+
+/// Options for the layered solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Absolute convergence criterion on chain response times, ms. The
+    /// paper uses 20 ms; the library default is stricter (1 ms).
+    pub convergence_ms: f64,
+    /// Cap on outer iterations.
+    pub max_iterations: usize,
+    /// Under-relaxation factor in (0, 1] applied to waiting-time updates.
+    pub under_relax: f64,
+    /// Options for the inner AMVA submodel solves.
+    pub amva: AmvaOptions,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            convergence_ms: 1.0,
+            max_iterations: 200,
+            under_relax: 0.5,
+            amva: AmvaOptions::default(),
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The configuration the paper reports: a 20 ms convergence criterion.
+    pub fn paper() -> Self {
+        SolverOptions { convergence_ms: 20.0, ..Default::default() }
+    }
+}
+
+struct Prepared {
+    /// Reference task per closed chain.
+    chains: Vec<usize>,
+    /// Population per closed chain.
+    populations: Vec<f64>,
+    /// Think time per closed chain, ms.
+    think_ms: Vec<f64>,
+    /// Reference entry per closed chain.
+    ref_entry: Vec<usize>,
+    /// Visit counts `[chain][entry]` per cycle.
+    visits: Vec<Vec<f64>>,
+    /// Source task per open flow.
+    open_tasks: Vec<usize>,
+    /// Arrival rate per open flow, requests per millisecond.
+    open_rates: Vec<f64>,
+    /// Reference entry per open flow.
+    open_ref_entry: Vec<usize>,
+    /// Visit counts `[open flow][entry]` per arrival.
+    open_visits: Vec<Vec<f64>>,
+    /// Entries in bottom-up (deepest-task-first) order.
+    bottom_up: Vec<usize>,
+    /// Task depth per task.
+    depths: Vec<usize>,
+}
+
+fn prepare(model: &LqnModel) -> Result<Prepared, PredictError> {
+    let chains: Vec<usize> = model.reference_tasks().iter().map(|t| t.0).collect();
+    let mut populations = Vec::with_capacity(chains.len());
+    let mut think_ms = Vec::with_capacity(chains.len());
+    let mut ref_entry = Vec::with_capacity(chains.len());
+    for &t in &chains {
+        let task = &model.tasks()[t];
+        match task.kind {
+            TaskKind::Reference { population, think_time_ms } => {
+                populations.push(f64::from(population));
+                think_ms.push(think_time_ms);
+            }
+            _ => unreachable!("reference_tasks returned a non-reference"),
+        }
+        if task.entries.len() != 1 {
+            return Err(PredictError::InvalidModel(format!(
+                "reference task {} must have exactly one entry (has {})",
+                task.name,
+                task.entries.len()
+            )));
+        }
+        ref_entry.push(task.entries[0].0);
+    }
+
+    let open_chains: Vec<usize> = model.open_reference_tasks().iter().map(|t| t.0).collect();
+    let mut open_rates = Vec::with_capacity(open_chains.len());
+    let mut open_ref_entry = Vec::with_capacity(open_chains.len());
+    for &t in &open_chains {
+        let task = &model.tasks()[t];
+        match task.kind {
+            TaskKind::OpenReference { rate_rps } => open_rates.push(rate_rps / 1_000.0),
+            _ => unreachable!("open_reference_tasks returned a non-open-reference"),
+        }
+        if task.entries.len() != 1 {
+            return Err(PredictError::InvalidModel(format!(
+                "open reference task {} must have exactly one entry (has {})",
+                task.name,
+                task.entries.len()
+            )));
+        }
+        open_ref_entry.push(task.entries[0].0);
+    }
+
+    let depths = model.task_depths();
+    // Topological order of entries by ascending task depth (callers before
+    // callees), for visit propagation; reversed for bottom-up elapsed times.
+    let mut order: Vec<usize> = (0..model.entries().len()).collect();
+    order.sort_by_key(|&e| depths[model.entries()[e].task.0]);
+
+    let propagate = |start: usize| -> Vec<f64> {
+        let mut v = vec![0.0f64; model.entries().len()];
+        v[start] = 1.0;
+        for &e in &order {
+            let val = v[e];
+            if val == 0.0 {
+                continue;
+            }
+            for call in &model.entries()[e].calls {
+                v[call.target.0] += val * call.mean_calls;
+            }
+        }
+        v
+    };
+    let visits: Vec<Vec<f64>> = ref_entry.iter().map(|&re| propagate(re)).collect();
+    let open_visits: Vec<Vec<f64>> = open_ref_entry.iter().map(|&re| propagate(re)).collect();
+
+    let bottom_up: Vec<usize> = order.iter().rev().copied().collect();
+    Ok(Prepared {
+        chains,
+        populations,
+        think_ms,
+        ref_entry,
+        visits,
+        open_tasks: open_chains,
+        open_rates,
+        open_ref_entry,
+        open_visits,
+        bottom_up,
+        depths,
+    })
+}
+
+/// Solves the model analytically. See the module docs for the algorithm.
+pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, PredictError> {
+    let prep = prepare(model)?;
+    let kn = prep.chains.len();
+    let en = model.entries().len();
+    let tn = model.tasks().len();
+    let pn = model.processors().len();
+
+    let mut task_wait = vec![vec![0.0f64; tn]; kn];
+    let mut proc_wait = vec![vec![0.0f64; pn]; kn];
+    let mut elapsed = vec![vec![0.0f64; en]; kn];
+    // Thread-holding time: phase-1 elapsed plus any second phase (§5's
+    // "service with a second phase" — the caller does not wait for it but
+    // the thread stays busy).
+    let mut holding = vec![vec![0.0f64; en]; kn];
+    let mut response = vec![0.0f64; kn];
+    let mut throughput_per_ms = vec![0.0f64; kn];
+    let mut converged = false;
+    let mut converged_streak = 0usize;
+    let mut iterations = 0;
+
+    // Chain visit totals per task and per processor (constant).
+    let mut task_visits = vec![vec![0.0f64; tn]; kn];
+    let mut proc_visits = vec![vec![0.0f64; pn]; kn];
+    let mut proc_demand = vec![vec![0.0f64; pn]; kn];
+    for k in 0..kn {
+        for (e, entry) in model.entries().iter().enumerate() {
+            let v = prep.visits[k][e];
+            if v == 0.0 {
+                continue;
+            }
+            task_visits[k][entry.task.0] += v;
+            let total_demand = entry.demand_ms + entry.phase2_demand_ms;
+            if total_demand > 0.0 {
+                let p = model.tasks()[entry.task.0].processor.0;
+                proc_visits[k][p] += v;
+                proc_demand[k][p] += v * total_demand;
+            }
+        }
+    }
+
+    // Open-flow state.
+    let on = prep.open_tasks.len();
+    let mut open_task_wait = vec![vec![0.0f64; tn]; on];
+    let mut open_proc_wait = vec![vec![0.0f64; pn]; on];
+    let mut open_elapsed = vec![vec![0.0f64; en]; on];
+    let mut open_holding = vec![vec![0.0f64; en]; on];
+    let mut open_response = vec![0.0f64; on];
+    let mut open_task_visits = vec![vec![0.0f64; tn]; on];
+    let mut open_proc_demand = vec![vec![0.0f64; pn]; on];
+    let mut open_proc_visits = vec![vec![0.0f64; pn]; on];
+    for o in 0..on {
+        for (e, entry) in model.entries().iter().enumerate() {
+            let v = prep.open_visits[o][e];
+            if v == 0.0 {
+                continue;
+            }
+            open_task_visits[o][entry.task.0] += v;
+            let total_demand = entry.demand_ms + entry.phase2_demand_ms;
+            if total_demand > 0.0 {
+                let p = model.tasks()[entry.task.0].processor.0;
+                open_proc_visits[o][p] += v;
+                open_proc_demand[o][p] += v * total_demand;
+            }
+        }
+    }
+
+    let max_depth = prep.depths.iter().copied().max().unwrap_or(0);
+
+    // Seed the processor waits from a *flat* device-level AMVA (every chain
+    // queueing directly at every finite processor it uses). This
+    // deliberately overestimates contention — it ignores the concurrency
+    // limits imposed by thread pools — but it starts the layered fixed
+    // point in the saturated basin, from which the iteration relaxes
+    // downward quickly. Starting from zero waits instead can strand the
+    // solver near a degenerate unsaturated fixed point for many iterations.
+    {
+        let station_procs: Vec<usize> = (0..pn)
+            .filter(|&p| {
+                !model.processors()[p].multiplicity.is_infinite()
+                    && (0..kn).any(|k| proc_demand[k][p] > 0.0)
+            })
+            .collect();
+        if !station_procs.is_empty() {
+            let net = MixedNetwork {
+                closed: ClosedNetwork {
+                    populations: prep.populations.clone(),
+                    think_ms: prep.think_ms.clone(),
+                    stations: station_procs
+                        .iter()
+                        .map(|&p| Station {
+                            kind: StationKind::Queueing {
+                                servers: match model.processors()[p].multiplicity {
+                                    Multiplicity::Finite(m) => m,
+                                    Multiplicity::Infinite => unreachable!(),
+                                },
+                            },
+                            demands: (0..kn).map(|k| proc_demand[k][p]).collect(),
+                        })
+                        .collect(),
+                },
+                open: (0..on)
+                    .map(|o| OpenClass {
+                        rate_per_ms: prep.open_rates[o],
+                        demands: station_procs.iter().map(|&p| open_proc_demand[o][p]).collect(),
+                    })
+                    .collect(),
+            };
+            // An open load that saturates a processor is unstable: the
+            // mixed solver rejects it here, before any iteration.
+            let sol = solve_mixed(&net, &opts.amva)?;
+            for k in 0..kn {
+                for (si, &p) in station_procs.iter().enumerate() {
+                    if proc_visits[k][p] > 0.0 {
+                        proc_wait[k][p] = ((sol.closed.residence_ms[k][si] - proc_demand[k][p])
+                            / proc_visits[k][p])
+                            .max(0.0);
+                    }
+                }
+            }
+            for o in 0..on {
+                for (si, &p) in station_procs.iter().enumerate() {
+                    if open_proc_visits[o][p] > 0.0 {
+                        open_proc_wait[o][p] = ((sol.open_residence_ms[o][si]
+                            - open_proc_demand[o][p])
+                            / open_proc_visits[o][p])
+                            .max(0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    for iter in 1..=opts.max_iterations {
+        iterations = iter;
+
+        // (1) Entry elapsed times, bottom-up.
+        for k in 0..kn {
+            for &e in &prep.bottom_up {
+                if prep.visits[k][e] == 0.0 {
+                    elapsed[k][e] = 0.0;
+                    continue;
+                }
+                let entry = &model.entries()[e];
+                let p = model.tasks()[entry.task.0].processor.0;
+                let mut x = entry.demand_ms;
+                if entry.demand_ms > 0.0 {
+                    x += proc_wait[k][p];
+                }
+                for call in &entry.calls {
+                    let tgt = call.target.0;
+                    let tgt_task = model.entries()[tgt].task.0;
+                    x += call.mean_calls * (task_wait[k][tgt_task] + elapsed[k][tgt]);
+                }
+                elapsed[k][e] = x;
+                // Holding adds the second phase's service; the single
+                // per-cycle proc_wait already covers queueing for the
+                // entry's full (phase 1 + phase 2) processor demand.
+                holding[k][e] = x + entry.phase2_demand_ms;
+            }
+        }
+        for o in 0..on {
+            for &e in &prep.bottom_up {
+                if prep.open_visits[o][e] == 0.0 {
+                    open_elapsed[o][e] = 0.0;
+                    continue;
+                }
+                let entry = &model.entries()[e];
+                let p = model.tasks()[entry.task.0].processor.0;
+                let mut x = entry.demand_ms;
+                if entry.demand_ms > 0.0 {
+                    x += open_proc_wait[o][p];
+                }
+                for call in &entry.calls {
+                    let tgt = call.target.0;
+                    let tgt_task = model.entries()[tgt].task.0;
+                    x += call.mean_calls * (open_task_wait[o][tgt_task] + open_elapsed[o][tgt]);
+                }
+                open_elapsed[o][e] = x;
+                open_holding[o][e] = x + entry.phase2_demand_ms;
+            }
+        }
+
+        // (2) Chain response and throughput estimates.
+        let mut max_delta = 0.0f64;
+        for k in 0..kn {
+            let r = elapsed[k][prep.ref_entry[k]];
+            max_delta = max_delta.max((r - response[k]).abs());
+            response[k] = r;
+            let cycle = prep.think_ms[k] + r;
+            throughput_per_ms[k] =
+                if cycle > 0.0 && prep.populations[k] > 0.0 { prep.populations[k] / cycle } else { 0.0 };
+        }
+        for o in 0..on {
+            let r = open_elapsed[o][prep.open_ref_entry[o]];
+            max_delta = max_delta.max((r - open_response[o]).abs());
+            open_response[o] = r;
+        }
+
+        // Never accept a fixed point that implies an infeasible operating
+        // point (some finite station pushed past 100 % utilisation by the
+        // current throughput estimate) — a coarse convergence criterion
+        // could otherwise stop mid-ramp with throughputs above hardware
+        // capacity.
+        let mut feasible = true;
+        for p in 0..pn {
+            if let Multiplicity::Finite(m) = model.processors()[p].multiplicity {
+                let closed_load: f64 =
+                    (0..kn).map(|k| throughput_per_ms[k] * proc_demand[k][p]).sum();
+                let open_load: f64 =
+                    (0..on).map(|o| prep.open_rates[o] * open_proc_demand[o][p]).sum();
+                if (closed_load + open_load) / f64::from(m) > 1.005 {
+                    feasible = false;
+                }
+            }
+        }
+
+        // Require the criterion to hold over consecutive iterations so a
+        // momentarily slow-moving ramp is not mistaken for a fixed point.
+        if feasible && max_delta < opts.convergence_ms {
+            converged_streak += 1;
+            if iter > 3 && converged_streak >= 2 {
+                converged = true;
+                break;
+            }
+        } else {
+            converged_streak = 0;
+        }
+
+        // (3) Level submodels (Method of Layers).
+        //
+        // Level 0: the client chains (full populations, think time Z_k)
+        // queue for the thread pools of the tasks they call.
+        //
+        // Level ℓ ≥ 1: the *threads* of level-ℓ tasks are the customers —
+        // per-(chain, task) populations follow from Little's law
+        // (X·V·holding-time, capped by N_k and the pool size) — and the
+        // stations are the tasks' host processors plus the thread pools of
+        // the tasks they call. A thread is always either executing on its
+        // processor or blocked in a callee, so the submodel think time is
+        // zero.
+        for level in 0..=max_depth {
+            // Customer tasks at this level (reference chains at level 0).
+            // The deepest level has no callee pools, but its submodel still
+            // corrects the host processors' waits (the flat initialisation
+            // deliberately overestimates them).
+            let customer_tasks: Vec<usize> = (0..tn)
+                .filter(|&t| {
+                    prep.depths[t] == level
+                        && if level == 0 {
+                            model.tasks()[t].is_reference()
+                        } else {
+                            !model.tasks()[t].is_source()
+                                && ((0..kn).any(|k| task_visits[k][t] > 0.0)
+                                    || (0..on).any(|o| open_task_visits[o][t] > 0.0))
+                        }
+                })
+                .collect();
+            if customer_tasks.is_empty() {
+                continue;
+            }
+
+            // Sub-chains: one per (chain, customer task) pair with traffic.
+            struct SubChain {
+                k: usize,
+                t: usize,
+                population: f64,
+                think: f64,
+            }
+            let mut subchains: Vec<SubChain> = Vec::new();
+            for &t in &customer_tasks {
+                for k in 0..kn {
+                    if level == 0 {
+                        if prep.chains[k] != t {
+                            continue;
+                        }
+                        let own = model.entries()[prep.ref_entry[k]].demand_ms;
+                        subchains.push(SubChain {
+                            k,
+                            t,
+                            population: prep.populations[k],
+                            think: prep.think_ms[k] + own,
+                        });
+                    } else {
+                        let v = task_visits[k][t];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let holding_total: f64 = model.tasks()[t]
+                            .entries
+                            .iter()
+                            .map(|e| prep.visits[k][e.0] * holding[k][e.0])
+                            .sum();
+                        // Concurrently active chain-k threads of t
+                        // (Little's law: X × thread-holding time per cycle).
+                        let p = (throughput_per_ms[k] * holding_total).min(prep.populations[k]);
+                        subchains.push(SubChain { k, t, population: p, think: 0.0 });
+                    }
+                }
+            }
+            // Cap total thread-customers of a finite pool at its size.
+            if level > 0 {
+                for &t in &customer_tasks {
+                    if let Multiplicity::Finite(m) = model.tasks()[t].multiplicity {
+                        let total: f64 = subchains
+                            .iter()
+                            .filter(|c| c.t == t)
+                            .map(|c| c.population)
+                            .sum();
+                        if total > f64::from(m) {
+                            let scale = f64::from(m) / total;
+                            for c in subchains.iter_mut().filter(|c| c.t == t) {
+                                c.population *= scale;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Open sub-streams through this level: at level 0 an open
+            // source injects its arrival stream; at deeper levels a stream
+            // follows the flow's visit counts through the level's tasks.
+            struct SubStream {
+                o: usize,
+                t: usize,
+                rate: f64,
+            }
+            let mut substreams: Vec<SubStream> = Vec::new();
+            for (o, (&src, &rate)) in
+                prep.open_tasks.iter().zip(&prep.open_rates).enumerate()
+            {
+                if level == 0 {
+                    substreams.push(SubStream { o, t: src, rate });
+                } else {
+                    for &t in &customer_tasks {
+                        let v = open_task_visits[o][t];
+                        if v > 0.0 {
+                            substreams.push(SubStream { o, t, rate: rate * v });
+                        }
+                    }
+                }
+            }
+
+            // Stations: callee thread pools (finite multiplicity, any
+            // deeper level) and — for level ≥ 1 — the finite processors
+            // hosting the customer tasks (and open-stream source/carrier
+            // tasks).
+            let mut callee_tasks: Vec<usize> = Vec::new();
+            let mut host_procs: Vec<usize> = Vec::new();
+            for &t in customer_tasks.iter().chain(substreams.iter().map(|ss| &ss.t)) {
+                for e in &model.tasks()[t].entries {
+                    for call in &model.entries()[e.0].calls {
+                        let t2 = model.entries()[call.target.0].task.0;
+                        if !model.tasks()[t2].multiplicity.is_infinite()
+                            && !callee_tasks.contains(&t2)
+                        {
+                            callee_tasks.push(t2);
+                        }
+                    }
+                }
+                if level > 0 {
+                    let p = model.tasks()[t].processor.0;
+                    if !model.processors()[p].multiplicity.is_infinite()
+                        && !host_procs.contains(&p)
+                    {
+                        host_procs.push(p);
+                    }
+                }
+            }
+            if callee_tasks.is_empty() && host_procs.is_empty() {
+                continue;
+            }
+
+            // Per-subchain demands at each station, per customer-task visit.
+            let cn = subchains.len();
+            let sn_tasks = callee_tasks.len();
+            let sn_procs = host_procs.len();
+            let mut demands = vec![vec![0.0f64; sn_tasks + sn_procs]; cn];
+            // Calls per cycle to each callee pool (for residence → per-call
+            // wait conversion).
+            let mut calls_per_cycle = vec![vec![0.0f64; sn_tasks]; cn];
+            // Processor visits per cycle (entries with demand, v-weighted).
+            let mut proc_visits_cycle = vec![vec![0.0f64; sn_procs]; cn];
+            for (ci, c) in subchains.iter().enumerate() {
+                let v_t = if level == 0 { 1.0 } else { task_visits[c.k][c.t] };
+                for e in &model.tasks()[c.t].entries {
+                    let entry = &model.entries()[e.0];
+                    let share = prep.visits[c.k][e.0] / v_t;
+                    if share == 0.0 {
+                        continue;
+                    }
+                    for call in &entry.calls {
+                        let t2 = model.entries()[call.target.0].task.0;
+                        if let Some(si) = callee_tasks.iter().position(|&x| x == t2) {
+                            demands[ci][si] +=
+                                share * call.mean_calls * holding[c.k][call.target.0];
+                            calls_per_cycle[ci][si] += share * call.mean_calls;
+                        }
+                    }
+                    let total_demand = entry.demand_ms + entry.phase2_demand_ms;
+                    if level > 0 && total_demand > 0.0 {
+                        let p = model.tasks()[c.t].processor.0;
+                        if let Some(pi) = host_procs.iter().position(|&x| x == p) {
+                            demands[ci][sn_tasks + pi] += share * total_demand;
+                            proc_visits_cycle[ci][pi] += share;
+                        }
+                    }
+                }
+            }
+            let on_sub = substreams.len();
+            let mut open_demands = vec![vec![0.0f64; sn_tasks + sn_procs]; on_sub];
+            let mut open_calls_cycle = vec![vec![0.0f64; sn_tasks]; on_sub];
+            let mut open_pvisits_cycle = vec![vec![0.0f64; sn_procs]; on_sub];
+            for (oi, ss) in substreams.iter().enumerate() {
+                let v_t = if level == 0 { 1.0 } else { open_task_visits[ss.o][ss.t] };
+                for e in &model.tasks()[ss.t].entries {
+                    let entry = &model.entries()[e.0];
+                    let share = prep.open_visits[ss.o][e.0] / v_t;
+                    if share == 0.0 {
+                        continue;
+                    }
+                    for call in &entry.calls {
+                        let t2 = model.entries()[call.target.0].task.0;
+                        if let Some(si) = callee_tasks.iter().position(|&x| x == t2) {
+                            open_demands[oi][si] +=
+                                share * call.mean_calls * open_holding[ss.o][call.target.0];
+                            open_calls_cycle[oi][si] += share * call.mean_calls;
+                        }
+                    }
+                    let total_demand = entry.demand_ms + entry.phase2_demand_ms;
+                    if level > 0 && total_demand > 0.0 {
+                        let p = model.tasks()[ss.t].processor.0;
+                        if let Some(pi) = host_procs.iter().position(|&x| x == p) {
+                            open_demands[oi][sn_tasks + pi] += share * total_demand;
+                            open_pvisits_cycle[oi][pi] += share;
+                        }
+                    }
+                }
+            }
+
+            let net = MixedNetwork {
+                closed: ClosedNetwork {
+                    populations: subchains.iter().map(|c| c.population).collect(),
+                    think_ms: subchains.iter().map(|c| c.think).collect(),
+                    stations: callee_tasks
+                        .iter()
+                        .map(|&t| StationKind::Queueing {
+                            servers: match model.tasks()[t].multiplicity {
+                                Multiplicity::Finite(m) => m,
+                                Multiplicity::Infinite => unreachable!(),
+                            },
+                        })
+                        .chain(host_procs.iter().map(|&p| StationKind::Queueing {
+                            servers: match model.processors()[p].multiplicity {
+                                Multiplicity::Finite(m) => m,
+                                Multiplicity::Infinite => unreachable!(),
+                            },
+                        }))
+                        .enumerate()
+                        .map(|(si, kind)| Station {
+                            kind,
+                            demands: (0..cn).map(|ci| demands[ci][si]).collect(),
+                        })
+                        .collect(),
+                },
+                open: substreams
+                    .iter()
+                    .enumerate()
+                    .map(|(oi, ss)| OpenClass {
+                        rate_per_ms: ss.rate,
+                        demands: open_demands[oi].clone(),
+                    })
+                    .collect(),
+            };
+            let mixed_sol = solve_mixed(&net, &opts.amva)?;
+            let sol = &mixed_sol.closed;
+
+            // Fold residences back into per-call / per-visit waits,
+            // accumulating call-weighted means per original chain.
+            let mut tw_acc = vec![vec![(0.0f64, 0.0f64); sn_tasks]; kn]; // (wait·weight, weight)
+            let mut pw_acc = vec![vec![(0.0f64, 0.0f64); sn_procs]; kn];
+            for (ci, c) in subchains.iter().enumerate() {
+                for si in 0..sn_tasks {
+                    let calls = calls_per_cycle[ci][si];
+                    if calls > 0.0 {
+                        let wait =
+                            ((sol.residence_ms[ci][si] - demands[ci][si]) / calls).max(0.0);
+                        let weight = c.population.max(1e-12) * calls;
+                        tw_acc[c.k][si].0 += wait * weight;
+                        tw_acc[c.k][si].1 += weight;
+                    }
+                }
+                for pi in 0..sn_procs {
+                    let visits = proc_visits_cycle[ci][pi];
+                    if visits > 0.0 {
+                        let wait = ((sol.residence_ms[ci][sn_tasks + pi]
+                            - demands[ci][sn_tasks + pi])
+                            / visits)
+                            .max(0.0);
+                        let weight = c.population.max(1e-12) * visits;
+                        pw_acc[c.k][pi].0 += wait * weight;
+                        pw_acc[c.k][pi].1 += weight;
+                    }
+                }
+            }
+            for k in 0..kn {
+                for (si, &t2) in callee_tasks.iter().enumerate() {
+                    let (sum, w) = tw_acc[k][si];
+                    if w > 0.0 {
+                        let new_wait = sum / w;
+                        task_wait[k][t2] += opts.under_relax * (new_wait - task_wait[k][t2]);
+                    }
+                }
+                for (pi, &p) in host_procs.iter().enumerate() {
+                    let (sum, w) = pw_acc[k][pi];
+                    if w > 0.0 {
+                        let new_wait = sum / w;
+                        proc_wait[k][p] += opts.under_relax * (new_wait - proc_wait[k][p]);
+                    }
+                }
+            }
+
+            // Open-stream waits from the open residences.
+            let mut otw_acc = vec![vec![(0.0f64, 0.0f64); sn_tasks]; on];
+            let mut opw_acc = vec![vec![(0.0f64, 0.0f64); sn_procs]; on];
+            for (oi, ss) in substreams.iter().enumerate() {
+                for si in 0..sn_tasks {
+                    let calls = open_calls_cycle[oi][si];
+                    if calls > 0.0 {
+                        let wait = ((mixed_sol.open_residence_ms[oi][si]
+                            - open_demands[oi][si])
+                            / calls)
+                            .max(0.0);
+                        let weight = ss.rate.max(1e-12) * calls;
+                        otw_acc[ss.o][si].0 += wait * weight;
+                        otw_acc[ss.o][si].1 += weight;
+                    }
+                }
+                for pi in 0..sn_procs {
+                    let visits = open_pvisits_cycle[oi][pi];
+                    if visits > 0.0 {
+                        let wait = ((mixed_sol.open_residence_ms[oi][sn_tasks + pi]
+                            - open_demands[oi][sn_tasks + pi])
+                            / visits)
+                            .max(0.0);
+                        let weight = ss.rate.max(1e-12) * visits;
+                        opw_acc[ss.o][pi].0 += wait * weight;
+                        opw_acc[ss.o][pi].1 += weight;
+                    }
+                }
+            }
+            for o in 0..on {
+                for (si, &t2) in callee_tasks.iter().enumerate() {
+                    let (sum, w) = otw_acc[o][si];
+                    if w > 0.0 {
+                        let new_wait = sum / w;
+                        open_task_wait[o][t2] +=
+                            opts.under_relax * (new_wait - open_task_wait[o][t2]);
+                    }
+                }
+                for (pi, &p) in host_procs.iter().enumerate() {
+                    let (sum, w) = opw_acc[o][pi];
+                    if w > 0.0 {
+                        let new_wait = sum / w;
+                        open_proc_wait[o][p] +=
+                            opts.under_relax * (new_wait - open_proc_wait[o][p]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Utilisations from the final throughputs (closed + open).
+    let mut processor_utilization = vec![0.0f64; pn];
+    for p in 0..pn {
+        let raw: f64 = (0..kn).map(|k| throughput_per_ms[k] * proc_demand[k][p]).sum::<f64>()
+            + (0..on).map(|o| prep.open_rates[o] * open_proc_demand[o][p]).sum::<f64>();
+        processor_utilization[p] = match model.processors()[p].multiplicity {
+            Multiplicity::Finite(m) => raw / f64::from(m),
+            Multiplicity::Infinite => raw,
+        };
+    }
+    let mut task_utilization = vec![0.0f64; tn];
+    for (t, task) in model.tasks().iter().enumerate() {
+        if task.is_source() {
+            continue;
+        }
+        let raw: f64 = (0..kn)
+            .map(|k| {
+                throughput_per_ms[k]
+                    * model.tasks()[t]
+                        .entries
+                        .iter()
+                        .map(|e| prep.visits[k][e.0] * holding[k][e.0])
+                        .sum::<f64>()
+            })
+            .sum::<f64>()
+            + (0..on)
+                .map(|o| {
+                    prep.open_rates[o]
+                        * model.tasks()[t]
+                            .entries
+                            .iter()
+                            .map(|e| prep.open_visits[o][e.0] * open_holding[o][e.0])
+                            .sum::<f64>()
+                })
+                .sum::<f64>();
+        task_utilization[t] = match model.tasks()[t].multiplicity {
+            Multiplicity::Finite(m) => raw / f64::from(m),
+            Multiplicity::Infinite => raw,
+        };
+    }
+
+    if response.iter().chain(open_response.iter()).any(|r| !r.is_finite()) {
+        return Err(PredictError::Solver("layered solver produced non-finite response".into()));
+    }
+
+    Ok(SolverResult {
+        chain_tasks: model.reference_tasks(),
+        chain_response_ms: response,
+        chain_throughput_rps: throughput_per_ms.iter().map(|x| x * 1_000.0).collect(),
+        open_tasks: model.open_reference_tasks(),
+        open_response_ms: open_response,
+        open_throughput_rps: prep.open_rates.iter().map(|r| r * 1_000.0).collect(),
+        entry_elapsed_ms: elapsed,
+        processor_utilization,
+        task_utilization,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LqnModel;
+
+    /// Clients -> app(m threads) -> db, the shape of the paper's case study.
+    fn trade_like(population: u32, think: f64, app_threads: u32) -> LqnModel {
+        let mut b = LqnModel::builder();
+        let cp = b.processor("client-cpu").infinite().finish();
+        let ap = b.processor("app-cpu").finish();
+        let dp = b.processor("db-cpu").finish();
+        let app = b.task("app", ap).multiplicity(app_threads).finish();
+        let db = b.task("db", dp).multiplicity(20).finish();
+        let serve = b.entry("serve", app).demand_ms(5.0).finish();
+        let query = b.entry("query", db).demand_ms(1.0).finish();
+        b.call(serve, query, 1.14);
+        let clients = b.reference_task("clients", cp, population, think).finish();
+        let cycle = b.entry("cycle", clients).finish();
+        b.call(cycle, serve, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn light_load_response_is_sum_of_demands() {
+        // One client: no contention anywhere, R = 5 + 1.14·1 = 6.14 ms.
+        let m = trade_like(1, 7_000.0, 50);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert!((sol.chain_response_ms[0] - 6.14).abs() < 0.05, "R={}", sol.chain_response_ms[0]);
+        // X = 1/(7000+6.14) cycles/ms ≈ 0.1427 req/s.
+        let x = sol.chain_throughput_rps[0];
+        assert!((x - 1_000.0 / 7_006.14).abs() < 0.001, "X={x}");
+    }
+
+    #[test]
+    fn throughput_saturates_at_bottleneck() {
+        // App CPU demand 5 ms ⇒ bound 200 req/s.
+        let m = trade_like(4_000, 7_000.0, 50);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        let x = sol.chain_throughput_rps[0];
+        assert!(x <= 200.0 + 0.5, "X={x}");
+        assert!(x > 190.0, "X={x}");
+        // The app CPU should be nearly saturated.
+        let app_cpu = m.processor_by_name("app-cpu").unwrap();
+        assert!(sol.processor_utilization[app_cpu.0] > 0.95);
+    }
+
+    #[test]
+    fn response_monotone_in_population() {
+        let mut last = 0.0;
+        for &n in &[50u32, 400, 900, 1_400, 2_000, 3_000] {
+            let sol = solve(&trade_like(n, 7_000.0, 50), &SolverOptions::default()).unwrap();
+            let r = sol.chain_response_ms[0];
+            assert!(
+                r >= last - 1.0,
+                "response decreased: {last} -> {r} at n={n}"
+            );
+            last = r;
+        }
+        // Deep saturation asymptote: R ≈ N/X − Z = N·5 − 7000.
+        let sol = solve(&trade_like(3_000, 7_000.0, 50), &SolverOptions::default()).unwrap();
+        let expect = 3_000.0 * 5.0 - 7_000.0;
+        let r = sol.chain_response_ms[0];
+        assert!((r - expect).abs() / expect < 0.05, "R={r} vs {expect}");
+    }
+
+    #[test]
+    fn little_law_holds_at_fixed_point() {
+        for &n in &[100u32, 800, 1_500] {
+            let sol = solve(&trade_like(n, 7_000.0, 50), &SolverOptions::default()).unwrap();
+            let x_per_ms = sol.chain_throughput_rps[0] / 1_000.0;
+            let lhs = x_per_ms * (7_000.0 + sol.chain_response_ms[0]);
+            assert!((lhs - f64::from(n)).abs() / f64::from(n) < 0.01, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thread_starvation_inflates_response() {
+        // Same demands, but only 1 app thread: requests queue for the
+        // thread while the db call blocks it.
+        let wide = solve(&trade_like(300, 1_000.0, 50), &SolverOptions::default()).unwrap();
+        let narrow = solve(&trade_like(300, 1_000.0, 1), &SolverOptions::default()).unwrap();
+        assert!(
+            narrow.chain_response_ms[0] > wide.chain_response_ms[0] * 1.5,
+            "narrow {} vs wide {}",
+            narrow.chain_response_ms[0],
+            wide.chain_response_ms[0]
+        );
+        // 1 thread holding ~6.14 ms per request caps throughput near
+        // 163/s, below the 200/s CPU bound.
+        assert!(narrow.chain_throughput_rps[0] < 170.0);
+    }
+
+    #[test]
+    fn two_chains_mix() {
+        // Browse + buy style: buy has double the demands.
+        let mut b = LqnModel::builder();
+        let cp = b.processor("client-cpu").infinite().finish();
+        let ap = b.processor("app-cpu").finish();
+        let dp = b.processor("db-cpu").finish();
+        let app = b.task("app", ap).multiplicity(50).finish();
+        let db = b.task("db", dp).multiplicity(20).finish();
+        let browse = b.entry("browse", app).demand_ms(4.505).finish();
+        let buy = b.entry("buy", app).demand_ms(8.761).finish();
+        let bq = b.entry("browse-q", db).demand_ms(0.8294).finish();
+        let uq = b.entry("buy-q", db).demand_ms(1.613).finish();
+        b.call(browse, bq, 1.14);
+        b.call(buy, uq, 2.0);
+        let c1 = b.reference_task("browsers", cp, 750, 7_000.0).finish();
+        let e1 = b.entry("browse-cycle", c1).finish();
+        b.call(e1, browse, 1.0);
+        let c2 = b.reference_task("buyers", cp, 250, 7_000.0).finish();
+        let e2 = b.entry("buy-cycle", c2).finish();
+        b.call(e2, buy, 1.0);
+        let m = b.build().unwrap();
+
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        // Buy requests are heavier, so slower.
+        assert!(sol.chain_response_ms[1] > sol.chain_response_ms[0]);
+        // Both chains below their saturation caps but positive.
+        assert!(sol.chain_throughput_rps[0] > 0.0);
+        assert!(sol.chain_throughput_rps[1] > 0.0);
+        // Browse is ~3x the buy population so ~3x the throughput (think
+        // times equal, responses small vs think).
+        let ratio = sol.chain_throughput_rps[0] / sol.chain_throughput_rps[1];
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_population_chain() {
+        let m = trade_like(0, 7_000.0, 50);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert_eq!(sol.chain_throughput_rps[0], 0.0);
+    }
+
+    #[test]
+    fn coarse_convergence_criterion_converges_faster() {
+        // Away from the saturation knee the paper's 20 ms criterion agrees
+        // with a fine criterion while using fewer iterations.
+        for &n in &[800u32, 2_500, 4_000] {
+            let m = trade_like(n, 7_000.0, 50);
+            let fine =
+                solve(&m, &SolverOptions { convergence_ms: 0.01, ..Default::default() }).unwrap();
+            let coarse = solve(&m, &SolverOptions::paper()).unwrap();
+            assert!(coarse.iterations <= fine.iterations, "n={n}");
+            let rel = (fine.chain_response_ms[0] - coarse.chain_response_ms[0]).abs()
+                / fine.chain_response_ms[0].max(1.0);
+            assert!(
+                rel < 0.25,
+                "n={n}: fine {} vs coarse {}",
+                fine.chain_response_ms[0],
+                coarse.chain_response_ms[0]
+            );
+        }
+    }
+
+    #[test]
+    fn knee_solutions_stay_feasible_under_coarse_criterion() {
+        // §4.2 reports anomalies from the 20 ms convergence criterion near
+        // max throughput. Our solver refuses to *stop* in an infeasible
+        // state: even with the coarse criterion, the reported throughput
+        // never exceeds the bottleneck capacity, and the knee solution
+        // stays in the fine solution's neighbourhood.
+        let m = trade_like(1_500, 7_000.0, 50); // knee ≈ 1450 clients
+        let fine =
+            solve(&m, &SolverOptions { convergence_ms: 0.01, ..Default::default() }).unwrap();
+        let coarse = solve(&m, &SolverOptions::paper()).unwrap();
+        // App CPU bound: 1000/5 = 200 req/s.
+        assert!(coarse.chain_throughput_rps[0] <= 200.0 * 1.01,
+            "infeasible throughput {}", coarse.chain_throughput_rps[0]);
+        assert!(fine.chain_throughput_rps[0] <= 200.0 * 1.01);
+        // Knee responses agree within the coarse criterion's slop.
+        let rel = (coarse.chain_response_ms[0] - fine.chain_response_ms[0]).abs()
+            / fine.chain_response_ms[0];
+        assert!(rel < 0.35, "coarse {} vs fine {}", coarse.chain_response_ms[0],
+            fine.chain_response_ms[0]);
+    }
+
+    #[test]
+    fn reference_task_with_two_entries_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").infinite().finish();
+        let r = b.reference_task("r", p, 10, 100.0).finish();
+        b.entry("a", r).finish();
+        b.entry("b", r).finish();
+        let m = b.build().unwrap();
+        assert!(solve(&m, &SolverOptions::default()).is_err());
+    }
+
+    #[test]
+    fn utilization_scales_with_population() {
+        let lo = solve(&trade_like(200, 7_000.0, 50), &SolverOptions::default()).unwrap();
+        let hi = solve(&trade_like(1_000, 7_000.0, 50), &SolverOptions::default()).unwrap();
+        assert!(hi.processor_utilization[1] > lo.processor_utilization[1]);
+        // At 200 clients: X ≈ 28.5/s, U_app ≈ 28.5·0.005 ≈ 0.143.
+        assert!((lo.processor_utilization[1] - 0.143).abs() < 0.01);
+    }
+
+    #[test]
+    fn db_sees_visit_scaled_utilization() {
+        let sol = solve(&trade_like(700, 7_000.0, 50), &SolverOptions::default()).unwrap();
+        let m = trade_like(700, 7_000.0, 50);
+        let app = m.processor_by_name("app-cpu").unwrap().0;
+        let db = m.processor_by_name("db-cpu").unwrap().0;
+        // U_db / U_app = (1.14·1.0)/(5.0) = 0.228.
+        let ratio = sol.processor_utilization[db] / sol.processor_utilization[app];
+        assert!((ratio - 0.228).abs() < 0.01, "ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod open_tests {
+    use super::*;
+    use crate::model::LqnModel;
+
+    /// Open Poisson source -> app (50 threads) -> db, the §8.1 "constant
+    /// rate" variant of the case study shape.
+    fn open_trade(rate_rps: f64, app_demand: f64) -> LqnModel {
+        let mut b = LqnModel::builder();
+        let cp = b.processor("src-cpu").infinite().finish();
+        let ap = b.processor("app-cpu").finish();
+        let dp = b.processor("db-cpu").finish();
+        let app = b.task("app", ap).multiplicity(50).finish();
+        let db = b.task("db", dp).multiplicity(20).finish();
+        let serve = b.entry("serve", app).demand_ms(app_demand).finish();
+        let query = b.entry("query", db).demand_ms(1.0).finish();
+        b.call(serve, query, 1.14);
+        let src = b.open_reference_task("source", cp, rate_rps).finish();
+        let arrive = b.entry("arrive", src).finish();
+        b.call(arrive, serve, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn light_open_load_is_service_time() {
+        let m = open_trade(10.0, 5.0);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.open_response_ms.len(), 1);
+        // 10 req/s on a 200 req/s server: rho = 0.05, W ≈ D/(1-rho) ≈ 6.5.
+        let r = sol.open_response_ms[0];
+        assert!(r > 6.0 && r < 8.0, "open response {r}");
+        assert_eq!(sol.open_throughput_rps[0], 10.0);
+        assert_eq!(sol.total_throughput_rps(), 10.0);
+    }
+
+    #[test]
+    fn open_response_grows_toward_saturation() {
+        // M/M/1-like growth: at rho = 0.9 the response is ~10x the demand.
+        let low = solve(&open_trade(20.0, 5.0), &SolverOptions::default()).unwrap();
+        let high = solve(&open_trade(180.0, 5.0), &SolverOptions::default()).unwrap();
+        assert!(
+            high.open_response_ms[0] > low.open_response_ms[0] * 4.0,
+            "low {} high {}",
+            low.open_response_ms[0],
+            high.open_response_ms[0]
+        );
+        // rho = 0.9 at the app CPU.
+        let m = open_trade(180.0, 5.0);
+        let app = m.processor_by_name("app-cpu").unwrap();
+        assert!((high.processor_utilization[app.0] - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn unstable_open_load_rejected() {
+        // 250 req/s against a 200 req/s CPU: no steady state.
+        let m = open_trade(250.0, 5.0);
+        let err = solve(&m, &SolverOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("saturates"), "{err}");
+    }
+
+    #[test]
+    fn open_traffic_slows_closed_chain() {
+        // Closed clients sharing the app server with an open stream.
+        let build = |rate: f64| {
+            let mut b = LqnModel::builder();
+            let cp = b.processor("client-cpu").infinite().finish();
+            let ap = b.processor("app-cpu").finish();
+            let app = b.task("app", ap).multiplicity(50).finish();
+            let serve = b.entry("serve", app).demand_ms(5.0).finish();
+            let clients = b.reference_task("clients", cp, 400, 7_000.0).finish();
+            let cycle = b.entry("cycle", clients).finish();
+            b.call(cycle, serve, 1.0);
+            if rate > 0.0 {
+                let src = b.open_reference_task("source", cp, rate).finish();
+                let arrive = b.entry("arrive", src).finish();
+                b.call(arrive, serve, 1.0);
+            }
+            b.build().unwrap()
+        };
+        let quiet = solve(&build(0.0), &SolverOptions::default()).unwrap();
+        let busy = solve(&build(120.0), &SolverOptions::default()).unwrap();
+        assert!(
+            busy.chain_response_ms[0] > quiet.chain_response_ms[0] * 1.5,
+            "quiet {} busy {}",
+            quiet.chain_response_ms[0],
+            busy.chain_response_ms[0]
+        );
+        // Aggregate throughput counts both flows.
+        assert!(busy.total_throughput_rps() > busy.chain_throughput_rps[0] + 119.0);
+    }
+
+    #[test]
+    fn open_format_round_trip() {
+        let m = open_trade(42.5, 5.0);
+        let text = crate::format::serialize(&m);
+        assert!(text.contains("openreftask source"));
+        let m2 = crate::format::parse(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+}
+
+#[cfg(test)]
+mod phase2_tests {
+    use super::*;
+    use crate::model::LqnModel;
+
+    /// Clients -> app, where the app entry splits its work between phase 1
+    /// (caller waits) and phase 2 (after the reply).
+    fn two_phase(population: u32, phase1: f64, phase2: f64, threads: u32) -> LqnModel {
+        let mut b = LqnModel::builder();
+        let cp = b.processor("client-cpu").infinite().finish();
+        let ap = b.processor("app-cpu").finish();
+        let app = b.task("app", ap).multiplicity(threads).finish();
+        let serve = b.entry("serve", app).demand_ms(phase1).phase2_ms(phase2).finish();
+        let clients = b.reference_task("clients", cp, population, 7_000.0).finish();
+        let cycle = b.entry("cycle", clients).finish();
+        b.call(cycle, serve, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn second_phase_cuts_light_load_response() {
+        // Same 8 ms of total work; phase 2 hides 5 ms of it from the
+        // caller.
+        let single = solve(&two_phase(50, 8.0, 0.0, 50), &SolverOptions::default()).unwrap();
+        let split = solve(&two_phase(50, 3.0, 5.0, 50), &SolverOptions::default()).unwrap();
+        assert!((single.chain_response_ms[0] - 8.0).abs() < 0.5);
+        assert!(
+            split.chain_response_ms[0] < 4.0,
+            "phase-1 response {}",
+            split.chain_response_ms[0]
+        );
+    }
+
+    #[test]
+    fn second_phase_still_consumes_the_processor() {
+        // Total demand 8 ms either way: the saturation throughput must be
+        // identical (phase 2 is free latency, not free work).
+        let single = solve(&two_phase(3_000, 8.0, 0.0, 50), &SolverOptions::default()).unwrap();
+        let split = solve(&two_phase(3_000, 3.0, 5.0, 50), &SolverOptions::default()).unwrap();
+        let bound = 1_000.0 / 8.0;
+        let rel = |x: f64| (x - bound).abs() / bound;
+        assert!(rel(single.chain_throughput_rps[0]) < 0.05,
+            "single X {}", single.chain_throughput_rps[0]);
+        assert!(rel(split.chain_throughput_rps[0]) < 0.05,
+            "split X {}", split.chain_throughput_rps[0]);
+        // And the two agree with each other closely.
+        assert!((single.chain_throughput_rps[0] - split.chain_throughput_rps[0]).abs()
+            / single.chain_throughput_rps[0] < 0.03);
+        // Utilisation accounts for both phases.
+        assert!(split.processor_utilization[1] > 0.95);
+    }
+
+    #[test]
+    fn second_phase_occupies_threads() {
+        // 2 threads, 1 ms phase-1 + 9 ms phase-2: thread holding is ~10 ms,
+        // capping throughput at ~200/s even though phase-1 alone would
+        // allow ~1000/s through the pool.
+        let sol = solve(&two_phase(2_000, 1.0, 9.0, 2), &SolverOptions::default()).unwrap();
+        assert!(
+            sol.chain_throughput_rps[0] < 230.0,
+            "X {} not limited by phase-2 thread holding",
+            sol.chain_throughput_rps[0]
+        );
+    }
+
+    #[test]
+    fn phase2_format_round_trip() {
+        let m = two_phase(100, 3.0, 5.0, 50);
+        let text = crate::format::serialize(&m);
+        assert!(text.contains("phase2=5"));
+        let m2 = crate::format::parse(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn negative_phase2_rejected() {
+        let mut b = LqnModel::builder();
+        let p = b.processor("p").infinite().finish();
+        let r = b.reference_task("r", p, 1, 0.0).finish();
+        b.entry("e", r).phase2_ms(-1.0).finish();
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! The layered queuing model of the paper's case study: the Trade
+//! distributed enterprise benchmark (§5).
+//!
+//! The model has the §2 structure — a tier of client request generators, an
+//! application-server task with a 50-thread pool on its own CPU, a database
+//! task with a 20-connection pool on the database CPU, and the database
+//! disk as a single-request-at-a-time processor below it. Workload is
+//! broken into *request types* (browse/buy) with per-type mean processing
+//! times calibrated on an established server (Table 2), and new server
+//! architectures are modelled by scaling the application-tier processing
+//! times with the benchmark speed ratio (§5: "multiplying the mean
+//! processing times on an established server by the established/new server
+//! request processing speed ratio").
+
+use crate::model::{EntryId, LqnModel};
+use crate::solve::SolverOptions;
+use perfpred_core::{PredictError, RequestType, ServerArch, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Calibrated per-request-type parameters (the rows of Table 2 plus call
+/// counts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestTypeParams {
+    /// Mean application-server CPU demand per request on the *reference*
+    /// server, ms.
+    pub app_demand_ms: f64,
+    /// Mean database-server CPU demand per database request, ms.
+    pub db_demand_ms: f64,
+    /// Mean database requests per application-server request (browse 1.14,
+    /// buy 2, §5.1).
+    pub db_calls: f64,
+    /// Mean effective database-disk demand per database request, ms
+    /// (0 when the disk is left out of the model, as in Table 2).
+    pub disk_demand_ms: f64,
+}
+
+/// Full configuration of the Trade layered queuing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeLqnConfig {
+    /// Browse request-type parameters.
+    pub browse: RequestTypeParams,
+    /// Buy request-type parameters.
+    pub buy: RequestTypeParams,
+    /// Application-server thread pool ("50 requests at the same time via
+    /// time-sharing", §5.1).
+    pub app_threads: u32,
+    /// Database-server connection pool (20, §5.1).
+    pub db_connections: u32,
+    /// Speed factor of the server the demands were calibrated on
+    /// (1.0 = AppServF).
+    pub reference_speed: f64,
+    /// Solver options used for predictions.
+    #[serde(skip, default)]
+    pub solver: SolverOptions,
+}
+
+impl TradeLqnConfig {
+    /// The paper's Table 2 calibration (AppServF): browse 4.505 / 0.8294 ms,
+    /// buy 8.761 / 1.613 ms, with 1.14 / 2 database calls.
+    pub fn paper_table2() -> Self {
+        TradeLqnConfig {
+            browse: RequestTypeParams {
+                app_demand_ms: 4.505,
+                db_demand_ms: 0.8294,
+                db_calls: 1.14,
+                disk_demand_ms: 0.0,
+            },
+            buy: RequestTypeParams {
+                app_demand_ms: 8.761,
+                db_demand_ms: 1.613,
+                db_calls: 2.0,
+                disk_demand_ms: 0.0,
+            },
+            app_threads: 50,
+            db_connections: 20,
+            reference_speed: 1.0,
+            solver: SolverOptions::default(),
+        }
+    }
+
+    /// Parameters for one request type.
+    pub fn params(&self, rt: RequestType) -> &RequestTypeParams {
+        match rt {
+            RequestType::Browse => &self.browse,
+            RequestType::Buy => &self.buy,
+        }
+    }
+
+    /// Whether any request type models the database disk.
+    fn has_disk(&self) -> bool {
+        self.browse.disk_demand_ms > 0.0 || self.buy.disk_demand_ms > 0.0
+    }
+
+    /// Builds the LQN for `workload` on `server`. Each service class
+    /// becomes its own chain (reference task + per-class entries), so the
+    /// solution reports per-class response times.
+    pub fn build_model(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<LqnModel, PredictError> {
+        if workload.classes.is_empty() {
+            return Err(PredictError::OutOfRange("workload has no service classes".into()));
+        }
+        if server.speed_factor <= 0.0 {
+            return Err(PredictError::OutOfRange(format!(
+                "server {} has non-positive speed factor",
+                server.name
+            )));
+        }
+        // Demands calibrated on the reference server are scaled by the
+        // reference/new speed ratio (§5).
+        let app_scale = self.reference_speed / server.speed_factor;
+
+        let mut b = LqnModel::builder();
+        let client_cpu = b.processor("client-cpu").infinite().finish();
+        let app_cpu = b.processor("app-cpu").finish();
+        let db_cpu = b.processor("db-cpu").finish();
+        let disk = if self.has_disk() { Some(b.processor("db-disk").finish()) } else { None };
+
+        let app = b.task("app", app_cpu).multiplicity(self.app_threads).finish();
+        let db = b.task("db", db_cpu).multiplicity(self.db_connections).finish();
+        let disk_task = disk.map(|d| b.task("disk", d).finish());
+
+        for (i, load) in workload.classes.iter().enumerate() {
+            let p = *self.params(load.class.request_type);
+            let app_entry = b
+                .entry(format!("app-{i}-{}", load.class.name), app)
+                .demand_ms(p.app_demand_ms * app_scale)
+                .finish();
+            let db_entry = b
+                .entry(format!("db-{i}-{}", load.class.name), db)
+                .demand_ms(p.db_demand_ms)
+                .finish();
+            b.call(app_entry, db_entry, p.db_calls);
+            if let Some(dt) = disk_task {
+                if p.disk_demand_ms > 0.0 {
+                    let disk_entry = b
+                        .entry(format!("disk-{i}-{}", load.class.name), dt)
+                        .demand_ms(p.disk_demand_ms)
+                        .finish();
+                    b.call(db_entry, disk_entry, 1.0);
+                }
+            }
+            let clients = b
+                .reference_task(
+                    format!("clients-{i}-{}", load.class.name),
+                    client_cpu,
+                    load.clients,
+                    load.class.think_time_ms,
+                )
+                .finish();
+            let cycle = b.entry(format!("cycle-{i}-{}", load.class.name), clients).finish();
+            b.call(cycle, app_entry, 1.0);
+        }
+        b.build()
+    }
+
+    /// The `app` entry id of class index `i` in a model built by
+    /// [`TradeLqnConfig::build_model`] — useful for inspecting elapsed
+    /// times in tests.
+    pub fn app_entry_of_class(model: &LqnModel, i: usize) -> Option<EntryId> {
+        model
+            .entries()
+            .iter()
+            .position(|e| e.name.starts_with(&format!("app-{i}-")))
+            .map(EntryId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{solve, SolverOptions};
+    use perfpred_core::Workload;
+
+    #[test]
+    fn paper_table2_values() {
+        let c = TradeLqnConfig::paper_table2();
+        assert_eq!(c.browse.app_demand_ms, 4.505);
+        assert_eq!(c.buy.db_demand_ms, 1.613);
+        assert_eq!(c.params(RequestType::Buy).db_calls, 2.0);
+        assert_eq!(c.app_threads, 50);
+        assert_eq!(c.db_connections, 20);
+    }
+
+    #[test]
+    fn builds_single_class_model() {
+        let c = TradeLqnConfig::paper_table2();
+        let m = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(500)).unwrap();
+        // client-cpu, app-cpu, db-cpu; no disk with zero disk demand.
+        assert_eq!(m.processors().len(), 3);
+        assert_eq!(m.reference_tasks().len(), 1);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        // 500 clients at ~7 s cycles ≈ 71 req/s, well under saturation.
+        assert!((sol.total_throughput_rps() - 71.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn speed_scaling_inflates_demands_on_slow_server() {
+        let c = TradeLqnConfig::paper_table2();
+        let fast = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(100)).unwrap();
+        let slow = c.build_model(&ServerArch::app_serv_s(), &Workload::typical(100)).unwrap();
+        let fd = fast.entries()[TradeLqnConfig::app_entry_of_class(&fast, 0).unwrap().0].demand_ms;
+        let sd = slow.entries()[TradeLqnConfig::app_entry_of_class(&slow, 0).unwrap().0].demand_ms;
+        let ratio = sd / fd;
+        // AppServS speed = 86/186 of F, so demands are 186/86 ≈ 2.16×.
+        assert!((ratio - 186.0 / 86.0).abs() < 1e-9, "ratio {ratio}");
+        // Database demands are NOT scaled (same DB server).
+        let fdb = fast.entry_by_name("db-0-browse").unwrap();
+        let sdb = slow.entry_by_name("db-0-browse").unwrap();
+        assert_eq!(fast.entries()[fdb.0].demand_ms, slow.entries()[sdb.0].demand_ms);
+    }
+
+    #[test]
+    fn two_class_model_reports_heavier_buy() {
+        let c = TradeLqnConfig::paper_table2();
+        let w = Workload::with_buy_pct(1_000, 25.0);
+        let m = c.build_model(&ServerArch::app_serv_f(), &w).unwrap();
+        assert_eq!(m.reference_tasks().len(), 2);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        // Class order matches workload order: browse then buy.
+        assert!(sol.chain_response_ms[1] > sol.chain_response_ms[0]);
+    }
+
+    #[test]
+    fn disk_becomes_fourth_layer_when_configured() {
+        let mut c = TradeLqnConfig::paper_table2();
+        c.browse.disk_demand_ms = 0.5;
+        let m = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(300)).unwrap();
+        assert!(m.processor_by_name("db-disk").is_some());
+        assert!(m.task_by_name("disk").is_some());
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        // Disk adds 1.14 × 0.5 ≈ 0.57 ms to the light-load response.
+        let base = {
+            let c0 = TradeLqnConfig::paper_table2();
+            let m0 = c0.build_model(&ServerArch::app_serv_f(), &Workload::typical(300)).unwrap();
+            solve(&m0, &SolverOptions::default()).unwrap().chain_response_ms[0]
+        };
+        assert!(sol.chain_response_ms[0] > base + 0.4);
+    }
+
+    #[test]
+    fn rejects_empty_workload_and_bad_server() {
+        let c = TradeLqnConfig::paper_table2();
+        assert!(c.build_model(&ServerArch::app_serv_f(), &Workload::empty()).is_err());
+        let mut bad = ServerArch::app_serv_f();
+        bad.speed_factor = 0.0;
+        assert!(c.build_model(&bad, &Workload::typical(10)).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the layered queuing solver: Little's law,
+//! capacity bounds, monotonicity and format round-trips on randomized
+//! Trade-shaped models.
+
+use perfpred_lqns::format;
+use perfpred_lqns::model::LqnModel;
+use perfpred_lqns::mva::{
+    solve_amva, solve_exact_single_chain, AmvaOptions, ClosedNetwork, Station, StationKind,
+};
+use perfpred_lqns::solve::{solve, SolverOptions};
+use proptest::prelude::*;
+
+fn trade_shaped(
+    population: u32,
+    think: f64,
+    app_demand: f64,
+    db_demand: f64,
+    db_calls: f64,
+    threads: u32,
+) -> LqnModel {
+    let mut b = LqnModel::builder();
+    let cp = b.processor("client-cpu").infinite().finish();
+    let ap = b.processor("app-cpu").finish();
+    let dp = b.processor("db-cpu").finish();
+    let app = b.task("app", ap).multiplicity(threads).finish();
+    let db = b.task("db", dp).multiplicity(20).finish();
+    let serve = b.entry("serve", app).demand_ms(app_demand).finish();
+    let query = b.entry("query", db).demand_ms(db_demand).finish();
+    b.call(serve, query, db_calls);
+    let clients = b.reference_task("clients", cp, population, think).finish();
+    let cycle = b.entry("cycle", clients).finish();
+    b.call(cycle, serve, 1.0);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Little's law N = X·(Z + R) holds at the solver's fixed point, and
+    /// throughput never exceeds the bottleneck capacity.
+    #[test]
+    fn layered_solution_obeys_littles_law(
+        population in 1u32..3000,
+        think in 100.0f64..10_000.0,
+        app_demand in 0.5f64..20.0,
+        db_demand in 0.1f64..5.0,
+        db_calls in 0.2f64..3.0,
+        threads in 5u32..100,
+    ) {
+        let m = trade_shaped(population, think, app_demand, db_demand, db_calls, threads);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        let x = sol.chain_throughput_rps[0] / 1_000.0; // per ms
+        let n = x * (think + sol.chain_response_ms[0]);
+        prop_assert!(
+            (n - f64::from(population)).abs() / f64::from(population) < 0.02,
+            "Little's law: {} vs {}", n, population
+        );
+        // Capacity bounds per processor (3 % slack: Bard–Schweitzer can
+        // overshoot slightly right at the knee).
+        let app_cap = 1.0 / app_demand;
+        let db_cap = 1.0 / (db_demand * db_calls);
+        prop_assert!(x <= app_cap * 1.03 + 1e-9, "X {} exceeds app capacity {}", x, app_cap);
+        prop_assert!(x <= db_cap * 1.03 + 1e-9, "X {} exceeds db capacity {}", x, db_cap);
+        // Response at least the raw service chain.
+        let service = app_demand + db_calls * db_demand;
+        prop_assert!(sol.chain_response_ms[0] >= service * 0.95);
+    }
+
+    /// Throughput is monotone non-decreasing in population.
+    #[test]
+    fn throughput_monotone_in_population(
+        base in 50u32..800,
+        app_demand in 1.0f64..15.0,
+    ) {
+        let lo = solve(
+            &trade_shaped(base, 7_000.0, app_demand, 1.0, 1.14, 50),
+            &SolverOptions::default(),
+        ).unwrap();
+        let hi = solve(
+            &trade_shaped(base * 2, 7_000.0, app_demand, 1.0, 1.14, 50),
+            &SolverOptions::default(),
+        ).unwrap();
+        prop_assert!(hi.chain_throughput_rps[0] >= lo.chain_throughput_rps[0] * 0.99);
+        prop_assert!(hi.chain_response_ms[0] >= lo.chain_response_ms[0] * 0.95);
+    }
+
+    /// Bard–Schweitzer stays near exact MVA on single-chain single-server
+    /// networks.
+    #[test]
+    fn amva_tracks_exact_mva(
+        demand in 0.1f64..50.0,
+        population in 1u32..500,
+        think in 0.0f64..5_000.0,
+    ) {
+        let net = ClosedNetwork {
+            populations: vec![f64::from(population)],
+            think_ms: vec![think],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![demand],
+            }],
+        };
+        let exact = solve_exact_single_chain(&net).unwrap();
+        let approx = solve_amva(&net, &AmvaOptions::default()).unwrap();
+        let rel = (approx.throughput_per_ms[0] - exact.throughput_per_ms[0]).abs()
+            / exact.throughput_per_ms[0].max(1e-12);
+        // Schweitzer's error peaks at small populations near the knee
+        // (documented ~10 % worst case) and decays gradually with N.
+        let bound = if population < 10 {
+            0.12
+        } else if population < 60 {
+            0.08
+        } else {
+            0.05
+        };
+        prop_assert!(rel < bound, "AMVA off by {} (d={}, n={}, z={})", rel, demand, population, think);
+    }
+
+    /// Text-format round trip is lossless for randomized Trade models.
+    #[test]
+    fn format_round_trip(
+        population in 1u32..5000,
+        think in 0.0f64..10_000.0,
+        app_demand in 0.0f64..100.0,
+        db_calls in 0.01f64..10.0,
+        threads in 1u32..200,
+    ) {
+        let m = trade_shaped(population, think, app_demand, 1.0, db_calls, threads);
+        let text = format::serialize(&m);
+        let m2 = format::parse(&text).unwrap();
+        prop_assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,509 @@
+//! Algorithm 1: greedy, prediction-driven allocation of application
+//! servers to service classes.
+//!
+//! Service classes are processed in order of increasing response-time goal
+//! (highest priority first), so when servers run out the lowest-priority
+//! classes are rejected first. For each class the algorithm repeatedly
+//! picks the server the model predicts can take the *most* clients of the
+//! class — except when some server could absorb everything that remains,
+//! in which case the *smallest sufficient* server is taken instead.
+//!
+//! The workload handed to the algorithm is first multiplied by the *slack*
+//! parameter (§9: "a generic strategy to compensate for predictive
+//! inaccuracy"); the real clients are then divided across the servers in
+//! proportion to the slack-scaled plan.
+
+use perfpred_core::{PerformanceModel, PredictError, Workload};
+use perfpred_core::workload::ClassLoad;
+use perfpred_core::ServerArch;
+
+/// What one server was given.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerAllocation {
+    /// Index into the server list.
+    pub server_idx: usize,
+    /// Slack-scaled clients per class (workload class order).
+    pub scaled: Vec<u32>,
+    /// Real clients per class.
+    pub real: Vec<u32>,
+}
+
+/// The result of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-server allocations (every server in the pool, in order;
+    /// untouched servers have all-zero rows).
+    pub servers: Vec<ServerAllocation>,
+    /// Slack-scaled clients the algorithm failed to place, per class.
+    pub rejected_scaled: Vec<u32>,
+    /// Real clients left unplaced, per class.
+    pub rejected_real: Vec<u32>,
+    /// The slack used.
+    pub slack: f64,
+}
+
+impl Allocation {
+    /// Indices of servers the plan actually uses (≥ 1 scaled client).
+    pub fn used_servers(&self) -> Vec<usize> {
+        self.servers
+            .iter()
+            .filter(|s| s.scaled.iter().any(|&c| c > 0))
+            .map(|s| s.server_idx)
+            .collect()
+    }
+
+    /// Total real clients left unplaced by the plan.
+    pub fn total_rejected_real(&self) -> u32 {
+        self.rejected_real.iter().sum()
+    }
+
+    /// Builds the real workload assigned to server `idx` from the original
+    /// workload's class definitions.
+    pub fn server_workload(&self, template: &Workload, idx: usize) -> Workload {
+        Workload {
+            classes: template
+                .classes
+                .iter()
+                .zip(&self.servers[idx].real)
+                .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+                .collect(),
+        }
+    }
+}
+
+/// Builds a per-server workload from explicit per-class counts.
+fn counts_workload(template: &Workload, counts: &[u32]) -> Workload {
+    Workload {
+        classes: template
+            .classes
+            .iter()
+            .zip(counts)
+            .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+            .collect(),
+    }
+}
+
+/// True if the model predicts every goal-bearing, populated class on the
+/// server meets its mean response-time goal.
+fn goals_met<M: PerformanceModel + ?Sized>(
+    model: &M,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+) -> Result<bool, PredictError> {
+    if counts.iter().all(|&c| c == 0) {
+        return Ok(true);
+    }
+    let w = counts_workload(template, counts);
+    let p = model.predict(server, &w)?;
+    for (i, load) in w.classes.iter().enumerate() {
+        if load.clients == 0 {
+            continue;
+        }
+        if let Some(goal) = load.class.rt_goal_ms {
+            if p.per_class_mrt_ms[i] > goal {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The most clients of class `class_idx` that can be added to `server` on
+/// top of `counts` without the model predicting an SLA miss. Search is
+/// capped at `cap` (the caller never needs more resolution than the
+/// clients remaining, but the cap keeps the "smallest sufficient server"
+/// comparison meaningful past it).
+fn max_addable<M: PerformanceModel + ?Sized>(
+    model: &M,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+    class_idx: usize,
+    cap: u32,
+) -> Result<u32, PredictError> {
+    let check = |extra: u32| -> Result<bool, PredictError> {
+        let mut c = counts.to_vec();
+        c[class_idx] += extra;
+        goals_met(model, server, template, &c)
+    };
+    if cap == 0 || !check(1)? {
+        return Ok(0);
+    }
+    let mut lo = 1u32;
+    let mut hi = 2u32.min(cap);
+    while hi < cap && check(hi)? {
+        lo = hi;
+        hi = hi.saturating_mul(2).min(cap);
+    }
+    if check(hi)? {
+        return Ok(hi);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if check(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Largest-remainder apportionment of `total` into parts proportional to
+/// `shares` (used to divide the real clients according to the scaled plan).
+fn apportion(total: u32, shares: &[u32]) -> Vec<u32> {
+    let sum: u64 = shares.iter().map(|&s| u64::from(s)).sum();
+    if sum == 0 {
+        return vec![0; shares.len()];
+    }
+    let mut out = Vec::with_capacity(shares.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(shares.len());
+    let mut assigned = 0u32;
+    for (i, &s) in shares.iter().enumerate() {
+        let exact = f64::from(total) * u64::from(s) as f64 / sum as f64;
+        let floor = exact.floor() as u32;
+        out.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - f64::from(floor)));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut left = total - assigned;
+    for (i, _) in remainders {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    out
+}
+
+/// Runs Algorithm 1. `workload` carries the real client populations and
+/// per-class goals; `slack` multiplies the populations before planning.
+///
+/// ```
+/// use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
+/// use perfpred_resman::algorithm::allocate;
+/// use perfpred_resman::scenario::paper_workload;
+///
+/// // Any `PerformanceModel` can plan; here, a toy linear one.
+/// struct Linear;
+/// impl PerformanceModel for Linear {
+///     fn method_name(&self) -> &str { "linear" }
+///     fn predict(&self, s: &ServerArch, w: &Workload) -> Result<Prediction, PredictError> {
+///         let mrt = 10.0 + f64::from(w.total_clients()) / s.speed_factor;
+///         Ok(Prediction {
+///             mrt_ms: mrt,
+///             per_class_mrt_ms: vec![mrt; w.classes.len()],
+///             throughput_rps: f64::from(w.total_clients()) / 7.0,
+///             utilization: None,
+///             saturated: false,
+///         })
+///     }
+/// }
+///
+/// let pool = vec![ServerArch::app_serv_f(), ServerArch::app_serv_vf()];
+/// let a = allocate(&Linear, &pool, &paper_workload(300), 1.1).unwrap();
+/// assert_eq!(a.total_rejected_real(), 0);
+/// assert!(!a.used_servers().is_empty());
+/// ```
+pub fn allocate<M: PerformanceModel + ?Sized>(
+    model: &M,
+    servers: &[ServerArch],
+    workload: &Workload,
+    slack: f64,
+) -> Result<Allocation, PredictError> {
+    if servers.is_empty() {
+        return Err(PredictError::OutOfRange("no application servers".into()));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+    if !(slack >= 0.0) {
+        return Err(PredictError::OutOfRange(format!("invalid slack {slack}")));
+    }
+    let kn = workload.classes.len();
+    let scaled: Vec<u32> = workload
+        .classes
+        .iter()
+        .map(|c| (f64::from(c.clients) * slack).round() as u32)
+        .collect();
+
+    // Line 1: classes in order of increasing response-time goal (classes
+    // without goals go last). Ties keep workload order.
+    let mut order: Vec<usize> = (0..kn).collect();
+    order.sort_by(|&a, &b| {
+        let ga = workload.classes[a].class.rt_goal_ms.unwrap_or(f64::INFINITY);
+        let gb = workload.classes[b].class.rt_goal_ms.unwrap_or(f64::INFINITY);
+        ga.partial_cmp(&gb).unwrap().then(a.cmp(&b))
+    });
+
+    let mut alloc: Vec<Vec<u32>> = vec![vec![0; kn]; servers.len()];
+    let mut rejected_scaled = vec![0u32; kn];
+
+    for &ci in &order {
+        let mut remaining = scaled[ci];
+        while remaining > 0 {
+            // Line 6: evaluate every server's predicted capacity for this
+            // class given what it already holds.
+            let cap_limit = remaining.saturating_mul(4).max(64);
+            let mut best_insufficient: Option<(usize, u32)> = None; // (idx, cap)
+            let mut best_sufficient: Option<(usize, u32)> = None;
+            for (si, server) in servers.iter().enumerate() {
+                let cap =
+                    max_addable(model, server, workload, &alloc[si], ci, cap_limit)?;
+                if cap == 0 {
+                    continue;
+                }
+                if cap >= remaining {
+                    // Last-server exception candidate: smallest sufficient.
+                    if best_sufficient.map(|(_, c)| cap < c).unwrap_or(true) {
+                        best_sufficient = Some((si, cap));
+                    }
+                } else if best_insufficient.map(|(_, c)| cap > c).unwrap_or(true) {
+                    best_insufficient = Some((si, cap));
+                }
+            }
+            match (best_sufficient, best_insufficient) {
+                (Some((si, _)), _) => {
+                    // Line 7 with the exception: this server finishes the
+                    // class.
+                    alloc[si][ci] += remaining;
+                    remaining = 0;
+                }
+                (None, Some((si, cap))) => {
+                    let take = cap.min(remaining);
+                    alloc[si][ci] += take;
+                    remaining -= take;
+                }
+                (None, None) => {
+                    // Line 8's exit: no capacity anywhere for this class.
+                    rejected_scaled[ci] = remaining;
+                    remaining = 0;
+                }
+            }
+        }
+    }
+
+    // Divide the real clients per class in proportion to the scaled plan
+    // (the rejected bucket participates so rejection carries over).
+    let mut real: Vec<Vec<u32>> = vec![vec![0; kn]; servers.len()];
+    let mut rejected_real = vec![0u32; kn];
+    for ci in 0..kn {
+        let mut shares: Vec<u32> = (0..servers.len()).map(|si| alloc[si][ci]).collect();
+        shares.push(rejected_scaled[ci]);
+        if shares.iter().all(|&s| s == 0) {
+            // Nothing was planned for this class (e.g. zero slack): the
+            // real clients have nowhere to go.
+            rejected_real[ci] = workload.classes[ci].clients;
+            continue;
+        }
+        let parts = apportion(workload.classes[ci].clients, &shares);
+        for si in 0..servers.len() {
+            real[si][ci] = parts[si];
+        }
+        rejected_real[ci] = parts[servers.len()];
+    }
+
+    Ok(Allocation {
+        servers: (0..servers.len())
+            .map(|si| ServerAllocation {
+                server_idx: si,
+                scaled: alloc[si].clone(),
+                real: real[si].clone(),
+            })
+            .collect(),
+        rejected_scaled,
+        rejected_real,
+        slack,
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod test_model {
+    use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
+
+    /// A transparent linear model for algorithm tests: every client adds
+    /// `per_client_ms / speed_factor` to every class's response time on
+    /// top of a `base_ms`. Capacity for goal g on a server of speed s is
+    /// exactly `(g − base) · s / per_client`.
+    pub struct LinearModel {
+        pub base_ms: f64,
+        pub per_client_ms: f64,
+    }
+
+    impl LinearModel {
+        pub fn capacity(&self, server: &ServerArch, goal_ms: f64) -> u32 {
+            (((goal_ms - self.base_ms) * server.speed_factor) / self.per_client_ms).floor()
+                as u32
+        }
+    }
+
+    impl PerformanceModel for LinearModel {
+        fn method_name(&self) -> &str {
+            "linear-test"
+        }
+        fn predict(
+            &self,
+            server: &ServerArch,
+            workload: &Workload,
+        ) -> Result<Prediction, PredictError> {
+            let n = f64::from(workload.total_clients());
+            let mrt = self.base_ms + n * self.per_client_ms / server.speed_factor;
+            Ok(Prediction {
+                mrt_ms: mrt,
+                per_class_mrt_ms: vec![mrt; workload.classes.len()],
+                throughput_rps: n / 7.0,
+                utilization: None,
+                saturated: false,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_model::LinearModel;
+    use super::*;
+    use perfpred_core::ServiceClass;
+
+    fn pool() -> Vec<ServerArch> {
+        vec![
+            ServerArch::app_serv_s(),
+            ServerArch::app_serv_f(),
+            ServerArch::app_serv_vf(),
+        ]
+    }
+
+    fn one_class(clients: u32, goal: f64) -> Workload {
+        Workload {
+            classes: vec![ClassLoad {
+                class: ServiceClass::browse().with_goal(goal),
+                clients,
+            }],
+        }
+    }
+
+    #[test]
+    fn picks_the_largest_capacity_server_first() {
+        // Capacities for goal 300: S ≈ (300−10)·0.4624/1 = 134,
+        // F = 290, VF = 498. Demand 600 > 498 ⇒ fill VF first, then the
+        // smallest sufficient for the remaining 102 ⇒ S (cap 134).
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(600, 300.0), 1.0).unwrap();
+        assert_eq!(a.servers[2].scaled[0], m.capacity(&pool()[2], 300.0));
+        assert_eq!(a.servers[0].scaled[0], 600 - m.capacity(&pool()[2], 300.0));
+        assert_eq!(a.servers[1].scaled[0], 0, "F skipped by the last-server exception");
+        assert_eq!(a.total_rejected_real(), 0);
+    }
+
+    #[test]
+    fn smallest_sufficient_server_takes_a_small_class() {
+        // 50 clients fit anywhere: the smallest-capacity server (S) wins.
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(50, 300.0), 1.0).unwrap();
+        assert_eq!(a.servers[0].scaled[0], 50);
+        assert_eq!(a.used_servers(), vec![0]);
+    }
+
+    #[test]
+    fn rejects_when_pool_exhausted() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let total_cap: u32 = pool().iter().map(|s| m.capacity(s, 300.0)).sum();
+        let a = allocate(&m, &pool(), &one_class(total_cap + 100, 300.0), 1.0).unwrap();
+        assert_eq!(a.total_rejected_real(), 100);
+        // Every server filled to its exact capacity.
+        for (si, s) in pool().iter().enumerate() {
+            assert_eq!(a.servers[si].scaled[0], m.capacity(s, 300.0));
+        }
+    }
+
+    #[test]
+    fn higher_priority_class_served_first() {
+        // Two classes; pool can only fit one of them.
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let total_cap: u32 = pool().iter().map(|s| m.capacity(s, 150.0)).sum();
+        let w = Workload {
+            classes: vec![
+                ClassLoad {
+                    class: ServiceClass::browse().named("lo").with_goal(600.0),
+                    clients: total_cap,
+                },
+                ClassLoad {
+                    class: ServiceClass::browse().named("hi").with_goal(150.0),
+                    clients: total_cap,
+                },
+            ],
+        };
+        let a = allocate(&m, &pool(), &w, 1.0).unwrap();
+        // The tight-goal class (index 1) is processed first and placed;
+        // the loose-goal class absorbs the rejections.
+        assert_eq!(a.rejected_real[1], 0);
+        assert!(a.rejected_real[0] > 0);
+    }
+
+    #[test]
+    fn slack_inflates_planning_population() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(100, 300.0), 1.5).unwrap();
+        let scaled_total: u32 = a.servers.iter().map(|s| s.scaled[0]).sum();
+        let real_total: u32 = a.servers.iter().map(|s| s.real[0]).sum();
+        assert_eq!(scaled_total + a.rejected_scaled[0], 150);
+        assert_eq!(real_total + a.rejected_real[0], 100);
+    }
+
+    #[test]
+    fn real_division_proportional_to_plan() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(600, 300.0), 1.0).unwrap();
+        for s in &a.servers {
+            if s.scaled[0] > 0 {
+                let ratio = f64::from(s.real[0]) / f64::from(s.scaled[0]);
+                assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+            } else {
+                assert_eq!(s.real[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slack_allocates_nothing() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(100, 300.0), 0.0).unwrap();
+        assert!(a.used_servers().is_empty());
+        // All real clients are rejected (no plan shares to follow).
+        assert_eq!(a.total_rejected_real(), 100);
+    }
+
+    #[test]
+    fn impossible_goal_rejects_everything() {
+        let m = LinearModel { base_ms: 500.0, per_client_ms: 1.0 };
+        let a = allocate(&m, &pool(), &one_class(100, 300.0), 1.0).unwrap();
+        assert_eq!(a.total_rejected_real(), 100);
+    }
+
+    #[test]
+    fn server_workload_reconstruction() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let w = one_class(50, 300.0);
+        let a = allocate(&m, &pool(), &w, 1.0).unwrap();
+        let sw = a.server_workload(&w, 0);
+        assert_eq!(sw.total_clients(), 50);
+        assert_eq!(sw.classes[0].class.rt_goal_ms, Some(300.0));
+    }
+
+    #[test]
+    fn input_validation() {
+        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        assert!(allocate(&m, &[], &one_class(10, 300.0), 1.0).is_err());
+        assert!(allocate(&m, &pool(), &one_class(10, 300.0), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn apportion_conserves_total() {
+        assert_eq!(super::apportion(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(super::apportion(7, &[0, 0]), vec![0, 0]);
+        assert_eq!(super::apportion(100, &[300, 100]), vec![75, 25]);
+        let parts = super::apportion(97, &[13, 29, 7, 51]);
+        assert_eq!(parts.iter().sum::<u32>(), 97);
+    }
+}

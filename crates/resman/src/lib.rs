@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # perfpred-resman
+//!
+//! The prediction-enhanced SLA resource manager of §9: given a list of
+//! service classes (each a client population with a response-time goal) and
+//! a pool of application servers, decide which servers to obtain and how to
+//! divide the workload across them — using a performance model to predict
+//! each server's capacity — and study how the *slack* tuning parameter
+//! trades SLA-failure cost against server-usage cost under predictive
+//! inaccuracy.
+//!
+//! * [`algorithm`] — Algorithm 1: greedy server selection (most predicted
+//!   capacity for the current class; smallest sufficient server when it
+//!   would be the class's last) with a slack multiplier on the workload;
+//! * [`runtime`] — the §9 runtime model: servers reject clients when
+//!   response times come within a threshold of SLA goals, and runtime
+//!   optimisations re-admit rejected clients into any capacity the
+//!   allocation left unused;
+//! * [`costs`] — the two §9.1 cost metrics (% SLA failures, % server
+//!   usage), load sweeps and the slack-reduction analysis behind figs 5–8;
+//! * [`scenario`] — the paper's 16-server / 3-service-class experiment
+//!   setup, and the uniform-predictive-error wrapper model used to verify
+//!   that slack = y cancels a uniform error y exactly;
+//! * [`workload_manager`] — the §2 workload-manager tier: online routing
+//!   of incoming clients and model-driven rebalancing of the division the
+//!   allocation algorithm produced.
+
+pub mod algorithm;
+pub mod costs;
+pub mod runtime;
+pub mod scenario;
+pub mod workload_manager;
+
+pub use algorithm::{allocate, Allocation, ServerAllocation};
+pub use costs::{slack_sweep, sweep_loads, CostModel, LoadPoint, SlackCurve, SweepConfig};
+pub use runtime::{evaluate_runtime, RuntimeOutcome, RuntimeOptions};
+pub use scenario::{paper_pool, paper_workload, UniformErrorModel};
+pub use workload_manager::{rebalance, route_new_clients, Division, RebalanceOptions, Transfer};

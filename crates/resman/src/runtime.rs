@@ -1,0 +1,375 @@
+//! Runtime evaluation of an allocation against the *true* system
+//! behaviour.
+//!
+//! §9: "application servers reject clients at runtime if response times are
+//! within a threshold of missing SLA goals. This prevents all the existing
+//! clients on a server from also missing their SLA goals." And §9.1:
+//! "runtime optimisations allow the resource manager to use any available
+//! capacity the algorithm leaves on a server."
+
+use crate::algorithm::Allocation;
+use perfpred_core::workload::ClassLoad;
+use perfpred_core::{PerformanceModel, PredictError, ServerArch, Workload};
+
+/// Runtime behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeOptions {
+    /// Rejection threshold: a server admits clients only while every
+    /// class's true response time stays below `goal × (1 − threshold)`.
+    pub threshold: f64,
+    /// Whether the runtime optimisation (re-admitting rejected clients
+    /// into leftover capacity anywhere in the pool) is enabled.
+    pub optimize: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions { threshold: 0.05, optimize: true }
+    }
+}
+
+/// The runtime outcome of one allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOutcome {
+    /// Clients actually served, per server per class.
+    pub admitted: Vec<Vec<u32>>,
+    /// Clients rejected at runtime, per class.
+    pub rejected_per_class: Vec<u32>,
+    /// The §9.1 "% SLA failures" metric: percentage of all clients
+    /// rejected from the servers.
+    pub sla_failure_pct: f64,
+    /// The §9.1 "% server usage" metric: processing power of the servers
+    /// the plan obtained, as a percentage of the pool's total (processing
+    /// power = typical-workload max throughput).
+    pub server_usage_pct: f64,
+}
+
+fn counts_workload(template: &Workload, counts: &[u32]) -> Workload {
+    Workload {
+        classes: template
+            .classes
+            .iter()
+            .zip(counts)
+            .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+            .collect(),
+    }
+}
+
+/// True response times within threshold of goals for every populated class?
+fn within_threshold<T: PerformanceModel + ?Sized>(
+    truth: &T,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+    threshold: f64,
+) -> Result<bool, PredictError> {
+    if counts.iter().all(|&c| c == 0) {
+        return Ok(true);
+    }
+    let w = counts_workload(template, counts);
+    let p = truth.predict(server, &w)?;
+    for (i, load) in w.classes.iter().enumerate() {
+        if load.clients == 0 {
+            continue;
+        }
+        if let Some(goal) = load.class.rt_goal_ms {
+            if p.per_class_mrt_ms[i] > goal * (1.0 - threshold) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Largest count of class `ci` keepable on the server (others fixed) while
+/// staying within threshold. Binary search on the class population.
+fn max_keepable<T: PerformanceModel + ?Sized>(
+    truth: &T,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+    ci: usize,
+    upper: u32,
+    threshold: f64,
+) -> Result<u32, PredictError> {
+    let check = |n: u32| -> Result<bool, PredictError> {
+        let mut c = counts.to_vec();
+        c[ci] = n;
+        within_threshold(truth, server, template, &c, threshold)
+    };
+    if check(upper)? {
+        return Ok(upper);
+    }
+    if !check(0)? {
+        return Ok(0); // other classes alone already violate
+    }
+    let mut lo = 0u32;
+    let mut hi = upper;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if check(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Evaluates an allocation at runtime: per-server threshold rejection
+/// (shedding from the lowest-priority class first), then — when enabled —
+/// the §9.1 runtime optimisation that re-admits rejected clients into any
+/// true capacity left anywhere in the pool.
+pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
+    truth: &T,
+    servers: &[ServerArch],
+    template: &Workload,
+    allocation: &Allocation,
+    opts: &RuntimeOptions,
+) -> Result<RuntimeOutcome, PredictError> {
+    let kn = template.classes.len();
+    // Priority orders (by response-time goal).
+    let mut by_goal: Vec<usize> = (0..kn).collect();
+    by_goal.sort_by(|&a, &b| {
+        let ga = template.classes[a].class.rt_goal_ms.unwrap_or(f64::INFINITY);
+        let gb = template.classes[b].class.rt_goal_ms.unwrap_or(f64::INFINITY);
+        ga.partial_cmp(&gb).unwrap().then(a.cmp(&b))
+    });
+
+    let mut admitted: Vec<Vec<u32>> = allocation.servers.iter().map(|s| s.real.clone()).collect();
+    let mut rejected: Vec<u32> = allocation.rejected_real.clone();
+
+    // Per-server shedding: lowest priority classes rejected first.
+    for (si, server) in servers.iter().enumerate() {
+        for &ci in by_goal.iter().rev() {
+            if within_threshold(truth, server, template, &admitted[si], opts.threshold)? {
+                break;
+            }
+            let current = admitted[si][ci];
+            if current == 0 {
+                continue;
+            }
+            let keep =
+                max_keepable(truth, server, template, &admitted[si], ci, current, opts.threshold)?;
+            rejected[ci] += current - keep;
+            admitted[si][ci] = keep;
+        }
+    }
+
+    // Runtime optimisation: fill leftover true capacity with rejected
+    // clients, highest priority first. Only servers the plan *obtained*
+    // participate — rejected workload cannot conjure new servers (§9: it
+    // would instead go to a second set of accept-all servers).
+    if opts.optimize {
+        let obtained = allocation.used_servers();
+        for &ci in &by_goal {
+            if rejected[ci] == 0 {
+                continue;
+            }
+            for &si in &obtained {
+                let server = &servers[si];
+                if rejected[ci] == 0 {
+                    break;
+                }
+                let room = max_addable_runtime(
+                    truth,
+                    server,
+                    template,
+                    &admitted[si],
+                    ci,
+                    rejected[ci],
+                    opts.threshold,
+                )?;
+                if room > 0 {
+                    admitted[si][ci] += room;
+                    rejected[ci] -= room;
+                }
+            }
+        }
+    }
+
+    let total: u32 = template.classes.iter().map(|c| c.clients).sum();
+    let total_rejected: u32 = rejected.iter().sum();
+    let sla_failure_pct =
+        if total > 0 { 100.0 * f64::from(total_rejected) / f64::from(total) } else { 0.0 };
+
+    let pool_power: f64 = servers.iter().map(|s| s.max_throughput_rps).sum();
+    let used_power: f64 = allocation
+        .used_servers()
+        .iter()
+        .map(|&si| servers[si].max_throughput_rps)
+        .sum();
+    let server_usage_pct = if pool_power > 0.0 { 100.0 * used_power / pool_power } else { 0.0 };
+
+    Ok(RuntimeOutcome { admitted, rejected_per_class: rejected, sla_failure_pct, server_usage_pct })
+}
+
+/// Most clients of class `ci` addable on top of `counts` while staying
+/// within threshold, capped at `cap`.
+fn max_addable_runtime<T: PerformanceModel + ?Sized>(
+    truth: &T,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+    ci: usize,
+    cap: u32,
+    threshold: f64,
+) -> Result<u32, PredictError> {
+    let check = |extra: u32| -> Result<bool, PredictError> {
+        let mut c = counts.to_vec();
+        c[ci] += extra;
+        within_threshold(truth, server, template, &c, threshold)
+    };
+    if cap == 0 || !check(1)? {
+        return Ok(0);
+    }
+    if check(cap)? {
+        return Ok(cap);
+    }
+    let mut lo = 1u32;
+    let mut hi = cap;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if check(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_model::LinearModel;
+    use crate::algorithm::allocate;
+    use perfpred_core::ServiceClass;
+
+    fn pool() -> Vec<ServerArch> {
+        vec![ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+    }
+
+    fn one_class(clients: u32, goal: f64) -> Workload {
+        Workload {
+            classes: vec![ClassLoad { class: ServiceClass::browse().with_goal(goal), clients }],
+        }
+    }
+
+    #[test]
+    fn accurate_model_with_margin_means_no_failures() {
+        // Planner predicts higher response times than the truth, so the
+        // plan is conservative and the runtime sheds nothing.
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let planner = LinearModel { base_ms: 10.0, per_client_ms: 1.2 };
+        let w = one_class(300, 300.0);
+        let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
+        let out =
+            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        assert_eq!(out.sla_failure_pct, 0.0);
+        let served: u32 = out.admitted.iter().map(|s| s[0]).sum();
+        assert_eq!(served, 300);
+    }
+
+    #[test]
+    fn optimistic_model_causes_runtime_rejections() {
+        // Planner thinks servers are twice as capable as they are, and the
+        // pool is too small for the optimiser to rescue the overflow.
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.5 };
+        let total_true_cap: u32 = pool().iter().map(|s| truth.capacity(s, 300.0)).sum();
+        let w = one_class(total_true_cap + 200, 300.0);
+        let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
+        let out =
+            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        assert!(out.sla_failure_pct > 0.0, "failures {}", out.sla_failure_pct);
+        // Threshold keeps every server's true response under goal.
+        for (si, server) in pool().iter().enumerate() {
+            let n: u32 = out.admitted[si].iter().sum();
+            let p = truth.predict(server, &one_class(n, 300.0)).unwrap();
+            assert!(p.mrt_ms <= 300.0, "server {si} violates: {}", p.mrt_ms);
+        }
+    }
+
+    #[test]
+    fn optimization_rescues_rejected_clients() {
+        // Planner badly underestimates one server's capacity; without the
+        // optimiser those clients are lost, with it they fit elsewhere.
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.8 };
+        let w = one_class(520, 300.0);
+        let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
+        let no_opt = evaluate_runtime(
+            &truth,
+            &pool(),
+            &w,
+            &a,
+            &RuntimeOptions { optimize: false, ..Default::default() },
+        )
+        .unwrap();
+        let opt =
+            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        assert!(opt.sla_failure_pct <= no_opt.sla_failure_pct);
+    }
+
+    #[test]
+    fn lowest_priority_class_shed_first() {
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        // Optimistic planner over-packs a single server.
+        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.4 };
+        let w = Workload {
+            classes: vec![
+                ClassLoad {
+                    class: ServiceClass::browse().named("hi").with_goal(150.0),
+                    clients: 30,
+                },
+                ClassLoad {
+                    class: ServiceClass::browse().named("lo").with_goal(600.0),
+                    clients: 400,
+                },
+            ],
+        };
+        let single = vec![ServerArch::app_serv_s()];
+        let a = allocate(&planner, &single, &w, 1.0).unwrap();
+        let out = evaluate_runtime(
+            &truth,
+            &single,
+            &w,
+            &a,
+            &RuntimeOptions { optimize: false, ..Default::default() },
+        )
+        .unwrap();
+        // The loose-goal class absorbs the shedding before the tight one.
+        assert!(out.rejected_per_class[1] > 0);
+        assert_eq!(out.rejected_per_class[0], 0);
+    }
+
+    #[test]
+    fn usage_metric_reflects_plan_not_runtime() {
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let w = one_class(50, 300.0);
+        let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
+        let out =
+            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        // 50 clients fit on AppServS alone: usage = 86/(86+186+320).
+        let expect = 100.0 * 86.0 / (86.0 + 186.0 + 320.0);
+        assert!((out.server_usage_pct - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_rejections_carry_into_runtime() {
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let total_cap: u32 = pool().iter().map(|s| truth.capacity(s, 300.0)).sum();
+        let w = one_class(total_cap + 300, 300.0);
+        let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
+        let out = evaluate_runtime(
+            &truth,
+            &pool(),
+            &w,
+            &a,
+            &RuntimeOptions { optimize: false, threshold: 0.0 },
+        )
+        .unwrap();
+        assert!(out.rejected_per_class[0] >= 290); // ≈ 300 minus rounding
+    }
+}

@@ -1,0 +1,354 @@
+//! The workload-manager tier of the §2 system model: route incoming
+//! clients to the obtained servers and rebalance the division of workload
+//! online, "whilst meeting these goals".
+//!
+//! The §9 algorithm produces the *initial* division of the workload
+//! ("which could then be modified by a workload manager"); this module is
+//! that modifier. It also implements the client-transfer primitive §4.2's
+//! calibration experiments assume ("a workload manager might have to
+//! transfer clients onto or off the server to get a second data point").
+
+use crate::algorithm::Allocation;
+use perfpred_core::workload::ClassLoad;
+use perfpred_core::{PerformanceModel, PredictError, ServerArch, Workload};
+
+/// Options for online rebalancing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceOptions {
+    /// Largest number of clients moved per step.
+    pub max_step: u32,
+    /// Iteration cap per rebalance call.
+    pub max_moves: usize,
+    /// Safety margin: a destination must keep every class below
+    /// `goal × (1 − margin)` after receiving a transfer.
+    pub margin: f64,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        RebalanceOptions { max_step: 25, max_moves: 400, margin: 0.05 }
+    }
+}
+
+/// One executed client transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source server index.
+    pub from: usize,
+    /// Destination server index.
+    pub to: usize,
+    /// Class index.
+    pub class: usize,
+    /// Clients moved.
+    pub clients: u32,
+}
+
+/// The current division of workload the manager maintains:
+/// `assignments[server][class]` clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Division {
+    /// Per-server per-class client counts.
+    pub assignments: Vec<Vec<u32>>,
+}
+
+impl Division {
+    /// Starts from an allocation's real division.
+    pub fn from_allocation(allocation: &Allocation) -> Self {
+        Division { assignments: allocation.servers.iter().map(|s| s.real.clone()).collect() }
+    }
+
+    /// The workload currently on server `si`.
+    pub fn server_workload(&self, template: &Workload, si: usize) -> Workload {
+        Workload {
+            classes: template
+                .classes
+                .iter()
+                .zip(&self.assignments[si])
+                .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+                .collect(),
+        }
+    }
+
+    /// Total clients per class across the tier.
+    pub fn totals(&self) -> Vec<u32> {
+        let kn = self.assignments.first().map(|a| a.len()).unwrap_or(0);
+        (0..kn).map(|ci| self.assignments.iter().map(|a| a[ci]).sum()).collect()
+    }
+}
+
+fn violations<M: PerformanceModel + ?Sized>(
+    model: &M,
+    servers: &[ServerArch],
+    template: &Workload,
+    division: &Division,
+) -> Result<Vec<(usize, usize, f64)>, PredictError> {
+    // (server, class, overshoot factor), worst first.
+    let mut out = Vec::new();
+    for (si, server) in servers.iter().enumerate() {
+        let w = division.server_workload(template, si);
+        if w.total_clients() == 0 {
+            continue;
+        }
+        let p = model.predict(server, &w)?;
+        for (ci, load) in w.classes.iter().enumerate() {
+            if load.clients == 0 {
+                continue;
+            }
+            if let Some(goal) = load.class.rt_goal_ms {
+                if p.per_class_mrt_ms[ci] > goal {
+                    out.push((si, ci, p.per_class_mrt_ms[ci] / goal));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    Ok(out)
+}
+
+/// Whether server `si` can absorb `extra` clients of class `ci` on top of
+/// its current assignment while keeping every populated class within its
+/// goal less `margin`.
+fn can_absorb<M: PerformanceModel + ?Sized>(
+    model: &M,
+    server: &ServerArch,
+    template: &Workload,
+    counts: &[u32],
+    ci: usize,
+    extra: u32,
+    margin: f64,
+) -> Result<bool, PredictError> {
+    let mut c = counts.to_vec();
+    c[ci] += extra;
+    let w = Workload {
+        classes: template
+            .classes
+            .iter()
+            .zip(&c)
+            .map(|(cl, &n)| ClassLoad { class: cl.class.clone(), clients: n })
+            .collect(),
+    };
+    let p = model.predict(server, &w)?;
+    for (i, load) in w.classes.iter().enumerate() {
+        if load.clients == 0 {
+            continue;
+        }
+        if let Some(goal) = load.class.rt_goal_ms {
+            if p.per_class_mrt_ms[i] > goal * (1.0 - margin) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Rebalances the division until no predicted SLA violation remains (or no
+/// further transfer helps). Returns the executed transfers; `division` is
+/// updated in place. Clients that no server can absorb stay where they are
+/// — the §9 runtime rejection tier handles them.
+pub fn rebalance<M: PerformanceModel + ?Sized>(
+    model: &M,
+    servers: &[ServerArch],
+    template: &Workload,
+    division: &mut Division,
+    opts: &RebalanceOptions,
+) -> Result<Vec<Transfer>, PredictError> {
+    let mut transfers = Vec::new();
+    for _ in 0..opts.max_moves {
+        let viol = violations(model, servers, template, division)?;
+        let Some(&(from, ci, _)) = viol.first() else { break };
+        let step = opts.max_step.min(division.assignments[from][ci]).max(1);
+        // Destination: the server with capacity for the chunk; prefer the
+        // one that can absorb the most of this class (fewer future moves).
+        let mut best: Option<usize> = None;
+        for (si, server) in servers.iter().enumerate() {
+            if si == from {
+                continue;
+            }
+            if can_absorb(model, server, template, &division.assignments[si], ci, step, opts.margin)? {
+                best = Some(si);
+                break;
+            }
+        }
+        let Some(to) = best else {
+            // No room anywhere for this class: shrink the step once, then
+            // give up on this violation (runtime rejection's job).
+            if step > 1
+                && servers.iter().enumerate().any(|(si, server)| {
+                    si != from
+                        && can_absorb(
+                            model,
+                            server,
+                            template,
+                            &division.assignments[si],
+                            ci,
+                            1,
+                            opts.margin,
+                        )
+                        .unwrap_or(false)
+                })
+            {
+                // Retry with unit steps by lowering max_step locally.
+                let mut unit_opts = *opts;
+                unit_opts.max_step = 1;
+                let more = rebalance(model, servers, template, division, &unit_opts)?;
+                transfers.extend(more);
+            }
+            break;
+        };
+        division.assignments[from][ci] -= step;
+        division.assignments[to][ci] += step;
+        transfers.push(Transfer { from, to, class: ci, clients: step });
+    }
+    Ok(transfers)
+}
+
+/// Routes `clients` newly arrived clients of class `ci` to the server the
+/// model predicts has the most headroom for them (§2: "route the
+/// incoming requests to the available servers whilst meeting these
+/// goals"). Returns the chosen server, or `None` when nobody can take them
+/// within goals.
+pub fn route_new_clients<M: PerformanceModel + ?Sized>(
+    model: &M,
+    servers: &[ServerArch],
+    template: &Workload,
+    division: &mut Division,
+    ci: usize,
+    clients: u32,
+    margin: f64,
+) -> Result<Option<usize>, PredictError> {
+    let mut best: Option<(usize, u32)> = None; // (server, headroom proxy)
+    for (si, server) in servers.iter().enumerate() {
+        if !can_absorb(model, server, template, &division.assignments[si], ci, clients, margin)? {
+            continue;
+        }
+        // Headroom proxy: how many *more* clients beyond the batch would
+        // still fit (bisected, capped).
+        let mut lo = 0u32;
+        let mut hi = 4 * clients.max(32);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if can_absorb(
+                model,
+                server,
+                template,
+                &division.assignments[si],
+                ci,
+                clients + mid,
+                margin,
+            )? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        if best.map(|(_, h)| lo > h).unwrap_or(true) {
+            best = Some((si, lo));
+        }
+    }
+    if let Some((si, _)) = best {
+        division.assignments[si][ci] += clients;
+        return Ok(Some(si));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_model::LinearModel;
+    use perfpred_core::ServiceClass;
+
+    fn servers() -> Vec<ServerArch> {
+        vec![ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+    }
+
+    fn template() -> Workload {
+        Workload {
+            classes: vec![ClassLoad {
+                class: ServiceClass::browse().with_goal(300.0),
+                clients: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn rebalance_clears_a_skewed_division() {
+        // Everything piled on the slow server; the fast servers are idle.
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let mut division = Division { assignments: vec![vec![400], vec![0], vec![0]] };
+        let transfers =
+            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
+                .unwrap();
+        assert!(!transfers.is_empty());
+        // Conservation.
+        assert_eq!(division.totals(), vec![400]);
+        // No remaining predicted violations.
+        let viol = violations(&model, &servers(), &template(), &division).unwrap();
+        assert!(viol.is_empty(), "still violating: {viol:?}");
+        // The slow server shed load.
+        assert!(division.assignments[0][0] < 400);
+    }
+
+    #[test]
+    fn rebalance_is_noop_when_balanced() {
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let mut division = Division { assignments: vec![vec![50], vec![100], vec![150]] };
+        let before = division.clone();
+        let transfers =
+            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
+                .unwrap();
+        assert!(transfers.is_empty());
+        assert_eq!(division, before);
+    }
+
+    #[test]
+    fn overload_leaves_residual_violations_for_runtime() {
+        // More clients than the whole tier can hold within the goal.
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let total_cap: u32 = servers().iter().map(|s| model.capacity(s, 300.0)).sum();
+        let mut division = Division { assignments: vec![vec![total_cap + 500], vec![0], vec![0]] };
+        let _ =
+            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
+                .unwrap();
+        // Conservation even under overload.
+        assert_eq!(division.totals(), vec![total_cap + 500]);
+    }
+
+    #[test]
+    fn routing_prefers_headroom() {
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        // Fast server busy, slow idle: a small batch should go where the
+        // *remaining* headroom is larger.
+        let mut division = Division { assignments: vec![vec![0], vec![0], vec![400]] };
+        let to = route_new_clients(&model, &servers(), &template(), &mut division, 0, 20, 0.05)
+            .unwrap();
+        assert_eq!(to, Some(1), "expected the idle fast server, got {to:?}");
+        assert_eq!(division.assignments[1][0], 20);
+    }
+
+    #[test]
+    fn routing_refuses_when_full() {
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let caps: Vec<u32> = servers().iter().map(|s| model.capacity(s, 300.0)).collect();
+        let mut division = Division { assignments: caps.iter().map(|&c| vec![c]).collect() };
+        let to = route_new_clients(&model, &servers(), &template(), &mut division, 0, 50, 0.05)
+            .unwrap();
+        assert_eq!(to, None);
+        // Division untouched on refusal.
+        assert_eq!(division.totals()[0], caps.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn transfers_are_well_formed() {
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let mut division = Division { assignments: vec![vec![350], vec![10], vec![10]] };
+        let transfers =
+            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
+                .unwrap();
+        for t in &transfers {
+            assert_ne!(t.from, t.to);
+            assert!(t.clients > 0);
+            assert_eq!(t.class, 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the resource manager: allocation conservation,
+//! capacity respect, and slack behaviour, against a transparent linear
+//! capacity model.
+
+use perfpred_core::workload::ClassLoad;
+use perfpred_core::{
+    PerformanceModel, PredictError, Prediction, ServerArch, ServiceClass, Workload,
+};
+use perfpred_resman::algorithm::allocate;
+use perfpred_resman::runtime::{evaluate_runtime, RuntimeOptions};
+use proptest::prelude::*;
+
+/// Linear test model: mrt = base + total_clients · k / speed.
+struct LinearModel {
+    base_ms: f64,
+    per_client_ms: f64,
+}
+
+impl PerformanceModel for LinearModel {
+    fn method_name(&self) -> &str {
+        "linear"
+    }
+    fn predict(&self, server: &ServerArch, w: &Workload) -> Result<Prediction, PredictError> {
+        let n = f64::from(w.total_clients());
+        let mrt = self.base_ms + n * self.per_client_ms / server.speed_factor;
+        Ok(Prediction {
+            mrt_ms: mrt,
+            per_class_mrt_ms: vec![mrt; w.classes.len()],
+            throughput_rps: n / 7.0,
+            utilization: None,
+            saturated: false,
+        })
+    }
+}
+
+fn pool(n_servers: usize) -> Vec<ServerArch> {
+    (0..n_servers)
+        .map(|i| match i % 3 {
+            0 => ServerArch::app_serv_s(),
+            1 => ServerArch::app_serv_f(),
+            _ => ServerArch::app_serv_vf(),
+        })
+        .collect()
+}
+
+fn workload(counts: &[u32], goals: &[f64]) -> Workload {
+    Workload {
+        classes: counts
+            .iter()
+            .zip(goals)
+            .enumerate()
+            .map(|(i, (&clients, &goal))| ClassLoad {
+                class: ServiceClass::browse().named(format!("c{i}")).with_goal(goal),
+                clients,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every real client is either placed on exactly one server or
+    /// rejected; nothing is duplicated or lost, at any slack.
+    #[test]
+    fn allocation_conserves_clients(
+        counts in proptest::collection::vec(0u32..2_000, 1..4),
+        n_servers in 1usize..8,
+        slack in 0.0f64..2.0,
+    ) {
+        let goals: Vec<f64> = (0..counts.len()).map(|i| 150.0 * (i + 1) as f64).collect();
+        let w = workload(&counts, &goals);
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let a = allocate(&model, &pool(n_servers), &w, slack).unwrap();
+        for (ci, &c) in counts.iter().enumerate() {
+            let placed: u32 = a.servers.iter().map(|s| s.real[ci]).sum();
+            prop_assert_eq!(placed + a.rejected_real[ci], c, "class {}", ci);
+        }
+    }
+
+    /// The plan never exceeds any server's predicted capacity (checking
+    /// the planner's own goal predicate on the final allocation).
+    #[test]
+    fn allocation_respects_predicted_capacity(
+        counts in proptest::collection::vec(1u32..1_500, 1..4),
+        n_servers in 1usize..8,
+    ) {
+        let goals: Vec<f64> = (0..counts.len()).map(|i| 200.0 + 150.0 * i as f64).collect();
+        let w = workload(&counts, &goals);
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let servers = pool(n_servers);
+        let a = allocate(&model, &servers, &w, 1.0).unwrap();
+        for (si, server) in servers.iter().enumerate() {
+            let sw = a.server_workload(&w, si);
+            if sw.total_clients() == 0 {
+                continue;
+            }
+            let p = model.predict(server, &sw).unwrap();
+            for (i, load) in sw.classes.iter().enumerate() {
+                if load.clients > 0 {
+                    if let Some(goal) = load.class.rt_goal_ms {
+                        prop_assert!(
+                            p.per_class_mrt_ms[i] <= goal + 1e-9,
+                            "server {} class {} violates plan", si, i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// With a perfect planner and zero threshold, runtime failures equal
+    /// the planner's own rejections (nothing extra shed or rescued).
+    #[test]
+    fn perfect_planner_runtime_agreement(
+        counts in proptest::collection::vec(1u32..1_200, 1..3),
+        n_servers in 1usize..6,
+    ) {
+        let goals: Vec<f64> = (0..counts.len()).map(|i| 250.0 + 200.0 * i as f64).collect();
+        let w = workload(&counts, &goals);
+        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let servers = pool(n_servers);
+        let a = allocate(&model, &servers, &w, 1.0).unwrap();
+        let out = evaluate_runtime(
+            &model,
+            &servers,
+            &w,
+            &a,
+            &RuntimeOptions { threshold: 0.0, optimize: false },
+        )
+        .unwrap();
+        let planned_rejects: u32 = a.rejected_real.iter().sum();
+        let runtime_rejects: u32 = out.rejected_per_class.iter().sum();
+        prop_assert_eq!(planned_rejects, runtime_rejects);
+    }
+
+    /// Failures never exceed 100 % and usage stays within [0, 100].
+    #[test]
+    fn metrics_bounded(
+        counts in proptest::collection::vec(0u32..3_000, 1..4),
+        n_servers in 1usize..10,
+        slack in 0.0f64..2.0,
+        threshold in 0.0f64..0.2,
+    ) {
+        let goals: Vec<f64> = (0..counts.len()).map(|i| 120.0 * (i + 1) as f64).collect();
+        let w = workload(&counts, &goals);
+        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.8 };
+        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let servers = pool(n_servers);
+        let a = allocate(&planner, &servers, &w, slack).unwrap();
+        let out = evaluate_runtime(
+            &truth,
+            &servers,
+            &w,
+            &a,
+            &RuntimeOptions { threshold, optimize: true },
+        )
+        .unwrap();
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&out.sla_failure_pct));
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&out.server_usage_pct));
+        // Runtime never serves clients that were never allocated.
+        for (ci, load) in w.classes.iter().enumerate() {
+            let served: u32 = out.admitted.iter().map(|s| s[ci]).sum();
+            prop_assert!(served <= load.clients);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! An LRU cache over per-client session data (§7.2).
+//!
+//! When the application server's main memory is used indirectly — session
+//! state cached in the heap and persisted to the database — the memory acts
+//! as a least-recently-used cache. A request whose client's session is not
+//! resident incurs an extra database call to read it back (§7.2: "when a
+//! request misses the cache an extra call to the database is incurred").
+
+use std::collections::HashMap;
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Session was resident.
+    Hit,
+    /// Session had to be fetched from the database.
+    Miss,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u64,
+    size: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A byte-capacity LRU cache keyed by client id, implemented with an
+/// intrusive doubly-linked list over a slab (O(1) touch/insert/evict).
+pub struct SessionCache {
+    capacity: u64,
+    used: u64,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SessionCache {
+    /// A cache holding up to `capacity` bytes of session data.
+    pub fn new(capacity: u64) -> Self {
+        SessionCache {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict from empty cache");
+        self.detach(victim);
+        self.used -= self.nodes[victim].size;
+        self.map.remove(&self.nodes[victim].key);
+        self.free.push(victim);
+        self.evictions += 1;
+    }
+
+    /// Accesses client `key`'s session of `size` bytes: a hit refreshes
+    /// recency; a miss installs the session, evicting least-recently-used
+    /// sessions until it fits. Sessions larger than the whole cache are
+    /// never resident (every access misses).
+    pub fn access(&mut self, key: u64, size: u64) -> Access {
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            // Session size may have grown (e.g. a bigger portfolio).
+            let old = self.nodes[idx].size;
+            if size != old {
+                self.used = self.used - old + size;
+                self.nodes[idx].size = size;
+            }
+            self.push_front(idx);
+            while self.used > self.capacity && self.tail != self.head {
+                self.evict_lru();
+            }
+            if self.used > self.capacity {
+                // The refreshed session alone exceeds capacity.
+                self.evict_lru();
+                self.hits += 1; // data was resident when accessed
+                return Access::Hit;
+            }
+            self.hits += 1;
+            return Access::Hit;
+        }
+        self.misses += 1;
+        if size > self.capacity {
+            return Access::Miss; // can never be resident
+        }
+        while self.used + size > self.capacity {
+            self.evict_lru();
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key, size, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, size, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.used += size;
+        self.push_front(idx);
+        Access::Miss
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Sessions currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Miss ratio over all accesses (0 if none).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = SessionCache::new(1_000);
+        assert_eq!(c.access(1, 100), Access::Miss);
+        assert_eq!(c.access(1, 100), Access::Hit);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 100);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SessionCache::new(300);
+        c.access(1, 100);
+        c.access(2, 100);
+        c.access(3, 100);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.access(1, 100), Access::Hit);
+        // Insert 4: evicts 2.
+        assert_eq!(c.access(4, 100), Access::Miss);
+        assert_eq!(c.access(2, 100), Access::Miss); // 2 was evicted (3 out now)
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = SessionCache::new(250);
+        c.access(1, 100);
+        c.access(2, 100);
+        c.access(3, 100); // must evict 1
+        assert!(c.used_bytes() <= 250);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.access(1, 100), Access::Miss);
+    }
+
+    #[test]
+    fn oversized_session_never_resident() {
+        let mut c = SessionCache::new(100);
+        assert_eq!(c.access(1, 500), Access::Miss);
+        assert_eq!(c.access(1, 500), Access::Miss);
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn session_growth_updates_usage() {
+        let mut c = SessionCache::new(1_000);
+        c.access(1, 100);
+        assert_eq!(c.access(1, 400), Access::Hit); // portfolio grew
+        assert_eq!(c.used_bytes(), 400);
+        // Growth can force eviction of others.
+        c.access(2, 500);
+        assert_eq!(c.access(1, 600), Access::Hit);
+        assert!(c.used_bytes() <= 1_000);
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut c = SessionCache::new(200);
+        for k in 0..50u64 {
+            c.access(k, 100);
+        }
+        // Only 2 resident at a time; slab should not have grown to 50.
+        assert!(c.nodes.len() <= 3, "slab grew to {}", c.nodes.len());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn many_clients_thrash() {
+        let mut c = SessionCache::new(10 * 100);
+        // 100 clients, capacity for 10: round-robin access always misses.
+        for round in 0..3 {
+            for k in 0..100u64 {
+                let a = c.access(k, 100);
+                if round > 0 {
+                    assert_eq!(a, Access::Miss);
+                }
+            }
+        }
+        assert!(c.miss_ratio() > 0.99);
+    }
+}

@@ -1,0 +1,573 @@
+//! The full §2 system model (fig 1): a *tier* of heterogeneous application
+//! servers in front of **one** database server, with clients statically
+//! routed to servers by the workload manager's division of the workload.
+//!
+//! Faithful details:
+//!
+//! * each application server has its own thread pool (50) and CPU;
+//! * "the database server has one FIFO queue per application server" — a
+//!   request waits in its own server's queue; freed connections are handed
+//!   out round-robin across the per-server queues;
+//! * the database can process `db_connections` requests concurrently via
+//!   time-sharing on its CPU, and its disk serves one request at a time.
+//!
+//! The single-server [`crate::engine::TradeSim`] measures one
+//! (app server, DB) pair — the paper's calibration setup. This cluster
+//! simulator exists for an *extension* experiment: validating the §9
+//! resource-management pipeline end to end against simulated reality,
+//! which also exposes the shared-database scaling limit the paper's
+//! per-server models quietly assume away.
+
+use crate::config::{GroundTruth, SimOptions};
+use crate::engine::ClassRaw;
+use crate::ops::{BuySession, Op, OpTable};
+use crate::slot::SlotPool;
+use perfpred_core::{RequestType, ServerArch, Workload};
+use perfpred_desim::queue::EventHandle;
+use perfpred_desim::{EventQueue, FifoStation, PsStation, SimRng, Welford};
+
+/// Result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunResult {
+    /// Aggregate per-class statistics (workload class order).
+    pub per_class: Vec<ClassRaw>,
+    /// Per-class statistics per server: `per_server_class[server][class]`.
+    pub per_server_class: Vec<Vec<ClassRaw>>,
+    /// CPU utilisation per application server.
+    pub app_cpu_utilization: Vec<f64>,
+    /// Database CPU utilisation.
+    pub db_cpu_utilization: f64,
+    /// Database disk utilisation.
+    pub disk_utilization: f64,
+    /// Measurement window, ms.
+    pub measure_ms: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Issue(usize),
+    ArriveApp(usize),
+    AppCpu(usize),
+    DbArrive(usize),
+    DbCpu,
+    Disk,
+    Warmup,
+}
+
+struct Client {
+    class_idx: usize,
+    server_idx: usize,
+    session: Option<BuySession>,
+}
+
+struct Request {
+    client: usize,
+    class_idx: usize,
+    server_idx: usize,
+    db_calls_left: u32,
+    slice_work: f64,
+    db_demand_mean: f64,
+    issued_at: f64,
+}
+
+struct AppServer {
+    arch: ServerArch,
+    threads: SlotPool<usize>,
+    cpu: PsStation<usize>,
+    cpu_ev: Option<EventHandle>,
+    busy_at_warmup: f64,
+}
+
+/// The database front: one FIFO queue per application server, a shared
+/// connection pool, round-robin admission across the queues.
+struct DbFront {
+    queues: Vec<std::collections::VecDeque<usize>>,
+    in_use: usize,
+    limit: usize,
+    rr: usize,
+}
+
+impl DbFront {
+    fn new(servers: usize, limit: usize) -> Self {
+        DbFront {
+            queues: (0..servers).map(|_| std::collections::VecDeque::new()).collect(),
+            in_use: 0,
+            limit,
+            rr: 0,
+        }
+    }
+
+    /// Tries to take a connection for a request from `server_idx`.
+    fn acquire(&mut self, server_idx: usize, req: usize) -> bool {
+        if self.in_use < self.limit {
+            self.in_use += 1;
+            true
+        } else {
+            self.queues[server_idx].push_back(req);
+            false
+        }
+    }
+
+    /// Releases a connection, admitting the next waiter round-robin across
+    /// the per-server queues.
+    fn release(&mut self) -> Option<usize> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let q = (self.rr + i) % n;
+            if let Some(req) = self.queues[q].pop_front() {
+                self.rr = (q + 1) % n;
+                return Some(req); // connection passes on
+            }
+        }
+        self.in_use -= 1;
+        None
+    }
+}
+
+/// The cluster simulator. Per-server workloads typically come from a
+/// resource-manager allocation (`Allocation::server_workload`).
+pub struct ClusterSim {
+    gt: GroundTruth,
+    opts: SimOptions,
+    ops: OpTable,
+
+    queue: EventQueue<Ev>,
+    rng_think: SimRng,
+    rng_ops: SimRng,
+    rng_service: SimRng,
+    rng_infra: SimRng,
+    rng_db: SimRng,
+    rng_disk: SimRng,
+
+    clients: Vec<Client>,
+    class_think_ms: Vec<f64>,
+    requests: Vec<Option<Request>>,
+    free_requests: Vec<usize>,
+
+    servers: Vec<AppServer>,
+    db_front: DbFront,
+    db_cpu: PsStation<usize>,
+    db_cpu_ev: Option<EventHandle>,
+    disk: FifoStation<usize>,
+    disk_ev: Option<EventHandle>,
+
+    stats: Vec<Vec<ClassRaw>>, // [server][class]
+    n_classes: usize,
+    db_busy_at_warmup: f64,
+    disk_busy_at_warmup: f64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster over `assignments`: one workload per application
+    /// server (all sharing the same class list). `db_speed` scales the
+    /// shared database CPU (1.0 = the case-study Athlon; a tier of many
+    /// application servers can out-scale one database — raise it to model
+    /// a beefier DB host).
+    pub fn new(
+        gt: &GroundTruth,
+        archs: &[ServerArch],
+        assignments: &[Workload],
+        db_speed: f64,
+        opts: &SimOptions,
+    ) -> Self {
+        assert_eq!(archs.len(), assignments.len(), "one workload per server");
+        assert!(!archs.is_empty(), "cluster needs at least one server");
+        assert!(db_speed > 0.0);
+        let n_classes = assignments[0].classes.len();
+        for w in assignments {
+            assert_eq!(w.classes.len(), n_classes, "uniform class lists across servers");
+        }
+        let root = SimRng::seed_from(opts.seed);
+        let ops = OpTable::new(gt.browse_app_demand_ms, gt.buy_app_demand_ms);
+
+        let mut clients = Vec::new();
+        let class_think_ms: Vec<f64> =
+            assignments[0].classes.iter().map(|c| c.class.think_time_ms).collect();
+        for (si, w) in assignments.iter().enumerate() {
+            for (ci, load) in w.classes.iter().enumerate() {
+                for _ in 0..load.clients {
+                    let session = match load.class.request_type {
+                        RequestType::Browse => None,
+                        RequestType::Buy => Some(BuySession::start()),
+                    };
+                    clients.push(Client { class_idx: ci, server_idx: si, session });
+                }
+            }
+        }
+
+        let servers = archs
+            .iter()
+            .map(|arch| AppServer {
+                arch: arch.clone(),
+                threads: SlotPool::new(gt.app_threads as usize),
+                cpu: PsStation::new(arch.speed_factor, usize::MAX),
+                cpu_ev: None,
+                busy_at_warmup: 0.0,
+            })
+            .collect();
+
+        let stats = (0..archs.len())
+            .map(|_| {
+                (0..n_classes)
+                    .map(|_| ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 })
+                    .collect()
+            })
+            .collect();
+
+        ClusterSim {
+            gt: *gt,
+            opts: *opts,
+            ops,
+            queue: EventQueue::new(),
+            rng_think: root.derive(11),
+            rng_ops: root.derive(12),
+            rng_service: root.derive(13),
+            rng_infra: root.derive(14),
+            rng_db: root.derive(16),
+            rng_disk: root.derive(17),
+            clients,
+            class_think_ms,
+            requests: Vec::new(),
+            free_requests: Vec::new(),
+            servers,
+            db_front: DbFront::new(archs.len(), gt.db_connections as usize),
+            db_cpu: PsStation::new(db_speed, usize::MAX),
+            db_cpu_ev: None,
+            disk: FifoStation::new(1.0),
+            disk_ev: None,
+            stats,
+            n_classes,
+            db_busy_at_warmup: 0.0,
+            disk_busy_at_warmup: 0.0,
+        }
+    }
+
+    fn alloc_request(&mut self, req: Request) -> usize {
+        match self.free_requests.pop() {
+            Some(i) => {
+                self.requests[i] = Some(req);
+                i
+            }
+            None => {
+                self.requests.push(Some(req));
+                self.requests.len() - 1
+            }
+        }
+    }
+
+    fn resched_app(&mut self, now: f64, si: usize) {
+        if let Some(h) = self.servers[si].cpu_ev.take() {
+            self.queue.cancel(h);
+        }
+        self.servers[si].cpu.advance_to(now);
+        if let Some(t) = self.servers[si].cpu.next_completion() {
+            self.servers[si].cpu_ev = Some(self.queue.schedule(t.max(now), Ev::AppCpu(si)));
+        }
+    }
+
+    fn resched_db(&mut self, now: f64) {
+        if let Some(h) = self.db_cpu_ev.take() {
+            self.queue.cancel(h);
+        }
+        self.db_cpu.advance_to(now);
+        if let Some(t) = self.db_cpu.next_completion() {
+            self.db_cpu_ev = Some(self.queue.schedule(t.max(now), Ev::DbCpu));
+        }
+    }
+
+    fn resched_disk(&mut self, now: f64) {
+        if let Some(h) = self.disk_ev.take() {
+            self.queue.cancel(h);
+        }
+        if let Some(t) = self.disk.next_completion() {
+            self.disk_ev = Some(self.queue.schedule(t.max(now), Ev::Disk));
+        }
+    }
+
+    fn issue(&mut self, now: f64, client_id: usize) {
+        let (class_idx, server_idx) =
+            (self.clients[client_id].class_idx, self.clients[client_id].server_idx);
+        let op: Op = match self.clients[client_id].session {
+            None => self.ops.sample_browse(&mut self.rng_ops),
+            Some(session) => {
+                let (op, next) = session.next(&mut self.rng_ops);
+                self.clients[client_id].session = Some(next);
+                op
+            }
+        };
+        let demand = self.rng_service.exp(self.ops.demand_ms(op));
+        let mean_calls = self.ops.db_calls(op);
+        let mut calls = mean_calls.floor() as u32;
+        if self.rng_service.chance(mean_calls.fract()) {
+            calls += 1;
+        }
+        let db_demand_mean = match op.request_type() {
+            RequestType::Browse => self.gt.browse_db_demand_ms,
+            RequestType::Buy => self.gt.buy_db_demand_ms,
+        };
+        let id = self.alloc_request(Request {
+            client: client_id,
+            class_idx,
+            server_idx,
+            db_calls_left: calls,
+            slice_work: demand / f64::from(calls + 1),
+            db_demand_mean,
+            issued_at: now,
+        });
+        let infra = self.rng_infra.exp(self.gt.infra_latency_for(&self.servers[server_idx].arch));
+        self.queue.schedule(now + infra, Ev::ArriveApp(id));
+    }
+
+    fn arrive_app(&mut self, now: f64, id: usize) {
+        let si = self.requests[id].as_ref().expect("live request").server_idx;
+        if self.servers[si].threads.acquire(id) {
+            self.start_slice(now, id);
+        }
+    }
+
+    fn start_slice(&mut self, now: f64, id: usize) {
+        let (si, work) = {
+            let r = self.requests[id].as_ref().expect("live request");
+            (r.server_idx, r.slice_work)
+        };
+        self.servers[si].cpu.arrive(now, id, work.max(1e-9));
+        self.resched_app(now, si);
+    }
+
+    fn on_slice_done(&mut self, now: f64, id: usize) {
+        let (calls_left, class_idx, server_idx, client, issued_at) = {
+            let r = self.requests[id].as_ref().expect("live request");
+            (r.db_calls_left, r.class_idx, r.server_idx, r.client, r.issued_at)
+        };
+        if calls_left > 0 {
+            self.requests[id].as_mut().expect("live request").db_calls_left -= 1;
+            let net = self.rng_db.exp(self.gt.db_net_ms);
+            self.queue.schedule(now + net, Ev::DbArrive(id));
+            return;
+        }
+        self.requests[id] = None;
+        self.free_requests.push(id);
+        if let Some(waiter) = self.servers[server_idx].threads.release() {
+            self.start_slice(now, waiter);
+        }
+        if now >= self.opts.warmup_ms && now <= self.opts.end_ms() {
+            let s = &mut self.stats[server_idx][class_idx];
+            s.rt.push(now - issued_at);
+            s.completed += 1;
+            if self.opts.store_samples {
+                s.samples.push(now - issued_at);
+            }
+        }
+        let think = self.rng_think.exp(self.class_think_ms[class_idx]);
+        self.queue.schedule(now + think, Ev::Issue(client));
+    }
+
+    fn db_arrive(&mut self, now: f64, id: usize) {
+        let si = self.requests[id].as_ref().expect("live request").server_idx;
+        if self.db_front.acquire(si, id) {
+            self.enter_db_cpu(now, id);
+        }
+    }
+
+    fn enter_db_cpu(&mut self, now: f64, id: usize) {
+        let mean = self.requests[id].as_ref().expect("live request").db_demand_mean;
+        let work = self.rng_db.exp(mean);
+        self.db_cpu.arrive(now, id, work.max(1e-9));
+        self.resched_db(now);
+    }
+
+    fn on_db_cpu_done(&mut self, now: f64, id: usize) {
+        if self.rng_disk.chance(self.gt.disk_miss_prob) {
+            let work = self.rng_disk.exp(self.gt.disk_service_ms);
+            self.disk.arrive(now, id, work.max(1e-9));
+            self.resched_disk(now);
+        } else {
+            self.db_call_complete(now, id);
+        }
+    }
+
+    fn db_call_complete(&mut self, now: f64, id: usize) {
+        if let Some(waiter) = self.db_front.release() {
+            self.enter_db_cpu(now, waiter);
+        }
+        self.start_slice(now, id);
+    }
+
+    /// Runs the cluster to completion.
+    pub fn run(mut self) -> ClusterRunResult {
+        for c in 0..self.clients.len() {
+            let think = self.rng_think.exp(self.class_think_ms[self.clients[c].class_idx]);
+            self.queue.schedule(think, Ev::Issue(c));
+        }
+        self.queue.schedule(self.opts.warmup_ms, Ev::Warmup);
+
+        let end = self.opts.end_ms();
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > end {
+                break;
+            }
+            match ev {
+                Ev::Issue(c) => self.issue(t, c),
+                Ev::ArriveApp(id) => self.arrive_app(t, id),
+                Ev::AppCpu(si) => {
+                    self.servers[si].cpu_ev = None;
+                    let done = self.servers[si].cpu.pop_completed(t);
+                    for id in done {
+                        self.on_slice_done(t, id);
+                    }
+                    self.resched_app(t, si);
+                }
+                Ev::DbArrive(id) => self.db_arrive(t, id),
+                Ev::DbCpu => {
+                    self.db_cpu_ev = None;
+                    let done = self.db_cpu.pop_completed(t);
+                    for id in done {
+                        self.on_db_cpu_done(t, id);
+                    }
+                    self.resched_db(t);
+                }
+                Ev::Disk => {
+                    self.disk_ev = None;
+                    while let Some(id) = self.disk.pop_completed(t) {
+                        self.db_call_complete(t, id);
+                    }
+                    self.resched_disk(t);
+                }
+                Ev::Warmup => {
+                    for si in 0..self.servers.len() {
+                        self.servers[si].cpu.advance_to(t);
+                        self.servers[si].busy_at_warmup =
+                            self.servers[si].cpu.metrics().busy_time_ms;
+                    }
+                    self.db_cpu.advance_to(t);
+                    self.db_busy_at_warmup = self.db_cpu.metrics().busy_time_ms;
+                    self.disk_busy_at_warmup = self.disk.metrics().busy_time_ms;
+                }
+            }
+        }
+
+        let measure = self.opts.measure_ms;
+        let mut app_util = Vec::with_capacity(self.servers.len());
+        for s in &mut self.servers {
+            s.cpu.advance_to(end);
+            app_util
+                .push(((s.cpu.metrics().busy_time_ms - s.busy_at_warmup) / measure).clamp(0.0, 1.0));
+        }
+        self.db_cpu.advance_to(end);
+        let db_util =
+            ((self.db_cpu.metrics().busy_time_ms - self.db_busy_at_warmup) / measure).clamp(0.0, 1.0);
+        let disk_util =
+            ((self.disk.metrics().busy_time_ms - self.disk_busy_at_warmup) / measure).clamp(0.0, 1.0);
+
+        // Aggregate classes across servers.
+        let mut per_class: Vec<ClassRaw> = (0..self.n_classes)
+            .map(|_| ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 })
+            .collect();
+        for server_stats in &self.stats {
+            for (ci, cr) in server_stats.iter().enumerate() {
+                per_class[ci].rt.merge(&cr.rt);
+                per_class[ci].completed += cr.completed;
+                per_class[ci].samples.extend_from_slice(&cr.samples);
+            }
+        }
+
+        ClusterRunResult {
+            per_class,
+            per_server_class: self.stats,
+            app_cpu_utilization: app_util,
+            db_cpu_utilization: db_util,
+            disk_utilization: disk_util,
+            measure_ms: measure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TradeSim;
+    use perfpred_core::workload::ClassLoad;
+    use perfpred_core::ServiceClass;
+
+    fn browse_assignment(clients: u32) -> Workload {
+        Workload {
+            classes: vec![ClassLoad { class: ServiceClass::browse(), clients }],
+        }
+    }
+
+    #[test]
+    fn single_server_cluster_matches_engine() {
+        let gt = GroundTruth::default();
+        let opts = SimOptions::quick(71);
+        let single =
+            TradeSim::new(&gt, &ServerArch::app_serv_f(), &browse_assignment(600), &opts).run();
+        let cluster = ClusterSim::new(
+            &gt,
+            &[ServerArch::app_serv_f()],
+            &[browse_assignment(600)],
+            1.0,
+            &opts,
+        )
+        .run();
+        // Different RNG streams, same physics: means agree within noise.
+        let rel = (cluster.per_class[0].rt.mean() - single.per_class[0].rt.mean()).abs()
+            / single.per_class[0].rt.mean();
+        assert!(rel < 0.08, "cluster {} vs engine {}", cluster.per_class[0].rt.mean(),
+            single.per_class[0].rt.mean());
+        let x_single = single.per_class[0].completed as f64;
+        let x_cluster = cluster.per_class[0].completed as f64;
+        assert!((x_cluster - x_single).abs() / x_single < 0.03);
+    }
+
+    #[test]
+    fn heterogeneous_tier_loads_split_by_assignment() {
+        let gt = GroundTruth::default();
+        let opts = SimOptions::quick(72);
+        let archs = [ServerArch::app_serv_s(), ServerArch::app_serv_vf()];
+        let assignments = [browse_assignment(300), browse_assignment(1_100)];
+        let r = ClusterSim::new(&gt, &archs, &assignments, 1.0, &opts).run();
+        // Both carry ~50 % CPU: 300 clients ≈ 43 req/s on an 86 req/s
+        // server; 1100 ≈ 157 req/s on a 320 req/s server.
+        assert!((r.app_cpu_utilization[0] - 0.50).abs() < 0.05, "{:?}", r.app_cpu_utilization);
+        assert!((r.app_cpu_utilization[1] - 0.49).abs() < 0.05, "{:?}", r.app_cpu_utilization);
+        // Per-server stats kept separately.
+        assert!(r.per_server_class[0][0].completed > 0);
+        assert!(r.per_server_class[1][0].completed > r.per_server_class[0][0].completed);
+    }
+
+    #[test]
+    fn shared_database_saturates_a_large_tier() {
+        // Four fast servers generate ~4×300 req/s of DB work (~1.13 ms per
+        // request): the shared DB CPU melts, and response times explode in
+        // a way no per-server model predicts.
+        let gt = GroundTruth::default();
+        let opts = SimOptions::quick(73);
+        let archs = vec![ServerArch::app_serv_vf(); 4];
+        let assignments = vec![browse_assignment(2_100); 4];
+        let r = ClusterSim::new(&gt, &archs, &assignments, 1.0, &opts).run();
+        assert!(r.db_cpu_utilization > 0.95, "db util {}", r.db_cpu_utilization);
+        // A 4x database restores the tier's scaling.
+        let fixed = ClusterSim::new(&gt, &archs, &assignments, 4.0, &opts).run();
+        assert!(fixed.db_cpu_utilization < 0.6, "db util {}", fixed.db_cpu_utilization);
+        assert!(
+            fixed.per_class[0].rt.mean() < r.per_class[0].rt.mean() / 2.0,
+            "fixed {} vs saturated {}",
+            fixed.per_class[0].rt.mean(),
+            r.per_class[0].rt.mean()
+        );
+    }
+
+    #[test]
+    fn db_front_round_robin_is_fair() {
+        let mut front = DbFront::new(2, 1);
+        assert!(front.acquire(0, 100));
+        assert!(!front.acquire(0, 1));
+        assert!(!front.acquire(0, 2));
+        assert!(!front.acquire(1, 3));
+        // Round-robin alternates between the two server queues.
+        assert_eq!(front.release(), Some(1));
+        assert_eq!(front.release(), Some(3));
+        assert_eq!(front.release(), Some(2));
+        assert_eq!(front.release(), None);
+    }
+}

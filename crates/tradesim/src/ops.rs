@@ -1,0 +1,323 @@
+//! Trade operations and service-class behaviour.
+//!
+//! §3.1: the *browse* service class draws its next operation at random from
+//! the Trade benchmark's representative mix; the *buy* service class runs a
+//! register-and-login / buy×~10 / logoff session. Operations differ in
+//! application-CPU demand and in how many database requests they make; the
+//! class-level means are what the prediction methods calibrate against
+//! (browse: 1.14 DB calls/request; buy: 2 DB calls/request, §5.1).
+
+use perfpred_core::RequestType;
+use perfpred_desim::SimRng;
+
+/// A Trade operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Home page (browse mix).
+    Home,
+    /// Stock quote lookup (browse mix).
+    Quote,
+    /// Portfolio display (browse mix; heavier, joins holdings).
+    Portfolio,
+    /// Account summary (browse mix).
+    Account,
+    /// Register a new user and log in (buy flow).
+    RegisterLogin,
+    /// Buy an amount of stock (buy flow).
+    Buy,
+    /// Log off, persisting session state (buy flow).
+    Logoff,
+}
+
+impl Op {
+    /// The request type an operation is accounted under.
+    pub fn request_type(self) -> RequestType {
+        match self {
+            Op::Home | Op::Quote | Op::Portfolio | Op::Account => RequestType::Browse,
+            Op::RegisterLogin | Op::Buy | Op::Logoff => RequestType::Buy,
+        }
+    }
+}
+
+/// Per-operation workload shape: CPU demand relative to the class mean and
+/// the mean number of database requests the operation issues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpShape {
+    /// The operation.
+    pub op: Op,
+    /// Probability weight within the browse mix (0 for buy-flow ops).
+    pub weight: f64,
+    /// App-CPU demand relative to the class mean (pre-normalisation).
+    pub rel_demand: f64,
+    /// Mean database requests per invocation (fractional means are sampled
+    /// as floor + Bernoulli(frac)).
+    pub db_calls: f64,
+}
+
+/// The browse mix. Weighted means: rel demand 1.01 (normalised away by
+/// [`OpTable`]), DB calls 1.14 — the §5.1 browse calibration value.
+pub const BROWSE_MIX: [OpShape; 4] = [
+    OpShape { op: Op::Home, weight: 0.20, rel_demand: 0.80, db_calls: 1.0 },
+    OpShape { op: Op::Quote, weight: 0.40, rel_demand: 0.90, db_calls: 1.0 },
+    OpShape { op: Op::Portfolio, weight: 0.25, rel_demand: 1.30, db_calls: 1.56 },
+    OpShape { op: Op::Account, weight: 0.15, rel_demand: 1.10, db_calls: 1.0 },
+];
+
+/// The buy session flow shapes. A session is register+login, then a
+/// geometric number of buys with mean [`MEAN_BUYS_PER_SESSION`], then
+/// logoff; per-request means over the average 13-request session: rel
+/// demand ≈ 0.99, DB calls = (3 + 2 + 10·2 + 1)/13 = 2.0 — the §5.1 buy
+/// calibration value.
+pub const BUY_FLOW: [OpShape; 3] = [
+    OpShape { op: Op::RegisterLogin, weight: 0.0, rel_demand: 1.40, db_calls: 3.0 },
+    OpShape { op: Op::Buy, weight: 0.0, rel_demand: 1.00, db_calls: 2.0 },
+    OpShape { op: Op::Logoff, weight: 0.0, rel_demand: 0.50, db_calls: 1.0 },
+];
+
+/// Mean sequential buy requests per session (§3.1: "on average buy clients
+/// make 10 sequential buy requests before sending a logoff request",
+/// giving a mean portfolio size of 5.5).
+pub const MEAN_BUYS_PER_SESSION: f64 = 10.0;
+
+/// Extra register+login DB work relative to a plain buy, folded into the
+/// session's per-request means above.
+const REGISTER_DB_CALLS: f64 = 3.0;
+
+/// Mean requests per buy session (register+login, the buys, logoff).
+pub fn mean_buy_session_requests() -> f64 {
+    MEAN_BUYS_PER_SESSION + 2.0
+}
+
+/// Mean DB calls per buy-class request implied by the flow (should be 2.0).
+pub fn buy_mean_db_calls() -> f64 {
+    (REGISTER_DB_CALLS + 2.0 * MEAN_BUYS_PER_SESSION + 1.0) / mean_buy_session_requests()
+}
+
+/// Mean relative demand per buy-class request implied by the flow.
+pub fn buy_mean_rel_demand() -> f64 {
+    (1.40 + 1.00 * MEAN_BUYS_PER_SESSION + 0.50) / mean_buy_session_requests()
+}
+
+/// Mean relative demand of the browse mix.
+pub fn browse_mean_rel_demand() -> f64 {
+    let total_w: f64 = BROWSE_MIX.iter().map(|s| s.weight).sum();
+    BROWSE_MIX.iter().map(|s| s.weight * s.rel_demand).sum::<f64>() / total_w
+}
+
+/// Mean DB calls of the browse mix (should be 1.14).
+pub fn browse_mean_db_calls() -> f64 {
+    let total_w: f64 = BROWSE_MIX.iter().map(|s| s.weight).sum();
+    BROWSE_MIX.iter().map(|s| s.weight * s.db_calls).sum::<f64>() / total_w
+}
+
+/// Normalised per-operation absolute demands for a target class mean.
+///
+/// `demand_for(op)` returns the mean app-CPU demand of `op` such that the
+/// class-weighted mean equals the configured class mean exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTable {
+    browse_scale: f64,
+    buy_scale: f64,
+}
+
+impl OpTable {
+    /// Builds the table from the class-mean app demands (ms, on the
+    /// reference-speed server).
+    pub fn new(browse_mean_demand_ms: f64, buy_mean_demand_ms: f64) -> Self {
+        OpTable {
+            browse_scale: browse_mean_demand_ms / browse_mean_rel_demand(),
+            buy_scale: buy_mean_demand_ms / buy_mean_rel_demand(),
+        }
+    }
+
+    /// Mean app-CPU demand of `op` on the reference-speed server, ms.
+    pub fn demand_ms(&self, op: Op) -> f64 {
+        let shape = Self::shape(op);
+        let scale = match op.request_type() {
+            RequestType::Browse => self.browse_scale,
+            RequestType::Buy => self.buy_scale,
+        };
+        shape.rel_demand * scale
+    }
+
+    /// Mean DB calls of `op`.
+    pub fn db_calls(&self, op: Op) -> f64 {
+        Self::shape(op).db_calls
+    }
+
+    fn shape(op: Op) -> &'static OpShape {
+        BROWSE_MIX
+            .iter()
+            .chain(BUY_FLOW.iter())
+            .find(|s| s.op == op)
+            .expect("every op has a shape")
+    }
+
+    /// Draws a browse-mix operation.
+    pub fn sample_browse(&self, rng: &mut SimRng) -> Op {
+        let weights: Vec<f64> = BROWSE_MIX.iter().map(|s| s.weight).collect();
+        BROWSE_MIX[rng.choice_weighted(&weights)].op
+    }
+}
+
+/// Progress of a buy client through its session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuySession {
+    /// Next request registers a new user and logs in.
+    Register,
+    /// Next request is a buy; `remaining` buys left in this session.
+    Buying {
+        /// Buy requests left before logoff.
+        remaining: u32,
+    },
+    /// Next request logs off; afterwards a new session starts.
+    Logoff,
+}
+
+impl BuySession {
+    /// A fresh session.
+    pub fn start() -> Self {
+        BuySession::Register
+    }
+
+    /// The operation for the next request and the state after it. The
+    /// number of buys is geometric with mean [`MEAN_BUYS_PER_SESSION`]
+    /// (minimum 1), sampled when the session begins.
+    pub fn next(self, rng: &mut SimRng) -> (Op, BuySession) {
+        match self {
+            BuySession::Register => {
+                // Geometric(p) on {1, 2, ...} with mean 10 ⇒ p = 0.1.
+                let p = 1.0 / MEAN_BUYS_PER_SESSION;
+                let mut n = 1u32;
+                while !rng.chance(p) && n < 1_000 {
+                    n += 1;
+                }
+                (Op::RegisterLogin, BuySession::Buying { remaining: n })
+            }
+            BuySession::Buying { remaining } => {
+                if remaining > 1 {
+                    (Op::Buy, BuySession::Buying { remaining: remaining - 1 })
+                } else {
+                    (Op::Buy, BuySession::Logoff)
+                }
+            }
+            BuySession::Logoff => (Op::Logoff, BuySession::Register),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn browse_mix_weights_sum_to_one() {
+        let w: f64 = BROWSE_MIX.iter().map(|s| s.weight).sum();
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn browse_mean_db_calls_is_paper_value() {
+        assert!((browse_mean_db_calls() - 1.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buy_mean_db_calls_is_paper_value() {
+        assert!((buy_mean_db_calls() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buy_session_mean_portfolio_is_5_5() {
+        // 10 buys per session: holdings 1..=10 while active, mean 5.5.
+        let buys = MEAN_BUYS_PER_SESSION as u32;
+        let mean = (1..=buys).sum::<u32>() as f64 / buys as f64;
+        assert!((mean - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_table_normalises_class_means() {
+        let t = OpTable::new(5.376, 10.45);
+        let browse_mean: f64 = BROWSE_MIX.iter().map(|s| s.weight * t.demand_ms(s.op)).sum();
+        assert!((browse_mean - 5.376).abs() < 1e-9, "browse mean {browse_mean}");
+        let buy_mean = (t.demand_ms(Op::RegisterLogin)
+            + t.demand_ms(Op::Buy) * MEAN_BUYS_PER_SESSION
+            + t.demand_ms(Op::Logoff))
+            / mean_buy_session_requests();
+        assert!((buy_mean - 10.45).abs() < 1e-9, "buy mean {buy_mean}");
+    }
+
+    #[test]
+    fn portfolio_is_heaviest_browse_op() {
+        let t = OpTable::new(5.0, 10.0);
+        assert!(t.demand_ms(Op::Portfolio) > t.demand_ms(Op::Quote));
+        assert!(t.db_calls(Op::Portfolio) > t.db_calls(Op::Home));
+    }
+
+    #[test]
+    fn browse_sampling_matches_weights() {
+        let t = OpTable::new(5.0, 10.0);
+        let mut rng = SimRng::seed_from(11);
+        let mut quote = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if t.sample_browse(&mut rng) == Op::Quote {
+                quote += 1;
+            }
+        }
+        let freq = quote as f64 / n as f64;
+        assert!((freq - 0.40).abs() < 0.01, "quote frequency {freq}");
+    }
+
+    #[test]
+    fn buy_session_cycles_through_phases() {
+        let mut rng = SimRng::seed_from(12);
+        let mut state = BuySession::start();
+        let (op, next) = state.next(&mut rng);
+        assert_eq!(op, Op::RegisterLogin);
+        assert!(matches!(next, BuySession::Buying { remaining } if remaining >= 1));
+        state = next;
+        // Drain the buys.
+        let mut buys = 0;
+        loop {
+            let (op, next) = state.next(&mut rng);
+            if op == Op::Buy {
+                buys += 1;
+                state = next;
+            } else {
+                assert_eq!(op, Op::Logoff);
+                assert_eq!(next, BuySession::Register);
+                break;
+            }
+            assert!(buys < 2_000, "session never ended");
+        }
+        assert!(buys >= 1);
+    }
+
+    #[test]
+    fn buy_session_mean_length_close_to_ten() {
+        let mut rng = SimRng::seed_from(13);
+        let sessions = 20_000;
+        let mut total_buys = 0u64;
+        for _ in 0..sessions {
+            let (_, mut s) = BuySession::start().next(&mut rng);
+            loop {
+                let (op, n) = s.next(&mut rng);
+                if op == Op::Buy {
+                    total_buys += 1;
+                    s = n;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mean = total_buys as f64 / sessions as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean buys {mean}");
+    }
+
+    #[test]
+    fn request_types_assigned() {
+        assert_eq!(Op::Quote.request_type(), RequestType::Browse);
+        assert_eq!(Op::Buy.request_type(), RequestType::Buy);
+        assert_eq!(Op::Logoff.request_type(), RequestType::Buy);
+    }
+}

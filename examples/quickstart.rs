@@ -1,0 +1,48 @@
+//! Quickstart: build the Trade layered queuing model with the paper's
+//! Table 2 calibration, predict response times and throughput across a
+//! range of loads, and find the biggest SLA-compliant population.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perfpred::core::{PerformanceModel, ServerArch, Workload};
+use perfpred::lqns::trade::TradeLqnConfig;
+use perfpred::lqns::LqnPredictor;
+
+fn main() {
+    // The paper's Table 2 processing times, calibrated on AppServF.
+    let predictor = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let server = ServerArch::app_serv_f();
+
+    println!("Layered queuing predictions for {} (typical workload)\n", server.name);
+    println!("{:>8}  {:>12}  {:>12}  {:>6}", "clients", "mrt (ms)", "tput (req/s)", "sat");
+    for clients in [100u32, 400, 800, 1_200, 1_600, 2_000, 2_400] {
+        let p = predictor
+            .predict(&server, &Workload::typical(clients))
+            .expect("prediction");
+        println!(
+            "{:>8}  {:>12.1}  {:>12.1}  {:>6}",
+            clients,
+            p.mrt_ms,
+            p.throughput_rps,
+            if p.saturated { "yes" } else { "no" }
+        );
+    }
+
+    // §8.2: the layered queuing method searches for the max population.
+    let goal_ms = 300.0;
+    let max = predictor
+        .max_clients(&server, &Workload::typical(100), goal_ms)
+        .expect("search");
+    println!("\nmax clients with mean response time <= {goal_ms} ms: {max}");
+
+    // Heterogeneous workloads shift the curve (§4.3 / fig 4).
+    let mixed = predictor
+        .predict(&server, &Workload::with_buy_pct(1_000, 25.0))
+        .expect("mixed prediction");
+    println!(
+        "\n1000 clients at 25% buy: workload mrt {:.1} ms (browse {:.1}, buy {:.1})",
+        mixed.mrt_ms, mixed.per_class_mrt_ms[0], mixed.per_class_mrt_ms[1]
+    );
+}

@@ -1,0 +1,59 @@
+//! What-if upgrade planning (§2's motivation: "upgrades to be planned in
+//! an informed fashion"): given today's workload mix, how would response
+//! times and headroom change on candidate server architectures — including
+//! one that exists only as a benchmark number?
+//!
+//! ```text
+//! cargo run --release --example whatif_upgrade
+//! ```
+
+use perfpred::core::{PerformanceModel, ServerArch, Workload};
+use perfpred::lqns::trade::TradeLqnConfig;
+use perfpred::lqns::LqnPredictor;
+
+fn main() {
+    let predictor = LqnPredictor::new(TradeLqnConfig::paper_table2());
+
+    // Today's workload: 1200 clients, 10 % of them buyers.
+    let workload = Workload::with_buy_pct(1_200, 10.0);
+
+    // Candidates: the case-study trio plus a hypothetical next-gen server,
+    // known only through its benchmark speed (2.4x AppServF).
+    let mut candidates = ServerArch::case_study_servers();
+    candidates.push(ServerArch::new("AppServNG", 2.4, 2.4 * 186.0));
+
+    println!(
+        "what-if: {} clients at {:.0}% buy on each candidate architecture\n",
+        workload.total_clients(),
+        workload.buy_pct()
+    );
+    println!(
+        "{:>10}  {:>9}  {:>10}  {:>10}  {:>12}  {:>14}",
+        "server", "mrt (ms)", "browse", "buy", "utilisation", "headroom (rps)"
+    );
+    for server in &candidates {
+        let p = predictor.predict(server, &workload).expect("prediction");
+        let mx = predictor
+            .max_throughput_rps(server, &workload)
+            .expect("max throughput");
+        println!(
+            "{:>10}  {:>9.1}  {:>10.1}  {:>10.1}  {:>11.0}%  {:>14.1}",
+            server.name,
+            p.mrt_ms,
+            p.per_class_mrt_ms[0],
+            p.per_class_mrt_ms[1],
+            p.utilization.unwrap_or(0.0) * 100.0,
+            mx - p.throughput_rps
+        );
+    }
+
+    // SLA-driven sizing: how many such clients could each candidate hold
+    // at a 250 ms mean-response-time goal?
+    println!("\nmax clients of this mix within a 250 ms goal:");
+    for server in &candidates {
+        let n = predictor
+            .max_clients(server, &workload, 250.0)
+            .expect("capacity search");
+        println!("{:>10}: {}", server.name, n);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # perfpred — performance prediction for distributed enterprise applications
+//!
+//! A Rust reproduction of Bacigalupo et al., *"An Investigation into the
+//! Application of Different Performance Prediction Techniques to e-Commerce
+//! Applications"* (IPDPS 2004): the HYDRA historical method, a layered
+//! queuing network solver, the hybrid method combining the two, a
+//! discrete-event simulator of the IBM Trade benchmark system standing in
+//! for the paper's physical testbed, and the prediction-enhanced SLA
+//! resource manager of §9.
+//!
+//! This facade crate re-exports every sub-crate under one roof:
+//!
+//! * [`core`] — shared types: servers, workloads, SLAs, distributions,
+//!   accuracy metrics, the [`core::PerformanceModel`] trait;
+//! * [`desim`] — the discrete-event simulation kernel;
+//! * [`lqns`] — layered queuing networks and their analytic solver;
+//! * [`tradesim`] — the Trade benchmark system simulator ("the testbed");
+//! * [`hydra`] — the historical prediction method;
+//! * [`hybrid`] — the hybrid prediction method;
+//! * [`resman`] — the SLA-driven resource management algorithm.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use perfpred::core::{PerformanceModel, ServerArch, Workload};
+//! use perfpred::lqns::trade::TradeLqnConfig;
+//! use perfpred::lqns::LqnPredictor;
+//!
+//! // A layered queuing model of the Trade case study, calibrated with the
+//! // paper's Table 2 processing times.
+//! let predictor = LqnPredictor::new(TradeLqnConfig::paper_table2());
+//! let prediction = predictor
+//!     .predict(&ServerArch::app_serv_f(), &Workload::typical(800))
+//!     .unwrap();
+//! assert!(prediction.mrt_ms > 0.0);
+//! assert!(prediction.throughput_rps > 0.0);
+//! ```
+
+pub use perfpred_core as core;
+pub use perfpred_desim as desim;
+pub use perfpred_hybrid as hybrid;
+pub use perfpred_hydra as hydra;
+pub use perfpred_lqns as lqns;
+pub use perfpred_resman as resman;
+pub use perfpred_tradesim as tradesim;

@@ -1,0 +1,189 @@
+//! End-to-end integration: calibrate every prediction method against the
+//! simulated testbed and verify the paper's qualitative findings hold.
+//!
+//! These tests run the full pipeline (simulate → calibrate → predict →
+//! compare) with shortened simulation windows.
+
+use perfpred::core::{accuracy_pct, PerformanceModel, ServerArch, Workload};
+use perfpred::hybrid::{HybridModel, HybridOptions};
+use perfpred::hydra::{HistoricalModel, ServerObservations};
+use perfpred::lqns::LqnPredictor;
+use perfpred::tradesim::calibrate::calibrate_lqn;
+use perfpred::tradesim::config::{GroundTruth, SimOptions};
+use perfpred::tradesim::harness::{find_max_throughput, run, sweep};
+
+const M: f64 = 1.0 / 7.02; // clients→req/s gradient at 7 s think time
+
+fn sim() -> SimOptions {
+    SimOptions::quick(0xE2E)
+}
+
+fn calibrated_historical(gt: &GroundTruth) -> HistoricalModel {
+    let mut builder = HistoricalModel::builder();
+    for server in [ServerArch::app_serv_f(), ServerArch::app_serv_vf()] {
+        let mx = find_max_throughput(gt, &server, &Workload::typical(100), &sim());
+        let n_star = mx / M;
+        let grid = [
+            (0.15 * n_star) as u32,
+            (0.66 * n_star) as u32,
+            (1.10 * n_star) as u32,
+            (1.55 * n_star) as u32,
+        ];
+        let pts = sweep(gt, &server, &Workload::typical(100), &grid, &sim());
+        let obs = ServerObservations::new(server.name.clone(), mx)
+            .with_lower(f64::from(pts[0].clients), pts[0].mrt_ms)
+            .with_lower(f64::from(pts[1].clients), pts[1].mrt_ms)
+            .with_upper(f64::from(pts[2].clients), pts[2].mrt_ms)
+            .with_upper(f64::from(pts[3].clients), pts[3].mrt_ms)
+            .with_throughput(f64::from(pts[0].clients), pts[0].throughput_rps)
+            .with_throughput(f64::from(pts[1].clients), pts[1].throughput_rps);
+        builder = builder.observations(obs);
+    }
+    builder.build().expect("historical calibration")
+}
+
+#[test]
+fn lqn_calibration_recovers_cpu_demands_end_to_end() {
+    let gt = GroundTruth::default();
+    let cfg = calibrate_lqn(&gt, &ServerArch::app_serv_f(), &sim());
+    // The §5 calibration sees only CPU, so it recovers the CPU demands —
+    // and nothing else (that blind spot is the point).
+    assert!(accuracy_pct(cfg.browse.app_demand_ms, gt.browse_app_demand_ms) > 95.0);
+    assert!(accuracy_pct(cfg.buy.app_demand_ms, gt.buy_app_demand_ms) > 93.0);
+    assert!(accuracy_pct(cfg.browse.db_demand_ms, gt.browse_db_demand_ms) > 90.0);
+}
+
+#[test]
+fn accuracy_ordering_matches_paper_on_new_server() {
+    // §5.1 / fig 2: historical beats layered queuing on mean response
+    // time; all methods are nearly exact on throughput.
+    let gt = GroundTruth::default();
+    let new_server = ServerArch::app_serv_s();
+    let lqn = LqnPredictor::new(calibrate_lqn(&gt, &ServerArch::app_serv_f(), &sim()));
+    let historical = calibrated_historical(&gt);
+
+    let grid = [90u32, 300, 520, 700, 860];
+    let measured = sweep(&gt, &new_server, &Workload::typical(100), &grid, &sim());
+    let mut acc = [0.0f64; 2]; // historical, lqn
+    let mut tput_acc = 0.0f64;
+    for (i, point) in measured.iter().enumerate() {
+        let w = Workload::typical(grid[i]);
+        let h = historical.predict(&new_server, &w).unwrap();
+        let l = lqn.predict(&new_server, &w).unwrap();
+        acc[0] += accuracy_pct(h.mrt_ms, point.mrt_ms);
+        acc[1] += accuracy_pct(l.mrt_ms, point.mrt_ms);
+        tput_acc += accuracy_pct(l.throughput_rps, point.throughput_rps);
+    }
+    let n = grid.len() as f64;
+    let (hist, lq, tput) = (acc[0] / n, acc[1] / n, tput_acc / n);
+    assert!(
+        hist > lq,
+        "historical ({hist:.1}%) should beat layered queuing ({lq:.1}%)"
+    );
+    assert!(hist > 60.0, "historical accuracy too low: {hist:.1}%");
+    assert!(tput > 95.0, "throughput accuracy too low: {tput:.1}%");
+}
+
+#[test]
+fn hybrid_tracks_lqn_and_predicts_fast() {
+    let gt = GroundTruth::default();
+    let lqn = LqnPredictor::new(calibrate_lqn(&gt, &ServerArch::app_serv_f(), &sim()));
+    let servers = ServerArch::case_study_servers();
+    let hybrid = HybridModel::advanced(&lqn, &servers, &HybridOptions::default()).unwrap();
+
+    // §6: hybrid accuracy ~ layered queuing accuracy (they share a soul).
+    for server in &servers {
+        for clients in [300u32, 900] {
+            let w = Workload::typical(clients);
+            let l = lqn.predict(server, &w).unwrap().mrt_ms;
+            let h = hybrid.predict(server, &w).unwrap().mrt_ms;
+            assert!(
+                accuracy_pct(h, l) > 55.0,
+                "{} at {clients}: hybrid {h:.1} vs lqn {l:.1}",
+                server.name
+            );
+        }
+    }
+
+    // §8.5: after start-up, hybrid predictions are closed-form — orders of
+    // magnitude faster than LQN solves.
+    let w = Workload::typical(1_400);
+    let server = &servers[1];
+    let t0 = std::time::Instant::now();
+    for _ in 0..200 {
+        hybrid.predict(server, &w).unwrap();
+    }
+    let hybrid_elapsed = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    for _ in 0..200 {
+        lqn.predict(server, &w).unwrap();
+    }
+    let lqn_elapsed = t1.elapsed();
+    assert!(
+        hybrid_elapsed * 5 < lqn_elapsed,
+        "hybrid {hybrid_elapsed:?} not clearly faster than lqn {lqn_elapsed:?}"
+    );
+}
+
+#[test]
+fn max_throughputs_scale_with_architecture() {
+    // The §2 benchmark service: measured max throughputs land at the
+    // designed 86 / 186 / 320 req/s operating points.
+    let gt = GroundTruth::default();
+    let expect = [86.0, 186.0, 320.0];
+    for (server, expect) in ServerArch::case_study_servers().iter().zip(expect) {
+        let mx = find_max_throughput(&gt, server, &Workload::typical(100), &sim());
+        assert!(
+            accuracy_pct(mx, expect) > 93.0,
+            "{}: measured {mx:.1} vs design {expect}",
+            server.name
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_mix_lowers_max_throughput_measured_and_predicted() {
+    // §4.3: more buy requests, lower max throughput — in the testbed and
+    // in the layered queuing model alike.
+    let gt = GroundTruth::default();
+    let server = ServerArch::app_serv_f();
+    let measured_typical = find_max_throughput(&gt, &server, &Workload::typical(100), &sim());
+    let measured_buys =
+        find_max_throughput(&gt, &server, &Workload::with_buy_pct(1_000, 25.0), &sim());
+    assert!(measured_buys < measured_typical * 0.9);
+
+    let lqn = LqnPredictor::new(calibrate_lqn(&gt, &server, &sim()));
+    let predicted_typical = lqn.max_throughput_rps(&server, &Workload::typical(100)).unwrap();
+    let predicted_buys = lqn
+        .max_throughput_rps(&server, &Workload::with_buy_pct(1_000, 25.0))
+        .unwrap();
+    // The predicted drop tracks the measured drop.
+    let measured_drop = 1.0 - measured_buys / measured_typical;
+    let predicted_drop = 1.0 - predicted_buys / predicted_typical;
+    assert!(
+        (measured_drop - predicted_drop).abs() < 0.08,
+        "drops diverge: measured {measured_drop:.3} vs predicted {predicted_drop:.3}"
+    );
+}
+
+#[test]
+fn percentile_extrapolation_beats_nothing_and_direct_wins() {
+    // §7.1 on one operating point: converting the mean prediction with the
+    // double-exponential distribution approximates the measured p90.
+    let gt = GroundTruth::default();
+    let server = ServerArch::app_serv_f();
+    let mx = find_max_throughput(&gt, &server, &Workload::typical(100), &sim());
+    let n_sat = (1.25 * mx / M) as u32;
+    let mut opts = sim();
+    opts.store_samples = true;
+    let point = run(&gt, &server, &Workload::typical(n_sat), &opts);
+    let measured_p90 = point.p90_ms().expect("samples stored");
+    let b = point.classes[0].mad_ms.unwrap();
+    let dist =
+        perfpred::core::RtDistribution::from_mean_prediction(point.mrt_ms, true, b).unwrap();
+    let predicted_p90 = dist.percentile(90.0);
+    assert!(
+        accuracy_pct(predicted_p90, measured_p90) > 75.0,
+        "p90 {predicted_p90:.1} vs measured {measured_p90:.1}"
+    );
+}

@@ -1,0 +1,173 @@
+//! Cross-method contract tests: every `PerformanceModel` implementation
+//! must satisfy the same behavioural guarantees the resource manager and
+//! the experiment harness rely on.
+
+use perfpred::core::{PerformanceModel, ServerArch, Workload};
+use perfpred::hybrid::{HybridModel, HybridOptions};
+use perfpred::hydra::{HistoricalModel, ServerObservations};
+use perfpred::lqns::trade::TradeLqnConfig;
+use perfpred::lqns::LqnPredictor;
+
+fn historical() -> HistoricalModel {
+    let m = 0.1424;
+    let obs = |name: &str, mx: f64, c: f64, lam: f64| {
+        let n_star = mx / m;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+            .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+            .with_throughput(0.3 * n_star, m * 0.3 * n_star)
+    };
+    HistoricalModel::builder()
+        .observations(obs("AppServF", 186.0, 18.5, 5.6e-4))
+        .observations(obs("AppServVF", 320.0, 11.7, 3.3e-4))
+        .r3_points(&[(0.0, 186.0), (25.0, 151.0), (50.0, 127.0), (100.0, 95.0)])
+        .class_deviation(0.86, 1.43)
+        .build()
+        .unwrap()
+}
+
+fn methods() -> Vec<Box<dyn PerformanceModel>> {
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let hybrid = HybridModel::advanced(
+        &lqn,
+        &ServerArch::case_study_servers(),
+        &HybridOptions::default(),
+    )
+    .unwrap();
+    vec![Box::new(historical()), Box::new(lqn), Box::new(hybrid)]
+}
+
+#[test]
+fn predictions_are_finite_positive_and_monotone() {
+    for model in methods() {
+        for server in ServerArch::case_study_servers() {
+            let mut last_mrt = 0.0;
+            let mut last_tput = 0.0;
+            for clients in [50u32, 200, 500, 900, 1_300, 1_900, 2_600] {
+                let p = model.predict(&server, &Workload::typical(clients)).unwrap();
+                assert!(
+                    p.mrt_ms.is_finite() && p.mrt_ms > 0.0,
+                    "{} on {}: mrt {}",
+                    model.method_name(),
+                    server.name,
+                    p.mrt_ms
+                );
+                assert!(p.throughput_rps.is_finite() && p.throughput_rps > 0.0);
+                assert!(
+                    p.mrt_ms >= last_mrt * 0.93,
+                    "{} on {}: mrt fell {} -> {} at {clients}",
+                    model.method_name(),
+                    server.name,
+                    last_mrt,
+                    p.mrt_ms
+                );
+                assert!(p.throughput_rps >= last_tput * 0.99);
+                last_mrt = p.mrt_ms;
+                last_tput = p.throughput_rps;
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_workload_is_identity() {
+    for model in methods() {
+        let p = model.predict(&ServerArch::app_serv_f(), &Workload::empty()).unwrap();
+        assert_eq!(p.mrt_ms, 0.0, "{}", model.method_name());
+        assert_eq!(p.throughput_rps, 0.0);
+        assert!(!p.saturated);
+    }
+}
+
+#[test]
+fn per_class_predictions_align_with_workload() {
+    let w = Workload::with_buy_pct(900, 25.0);
+    for model in methods() {
+        let p = model.predict(&ServerArch::app_serv_f(), &w).unwrap();
+        assert_eq!(p.per_class_mrt_ms.len(), w.classes.len(), "{}", model.method_name());
+        // Buy requests are heavier in every method's world view.
+        assert!(
+            p.per_class_mrt_ms[1] > p.per_class_mrt_ms[0],
+            "{}: buy {} <= browse {}",
+            model.method_name(),
+            p.per_class_mrt_ms[1],
+            p.per_class_mrt_ms[0]
+        );
+    }
+}
+
+#[test]
+fn max_clients_is_tight_for_every_method() {
+    let template = Workload::typical(100);
+    let server = ServerArch::app_serv_f();
+    for model in methods() {
+        let goal = 400.0;
+        let n = model.max_clients(&server, &template, goal).unwrap();
+        assert!(n > 0, "{}", model.method_name());
+        let at = model.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
+        assert!(
+            at <= goal * 1.001,
+            "{}: mrt {at:.1} at its own capacity {n}",
+            model.method_name()
+        );
+        // A 5 % overload must violate the goal (tightness).
+        let over = model
+            .predict(&server, &Workload::typical(n + (n / 20).max(2)))
+            .unwrap()
+            .mrt_ms;
+        assert!(
+            over > goal,
+            "{}: capacity not tight ({over:.1} <= {goal} at n+5%)",
+            model.method_name()
+        );
+    }
+}
+
+#[test]
+fn saturation_flags_agree_with_throughput_plateau() {
+    for model in methods() {
+        let server = ServerArch::app_serv_f();
+        let low = model.predict(&server, &Workload::typical(200)).unwrap();
+        assert!(!low.saturated, "{} saturated at 200 clients", model.method_name());
+        let high = model.predict(&server, &Workload::typical(2_600)).unwrap();
+        assert!(high.saturated, "{} not saturated at 2600 clients", model.method_name());
+    }
+}
+
+#[test]
+fn only_the_historical_method_records_percentiles() {
+    let flags: Vec<(String, bool)> = methods()
+        .iter()
+        .map(|m| (m.method_name().to_string(), m.supports_direct_percentiles()))
+        .collect();
+    // §8.2: percentile metrics can be predicted directly by the historical
+    // method alone (and only when calibrated with percentile data — the
+    // plain calibration here has none).
+    for (name, supports) in flags {
+        if name == "historical" {
+            assert!(!supports, "no percentile observations were supplied");
+        } else {
+            assert!(!supports, "{name} must not claim direct percentiles");
+        }
+    }
+    // With percentile observations, the historical method gains the
+    // capability.
+    let m = 0.1424;
+    let obs = |name: &str, mx: f64| {
+        let n_star: f64 = mx / m;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, 40.0)
+            .with_lower(0.66 * n_star, 55.0)
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+    };
+    let with_pcts = HistoricalModel::builder()
+        .observations(obs("AppServF", 186.0))
+        .observations(obs("AppServVF", 320.0))
+        .percentile_observations(90.0, vec![obs("AppServF", 186.0), obs("AppServVF", 320.0)])
+        .build()
+        .unwrap();
+    assert!(with_pcts.supports_direct_percentiles());
+}

@@ -1,0 +1,210 @@
+//! Integration of the §9 resource manager with real (calibrated)
+//! prediction methods: hybrid planner against historical truth, slack
+//! behaviour, and the uniform-error control.
+
+use perfpred::core::{PerformanceModel, ServerArch};
+use perfpred::hybrid::{HybridModel, HybridOptions};
+use perfpred::hydra::{HistoricalModel, ServerObservations};
+use perfpred::lqns::trade::TradeLqnConfig;
+use perfpred::lqns::LqnPredictor;
+use perfpred::resman::algorithm::allocate;
+use perfpred::resman::costs::{sweep_loads, SweepConfig};
+use perfpred::resman::runtime::{evaluate_runtime, RuntimeOptions};
+use perfpred::resman::scenario::{paper_pool, paper_workload, UniformErrorModel};
+
+/// A synthetic exact historical model (no simulation required).
+fn truth() -> HistoricalModel {
+    let m = 0.1424;
+    let obs = |name: &str, mx: f64, c: f64, lam: f64| {
+        let n_star = mx / m;
+        ServerObservations::new(name, mx)
+            .with_lower(0.15 * n_star, c * (lam * 0.15 * n_star).exp())
+            .with_lower(0.66 * n_star, c * (lam * 0.66 * n_star).exp())
+            .with_upper(1.10 * n_star, 1_000.0 / mx * 1.10 * n_star - 7_000.0)
+            .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0)
+            .with_throughput(0.3 * n_star, m * 0.3 * n_star)
+    };
+    HistoricalModel::builder()
+        .observations(obs("AppServF", 186.0, 18.5, 5.6e-4))
+        .observations(obs("AppServVF", 320.0, 11.7, 3.3e-4))
+        .r3_points(&[(0.0, 186.0), (25.0, 151.0), (50.0, 127.0), (100.0, 95.0)])
+        .class_deviation(0.86, 1.43)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn hybrid_planner_full_pipeline() {
+    // Hybrid (LQN-derived) plans, synthetic historical truth judges.
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let planner =
+        HybridModel::advanced(&lqn, &ServerArch::case_study_servers(), &HybridOptions::default())
+            .unwrap();
+    let pool = paper_pool();
+    let template = paper_workload(4_000);
+    let a = allocate(&planner, &pool, &template, 1.1).unwrap();
+    // The plan places everyone at this modest load.
+    assert_eq!(a.total_rejected_real(), 0, "rejected {:?}", a.rejected_real);
+    // Buy clients (tightest goal) land somewhere.
+    let buys: u32 = a.servers.iter().map(|s| s.real[0]).sum();
+    assert_eq!(buys, template.classes[0].clients);
+
+    let out =
+        evaluate_runtime(&truth(), &pool, &template, &a, &RuntimeOptions::default()).unwrap();
+    assert!(out.sla_failure_pct < 25.0, "failures {}", out.sla_failure_pct);
+    assert!(out.server_usage_pct > 0.0 && out.server_usage_pct <= 100.0);
+}
+
+#[test]
+fn slack_zero_rejects_everyone_slack_large_wastes_servers() {
+    let t = truth();
+    let pool = paper_pool();
+    let template = paper_workload(3_000);
+    let zero = allocate(&t, &pool, &template, 0.0).unwrap();
+    assert_eq!(zero.total_rejected_real(), 3_000);
+    assert!(zero.used_servers().is_empty());
+
+    let modest = allocate(&t, &pool, &template, 1.0).unwrap();
+    let padded = allocate(&t, &pool, &template, 1.5).unwrap();
+    let power = |a: &perfpred::resman::algorithm::Allocation| -> f64 {
+        a.used_servers().iter().map(|&i| pool[i].max_throughput_rps).sum()
+    };
+    assert!(power(&padded) >= power(&modest), "more slack, more servers obtained");
+}
+
+#[test]
+fn uniform_error_cancelled_by_matching_slack() {
+    // §9.1's control result, end to end.
+    let t = truth();
+    let y = 1.15;
+    let planner = UniformErrorModel::new(truth(), y);
+    let pool = paper_pool();
+    let config = SweepConfig {
+        loads: vec![2_000, 4_000, 6_000],
+        runtime: RuntimeOptions { threshold: 0.0, optimize: false },
+    };
+    let compensated =
+        sweep_loads(&planner, &t, &pool, &paper_workload(1_000), &config, y).unwrap();
+    for p in &compensated {
+        assert_eq!(p.sla_failure_pct, 0.0, "failures at {}", p.total_clients);
+    }
+    let uncompensated =
+        sweep_loads(&planner, &t, &pool, &paper_workload(1_000), &config, 1.0).unwrap();
+    assert!(
+        uncompensated.iter().any(|p| p.sla_failure_pct > 0.0),
+        "uncompensated optimism should fail somewhere"
+    );
+}
+
+#[test]
+fn priority_order_protects_tight_goals_under_pressure() {
+    // Load the pool far past its capacity: the lowest-priority class
+    // (largest goal) absorbs the rejections first.
+    let t = truth();
+    let pool = paper_pool();
+    let template = paper_workload(40_000);
+    let a = allocate(&t, &pool, &template, 1.0).unwrap();
+    let out = evaluate_runtime(&t, &pool, &template, &a, &RuntimeOptions::default()).unwrap();
+    let buy_failure =
+        f64::from(out.rejected_per_class[0]) / f64::from(template.classes[0].clients);
+    let lo_failure =
+        f64::from(out.rejected_per_class[2]) / f64::from(template.classes[2].clients);
+    assert!(
+        buy_failure <= lo_failure,
+        "buy (priority) failure {buy_failure:.2} vs low-priority {lo_failure:.2}"
+    );
+    assert!(out.sla_failure_pct > 10.0, "this load must overwhelm the pool");
+}
+
+#[test]
+fn per_server_workloads_meet_goals_under_truth_planning() {
+    // With the truth itself planning at slack 1.0, every server's assigned
+    // workload satisfies every goal according to that same truth.
+    let t = truth();
+    let pool = paper_pool();
+    let template = paper_workload(5_000);
+    let a = allocate(&t, &pool, &template, 1.0).unwrap();
+    for (si, server) in pool.iter().enumerate() {
+        let w = a.server_workload(&template, si);
+        if w.total_clients() == 0 {
+            continue;
+        }
+        let p = t.predict(server, &w).unwrap();
+        for (i, load) in w.classes.iter().enumerate() {
+            if load.clients == 0 {
+                continue;
+            }
+            let goal = load.class.rt_goal_ms.unwrap();
+            assert!(
+                p.per_class_mrt_ms[i] <= goal * 1.001,
+                "server {si} class {i}: {:.1} > {goal}",
+                p.per_class_mrt_ms[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_manager_rebalances_a_hybrid_planned_division() {
+    use perfpred::resman::workload_manager::{rebalance, Division, RebalanceOptions};
+    // Plan with the hybrid model, then perturb the division (as if a server
+    // was drained for maintenance) and let the workload manager repair it.
+    let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+    let planner =
+        HybridModel::advanced(&lqn, &ServerArch::case_study_servers(), &HybridOptions::default())
+            .unwrap();
+    let servers = ServerArch::case_study_servers().to_vec();
+    let template = paper_workload(1_500);
+    let alloc = allocate(&planner, &servers, &template, 1.1).unwrap();
+    let mut division = Division::from_allocation(&alloc);
+    let totals_before = division.totals();
+
+    // Maintenance: dump server 0's clients onto server 1.
+    for ci in 0..division.assignments[0].len() {
+        division.assignments[1][ci] += division.assignments[0][ci];
+        division.assignments[0][ci] = 0;
+    }
+    let transfers =
+        rebalance(&planner, &servers, &template, &mut division, &RebalanceOptions::default())
+            .unwrap();
+    // Conservation through the repair.
+    assert_eq!(division.totals(), totals_before);
+    // The manager moved clients and the repaired division meets every goal
+    // according to the planning model.
+    assert!(!transfers.is_empty() || {
+        // (If server 1 could absorb everything, no move was needed.)
+        true
+    });
+    for (si, server) in servers.iter().enumerate() {
+        let w = division.server_workload(&template, si);
+        if w.total_clients() == 0 {
+            continue;
+        }
+        let p = planner.predict(server, &w).unwrap();
+        for (ci, load) in w.classes.iter().enumerate() {
+            if load.clients == 0 {
+                continue;
+            }
+            let goal = load.class.rt_goal_ms.unwrap();
+            assert!(
+                p.per_class_mrt_ms[ci] <= goal * 1.001,
+                "server {si} class {ci}: {:.1} > {goal}",
+                p.per_class_mrt_ms[ci]
+            );
+        }
+    }
+}
+
+#[test]
+fn calibrations_survive_persistence() {
+    use perfpred::hydra::persist;
+    // The §2 recalibration service round trip: calibrate, save, reload,
+    // plan with the reloaded model — allocations must match exactly.
+    let t = truth();
+    let reloaded = persist::parse(&persist::serialize(&t)).unwrap();
+    let pool = paper_pool();
+    let template = paper_workload(4_000);
+    let a1 = allocate(&t, &pool, &template, 1.0).unwrap();
+    let a2 = allocate(&reloaded, &pool, &template, 1.0).unwrap();
+    assert_eq!(a1, a2);
+}
