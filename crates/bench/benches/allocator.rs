@@ -2,7 +2,7 @@
 //! scenario (the paper notes "each line was generated in under one
 //! second"; one line is a full load sweep at one slack).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfpred_bench::timing::{bench, group};
 use perfpred_hydra::{HistoricalModel, ServerObservations};
 use perfpred_resman::algorithm::allocate;
 use perfpred_resman::costs::{sweep_loads, SweepConfig};
@@ -30,22 +30,22 @@ fn historical_model() -> HistoricalModel {
         .expect("synthetic calibration")
 }
 
-fn bench_allocate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm1_16_servers");
+fn bench_allocate() {
+    group("algorithm1_16_servers");
     let model = historical_model();
     let pool = paper_pool();
     for &load in &[2_000u32, 6_000, 10_000] {
         let w = paper_workload(load);
-        group.bench_with_input(BenchmarkId::new("clients", load), &w, |b, w| {
-            b.iter(|| allocate(black_box(&model), black_box(&pool), black_box(w), 1.1).unwrap())
+        bench(&format!("algorithm1_16_servers/clients/{load}"), 20, || {
+            allocate(black_box(&model), black_box(&pool), black_box(&w), 1.1).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_full_sweep_line(c: &mut Criterion) {
+fn bench_full_sweep_line() {
     // One "line" of fig 5/6: a 12-load sweep at one slack, planner +
     // runtime evaluation (the paper: "under one second").
+    group("fig5_line");
     let truth = historical_model();
     let planner = UniformErrorModel::new(historical_model(), 1.075);
     let pool = paper_pool();
@@ -54,23 +54,20 @@ fn bench_full_sweep_line(c: &mut Criterion) {
         loads: (1..=12).map(|i| i * 1_000).collect(),
         runtime: RuntimeOptions::default(),
     };
-    let mut group = c.benchmark_group("fig5_line");
-    group.sample_size(10);
-    group.bench_function("sweep_12_loads_slack_1.1", |b| {
-        b.iter(|| {
-            sweep_loads(
-                black_box(&planner),
-                black_box(&truth),
-                &pool,
-                &template,
-                &config,
-                1.1,
-            )
-            .unwrap()
-        })
+    bench("fig5_line/sweep_12_loads_slack_1.1", 10, || {
+        sweep_loads(
+            black_box(&planner),
+            black_box(&truth),
+            &pool,
+            &template,
+            &config,
+            1.1,
+        )
+        .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_allocate, bench_full_sweep_line);
-criterion_main!(benches);
+fn main() {
+    bench_allocate();
+    bench_full_sweep_line();
+}

@@ -9,10 +9,12 @@
 //!   predicts at historical speed;
 //! * searching for the max SLA-compliant client count multiplies the
 //!   layered queuing cost (bisection of solves) while the historical
-//!   method inverts its equations in closed form (§8.2).
+//!   method inverts its equations in closed form (§8.2);
+//! * a memoizing [`PredictionCache`] collapses repeated evaluations of
+//!   the same operating point to a hash lookup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use perfpred_core::{PerformanceModel, ServerArch, Workload};
+use perfpred_bench::timing::{bench, group};
+use perfpred_core::{PerformanceModel, PredictionCache, ServerArch, Workload};
 use perfpred_hybrid::{HybridModel, HybridOptions};
 use perfpred_hydra::{HistoricalModel, ServerObservations};
 use perfpred_lqns::trade::TradeLqnConfig;
@@ -41,8 +43,8 @@ fn historical_model() -> HistoricalModel {
         .expect("synthetic calibration")
 }
 
-fn bench_single_prediction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predict_mrt");
+fn bench_single_prediction() {
+    group("predict_mrt");
     let server = ServerArch::app_serv_f();
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let hist = historical_model();
@@ -52,61 +54,69 @@ fn bench_single_prediction(c: &mut Criterion) {
         &HybridOptions::default(),
     )
     .expect("hybrid");
+    let cached_lqn = PredictionCache::new(&lqn);
 
     for &clients in &[400u32, 1_400, 2_200] {
         let w = Workload::typical(clients);
-        group.bench_with_input(BenchmarkId::new("historical", clients), &w, |b, w| {
-            b.iter(|| hist.predict(black_box(&server), black_box(w)).unwrap())
+        bench(&format!("predict_mrt/historical/{clients}"), 50, || {
+            hist.predict(black_box(&server), black_box(&w)).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("layered_queuing", clients), &w, |b, w| {
-            b.iter(|| lqn.predict(black_box(&server), black_box(w)).unwrap())
+        bench(
+            &format!("predict_mrt/layered_queuing/{clients}"),
+            20,
+            || lqn.predict(black_box(&server), black_box(&w)).unwrap(),
+        );
+        bench(&format!("predict_mrt/hybrid/{clients}"), 50, || {
+            hybrid.predict(black_box(&server), black_box(&w)).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("hybrid", clients), &w, |b, w| {
-            b.iter(|| hybrid.predict(black_box(&server), black_box(w)).unwrap())
-        });
+        bench(
+            &format!("predict_mrt/layered_queuing+cache/{clients}"),
+            50,
+            || {
+                cached_lqn
+                    .predict(black_box(&server), black_box(&w))
+                    .unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_hybrid_startup(c: &mut Criterion) {
+fn bench_hybrid_startup() {
     // The §8.5 start-up delay: building the advanced hybrid model (pseudo
     // data for three architectures + relationship 3 + deviation factors).
+    group("hybrid_startup");
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let servers = ServerArch::case_study_servers();
-    c.bench_function("hybrid_startup_advanced_3_servers", |b| {
-        b.iter(|| {
-            HybridModel::advanced(
-                black_box(&lqn),
-                black_box(&servers),
-                &HybridOptions::default(),
-            )
-            .unwrap()
-        })
+    bench("hybrid_startup_advanced_3_servers", 5, || {
+        HybridModel::advanced(
+            black_box(&lqn),
+            black_box(&servers),
+            &HybridOptions::default(),
+        )
+        .unwrap()
     });
 }
 
-fn bench_max_clients_search(c: &mut Criterion) {
+fn bench_max_clients_search() {
     // §8.2: the layered queuing method must *search* for the max
     // SLA-compliant population; the historical method inverts eqs 1–2.
-    let mut group = c.benchmark_group("max_clients_for_300ms_goal");
+    group("max_clients_for_300ms_goal");
     let server = ServerArch::app_serv_f();
     let template = Workload::typical(100);
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let hist = historical_model();
-    group.bench_function("historical_closed_form", |b| {
-        b.iter(|| hist.max_clients(black_box(&server), black_box(&template), 300.0).unwrap())
+    bench("max_clients/historical_closed_form", 50, || {
+        hist.max_clients(black_box(&server), black_box(&template), 300.0)
+            .unwrap()
     });
-    group.sample_size(20);
-    group.bench_function("layered_queuing_bisection", |b| {
-        b.iter(|| lqn.max_clients(black_box(&server), black_box(&template), 300.0).unwrap())
+    bench("max_clients/layered_queuing_bisection", 5, || {
+        lqn.max_clients(black_box(&server), black_box(&template), 300.0)
+            .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_single_prediction,
-    bench_hybrid_startup,
-    bench_max_clients_search
-);
-criterion_main!(benches);
+fn main() {
+    bench_single_prediction();
+    bench_hybrid_startup();
+    bench_max_clients_search();
+}

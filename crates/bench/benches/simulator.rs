@@ -2,7 +2,7 @@
 //! chews through Trade workload, plus kernel microbenchmarks (event queue,
 //! processor-sharing station, LRU session cache).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfpred_bench::timing::{bench, group};
 use perfpred_core::{ServerArch, Workload};
 use perfpred_desim::{EventQueue, PsStation, SimRng};
 use perfpred_tradesim::cache::SessionCache;
@@ -10,90 +10,86 @@ use perfpred_tradesim::config::{GroundTruth, SimOptions};
 use perfpred_tradesim::engine::TradeSim;
 use std::hint::black_box;
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trade_sim_30s_window");
-    group.sample_size(10);
+fn bench_simulation() {
+    group("trade_sim_30s_window");
     let gt = GroundTruth::default();
-    let opts = SimOptions { seed: 7, warmup_ms: 5_000.0, measure_ms: 30_000.0, ..Default::default() };
+    let opts = SimOptions {
+        seed: 7,
+        warmup_ms: 5_000.0,
+        measure_ms: 30_000.0,
+        ..Default::default()
+    };
     for &clients in &[200u32, 1_000, 2_000] {
-        // ~clients × 0.14 req/s × 35 s simulated.
-        group.throughput(Throughput::Elements(u64::from(clients) * 5));
-        group.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, &n| {
-            b.iter(|| {
+        bench(
+            &format!("trade_sim_30s_window/clients/{clients}"),
+            5,
+            || {
                 TradeSim::new(
                     &gt,
                     &ServerArch::app_serv_f(),
-                    &Workload::typical(n),
+                    &Workload::typical(clients),
                     &opts,
                 )
                 .run()
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        let mut rng = SimRng::seed_from(3);
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::new();
-            for i in 0..1_000u32 {
-                q.schedule(rng.uniform() * 1_000.0, i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc += u64::from(v);
-            }
-            black_box(acc)
-        })
+fn bench_event_queue() {
+    group("kernel");
+    let mut rng = SimRng::seed_from(3);
+    bench("event_queue_schedule_pop_1k", 100, || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..1_000u32 {
+            q.schedule(rng.uniform() * 1_000.0, i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc += u64::from(v);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_ps_station(c: &mut Criterion) {
-    c.bench_function("ps_station_arrive_complete_1k", |b| {
-        let mut rng = SimRng::seed_from(4);
-        b.iter(|| {
-            let mut ps: PsStation<u32> = PsStation::new(1.0, 50);
-            let mut t = 0.0;
-            let mut done = 0usize;
-            for i in 0..1_000u32 {
-                t += rng.exp(1.0);
-                ps.arrive(t, i, rng.exp(5.0));
-                while let Some(ct) = ps.next_completion() {
-                    if ct > t {
-                        break;
-                    }
-                    done += ps.pop_completed(ct).len();
+fn bench_ps_station() {
+    let mut rng = SimRng::seed_from(4);
+    bench("ps_station_arrive_complete_1k", 100, || {
+        let mut ps: PsStation<u32> = PsStation::new(1.0, 50);
+        let mut t = 0.0;
+        let mut done = 0usize;
+        for i in 0..1_000u32 {
+            t += rng.exp(1.0);
+            ps.arrive(t, i, rng.exp(5.0));
+            while let Some(ct) = ps.next_completion() {
+                if ct > t {
+                    break;
                 }
+                done += ps.pop_completed(ct).len();
             }
-            black_box(done)
-        })
+        }
+        black_box(done)
     });
 }
 
-fn bench_session_cache(c: &mut Criterion) {
-    c.bench_function("lru_cache_access_10k_thrashing", |b| {
-        let mut rng = SimRng::seed_from(5);
-        b.iter(|| {
-            let mut cache = SessionCache::new(128 * 512 * 1024);
-            let mut misses = 0u64;
-            for _ in 0..10_000 {
-                let client = rng.below(600);
-                if cache.access(client, 512 * 1024) == perfpred_tradesim::cache::Access::Miss {
-                    misses += 1;
-                }
+fn bench_session_cache() {
+    let mut rng = SimRng::seed_from(5);
+    bench("lru_cache_access_10k_thrashing", 50, || {
+        let mut cache = SessionCache::new(128 * 512 * 1024);
+        let mut misses = 0u64;
+        for _ in 0..10_000 {
+            let client = rng.below(600);
+            if cache.access(client, 512 * 1024) == perfpred_tradesim::cache::Access::Miss {
+                misses += 1;
             }
-            black_box(misses)
-        })
+        }
+        black_box(misses)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulation,
-    bench_event_queue,
-    bench_ps_station,
-    bench_session_cache
-);
-criterion_main!(benches);
+fn main() {
+    bench_simulation();
+    bench_event_queue();
+    bench_ps_station();
+    bench_session_cache();
+}

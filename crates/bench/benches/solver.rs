@@ -1,7 +1,7 @@
 //! Layered-queuing solver microbenchmarks: MVA kernels, full layered
 //! solves across populations and chain counts, and the text-format parser.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfpred_bench::timing::{bench, group};
 use perfpred_lqns::format;
 use perfpred_lqns::model::LqnModel;
 use perfpred_lqns::mva::{solve_amva, AmvaOptions, ClosedNetwork, Station, StationKind};
@@ -23,7 +23,12 @@ fn trade_model(population: u32, chains: usize) -> LqnModel {
         let query = b.entry(format!("query{k}"), db).demand_ms(0.83).finish();
         b.call(serve, query, 1.14);
         let clients = b
-            .reference_task(format!("clients{k}"), cp, population / chains as u32, 7_000.0)
+            .reference_task(
+                format!("clients{k}"),
+                cp,
+                population / chains as u32,
+                7_000.0,
+            )
             .finish();
         let cycle = b.entry(format!("cycle{k}"), clients).finish();
         b.call(cycle, serve, 1.0);
@@ -31,58 +36,66 @@ fn trade_model(population: u32, chains: usize) -> LqnModel {
     b.build().unwrap()
 }
 
-fn bench_amva(c: &mut Criterion) {
-    let mut group = c.benchmark_group("amva");
+fn bench_amva() {
+    group("amva");
     for &chains in &[1usize, 4, 16] {
         let net = ClosedNetwork {
             populations: vec![200.0; chains],
             think_ms: vec![7_000.0; chains],
             stations: (0..3)
                 .map(|s| Station {
-                    kind: StationKind::Queueing { servers: 1 + s as u32 },
-                    demands: (0..chains).map(|k| 1.0 + k as f64 * 0.5 + s as f64).collect(),
+                    kind: StationKind::Queueing {
+                        servers: 1 + s as u32,
+                    },
+                    demands: (0..chains)
+                        .map(|k| 1.0 + k as f64 * 0.5 + s as f64)
+                        .collect(),
                 })
                 .collect(),
         };
-        group.bench_with_input(BenchmarkId::new("chains", chains), &net, |b, net| {
-            b.iter(|| solve_amva(black_box(net), &AmvaOptions::default()).unwrap())
+        bench(&format!("amva/chains/{chains}"), 50, || {
+            solve_amva(black_box(&net), &AmvaOptions::default()).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_layered_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layered_solve");
+fn bench_layered_solve() {
+    group("layered_solve");
     for &n in &[200u32, 1_400, 4_000] {
         let m = trade_model(n, 1);
-        group.bench_with_input(BenchmarkId::new("population", n), &m, |b, m| {
-            b.iter(|| solve(black_box(m), &SolverOptions::default()).unwrap())
+        bench(&format!("layered_solve/population/{n}"), 30, || {
+            solve(black_box(&m), &SolverOptions::default()).unwrap()
         });
     }
     for &chains in &[2usize, 4] {
         let m = trade_model(1_200, chains);
-        group.bench_with_input(BenchmarkId::new("chains_at_1200", chains), &m, |b, m| {
-            b.iter(|| solve(black_box(m), &SolverOptions::default()).unwrap())
-        });
+        bench(
+            &format!("layered_solve/chains_at_1200/{chains}"),
+            30,
+            || solve(black_box(&m), &SolverOptions::default()).unwrap(),
+        );
     }
     // The paper's coarse criterion against the library default.
     let m = trade_model(1_400, 1);
-    group.bench_function("paper_20ms_criterion", |b| {
-        b.iter(|| solve(black_box(&m), &SolverOptions::paper()).unwrap())
+    bench("layered_solve/paper_20ms_criterion", 30, || {
+        solve(black_box(&m), &SolverOptions::paper()).unwrap()
     });
-    group.finish();
 }
 
-fn bench_format(c: &mut Criterion) {
+fn bench_format() {
+    group("format");
     let m = trade_model(1_000, 4);
     let text = format::serialize(&m);
-    c.bench_function("format_parse_trade_4_chains", |b| {
-        b.iter(|| format::parse(black_box(&text)).unwrap())
+    bench("format_parse_trade_4_chains", 50, || {
+        format::parse(black_box(&text)).unwrap()
     });
-    c.bench_function("format_serialize_trade_4_chains", |b| {
-        b.iter(|| format::serialize(black_box(&m)))
+    bench("format_serialize_trade_4_chains", 50, || {
+        format::serialize(black_box(&m))
     });
 }
 
-criterion_group!(benches, bench_amva, bench_layered_solve, bench_format);
-criterion_main!(benches);
+fn main() {
+    bench_amva();
+    bench_layered_solve();
+    bench_format();
+}

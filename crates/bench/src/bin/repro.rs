@@ -13,6 +13,7 @@
 use perfpred_bench::experiments;
 use perfpred_bench::report::save;
 use perfpred_bench::Experiments;
+use perfpred_core::metrics;
 use std::time::Instant;
 
 fn main() {
@@ -38,11 +39,20 @@ fn main() {
 
     let mut failed = false;
     for id in ids {
+        // Per-experiment instrumentation window. Note the shared context's
+        // calibrations are lazy, so the first experiment's report includes
+        // the calibration campaign's solver/simulator activity.
+        metrics::reset();
         let start = Instant::now();
         match experiments::run(&ctx, id) {
             Some(report) => {
                 println!("================ {id} ================");
                 println!("{report}");
+                let snap = metrics::snapshot();
+                if !snap.is_empty() {
+                    println!("---- metrics ----");
+                    print!("{}", snap.render());
+                }
                 println!("[{id} completed in {:.1?}]\n", start.elapsed());
                 save(id, &report);
             }

@@ -1,0 +1,189 @@
+//! Cached-vs-uncached equivalence checks for the resource-manager
+//! experiments.
+//!
+//! The fig 5–8 and cost reports route the hybrid planner through a
+//! [`perfpred_core::PredictionCache`]. Because the cache keys on the exact
+//! bit pattern of the workload (`client_quantum = 1`), a cached sweep must
+//! reproduce the uncached sweep *bit for bit* — these helpers run both and
+//! assert it, so every published row doubles as a regression check of the
+//! cache, and report how many underlying model solves the cache saved.
+
+use crate::Experiments;
+use perfpred_core::{ServerArch, Workload};
+use perfpred_resman::costs::{slack_sweep, sweep_loads, LoadPoint, SlackCurve, SweepConfig};
+
+/// Planner-call accounting for one cached sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerCalls {
+    /// Predictions the sweep requested from the planner.
+    pub requests: u64,
+    /// Predictions that reached the underlying model (cache misses).
+    pub solves: u64,
+}
+
+impl PlannerCalls {
+    /// Requests-per-solve reduction factor (1.0 = no reuse).
+    pub fn reduction(&self) -> f64 {
+        self.requests as f64 / self.solves.max(1) as f64
+    }
+
+    /// Fraction of requests answered from the cache.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.requests - self.solves) as f64 / self.requests as f64
+        }
+    }
+}
+
+fn assert_points_identical(uncached: &[LoadPoint], cached: &[LoadPoint], what: &str) {
+    assert_eq!(
+        uncached.len(),
+        cached.len(),
+        "{what}: row count differs under caching"
+    );
+    for (u, c) in uncached.iter().zip(cached) {
+        assert_eq!(
+            u.total_clients, c.total_clients,
+            "{what}: client column diverged"
+        );
+        assert_eq!(
+            u.sla_failure_pct.to_bits(),
+            c.sla_failure_pct.to_bits(),
+            "{what}: SLA-failure column not bit-identical at load {} ({} vs {})",
+            u.total_clients,
+            u.sla_failure_pct,
+            c.sla_failure_pct,
+        );
+        assert_eq!(
+            u.server_usage_pct.to_bits(),
+            c.server_usage_pct.to_bits(),
+            "{what}: server-usage column not bit-identical at load {} ({} vs {})",
+            u.total_clients,
+            u.server_usage_pct,
+            c.server_usage_pct,
+        );
+    }
+}
+
+/// Runs [`sweep_loads`] uncached and through the cached planner, asserts
+/// the rows are bit-for-bit identical, and returns them with the planner
+/// accounting.
+pub fn checked_sweep_loads(
+    ctx: &Experiments,
+    servers: &[ServerArch],
+    template: &Workload,
+    config: &SweepConfig,
+    slack: f64,
+) -> (Vec<LoadPoint>, PlannerCalls) {
+    let uncached = sweep_loads(
+        ctx.hybrid(),
+        ctx.historical(),
+        servers,
+        template,
+        config,
+        slack,
+    )
+    .expect("resman sweep");
+    let planner = ctx.cached_planner();
+    let cached = sweep_loads(&planner, ctx.historical(), servers, template, config, slack)
+        .expect("resman sweep (cached)");
+    assert_points_identical(&uncached, &cached, "sweep_loads");
+    let stats = planner.stats();
+    (
+        cached,
+        PlannerCalls {
+            requests: stats.hits + stats.misses,
+            solves: stats.misses,
+        },
+    )
+}
+
+/// Runs [`slack_sweep`] uncached and through the cached planner, asserts
+/// `SUmax` and every curve are bit-for-bit identical, and returns them with
+/// the planner accounting.
+pub fn checked_slack_sweep(
+    ctx: &Experiments,
+    servers: &[ServerArch],
+    template: &Workload,
+    config: &SweepConfig,
+    slacks: &[f64],
+    reference_slack: f64,
+) -> (f64, Vec<SlackCurve>, PlannerCalls) {
+    let (su_u, curves_u) = slack_sweep(
+        ctx.hybrid(),
+        ctx.historical(),
+        servers,
+        template,
+        config,
+        slacks,
+        reference_slack,
+    )
+    .expect("slack sweep");
+    let planner = ctx.cached_planner();
+    let (su_c, curves_c) = slack_sweep(
+        &planner,
+        ctx.historical(),
+        servers,
+        template,
+        config,
+        slacks,
+        reference_slack,
+    )
+    .expect("slack sweep (cached)");
+    assert_eq!(
+        su_u.to_bits(),
+        su_c.to_bits(),
+        "slack_sweep: SUmax not bit-identical ({su_u} vs {su_c})"
+    );
+    assert_eq!(
+        curves_u.len(),
+        curves_c.len(),
+        "slack_sweep: curve count differs under caching"
+    );
+    for (u, c) in curves_u.iter().zip(&curves_c) {
+        assert_eq!(
+            u.slack.to_bits(),
+            c.slack.to_bits(),
+            "slack_sweep: slack column diverged"
+        );
+        assert_eq!(
+            u.avg_sla_failure_pct.to_bits(),
+            c.avg_sla_failure_pct.to_bits(),
+            "slack_sweep: failure column not bit-identical at slack {} ({} vs {})",
+            u.slack,
+            u.avg_sla_failure_pct,
+            c.avg_sla_failure_pct,
+        );
+        assert_eq!(
+            u.avg_usage_saving_pct.to_bits(),
+            c.avg_usage_saving_pct.to_bits(),
+            "slack_sweep: saving column not bit-identical at slack {} ({} vs {})",
+            u.slack,
+            u.avg_usage_saving_pct,
+            c.avg_usage_saving_pct,
+        );
+    }
+    let stats = planner.stats();
+    (
+        su_c,
+        curves_c,
+        PlannerCalls {
+            requests: stats.hits + stats.misses,
+            solves: stats.misses,
+        },
+    )
+}
+
+/// One report line summarising a cached sweep's planner accounting.
+pub fn cache_line(calls: &PlannerCalls) -> String {
+    format!(
+        "prediction cache: {} planner requests, {} model solves ({:.1}x reduction, {:.1} % hits); \
+         rows verified bit-identical to the uncached sweep",
+        calls.requests,
+        calls.solves,
+        calls.reduction(),
+        100.0 * calls.hit_ratio(),
+    )
+}

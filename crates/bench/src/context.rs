@@ -1,7 +1,7 @@
 //! Shared experiment context: the ground truth, the case-study servers,
 //! and lazily-built (cached) calibrations of the three prediction methods.
 
-use perfpred_core::{PerformanceModel, ServerArch, Workload};
+use perfpred_core::{PerformanceModel, PredictionCache, ServerArch, Workload};
 use perfpred_hybrid::{HybridModel, HybridOptions};
 use perfpred_hydra::{HistoricalModel, ServerObservations};
 use perfpred_lqns::LqnPredictor;
@@ -19,8 +19,41 @@ pub const DEFAULT_SEED: u64 = 20040426; // the IPDPS 2004 workshop date
 
 /// Grid of operating points for the fig-2 style sweeps, as fractions of
 /// the max-throughput client count.
-pub const GRID_FRACTIONS: [f64; 12] =
-    [0.10, 0.25, 0.40, 0.55, 0.66, 0.80, 0.95, 1.05, 1.10, 1.25, 1.40, 1.55];
+pub const GRID_FRACTIONS: [f64; 12] = [
+    0.10, 0.25, 0.40, 0.55, 0.66, 0.80, 0.95, 1.05, 1.10, 1.25, 1.40, 1.55,
+];
+
+/// The lower observation grid: `nldp` loads walking up from 15 % of the
+/// max-throughput client count and ENDING on the §4.2 lower anchor (66 %
+/// of `n_star`). With a single observation the point IS the anchor — the
+/// historical model's lower interpolation hinges on it.
+fn lower_grid(n_star: f64, nldp: usize) -> Vec<u32> {
+    (0..nldp)
+        .map(|i| {
+            let frac = if nldp <= 1 {
+                0.66
+            } else {
+                0.15 + (0.66 - 0.15) * i as f64 / (nldp - 1) as f64
+            };
+            (frac * n_star).round() as u32
+        })
+        .collect()
+}
+
+/// The upper observation grid: `nudp` overload points STARTING on the
+/// §4.2 upper anchor (110 % of `n_star`) and walking up to 155 %.
+fn upper_grid(n_star: f64, nudp: usize) -> Vec<u32> {
+    (0..nudp)
+        .map(|i| {
+            let frac = if nudp <= 1 {
+                1.10
+            } else {
+                1.10 + (1.55 - 1.10) * i as f64 / (nudp - 1) as f64
+            };
+            (frac * n_star).round() as u32
+        })
+        .collect()
+}
 
 /// Experiment context. All expensive calibrations (simulator measurement
 /// campaigns, LQN calibration, hybrid start-up) happen once and are cached.
@@ -47,7 +80,12 @@ impl Experiments {
     pub fn new(seed: u64) -> Self {
         Experiments {
             gt: GroundTruth::default(),
-            sim: SimOptions { seed, warmup_ms: 30_000.0, measure_ms: 240_000.0, ..Default::default() },
+            sim: SimOptions {
+                seed,
+                warmup_ms: 30_000.0,
+                measure_ms: 240_000.0,
+                ..Default::default()
+            },
             seed,
             lqn: OnceCell::new(),
             historical: OnceCell::new(),
@@ -66,7 +104,11 @@ impl Experiments {
     /// The case-study servers: `[AppServS, AppServF, AppServVF]` (index 0
     /// is the "new" architecture).
     pub fn servers() -> [ServerArch; 3] {
-        [ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+        [
+            ServerArch::app_serv_s(),
+            ServerArch::app_serv_f(),
+            ServerArch::app_serv_vf(),
+        ]
     }
 
     /// The established servers used for calibration (F and VF).
@@ -110,7 +152,10 @@ impl Experiments {
     /// The fig-2 client grid for a server.
     pub fn grid(&self, server: &ServerArch) -> Vec<u32> {
         let n_star = self.n_star(server);
-        GRID_FRACTIONS.iter().map(|f| (f * n_star).round().max(2.0) as u32).collect()
+        GRID_FRACTIONS
+            .iter()
+            .map(|f| (f * n_star).round().max(2.0) as u32)
+            .collect()
     }
 
     /// Measures the typical workload at each grid point (parallel sweep).
@@ -120,7 +165,9 @@ impl Experiments {
         grid: &[u32],
         store_samples: bool,
     ) -> Vec<MeasuredPoint> {
-        let mut opts = self.sim.with_seed(self.seed.wrapping_mul(31).wrapping_add(7));
+        let mut opts = self
+            .sim
+            .with_seed(self.seed.wrapping_mul(31).wrapping_add(7));
         opts.store_samples = store_samples;
         sweep(&self.gt, server, &Workload::typical(100), grid, &opts)
     }
@@ -138,27 +185,25 @@ impl Experiments {
         let mx = self.measured_mx_of(server);
         let n_star = mx / M_NOMINAL;
         let mut obs = ServerObservations::new(server.name.clone(), mx);
-        let lower_grid: Vec<u32> = (0..nldp)
-            .map(|i| {
-                let frac = 0.15 + (0.66 - 0.15) * i as f64 / (nldp.max(2) as f64 - 1.0);
-                (frac * n_star).round() as u32
-            })
-            .collect();
-        let upper_grid: Vec<u32> = (0..nudp)
-            .map(|i| {
-                let frac = 1.10 + (1.55 - 1.10) * i as f64 / (nudp.max(2) as f64 - 1.0);
-                (frac * n_star).round() as u32
-            })
-            .collect();
-        let lower =
-            sweep(&self.gt, server, &Workload::typical(100), &lower_grid, &self.sim);
+        let lower = sweep(
+            &self.gt,
+            server,
+            &Workload::typical(100),
+            &lower_grid(n_star, nldp),
+            &self.sim,
+        );
         for p in &lower {
             obs = obs
                 .with_lower(f64::from(p.clients), p.mrt_ms)
                 .with_throughput(f64::from(p.clients), p.throughput_rps);
         }
-        let upper =
-            sweep(&self.gt, server, &Workload::typical(100), &upper_grid, &self.sim);
+        let upper = sweep(
+            &self.gt,
+            server,
+            &Workload::typical(100),
+            &upper_grid(n_star, nudp),
+            &self.sim,
+        );
         for p in &upper {
             obs = obs.with_upper(f64::from(p.clients), p.mrt_ms);
         }
@@ -227,6 +272,15 @@ impl Experiments {
         })
     }
 
+    /// The hybrid planner behind a fresh [`PredictionCache`] — the serving
+    /// configuration the resource-manager experiments use. The default
+    /// exact keying (`client_quantum = 1`) keeps cached sweeps bit-for-bit
+    /// identical to uncached ones; returning a fresh cache per call keeps
+    /// experiments independent of each other's hit ratios.
+    pub fn cached_planner(&self) -> PredictionCache<&HybridModel> {
+        PredictionCache::new(self.hybrid())
+    }
+
     /// Convenience: predictions from one model over a grid of typical
     /// workload points; returns (mrt, throughput) pairs (NaN rows where the
     /// model errored).
@@ -259,6 +313,33 @@ mod tests {
         // VF sustains ~3.7× the clients of S at the same fraction.
         let ratio = f64::from(gvf[5]) / f64::from(gs[5]);
         assert!((ratio - 320.0 / 86.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn observation_grids_hit_the_anchors() {
+        let n_star = 1_000.0;
+        for &nldp in &[1usize, 2, 5] {
+            let g = lower_grid(n_star, nldp);
+            assert_eq!(g.len(), nldp);
+            assert_eq!(
+                *g.last().unwrap(),
+                660,
+                "nldp={nldp}: lower grid must end on 0.66·n*"
+            );
+            assert!(
+                g.windows(2).all(|w| w[0] < w[1]),
+                "nldp={nldp}: not increasing: {g:?}"
+            );
+        }
+        for &nudp in &[1usize, 2, 5] {
+            let g = upper_grid(n_star, nudp);
+            assert_eq!(g.len(), nudp);
+            assert_eq!(g[0], 1100, "nudp={nudp}: upper grid must start on 1.10·n*");
+            assert!(
+                g.windows(2).all(|w| w[0] < w[1]),
+                "nudp={nudp}: not increasing: {g:?}"
+            );
+        }
     }
 
     #[test]

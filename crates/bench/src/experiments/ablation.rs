@@ -43,7 +43,11 @@ pub fn run(ctx: &Experiments) -> String {
         with_t.push(r1.predict_mrt(n).unwrap(), point.mrt_ms);
         without_t.push(hard_switch(&r1, n), point.mrt_ms);
     }
-    let _ = writeln!(out, "1. transition phasing ({}, all grid points):", server.name);
+    let _ = writeln!(
+        out,
+        "1. transition phasing ({}, all grid points):",
+        server.name
+    );
     let _ = writeln!(
         out,
         "   with transition {:.1} %  |  hard switch at N* {:.1} %",
@@ -59,7 +63,10 @@ pub fn run(ctx: &Experiments) -> String {
     );
 
     // --- 2. calibration data volume ---
-    let _ = writeln!(out, "2. calibration data volume (AppServF, mean accuracy on the grid):");
+    let _ = writeln!(
+        out,
+        "2. calibration data volume (AppServF, mean accuracy on the grid):"
+    );
     let mut table = Table::new(&["nldp = nudp", "accuracy %", "data points"]);
     for n_points in [2usize, 3, 4] {
         let obs = ctx.measure_observations(&server, n_points, n_points);
@@ -98,8 +105,14 @@ pub fn run(ctx: &Experiments) -> String {
     for (i, point) in s_measured.iter().enumerate() {
         let w = Workload::typical(s_grid[i]);
         let frac = GRID_FRACTIONS[i];
-        let a = advanced.predict(&new_server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
-        let b = basic.predict(&new_server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
+        let a = advanced
+            .predict(&new_server, &w)
+            .map(|p| p.mrt_ms)
+            .unwrap_or(f64::NAN);
+        let b = basic
+            .predict(&new_server, &w)
+            .map(|p| p.mrt_ms)
+            .unwrap_or(f64::NAN);
         if frac <= 0.66 {
             adv_rep.0.push(a, point.mrt_ms);
             bas_rep.0.push(b, point.mrt_ms);
@@ -108,7 +121,11 @@ pub fn run(ctx: &Experiments) -> String {
             bas_rep.1.push(b, point.mrt_ms);
         }
     }
-    let _ = writeln!(out, "3. hybrid variants on {} (lower/upper mean, §4.2 style):", new_server.name);
+    let _ = writeln!(
+        out,
+        "3. hybrid variants on {} (lower/upper mean, §4.2 style):",
+        new_server.name
+    );
     let _ = writeln!(
         out,
         "   advanced (pseudo data for the target architecture): {:.1} %",

@@ -46,8 +46,10 @@ pub fn run(ctx: &Experiments) -> String {
 
     // Cache-aware historical model: record the cached system's own data
     // (cache size is just another recorded variable, §7.2).
-    let cal_grid: Vec<u32> =
-        [0.15, 0.66, 1.10, 1.55].iter().map(|fr| (fr * n_star).round() as u32).collect();
+    let cal_grid: Vec<u32> = [0.15, 0.66, 1.10, 1.55]
+        .iter()
+        .map(|fr| (fr * n_star).round() as u32)
+        .collect();
     let cal = sweep(
         &ctx.gt,
         server,
@@ -92,7 +94,10 @@ pub fn run(ctx: &Experiments) -> String {
     let mut hist_rep = AccuracyReport::new();
     for (i, point) in measured.iter().enumerate() {
         let w = Workload::typical(grid[i]);
-        let lq = lqn.predict(server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
+        let lq = lqn
+            .predict(server, &w)
+            .map(|p| p.mrt_ms)
+            .unwrap_or(f64::NAN);
         let hist = hist_cached
             .as_ref()
             .ok()

@@ -47,8 +47,9 @@ pub fn run(ctx: &Experiments) -> String {
                 continue;
             }
         };
-        let assignments: Vec<Workload> =
-            (0..servers.len()).map(|si| alloc.server_workload(&template, si)).collect();
+        let assignments: Vec<Workload> = (0..servers.len())
+            .map(|si| alloc.server_workload(&template, si))
+            .collect();
         let sim = ClusterSim::new(&ctx.gt, &servers, &assignments, 1.0, &ctx.sim).run();
 
         let _ = writeln!(
@@ -92,7 +93,10 @@ pub fn run(ctx: &Experiments) -> String {
         let _ = writeln!(
             out,
             "app CPU utilisation: {:?}; shared DB CPU: {:.2}, disk: {:.2}\n",
-            sim.app_cpu_utilization.iter().map(|u| (u * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            sim.app_cpu_utilization
+                .iter()
+                .map(|u| (u * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
             sim.db_cpu_utilization,
             sim.disk_utilization
         );

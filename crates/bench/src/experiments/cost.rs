@@ -8,33 +8,53 @@
 //! penalty-dominated, balanced, and hardware-dominated — and report each
 //! regime's optimal slack.
 
+use crate::cachecheck::{cache_line, checked_slack_sweep};
 use crate::experiments::fig5_6::loads;
 use crate::report::{f, Table};
 use crate::Experiments;
-use perfpred_resman::costs::{slack_sweep, CostModel, SweepConfig};
+use perfpred_resman::costs::{CostModel, SweepConfig};
 use perfpred_resman::runtime::RuntimeOptions;
 use perfpred_resman::scenario::{paper_pool, paper_workload};
 use std::fmt::Write as _;
 
 /// Runs the experiment.
 pub fn run(ctx: &Experiments) -> String {
-    let config = SweepConfig { loads: loads(), runtime: RuntimeOptions::default() };
+    let config = SweepConfig {
+        loads: loads(),
+        runtime: RuntimeOptions::default(),
+    };
     let slacks: Vec<f64> = (0..=22).rev().map(|i| f64::from(i) / 20.0).collect(); // 1.1 → 0
-    let (su_max, curves) = slack_sweep(
-        ctx.hybrid(),
-        ctx.historical(),
+    let (su_max, curves, calls) = checked_slack_sweep(
+        ctx,
         &paper_pool(),
         &paper_workload(1_000),
         &config,
         &slacks,
         1.1,
-    )
-    .expect("slack sweep");
+    );
 
     let regimes = [
-        ("SLA-dominated (penalties 20:1)", CostModel { sla_penalty_per_pct: 20.0, server_cost_per_pct: 1.0 }),
-        ("balanced (1:1)", CostModel { sla_penalty_per_pct: 1.0, server_cost_per_pct: 1.0 }),
-        ("hardware-dominated (1:20)", CostModel { sla_penalty_per_pct: 1.0, server_cost_per_pct: 20.0 }),
+        (
+            "SLA-dominated (penalties 20:1)",
+            CostModel {
+                sla_penalty_per_pct: 20.0,
+                server_cost_per_pct: 1.0,
+            },
+        ),
+        (
+            "balanced (1:1)",
+            CostModel {
+                sla_penalty_per_pct: 1.0,
+                server_cost_per_pct: 1.0,
+            },
+        ),
+        (
+            "hardware-dominated (1:20)",
+            CostModel {
+                sla_penalty_per_pct: 1.0,
+                server_cost_per_pct: 20.0,
+            },
+        ),
     ];
 
     let mut out = String::new();
@@ -42,8 +62,14 @@ pub fn run(ctx: &Experiments) -> String {
         out,
         "§9.1 extension — single-axis cost and optimal slack (SUmax = {su_max:.1} %)\n"
     );
-    let mut table =
-        Table::new(&["slack", "avg % fail", "avg % saving", "cost 20:1", "cost 1:1", "cost 1:20"]);
+    let mut table = Table::new(&[
+        "slack",
+        "avg % fail",
+        "avg % saving",
+        "cost 20:1",
+        "cost 1:1",
+        "cost 1:20",
+    ]);
     for c in &curves {
         table.row(&[
             f(c.slack, 2),
@@ -56,8 +82,11 @@ pub fn run(ctx: &Experiments) -> String {
     }
     out.push_str(&table.render());
     out.push('\n');
+    let _ = writeln!(out, "{}\n", cache_line(&calls));
     for (name, model) in &regimes {
-        let best = model.optimal_slack(&curves, su_max).expect("non-empty sweep");
+        let best = model
+            .optimal_slack(&curves, su_max)
+            .expect("non-empty sweep");
         let _ = writeln!(
             out,
             "optimal slack under {name}: {:.2} (fail {:.1} %, saving {:.1} %)",

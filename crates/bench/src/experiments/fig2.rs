@@ -42,8 +42,7 @@ pub fn run(ctx: &Experiments) -> String {
         ("hybrid", ctx.hybrid()),
     ];
     // [method][established=0 | new=1]
-    let mut acc: Vec<[Acc; 2]> =
-        (0..3).map(|_| [Acc::default(), Acc::default()]).collect();
+    let mut acc: Vec<[Acc; 2]> = (0..3).map(|_| [Acc::default(), Acc::default()]).collect();
 
     let mut out = String::new();
     let _ = writeln!(

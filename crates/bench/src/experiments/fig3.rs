@@ -20,7 +20,7 @@ use crate::context::M_NOMINAL;
 use crate::report::{f, Table};
 use crate::Experiments;
 use perfpred_core::{AccuracyReport, PerformanceModel, Workload};
-use perfpred_hydra::{Relationship2, ServerObservations, Relationship1};
+use perfpred_hydra::{Relationship1, Relationship2, ServerObservations};
 use std::fmt::Write as _;
 
 /// `x` values, expressed on the reference server AppServF.
@@ -47,15 +47,23 @@ pub fn run(ctx: &Experiments) -> String {
     let mx_f = mx[1];
 
     // LQN-generated "truth" for the new server over both regions.
-    let lower_eval: Vec<u32> =
-        [0.2, 0.3, 0.4, 0.5, 0.6].iter().map(|fr| (fr * n_star_new) as u32).collect();
-    let upper_eval: Vec<u32> =
-        [1.15, 1.25, 1.4, 1.55].iter().map(|fr| (fr * n_star_new) as u32).collect();
+    let lower_eval: Vec<u32> = [0.2, 0.3, 0.4, 0.5, 0.6]
+        .iter()
+        .map(|fr| (fr * n_star_new) as u32)
+        .collect();
+    let upper_eval: Vec<u32> = [1.15, 1.25, 1.4, 1.55]
+        .iter()
+        .map(|fr| (fr * n_star_new) as u32)
+        .collect();
     let truth_lower = Experiments::predict_grid(lqn, new_server, &lower_eval);
     let truth_upper = Experiments::predict_grid(lqn, new_server, &upper_eval);
 
-    let mut table =
-        Table::new(&["x (clients on F)", "lower eq acc %", "upper eq acc %", "overall %"]);
+    let mut table = Table::new(&[
+        "x (clients on F)",
+        "lower eq acc %",
+        "upper eq acc %",
+        "overall %",
+    ]);
     for &x in &X_VALUES {
         let frac = x / (mx_f / M_NOMINAL); // fraction of F's knee load
         let mut r1s: Vec<Relationship1> = Vec::new();
@@ -65,15 +73,12 @@ pub fn run(ctx: &Experiments) -> String {
             let x_scaled = frac * n_star;
             let n66 = 0.66 * n_star;
             let n110 = 1.10 * n_star;
-            let pts = [
-                (n66 - x_scaled).max(2.0),
-                n66,
-                n110,
-                n110 + x_scaled,
-            ];
+            let pts = [(n66 - x_scaled).max(2.0), n66, n110, n110 + x_scaled];
             let mut obs = ServerObservations::new(server.name.clone(), mx[i]);
             for (j, &n) in pts.iter().enumerate() {
-                let p = lqn.predict(server, &Workload::typical(n.round() as u32)).unwrap();
+                let p = lqn
+                    .predict(server, &Workload::typical(n.round() as u32))
+                    .unwrap();
                 if j < 2 {
                     obs = obs.with_lower(n.round(), p.mrt_ms);
                 } else {
@@ -101,14 +106,24 @@ pub fn run(ctx: &Experiments) -> String {
         let r2 = match Relationship2::calibrate(&r1s) {
             Ok(r2) => r2,
             Err(_) => {
-                table.row(&[f(x, 0), "degenerate".into(), "degenerate".into(), "-".into()]);
+                table.row(&[
+                    f(x, 0),
+                    "degenerate".into(),
+                    "degenerate".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };
         let r1_new = match r2.r1_for_max_throughput(mx_new) {
             Ok(r1) => r1,
             Err(_) => {
-                table.row(&[f(x, 0), "degenerate".into(), "degenerate".into(), "-".into()]);
+                table.row(&[
+                    f(x, 0),
+                    "degenerate".into(),
+                    "degenerate".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };

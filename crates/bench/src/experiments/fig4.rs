@@ -36,7 +36,10 @@ pub fn run(ctx: &Experiments) -> String {
         // with b; keep the grid relative to the *typical* knee so the
         // curves shift visibly, as in the paper's figure.
         let n_star = ctx.n_star(server);
-        let grid: Vec<u32> = FRACS.iter().map(|fr| (fr * n_star).round() as u32).collect();
+        let grid: Vec<u32> = FRACS
+            .iter()
+            .map(|fr| (fr * n_star).round() as u32)
+            .collect();
         let template = Workload::with_buy_pct(1_000, b);
         let measured = sweep(
             &ctx.gt,
@@ -46,12 +49,23 @@ pub fn run(ctx: &Experiments) -> String {
             &ctx.sim.with_seed(ctx.sim.seed ^ (b as u64 + 17)),
         );
         let _ = writeln!(out, "buy = {b} %");
-        let mut table =
-            Table::new(&["clients", "measured mrt", "historical", "layered-q", "measured rps"]);
+        let mut table = Table::new(&[
+            "clients",
+            "measured mrt",
+            "historical",
+            "layered-q",
+            "measured rps",
+        ]);
         for (i, point) in measured.iter().enumerate() {
             let w = template.scaled(f64::from(grid[i]) / 1_000.0);
-            let hist = historical.predict(server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
-            let lq = lqn.predict(server, &w).map(|p| p.mrt_ms).unwrap_or(f64::NAN);
+            let hist = historical
+                .predict(server, &w)
+                .map(|p| p.mrt_ms)
+                .unwrap_or(f64::NAN);
+            let lq = lqn
+                .predict(server, &w)
+                .map(|p| p.mrt_ms)
+                .unwrap_or(f64::NAN);
             table.row(&[
                 point.clients.to_string(),
                 f(point.mrt_ms, 1),

@@ -7,9 +7,10 @@
 //! is 10 % buy (goal 150 ms), 45 % high-priority browse (300 ms), 45 %
 //! low-priority browse (600 ms).
 
+use crate::cachecheck::checked_sweep_loads;
 use crate::report::{f, Table};
 use crate::Experiments;
-use perfpred_resman::costs::{sweep_loads, SweepConfig};
+use perfpred_resman::costs::SweepConfig;
 use perfpred_resman::runtime::RuntimeOptions;
 use perfpred_resman::scenario::{paper_pool, paper_workload};
 use std::fmt::Write as _;
@@ -23,16 +24,16 @@ pub fn loads() -> Vec<u32> {
 }
 
 fn sweep_all(ctx: &Experiments) -> Vec<(f64, Vec<perfpred_resman::costs::LoadPoint>)> {
-    let planner = ctx.hybrid();
-    let truth = ctx.historical();
     let pool = paper_pool();
     let template = paper_workload(1_000);
-    let config = SweepConfig { loads: loads(), runtime: RuntimeOptions::default() };
+    let config = SweepConfig {
+        loads: loads(),
+        runtime: RuntimeOptions::default(),
+    };
     SLACKS
         .iter()
         .map(|&s| {
-            let points = sweep_loads(planner, truth, &pool, &template, &config, s)
-                .expect("resman sweep");
+            let (points, _) = checked_sweep_loads(ctx, &pool, &template, &config, s);
             (s, points)
         })
         .collect()

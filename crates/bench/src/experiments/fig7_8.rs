@@ -8,46 +8,68 @@
 //! increase in average % SLA failures is smaller than the increase in the
 //! average % server usage saving").
 
+use crate::cachecheck::{cache_line, checked_slack_sweep, PlannerCalls};
 use crate::experiments::fig5_6::loads;
 use crate::report::{f, Table};
 use crate::Experiments;
-use perfpred_resman::costs::{slack_sweep, SweepConfig};
+use perfpred_resman::costs::SweepConfig;
 use perfpred_resman::runtime::RuntimeOptions;
 use perfpred_resman::scenario::{paper_pool, paper_workload};
 use std::fmt::Write as _;
 
 const REFERENCE_SLACK: f64 = 1.1;
 
-fn run_sweep(ctx: &Experiments, slacks: &[f64]) -> (f64, Vec<perfpred_resman::costs::SlackCurve>) {
-    let config = SweepConfig { loads: loads(), runtime: RuntimeOptions::default() };
-    slack_sweep(
-        ctx.hybrid(),
-        ctx.historical(),
+fn run_sweep(
+    ctx: &Experiments,
+    slacks: &[f64],
+) -> (f64, Vec<perfpred_resman::costs::SlackCurve>, PlannerCalls) {
+    let config = SweepConfig {
+        loads: loads(),
+        runtime: RuntimeOptions::default(),
+    };
+    checked_slack_sweep(
+        ctx,
         &paper_pool(),
         &paper_workload(1_000),
         &config,
         slacks,
         REFERENCE_SLACK,
     )
-    .expect("slack sweep")
 }
 
 /// Fig 7: slack 1.1 → 0.
 pub fn run_fig7(ctx: &Experiments) -> String {
     let slacks: Vec<f64> = (0..=11).rev().map(|i| f64::from(i) / 10.0).collect();
-    let (su_max, curves) = run_sweep(ctx, &slacks);
+    let (su_max, curves, calls) = run_sweep(ctx, &slacks);
+    // The sweep revisits the same (server, workload) operating points
+    // across slacks and bisection probes; memoisation must cut the
+    // underlying model solves at least fivefold.
+    assert!(
+        calls.requests >= 5 * calls.solves,
+        "fig7 cache reuse below 5x: {} requests for {} solves",
+        calls.requests,
+        calls.solves,
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Figure 7 — average % SLA failures and % server-usage saving, slack 1.1 -> 0\n"
     );
-    let _ = writeln!(out, "SUmax (usage at slack 1.1) = {:.1} % (paper: 62.7 %)\n", su_max);
-    let mut table =
-        Table::new(&["slack", "avg % SLA failures", "avg % server usage saving"]);
+    let _ = writeln!(
+        out,
+        "SUmax (usage at slack 1.1) = {:.1} % (paper: 62.7 %)\n",
+        su_max
+    );
+    let mut table = Table::new(&["slack", "avg % SLA failures", "avg % server usage saving"]);
     for c in &curves {
-        table.row(&[f(c.slack, 1), f(c.avg_sla_failure_pct, 2), f(c.avg_usage_saving_pct, 2)]);
+        table.row(&[
+            f(c.slack, 1),
+            f(c.avg_sla_failure_pct, 2),
+            f(c.avg_usage_saving_pct, 2),
+        ]);
     }
     out.push_str(&table.render());
+    let _ = writeln!(out, "\n{}", cache_line(&calls));
     let _ = writeln!(
         out,
         "\npaper shape: first 0.1 of slack reduction saves more usage than it costs in \
@@ -60,15 +82,19 @@ pub fn run_fig7(ctx: &Experiments) -> String {
 /// Fig 8: the failure/saving trade-off, slack 1.1 → 0.9.
 pub fn run_fig8(ctx: &Experiments) -> String {
     let slacks: Vec<f64> = (0..=8).map(|i| 1.1 - 0.025 * f64::from(i)).collect();
-    let (su_max, curves) = run_sweep(ctx, &slacks);
+    let (su_max, curves, calls) = run_sweep(ctx, &slacks);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Figure 8 — SLA failures vs server-usage saving as slack falls 1.1 -> 0.9\n"
     );
     let _ = writeln!(out, "SUmax = {:.1} %\n", su_max);
-    let mut table =
-        Table::new(&["slack", "avg % SLA failures", "avg % usage saving", "saving - failures"]);
+    let mut table = Table::new(&[
+        "slack",
+        "avg % SLA failures",
+        "avg % usage saving",
+        "saving - failures",
+    ]);
     for c in &curves {
         table.row(&[
             f(c.slack, 3),
@@ -78,6 +104,7 @@ pub fn run_fig8(ctx: &Experiments) -> String {
         ]);
     }
     out.push_str(&table.render());
+    let _ = writeln!(out, "\n{}", cache_line(&calls));
     let _ = writeln!(
         out,
         "\npaper: in this window the saving initially outpaces the failures, then the two \

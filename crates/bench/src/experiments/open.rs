@@ -31,9 +31,18 @@ fn open_model(ctx: &Experiments, rate_rps: f64) -> LqnModel {
     let app = b.task("app", ap).multiplicity(cfg.app_threads).finish();
     let db = b.task("db", dp).multiplicity(cfg.db_connections).finish();
     let disk_task = b.task("disk", disk).finish();
-    let serve = b.entry("serve", app).demand_ms(cfg.browse.app_demand_ms).finish();
-    let query = b.entry("query", db).demand_ms(cfg.browse.db_demand_ms).finish();
-    let read = b.entry("read", disk_task).demand_ms(cfg.browse.disk_demand_ms.max(1e-6)).finish();
+    let serve = b
+        .entry("serve", app)
+        .demand_ms(cfg.browse.app_demand_ms)
+        .finish();
+    let query = b
+        .entry("query", db)
+        .demand_ms(cfg.browse.db_demand_ms)
+        .finish();
+    let read = b
+        .entry("read", disk_task)
+        .demand_ms(cfg.browse.disk_demand_ms.max(1e-6))
+        .finish();
     b.call(serve, query, cfg.browse.db_calls);
     b.call(query, read, 1.0);
     let src = b.open_reference_task("source", cp, rate_rps).finish();

@@ -19,7 +19,10 @@ use std::fmt::Write as _;
 /// Runs the experiment.
 pub fn run(ctx: &Experiments) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "§7.1 — 90th-percentile predictions from mean predictions (eqs 6–7)\n");
+    let _ = writeln!(
+        out,
+        "§7.1 — 90th-percentile predictions from mean predictions (eqs 6–7)\n"
+    );
 
     // Calibrate the double-exponential scale b on an established server at
     // a saturated operating point (the paper finds it constant across
@@ -28,7 +31,13 @@ pub fn run(ctx: &Experiments) -> String {
     let n_sat = (1.25 * ctx.n_star(f_server)).round() as u32;
     let mut cal_opts = ctx.sim.with_seed(ctx.sim.seed ^ 0xB);
     cal_opts.store_samples = true;
-    let cal = sweep(&ctx.gt, f_server, &Workload::typical(100), &[n_sat], &cal_opts);
+    let cal = sweep(
+        &ctx.gt,
+        f_server,
+        &Workload::typical(100),
+        &[n_sat],
+        &cal_opts,
+    );
     let b_scale = cal[0].classes[0].mad_ms.unwrap_or(204.1);
     let _ = writeln!(
         out,
@@ -80,7 +89,11 @@ pub fn run(ctx: &Experiments) -> String {
                 row.push(f(p90, 1));
                 if p90.is_finite() {
                     let (est, new) = &mut reps[mi];
-                    if is_new { new.push(p90, measured_p90) } else { est.push(p90, measured_p90) }
+                    if is_new {
+                        new.push(p90, measured_p90)
+                    } else {
+                        est.push(p90, measured_p90)
+                    }
                 }
             }
             let d90 = direct
@@ -90,7 +103,11 @@ pub fn run(ctx: &Experiments) -> String {
             row.push(f(d90, 1));
             if d90.is_finite() {
                 let (est, new) = &mut reps[3];
-                if is_new { new.push(d90, measured_p90) } else { est.push(d90, measured_p90) }
+                if is_new {
+                    new.push(d90, measured_p90)
+                } else {
+                    est.push(d90, measured_p90)
+                }
             }
             table.row(&row);
         }
@@ -98,10 +115,20 @@ pub fn run(ctx: &Experiments) -> String {
         out.push('\n');
     }
 
-    let mut summary =
-        Table::new(&["method", "p90 acc est. %", "p90 acc new %", "paper est.", "paper new"]);
+    let mut summary = Table::new(&[
+        "method",
+        "p90 acc est. %",
+        "p90 acc new %",
+        "paper est.",
+        "paper new",
+    ]);
     let paper = [("88", "80"), ("69", "77"), ("70", "77"), ("-", "-")];
-    let names = ["historical (eq 6-7)", "layered-q (eq 6-7)", "hybrid (eq 6-7)", "historical (direct)"];
+    let names = [
+        "historical (eq 6-7)",
+        "layered-q (eq 6-7)",
+        "hybrid (eq 6-7)",
+        "historical (direct)",
+    ];
     for (i, name) in names.iter().enumerate() {
         let (est, new) = &reps[i];
         summary.row(&[

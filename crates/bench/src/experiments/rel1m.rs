@@ -14,7 +14,10 @@ use std::fmt::Write as _;
 /// Runs the experiment.
 pub fn run(ctx: &Experiments) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "§4.1 — clients→throughput gradient m across architectures\n");
+    let _ = writeln!(
+        out,
+        "§4.1 — clients→throughput gradient m across architectures\n"
+    );
 
     // Unsaturated measurement points per server (20..60 % of the knee).
     /// (server name, its own fitted m, its (clients, throughput) samples).
@@ -23,11 +26,15 @@ pub fn run(ctx: &Experiments) -> String {
     let mut per_server: Vec<ServerFit> = Vec::new();
     for server in Experiments::servers() {
         let n_star = ctx.n_star(&server);
-        let grid: Vec<u32> =
-            [0.2, 0.4, 0.6].iter().map(|frac| (frac * n_star).round() as u32).collect();
+        let grid: Vec<u32> = [0.2, 0.4, 0.6]
+            .iter()
+            .map(|frac| (frac * n_star).round() as u32)
+            .collect();
         let points = sweep(&ctx.gt, &server, &Workload::typical(100), &grid, &ctx.sim);
-        let samples: Vec<(f64, f64)> =
-            points.iter().map(|p| (f64::from(p.clients), p.throughput_rps)).collect();
+        let samples: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (f64::from(p.clients), p.throughput_rps))
+            .collect();
         let own_m = ThroughputRelation::fit(&samples).unwrap().m;
         pooled.extend_from_slice(&samples);
         per_server.push((server.name.clone(), own_m, samples));

@@ -26,7 +26,13 @@ pub fn run(ctx: &Experiments) -> String {
         "Table 1 — historical relationship-1 parameters (nldp = nudp = 2)\n"
     );
     let mut table = Table::new(&[
-        "server", "mx (req/s)", "cL (ms)", "lambdaL", "lambdaU", "cU (ms)", "source",
+        "server",
+        "mx (req/s)",
+        "cL (ms)",
+        "lambdaL",
+        "lambdaU",
+        "cU (ms)",
+        "source",
     ]);
     for server in Experiments::servers() {
         let (r1, source) = match historical.established_r1(&server.name) {

@@ -23,7 +23,10 @@ pub fn run(ctx: &Experiments) -> String {
     // No runtime threshold/optimiser: isolate the slack-vs-error algebra.
     let config = SweepConfig {
         loads: loads.clone(),
-        runtime: RuntimeOptions { threshold: 0.0, optimize: false },
+        runtime: RuntimeOptions {
+            threshold: 0.0,
+            optimize: false,
+        },
     };
 
     let mut out = String::new();
@@ -40,17 +43,14 @@ pub fn run(ctx: &Experiments) -> String {
     ]);
     // Baseline usage with a perfect planner.
     let base = sweep_loads(truth, truth, &pool, &template, &config, 1.0).unwrap();
-    let base_usage: f64 =
-        base.iter().map(|p| p.server_usage_pct).sum::<f64>() / base.len() as f64;
+    let base_usage: f64 = base.iter().map(|p| p.server_usage_pct).sum::<f64>() / base.len() as f64;
 
     for &y in &YS {
         let planner = UniformErrorModel::new(ctx.historical().clone(), y);
         for &slack in &[1.0, y] {
             let pts = sweep_loads(&planner, truth, &pool, &template, &config, slack).unwrap();
-            let max_fail =
-                pts.iter().map(|p| p.sla_failure_pct).fold(0.0f64, f64::max);
-            let avg_usage =
-                pts.iter().map(|p| p.server_usage_pct).sum::<f64>() / pts.len() as f64;
+            let max_fail = pts.iter().map(|p| p.sla_failure_pct).fold(0.0f64, f64::max);
+            let avg_usage = pts.iter().map(|p| p.server_usage_pct).sum::<f64>() / pts.len() as f64;
             table.row(&[
                 f(y, 3),
                 f(slack, 3),

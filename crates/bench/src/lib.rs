@@ -3,7 +3,7 @@
 //! # perfpred-bench
 //!
 //! The experiment harness: everything needed to regenerate the paper's
-//! tables and figures against the simulated testbed, plus criterion
+//! tables and figures against the simulated testbed, plus wall-clock
 //! benchmarks for the §8.5 prediction-delay comparison.
 //!
 //! The `repro` binary drives it:
@@ -17,8 +17,10 @@
 //! and writes a copy under `results/`. See DESIGN.md for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured commentary.
 
+pub mod cachecheck;
 pub mod context;
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use context::Experiments;

@@ -1,0 +1,46 @@
+//! Minimal wall-clock micro-benchmark runner for the crate's `[[bench]]`
+//! targets (`cargo bench -p perfpred-bench`): warm-up plus timed samples
+//! with mean/best reporting, no external harness.
+
+use std::time::Instant;
+
+/// Formats a duration in seconds with an adaptive unit.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Runs `f` once to warm up, then `samples` timed times, and prints a
+/// one-line `mean / best` summary under `name`. The closure's result is
+/// passed through [`std::hint::black_box`] so the work is not optimised
+/// away.
+pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    let mean = total / f64::from(samples.max(1));
+    println!(
+        "{name:<52} mean {:>12}   best {:>12}",
+        fmt_secs(mean),
+        fmt_secs(best)
+    );
+}
+
+/// Prints a section header for a group of related benches.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

@@ -8,8 +8,6 @@
 //! accuracy as the mean of the lower-equation and upper-equation accuracies,
 //! which callers compose from two [`AccuracyReport`]s.
 
-use serde::{Deserialize, Serialize};
-
 /// Accuracy of one prediction against one measurement, in percent (0–100).
 ///
 /// `measured` must be positive; a non-positive measurement yields 0 %
@@ -34,7 +32,7 @@ pub fn mean_accuracy_pct(pairs: &[(f64, f64)]) -> f64 {
 }
 
 /// A labelled accuracy report over a set of predictions.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AccuracyReport {
     /// `(predicted, measured)` pairs, in insertion order.
     pub pairs: Vec<(f64, f64)>,
@@ -63,7 +61,13 @@ impl AccuracyReport {
         }
         self.pairs
             .iter()
-            .map(|&(p, m)| if m > 0.0 { 100.0 * (p - m).abs() / m } else { 100.0 })
+            .map(|&(p, m)| {
+                if m > 0.0 {
+                    100.0 * (p - m).abs() / m
+                } else {
+                    100.0
+                }
+            })
             .sum::<f64>()
             / self.pairs.len() as f64
     }

@@ -1,0 +1,454 @@
+//! A sharded, memoizing prediction cache.
+//!
+//! The paper's §8.5 timing comparison is the motivation: a layered queuing
+//! solve can cost seconds at tight convergence criteria while the
+//! historical method answers in microseconds. The resource manager's
+//! Algorithm 1 and the slack sweeps of §8.4 evaluate the *same*
+//! (server, workload) operating points over and over — every slack value
+//! re-walks the same load grid, and the allocation search re-probes
+//! neighbouring client counts. [`PredictionCache`] wraps any
+//! [`PerformanceModel`] and memoizes `predict` results behind sharded
+//! `RwLock` hash maps so concurrent sweep workers share answers instead of
+//! re-solving.
+//!
+//! ## Keying and quantization
+//!
+//! A cache key captures everything `predict` sees: the server name plus,
+//! per service class, the class name, request type, think time and SLA
+//! goal (both at full `f64` bit precision) and the client count. Client
+//! counts can optionally be *quantized* to a multiple of
+//! [`CacheOptions::client_quantum`]; the miss path then solves the
+//! quantized workload, so a lookup and the solve it memoizes always agree.
+//! The default quantum of 1 makes the cache **exact**: a cached sweep is
+//! bit-for-bit identical to an uncached one, which the `repro` binary
+//! asserts for the fig 5–8 and cost experiments.
+//!
+//! ## Invalidation
+//!
+//! Entries never expire on their own — the wrapped models are pure
+//! functions of their calibration data. If the underlying model is
+//! re-calibrated, call [`PredictionCache::clear`] (or drop the cache and
+//! wrap the new model). Hit/miss counts are exposed both per-cache
+//! ([`PredictionCache::stats`]) and through the global [`crate::metrics`]
+//! registry as `predcache.hits` / `predcache.misses`.
+
+use crate::error::PredictError;
+use crate::metrics;
+use crate::model::{PerformanceModel, Prediction};
+use crate::server::ServerArch;
+use crate::workload::{RequestType, Workload};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Tuning knobs for [`PredictionCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheOptions {
+    /// Number of independent lock shards. More shards mean less contention
+    /// between parallel sweep workers; the default (16) comfortably covers
+    /// the harness's worker counts.
+    pub shards: usize,
+    /// Client counts are rounded to the nearest multiple of this quantum
+    /// before keying *and* solving. `1` (the default) keys exactly and
+    /// guarantees bit-identical results; larger quanta trade accuracy for
+    /// hit rate on dense load grids.
+    pub client_quantum: u32,
+}
+
+impl Default for CacheOptions {
+    fn default() -> Self {
+        CacheOptions {
+            shards: 16,
+            client_quantum: 1,
+        }
+    }
+}
+
+/// Hit/miss totals for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Predictions served from memory.
+    pub hits: u64,
+    /// Predictions that required an underlying model solve.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from memory (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One service class inside a cache key: name, type, think time, goal and
+/// (quantized) population, floats captured at bit precision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ClassKey {
+    name: String,
+    request_type: RequestType,
+    think_bits: u64,
+    goal_bits: Option<u64>,
+    clients: u32,
+}
+
+/// Full cache key: server identity plus the per-class workload shape
+/// (which also pins down totals like buy-% exactly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    server: String,
+    classes: Vec<ClassKey>,
+}
+
+impl Key {
+    fn new(server: &ServerArch, workload: &Workload, quantum: u32) -> Key {
+        Key {
+            server: server.name.clone(),
+            classes: workload
+                .classes
+                .iter()
+                .map(|c| ClassKey {
+                    name: c.class.name.clone(),
+                    request_type: c.class.request_type,
+                    think_bits: c.class.think_time_ms.to_bits(),
+                    goal_bits: c.class.rt_goal_ms.map(f64::to_bits),
+                    clients: quantize(c.clients, quantum),
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+fn quantize(clients: u32, quantum: u32) -> u32 {
+    if quantum <= 1 {
+        return clients;
+    }
+    let q = u64::from(quantum);
+    let rounded = (u64::from(clients) + q / 2) / q * q;
+    // Never quantize a live class down to zero clients.
+    if rounded == 0 && clients > 0 {
+        quantum
+    } else {
+        rounded.min(u64::from(u32::MAX)) as u32
+    }
+}
+
+/// A concurrent memoizing wrapper around any [`PerformanceModel`].
+///
+/// Implements [`PerformanceModel`] itself, so it drops into every consumer
+/// — the resource manager, slack sweeps, the bench harness — unchanged.
+/// Wrap by value or by reference (`PredictionCache::new(&model)` works via
+/// the blanket `impl PerformanceModel for &M`).
+pub struct PredictionCache<M: PerformanceModel> {
+    inner: M,
+    name: String,
+    options: CacheOptions,
+    shards: Vec<RwLock<HashMap<Key, Result<Prediction, PredictError>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<M: PerformanceModel> PredictionCache<M> {
+    /// Wraps `inner` with the default options (16 shards, exact keying).
+    pub fn new(inner: M) -> Self {
+        Self::with_options(inner, CacheOptions::default())
+    }
+
+    /// Wraps `inner` with explicit options.
+    pub fn with_options(inner: M, options: CacheOptions) -> Self {
+        let shard_count = options.shards.max(1);
+        let name = format!("{}+cache", inner.method_name());
+        PredictionCache {
+            inner,
+            name,
+            options,
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Hit/miss totals since construction (or the last [`clear`]).
+    ///
+    /// [`clear`]: PredictionCache::clear
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry and zeroes the stats. Call after
+    /// re-calibrating the wrapped model.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache shard lock").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<M: PerformanceModel> PerformanceModel for PredictionCache<M> {
+    fn method_name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
+        let key = Key::new(server, workload, self.options.client_quantum);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        if let Some(cached) = shard.read().expect("cache shard lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("predcache.hits").incr();
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics::counter("predcache.misses").incr();
+        // Solve the workload the key describes, so quantized lookups and
+        // the memoized result always agree.
+        let result = if self.options.client_quantum > 1 {
+            let mut quantized = workload.clone();
+            for c in &mut quantized.classes {
+                c.clients = quantize(c.clients, self.options.client_quantum);
+            }
+            self.inner.predict(server, &quantized)
+        } else {
+            self.inner.predict(server, workload)
+        };
+        // Errors are memoized too: a point the model rejects once it will
+        // reject every time (models are pure).
+        shard
+            .write()
+            .expect("cache shard lock")
+            .insert(key, result.clone());
+        result
+    }
+
+    fn supports_direct_percentiles(&self) -> bool {
+        self.inner.supports_direct_percentiles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts how many times `predict` actually runs.
+    struct CountingModel {
+        solves: AtomicUsize,
+    }
+
+    impl CountingModel {
+        fn new() -> Self {
+            CountingModel {
+                solves: AtomicUsize::new(0),
+            }
+        }
+        fn solve_count(&self) -> usize {
+            self.solves.load(Ordering::SeqCst)
+        }
+    }
+
+    impl PerformanceModel for CountingModel {
+        fn method_name(&self) -> &str {
+            "counting"
+        }
+        fn predict(
+            &self,
+            _server: &ServerArch,
+            workload: &Workload,
+        ) -> Result<Prediction, PredictError> {
+            self.solves.fetch_add(1, Ordering::SeqCst);
+            let n = f64::from(workload.total_clients());
+            if n > 10_000.0 {
+                return Err(PredictError::OutOfRange("too many clients".into()));
+            }
+            Ok(Prediction::single_class(10.0 + 0.1 * n, n / 7.0, false))
+        }
+    }
+
+    fn server() -> ServerArch {
+        ServerArch::app_serv_f()
+    }
+
+    #[test]
+    fn repeated_predictions_hit_the_cache() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let w = Workload::typical(500);
+        let first = cache.predict(&server(), &w).unwrap();
+        for _ in 0..9 {
+            let again = cache.predict(&server(), &w).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(cache.inner().solve_count(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        assert!((stats.hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_points_miss_independently() {
+        let cache = PredictionCache::new(CountingModel::new());
+        for n in [100, 200, 300] {
+            cache.predict(&server(), &Workload::typical(n)).unwrap();
+        }
+        // A different server is a different key even at equal load.
+        cache
+            .predict(&ServerArch::app_serv_vf(), &Workload::typical(100))
+            .unwrap();
+        // So is a different class mix at equal total population.
+        cache
+            .predict(&server(), &Workload::with_buy_pct(100, 50.0))
+            .unwrap();
+        assert_eq!(cache.inner().solve_count(), 5);
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn exact_keying_matches_uncached_bit_for_bit() {
+        let raw = CountingModel::new();
+        let cache = PredictionCache::new(CountingModel::new());
+        for n in (1..=50).chain(1..=50) {
+            let w = Workload::typical(n * 37);
+            let direct = raw.predict(&server(), &w).unwrap();
+            let cached = cache.predict(&server(), &w).unwrap();
+            assert_eq!(direct.mrt_ms.to_bits(), cached.mrt_ms.to_bits());
+            assert_eq!(
+                direct.throughput_rps.to_bits(),
+                cached.throughput_rps.to_bits()
+            );
+        }
+        assert_eq!(cache.inner().solve_count(), 50);
+    }
+
+    #[test]
+    fn errors_are_memoized() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let w = Workload::typical(20_000);
+        assert!(cache.predict(&server(), &w).is_err());
+        assert!(cache.predict(&server(), &w).is_err());
+        assert_eq!(cache.inner().solve_count(), 1);
+    }
+
+    #[test]
+    fn quantized_lookup_and_solve_agree() {
+        let cache = PredictionCache::with_options(
+            CountingModel::new(),
+            CacheOptions {
+                shards: 4,
+                client_quantum: 50,
+            },
+        );
+        // 101, 120 and 80 all round to 100: one solve, identical answers.
+        let a = cache.predict(&server(), &Workload::typical(101)).unwrap();
+        let b = cache.predict(&server(), &Workload::typical(120)).unwrap();
+        let c = cache.predict(&server(), &Workload::typical(80)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(cache.inner().solve_count(), 1);
+        // The memoized prediction is the one for the quantized population.
+        assert!((a.mrt_ms - 20.0).abs() < 1e-12);
+        // A live class never quantizes to zero clients.
+        let tiny = cache.predict(&server(), &Workload::typical(3)).unwrap();
+        assert!(tiny.mrt_ms > 10.0);
+    }
+
+    #[test]
+    fn clear_invalidates_and_zeroes_stats() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let w = Workload::typical(10);
+        cache.predict(&server(), &w).unwrap();
+        cache.predict(&server(), &w).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.predict(&server(), &w).unwrap();
+        assert_eq!(cache.inner().solve_count(), 2);
+    }
+
+    #[test]
+    fn wraps_borrowed_models() {
+        let inner = CountingModel::new();
+        let cache = PredictionCache::new(&inner);
+        let w = Workload::typical(42);
+        cache.predict(&server(), &w).unwrap();
+        cache.predict(&server(), &w).unwrap();
+        assert_eq!(inner.solve_count(), 1);
+        assert_eq!(cache.method_name(), "counting+cache");
+    }
+
+    #[test]
+    fn concurrent_sweep_workers_share_entries() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let loads: Vec<u32> = (1..=40).map(|i| i * 25).collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for &n in &loads {
+                        cache.predict(&server(), &Workload::typical(n)).unwrap();
+                    }
+                });
+            }
+        });
+        // Racing workers may duplicate a solve for the same key, but the
+        // map converges to one entry per point.
+        assert_eq!(cache.len(), loads.len());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * loads.len() as u64);
+        assert!(stats.hits >= (8 - 2) * loads.len() as u64);
+    }
+
+    #[test]
+    fn max_clients_goes_through_the_cache() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let n1 = cache
+            .max_clients(&server(), &Workload::typical(100), 100.0)
+            .unwrap();
+        let solves_once = cache.inner().solve_count();
+        let n2 = cache
+            .max_clients(&server(), &Workload::typical(100), 100.0)
+            .unwrap();
+        assert_eq!(n1, n2);
+        // The second search re-walks memoized points only.
+        assert_eq!(cache.inner().solve_count(), solves_once);
+    }
+}

@@ -17,10 +17,9 @@
 //! any method's mean response-time prediction.
 
 use crate::error::PredictError;
-use serde::{Deserialize, Serialize};
 
 /// Exponential response-time distribution with mean `mean_ms` (eq 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExponentialRt {
     /// Mean (= scale) of the distribution, milliseconds.
     pub mean_ms: f64,
@@ -58,7 +57,7 @@ impl ExponentialRt {
 
 /// Double exponential (Laplace) response-time distribution (eq 7), used
 /// after saturation: location `a` at the predicted mean, constant scale `b`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DoubleExponentialRt {
     /// Location parameter `a`, milliseconds (set to the predicted mean
     /// response time `r_p` in §7.1).
@@ -77,7 +76,10 @@ impl DoubleExponentialRt {
                 "double-exponential scale must be positive, got {scale_ms}"
             )));
         }
-        Ok(DoubleExponentialRt { location_ms, scale_ms })
+        Ok(DoubleExponentialRt {
+            location_ms,
+            scale_ms,
+        })
     }
 
     /// `P(X ≤ x)`.
@@ -108,19 +110,24 @@ impl DoubleExponentialRt {
                 "cannot fit double-exponential scale from zero samples".into(),
             ));
         }
-        let b = samples_ms.iter().map(|&x| (x - location_ms).abs()).sum::<f64>()
+        let b = samples_ms
+            .iter()
+            .map(|&x| (x - location_ms).abs())
+            .sum::<f64>()
             / samples_ms.len() as f64;
         if b > 0.0 {
             Ok(b)
         } else {
-            Err(PredictError::Calibration("degenerate samples: zero dispersion".into()))
+            Err(PredictError::Calibration(
+                "degenerate samples: zero dispersion".into(),
+            ))
         }
     }
 }
 
 /// A response-time distribution extrapolated from a mean prediction, per
 /// §7.1: exponential before saturation, double exponential after.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RtDistribution {
     /// Pre-saturation shape (eq 6).
     Exponential(ExponentialRt),
@@ -147,7 +154,9 @@ impl RtDistribution {
                 scale_ms,
             )?))
         } else {
-            Ok(RtDistribution::Exponential(ExponentialRt::new(predicted_mrt_ms)?))
+            Ok(RtDistribution::Exponential(ExponentialRt::new(
+                predicted_mrt_ms,
+            )?))
         }
     }
 

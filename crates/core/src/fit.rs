@@ -12,7 +12,6 @@
 //!   `ln y` vs `ln x`.
 
 use crate::error::PredictError;
-use serde::{Deserialize, Serialize};
 
 fn check_same_len(xs: &[f64], ys: &[f64], min: usize) -> Result<(), PredictError> {
     if xs.len() != ys.len() {
@@ -29,7 +28,9 @@ fn check_same_len(xs: &[f64], ys: &[f64], min: usize) -> Result<(), PredictError
         )));
     }
     if xs.iter().chain(ys).any(|v| !v.is_finite()) {
-        return Err(PredictError::Calibration("non-finite value in fit data".into()));
+        return Err(PredictError::Calibration(
+            "non-finite value in fit data".into(),
+        ));
     }
     Ok(())
 }
@@ -54,12 +55,16 @@ fn ols(xs: &[f64], ys: &[f64]) -> Result<(f64, f64, f64), PredictError> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok((slope, intercept, r2))
 }
 
 /// A fitted straight line `y = slope·x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Gradient.
     pub slope: f64,
@@ -75,7 +80,11 @@ impl LinearFit {
     pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, PredictError> {
         check_same_len(xs, ys, 2)?;
         let (slope, intercept, r2) = ols(xs, ys)?;
-        Ok(LinearFit { slope, intercept, r2 })
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r2,
+        })
     }
 
     /// The exact line through two points.
@@ -99,7 +108,7 @@ impl LinearFit {
 
 /// A fitted exponential `y = c·e^(λ·x)` (relationship 1's lower equation:
 /// `mrt = cL·e^(λL·n)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExpFit {
     /// Multiplier `c` (the response time at zero clients).
     pub c: f64,
@@ -120,7 +129,11 @@ impl ExpFit {
         }
         let log_ys: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
         let (slope, intercept, r2) = ols(xs, &log_ys)?;
-        Ok(ExpFit { c: intercept.exp(), lambda: slope, r2 })
+        Ok(ExpFit {
+            c: intercept.exp(),
+            lambda: slope,
+            r2,
+        })
     }
 
     /// The exact exponential through two points.
@@ -136,7 +149,9 @@ impl ExpFit {
     /// Solves `y = c·e^(λx)` for x. Errors on λ = 0 or non-positive `y/c`.
     pub fn invert(&self, y: f64) -> Result<f64, PredictError> {
         if self.lambda == 0.0 {
-            return Err(PredictError::OutOfRange("cannot invert a flat exponential".into()));
+            return Err(PredictError::OutOfRange(
+                "cannot invert a flat exponential".into(),
+            ));
         }
         let ratio = y / self.c;
         if ratio <= 0.0 {
@@ -151,7 +166,7 @@ impl ExpFit {
 
 /// A fitted power law `y = c·x^λ` (relationship 2's eq 4:
 /// `λL = C(λL)·mx_throughput^Λ(λL)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerFit {
     /// Multiplier `c`.
     pub c: f64,
@@ -173,7 +188,11 @@ impl PowerFit {
         let log_xs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
         let log_ys: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
         let (slope, intercept, r2) = ols(&log_xs, &log_ys)?;
-        Ok(PowerFit { c: intercept.exp(), exponent: slope, r2 })
+        Ok(PowerFit {
+            c: intercept.exp(),
+            exponent: slope,
+            r2,
+        })
     }
 
     /// The exact power law through two points.
@@ -264,9 +283,17 @@ mod tests {
 
     #[test]
     fn flat_line_inversion_errors() {
-        let f = LinearFit { slope: 0.0, intercept: 5.0, r2: 1.0 };
+        let f = LinearFit {
+            slope: 0.0,
+            intercept: 5.0,
+            r2: 1.0,
+        };
         assert!(f.invert(5.0).is_err());
-        let e = ExpFit { c: 5.0, lambda: 0.0, r2: 1.0 };
+        let e = ExpFit {
+            c: 5.0,
+            lambda: 0.0,
+            r2: 1.0,
+        };
         assert!(e.invert(5.0).is_err());
     }
 }

@@ -19,9 +19,11 @@
 //! what the resource manager in `perfpred-resman` consumes.
 
 pub mod accuracy;
+pub mod cache;
 pub mod distribution;
 pub mod error;
 pub mod fit;
+pub mod metrics;
 pub mod model;
 pub mod server;
 pub mod sla;
@@ -29,6 +31,7 @@ pub mod summary;
 pub mod workload;
 
 pub use accuracy::{accuracy_pct, mean_accuracy_pct, AccuracyReport};
+pub use cache::{CacheOptions, CacheStats, PredictionCache};
 pub use distribution::{DoubleExponentialRt, ExponentialRt, RtDistribution};
 pub use error::PredictError;
 pub use fit::{ExpFit, LinearFit, PowerFit};

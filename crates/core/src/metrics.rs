@@ -1,0 +1,482 @@
+//! Lightweight process-wide metrics: atomic counters and log-bucketed
+//! histograms behind a named registry.
+//!
+//! The registry exists so the hot paths of the workspace — the layered
+//! queuing solver, the simulation engine, the resource manager's
+//! allocation loops and the prediction cache — can report what they did
+//! (iterations run, events processed, predictions served from cache)
+//! without threading handles through every call signature. Everything is
+//! `std`-only and lock-free on the record path: a metric handle is an
+//! `Arc` resolved once per name through an `RwLock`-guarded map, and all
+//! updates after that are plain atomics. Hot loops should accumulate
+//! locally and flush once (see `TradeSim::run`), keeping registry lookups
+//! out of per-event code.
+//!
+//! Names are dotted lowercase paths, e.g. `lqns.solve.iterations` or
+//! `predcache.hits`. [`snapshot`] captures every registered metric for
+//! reporting; [`reset`] zeroes values between experiments while keeping
+//! the registered handles alive (outstanding `Arc`s keep working).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of logarithmic buckets in a [`Histogram`].
+///
+/// Bucket `i` holds values in `[2^(i-1), 2^i)` relative to a 1 µs-scale
+/// resolution floor; with 64 buckets the range comfortably covers
+/// sub-microsecond latencies through multi-hour wall times and iteration
+/// counts in the millions.
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram of non-negative `f64` samples.
+///
+/// Tracks exact count/sum/min/max plus power-of-two buckets for quantile
+/// estimates. Quantiles are approximate (bucket upper bounds); count, sum
+/// and extremes are exact.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum of samples, stored as `f64::to_bits` and updated via CAS.
+    sum_bits: AtomicU64,
+    /// Min/max stored as `f64::to_bits` (samples are clamped non-negative,
+    /// so bit patterns order like the floats themselves).
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a (non-negative) sample: log2 of the value scaled
+    /// so that bucket 0 covers `[0, 1e-6)` — fine enough for microsecond
+    /// latencies recorded in milliseconds.
+    fn bucket_of(v: f64) -> usize {
+        let scaled = v / 1e-6;
+        if scaled < 1.0 {
+            return 0;
+        }
+        let exp = scaled.log2().floor() as usize + 1;
+        exp.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`, in the sample's own units.
+    fn bucket_upper(i: usize) -> f64 {
+        if i == 0 {
+            1e-6
+        } else {
+            2f64.powi(i as i32) * 1e-6
+        }
+    }
+
+    /// Records one sample. Negative and non-finite samples are clamped to
+    /// zero so a stray NaN cannot poison the aggregates.
+    pub fn record(&self, sample: f64) {
+        let v = if sample.is_finite() && sample > 0.0 {
+            sample
+        } else {
+            0.0
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // CAS-add on the f64 sum.
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then(|| v.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `q`-th sample, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Resets every aggregate to the empty state.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let reg = registry();
+    if let Some(c) = reg
+        .counters
+        .read()
+        .expect("metrics registry lock")
+        .get(name)
+    {
+        return Arc::clone(c);
+    }
+    let mut map = reg.counters.write().expect("metrics registry lock");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Returns the histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let reg = registry();
+    if let Some(h) = reg
+        .histograms
+        .read()
+        .expect("metrics registry lock")
+        .get(name)
+    {
+        return Arc::clone(h);
+    }
+    let mut map = reg.histograms.write().expect("metrics registry lock");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+/// Zeroes every registered metric. Handles held by callers stay valid.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.read().expect("metrics registry lock").values() {
+        c.reset();
+    }
+    for h in reg
+        .histograms
+        .read()
+        .expect("metrics registry lock")
+        .values()
+    {
+        h.reset();
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time aggregate of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Approximate 95th-percentile sample.
+    pub p95: f64,
+}
+
+/// Everything the registry currently holds, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing was recorded since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|c| c.value == 0) && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Renders a compact plain-text report (metrics with zero activity are
+    /// skipped).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.counters {
+            if c.value > 0 {
+                let _ = writeln!(out, "  {:<42} {}", c.name, c.value);
+            }
+        }
+        for h in &self.histograms {
+            if h.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<42} n={} mean={:.3} p95={:.3} max={:.3}",
+                    h.name, h.count, h.mean, h.p95, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .read()
+        .expect("metrics registry lock")
+        .iter()
+        .map(|(name, c)| CounterSnapshot {
+            name: name.clone(),
+            value: c.get(),
+        })
+        .collect();
+    let histograms = reg
+        .histograms
+        .read()
+        .expect("metrics registry lock")
+        .iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: name.clone(),
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p95: h.quantile(0.95),
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 10.0).abs() < 1e-12);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_right() {
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        // Log buckets: within a factor of 2 of the true quantile.
+        assert!((25.0..=128.0).contains(&p50), "p50 {p50}");
+        assert!(p95 >= p50);
+        assert!(p95 <= h.max());
+    }
+
+    #[test]
+    fn histogram_ignores_nan_and_negative_magnitudes() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_same_instance_per_name() {
+        let a = counter("test.registry.same");
+        let b = counter("test.registry.same");
+        a.incr();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_and_reset_roundtrip() {
+        counter("test.snap.counter").add(7);
+        histogram("test.snap.hist").record(3.5);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.snap.counter"), 7);
+        let h = snap.histogram("test.snap.hist").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(snap.render().contains("test.snap.counter"));
+        // Reset zeroes registered metrics but keeps handles alive.
+        let held = counter("test.snap.counter");
+        reset();
+        assert_eq!(held.get(), 0);
+        held.add(2);
+        assert_eq!(snapshot().counter("test.snap.counter"), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let c = counter("test.concurrent.counter");
+        let h = histogram("test.concurrent.hist");
+        c.reset();
+        h.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        c.incr();
+                        h.record(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8_000);
+        assert_eq!(h.count(), 8_000);
+        assert!((h.sum() - 8_000.0).abs() < 1e-9);
+    }
+}

@@ -3,10 +3,9 @@
 use crate::error::PredictError;
 use crate::server::ServerArch;
 use crate::workload::Workload;
-use serde::{Deserialize, Serialize};
 
 /// The output of one prediction: workload-level and per-class metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// Mean response time across the whole workload, milliseconds.
     pub mrt_ms: f64,
@@ -55,7 +54,8 @@ pub trait PerformanceModel {
 
     /// Predicts workload and per-class metrics for `workload` running on
     /// `server`.
-    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError>;
+    fn predict(&self, server: &ServerArch, workload: &Workload)
+        -> Result<Prediction, PredictError>;
 
     /// The maximum number of clients (scaling `template`'s class mix) the
     /// server can support with the *workload mean* response time at or below
@@ -73,7 +73,9 @@ pub trait PerformanceModel {
         rt_goal_ms: f64,
     ) -> Result<u32, PredictError> {
         if template.is_empty() {
-            return Err(PredictError::OutOfRange("template workload is empty".into()));
+            return Err(PredictError::OutOfRange(
+                "template workload is empty".into(),
+            ));
         }
         let base = f64::from(template.total_clients());
         let mrt_at = |n: u32| -> Result<f64, PredictError> {
@@ -119,6 +121,30 @@ pub trait PerformanceModel {
     }
 }
 
+impl<M: PerformanceModel + ?Sized> PerformanceModel for &M {
+    fn method_name(&self) -> &str {
+        (**self).method_name()
+    }
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
+        (**self).predict(server, workload)
+    }
+    fn max_clients(
+        &self,
+        server: &ServerArch,
+        template: &Workload,
+        rt_goal_ms: f64,
+    ) -> Result<u32, PredictError> {
+        (**self).max_clients(server, template, rt_goal_ms)
+    }
+    fn supports_direct_percentiles(&self) -> bool {
+        (**self).supports_direct_percentiles()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,14 +177,18 @@ mod tests {
     fn max_clients_brackets_and_bisects() {
         let m = Quadratic;
         // mrt(n) = 10 + 0.0005 n² ≤ 300  ⇒  n ≤ sqrt(290/0.0005) ≈ 761.6
-        let n = m.max_clients(&server(), &Workload::typical(100), 300.0).unwrap();
+        let n = m
+            .max_clients(&server(), &Workload::typical(100), 300.0)
+            .unwrap();
         assert_eq!(n, 761);
     }
 
     #[test]
     fn max_clients_zero_when_goal_unreachable() {
         let m = Quadratic;
-        let n = m.max_clients(&server(), &Workload::typical(100), 5.0).unwrap();
+        let n = m
+            .max_clients(&server(), &Workload::typical(100), 5.0)
+            .unwrap();
         assert_eq!(n, 0);
     }
 
@@ -172,9 +202,14 @@ mod tests {
     fn boundary_client_meets_goal_and_next_does_not() {
         let m = Quadratic;
         let goal = 300.0;
-        let n = m.max_clients(&server(), &Workload::typical(10), goal).unwrap();
+        let n = m
+            .max_clients(&server(), &Workload::typical(10), goal)
+            .unwrap();
         let at = m.predict(&server(), &Workload::typical(n)).unwrap().mrt_ms;
-        let over = m.predict(&server(), &Workload::typical(n + 1)).unwrap().mrt_ms;
+        let over = m
+            .predict(&server(), &Workload::typical(n + 1))
+            .unwrap()
+            .mrt_ms;
         assert!(at <= goal);
         assert!(over > goal);
     }

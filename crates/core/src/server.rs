@@ -1,7 +1,5 @@
 //! Application-server architecture descriptions.
 
-use serde::{Deserialize, Serialize};
-
 /// An application-server architecture, as visible to the prediction methods.
 ///
 /// The paper's case study (§3.2) uses three architectures:
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// processing times, §5) and `max_throughput_rps` (the application-specific
 /// benchmark result used by the historical method's relationship 2, §4.2).
 /// `session_memory_bytes` matters only for the caching extension (§7.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerArch {
     /// Human-readable architecture name, e.g. `"AppServF"`.
     pub name: String,
@@ -53,7 +51,10 @@ impl ServerArch {
 
     fn validated(self) -> Self {
         debug_assert!(self.speed_factor > 0.0, "speed factor must be positive");
-        debug_assert!(self.max_throughput_rps > 0.0, "max throughput must be positive");
+        debug_assert!(
+            self.max_throughput_rps > 0.0,
+            "max throughput must be positive"
+        );
         self
     }
 

@@ -7,10 +7,8 @@
 //! and hybrid methods predict only means and must extrapolate a distribution
 //! around them (see [`crate::distribution`]).
 
-use serde::{Deserialize, Serialize};
-
 /// A response-time goal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SlaGoal {
     /// Mean response time must not exceed `max_mrt_ms`.
     Mean {
@@ -39,7 +37,10 @@ impl SlaGoal {
     pub fn percentile(percentile: f64, max_rt_ms: f64) -> Self {
         assert!(percentile > 0.0 && percentile < 100.0);
         assert!(max_rt_ms > 0.0);
-        SlaGoal::Percentile { percentile, max_rt_ms }
+        SlaGoal::Percentile {
+            percentile,
+            max_rt_ms,
+        }
     }
 
     /// The response-time bound of the goal, ms (regardless of flavour).
@@ -61,7 +62,7 @@ impl SlaGoal {
 }
 
 /// An SLA: one goal per service class, keyed by class name.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SlaSpec {
     entries: Vec<(String, SlaGoal)>,
 }
@@ -91,7 +92,10 @@ impl SlaSpec {
 
     /// The goal for `class_name`, if one was set.
     pub fn goal_for(&self, class_name: &str) -> Option<SlaGoal> {
-        self.entries.iter().find(|(n, _)| n == class_name).map(|(_, g)| *g)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == class_name)
+            .map(|(_, g)| *g)
     }
 
     /// Number of classes with goals.

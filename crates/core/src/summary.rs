@@ -2,11 +2,9 @@
 //! percentiles) used when reducing simulator output to "historical data
 //! points".
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics over a set of samples (e.g. per-request response
 /// times from a measurement run).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -30,7 +28,11 @@ impl Summary {
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (count as f64 - 1.0)
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (count as f64 - 1.0)
         } else {
             0.0
         };

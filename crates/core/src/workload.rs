@@ -6,15 +6,13 @@
 //! send its next request until the previous response arrives, so the
 //! effective arrival rate falls as the system slows down.
 
-use serde::{Deserialize, Serialize};
-
 /// The request types the performance models distinguish (§5: "requests in
 /// the workload are broken down into request types that are expected to
 /// exhibit similar performance characteristics").
 ///
 /// The case study uses two: *browse* (the Trade read-mostly mix: quote,
 /// portfolio, home, ...) and *buy* (register/login, buy ×10, logoff).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestType {
     /// The Trade browse mix; the *typical workload* is 100 % browse.
     Browse,
@@ -46,7 +44,7 @@ impl RequestType {
 
 /// A service class: a group of clients sharing a request type, think-time
 /// behaviour and (optionally) an SLA response-time goal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceClass {
     /// Class name, e.g. `"browse-hi"`.
     pub name: String,
@@ -96,7 +94,7 @@ impl ServiceClass {
 }
 
 /// A number of clients belonging to one service class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassLoad {
     /// The service class the clients belong to.
     pub class: ServiceClass,
@@ -107,7 +105,7 @@ pub struct ClassLoad {
 /// A workload: the populations of every service class directed at one
 /// application server (or at the provider as a whole, for the resource
 /// manager).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Workload {
     /// Per-class client populations. Order is preserved and meaningful for
     /// per-class prediction output.
@@ -117,29 +115,43 @@ pub struct Workload {
 impl Workload {
     /// An empty workload.
     pub fn empty() -> Self {
-        Workload { classes: Vec::new() }
+        Workload {
+            classes: Vec::new(),
+        }
     }
 
     /// The *typical workload* of the case study: `clients` browse clients
     /// with a 7 s mean think time (§3.1).
     pub fn typical(clients: u32) -> Self {
         Workload {
-            classes: vec![ClassLoad { class: ServiceClass::browse(), clients }],
+            classes: vec![ClassLoad {
+                class: ServiceClass::browse(),
+                clients,
+            }],
         }
     }
 
     /// A two-class browse + buy workload with `buy_pct` percent of the
     /// clients in the buy class (the heterogeneous workloads of §4.3/fig 4).
     pub fn with_buy_pct(total_clients: u32, buy_pct: f64) -> Self {
-        assert!((0.0..=100.0).contains(&buy_pct), "buy_pct must be in [0,100]");
+        assert!(
+            (0.0..=100.0).contains(&buy_pct),
+            "buy_pct must be in [0,100]"
+        );
         let buy = ((f64::from(total_clients) * buy_pct / 100.0).round()) as u32;
         let browse = total_clients - buy;
         let mut classes = Vec::new();
         if browse > 0 || buy == 0 {
-            classes.push(ClassLoad { class: ServiceClass::browse(), clients: browse });
+            classes.push(ClassLoad {
+                class: ServiceClass::browse(),
+                clients: browse,
+            });
         }
         if buy > 0 {
-            classes.push(ClassLoad { class: ServiceClass::buy(), clients: buy });
+            classes.push(ClassLoad {
+                class: ServiceClass::buy(),
+                clients: buy,
+            });
         }
         Workload { classes }
     }
@@ -269,8 +281,14 @@ mod tests {
         slow.think_time_ms = 14_000.0;
         let w = Workload {
             classes: vec![
-                ClassLoad { class: ServiceClass::browse(), clients: 300 },
-                ClassLoad { class: slow, clients: 100 },
+                ClassLoad {
+                    class: ServiceClass::browse(),
+                    clients: 300,
+                },
+                ClassLoad {
+                    class: slow,
+                    clients: 100,
+                },
             ],
         };
         let expected = (7_000.0 * 300.0 + 14_000.0 * 100.0) / 400.0;

@@ -1,113 +1,182 @@
-//! Property-based tests for the shared types: fits, distributions,
+//! Property-style tests for the shared types: fits, distributions,
 //! accuracy metrics and summaries.
+//!
+//! Each property is checked over a deterministic pseudo-random sweep of
+//! its input space (a seeded xorshift generator) so the suite needs no
+//! external testing framework and failures reproduce exactly.
 
 use perfpred_core::{
-    accuracy_pct, DoubleExponentialRt, ExpFit, ExponentialRt, LinearFit, PowerFit,
-    RtDistribution, Summary,
+    accuracy_pct, DoubleExponentialRt, ExpFit, ExponentialRt, LinearFit, PowerFit, RtDistribution,
+    Summary,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// A linear fit through exact line samples recovers the parameters.
-    #[test]
-    fn linear_fit_recovers_parameters(
-        slope in -100.0f64..100.0,
-        intercept in -1e4f64..1e4,
-        xs in proptest::collection::hash_set(-1000i32..1000, 2..30),
-    ) {
-        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+/// Minimal xorshift64* generator for deterministic case sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    /// Uniform in [lo, hi).
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+    /// Uniform integer in [lo, hi).
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
+/// A linear fit through exact line samples recovers the parameters.
+#[test]
+fn linear_fit_recovers_parameters() {
+    let mut rng = Rng::new(0xC0DE_0001);
+    for _ in 0..200 {
+        let slope = rng.range(-100.0, 100.0);
+        let intercept = rng.range(-1e4, 1e4);
+        let n = rng.int(2, 30) as usize;
+        let mut xs: Vec<f64> = Vec::with_capacity(n);
+        while xs.len() < n {
+            let x = rng.int(-1000, 1000) as f64;
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let f = LinearFit::fit(&xs, &ys).unwrap();
-        prop_assert!((f.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
-        prop_assert!((f.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+        assert!((f.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        assert!((f.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
     }
+}
 
-    /// Exponential fit round-trips eval/invert for non-degenerate rates.
-    #[test]
-    fn exp_fit_invert_round_trip(
-        c in 1.0f64..1e3,
-        lambda in 1e-5f64..1e-2,
-        x in 1.0f64..2000.0,
-    ) {
+/// Exponential fit round-trips eval/invert for non-degenerate rates.
+#[test]
+fn exp_fit_invert_round_trip() {
+    let mut rng = Rng::new(0xC0DE_0002);
+    for _ in 0..500 {
+        let c = rng.range(1.0, 1e3);
+        let lambda = rng.range(1e-5, 1e-2);
+        let x = rng.range(1.0, 2000.0);
         let f = ExpFit { c, lambda, r2: 1.0 };
         let y = f.eval(x);
         let back = f.invert(y).unwrap();
-        prop_assert!((back - x).abs() < 1e-6 * x.max(1.0), "x {} back {}", x, back);
+        assert!((back - x).abs() < 1e-6 * x.max(1.0), "x {x} back {back}");
     }
+}
 
-    /// Power fit through exact samples recovers the parameters.
-    #[test]
-    fn power_fit_recovers_parameters(
-        c in 1e-6f64..1e3,
-        exponent in -3.0f64..3.0,
-        xs in proptest::collection::hash_set(1u32..10_000, 2..20),
-    ) {
-        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+/// Power fit through exact samples recovers the parameters.
+#[test]
+fn power_fit_recovers_parameters() {
+    let mut rng = Rng::new(0xC0DE_0003);
+    let mut checked = 0;
+    while checked < 200 {
+        let c = rng.range(1e-6, 1e3);
+        let exponent = rng.range(-3.0, 3.0);
+        let n = rng.int(2, 20) as usize;
+        let mut xs: Vec<f64> = Vec::with_capacity(n);
+        while xs.len() < n {
+            let x = rng.int(1, 10_000) as f64;
+            if !xs.contains(&x) {
+                xs.push(x);
+            }
+        }
         let ys: Vec<f64> = xs.iter().map(|x| c * x.powf(exponent)).collect();
-        prop_assume!(ys.iter().all(|y| y.is_finite() && *y > 0.0));
+        if !ys.iter().all(|y| y.is_finite() && *y > 0.0) {
+            continue;
+        }
+        checked += 1;
         let f = PowerFit::fit(&xs, &ys).unwrap();
-        prop_assert!((f.exponent - exponent).abs() < 1e-6);
-        prop_assert!((f.c - c).abs() / c < 1e-6);
+        assert!((f.exponent - exponent).abs() < 1e-6);
+        assert!((f.c - c).abs() / c < 1e-6);
     }
+}
 
-    /// Exponential distribution: quantile is the inverse of the CDF and
-    /// the CDF is monotone.
-    #[test]
-    fn exponential_cdf_quantile_inverse(mean in 1e-3f64..1e5, p in 0.001f64..0.999) {
+/// Exponential distribution: quantile is the inverse of the CDF and the
+/// CDF is monotone.
+#[test]
+fn exponential_cdf_quantile_inverse() {
+    let mut rng = Rng::new(0xC0DE_0004);
+    for _ in 0..500 {
+        let mean = rng.range(1e-3, 1e5);
+        let p = rng.range(0.001, 0.999);
         let d = ExponentialRt::new(mean).unwrap();
         let x = d.quantile(p);
-        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
-        prop_assert!(d.cdf(x + mean * 0.01) > d.cdf(x));
+        assert!((d.cdf(x) - p).abs() < 1e-9);
+        assert!(d.cdf(x + mean * 0.01) > d.cdf(x));
     }
+}
 
-    /// Laplace distribution: same inverse property, both sides of the
-    /// location.
-    #[test]
-    fn laplace_cdf_quantile_inverse(
-        loc in -1e4f64..1e4,
-        scale in 1e-3f64..1e4,
-        p in 0.001f64..0.999,
-    ) {
+/// Laplace distribution: same inverse property, both sides of the
+/// location.
+#[test]
+fn laplace_cdf_quantile_inverse() {
+    let mut rng = Rng::new(0xC0DE_0005);
+    for _ in 0..500 {
+        let loc = rng.range(-1e4, 1e4);
+        let scale = rng.range(1e-3, 1e4);
+        let p = rng.range(0.001, 0.999);
         let d = DoubleExponentialRt::new(loc, scale).unwrap();
         let x = d.quantile(p);
-        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        assert!((d.cdf(x) - p).abs() < 1e-9);
     }
+}
 
-    /// §7.1 distribution percentiles are monotone in the percentile and in
-    /// the predicted mean.
-    #[test]
-    fn rt_distribution_monotonicity(
-        mrt in 1.0f64..1e4,
-        saturated in any::<bool>(),
-        p1 in 1.0f64..98.0,
-        delta in 0.5f64..10.0,
-    ) {
+/// §7.1 distribution percentiles are monotone in the percentile and in
+/// the predicted mean.
+#[test]
+fn rt_distribution_monotonicity() {
+    let mut rng = Rng::new(0xC0DE_0006);
+    for i in 0..300 {
+        let mrt = rng.range(1.0, 1e4);
+        let saturated = i % 2 == 0;
+        let p1 = rng.range(1.0, 98.0);
+        let delta = rng.range(0.5, 10.0);
         let d = RtDistribution::from_mean_prediction(mrt, saturated, 204.1).unwrap();
         let p2 = (p1 + delta).min(99.0);
-        prop_assert!(d.percentile(p2) >= d.percentile(p1));
+        assert!(d.percentile(p2) >= d.percentile(p1));
         let d_bigger = RtDistribution::from_mean_prediction(mrt * 1.5, saturated, 204.1).unwrap();
-        prop_assert!(d_bigger.percentile(90.0) >= d.percentile(90.0));
+        assert!(d_bigger.percentile(90.0) >= d.percentile(90.0));
     }
+}
 
-    /// Accuracy is 100 exactly on perfect predictions, 0 on garbage, and
-    /// always within [0, 100].
-    #[test]
-    fn accuracy_bounds(pred in -1e6f64..1e6, measured in 1e-6f64..1e6) {
+/// Accuracy is 100 exactly on perfect predictions and always within
+/// [0, 100].
+#[test]
+fn accuracy_bounds() {
+    let mut rng = Rng::new(0xC0DE_0007);
+    for _ in 0..500 {
+        let pred = rng.range(-1e6, 1e6);
+        let measured = rng.range(1e-6, 1e6);
         let a = accuracy_pct(pred, measured);
-        prop_assert!((0.0..=100.0).contains(&a));
-        prop_assert_eq!(accuracy_pct(measured, measured), 100.0);
+        assert!((0.0..=100.0).contains(&a));
+        assert_eq!(accuracy_pct(measured, measured), 100.0);
     }
+}
 
-    /// Summary percentiles are monotone and bracketed by min/max.
-    #[test]
-    fn summary_percentile_bounds(
-        xs in proptest::collection::vec(-1e5f64..1e5, 1..200),
-        p in 1.0f64..99.0,
-    ) {
+/// Summary percentiles are monotone and bracketed by min/max.
+#[test]
+fn summary_percentile_bounds() {
+    let mut rng = Rng::new(0xC0DE_0008);
+    for _ in 0..200 {
+        let n = rng.int(1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range(-1e5, 1e5)).collect();
+        let p = rng.range(1.0, 99.0);
         let s = Summary::from_samples(&xs).unwrap();
         let q = s.percentile(p);
-        prop_assert!(q >= s.min - 1e-9 && q <= s.max + 1e-9);
-        prop_assert!(s.percentile((p + 0.5).min(99.0)) >= q - 1e-9);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(q >= s.min - 1e-9 && q <= s.max + 1e-9);
+        assert!(s.percentile((p + 0.5).min(99.0)) >= q - 1e-9);
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
     }
 }

@@ -55,10 +55,7 @@ impl SimRng {
     /// Next raw 64-bit output (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -214,12 +211,16 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let n = 200_000;
         let (target_mean, target_cv) = (8_192.0, 0.75);
-        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_cv(target_mean, target_cv)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| rng.lognormal_mean_cv(target_mean, target_cv))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
         let cv = var.sqrt() / mean;
-        assert!((mean - target_mean).abs() / target_mean < 0.02, "mean {mean}");
+        assert!(
+            (mean - target_mean).abs() / target_mean < 0.02,
+            "mean {mean}"
+        );
         assert!((cv - target_cv).abs() < 0.03, "cv {cv}");
         assert!(samples.iter().all(|&x| x > 0.0));
     }

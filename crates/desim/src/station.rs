@@ -150,7 +150,10 @@ impl<J> PsStation<J> {
     pub fn arrive(&mut self, now: f64, payload: J, work: f64) {
         assert!(work > 0.0, "job work must be positive");
         self.advance_to(now);
-        let job = PsJob { payload, remaining: work };
+        let job = PsJob {
+            payload,
+            remaining: work,
+        };
         if self.active.len() < self.limit {
             self.active.push(job);
         } else {
@@ -261,7 +264,10 @@ impl<J> FifoStation<J> {
         self.account_to(now);
         match self.state {
             FifoState::Idle => {
-                self.state = FifoState::Busy { payload, finish: now + work / self.speed };
+                self.state = FifoState::Busy {
+                    payload,
+                    finish: now + work / self.speed,
+                };
             }
             FifoState::Busy { .. } => self.waiting.push_back((payload, work)),
         }
@@ -293,7 +299,10 @@ impl<J> FifoStation<J> {
         };
         self.metrics.completed += 1;
         if let Some((next, work)) = self.waiting.pop_front() {
-            self.state = FifoState::Busy { payload: next, finish: now + work / self.speed };
+            self.state = FifoState::Busy {
+                payload: next,
+                finish: now + work / self.speed,
+            };
         }
         Some(payload)
     }

@@ -15,7 +15,13 @@ pub struct Welford {
 impl Welford {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.
@@ -101,7 +107,12 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking at `time` with initial `value`.
     pub fn new(time: f64, value: f64) -> Self {
-        TimeWeighted { last_time: time, last_value: value, area: 0.0, start: time }
+        TimeWeighted {
+            last_time: time,
+            last_value: value,
+            area: 0.0,
+            start: time,
+        }
     }
 
     /// Records a new value effective from `time` on.
@@ -280,7 +291,9 @@ mod tests {
 
     #[test]
     fn welford_merge_equals_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let mut all = Welford::new();
         for &x in &xs {
             all.push(x);
@@ -318,7 +331,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.set(10.0, 2.0); // 0 for [0,10)
         tw.set(20.0, 4.0); // 2 for [10,20)
-        // mean over [0,30): (0·10 + 2·10 + 4·10)/30 = 2
+                           // mean over [0,30): (0·10 + 2·10 + 4·10)/30 = 2
         assert!((tw.mean_until(30.0) - 2.0).abs() < 1e-12);
         assert_eq!(tw.current(), 4.0);
     }
@@ -362,7 +375,10 @@ mod tests {
         }
         let est = p2.estimate();
         let truth = 100.0 * 10.0f64.ln();
-        assert!((est - truth).abs() / truth < 0.05, "estimate {est} vs {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "estimate {est} vs {truth}"
+        );
     }
 
     #[test]

@@ -1,13 +1,45 @@
-//! Property-based tests for the simulation kernel.
+//! Property-style tests for the simulation kernel, swept over
+//! deterministic pseudo-random cases.
 
 use perfpred_desim::{EventQueue, P2Quantile, PsStation, SimRng, Welford};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, whatever the
-    /// insertion order.
-    #[test]
-    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+/// Minimal xorshift64* generator for deterministic case sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Events always pop in non-decreasing time order, whatever the insertion
+/// order.
+#[test]
+fn event_queue_pops_sorted() {
+    let mut rng = Rng::new(0xD5_0001);
+    for _ in 0..100 {
+        let n = rng.int(1, 200) as usize;
+        let times: Vec<f64> = (0..n).map(|_| rng.range(0.0, 1e6)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
@@ -15,59 +47,72 @@ proptest! {
         let mut last = f64::NEG_INFINITY;
         let mut count = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len());
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation(
-        times in proptest::collection::vec(0.0f64..1e6, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation() {
+    let mut rng = Rng::new(0xD5_0002);
+    for _ in 0..100 {
+        let n = rng.int(1, 100) as usize;
+        let times: Vec<f64> = (0..n).map(|_| rng.range(0.0, 1e6)).collect();
         let mut q = EventQueue::new();
-        let handles: Vec<_> = times.iter().enumerate().map(|(i, &t)| (q.schedule(t, i), i)).collect();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (q.schedule(t, i), i))
+            .collect();
         let mut cancelled = std::collections::HashSet::new();
-        for ((h, i), &c) in handles.iter().zip(cancel_mask.iter()) {
-            if c {
+        for (h, i) in &handles {
+            if rng.bool() {
                 q.cancel(*h);
                 cancelled.insert(*i);
             }
         }
         let mut seen = std::collections::HashSet::new();
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "cancelled event {} fired", i);
+            assert!(!cancelled.contains(&i), "cancelled event {i} fired");
             seen.insert(i);
         }
-        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+        assert_eq!(seen.len() + cancelled.len(), times.len());
     }
+}
 
-    /// Welford mean/variance agree with the naive two-pass computation.
-    #[test]
-    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..400)) {
+/// Welford mean/variance agree with the naive two-pass computation.
+#[test]
+fn welford_matches_two_pass() {
+    let mut rng = Rng::new(0xD5_0003);
+    for _ in 0..100 {
+        let n = rng.int(2, 400) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range(-1e6, 1e6)).collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.push(x);
         }
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let nf = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nf - 1.0);
         let scale = mean.abs().max(1.0);
-        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        assert!((w.mean() - mean).abs() / scale < 1e-9);
         let vscale = var.abs().max(1.0);
-        prop_assert!((w.variance() - var).abs() / vscale < 1e-6);
+        assert!((w.variance() - var).abs() / vscale < 1e-6);
     }
+}
 
-    /// Welford merge is equivalent to sequential accumulation at any split.
-    #[test]
-    fn welford_merge_any_split(
-        xs in proptest::collection::vec(-1e3f64..1e3, 2..200),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+/// Welford merge is equivalent to sequential accumulation at any split.
+#[test]
+fn welford_merge_any_split() {
+    let mut rng = Rng::new(0xD5_0004);
+    for _ in 0..100 {
+        let n = rng.int(2, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range(-1e3, 1e3)).collect();
+        let split = ((xs.len() as f64 * rng.unit()) as usize).min(xs.len());
         let mut all = Welford::new();
         for &x in &xs {
             all.push(x);
@@ -81,18 +126,20 @@ proptest! {
             b.push(x);
         }
         a.merge(&b);
-        prop_assert!((a.mean() - all.mean()).abs() < 1e-9 * all.mean().abs().max(1.0));
-        prop_assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9 * all.mean().abs().max(1.0));
+        assert_eq!(a.count(), all.count());
     }
+}
 
-    /// A PS station conserves work: every job admitted eventually
-    /// completes, and completion times never precede arrivals.
-    #[test]
-    fn ps_station_conserves_jobs(
-        seed in any::<u64>(),
-        n_jobs in 1usize..60,
-        limit in 1usize..8,
-    ) {
+/// A PS station conserves work: every job admitted eventually completes,
+/// and completion times never precede arrivals.
+#[test]
+fn ps_station_conserves_jobs() {
+    let mut cases = Rng::new(0xD5_0005);
+    for _ in 0..100 {
+        let seed = cases.next_u64();
+        let n_jobs = cases.int(1, 60) as usize;
+        let limit = cases.int(1, 8) as usize;
         let mut rng = SimRng::seed_from(seed);
         let mut ps: PsStation<usize> = PsStation::new(1.0, limit);
         let mut t = 0.0;
@@ -107,8 +154,8 @@ proptest! {
                     break;
                 }
                 for id in ps.pop_completed(ct) {
-                    prop_assert!(ct >= arrivals[id] - 1e-9);
-                    prop_assert!(!completed[id]);
+                    assert!(ct >= arrivals[id] - 1e-9);
+                    assert!(!completed[id]);
                     completed[id] = true;
                 }
             }
@@ -119,19 +166,25 @@ proptest! {
         let mut guard = 0;
         while let Some(ct) = ps.next_completion() {
             for id in ps.pop_completed(ct) {
-                prop_assert!(!completed[id]);
+                assert!(!completed[id]);
                 completed[id] = true;
             }
             guard += 1;
-            prop_assert!(guard < 10 * n_jobs, "drain did not terminate");
+            assert!(guard < 10 * n_jobs, "drain did not terminate");
         }
-        prop_assert!(completed.iter().all(|&c| c));
-        prop_assert_eq!(ps.metrics().completed as usize, n_jobs);
+        assert!(completed.iter().all(|&c| c));
+        assert_eq!(ps.metrics().completed as usize, n_jobs);
     }
+}
 
-    /// The P² estimate is always within the observed sample range.
-    #[test]
-    fn p2_within_range(seed in any::<u64>(), n in 5usize..2000, p in 0.05f64..0.95) {
+/// The P² estimate is always within the observed sample range.
+#[test]
+fn p2_within_range() {
+    let mut cases = Rng::new(0xD5_0006);
+    for _ in 0..100 {
+        let seed = cases.next_u64();
+        let n = cases.int(5, 2_000) as usize;
+        let p = cases.range(0.05, 0.95);
         let mut rng = SimRng::seed_from(seed);
         let mut p2 = P2Quantile::new(p);
         let mut lo = f64::INFINITY;
@@ -143,12 +196,20 @@ proptest! {
             p2.push(x);
         }
         let est = p2.estimate();
-        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate {} outside [{}, {}]", est, lo, hi);
+        assert!(
+            est >= lo - 1e-9 && est <= hi + 1e-9,
+            "estimate {est} outside [{lo}, {hi}]"
+        );
     }
+}
 
-    /// Derived RNG streams are deterministic functions of (seed, id).
-    #[test]
-    fn rng_derivation_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+/// Derived RNG streams are deterministic functions of (seed, id).
+#[test]
+fn rng_derivation_deterministic() {
+    let mut cases = Rng::new(0xD5_0007);
+    for _ in 0..100 {
+        let seed = cases.next_u64();
+        let stream = cases.next_u64();
         let a: Vec<u64> = {
             let mut r = SimRng::seed_from(seed).derive(stream);
             (0..8).map(|_| r.next_u64()).collect()
@@ -157,6 +218,6 @@ proptest! {
             let mut r = SimRng::seed_from(seed).derive(stream);
             (0..8).map(|_| r.next_u64()).collect()
         };
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

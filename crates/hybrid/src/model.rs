@@ -1,9 +1,7 @@
 //! The assembled hybrid model.
 
 use crate::pseudo::generate_observations;
-use perfpred_core::{
-    PerformanceModel, PredictError, Prediction, ServerArch, Workload,
-};
+use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
 use perfpred_hydra::HistoricalModel;
 use perfpred_lqns::LqnPredictor;
 use std::time::{Duration, Instant};
@@ -97,8 +95,13 @@ impl HybridModel {
         let mut builder = HistoricalModel::builder().think_time_ms(opts.think_ms);
 
         for server in servers {
-            let (obs, s) =
-                generate_observations(predictor, server, opts.n_lower, opts.n_upper, opts.think_ms)?;
+            let (obs, s) = generate_observations(
+                predictor,
+                server,
+                opts.n_lower,
+                opts.n_upper,
+                opts.think_ms,
+            )?;
             solves += s;
             points += obs.point_count();
             builder = builder.observations(obs);
@@ -126,15 +129,21 @@ impl HybridModel {
             let p = predictor.predict(reference, &w)?;
             solves += 1;
             if p.mrt_ms > 0.0 && p.per_class_mrt_ms.len() == 2 {
-                builder = builder
-                    .class_deviation(p.per_class_mrt_ms[0] / p.mrt_ms, p.per_class_mrt_ms[1] / p.mrt_ms);
+                builder = builder.class_deviation(
+                    p.per_class_mrt_ms[0] / p.mrt_ms,
+                    p.per_class_mrt_ms[1] / p.mrt_ms,
+                );
             }
         }
 
         let historical = builder.build()?;
         Ok(HybridModel {
             historical,
-            startup: StartupReport { lqn_solves: solves, pseudo_points: points, elapsed: start.elapsed() },
+            startup: StartupReport {
+                lqn_solves: solves,
+                pseudo_points: points,
+                elapsed: start.elapsed(),
+            },
             advanced,
         })
     }
@@ -160,7 +169,11 @@ impl PerformanceModel for HybridModel {
         "hybrid"
     }
 
-    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
         self.historical.predict(server, workload)
     }
 
@@ -210,7 +223,10 @@ mod tests {
                     * 7.0;
                 let n = (n_star * frac) as u32;
                 let lqn = pred.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
-                let hyb = hybrid.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
+                let hyb = hybrid
+                    .predict(&server, &Workload::typical(n))
+                    .unwrap()
+                    .mrt_ms;
                 assert!(
                     accuracy_pct(hyb, lqn) > 60.0,
                     "{} at {n}: hybrid {hyb} vs lqn {lqn}",
@@ -238,7 +254,9 @@ mod tests {
         let hybrid = HybridModel::basic(&pred, &established, &HybridOptions::default()).unwrap();
         assert!(!hybrid.is_advanced());
         // AppServS was never given pseudo data: relationship 2 handles it.
-        let p = hybrid.predict(&ServerArch::app_serv_s(), &Workload::typical(300)).unwrap();
+        let p = hybrid
+            .predict(&ServerArch::app_serv_s(), &Workload::typical(300))
+            .unwrap();
         assert!(p.mrt_ms > 0.0);
         assert!(p.throughput_rps > 0.0);
     }
@@ -273,7 +291,9 @@ mod tests {
         let hybrid =
             HybridModel::advanced(&predictor(), &servers(), &HybridOptions::default()).unwrap();
         let f = ServerArch::app_serv_f();
-        let n = hybrid.max_clients(&f, &Workload::typical(100), 200.0).unwrap();
+        let n = hybrid
+            .max_clients(&f, &Workload::typical(100), 200.0)
+            .unwrap();
         let at = hybrid.predict(&f, &Workload::typical(n)).unwrap().mrt_ms;
         assert!(at <= 200.0 + 1e-6);
     }

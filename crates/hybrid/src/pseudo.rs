@@ -43,12 +43,12 @@ pub fn generate_observations(
 
     let mut obs = ServerObservations::new(server.name.clone(), mx);
     for i in 0..n_lower {
-        let frac = LOWER_START
-            + (TRANSITION_LOW - LOWER_START) * i as f64 / (n_lower as f64 - 1.0);
+        let frac = LOWER_START + (TRANSITION_LOW - LOWER_START) * i as f64 / (n_lower as f64 - 1.0);
         let clients = (frac * n_star).round().max(1.0);
         let p = predictor.predict(server, &Workload::typical(clients as u32))?;
         solves += 1;
-        obs.lower_points.push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
+        obs.lower_points
+            .push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
         obs.throughput_points.push((clients, p.throughput_rps));
     }
     for i in 0..n_upper {
@@ -57,7 +57,8 @@ pub fn generate_observations(
         let clients = (frac * n_star).round();
         let p = predictor.predict(server, &Workload::typical(clients as u32))?;
         solves += 1;
-        obs.upper_points.push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
+        obs.upper_points
+            .push(perfpred_hydra::DataPoint::new(clients, p.mrt_ms));
     }
     Ok((obs, solves))
 }
@@ -74,20 +75,22 @@ mod tests {
     #[test]
     fn generates_requested_point_counts() {
         let (obs, solves) =
-            generate_observations(&predictor(), &ServerArch::app_serv_f(), 2, 2, 7_000.0)
-                .unwrap();
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 2, 2, 7_000.0).unwrap();
         assert_eq!(obs.lower_points.len(), 2);
         assert_eq!(obs.upper_points.len(), 2);
         assert!(solves >= 4);
         // Max throughput benchmarked near the Table 2 CPU bound (≈222).
-        assert!((obs.max_throughput_rps - 222.0).abs() < 8.0, "mx {}", obs.max_throughput_rps);
+        assert!(
+            (obs.max_throughput_rps - 222.0).abs() < 8.0,
+            "mx {}",
+            obs.max_throughput_rps
+        );
     }
 
     #[test]
     fn lower_points_below_transition_upper_above() {
         let (obs, _) =
-            generate_observations(&predictor(), &ServerArch::app_serv_f(), 3, 3, 7_000.0)
-                .unwrap();
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 3, 3, 7_000.0).unwrap();
         let n_star = obs.max_throughput_rps / (1_000.0 / 7_000.0);
         for p in &obs.lower_points {
             assert!(p.clients <= TRANSITION_LOW * n_star + 1.0);
@@ -102,8 +105,7 @@ mod tests {
     #[test]
     fn rejects_insufficient_points() {
         assert!(
-            generate_observations(&predictor(), &ServerArch::app_serv_f(), 1, 2, 7_000.0)
-                .is_err()
+            generate_observations(&predictor(), &ServerArch::app_serv_f(), 1, 2, 7_000.0).is_err()
         );
     }
 }

@@ -6,11 +6,9 @@
 //! accurate calibration needs as few as two points per equation
 //! (`nldp = nudp = 2`) of 50 samples each.
 
-use serde::{Deserialize, Serialize};
-
 /// One historical data point for the typical workload: a client count and
 /// the mean response time observed (or generated) there.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataPoint {
     /// Number of clients at the operating point.
     pub clients: f64,
@@ -27,7 +25,7 @@ impl DataPoint {
 
 /// Everything recorded about one server architecture, as consumed by the
 /// relationship calibrations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerObservations {
     /// Architecture name (matches [`perfpred_core::ServerArch::name`]).
     pub server_name: String,

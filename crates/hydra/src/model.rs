@@ -6,9 +6,7 @@ use crate::dataset::ServerObservations;
 use crate::relationship1::{Relationship1, ThroughputRelation};
 use crate::relationship2::Relationship2;
 use crate::relationship3::Relationship3;
-use perfpred_core::{
-    PerformanceModel, PredictError, Prediction, ServerArch, Workload,
-};
+use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
 
 /// The HYDRA historical model.
 ///
@@ -157,8 +155,11 @@ impl HistoricalModelBuilder {
         } else {
             None
         };
-        let r3 =
-            if self.r3_points.len() >= 2 { Some(Relationship3::calibrate(&self.r3_points)?) } else { None };
+        let r3 = if self.r3_points.len() >= 2 {
+            Some(Relationship3::calibrate(&self.r3_points)?)
+        } else {
+            None
+        };
 
         let percentile = match self.percentile_obs {
             None => None,
@@ -173,7 +174,11 @@ impl HistoricalModelBuilder {
                 } else {
                     None
                 };
-                Some(PercentileModel { pct, established: est, r2: r2p })
+                Some(PercentileModel {
+                    pct,
+                    established: est,
+                    r2: r2p,
+                })
             }
         };
 
@@ -207,7 +212,10 @@ impl HistoricalModel {
 
     /// The relationship-1 fit recorded for an established server, if any.
     pub fn established_r1(&self, server_name: &str) -> Option<&Relationship1> {
-        self.established.iter().find(|(n, _)| n == server_name).map(|(_, r)| r)
+        self.established
+            .iter()
+            .find(|(n, _)| n == server_name)
+            .map(|(_, r)| r)
     }
 
     /// Relationship 2, when two or more established servers were available.
@@ -234,7 +242,10 @@ impl HistoricalModel {
     /// buy), sufficient to reconstruct it; `None` if R3 is uncalibrated.
     pub fn r3_calibration_points(&self) -> Option<Vec<(f64, f64)>> {
         self.r3.as_ref().map(|r3| {
-            vec![(0.0, r3.established_rps(0.0)), (100.0, r3.established_rps(100.0))]
+            vec![
+                (0.0, r3.established_rps(0.0)),
+                (100.0, r3.established_rps(100.0)),
+            ]
         })
     }
 
@@ -242,7 +253,10 @@ impl HistoricalModel {
     /// if percentile observations were supplied.
     pub fn percentile_fits(&self) -> Option<(f64, Vec<(&str, &Relationship1)>)> {
         self.percentile.as_ref().map(|p| {
-            (p.pct, p.established.iter().map(|(n, r)| (n.as_str(), r)).collect())
+            (
+                p.pct,
+                p.established.iter().map(|(n, r)| (n.as_str(), r)).collect(),
+            )
         })
     }
 
@@ -314,7 +328,9 @@ impl HistoricalModel {
             "no percentile observations were recorded",
         ))?;
         if (p.pct - pct).abs() > 1e-9 {
-            return Err(PredictError::Unsupported("percentile differs from the recorded one"));
+            return Err(PredictError::Unsupported(
+                "percentile differs from the recorded one",
+            ));
         }
         if workload.buy_pct() > 1e-12 {
             return Err(PredictError::Unsupported(
@@ -323,17 +339,17 @@ impl HistoricalModel {
         }
         let r1 = match p.established.iter().find(|(n, _)| n == &server.name) {
             Some((_, r1)) => *r1,
-            None => p
-                .r2
-                .as_ref()
-                .ok_or_else(|| {
-                    PredictError::Calibration(
-                        "percentile prediction for a new architecture needs two established \
+            None => {
+                p.r2.as_ref()
+                    .ok_or_else(|| {
+                        PredictError::Calibration(
+                            "percentile prediction for a new architecture needs two established \
                          servers"
-                            .into(),
-                    )
-                })?
-                .r1_for_max_throughput(self.typical_mx(server))?,
+                                .into(),
+                        )
+                    })?
+                    .r1_for_max_throughput(self.typical_mx(server))?
+            }
         };
         r1.predict_mrt(f64::from(workload.total_clients()))
     }
@@ -349,9 +365,7 @@ impl HistoricalModel {
         let weighted: f64 = workload
             .classes
             .iter()
-            .map(|c| {
-                self.class_dev[c.class.request_type.index()] * f64::from(c.clients) / total
-            })
+            .map(|c| self.class_dev[c.class.request_type.index()] * f64::from(c.clients) / total)
             .sum();
         let scale = if weighted > 0.0 { 1.0 / weighted } else { 1.0 };
         workload
@@ -367,7 +381,11 @@ impl PerformanceModel for HistoricalModel {
         "historical"
     }
 
-    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
         let n = f64::from(workload.total_clients());
         if n == 0.0 {
             return Ok(Prediction {
@@ -396,7 +414,9 @@ impl PerformanceModel for HistoricalModel {
         rt_goal_ms: f64,
     ) -> Result<u32, PredictError> {
         if template.is_empty() {
-            return Err(PredictError::OutOfRange("template workload is empty".into()));
+            return Err(PredictError::OutOfRange(
+                "template workload is empty".into(),
+            ));
         }
         // Closed-form inversion (§8.2) — no search required.
         let r1 = self.resolve_r1(server, template.buy_pct())?;
@@ -510,7 +530,9 @@ mod tests {
     #[test]
     fn zero_clients_prediction() {
         let m = model();
-        let p = m.predict(&ServerArch::app_serv_f(), &Workload::empty()).unwrap();
+        let p = m
+            .predict(&ServerArch::app_serv_f(), &Workload::empty())
+            .unwrap();
         assert_eq!(p.mrt_ms, 0.0);
         assert_eq!(p.throughput_rps, 0.0);
     }
@@ -522,10 +544,14 @@ mod tests {
             .build()
             .unwrap();
         // Established server still works.
-        assert!(m.predict(&ServerArch::app_serv_f(), &Workload::typical(100)).is_ok());
+        assert!(m
+            .predict(&ServerArch::app_serv_f(), &Workload::typical(100))
+            .is_ok());
         // A new architecture does not (mirrors §8.4: the historical method
         // needs two or more servers).
-        let err = m.predict(&ServerArch::app_serv_s(), &Workload::typical(100)).unwrap_err();
+        let err = m
+            .predict(&ServerArch::app_serv_s(), &Workload::typical(100))
+            .unwrap_err();
         assert!(err.to_string().contains("two established servers"));
     }
 
@@ -537,7 +563,10 @@ mod tests {
             .build()
             .unwrap();
         let err = m
-            .predict(&ServerArch::app_serv_f(), &Workload::with_buy_pct(100, 10.0))
+            .predict(
+                &ServerArch::app_serv_f(),
+                &Workload::with_buy_pct(100, 10.0),
+            )
             .unwrap_err();
         assert!(matches!(err, PredictError::Unsupported(_)));
     }
@@ -558,14 +587,18 @@ mod tests {
             .unwrap();
         assert!(m.supports_direct_percentiles());
         let f = ServerArch::app_serv_f();
-        let p90 = m.predict_percentile(&f, &Workload::typical(300), 90.0).unwrap();
+        let p90 = m
+            .predict_percentile(&f, &Workload::typical(300), 90.0)
+            .unwrap();
         let mean = m.predict(&f, &Workload::typical(300)).unwrap().mrt_ms;
         assert!(p90 > mean, "p90 {p90} should exceed mean {mean}");
         // New architecture via the percentile R2.
         let s90 = m.predict_percentile(&ServerArch::app_serv_s(), &Workload::typical(300), 90.0);
         assert!(s90.is_ok());
         // Unrecorded percentile refused.
-        assert!(m.predict_percentile(&f, &Workload::typical(300), 95.0).is_err());
+        assert!(m
+            .predict_percentile(&f, &Workload::typical(300), 95.0)
+            .is_err());
     }
 
     #[test]
@@ -589,9 +622,18 @@ mod tests {
         let m = model();
         let w = Workload {
             classes: vec![
-                ClassLoad { class: ServiceClass::browse().named("hi"), clients: 450 },
-                ClassLoad { class: ServiceClass::browse().named("lo"), clients: 450 },
-                ClassLoad { class: ServiceClass::buy(), clients: 100 },
+                ClassLoad {
+                    class: ServiceClass::browse().named("hi"),
+                    clients: 450,
+                },
+                ClassLoad {
+                    class: ServiceClass::browse().named("lo"),
+                    clients: 450,
+                },
+                ClassLoad {
+                    class: ServiceClass::buy(),
+                    clients: 100,
+                },
             ],
         };
         let p = m.predict(&ServerArch::app_serv_f(), &w).unwrap();

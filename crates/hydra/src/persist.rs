@@ -50,8 +50,7 @@ pub fn serialize(model: &HistoricalModel) -> String {
         );
     }
     if let Some(points) = model.r3_calibration_points() {
-        let parts: Vec<String> =
-            points.iter().map(|(b, mx)| format!("{b}={mx}")).collect();
+        let parts: Vec<String> = points.iter().map(|(b, mx)| format!("{b}={mx}")).collect();
         let _ = writeln!(out, "r3 {}", parts.join(" "));
     }
     if let Some((pct, fits)) = model.percentile_fits() {
@@ -93,13 +92,24 @@ struct StoredFit {
 }
 
 fn parse_fit(parts: &[&str], line_no: usize) -> Result<(String, StoredFit), PredictError> {
-    let name = parts.first().ok_or_else(|| perr(line_no, "missing server name"))?.to_string();
-    let mut fit =
-        StoredFit { mx: f64::NAN, cl: f64::NAN, lam_l: f64::NAN, lam_u: f64::NAN, cu: f64::NAN };
+    let name = parts
+        .first()
+        .ok_or_else(|| perr(line_no, "missing server name"))?
+        .to_string();
+    let mut fit = StoredFit {
+        mx: f64::NAN,
+        cl: f64::NAN,
+        lam_l: f64::NAN,
+        lam_u: f64::NAN,
+        cu: f64::NAN,
+    };
     for kv in &parts[1..] {
-        let (k, v) =
-            kv.split_once('=').ok_or_else(|| perr(line_no, format!("expected key=value, got {kv}")))?;
-        let v: f64 = v.parse().map_err(|_| perr(line_no, format!("bad number in {kv}")))?;
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| perr(line_no, format!("expected key=value, got {kv}")))?;
+        let v: f64 = v
+            .parse()
+            .map_err(|_| perr(line_no, format!("bad number in {kv}")))?;
         match k {
             "mx" => fit.mx = v,
             "cL" => fit.cl = v,
@@ -109,8 +119,14 @@ fn parse_fit(parts: &[&str], line_no: usize) -> Result<(String, StoredFit), Pred
             other => return Err(perr(line_no, format!("unknown key {other}"))),
         }
     }
-    if [fit.mx, fit.cl, fit.lam_l, fit.lam_u, fit.cu].iter().any(|x| x.is_nan()) {
-        return Err(perr(line_no, "incomplete server line (need mx, cL, lamL, lamU, cU)"));
+    if [fit.mx, fit.cl, fit.lam_l, fit.lam_u, fit.cu]
+        .iter()
+        .any(|x| x.is_nan())
+    {
+        return Err(perr(
+            line_no,
+            "incomplete server line (need mx, cL, lamL, lamU, cU)",
+        ));
     }
     Ok((name, fit))
 }
@@ -173,10 +189,10 @@ pub fn parse(text: &str) -> Result<HistoricalModel, PredictError> {
                     let (b, mx) = kv
                         .split_once('=')
                         .ok_or_else(|| perr(line_no, format!("expected b=mx, got {kv}")))?;
-                    let b: f64 =
-                        b.parse().map_err(|_| perr(line_no, "bad buy percentage"))?;
-                    let mx: f64 =
-                        mx.parse().map_err(|_| perr(line_no, "bad max throughput"))?;
+                    let b: f64 = b.parse().map_err(|_| perr(line_no, "bad buy percentage"))?;
+                    let mx: f64 = mx
+                        .parse()
+                        .map_err(|_| perr(line_no, "bad max throughput"))?;
                     r3.push((b, mx));
                 }
             }
@@ -185,7 +201,9 @@ pub fn parse(text: &str) -> Result<HistoricalModel, PredictError> {
     }
 
     if servers.is_empty() {
-        return Err(PredictError::Calibration("model file has no server lines".into()));
+        return Err(PredictError::Calibration(
+            "model file has no server lines".into(),
+        ));
     }
     let m = gradient.unwrap_or(1_000.0 / think);
 
@@ -272,7 +290,11 @@ mod tests {
         let m = model();
         let text = serialize(&m);
         let m2 = parse(&text).unwrap();
-        assert!(max_fit_divergence(&m, &m2) < 1e-9, "divergence {}", max_fit_divergence(&m, &m2));
+        assert!(
+            max_fit_divergence(&m, &m2) < 1e-9,
+            "divergence {}",
+            max_fit_divergence(&m, &m2)
+        );
         assert!((m2.gradient() - m.gradient()).abs() < 1e-12);
     }
 

@@ -3,7 +3,6 @@
 
 use crate::dataset::ServerObservations;
 use perfpred_core::{ExpFit, LinearFit, PredictError};
-use serde::{Deserialize, Serialize};
 
 /// Lower edge of the transition region, as a fraction of the
 /// max-throughput load (§4.2: "between 66 % and 110 % of the max
@@ -18,7 +17,7 @@ pub const TRANSITION_HIGH: f64 = 1.10;
 /// think-time, but does not vary due to different server CPU speeds"
 /// (§4.1; 0.14 in the case study), so one pooled fit serves every
 /// architecture and is what locates a server's max-throughput client count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputRelation {
     /// Gradient `m`, requests/second per client.
     pub m: f64,
@@ -36,12 +35,16 @@ impl ThroughputRelation {
         let sxx: f64 = points.iter().map(|&(n, _)| n * n).sum();
         let sxy: f64 = points.iter().map(|&(n, x)| n * x).sum();
         if sxx <= 0.0 {
-            return Err(PredictError::Calibration("degenerate throughput samples".into()));
+            return Err(PredictError::Calibration(
+                "degenerate throughput samples".into(),
+            ));
         }
         let m = sxy / sxx;
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
         if !(m > 0.0) {
-            return Err(PredictError::Calibration(format!("non-positive gradient {m}")));
+            return Err(PredictError::Calibration(format!(
+                "non-positive gradient {m}"
+            )));
         }
         Ok(ThroughputRelation { m })
     }
@@ -50,7 +53,9 @@ impl ThroughputRelation {
     /// one request per `think + rt` interval; below saturation `rt` is
     /// negligible next to the 7 s think time.
     pub fn from_think_time(think_ms: f64) -> Self {
-        ThroughputRelation { m: 1_000.0 / think_ms }
+        ThroughputRelation {
+            m: 1_000.0 / think_ms,
+        }
     }
 
     /// Predicted throughput at `clients` on a server with max throughput
@@ -66,7 +71,7 @@ impl ThroughputRelation {
 }
 
 /// Relationship 1 for one server: eqs 1–2 plus the transition phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Relationship1 {
     /// Eq 1: `mrt = cL·e^(λL·n)` below the transition region.
     pub lower: ExpFit,
@@ -98,7 +103,12 @@ impl Relationship1 {
                 obs.server_name, lower.lambda
             )));
         }
-        Ok(Relationship1 { lower, upper, m, max_throughput_rps: obs.max_throughput_rps })
+        Ok(Relationship1 {
+            lower,
+            upper,
+            m,
+            max_throughput_rps: obs.max_throughput_rps,
+        })
     }
 
     /// Clients at max throughput (`N* = mx / m`).
@@ -132,29 +142,46 @@ impl Relationship1 {
     /// 110 %, exponential transition in between).
     pub fn predict_mrt(&self, clients: f64) -> Result<f64, PredictError> {
         if clients < 0.0 {
-            return Err(PredictError::OutOfRange(format!("negative clients {clients}")));
+            return Err(PredictError::OutOfRange(format!(
+                "negative clients {clients}"
+            )));
         }
         let n_star = self.clients_at_max();
-        let mrt = if clients <= TRANSITION_LOW * n_star {
+        let n_lo = TRANSITION_LOW * n_star;
+        let n_hi = TRANSITION_HIGH * n_star;
+        let mrt = if clients <= n_lo {
             self.lower.eval(clients)
-        } else if clients >= TRANSITION_HIGH * n_star {
-            self.upper.eval(clients)
         } else {
-            match self.transition() {
-                Ok(t) => t.eval(clients),
-                // A degenerate transition (e.g. upper intercept still
-                // negative at 1.1·N*) falls back to the nearer equation.
-                Err(_) => {
-                    if clients < n_star {
-                        self.lower.eval(clients)
-                    } else {
-                        self.upper.eval(clients).max(self.lower.eval(n_star))
+            // Response times never fall as clients are added, but a noisy
+            // calibration can put the lower curve's 66 % anchor above the
+            // overload line's 110 % anchor, making the fitted transition
+            // (and the first stretch of the upper line) decrease. Clamp
+            // everything past the lower anchor to its value so the
+            // envelope stays monotone; healthy calibrations, where
+            // y(66 %) < y(110 %), are unaffected.
+            let floor = self.lower.eval(n_lo);
+            let y = if clients >= n_hi {
+                self.upper.eval(clients)
+            } else {
+                match self.transition() {
+                    Ok(t) => t.eval(clients),
+                    // A degenerate transition (e.g. upper intercept still
+                    // negative at 1.1·N*) falls back to the nearer equation.
+                    Err(_) => {
+                        if clients < n_star {
+                            self.lower.eval(clients)
+                        } else {
+                            self.upper.eval(clients).max(self.lower.eval(n_star))
+                        }
                     }
                 }
-            }
+            };
+            y.max(floor)
         };
         if !mrt.is_finite() {
-            return Err(PredictError::Solver(format!("non-finite mrt at {clients} clients")));
+            return Err(PredictError::Solver(format!(
+                "non-finite mrt at {clients} clients"
+            )));
         }
         Ok(mrt.max(0.0))
     }
@@ -169,7 +196,9 @@ impl Relationship1 {
     /// response time" (§8.2). Returns 0 if even one client misses the goal.
     pub fn max_clients_for_mrt(&self, goal_ms: f64) -> Result<f64, PredictError> {
         if goal_ms <= 0.0 {
-            return Err(PredictError::OutOfRange(format!("non-positive goal {goal_ms}")));
+            return Err(PredictError::OutOfRange(format!(
+                "non-positive goal {goal_ms}"
+            )));
         }
         let n_star = self.clients_at_max();
         let n_lo = TRANSITION_LOW * n_star;
@@ -214,7 +243,9 @@ mod tests {
     }
 
     fn r1() -> Relationship1 {
-        let m = ThroughputRelation::fit(&f_observations().throughput_points).unwrap().m;
+        let m = ThroughputRelation::fit(&f_observations().throughput_points)
+            .unwrap()
+            .m;
         Relationship1::calibrate(&f_observations(), m).unwrap()
     }
 
@@ -260,7 +291,10 @@ mod tests {
         for i in 1..=60 {
             let n = n_star * 1.6 * f64::from(i) / 60.0;
             let mrt = r.predict_mrt(n).unwrap();
-            assert!(mrt >= last - 1e-9, "mrt decreased at n={n}: {last} -> {mrt}");
+            assert!(
+                mrt >= last - 1e-9,
+                "mrt decreased at n={n}: {last} -> {mrt}"
+            );
             last = mrt;
         }
     }
@@ -276,7 +310,13 @@ mod tests {
     fn inversion_round_trips_in_every_region() {
         let r = r1();
         let n_star = r.clients_at_max();
-        for &n in &[0.3 * n_star, 0.5 * n_star, 0.9 * n_star, 1.3 * n_star, 1.6 * n_star] {
+        for &n in &[
+            0.3 * n_star,
+            0.5 * n_star,
+            0.9 * n_star,
+            1.3 * n_star,
+            1.6 * n_star,
+        ] {
             let mrt = r.predict_mrt(n).unwrap();
             let back = r.max_clients_for_mrt(mrt).unwrap();
             assert!(

@@ -5,7 +5,6 @@
 
 use crate::relationship1::Relationship1;
 use perfpred_core::{ExpFit, LinearFit, PowerFit, PredictError};
-use serde::{Deserialize, Serialize};
 
 /// Relationship 2, calibrated from two or more established servers'
 /// relationship-1 fits:
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 ///   increase/decrease in server max throughput of z %, λU is found to
 ///   increase/decrease by roughly 1/z %");
 /// * `cU` is roughly constant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Relationship2 {
     /// Eq 3: `cL` as a function of max throughput.
     pub c_l: LinearFit,
@@ -55,7 +54,13 @@ impl Relationship2 {
             / r1s.len() as f64;
         let c_u = r1s.iter().map(|r| r.upper.intercept).sum::<f64>() / r1s.len() as f64;
         let m = r1s.iter().map(|r| r.m).sum::<f64>() / r1s.len() as f64;
-        Ok(Relationship2 { c_l, lambda_l, lambda_u_times_mx, c_u, m })
+        Ok(Relationship2 {
+            c_l,
+            lambda_l,
+            lambda_u_times_mx,
+            c_u,
+            m,
+        })
     }
 
     /// Produces relationship 1 for a server knowing only its benchmarked
@@ -63,7 +68,9 @@ impl Relationship2 {
     pub fn r1_for_max_throughput(&self, mx: f64) -> Result<Relationship1, PredictError> {
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
         if !(mx > 0.0) {
-            return Err(PredictError::OutOfRange(format!("non-positive max throughput {mx}")));
+            return Err(PredictError::OutOfRange(format!(
+                "non-positive max throughput {mx}"
+            )));
         }
         let c = self.c_l.eval(mx);
         if c <= 0.0 {
@@ -79,7 +86,12 @@ impl Relationship2 {
             intercept: self.c_u,
             r2: 1.0,
         };
-        Ok(Relationship1 { lower, upper, m: self.m, max_throughput_rps: mx })
+        Ok(Relationship1 {
+            lower,
+            upper,
+            m: self.m,
+            max_throughput_rps: mx,
+        })
     }
 }
 
@@ -104,7 +116,10 @@ mod tests {
                 .with_upper(1.5 * n_star, slope * 1.5 * n_star - 7_000.0);
             Relationship1::calibrate(&obs, m).unwrap()
         };
-        vec![make("F", 186.0, 84.0, 1.0e-4), make("VF", 320.0, 46.0, 2.4e-4)]
+        vec![
+            make("F", 186.0, 84.0, 1.0e-4),
+            make("VF", 320.0, 46.0, 2.4e-4),
+        ]
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! extending the model to heterogeneous workloads.
 
 use perfpred_core::{LinearFit, PredictError};
-use serde::{Deserialize, Serialize};
 
 /// The linear buy-percentage → max-throughput relation calibrated on an
 /// established server, plus the eq 5 ratio rule for transferring it to any
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// The paper calibrates it from just two points — AppServF's max
 /// throughput at 0 % and 25 % buy requests (189 and 158 req/s, themselves
 /// generated with LQNS).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Relationship3 {
     /// Max throughput of the established server as a linear function of
     /// the buy percentage `b` (0–100).
@@ -46,7 +45,9 @@ impl Relationship3 {
     /// max throughput is `mx_typical_rps`, at buy percentage `b`.
     pub fn transfer_rps(&self, buy_pct: f64, mx_typical_rps: f64) -> Result<f64, PredictError> {
         if !(0.0..=100.0).contains(&buy_pct) {
-            return Err(PredictError::OutOfRange(format!("buy percentage {buy_pct}")));
+            return Err(PredictError::OutOfRange(format!(
+                "buy percentage {buy_pct}"
+            )));
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
         if !(mx_typical_rps > 0.0) {

@@ -1,7 +1,30 @@
-//! Property-based tests for the historical method's relationships.
+//! Property-style tests for the historical method's relationships, swept
+//! over deterministic pseudo-random calibrations.
 
 use perfpred_hydra::{Relationship1, Relationship2, Relationship3, ServerObservations};
-use proptest::prelude::*;
+
+/// Minimal xorshift64* generator for deterministic case sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
 
 /// Builds exact (noise-free) observations for a synthetic server whose
 /// physics follow the closed-loop form the case study exhibits.
@@ -15,18 +38,16 @@ fn exact_obs(name: &str, mx: f64, c: f64, lambda: f64, m: f64, think: f64) -> Se
         .with_upper(1.60 * n_star, slope * 1.60 * n_star - think)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Relationship 1 calibrated from exact data reproduces its inputs and
-    /// inverts consistently in every region.
-    #[test]
-    fn r1_predict_invert_consistency(
-        mx in 20.0f64..500.0,
-        c in 5.0f64..200.0,
-        lambda_scale in 0.1f64..2.0,
-        frac in 0.05f64..1.55,
-    ) {
+/// Relationship 1 calibrated from exact data reproduces its inputs and
+/// inverts consistently in every region.
+#[test]
+fn r1_predict_invert_consistency() {
+    let mut rng = Rng::new(0x44_0001);
+    for _ in 0..128 {
+        let mx = rng.range(20.0, 500.0);
+        let c = rng.range(5.0, 200.0);
+        let lambda_scale = rng.range(0.1, 2.0);
+        let frac = rng.range(0.05, 1.55);
         let m = 0.1424;
         let n_star = mx / m;
         // Keep the exponential mild enough that the curve stays physical.
@@ -35,24 +56,29 @@ proptest! {
         let r1 = Relationship1::calibrate(&obs, m).unwrap();
         let n = frac * n_star;
         let mrt = r1.predict_mrt(n).unwrap();
-        prop_assert!(mrt >= 0.0 && mrt.is_finite());
+        assert!(mrt >= 0.0 && mrt.is_finite());
         // Round-trip where the curve is strictly increasing and the goal
         // positive.
         if mrt > 1.0 {
             let back = r1.max_clients_for_mrt(mrt).unwrap();
-            prop_assert!((back - n).abs() / n < 0.05, "n {} -> mrt {} -> n {}", n, mrt, back);
+            assert!(
+                (back - n).abs() / n < 0.05,
+                "n {n} -> mrt {mrt} -> n {back}"
+            );
         }
         // Throughput relation saturates at mx.
-        prop_assert!(r1.predict_rps(10.0 * n_star) <= mx + 1e-9);
+        assert!(r1.predict_rps(10.0 * n_star) <= mx + 1e-9);
     }
+}
 
-    /// Relationship 1 predictions are monotone in the client count.
-    #[test]
-    fn r1_monotone(
-        mx in 20.0f64..500.0,
-        c in 5.0f64..200.0,
-        lambda_scale in 0.1f64..2.0,
-    ) {
+/// Relationship 1 predictions are monotone in the client count.
+#[test]
+fn r1_monotone() {
+    let mut rng = Rng::new(0x44_0002);
+    for _ in 0..128 {
+        let mx = rng.range(20.0, 500.0);
+        let c = rng.range(5.0, 200.0);
+        let lambda_scale = rng.range(0.1, 2.0);
         let m = 0.1424;
         let n_star = mx / m;
         let obs = exact_obs("X", mx, c, lambda_scale / n_star, m, 7_000.0);
@@ -61,20 +87,22 @@ proptest! {
         for i in 1..=40 {
             let n = n_star * 1.7 * f64::from(i) / 40.0;
             let mrt = r1.predict_mrt(n).unwrap();
-            prop_assert!(mrt >= last - 1e-6, "decrease at n={}: {} -> {}", n, last, mrt);
+            assert!(mrt >= last - 1e-6, "decrease at n={n}: {last} -> {mrt}");
             last = mrt;
         }
     }
+}
 
-    /// Relationship 2 interpolates its calibration servers exactly and
-    /// produces physical parameters between them.
-    #[test]
-    fn r2_interpolation(
-        mx_a in 50.0f64..200.0,
-        gap in 50.0f64..300.0,
-        c_a in 20.0f64..200.0,
-        c_ratio in 0.2f64..0.9,
-    ) {
+/// Relationship 2 interpolates its calibration servers exactly and
+/// produces physical parameters between them.
+#[test]
+fn r2_interpolation() {
+    let mut rng = Rng::new(0x44_0003);
+    for _ in 0..128 {
+        let mx_a = rng.range(50.0, 200.0);
+        let gap = rng.range(50.0, 300.0);
+        let c_a = rng.range(20.0, 200.0);
+        let c_ratio = rng.range(0.2, 0.9);
         let m = 0.1424;
         let think = 7_000.0;
         let mx_b = mx_a + gap;
@@ -85,28 +113,30 @@ proptest! {
         let r2 = Relationship2::calibrate(&[r1a, r1b]).unwrap();
         // Exact at the calibration points.
         let back = r2.r1_for_max_throughput(mx_a).unwrap();
-        prop_assert!((back.lower.c - c_a).abs() / c_a < 1e-6);
+        assert!((back.lower.c - c_a).abs() / c_a < 1e-6);
         // In between: cL between the endpoints (linear), lambda positive.
         let mid = r2.r1_for_max_throughput((mx_a + mx_b) / 2.0).unwrap();
-        prop_assert!(mid.lower.c <= c_a + 1e-9 && mid.lower.c >= c_b - 1e-9);
-        prop_assert!(mid.lower.lambda > 0.0);
+        assert!(mid.lower.c <= c_a + 1e-9 && mid.lower.c >= c_b - 1e-9);
+        assert!(mid.lower.lambda > 0.0);
         // λU inverse scaling between the endpoints.
-        prop_assert!(mid.upper.slope < r2.r1_for_max_throughput(mx_a).unwrap().upper.slope);
+        assert!(mid.upper.slope < r2.r1_for_max_throughput(mx_a).unwrap().upper.slope);
     }
+}
 
-    /// Relationship 3's eq-5 transfer preserves ratios for any server.
-    #[test]
-    fn r3_transfer_ratio(
-        mx0 in 50.0f64..400.0,
-        drop in 0.1f64..0.8,
-        new_mx in 10.0f64..1000.0,
-        b in 0.0f64..100.0,
-    ) {
+/// Relationship 3's eq-5 transfer preserves ratios for any server.
+#[test]
+fn r3_transfer_ratio() {
+    let mut rng = Rng::new(0x44_0004);
+    for _ in 0..128 {
+        let mx0 = rng.range(50.0, 400.0);
+        let drop = rng.range(0.1, 0.8);
+        let new_mx = rng.range(10.0, 1000.0);
+        let b = rng.range(0.0, 100.0);
         let r3 = Relationship3::calibrate(&[(0.0, mx0), (100.0, mx0 * (1.0 - drop))]).unwrap();
         let transferred = r3.transfer_rps(b, new_mx).unwrap();
         let expected = r3.established_rps(b) / r3.established_rps(0.0) * new_mx;
-        prop_assert!((transferred - expected).abs() < 1e-9);
+        assert!((transferred - expected).abs() < 1e-9);
         // At b = 0 the typical throughput is returned unchanged.
-        prop_assert!((r3.transfer_rps(0.0, new_mx).unwrap() - new_mx).abs() < 1e-9);
+        assert!((r3.transfer_rps(0.0, new_mx).unwrap() - new_mx).abs() < 1e-9);
     }
 }

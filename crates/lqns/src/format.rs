@@ -97,8 +97,9 @@ pub fn parse(text: &str) -> Result<LqnModel, PredictError> {
             "task" | "reftask" | "openreftask" => {
                 let name = *parts.get(1).ok_or_else(|| perr(line_no, "missing name"))?;
                 let kv = parse_kv(&parts[2..], line_no)?;
-                let pname =
-                    *kv.get("processor").ok_or_else(|| perr(line_no, "missing `processor`"))?;
+                let pname = *kv
+                    .get("processor")
+                    .ok_or_else(|| perr(line_no, "missing `processor`"))?;
                 let pid = *procs
                     .get(pname)
                     .ok_or_else(|| perr(line_no, format!("unknown processor `{pname}`")))?;
@@ -125,7 +126,9 @@ pub fn parse(text: &str) -> Result<LqnModel, PredictError> {
             "entry" => {
                 let name = *parts.get(1).ok_or_else(|| perr(line_no, "missing name"))?;
                 let kv = parse_kv(&parts[2..], line_no)?;
-                let tname = *kv.get("task").ok_or_else(|| perr(line_no, "missing `task`"))?;
+                let tname = *kv
+                    .get("task")
+                    .ok_or_else(|| perr(line_no, "missing `task`"))?;
                 let tid = *tasks
                     .get(tname)
                     .ok_or_else(|| perr(line_no, format!("unknown task `{tname}`")))?;
@@ -139,7 +142,11 @@ pub fn parse(text: &str) -> Result<LqnModel, PredictError> {
                 } else {
                     0.0
                 };
-                let id = b.entry(name, tid).demand_ms(demand).phase2_ms(phase2).finish();
+                let id = b
+                    .entry(name, tid)
+                    .demand_ms(demand)
+                    .phase2_ms(phase2)
+                    .finish();
                 entries.insert(name.to_string(), id);
             }
             "call" => {
@@ -185,7 +192,10 @@ pub fn serialize(model: &LqnModel) -> String {
     for t in model.tasks() {
         let pname = &model.processors()[t.processor.0].name;
         match t.kind {
-            TaskKind::Reference { population, think_time_ms } => {
+            TaskKind::Reference {
+                population,
+                think_time_ms,
+            } => {
                 let _ = writeln!(
                     out,
                     "reftask {} processor={pname} population={population} think={think_time_ms}",
@@ -204,8 +214,7 @@ pub fn serialize(model: &LqnModel) -> String {
                     let _ = writeln!(out, "task {} processor={pname} infinite", t.name);
                 }
                 Multiplicity::Finite(m) => {
-                    let _ =
-                        writeln!(out, "task {} processor={pname} multiplicity={m}", t.name);
+                    let _ = writeln!(out, "task {} processor={pname} multiplicity={m}", t.name);
                 }
             },
         }

@@ -2,22 +2,21 @@
 //! plus a builder with structural validation.
 
 use perfpred_core::PredictError;
-use serde::{Deserialize, Serialize};
 
 /// Index of a processor within its [`LqnModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProcessorId(pub usize);
 
 /// Index of a task within its [`LqnModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(pub usize);
 
 /// Index of an entry within its [`LqnModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryId(pub usize);
 
 /// Multiplicity of a processor (CPUs) or task (threads).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Multiplicity {
     /// Exactly `n` servers/threads (n ≥ 1).
     Finite(u32),
@@ -44,7 +43,7 @@ impl Multiplicity {
 /// (time-slicing) for multiprogrammed CPUs or FIFO for devices like the
 /// database disk; under the exponential assumptions of approximate MVA the
 /// two yield the same mean values, so the distinction is descriptive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Processor {
     /// Processor name (unique among processors).
     pub name: String,
@@ -53,7 +52,7 @@ pub struct Processor {
 }
 
 /// What drives a task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TaskKind {
     /// A software server with a finite (or infinite) thread pool.
     Server,
@@ -77,7 +76,7 @@ pub enum TaskKind {
 }
 
 /// A software task: a thread pool bound to one processor, offering entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task name (unique among tasks).
     pub name: String,
@@ -111,7 +110,7 @@ impl Task {
 
 /// A synchronous (rendezvous) call: the caller blocks — holding its thread —
 /// until the target entry replies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Call {
     /// The entry being called.
     pub target: EntryId,
@@ -122,7 +121,7 @@ pub struct Call {
 
 /// A service entry: a unit of work offered by a task, with a host-processor
 /// demand and synchronous calls to lower-layer entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Entry {
     /// Entry name (unique among entries).
     pub name: String,
@@ -145,7 +144,7 @@ pub struct Entry {
 /// [`LqnModelBuilder::build`] enforces the structural invariants the solver
 /// relies on (acyclic task-level call graph, valid references, no calls
 /// into reference tasks, positive populations where required).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LqnModel {
     pub(crate) processors: Vec<Processor>,
     pub(crate) tasks: Vec<Task>,
@@ -195,7 +194,10 @@ impl LqnModel {
 
     /// Looks up a processor id by name.
     pub fn processor_by_name(&self, name: &str) -> Option<ProcessorId> {
-        self.processors.iter().position(|p| p.name == name).map(ProcessorId)
+        self.processors
+            .iter()
+            .position(|p| p.name == name)
+            .map(ProcessorId)
     }
 
     /// Looks up a task id by name.
@@ -205,7 +207,10 @@ impl LqnModel {
 
     /// Looks up an entry id by name.
     pub fn entry_by_name(&self, name: &str) -> Option<EntryId> {
-        self.entries.iter().position(|e| e.name == name).map(EntryId)
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(EntryId)
     }
 
     /// Call-depth of every task: reference tasks are depth 0; a server task
@@ -251,7 +256,10 @@ struct PendingTask {
 
 impl PendingTask {
     fn is_source(&self) -> bool {
-        matches!(self.kind, TaskKind::Reference { .. } | TaskKind::OpenReference { .. })
+        matches!(
+            self.kind,
+            TaskKind::Reference { .. } | TaskKind::OpenReference { .. }
+        )
     }
 }
 
@@ -353,7 +361,10 @@ impl EntryBuilder<'_> {
 impl LqnModelBuilder {
     /// Declares a processor (default multiplicity 1).
     pub fn processor(&mut self, name: impl Into<String>) -> ProcessorBuilder<'_> {
-        self.processors.push(PendingProcessor { name: name.into(), multiplicity: None });
+        self.processors.push(PendingProcessor {
+            name: name.into(),
+            multiplicity: None,
+        });
         let id = ProcessorId(self.processors.len() - 1);
         ProcessorBuilder { owner: self, id }
     }
@@ -383,7 +394,10 @@ impl LqnModelBuilder {
             name: name.into(),
             processor,
             multiplicity: Multiplicity::Infinite,
-            kind: TaskKind::Reference { population, think_time_ms },
+            kind: TaskKind::Reference {
+                population,
+                think_time_ms,
+            },
         });
         let id = TaskId(self.tasks.len() - 1);
         TaskBuilder { owner: self, id }
@@ -423,7 +437,10 @@ impl LqnModelBuilder {
     /// Adds a synchronous call: `from` makes `mean_calls` calls to `to` per
     /// invocation.
     pub fn call(&mut self, from: EntryId, to: EntryId, mean_calls: f64) -> &mut Self {
-        self.entries[from.0].calls.push(Call { target: to, mean_calls });
+        self.entries[from.0].calls.push(Call {
+            target: to,
+            mean_calls,
+        });
         self
     }
 
@@ -433,7 +450,10 @@ impl LqnModelBuilder {
 
         // Unique names.
         for (kind, names) in [
-            ("processor", self.processors.iter().map(|p| &p.name).collect::<Vec<_>>()),
+            (
+                "processor",
+                self.processors.iter().map(|p| &p.name).collect::<Vec<_>>(),
+            ),
             ("task", self.tasks.iter().map(|t| &t.name).collect()),
             ("entry", self.entries.iter().map(|e| &e.name).collect()),
         ] {
@@ -457,7 +477,10 @@ impl LqnModelBuilder {
                 return Err(inv(format!("entry {} references unknown task", e.name)));
             }
             if e.demand_ms < 0.0 || !e.demand_ms.is_finite() {
-                return Err(inv(format!("entry {} has invalid demand {}", e.name, e.demand_ms)));
+                return Err(inv(format!(
+                    "entry {} has invalid demand {}",
+                    e.name, e.demand_ms
+                )));
             }
             if e.phase2_demand_ms < 0.0 || !e.phase2_demand_ms.is_finite() {
                 return Err(inv(format!(
@@ -508,7 +531,9 @@ impl LqnModelBuilder {
 
         // At least one workload source.
         if !self.tasks.iter().any(|t| t.is_source()) {
-            return Err(inv("model has no reference task (no workload source)".into()));
+            return Err(inv(
+                "model has no reference task (no workload source)".into()
+            ));
         }
 
         // Every source task offers at least one entry, and open rates are
@@ -585,7 +610,11 @@ impl LqnModelBuilder {
         for (i, e) in entries.iter().enumerate() {
             tasks[e.task.0].entries.push(EntryId(i));
         }
-        Ok(LqnModel { processors, tasks, entries })
+        Ok(LqnModel {
+            processors,
+            tasks,
+            entries,
+        })
     }
 }
 

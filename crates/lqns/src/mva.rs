@@ -80,7 +80,9 @@ impl ClosedNetwork {
                 )));
             }
             if let StationKind::Queueing { servers: 0 } = s.kind {
-                return Err(PredictError::InvalidModel(format!("station {i} has zero servers")));
+                return Err(PredictError::InvalidModel(format!(
+                    "station {i} has zero servers"
+                )));
             }
         }
         if self
@@ -194,7 +196,11 @@ pub struct AmvaOptions {
 
 impl Default for AmvaOptions {
     fn default() -> Self {
-        AmvaOptions { tolerance: 1e-8, max_iterations: 20_000, damping: 0.7 }
+        AmvaOptions {
+            tolerance: 1e-8,
+            max_iterations: 20_000,
+            damping: 0.7,
+        }
     }
 }
 
@@ -232,8 +238,9 @@ pub fn solve_amva(net: &ClosedNetwork, opts: &AmvaOptions) -> Result<MvaSolution
     // queueing stations it actually visits.
     let mut q = vec![vec![0.0f64; sn]; kn];
     for k in 0..kn {
-        let visited: Vec<usize> =
-            (0..sn).filter(|&s| is_queueing[s] && qdemand[k][s] > 0.0).collect();
+        let visited: Vec<usize> = (0..sn)
+            .filter(|&s| is_queueing[s] && qdemand[k][s] > 0.0)
+            .collect();
         if !visited.is_empty() {
             let share = net.populations[k] / visited.len() as f64;
             for &s in &visited {
@@ -316,7 +323,9 @@ pub fn solve_amva(net: &ClosedNetwork, opts: &AmvaOptions) -> Result<MvaSolution
         iterations,
     };
     if sol.response_ms.iter().any(|r| !r.is_finite()) {
-        return Err(PredictError::Solver("AMVA produced a non-finite response time".into()));
+        return Err(PredictError::Solver(
+            "AMVA produced a non-finite response time".into(),
+        ));
     }
     Ok(sol)
 }
@@ -374,8 +383,14 @@ mod tests {
             populations: vec![10.0],
             think_ms: vec![0.0],
             stations: vec![
-                Station { kind: StationKind::Delay, demands: vec![50.0] },
-                Station { kind: StationKind::Queueing { servers: 1 }, demands: vec![1.0] },
+                Station {
+                    kind: StationKind::Delay,
+                    demands: vec![50.0],
+                },
+                Station {
+                    kind: StationKind::Queueing { servers: 1 },
+                    demands: vec![1.0],
+                },
             ],
         };
         let sol = solve_exact_single_chain(&net).unwrap();
@@ -407,9 +422,8 @@ mod tests {
             let net = single(d, 1, n, z);
             let exact = solve_exact_single_chain(&net).unwrap();
             let approx = solve_amva(&net, &AmvaOptions::default()).unwrap();
-            let rel =
-                (approx.throughput_per_ms[0] - exact.throughput_per_ms[0]).abs()
-                    / exact.throughput_per_ms[0];
+            let rel = (approx.throughput_per_ms[0] - exact.throughput_per_ms[0]).abs()
+                / exact.throughput_per_ms[0];
             assert!(rel < 0.03, "throughput off by {rel} for d={d} n={n} z={z}");
         }
     }
@@ -482,7 +496,10 @@ mod tests {
         // Little's law per chain: N_k = X_k (Z_k + R_k).
         for k in 0..2 {
             let n = sol.throughput_per_ms[k] * sol.response_ms[k];
-            assert!((n - net.populations[k]).abs() / net.populations[k] < 1e-4, "chain {k}");
+            assert!(
+                (n - net.populations[k]).abs() / net.populations[k] < 1e-4,
+                "chain {k}"
+            );
         }
     }
 
@@ -599,7 +616,11 @@ pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSoluti
     // Open utilisation per station (per server).
     let mut rho_open = vec![0.0f64; sn];
     for (s, st) in net.closed.stations.iter().enumerate() {
-        let raw: f64 = net.open.iter().map(|oc| oc.rate_per_ms * oc.demands[s]).sum();
+        let raw: f64 = net
+            .open
+            .iter()
+            .map(|oc| oc.rate_per_ms * oc.demands[s])
+            .sum();
         rho_open[s] = match st.kind {
             StationKind::Queueing { servers } => raw / f64::from(servers),
             StationKind::Delay => 0.0,
@@ -635,8 +656,9 @@ pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSoluti
                 StationKind::Delay => d,
                 StationKind::Queueing { servers } => {
                     let m = f64::from(servers);
-                    let q_closed: f64 =
-                        (0..net.closed.n_chains()).map(|k| closed_sol.queue_len[k][s]).sum();
+                    let q_closed: f64 = (0..net.closed.n_chains())
+                        .map(|k| closed_sol.queue_len[k][s])
+                        .sum();
                     // Seidmann: queueing part on d/m, the rest pure delay.
                     (d / m) * (1.0 + q_closed) / (1.0 - rho_open[s]) + d * (m - 1.0) / m
                 }
@@ -660,7 +682,10 @@ mod mixed_tests {
     use super::*;
 
     fn station(demands_closed: Vec<f64>, servers: u32) -> Station {
-        Station { kind: StationKind::Queueing { servers }, demands: demands_closed }
+        Station {
+            kind: StationKind::Queueing { servers },
+            demands: demands_closed,
+        }
     }
 
     #[test]
@@ -672,11 +697,18 @@ mod mixed_tests {
                 think_ms: vec![],
                 stations: vec![station(vec![], 1)],
             },
-            open: vec![OpenClass { rate_per_ms: 0.08, demands: vec![10.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: 0.08,
+                demands: vec![10.0],
+            }],
         };
         let sol = solve_mixed(&net, &AmvaOptions::default()).unwrap();
         let expect = 10.0 / (1.0 - 0.8);
-        assert!((sol.open_response_ms[0] - expect).abs() < 1e-9, "{}", sol.open_response_ms[0]);
+        assert!(
+            (sol.open_response_ms[0] - expect).abs() < 1e-9,
+            "{}",
+            sol.open_response_ms[0]
+        );
     }
 
     #[test]
@@ -690,7 +722,10 @@ mod mixed_tests {
         let busy = solve_mixed(
             &MixedNetwork {
                 closed: closed.clone(),
-                open: vec![OpenClass { rate_per_ms: 0.1, demands: vec![5.0] }],
+                open: vec![OpenClass {
+                    rate_per_ms: 0.1,
+                    demands: vec![5.0],
+                }],
             },
             &AmvaOptions::default(),
         )
@@ -709,11 +744,18 @@ mod mixed_tests {
                 think_ms: vec![0.0],
                 stations: vec![station(vec![4.0], 1)],
             },
-            open: vec![OpenClass { rate_per_ms: 0.02, demands: vec![4.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: 0.02,
+                demands: vec![4.0],
+            }],
         };
         let sol = solve_mixed(&net, &AmvaOptions::default()).unwrap();
         // Closed population ~5 queued at the station: open W >> D.
-        assert!(sol.open_response_ms[0] > 4.0 * 3.0, "{}", sol.open_response_ms[0]);
+        assert!(
+            sol.open_response_ms[0] > 4.0 * 3.0,
+            "{}",
+            sol.open_response_ms[0]
+        );
     }
 
     #[test]
@@ -724,7 +766,10 @@ mod mixed_tests {
                 think_ms: vec![],
                 stations: vec![station(vec![], 1)],
             },
-            open: vec![OpenClass { rate_per_ms: 0.2, demands: vec![10.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: 0.2,
+                demands: vec![10.0],
+            }],
         };
         assert!(solve_mixed(&net, &AmvaOptions::default()).is_err());
     }
@@ -737,7 +782,10 @@ mod mixed_tests {
                 think_ms: vec![],
                 stations: vec![station(vec![], servers)],
             },
-            open: vec![OpenClass { rate_per_ms: 0.15, demands: vec![10.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: 0.15,
+                demands: vec![10.0],
+            }],
         };
         let one = solve_mixed(&mk(2), &AmvaOptions::default()).unwrap();
         let four = solve_mixed(&mk(8), &AmvaOptions::default()).unwrap();
@@ -754,7 +802,10 @@ mod mixed_tests {
                 think_ms: vec![],
                 stations: vec![station(vec![], 1)],
             },
-            open: vec![OpenClass { rate_per_ms: 0.1, demands: vec![1.0, 2.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: 0.1,
+                demands: vec![1.0, 2.0],
+            }],
         };
         assert!(solve_mixed(&net, &AmvaOptions::default()).is_err());
         let neg = MixedNetwork {
@@ -763,7 +814,10 @@ mod mixed_tests {
                 think_ms: vec![],
                 stations: vec![station(vec![], 1)],
             },
-            open: vec![OpenClass { rate_per_ms: -0.1, demands: vec![1.0] }],
+            open: vec![OpenClass {
+                rate_per_ms: -0.1,
+                demands: vec![1.0],
+            }],
         };
         assert!(solve_mixed(&neg, &AmvaOptions::default()).is_err());
     }
@@ -861,7 +915,11 @@ pub fn solve_exact_multiclass(
                 r += w[k][s];
             }
             let cycle = net.think_ms[k] + r;
-            x[k] = if cycle > 0.0 { f64::from(current[k]) / cycle } else { 0.0 };
+            x[k] = if cycle > 0.0 {
+                f64::from(current[k]) / cycle
+            } else {
+                0.0
+            };
         }
         for s in 0..sn {
             q_here[s] = (0..kn).map(|k| x[k] * w[k][s]).sum();
@@ -957,7 +1015,11 @@ mod exact_multiclass_tests {
 
     #[test]
     fn rejects_oversized_and_invalid_inputs() {
-        let n = net(vec![vec![1.0], vec![1.0]], vec![3000.0, 3000.0], vec![0.0, 0.0]);
+        let n = net(
+            vec![vec![1.0], vec![1.0]],
+            vec![3000.0, 3000.0],
+            vec![0.0, 0.0],
+        );
         assert!(solve_exact_multiclass(&n, &[3000, 3000]).is_err());
         let n2 = net(vec![vec![1.0]], vec![5.0], vec![0.0]);
         assert!(solve_exact_multiclass(&n2, &[4]).is_err()); // mismatch

@@ -47,7 +47,9 @@ impl LqnPredictor {
         template: &Workload,
     ) -> Result<f64, PredictError> {
         if template.is_empty() {
-            return Err(PredictError::OutOfRange("template workload is empty".into()));
+            return Err(PredictError::OutOfRange(
+                "template workload is empty".into(),
+            ));
         }
         let base = f64::from(template.total_clients());
         let mut n = base.max(64.0);
@@ -64,7 +66,8 @@ impl LqnPredictor {
         }
         // Never saturated (e.g. a non-CPU bottleneck): report the largest
         // observed rate.
-        self.predict(server, &template.scaled(n / base)).map(|p| p.throughput_rps)
+        self.predict(server, &template.scaled(n / base))
+            .map(|p| p.throughput_rps)
     }
 }
 
@@ -73,7 +76,11 @@ impl PerformanceModel for LqnPredictor {
         "layered-queuing"
     }
 
-    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
         if workload.is_empty() {
             return Ok(Prediction {
                 mrt_ms: 0.0,
@@ -134,7 +141,9 @@ mod tests {
 
     #[test]
     fn empty_workload_is_zero() {
-        let p = predictor().predict(&ServerArch::app_serv_f(), &Workload::empty()).unwrap();
+        let p = predictor()
+            .predict(&ServerArch::app_serv_f(), &Workload::empty())
+            .unwrap();
         assert_eq!(p.mrt_ms, 0.0);
         assert_eq!(p.throughput_rps, 0.0);
         assert!(!p.saturated);
@@ -144,12 +153,22 @@ mod tests {
     fn max_throughput_scales_with_server_speed() {
         let pr = predictor();
         let w = Workload::typical(100);
-        let f = pr.max_throughput_rps(&ServerArch::app_serv_f(), &w).unwrap();
-        let s = pr.max_throughput_rps(&ServerArch::app_serv_s(), &w).unwrap();
-        let vf = pr.max_throughput_rps(&ServerArch::app_serv_vf(), &w).unwrap();
+        let f = pr
+            .max_throughput_rps(&ServerArch::app_serv_f(), &w)
+            .unwrap();
+        let s = pr
+            .max_throughput_rps(&ServerArch::app_serv_s(), &w)
+            .unwrap();
+        let vf = pr
+            .max_throughput_rps(&ServerArch::app_serv_vf(), &w)
+            .unwrap();
         // CPU-bound: ratios follow speed factors (§5's ratio rule).
         assert!(accuracy_pct(s / f, 86.0 / 186.0) > 97.0, "s/f {}", s / f);
-        assert!(accuracy_pct(vf / f, 320.0 / 186.0) > 97.0, "vf/f {}", vf / f);
+        assert!(
+            accuracy_pct(vf / f, 320.0 / 186.0) > 97.0,
+            "vf/f {}",
+            vf / f
+        );
         // Absolute: ≈ 222 req/s on F for Table 2 demands.
         assert!((f - 222.0).abs() < 6.0, "f {f}");
     }
@@ -159,10 +178,15 @@ mod tests {
         let pr = predictor();
         let server = ServerArch::app_serv_f();
         let goal = 50.0;
-        let n = pr.max_clients(&server, &Workload::typical(100), goal).unwrap();
+        let n = pr
+            .max_clients(&server, &Workload::typical(100), goal)
+            .unwrap();
         assert!(n > 1_000, "n={n}");
         let at = pr.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
-        let over = pr.predict(&server, &Workload::typical(n + 1)).unwrap().mrt_ms;
+        let over = pr
+            .predict(&server, &Workload::typical(n + 1))
+            .unwrap()
+            .mrt_ms;
         assert!(at <= goal + 1e-9);
         assert!(over > goal);
     }
@@ -171,7 +195,9 @@ mod tests {
     fn heavier_mix_lowers_max_throughput() {
         let pr = predictor();
         let server = ServerArch::app_serv_f();
-        let typical = pr.max_throughput_rps(&server, &Workload::typical(100)).unwrap();
+        let typical = pr
+            .max_throughput_rps(&server, &Workload::typical(100))
+            .unwrap();
         let buys = pr
             .max_throughput_rps(&server, &Workload::with_buy_pct(100, 25.0))
             .unwrap();

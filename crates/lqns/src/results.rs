@@ -1,14 +1,13 @@
 //! Solver output: per-chain, per-entry, per-task and per-processor metrics.
 
 use crate::model::{LqnModel, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// The solution of a layered queuing model.
 ///
 /// Chains are indexed in the order returned by
 /// [`LqnModel::reference_tasks`]; entries, tasks and processors use their
 /// model indices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverResult {
     /// The reference task of each chain.
     pub chain_tasks: Vec<TaskId>,
@@ -41,8 +40,7 @@ impl SolverResult {
     /// Aggregate throughput over all chains and open flows,
     /// requests/second.
     pub fn total_throughput_rps(&self) -> f64 {
-        self.chain_throughput_rps.iter().sum::<f64>()
-            + self.open_throughput_rps.iter().sum::<f64>()
+        self.chain_throughput_rps.iter().sum::<f64>() + self.open_throughput_rps.iter().sum::<f64>()
     }
 
     /// Workload mean response time: per-chain responses weighted by chain
@@ -74,7 +72,9 @@ impl SolverResult {
 
     /// Utilisation of the processor named `name`.
     pub fn processor_utilization_by_name(&self, model: &LqnModel, name: &str) -> Option<f64> {
-        model.processor_by_name(name).map(|p| self.processor_utilization[p.0])
+        model
+            .processor_by_name(name)
+            .map(|p| self.processor_utilization[p.0])
     }
 }
 

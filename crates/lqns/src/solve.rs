@@ -19,9 +19,11 @@
 //! §4.2.
 
 use crate::model::{LqnModel, Multiplicity, TaskKind};
-use crate::mva::{solve_mixed, AmvaOptions, ClosedNetwork, MixedNetwork, OpenClass, Station, StationKind};
+use crate::mva::{
+    solve_mixed, AmvaOptions, ClosedNetwork, MixedNetwork, OpenClass, Station, StationKind,
+};
 use crate::results::SolverResult;
-use perfpred_core::PredictError;
+use perfpred_core::{metrics, PredictError};
 
 /// Options for the layered solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +53,10 @@ impl Default for SolverOptions {
 impl SolverOptions {
     /// The configuration the paper reports: a 20 ms convergence criterion.
     pub fn paper() -> Self {
-        SolverOptions { convergence_ms: 20.0, ..Default::default() }
+        SolverOptions {
+            convergence_ms: 20.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -88,7 +93,10 @@ fn prepare(model: &LqnModel) -> Result<Prepared, PredictError> {
     for &t in &chains {
         let task = &model.tasks()[t];
         match task.kind {
-            TaskKind::Reference { population, think_time_ms } => {
+            TaskKind::Reference {
+                population,
+                think_time_ms,
+            } => {
                 populations.push(f64::from(population));
                 think_ms.push(think_time_ms);
             }
@@ -182,6 +190,10 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
     let mut converged = false;
     let mut converged_streak = 0usize;
     let mut iterations = 0;
+    // Metrics are accumulated locally and flushed once on exit; the outer
+    // iteration must not touch the shared registry per pass.
+    let mut mva_solves = 0u64;
+    let mut last_delta = f64::INFINITY;
 
     // Chain visit totals per task and per processor (constant).
     let mut task_visits = vec![vec![0.0f64; tn]; kn];
@@ -266,12 +278,16 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                 open: (0..on)
                     .map(|o| OpenClass {
                         rate_per_ms: prep.open_rates[o],
-                        demands: station_procs.iter().map(|&p| open_proc_demand[o][p]).collect(),
+                        demands: station_procs
+                            .iter()
+                            .map(|&p| open_proc_demand[o][p])
+                            .collect(),
                     })
                     .collect(),
             };
             // An open load that saturates a processor is unstable: the
             // mixed solver rejects it here, before any iteration.
+            mva_solves += 1;
             let sol = solve_mixed(&net, &opts.amva)?;
             for k in 0..kn {
                 for (si, &p) in station_procs.iter().enumerate() {
@@ -352,14 +368,18 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
             max_delta = max_delta.max((r - response[k]).abs());
             response[k] = r;
             let cycle = prep.think_ms[k] + r;
-            throughput_per_ms[k] =
-                if cycle > 0.0 && prep.populations[k] > 0.0 { prep.populations[k] / cycle } else { 0.0 };
+            throughput_per_ms[k] = if cycle > 0.0 && prep.populations[k] > 0.0 {
+                prep.populations[k] / cycle
+            } else {
+                0.0
+            };
         }
         for o in 0..on {
             let r = open_elapsed[o][prep.open_ref_entry[o]];
             max_delta = max_delta.max((r - open_response[o]).abs());
             open_response[o] = r;
         }
+        last_delta = max_delta;
 
         // Never accept a fixed point that implies an infeasible operating
         // point (some finite station pushed past 100 % utilisation by the
@@ -369,10 +389,12 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
         let mut feasible = true;
         for p in 0..pn {
             if let Multiplicity::Finite(m) = model.processors()[p].multiplicity {
-                let closed_load: f64 =
-                    (0..kn).map(|k| throughput_per_ms[k] * proc_demand[k][p]).sum();
-                let open_load: f64 =
-                    (0..on).map(|o| prep.open_rates[o] * open_proc_demand[o][p]).sum();
+                let closed_load: f64 = (0..kn)
+                    .map(|k| throughput_per_ms[k] * proc_demand[k][p])
+                    .sum();
+                let open_load: f64 = (0..on)
+                    .map(|o| prep.open_rates[o] * open_proc_demand[o][p])
+                    .sum();
                 if (closed_load + open_load) / f64::from(m) > 1.005 {
                     feasible = false;
                 }
@@ -458,7 +480,12 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                         // Concurrently active chain-k threads of t
                         // (Little's law: X × thread-holding time per cycle).
                         let p = (throughput_per_ms[k] * holding_total).min(prep.populations[k]);
-                        subchains.push(SubChain { k, t, population: p, think: 0.0 });
+                        subchains.push(SubChain {
+                            k,
+                            t,
+                            population: p,
+                            think: 0.0,
+                        });
                     }
                 }
             }
@@ -490,16 +517,18 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                 rate: f64,
             }
             let mut substreams: Vec<SubStream> = Vec::new();
-            for (o, (&src, &rate)) in
-                prep.open_tasks.iter().zip(&prep.open_rates).enumerate()
-            {
+            for (o, (&src, &rate)) in prep.open_tasks.iter().zip(&prep.open_rates).enumerate() {
                 if level == 0 {
                     substreams.push(SubStream { o, t: src, rate });
                 } else {
                     for &t in &customer_tasks {
                         let v = open_task_visits[o][t];
                         if v > 0.0 {
-                            substreams.push(SubStream { o, t, rate: rate * v });
+                            substreams.push(SubStream {
+                                o,
+                                t,
+                                rate: rate * v,
+                            });
                         }
                     }
                 }
@@ -511,7 +540,10 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
             // tasks).
             let mut callee_tasks: Vec<usize> = Vec::new();
             let mut host_procs: Vec<usize> = Vec::new();
-            for &t in customer_tasks.iter().chain(substreams.iter().map(|ss| &ss.t)) {
+            for &t in customer_tasks
+                .iter()
+                .chain(substreams.iter().map(|ss| &ss.t))
+            {
                 for e in &model.tasks()[t].entries {
                     for call in &model.entries()[e.0].calls {
                         let t2 = model.entries()[call.target.0].task.0;
@@ -524,8 +556,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                 }
                 if level > 0 {
                     let p = model.tasks()[t].processor.0;
-                    if !model.processors()[p].multiplicity.is_infinite()
-                        && !host_procs.contains(&p)
+                    if !model.processors()[p].multiplicity.is_infinite() && !host_procs.contains(&p)
                     {
                         host_procs.push(p);
                     }
@@ -546,7 +577,11 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
             // Processor visits per cycle (entries with demand, v-weighted).
             let mut proc_visits_cycle = vec![vec![0.0f64; sn_procs]; cn];
             for (ci, c) in subchains.iter().enumerate() {
-                let v_t = if level == 0 { 1.0 } else { task_visits[c.k][c.t] };
+                let v_t = if level == 0 {
+                    1.0
+                } else {
+                    task_visits[c.k][c.t]
+                };
                 for e in &model.tasks()[c.t].entries {
                     let entry = &model.entries()[e.0];
                     let share = prep.visits[c.k][e.0] / v_t;
@@ -576,7 +611,11 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
             let mut open_calls_cycle = vec![vec![0.0f64; sn_tasks]; on_sub];
             let mut open_pvisits_cycle = vec![vec![0.0f64; sn_procs]; on_sub];
             for (oi, ss) in substreams.iter().enumerate() {
-                let v_t = if level == 0 { 1.0 } else { open_task_visits[ss.o][ss.t] };
+                let v_t = if level == 0 {
+                    1.0
+                } else {
+                    open_task_visits[ss.o][ss.t]
+                };
                 for e in &model.tasks()[ss.t].entries {
                     let entry = &model.entries()[e.0];
                     let share = prep.open_visits[ss.o][e.0] / v_t;
@@ -636,6 +675,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                     })
                     .collect(),
             };
+            mva_solves += 1;
             let mixed_sol = solve_mixed(&net, &opts.amva)?;
             let sol = &mixed_sol.closed;
 
@@ -647,8 +687,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                 for si in 0..sn_tasks {
                     let calls = calls_per_cycle[ci][si];
                     if calls > 0.0 {
-                        let wait =
-                            ((sol.residence_ms[ci][si] - demands[ci][si]) / calls).max(0.0);
+                        let wait = ((sol.residence_ms[ci][si] - demands[ci][si]) / calls).max(0.0);
                         let weight = c.population.max(1e-12) * calls;
                         tw_acc[c.k][si].0 += wait * weight;
                         tw_acc[c.k][si].1 += weight;
@@ -691,8 +730,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                 for si in 0..sn_tasks {
                     let calls = open_calls_cycle[oi][si];
                     if calls > 0.0 {
-                        let wait = ((mixed_sol.open_residence_ms[oi][si]
-                            - open_demands[oi][si])
+                        let wait = ((mixed_sol.open_residence_ms[oi][si] - open_demands[oi][si])
                             / calls)
                             .max(0.0);
                         let weight = ss.rate.max(1e-12) * calls;
@@ -737,8 +775,12 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
     // Utilisations from the final throughputs (closed + open).
     let mut processor_utilization = vec![0.0f64; pn];
     for p in 0..pn {
-        let raw: f64 = (0..kn).map(|k| throughput_per_ms[k] * proc_demand[k][p]).sum::<f64>()
-            + (0..on).map(|o| prep.open_rates[o] * open_proc_demand[o][p]).sum::<f64>();
+        let raw: f64 = (0..kn)
+            .map(|k| throughput_per_ms[k] * proc_demand[k][p])
+            .sum::<f64>()
+            + (0..on)
+                .map(|o| prep.open_rates[o] * open_proc_demand[o][p])
+                .sum::<f64>();
         processor_utilization[p] = match model.processors()[p].multiplicity {
             Multiplicity::Finite(m) => raw / f64::from(m),
             Multiplicity::Infinite => raw,
@@ -775,8 +817,22 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
         };
     }
 
-    if response.iter().chain(open_response.iter()).any(|r| !r.is_finite()) {
-        return Err(PredictError::Solver("layered solver produced non-finite response".into()));
+    // Flush the locally accumulated instrumentation in one pass.
+    metrics::counter("lqns.solves").incr();
+    metrics::counter("lqns.iterations").add(iterations as u64);
+    metrics::counter("lqns.mva_solves").add(mva_solves);
+    if last_delta.is_finite() {
+        metrics::histogram("lqns.convergence_residual_ms").record(last_delta);
+    }
+
+    if response
+        .iter()
+        .chain(open_response.iter())
+        .any(|r| !r.is_finite())
+    {
+        return Err(PredictError::Solver(
+            "layered solver produced non-finite response".into(),
+        ));
     }
 
     Ok(SolverResult {
@@ -822,7 +878,11 @@ mod tests {
         let m = trade_like(1, 7_000.0, 50);
         let sol = solve(&m, &SolverOptions::default()).unwrap();
         assert!(sol.converged);
-        assert!((sol.chain_response_ms[0] - 6.14).abs() < 0.05, "R={}", sol.chain_response_ms[0]);
+        assert!(
+            (sol.chain_response_ms[0] - 6.14).abs() < 0.05,
+            "R={}",
+            sol.chain_response_ms[0]
+        );
         // X = 1/(7000+6.14) cycles/ms ≈ 0.1427 req/s.
         let x = sol.chain_throughput_rps[0];
         assert!((x - 1_000.0 / 7_006.14).abs() < 0.001, "X={x}");
@@ -936,8 +996,14 @@ mod tests {
         // with a fine criterion while using fewer iterations.
         for &n in &[800u32, 2_500, 4_000] {
             let m = trade_like(n, 7_000.0, 50);
-            let fine =
-                solve(&m, &SolverOptions { convergence_ms: 0.01, ..Default::default() }).unwrap();
+            let fine = solve(
+                &m,
+                &SolverOptions {
+                    convergence_ms: 0.01,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             let coarse = solve(&m, &SolverOptions::paper()).unwrap();
             assert!(coarse.iterations <= fine.iterations, "n={n}");
             let rel = (fine.chain_response_ms[0] - coarse.chain_response_ms[0]).abs()
@@ -959,18 +1025,31 @@ mod tests {
         // never exceeds the bottleneck capacity, and the knee solution
         // stays in the fine solution's neighbourhood.
         let m = trade_like(1_500, 7_000.0, 50); // knee ≈ 1450 clients
-        let fine =
-            solve(&m, &SolverOptions { convergence_ms: 0.01, ..Default::default() }).unwrap();
+        let fine = solve(
+            &m,
+            &SolverOptions {
+                convergence_ms: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let coarse = solve(&m, &SolverOptions::paper()).unwrap();
         // App CPU bound: 1000/5 = 200 req/s.
-        assert!(coarse.chain_throughput_rps[0] <= 200.0 * 1.01,
-            "infeasible throughput {}", coarse.chain_throughput_rps[0]);
+        assert!(
+            coarse.chain_throughput_rps[0] <= 200.0 * 1.01,
+            "infeasible throughput {}",
+            coarse.chain_throughput_rps[0]
+        );
         assert!(fine.chain_throughput_rps[0] <= 200.0 * 1.01);
         // Knee responses agree within the coarse criterion's slop.
         let rel = (coarse.chain_response_ms[0] - fine.chain_response_ms[0]).abs()
             / fine.chain_response_ms[0];
-        assert!(rel < 0.35, "coarse {} vs fine {}", coarse.chain_response_ms[0],
-            fine.chain_response_ms[0]);
+        assert!(
+            rel < 0.35,
+            "coarse {} vs fine {}",
+            coarse.chain_response_ms[0],
+            fine.chain_response_ms[0]
+        );
     }
 
     #[test]
@@ -1119,8 +1198,14 @@ mod phase2_tests {
         let cp = b.processor("client-cpu").infinite().finish();
         let ap = b.processor("app-cpu").finish();
         let app = b.task("app", ap).multiplicity(threads).finish();
-        let serve = b.entry("serve", app).demand_ms(phase1).phase2_ms(phase2).finish();
-        let clients = b.reference_task("clients", cp, population, 7_000.0).finish();
+        let serve = b
+            .entry("serve", app)
+            .demand_ms(phase1)
+            .phase2_ms(phase2)
+            .finish();
+        let clients = b
+            .reference_task("clients", cp, population, 7_000.0)
+            .finish();
         let cycle = b.entry("cycle", clients).finish();
         b.call(cycle, serve, 1.0);
         b.build().unwrap()
@@ -1148,13 +1233,22 @@ mod phase2_tests {
         let split = solve(&two_phase(3_000, 3.0, 5.0, 50), &SolverOptions::default()).unwrap();
         let bound = 1_000.0 / 8.0;
         let rel = |x: f64| (x - bound).abs() / bound;
-        assert!(rel(single.chain_throughput_rps[0]) < 0.05,
-            "single X {}", single.chain_throughput_rps[0]);
-        assert!(rel(split.chain_throughput_rps[0]) < 0.05,
-            "split X {}", split.chain_throughput_rps[0]);
+        assert!(
+            rel(single.chain_throughput_rps[0]) < 0.05,
+            "single X {}",
+            single.chain_throughput_rps[0]
+        );
+        assert!(
+            rel(split.chain_throughput_rps[0]) < 0.05,
+            "split X {}",
+            split.chain_throughput_rps[0]
+        );
         // And the two agree with each other closely.
-        assert!((single.chain_throughput_rps[0] - split.chain_throughput_rps[0]).abs()
-            / single.chain_throughput_rps[0] < 0.03);
+        assert!(
+            (single.chain_throughput_rps[0] - split.chain_throughput_rps[0]).abs()
+                / single.chain_throughput_rps[0]
+                < 0.03
+        );
         // Utilisation accounts for both phases.
         assert!(split.processor_utilization[1] > 0.95);
     }

@@ -15,11 +15,10 @@
 use crate::model::{EntryId, LqnModel};
 use crate::solve::SolverOptions;
 use perfpred_core::{PredictError, RequestType, ServerArch, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Calibrated per-request-type parameters (the rows of Table 2 plus call
 /// counts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestTypeParams {
     /// Mean application-server CPU demand per request on the *reference*
     /// server, ms.
@@ -35,7 +34,7 @@ pub struct RequestTypeParams {
 }
 
 /// Full configuration of the Trade layered queuing model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TradeLqnConfig {
     /// Browse request-type parameters.
     pub browse: RequestTypeParams,
@@ -50,7 +49,6 @@ pub struct TradeLqnConfig {
     /// (1.0 = AppServF).
     pub reference_speed: f64,
     /// Solver options used for predictions.
-    #[serde(skip, default)]
     pub solver: SolverOptions,
 }
 
@@ -100,7 +98,9 @@ impl TradeLqnConfig {
         workload: &Workload,
     ) -> Result<LqnModel, PredictError> {
         if workload.classes.is_empty() {
-            return Err(PredictError::OutOfRange("workload has no service classes".into()));
+            return Err(PredictError::OutOfRange(
+                "workload has no service classes".into(),
+            ));
         }
         if server.speed_factor <= 0.0 {
             return Err(PredictError::OutOfRange(format!(
@@ -116,10 +116,20 @@ impl TradeLqnConfig {
         let client_cpu = b.processor("client-cpu").infinite().finish();
         let app_cpu = b.processor("app-cpu").finish();
         let db_cpu = b.processor("db-cpu").finish();
-        let disk = if self.has_disk() { Some(b.processor("db-disk").finish()) } else { None };
+        let disk = if self.has_disk() {
+            Some(b.processor("db-disk").finish())
+        } else {
+            None
+        };
 
-        let app = b.task("app", app_cpu).multiplicity(self.app_threads).finish();
-        let db = b.task("db", db_cpu).multiplicity(self.db_connections).finish();
+        let app = b
+            .task("app", app_cpu)
+            .multiplicity(self.app_threads)
+            .finish();
+        let db = b
+            .task("db", db_cpu)
+            .multiplicity(self.db_connections)
+            .finish();
         let disk_task = disk.map(|d| b.task("disk", d).finish());
 
         for (i, load) in workload.classes.iter().enumerate() {
@@ -150,7 +160,9 @@ impl TradeLqnConfig {
                     load.class.think_time_ms,
                 )
                 .finish();
-            let cycle = b.entry(format!("cycle-{i}-{}", load.class.name), clients).finish();
+            let cycle = b
+                .entry(format!("cycle-{i}-{}", load.class.name), clients)
+                .finish();
             b.call(cycle, app_entry, 1.0);
         }
         b.build()
@@ -187,7 +199,9 @@ mod tests {
     #[test]
     fn builds_single_class_model() {
         let c = TradeLqnConfig::paper_table2();
-        let m = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(500)).unwrap();
+        let m = c
+            .build_model(&ServerArch::app_serv_f(), &Workload::typical(500))
+            .unwrap();
         // client-cpu, app-cpu, db-cpu; no disk with zero disk demand.
         assert_eq!(m.processors().len(), 3);
         assert_eq!(m.reference_tasks().len(), 1);
@@ -200,8 +214,12 @@ mod tests {
     #[test]
     fn speed_scaling_inflates_demands_on_slow_server() {
         let c = TradeLqnConfig::paper_table2();
-        let fast = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(100)).unwrap();
-        let slow = c.build_model(&ServerArch::app_serv_s(), &Workload::typical(100)).unwrap();
+        let fast = c
+            .build_model(&ServerArch::app_serv_f(), &Workload::typical(100))
+            .unwrap();
+        let slow = c
+            .build_model(&ServerArch::app_serv_s(), &Workload::typical(100))
+            .unwrap();
         let fd = fast.entries()[TradeLqnConfig::app_entry_of_class(&fast, 0).unwrap().0].demand_ms;
         let sd = slow.entries()[TradeLqnConfig::app_entry_of_class(&slow, 0).unwrap().0].demand_ms;
         let ratio = sd / fd;
@@ -210,7 +228,10 @@ mod tests {
         // Database demands are NOT scaled (same DB server).
         let fdb = fast.entry_by_name("db-0-browse").unwrap();
         let sdb = slow.entry_by_name("db-0-browse").unwrap();
-        assert_eq!(fast.entries()[fdb.0].demand_ms, slow.entries()[sdb.0].demand_ms);
+        assert_eq!(
+            fast.entries()[fdb.0].demand_ms,
+            slow.entries()[sdb.0].demand_ms
+        );
     }
 
     #[test]
@@ -228,15 +249,21 @@ mod tests {
     fn disk_becomes_fourth_layer_when_configured() {
         let mut c = TradeLqnConfig::paper_table2();
         c.browse.disk_demand_ms = 0.5;
-        let m = c.build_model(&ServerArch::app_serv_f(), &Workload::typical(300)).unwrap();
+        let m = c
+            .build_model(&ServerArch::app_serv_f(), &Workload::typical(300))
+            .unwrap();
         assert!(m.processor_by_name("db-disk").is_some());
         assert!(m.task_by_name("disk").is_some());
         let sol = solve(&m, &SolverOptions::default()).unwrap();
         // Disk adds 1.14 × 0.5 ≈ 0.57 ms to the light-load response.
         let base = {
             let c0 = TradeLqnConfig::paper_table2();
-            let m0 = c0.build_model(&ServerArch::app_serv_f(), &Workload::typical(300)).unwrap();
-            solve(&m0, &SolverOptions::default()).unwrap().chain_response_ms[0]
+            let m0 = c0
+                .build_model(&ServerArch::app_serv_f(), &Workload::typical(300))
+                .unwrap();
+            solve(&m0, &SolverOptions::default())
+                .unwrap()
+                .chain_response_ms[0]
         };
         assert!(sol.chain_response_ms[0] > base + 0.4);
     }
@@ -244,7 +271,9 @@ mod tests {
     #[test]
     fn rejects_empty_workload_and_bad_server() {
         let c = TradeLqnConfig::paper_table2();
-        assert!(c.build_model(&ServerArch::app_serv_f(), &Workload::empty()).is_err());
+        assert!(c
+            .build_model(&ServerArch::app_serv_f(), &Workload::empty())
+            .is_err());
         let mut bad = ServerArch::app_serv_f();
         bad.speed_factor = 0.0;
         assert!(c.build_model(&bad, &Workload::typical(10)).is_err());

@@ -1,4 +1,4 @@
-//! Property-based tests for the layered queuing solver: Little's law,
+//! Property-style tests for the layered queuing solver: Little's law,
 //! capacity bounds, monotonicity and format round-trips on randomized
 //! Trade-shaped models.
 
@@ -8,7 +8,32 @@ use perfpred_lqns::mva::{
     solve_amva, solve_exact_single_chain, AmvaOptions, ClosedNetwork, Station, StationKind,
 };
 use perfpred_lqns::solve::{solve, SolverOptions};
-use proptest::prelude::*;
+
+/// Minimal xorshift64* generator for deterministic case sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 fn trade_shaped(
     population: u32,
@@ -33,65 +58,75 @@ fn trade_shaped(
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Little's law N = X·(Z + R) holds at the solver's fixed point, and
-    /// throughput never exceeds the bottleneck capacity.
-    #[test]
-    fn layered_solution_obeys_littles_law(
-        population in 1u32..3000,
-        think in 100.0f64..10_000.0,
-        app_demand in 0.5f64..20.0,
-        db_demand in 0.1f64..5.0,
-        db_calls in 0.2f64..3.0,
-        threads in 5u32..100,
-    ) {
+/// Little's law N = X·(Z + R) holds at the solver's fixed point, and
+/// throughput never exceeds the bottleneck capacity.
+#[test]
+fn layered_solution_obeys_littles_law() {
+    let mut rng = Rng::new(0x19_0001);
+    for _ in 0..64 {
+        let population = rng.int(1, 3_000) as u32;
+        let think = rng.range(100.0, 10_000.0);
+        let app_demand = rng.range(0.5, 20.0);
+        let db_demand = rng.range(0.1, 5.0);
+        let db_calls = rng.range(0.2, 3.0);
+        let threads = rng.int(5, 100) as u32;
         let m = trade_shaped(population, think, app_demand, db_demand, db_calls, threads);
         let sol = solve(&m, &SolverOptions::default()).unwrap();
         let x = sol.chain_throughput_rps[0] / 1_000.0; // per ms
         let n = x * (think + sol.chain_response_ms[0]);
-        prop_assert!(
+        assert!(
             (n - f64::from(population)).abs() / f64::from(population) < 0.02,
-            "Little's law: {} vs {}", n, population
+            "Little's law: {n} vs {population}"
         );
         // Capacity bounds per processor (3 % slack: Bard–Schweitzer can
         // overshoot slightly right at the knee).
         let app_cap = 1.0 / app_demand;
         let db_cap = 1.0 / (db_demand * db_calls);
-        prop_assert!(x <= app_cap * 1.03 + 1e-9, "X {} exceeds app capacity {}", x, app_cap);
-        prop_assert!(x <= db_cap * 1.03 + 1e-9, "X {} exceeds db capacity {}", x, db_cap);
+        assert!(
+            x <= app_cap * 1.03 + 1e-9,
+            "X {x} exceeds app capacity {app_cap}"
+        );
+        assert!(
+            x <= db_cap * 1.03 + 1e-9,
+            "X {x} exceeds db capacity {db_cap}"
+        );
         // Response at least the raw service chain.
         let service = app_demand + db_calls * db_demand;
-        prop_assert!(sol.chain_response_ms[0] >= service * 0.95);
+        assert!(sol.chain_response_ms[0] >= service * 0.95);
     }
+}
 
-    /// Throughput is monotone non-decreasing in population.
-    #[test]
-    fn throughput_monotone_in_population(
-        base in 50u32..800,
-        app_demand in 1.0f64..15.0,
-    ) {
+/// Throughput is monotone non-decreasing in population.
+#[test]
+fn throughput_monotone_in_population() {
+    let mut rng = Rng::new(0x19_0002);
+    for _ in 0..64 {
+        let base = rng.int(50, 800) as u32;
+        let app_demand = rng.range(1.0, 15.0);
         let lo = solve(
             &trade_shaped(base, 7_000.0, app_demand, 1.0, 1.14, 50),
             &SolverOptions::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let hi = solve(
             &trade_shaped(base * 2, 7_000.0, app_demand, 1.0, 1.14, 50),
             &SolverOptions::default(),
-        ).unwrap();
-        prop_assert!(hi.chain_throughput_rps[0] >= lo.chain_throughput_rps[0] * 0.99);
-        prop_assert!(hi.chain_response_ms[0] >= lo.chain_response_ms[0] * 0.95);
+        )
+        .unwrap();
+        assert!(hi.chain_throughput_rps[0] >= lo.chain_throughput_rps[0] * 0.99);
+        assert!(hi.chain_response_ms[0] >= lo.chain_response_ms[0] * 0.95);
     }
+}
 
-    /// Bard–Schweitzer stays near exact MVA on single-chain single-server
-    /// networks.
-    #[test]
-    fn amva_tracks_exact_mva(
-        demand in 0.1f64..50.0,
-        population in 1u32..500,
-        think in 0.0f64..5_000.0,
-    ) {
+/// Bard–Schweitzer stays near exact MVA on single-chain single-server
+/// networks.
+#[test]
+fn amva_tracks_exact_mva() {
+    let mut rng = Rng::new(0x19_0003);
+    for _ in 0..64 {
+        let demand = rng.range(0.1, 50.0);
+        let population = rng.int(1, 500) as u32;
+        let think = rng.range(0.0, 5_000.0);
         let net = ClosedNetwork {
             populations: vec![f64::from(population)],
             think_ms: vec![think],
@@ -113,21 +148,26 @@ proptest! {
         } else {
             0.05
         };
-        prop_assert!(rel < bound, "AMVA off by {} (d={}, n={}, z={})", rel, demand, population, think);
+        assert!(
+            rel < bound,
+            "AMVA off by {rel} (d={demand}, n={population}, z={think})"
+        );
     }
+}
 
-    /// Text-format round trip is lossless for randomized Trade models.
-    #[test]
-    fn format_round_trip(
-        population in 1u32..5000,
-        think in 0.0f64..10_000.0,
-        app_demand in 0.0f64..100.0,
-        db_calls in 0.01f64..10.0,
-        threads in 1u32..200,
-    ) {
+/// Text-format round trip is lossless for randomized Trade models.
+#[test]
+fn format_round_trip() {
+    let mut rng = Rng::new(0x19_0004);
+    for _ in 0..64 {
+        let population = rng.int(1, 5_000) as u32;
+        let think = rng.range(0.0, 10_000.0);
+        let app_demand = rng.range(0.0, 100.0);
+        let db_calls = rng.range(0.01, 10.0);
+        let threads = rng.int(1, 200) as u32;
         let m = trade_shaped(population, think, app_demand, 1.0, db_calls, threads);
         let text = format::serialize(&m);
         let m2 = format::parse(&text).unwrap();
-        prop_assert_eq!(m, m2);
+        assert_eq!(m, m2);
     }
 }

@@ -13,9 +13,9 @@
 //! inaccuracy"); the real clients are then divided across the servers in
 //! proportion to the slack-scaled plan.
 
-use perfpred_core::{PerformanceModel, PredictError, Workload};
 use perfpred_core::workload::ClassLoad;
 use perfpred_core::ServerArch;
+use perfpred_core::{PerformanceModel, PredictError, Workload};
 
 /// What one server was given.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +65,10 @@ impl Allocation {
                 .classes
                 .iter()
                 .zip(&self.servers[idx].real)
-                .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+                .map(|(c, &n)| ClassLoad {
+                    class: c.class.clone(),
+                    clients: n,
+                })
                 .collect(),
         }
     }
@@ -78,7 +81,10 @@ fn counts_workload(template: &Workload, counts: &[u32]) -> Workload {
             .classes
             .iter()
             .zip(counts)
-            .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+            .map(|(c, &n)| ClassLoad {
+                class: c.class.clone(),
+                clients: n,
+            })
             .collect(),
     }
 }
@@ -95,13 +101,17 @@ fn goals_met<M: PerformanceModel + ?Sized>(
         return Ok(true);
     }
     let w = counts_workload(template, counts);
+    perfpred_core::metrics::counter("resman.predictions").incr();
     let p = model.predict(server, &w)?;
     for (i, load) in w.classes.iter().enumerate() {
         if load.clients == 0 {
             continue;
         }
         if let Some(goal) = load.class.rt_goal_ms {
-            if p.per_class_mrt_ms[i] > goal {
+            // A NaN prediction must count as a miss; a plain `> goal`
+            // check would silently pass it (`NaN > goal` is false).
+            let mrt = p.per_class_mrt_ms[i];
+            if mrt.is_nan() || mrt > goal {
                 return Ok(false);
             }
         }
@@ -167,7 +177,7 @@ fn apportion(total: u32, shares: &[u32]) -> Vec<u32> {
         assigned += floor;
         remainders.push((i, exact - f64::from(floor)));
     }
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut left = total - assigned;
     for (i, _) in remainders {
         if left == 0 {
@@ -232,9 +242,16 @@ pub fn allocate<M: PerformanceModel + ?Sized>(
     // without goals go last). Ties keep workload order.
     let mut order: Vec<usize> = (0..kn).collect();
     order.sort_by(|&a, &b| {
-        let ga = workload.classes[a].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-        let gb = workload.classes[b].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-        ga.partial_cmp(&gb).unwrap().then(a.cmp(&b))
+        let ga = workload.classes[a]
+            .class
+            .rt_goal_ms
+            .unwrap_or(f64::INFINITY);
+        let gb = workload.classes[b]
+            .class
+            .rt_goal_ms
+            .unwrap_or(f64::INFINITY);
+        // total_cmp: NaN goals sort last instead of panicking the planner.
+        ga.total_cmp(&gb).then(a.cmp(&b))
     });
 
     let mut alloc: Vec<Vec<u32>> = vec![vec![0; kn]; servers.len()];
@@ -249,8 +266,7 @@ pub fn allocate<M: PerformanceModel + ?Sized>(
             let mut best_insufficient: Option<(usize, u32)> = None; // (idx, cap)
             let mut best_sufficient: Option<(usize, u32)> = None;
             for (si, server) in servers.iter().enumerate() {
-                let cap =
-                    max_addable(model, server, workload, &alloc[si], ci, cap_limit)?;
+                let cap = max_addable(model, server, workload, &alloc[si], ci, cap_limit)?;
                 if cap == 0 {
                     continue;
                 }
@@ -333,8 +349,7 @@ pub(crate) mod test_model {
 
     impl LinearModel {
         pub fn capacity(&self, server: &ServerArch, goal_ms: f64) -> u32 {
-            (((goal_ms - self.base_ms) * server.speed_factor) / self.per_client_ms).floor()
-                as u32
+            (((goal_ms - self.base_ms) * server.speed_factor) / self.per_client_ms).floor() as u32
         }
     }
 
@@ -388,18 +403,27 @@ mod tests {
         // Capacities for goal 300: S ≈ (300−10)·0.4624/1 = 134,
         // F = 290, VF = 498. Demand 600 > 498 ⇒ fill VF first, then the
         // smallest sufficient for the remaining 102 ⇒ S (cap 134).
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(600, 300.0), 1.0).unwrap();
         assert_eq!(a.servers[2].scaled[0], m.capacity(&pool()[2], 300.0));
         assert_eq!(a.servers[0].scaled[0], 600 - m.capacity(&pool()[2], 300.0));
-        assert_eq!(a.servers[1].scaled[0], 0, "F skipped by the last-server exception");
+        assert_eq!(
+            a.servers[1].scaled[0], 0,
+            "F skipped by the last-server exception"
+        );
         assert_eq!(a.total_rejected_real(), 0);
     }
 
     #[test]
     fn smallest_sufficient_server_takes_a_small_class() {
         // 50 clients fit anywhere: the smallest-capacity server (S) wins.
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(50, 300.0), 1.0).unwrap();
         assert_eq!(a.servers[0].scaled[0], 50);
         assert_eq!(a.used_servers(), vec![0]);
@@ -407,7 +431,10 @@ mod tests {
 
     #[test]
     fn rejects_when_pool_exhausted() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let total_cap: u32 = pool().iter().map(|s| m.capacity(s, 300.0)).sum();
         let a = allocate(&m, &pool(), &one_class(total_cap + 100, 300.0), 1.0).unwrap();
         assert_eq!(a.total_rejected_real(), 100);
@@ -420,7 +447,10 @@ mod tests {
     #[test]
     fn higher_priority_class_served_first() {
         // Two classes; pool can only fit one of them.
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let total_cap: u32 = pool().iter().map(|s| m.capacity(s, 150.0)).sum();
         let w = Workload {
             classes: vec![
@@ -443,7 +473,10 @@ mod tests {
 
     #[test]
     fn slack_inflates_planning_population() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(100, 300.0), 1.5).unwrap();
         let scaled_total: u32 = a.servers.iter().map(|s| s.scaled[0]).sum();
         let real_total: u32 = a.servers.iter().map(|s| s.real[0]).sum();
@@ -453,7 +486,10 @@ mod tests {
 
     #[test]
     fn real_division_proportional_to_plan() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(600, 300.0), 1.0).unwrap();
         for s in &a.servers {
             if s.scaled[0] > 0 {
@@ -467,7 +503,10 @@ mod tests {
 
     #[test]
     fn zero_slack_allocates_nothing() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(100, 300.0), 0.0).unwrap();
         assert!(a.used_servers().is_empty());
         // All real clients are rejected (no plan shares to follow).
@@ -476,14 +515,20 @@ mod tests {
 
     #[test]
     fn impossible_goal_rejects_everything() {
-        let m = LinearModel { base_ms: 500.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 500.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&m, &pool(), &one_class(100, 300.0), 1.0).unwrap();
         assert_eq!(a.total_rejected_real(), 100);
     }
 
     #[test]
     fn server_workload_reconstruction() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let w = one_class(50, 300.0);
         let a = allocate(&m, &pool(), &w, 1.0).unwrap();
         let sw = a.server_workload(&w, 0);
@@ -493,7 +538,10 @@ mod tests {
 
     #[test]
     fn input_validation() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         assert!(allocate(&m, &[], &one_class(10, 300.0), 1.0).is_err());
         assert!(allocate(&m, &pool(), &one_class(10, 300.0), f64::NAN).is_err());
     }

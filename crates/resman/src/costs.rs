@@ -4,7 +4,6 @@
 use crate::algorithm::allocate;
 use crate::runtime::{evaluate_runtime, RuntimeOptions};
 use perfpred_core::{PerformanceModel, PredictError, ServerArch, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a cost sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +15,7 @@ pub struct SweepConfig {
 }
 
 /// One load's outcome at a fixed slack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPoint {
     /// Total clients offered.
     pub total_clients: u32,
@@ -56,7 +55,7 @@ where
 }
 
 /// The fig-7 aggregates for one slack value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlackCurve {
     /// The slack.
     pub slack: f64,
@@ -87,25 +86,27 @@ where
     // SUmax: average usage at the reference slack across pre-saturation
     // loads.
     let reference = sweep_loads(planner, truth, servers, template, config, reference_slack)?;
-    let pre_sat: Vec<&LoadPoint> =
-        reference.iter().filter(|p| p.server_usage_pct < 100.0).collect();
+    let pre_sat: Vec<&LoadPoint> = reference
+        .iter()
+        .filter(|p| p.server_usage_pct < 100.0)
+        .collect();
     if pre_sat.is_empty() {
         return Err(PredictError::OutOfRange(
             "every load saturates the pool; lower the sweep loads".into(),
         ));
     }
-    let su_max =
-        pre_sat.iter().map(|p| p.server_usage_pct).sum::<f64>() / pre_sat.len() as f64;
+    let su_max = pre_sat.iter().map(|p| p.server_usage_pct).sum::<f64>() / pre_sat.len() as f64;
 
     let mut curves = Vec::with_capacity(slacks.len());
     for &slack in slacks {
         let points = sweep_loads(planner, truth, servers, template, config, slack)?;
-        let pre: Vec<&LoadPoint> =
-            points.iter().filter(|p| p.server_usage_pct < 100.0).collect();
+        let pre: Vec<&LoadPoint> = points
+            .iter()
+            .filter(|p| p.server_usage_pct < 100.0)
+            .collect();
         let n = pre.len().max(1) as f64;
         let avg_fail = pre.iter().map(|p| p.sla_failure_pct).sum::<f64>() / n;
-        let avg_saving =
-            pre.iter().map(|p| su_max - p.server_usage_pct).sum::<f64>() / n;
+        let avg_saving = pre.iter().map(|p| su_max - p.server_usage_pct).sum::<f64>() / n;
         curves.push(SlackCurve {
             slack,
             avg_sla_failure_pct: avg_fail,
@@ -144,9 +145,11 @@ mod tests {
         // obtained server *set* change non-monotonically between nearby
         // loads (the paper's fig 5/6 spikes come from the same effect), so
         // assert the overall trend rather than per-step monotonicity.
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let points =
-            sweep_loads(&m, &m, &pool(), &paper_workload(100), &config(), 1.0).unwrap();
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let points = sweep_loads(&m, &m, &pool(), &paper_workload(100), &config(), 1.0).unwrap();
         assert!(points[0].server_usage_pct > 0.0);
         assert!(
             points.last().unwrap().server_usage_pct > points[0].server_usage_pct,
@@ -157,11 +160,13 @@ mod tests {
 
     #[test]
     fn accurate_planner_no_failures() {
-        let m = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let m = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         // Slack 1.0 with a perfect model and a 5 % runtime threshold can
         // still shed the marginal client; a small slack absorbs it.
-        let points =
-            sweep_loads(&m, &m, &pool(), &paper_workload(100), &config(), 1.1).unwrap();
+        let points = sweep_loads(&m, &m, &pool(), &paper_workload(100), &config(), 1.1).unwrap();
         for p in &points {
             assert_eq!(p.sla_failure_pct, 0.0, "failures at {}", p.total_clients);
         }
@@ -171,16 +176,31 @@ mod tests {
     fn uniform_error_compensated_by_equal_slack() {
         // §9.1: with uniform predictive error y, slack = y gives 0 % SLA
         // failures below 100 % usage.
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let y = 1.25;
-        let planner = UniformErrorModel::new(LinearModel { base_ms: 10.0, per_client_ms: 1.0 }, y);
+        let planner = UniformErrorModel::new(
+            LinearModel {
+                base_ms: 10.0,
+                per_client_ms: 1.0,
+            },
+            y,
+        );
         // Slack = y (plus the runtime threshold margin) ⇒ no failures.
         let good = sweep_loads(
             &planner,
             &truth,
             &pool(),
             &paper_workload(100),
-            &SweepConfig { loads: vec![100, 200, 300], runtime: RuntimeOptions { threshold: 0.0, optimize: false } },
+            &SweepConfig {
+                loads: vec![100, 200, 300],
+                runtime: RuntimeOptions {
+                    threshold: 0.0,
+                    optimize: false,
+                },
+            },
             y,
         )
         .unwrap();
@@ -193,7 +213,13 @@ mod tests {
             &truth,
             &pool(),
             &paper_workload(100),
-            &SweepConfig { loads: vec![300], runtime: RuntimeOptions { threshold: 0.0, optimize: false } },
+            &SweepConfig {
+                loads: vec![300],
+                runtime: RuntimeOptions {
+                    threshold: 0.0,
+                    optimize: false,
+                },
+            },
             1.0,
         )
         .unwrap();
@@ -202,8 +228,17 @@ mod tests {
 
     #[test]
     fn slack_reduction_trades_failures_for_savings() {
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let planner = UniformErrorModel::new(LinearModel { base_ms: 10.0, per_client_ms: 1.0 }, 1.1);
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let planner = UniformErrorModel::new(
+            LinearModel {
+                base_ms: 10.0,
+                per_client_ms: 1.0,
+            },
+            1.1,
+        );
         let (su_max, curves) = slack_sweep(
             &planner,
             &truth,
@@ -235,7 +270,7 @@ mod tests {
 /// failure and server usage metrics to their associated costs. Given such
 /// functions the y-axis of figure 7 could become a single cost axis ...
 /// Slack setting(s) with the lowest cost could then be determined."
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Penalty per percentage point of average SLA failures, in arbitrary
     /// currency units.
@@ -249,21 +284,17 @@ impl CostModel {
     /// server cost (expressed through the usage saving against `su_max`).
     pub fn total_cost(&self, curve: &SlackCurve, su_max: f64) -> f64 {
         let usage_pct = su_max - curve.avg_usage_saving_pct;
-        curve.avg_sla_failure_pct * self.sla_penalty_per_pct
-            + usage_pct * self.server_cost_per_pct
+        curve.avg_sla_failure_pct * self.sla_penalty_per_pct + usage_pct * self.server_cost_per_pct
     }
 
     /// The slack with the lowest total cost among the evaluated curves.
     /// Returns `None` on an empty slice.
     pub fn optimal_slack(&self, curves: &[SlackCurve], su_max: f64) -> Option<SlackCurve> {
-        curves
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                self.total_cost(a, su_max)
-                    .partial_cmp(&self.total_cost(b, su_max))
-                    .expect("finite costs")
-            })
+        curves.iter().copied().min_by(|a, b| {
+            self.total_cost(a, su_max)
+                .partial_cmp(&self.total_cost(b, su_max))
+                .expect("finite costs")
+        })
     }
 }
 
@@ -276,11 +307,31 @@ mod cost_tests {
         // grow roughly linearly.
         let su_max = 60.0;
         let curves = vec![
-            SlackCurve { slack: 1.1, avg_sla_failure_pct: 0.0, avg_usage_saving_pct: 0.0 },
-            SlackCurve { slack: 1.0, avg_sla_failure_pct: 0.5, avg_usage_saving_pct: 4.0 },
-            SlackCurve { slack: 0.9, avg_sla_failure_pct: 4.0, avg_usage_saving_pct: 8.0 },
-            SlackCurve { slack: 0.8, avg_sla_failure_pct: 12.0, avg_usage_saving_pct: 12.0 },
-            SlackCurve { slack: 0.0, avg_sla_failure_pct: 100.0, avg_usage_saving_pct: 60.0 },
+            SlackCurve {
+                slack: 1.1,
+                avg_sla_failure_pct: 0.0,
+                avg_usage_saving_pct: 0.0,
+            },
+            SlackCurve {
+                slack: 1.0,
+                avg_sla_failure_pct: 0.5,
+                avg_usage_saving_pct: 4.0,
+            },
+            SlackCurve {
+                slack: 0.9,
+                avg_sla_failure_pct: 4.0,
+                avg_usage_saving_pct: 8.0,
+            },
+            SlackCurve {
+                slack: 0.8,
+                avg_sla_failure_pct: 12.0,
+                avg_usage_saving_pct: 12.0,
+            },
+            SlackCurve {
+                slack: 0.0,
+                avg_sla_failure_pct: 100.0,
+                avg_usage_saving_pct: 60.0,
+            },
         ];
         (su_max, curves)
     }
@@ -288,7 +339,10 @@ mod cost_tests {
     #[test]
     fn expensive_sla_pushes_optimum_to_high_slack() {
         let (su_max, curves) = curves();
-        let costly_sla = CostModel { sla_penalty_per_pct: 100.0, server_cost_per_pct: 1.0 };
+        let costly_sla = CostModel {
+            sla_penalty_per_pct: 100.0,
+            server_cost_per_pct: 1.0,
+        };
         let best = costly_sla.optimal_slack(&curves, su_max).unwrap();
         assert_eq!(best.slack, 1.1);
     }
@@ -296,7 +350,10 @@ mod cost_tests {
     #[test]
     fn expensive_servers_push_optimum_to_low_slack() {
         let (su_max, curves) = curves();
-        let costly_servers = CostModel { sla_penalty_per_pct: 0.01, server_cost_per_pct: 10.0 };
+        let costly_servers = CostModel {
+            sla_penalty_per_pct: 0.01,
+            server_cost_per_pct: 10.0,
+        };
         let best = costly_servers.optimal_slack(&curves, su_max).unwrap();
         assert!(best.slack < 0.5, "best slack {}", best.slack);
     }
@@ -304,21 +361,43 @@ mod cost_tests {
     #[test]
     fn balanced_costs_pick_an_interior_optimum() {
         let (su_max, curves) = curves();
-        let balanced = CostModel { sla_penalty_per_pct: 1.2, server_cost_per_pct: 1.0 };
+        let balanced = CostModel {
+            sla_penalty_per_pct: 1.2,
+            server_cost_per_pct: 1.0,
+        };
         let best = balanced.optimal_slack(&curves, su_max).unwrap();
-        assert!(best.slack > 0.0 && best.slack < 1.1, "best slack {}", best.slack);
+        assert!(
+            best.slack > 0.0 && best.slack < 1.1,
+            "best slack {}",
+            best.slack
+        );
     }
 
     #[test]
     fn cost_is_monotone_in_components() {
         let (su_max, curves) = curves();
-        let m = CostModel { sla_penalty_per_pct: 2.0, server_cost_per_pct: 1.0 };
+        let m = CostModel {
+            sla_penalty_per_pct: 2.0,
+            server_cost_per_pct: 1.0,
+        };
         // More failures at equal saving costs more.
-        let a = SlackCurve { slack: 1.0, avg_sla_failure_pct: 1.0, avg_usage_saving_pct: 5.0 };
-        let b = SlackCurve { slack: 1.0, avg_sla_failure_pct: 3.0, avg_usage_saving_pct: 5.0 };
+        let a = SlackCurve {
+            slack: 1.0,
+            avg_sla_failure_pct: 1.0,
+            avg_usage_saving_pct: 5.0,
+        };
+        let b = SlackCurve {
+            slack: 1.0,
+            avg_sla_failure_pct: 3.0,
+            avg_usage_saving_pct: 5.0,
+        };
         assert!(m.total_cost(&b, su_max) > m.total_cost(&a, su_max));
         // More saving at equal failures costs less.
-        let c = SlackCurve { slack: 1.0, avg_sla_failure_pct: 1.0, avg_usage_saving_pct: 9.0 };
+        let c = SlackCurve {
+            slack: 1.0,
+            avg_sla_failure_pct: 1.0,
+            avg_usage_saving_pct: 9.0,
+        };
         assert!(m.total_cost(&c, su_max) < m.total_cost(&a, su_max));
         assert!(m.optimal_slack(&[], su_max).is_none());
         let _ = curves;

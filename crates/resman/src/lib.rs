@@ -34,6 +34,6 @@ pub mod workload_manager;
 
 pub use algorithm::{allocate, Allocation, ServerAllocation};
 pub use costs::{slack_sweep, sweep_loads, CostModel, LoadPoint, SlackCurve, SweepConfig};
-pub use runtime::{evaluate_runtime, RuntimeOutcome, RuntimeOptions};
+pub use runtime::{evaluate_runtime, RuntimeOptions, RuntimeOutcome};
 pub use scenario::{paper_pool, paper_workload, UniformErrorModel};
 pub use workload_manager::{rebalance, route_new_clients, Division, RebalanceOptions, Transfer};

@@ -24,7 +24,10 @@ pub struct RuntimeOptions {
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        RuntimeOptions { threshold: 0.05, optimize: true }
+        RuntimeOptions {
+            threshold: 0.05,
+            optimize: true,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ fn counts_workload(template: &Workload, counts: &[u32]) -> Workload {
             .classes
             .iter()
             .zip(counts)
-            .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+            .map(|(c, &n)| ClassLoad {
+                class: c.class.clone(),
+                clients: n,
+            })
             .collect(),
     }
 }
@@ -67,13 +73,17 @@ fn within_threshold<T: PerformanceModel + ?Sized>(
         return Ok(true);
     }
     let w = counts_workload(template, counts);
+    perfpred_core::metrics::counter("resman.predictions").incr();
     let p = truth.predict(server, &w)?;
     for (i, load) in w.classes.iter().enumerate() {
         if load.clients == 0 {
             continue;
         }
         if let Some(goal) = load.class.rt_goal_ms {
-            if p.per_class_mrt_ms[i] > goal * (1.0 - threshold) {
+            // A NaN prediction must count as a violation; a plain `>`
+            // check would silently pass it (`NaN > x` is false).
+            let mrt = p.per_class_mrt_ms[i];
+            if mrt.is_nan() || mrt > goal * (1.0 - threshold) {
                 return Ok(false);
             }
         }
@@ -131,9 +141,18 @@ pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
     // Priority orders (by response-time goal).
     let mut by_goal: Vec<usize> = (0..kn).collect();
     by_goal.sort_by(|&a, &b| {
-        let ga = template.classes[a].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-        let gb = template.classes[b].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-        ga.partial_cmp(&gb).unwrap().then(a.cmp(&b))
+        let ga = template.classes[a]
+            .class
+            .rt_goal_ms
+            .unwrap_or(f64::INFINITY);
+        let gb = template.classes[b]
+            .class
+            .rt_goal_ms
+            .unwrap_or(f64::INFINITY);
+        // total_cmp: a NaN goal (e.g. from a degenerate model or SLA
+        // config) must not panic the resource manager mid-allocation; it
+        // sorts after every real goal instead.
+        ga.total_cmp(&gb).then(a.cmp(&b))
     });
 
     let mut admitted: Vec<Vec<u32>> = allocation.servers.iter().map(|s| s.real.clone()).collect();
@@ -149,8 +168,15 @@ pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
             if current == 0 {
                 continue;
             }
-            let keep =
-                max_keepable(truth, server, template, &admitted[si], ci, current, opts.threshold)?;
+            let keep = max_keepable(
+                truth,
+                server,
+                template,
+                &admitted[si],
+                ci,
+                current,
+                opts.threshold,
+            )?;
             rejected[ci] += current - keep;
             admitted[si][ci] = keep;
         }
@@ -190,8 +216,11 @@ pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
 
     let total: u32 = template.classes.iter().map(|c| c.clients).sum();
     let total_rejected: u32 = rejected.iter().sum();
-    let sla_failure_pct =
-        if total > 0 { 100.0 * f64::from(total_rejected) / f64::from(total) } else { 0.0 };
+    let sla_failure_pct = if total > 0 {
+        100.0 * f64::from(total_rejected) / f64::from(total)
+    } else {
+        0.0
+    };
 
     let pool_power: f64 = servers.iter().map(|s| s.max_throughput_rps).sum();
     let used_power: f64 = allocation
@@ -199,9 +228,18 @@ pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
         .iter()
         .map(|&si| servers[si].max_throughput_rps)
         .sum();
-    let server_usage_pct = if pool_power > 0.0 { 100.0 * used_power / pool_power } else { 0.0 };
+    let server_usage_pct = if pool_power > 0.0 {
+        100.0 * used_power / pool_power
+    } else {
+        0.0
+    };
 
-    Ok(RuntimeOutcome { admitted, rejected_per_class: rejected, sla_failure_pct, server_usage_pct })
+    Ok(RuntimeOutcome {
+        admitted,
+        rejected_per_class: rejected,
+        sla_failure_pct,
+        server_usage_pct,
+    })
 }
 
 /// Most clients of class `ci` addable on top of `counts` while staying
@@ -242,17 +280,24 @@ fn max_addable_runtime<T: PerformanceModel + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::test_model::LinearModel;
     use crate::algorithm::allocate;
+    use crate::algorithm::test_model::LinearModel;
     use perfpred_core::ServiceClass;
 
     fn pool() -> Vec<ServerArch> {
-        vec![ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+        vec![
+            ServerArch::app_serv_s(),
+            ServerArch::app_serv_f(),
+            ServerArch::app_serv_vf(),
+        ]
     }
 
     fn one_class(clients: u32, goal: f64) -> Workload {
         Workload {
-            classes: vec![ClassLoad { class: ServiceClass::browse().with_goal(goal), clients }],
+            classes: vec![ClassLoad {
+                class: ServiceClass::browse().with_goal(goal),
+                clients,
+            }],
         }
     }
 
@@ -260,12 +305,17 @@ mod tests {
     fn accurate_model_with_margin_means_no_failures() {
         // Planner predicts higher response times than the truth, so the
         // plan is conservative and the runtime sheds nothing.
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let planner = LinearModel { base_ms: 10.0, per_client_ms: 1.2 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let planner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.2,
+        };
         let w = one_class(300, 300.0);
         let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
-        let out =
-            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        let out = evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
         assert_eq!(out.sla_failure_pct, 0.0);
         let served: u32 = out.admitted.iter().map(|s| s[0]).sum();
         assert_eq!(served, 300);
@@ -275,14 +325,23 @@ mod tests {
     fn optimistic_model_causes_runtime_rejections() {
         // Planner thinks servers are twice as capable as they are, and the
         // pool is too small for the optimiser to rescue the overflow.
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.5 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let planner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 0.5,
+        };
         let total_true_cap: u32 = pool().iter().map(|s| truth.capacity(s, 300.0)).sum();
         let w = one_class(total_true_cap + 200, 300.0);
         let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
-        let out =
-            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
-        assert!(out.sla_failure_pct > 0.0, "failures {}", out.sla_failure_pct);
+        let out = evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        assert!(
+            out.sla_failure_pct > 0.0,
+            "failures {}",
+            out.sla_failure_pct
+        );
         // Threshold keeps every server's true response under goal.
         for (si, server) in pool().iter().enumerate() {
             let n: u32 = out.admitted[si].iter().sum();
@@ -295,8 +354,14 @@ mod tests {
     fn optimization_rescues_rejected_clients() {
         // Planner badly underestimates one server's capacity; without the
         // optimiser those clients are lost, with it they fit elsewhere.
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.8 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let planner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 0.8,
+        };
         let w = one_class(520, 300.0);
         let a = allocate(&planner, &pool(), &w, 1.0).unwrap();
         let no_opt = evaluate_runtime(
@@ -304,19 +369,27 @@ mod tests {
             &pool(),
             &w,
             &a,
-            &RuntimeOptions { optimize: false, ..Default::default() },
+            &RuntimeOptions {
+                optimize: false,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let opt =
-            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        let opt = evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
         assert!(opt.sla_failure_pct <= no_opt.sla_failure_pct);
     }
 
     #[test]
     fn lowest_priority_class_shed_first() {
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         // Optimistic planner over-packs a single server.
-        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.4 };
+        let planner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 0.4,
+        };
         let w = Workload {
             classes: vec![
                 ClassLoad {
@@ -336,7 +409,10 @@ mod tests {
             &single,
             &w,
             &a,
-            &RuntimeOptions { optimize: false, ..Default::default() },
+            &RuntimeOptions {
+                optimize: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // The loose-goal class absorbs the shedding before the tight one.
@@ -346,11 +422,13 @@ mod tests {
 
     #[test]
     fn usage_metric_reflects_plan_not_runtime() {
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let w = one_class(50, 300.0);
         let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
-        let out =
-            evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        let out = evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
         // 50 clients fit on AppServS alone: usage = 86/(86+186+320).
         let expect = 100.0 * 86.0 / (86.0 + 186.0 + 320.0);
         assert!((out.server_usage_pct - expect).abs() < 1e-9);
@@ -358,7 +436,10 @@ mod tests {
 
     #[test]
     fn planner_rejections_carry_into_runtime() {
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let total_cap: u32 = pool().iter().map(|s| truth.capacity(s, 300.0)).sum();
         let w = one_class(total_cap + 300, 300.0);
         let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
@@ -367,9 +448,68 @@ mod tests {
             &pool(),
             &w,
             &a,
-            &RuntimeOptions { optimize: false, threshold: 0.0 },
+            &RuntimeOptions {
+                optimize: false,
+                threshold: 0.0,
+            },
         )
         .unwrap();
         assert!(out.rejected_per_class[0] >= 290); // ≈ 300 minus rounding
+    }
+
+    /// A stub model that always predicts NaN response times.
+    struct NanModel;
+
+    impl perfpred_core::PerformanceModel for NanModel {
+        fn method_name(&self) -> &str {
+            "nan-stub"
+        }
+        fn predict(
+            &self,
+            _server: &ServerArch,
+            workload: &Workload,
+        ) -> Result<perfpred_core::Prediction, perfpred_core::PredictError> {
+            Ok(perfpred_core::Prediction {
+                mrt_ms: f64::NAN,
+                per_class_mrt_ms: vec![f64::NAN; workload.classes.len()],
+                throughput_rps: f64::NAN,
+                utilization: None,
+                saturated: false,
+            })
+        }
+    }
+
+    #[test]
+    fn nan_goals_and_nan_models_do_not_panic() {
+        // A NaN response-time goal (degenerate SLA config) must not panic
+        // the goal-priority sorts; it orders after every real goal.
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let w = Workload {
+            classes: vec![
+                ClassLoad {
+                    class: ServiceClass::browse().named("bad").with_goal(f64::NAN),
+                    clients: 40,
+                },
+                ClassLoad {
+                    class: ServiceClass::browse().named("ok").with_goal(300.0),
+                    clients: 60,
+                },
+            ],
+        };
+        let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
+        let out = evaluate_runtime(&truth, &pool(), &w, &a, &RuntimeOptions::default()).unwrap();
+        assert!(out.sla_failure_pct.is_finite());
+
+        // A model that returns NaN predictions must not panic either: the
+        // runtime treats a NaN response as a goal violation and sheds.
+        let w2 = one_class(100, 300.0);
+        let plan = allocate(&truth, &pool(), &w2, 1.0).unwrap();
+        let out2 =
+            evaluate_runtime(&NanModel, &pool(), &w2, &plan, &RuntimeOptions::default()).unwrap();
+        let served: u32 = out2.admitted.iter().map(|s| s[0]).sum();
+        assert_eq!(served, 0, "NaN truth can never satisfy a goal");
     }
 }

@@ -31,7 +31,10 @@ pub fn paper_workload(total: u32) -> Workload {
     let lo = total - buy - hi;
     Workload {
         classes: vec![
-            ClassLoad { class: ServiceClass::buy().named("buy").with_goal(150.0), clients: buy },
+            ClassLoad {
+                class: ServiceClass::buy().named("buy").with_goal(150.0),
+                clients: buy,
+            },
             ClassLoad {
                 class: ServiceClass::browse().named("browse-hi").with_goal(300.0),
                 clients: hi,
@@ -80,7 +83,11 @@ impl<M: PerformanceModel> PerformanceModel for UniformErrorModel<M> {
         "uniform-error"
     }
 
-    fn predict(&self, server: &ServerArch, workload: &Workload) -> Result<Prediction, PredictError> {
+    fn predict(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Result<Prediction, PredictError> {
         // Evaluate the inner model at n/y clients but report the original
         // class structure (scaled() preserves classes).
         let scaled = workload.scaled(1.0 / self.y);
@@ -88,8 +95,8 @@ impl<M: PerformanceModel> PerformanceModel for UniformErrorModel<M> {
         // Throughput is still produced by the *real* population; keep the
         // inner model's rate estimate per client.
         if scaled.total_clients() > 0 {
-            p.throughput_rps *= f64::from(workload.total_clients())
-                / f64::from(scaled.total_clients());
+            p.throughput_rps *=
+                f64::from(workload.total_clients()) / f64::from(scaled.total_clients());
         }
         Ok(p)
     }
@@ -125,8 +132,17 @@ mod tests {
 
     #[test]
     fn uniform_error_shifts_predictions() {
-        let inner = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let m = UniformErrorModel::new(LinearModel { base_ms: 10.0, per_client_ms: 1.0 }, 2.0);
+        let inner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let m = UniformErrorModel::new(
+            LinearModel {
+                base_ms: 10.0,
+                per_client_ms: 1.0,
+            },
+            2.0,
+        );
         let server = ServerArch::app_serv_f();
         let w = Workload::typical(200);
         let wrapped = m.predict(&server, &w).unwrap();
@@ -141,9 +157,18 @@ mod tests {
 
     #[test]
     fn capacity_overestimated_by_y() {
-        let inner = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let inner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let y = 1.25;
-        let m = UniformErrorModel::new(LinearModel { base_ms: 10.0, per_client_ms: 1.0 }, y);
+        let m = UniformErrorModel::new(
+            LinearModel {
+                base_ms: 10.0,
+                per_client_ms: 1.0,
+            },
+            y,
+        );
         let server = ServerArch::app_serv_f();
         let true_cap = inner.capacity(&server, 300.0);
         let template = Workload {

@@ -26,7 +26,11 @@ pub struct RebalanceOptions {
 
 impl Default for RebalanceOptions {
     fn default() -> Self {
-        RebalanceOptions { max_step: 25, max_moves: 400, margin: 0.05 }
+        RebalanceOptions {
+            max_step: 25,
+            max_moves: 400,
+            margin: 0.05,
+        }
     }
 }
 
@@ -54,7 +58,9 @@ pub struct Division {
 impl Division {
     /// Starts from an allocation's real division.
     pub fn from_allocation(allocation: &Allocation) -> Self {
-        Division { assignments: allocation.servers.iter().map(|s| s.real.clone()).collect() }
+        Division {
+            assignments: allocation.servers.iter().map(|s| s.real.clone()).collect(),
+        }
     }
 
     /// The workload currently on server `si`.
@@ -64,7 +70,10 @@ impl Division {
                 .classes
                 .iter()
                 .zip(&self.assignments[si])
-                .map(|(c, &n)| ClassLoad { class: c.class.clone(), clients: n })
+                .map(|(c, &n)| ClassLoad {
+                    class: c.class.clone(),
+                    clients: n,
+                })
                 .collect(),
         }
     }
@@ -72,7 +81,9 @@ impl Division {
     /// Total clients per class across the tier.
     pub fn totals(&self) -> Vec<u32> {
         let kn = self.assignments.first().map(|a| a.len()).unwrap_or(0);
-        (0..kn).map(|ci| self.assignments.iter().map(|a| a[ci]).sum()).collect()
+        (0..kn)
+            .map(|ci| self.assignments.iter().map(|a| a[ci]).sum())
+            .collect()
     }
 }
 
@@ -101,7 +112,9 @@ fn violations<M: PerformanceModel + ?Sized>(
             }
         }
     }
-    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    // total_cmp: the overshoot factor comes straight from the model; a
+    // NaN prediction must not panic the workload manager.
+    out.sort_by(|a, b| b.2.total_cmp(&a.2));
     Ok(out)
 }
 
@@ -124,7 +137,10 @@ fn can_absorb<M: PerformanceModel + ?Sized>(
             .classes
             .iter()
             .zip(&c)
-            .map(|(cl, &n)| ClassLoad { class: cl.class.clone(), clients: n })
+            .map(|(cl, &n)| ClassLoad {
+                class: cl.class.clone(),
+                clients: n,
+            })
             .collect(),
     };
     let p = model.predict(server, &w)?;
@@ -155,7 +171,9 @@ pub fn rebalance<M: PerformanceModel + ?Sized>(
     let mut transfers = Vec::new();
     for _ in 0..opts.max_moves {
         let viol = violations(model, servers, template, division)?;
-        let Some(&(from, ci, _)) = viol.first() else { break };
+        let Some(&(from, ci, _)) = viol.first() else {
+            break;
+        };
         let step = opts.max_step.min(division.assignments[from][ci]).max(1);
         // Destination: the server with capacity for the chunk; prefer the
         // one that can absorb the most of this class (fewer future moves).
@@ -164,7 +182,15 @@ pub fn rebalance<M: PerformanceModel + ?Sized>(
             if si == from {
                 continue;
             }
-            if can_absorb(model, server, template, &division.assignments[si], ci, step, opts.margin)? {
+            if can_absorb(
+                model,
+                server,
+                template,
+                &division.assignments[si],
+                ci,
+                step,
+                opts.margin,
+            )? {
                 best = Some(si);
                 break;
             }
@@ -197,7 +223,12 @@ pub fn rebalance<M: PerformanceModel + ?Sized>(
         };
         division.assignments[from][ci] -= step;
         division.assignments[to][ci] += step;
-        transfers.push(Transfer { from, to, class: ci, clients: step });
+        transfers.push(Transfer {
+            from,
+            to,
+            class: ci,
+            clients: step,
+        });
     }
     Ok(transfers)
 }
@@ -218,7 +249,15 @@ pub fn route_new_clients<M: PerformanceModel + ?Sized>(
 ) -> Result<Option<usize>, PredictError> {
     let mut best: Option<(usize, u32)> = None; // (server, headroom proxy)
     for (si, server) in servers.iter().enumerate() {
-        if !can_absorb(model, server, template, &division.assignments[si], ci, clients, margin)? {
+        if !can_absorb(
+            model,
+            server,
+            template,
+            &division.assignments[si],
+            ci,
+            clients,
+            margin,
+        )? {
             continue;
         }
         // Headroom proxy: how many *more* clients beyond the batch would
@@ -259,7 +298,11 @@ mod tests {
     use perfpred_core::ServiceClass;
 
     fn servers() -> Vec<ServerArch> {
-        vec![ServerArch::app_serv_s(), ServerArch::app_serv_f(), ServerArch::app_serv_vf()]
+        vec![
+            ServerArch::app_serv_s(),
+            ServerArch::app_serv_f(),
+            ServerArch::app_serv_vf(),
+        ]
     }
 
     fn template() -> Workload {
@@ -274,11 +317,21 @@ mod tests {
     #[test]
     fn rebalance_clears_a_skewed_division() {
         // Everything piled on the slow server; the fast servers are idle.
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let mut division = Division { assignments: vec![vec![400], vec![0], vec![0]] };
-        let transfers =
-            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
-                .unwrap();
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let mut division = Division {
+            assignments: vec![vec![400], vec![0], vec![0]],
+        };
+        let transfers = rebalance(
+            &model,
+            &servers(),
+            &template(),
+            &mut division,
+            &Default::default(),
+        )
+        .unwrap();
         assert!(!transfers.is_empty());
         // Conservation.
         assert_eq!(division.totals(), vec![400]);
@@ -291,12 +344,22 @@ mod tests {
 
     #[test]
     fn rebalance_is_noop_when_balanced() {
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let mut division = Division { assignments: vec![vec![50], vec![100], vec![150]] };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let mut division = Division {
+            assignments: vec![vec![50], vec![100], vec![150]],
+        };
         let before = division.clone();
-        let transfers =
-            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
-                .unwrap();
+        let transfers = rebalance(
+            &model,
+            &servers(),
+            &template(),
+            &mut division,
+            &Default::default(),
+        )
+        .unwrap();
         assert!(transfers.is_empty());
         assert_eq!(division, before);
     }
@@ -304,35 +367,55 @@ mod tests {
     #[test]
     fn overload_leaves_residual_violations_for_runtime() {
         // More clients than the whole tier can hold within the goal.
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let total_cap: u32 = servers().iter().map(|s| model.capacity(s, 300.0)).sum();
-        let mut division = Division { assignments: vec![vec![total_cap + 500], vec![0], vec![0]] };
-        let _ =
-            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
-                .unwrap();
+        let mut division = Division {
+            assignments: vec![vec![total_cap + 500], vec![0], vec![0]],
+        };
+        let _ = rebalance(
+            &model,
+            &servers(),
+            &template(),
+            &mut division,
+            &Default::default(),
+        )
+        .unwrap();
         // Conservation even under overload.
         assert_eq!(division.totals(), vec![total_cap + 500]);
     }
 
     #[test]
     fn routing_prefers_headroom() {
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         // Fast server busy, slow idle: a small batch should go where the
         // *remaining* headroom is larger.
-        let mut division = Division { assignments: vec![vec![0], vec![0], vec![400]] };
-        let to = route_new_clients(&model, &servers(), &template(), &mut division, 0, 20, 0.05)
-            .unwrap();
+        let mut division = Division {
+            assignments: vec![vec![0], vec![0], vec![400]],
+        };
+        let to =
+            route_new_clients(&model, &servers(), &template(), &mut division, 0, 20, 0.05).unwrap();
         assert_eq!(to, Some(1), "expected the idle fast server, got {to:?}");
         assert_eq!(division.assignments[1][0], 20);
     }
 
     #[test]
     fn routing_refuses_when_full() {
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let caps: Vec<u32> = servers().iter().map(|s| model.capacity(s, 300.0)).collect();
-        let mut division = Division { assignments: caps.iter().map(|&c| vec![c]).collect() };
-        let to = route_new_clients(&model, &servers(), &template(), &mut division, 0, 50, 0.05)
-            .unwrap();
+        let mut division = Division {
+            assignments: caps.iter().map(|&c| vec![c]).collect(),
+        };
+        let to =
+            route_new_clients(&model, &servers(), &template(), &mut division, 0, 50, 0.05).unwrap();
         assert_eq!(to, None);
         // Division untouched on refusal.
         assert_eq!(division.totals()[0], caps.iter().sum::<u32>());
@@ -340,11 +423,21 @@ mod tests {
 
     #[test]
     fn transfers_are_well_formed() {
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
-        let mut division = Division { assignments: vec![vec![350], vec![10], vec![10]] };
-        let transfers =
-            rebalance(&model, &servers(), &template(), &mut division, &Default::default())
-                .unwrap();
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let mut division = Division {
+            assignments: vec![vec![350], vec![10], vec![10]],
+        };
+        let transfers = rebalance(
+            &model,
+            &servers(),
+            &template(),
+            &mut division,
+            &Default::default(),
+        )
+        .unwrap();
         for t in &transfers {
             assert_ne!(t.from, t.to);
             assert!(t.clients > 0);

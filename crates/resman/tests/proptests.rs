@@ -1,4 +1,4 @@
-//! Property-based tests for the resource manager: allocation conservation,
+//! Property-style tests for the resource manager: allocation conservation,
 //! capacity respect, and slack behaviour, against a transparent linear
 //! capacity model.
 
@@ -8,7 +8,32 @@ use perfpred_core::{
 };
 use perfpred_resman::algorithm::allocate;
 use perfpred_resman::runtime::{evaluate_runtime, RuntimeOptions};
-use proptest::prelude::*;
+
+/// Minimal xorshift64* generator for deterministic case sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 /// Linear test model: mrt = base + total_clients · k / speed.
 struct LinearModel {
@@ -50,44 +75,56 @@ fn workload(counts: &[u32], goals: &[f64]) -> Workload {
             .zip(goals)
             .enumerate()
             .map(|(i, (&clients, &goal))| ClassLoad {
-                class: ServiceClass::browse().named(format!("c{i}")).with_goal(goal),
+                class: ServiceClass::browse()
+                    .named(format!("c{i}"))
+                    .with_goal(goal),
                 clients,
             })
             .collect(),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every real client is either placed on exactly one server or
-    /// rejected; nothing is duplicated or lost, at any slack.
-    #[test]
-    fn allocation_conserves_clients(
-        counts in proptest::collection::vec(0u32..2_000, 1..4),
-        n_servers in 1usize..8,
-        slack in 0.0f64..2.0,
-    ) {
+/// Every real client is either placed on exactly one server or rejected;
+/// nothing is duplicated or lost, at any slack.
+#[test]
+fn allocation_conserves_clients() {
+    let mut rng = Rng::new(0xAE_0001);
+    for _ in 0..48 {
+        let n_classes = rng.int(1, 4) as usize;
+        let counts: Vec<u32> = (0..n_classes).map(|_| rng.int(0, 2_000) as u32).collect();
+        let n_servers = rng.int(1, 8) as usize;
+        let slack = rng.range(0.0, 2.0);
         let goals: Vec<f64> = (0..counts.len()).map(|i| 150.0 * (i + 1) as f64).collect();
         let w = workload(&counts, &goals);
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let a = allocate(&model, &pool(n_servers), &w, slack).unwrap();
         for (ci, &c) in counts.iter().enumerate() {
             let placed: u32 = a.servers.iter().map(|s| s.real[ci]).sum();
-            prop_assert_eq!(placed + a.rejected_real[ci], c, "class {}", ci);
+            assert_eq!(placed + a.rejected_real[ci], c, "class {ci}");
         }
     }
+}
 
-    /// The plan never exceeds any server's predicted capacity (checking
-    /// the planner's own goal predicate on the final allocation).
-    #[test]
-    fn allocation_respects_predicted_capacity(
-        counts in proptest::collection::vec(1u32..1_500, 1..4),
-        n_servers in 1usize..8,
-    ) {
-        let goals: Vec<f64> = (0..counts.len()).map(|i| 200.0 + 150.0 * i as f64).collect();
+/// The plan never exceeds any server's predicted capacity (checking the
+/// planner's own goal predicate on the final allocation).
+#[test]
+fn allocation_respects_predicted_capacity() {
+    let mut rng = Rng::new(0xAE_0002);
+    for _ in 0..48 {
+        let n_classes = rng.int(1, 4) as usize;
+        let counts: Vec<u32> = (0..n_classes).map(|_| rng.int(1, 1_500) as u32).collect();
+        let n_servers = rng.int(1, 8) as usize;
+        let goals: Vec<f64> = (0..counts.len())
+            .map(|i| 200.0 + 150.0 * i as f64)
+            .collect();
         let w = workload(&counts, &goals);
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let servers = pool(n_servers);
         let a = allocate(&model, &servers, &w, 1.0).unwrap();
         for (si, server) in servers.iter().enumerate() {
@@ -99,26 +136,34 @@ proptest! {
             for (i, load) in sw.classes.iter().enumerate() {
                 if load.clients > 0 {
                     if let Some(goal) = load.class.rt_goal_ms {
-                        prop_assert!(
+                        assert!(
                             p.per_class_mrt_ms[i] <= goal + 1e-9,
-                            "server {} class {} violates plan", si, i
+                            "server {si} class {i} violates plan"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// With a perfect planner and zero threshold, runtime failures equal
-    /// the planner's own rejections (nothing extra shed or rescued).
-    #[test]
-    fn perfect_planner_runtime_agreement(
-        counts in proptest::collection::vec(1u32..1_200, 1..3),
-        n_servers in 1usize..6,
-    ) {
-        let goals: Vec<f64> = (0..counts.len()).map(|i| 250.0 + 200.0 * i as f64).collect();
+/// With a perfect planner and zero threshold, runtime failures equal the
+/// planner's own rejections (nothing extra shed or rescued).
+#[test]
+fn perfect_planner_runtime_agreement() {
+    let mut rng = Rng::new(0xAE_0003);
+    for _ in 0..48 {
+        let n_classes = rng.int(1, 3) as usize;
+        let counts: Vec<u32> = (0..n_classes).map(|_| rng.int(1, 1_200) as u32).collect();
+        let n_servers = rng.int(1, 6) as usize;
+        let goals: Vec<f64> = (0..counts.len())
+            .map(|i| 250.0 + 200.0 * i as f64)
+            .collect();
         let w = workload(&counts, &goals);
-        let model = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let servers = pool(n_servers);
         let a = allocate(&model, &servers, &w, 1.0).unwrap();
         let out = evaluate_runtime(
@@ -126,26 +171,38 @@ proptest! {
             &servers,
             &w,
             &a,
-            &RuntimeOptions { threshold: 0.0, optimize: false },
+            &RuntimeOptions {
+                threshold: 0.0,
+                optimize: false,
+            },
         )
         .unwrap();
         let planned_rejects: u32 = a.rejected_real.iter().sum();
         let runtime_rejects: u32 = out.rejected_per_class.iter().sum();
-        prop_assert_eq!(planned_rejects, runtime_rejects);
+        assert_eq!(planned_rejects, runtime_rejects);
     }
+}
 
-    /// Failures never exceed 100 % and usage stays within [0, 100].
-    #[test]
-    fn metrics_bounded(
-        counts in proptest::collection::vec(0u32..3_000, 1..4),
-        n_servers in 1usize..10,
-        slack in 0.0f64..2.0,
-        threshold in 0.0f64..0.2,
-    ) {
+/// Failures never exceed 100 % and usage stays within [0, 100].
+#[test]
+fn metrics_bounded() {
+    let mut rng = Rng::new(0xAE_0004);
+    for _ in 0..48 {
+        let n_classes = rng.int(1, 4) as usize;
+        let counts: Vec<u32> = (0..n_classes).map(|_| rng.int(0, 3_000) as u32).collect();
+        let n_servers = rng.int(1, 10) as usize;
+        let slack = rng.range(0.0, 2.0);
+        let threshold = rng.range(0.0, 0.2);
         let goals: Vec<f64> = (0..counts.len()).map(|i| 120.0 * (i + 1) as f64).collect();
         let w = workload(&counts, &goals);
-        let planner = LinearModel { base_ms: 10.0, per_client_ms: 0.8 };
-        let truth = LinearModel { base_ms: 10.0, per_client_ms: 1.0 };
+        let planner = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 0.8,
+        };
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
         let servers = pool(n_servers);
         let a = allocate(&planner, &servers, &w, slack).unwrap();
         let out = evaluate_runtime(
@@ -153,15 +210,18 @@ proptest! {
             &servers,
             &w,
             &a,
-            &RuntimeOptions { threshold, optimize: true },
+            &RuntimeOptions {
+                threshold,
+                optimize: true,
+            },
         )
         .unwrap();
-        prop_assert!((0.0..=100.0 + 1e-9).contains(&out.sla_failure_pct));
-        prop_assert!((0.0..=100.0 + 1e-9).contains(&out.server_usage_pct));
+        assert!((0.0..=100.0 + 1e-9).contains(&out.sla_failure_pct));
+        assert!((0.0..=100.0 + 1e-9).contains(&out.server_usage_pct));
         // Runtime never serves clients that were never allocated.
         for (ci, load) in w.classes.iter().enumerate() {
             let served: u32 = out.admitted.iter().map(|s| s[ci]).sum();
-            prop_assert!(served <= load.clients);
+            assert!(served <= load.clients);
         }
     }
 }

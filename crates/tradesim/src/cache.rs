@@ -129,11 +129,21 @@ impl SessionCache {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node { key, size, prev: NIL, next: NIL };
+                self.nodes[i] = Node {
+                    key,
+                    size,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { key, size, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    key,
+                    size,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };

@@ -50,7 +50,12 @@ pub fn calibrate_request_type(
     let app_demand_ms = point.app_cpu_utilization * 1_000.0 / x;
     let db_demand_ms = point.db_cpu_utilization * 1_000.0 / (x * db_calls);
     let disk_demand_ms = point.disk_utilization * 1_000.0 / (x * db_calls);
-    RequestTypeParams { app_demand_ms, db_demand_ms, db_calls, disk_demand_ms }
+    RequestTypeParams {
+        app_demand_ms,
+        db_demand_ms,
+        db_calls,
+        disk_demand_ms,
+    }
 }
 
 /// Produces a full [`TradeLqnConfig`] calibrated on `server` (the paper
@@ -88,9 +93,19 @@ mod tests {
         );
         // CPU demand recovered within a few percent of ground truth.
         let rel = (p.app_demand_ms - gt.browse_app_demand_ms).abs() / gt.browse_app_demand_ms;
-        assert!(rel < 0.05, "app demand {} vs {}", p.app_demand_ms, gt.browse_app_demand_ms);
+        assert!(
+            rel < 0.05,
+            "app demand {} vs {}",
+            p.app_demand_ms,
+            gt.browse_app_demand_ms
+        );
         let rel_db = (p.db_demand_ms - gt.browse_db_demand_ms).abs() / gt.browse_db_demand_ms;
-        assert!(rel_db < 0.08, "db demand {} vs {}", p.db_demand_ms, gt.browse_db_demand_ms);
+        assert!(
+            rel_db < 0.08,
+            "db demand {} vs {}",
+            p.db_demand_ms,
+            gt.browse_db_demand_ms
+        );
         assert!((p.db_calls - 1.14).abs() < 1e-9);
         // Effective disk demand ≈ miss-prob × disk service.
         let expect_disk = gt.disk_miss_prob * gt.disk_service_ms;

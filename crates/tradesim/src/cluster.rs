@@ -90,7 +90,9 @@ struct DbFront {
 impl DbFront {
     fn new(servers: usize, limit: usize) -> Self {
         DbFront {
-            queues: (0..servers).map(|_| std::collections::VecDeque::new()).collect(),
+            queues: (0..servers)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             in_use: 0,
             limit,
             rr: 0,
@@ -175,14 +177,21 @@ impl ClusterSim {
         assert!(db_speed > 0.0);
         let n_classes = assignments[0].classes.len();
         for w in assignments {
-            assert_eq!(w.classes.len(), n_classes, "uniform class lists across servers");
+            assert_eq!(
+                w.classes.len(),
+                n_classes,
+                "uniform class lists across servers"
+            );
         }
         let root = SimRng::seed_from(opts.seed);
         let ops = OpTable::new(gt.browse_app_demand_ms, gt.buy_app_demand_ms);
 
         let mut clients = Vec::new();
-        let class_think_ms: Vec<f64> =
-            assignments[0].classes.iter().map(|c| c.class.think_time_ms).collect();
+        let class_think_ms: Vec<f64> = assignments[0]
+            .classes
+            .iter()
+            .map(|c| c.class.think_time_ms)
+            .collect();
         for (si, w) in assignments.iter().enumerate() {
             for (ci, load) in w.classes.iter().enumerate() {
                 for _ in 0..load.clients {
@@ -190,7 +199,11 @@ impl ClusterSim {
                         RequestType::Browse => None,
                         RequestType::Buy => Some(BuySession::start()),
                     };
-                    clients.push(Client { class_idx: ci, server_idx: si, session });
+                    clients.push(Client {
+                        class_idx: ci,
+                        server_idx: si,
+                        session,
+                    });
                 }
             }
         }
@@ -209,7 +222,11 @@ impl ClusterSim {
         let stats = (0..archs.len())
             .map(|_| {
                 (0..n_classes)
-                    .map(|_| ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 })
+                    .map(|_| ClassRaw {
+                        rt: Welford::new(),
+                        samples: Vec::new(),
+                        completed: 0,
+                    })
                     .collect()
             })
             .collect();
@@ -285,8 +302,10 @@ impl ClusterSim {
     }
 
     fn issue(&mut self, now: f64, client_id: usize) {
-        let (class_idx, server_idx) =
-            (self.clients[client_id].class_idx, self.clients[client_id].server_idx);
+        let (class_idx, server_idx) = (
+            self.clients[client_id].class_idx,
+            self.clients[client_id].server_idx,
+        );
         let op: Op = match self.clients[client_id].session {
             None => self.ops.sample_browse(&mut self.rng_ops),
             Some(session) => {
@@ -314,7 +333,9 @@ impl ClusterSim {
             db_demand_mean,
             issued_at: now,
         });
-        let infra = self.rng_infra.exp(self.gt.infra_latency_for(&self.servers[server_idx].arch));
+        let infra = self
+            .rng_infra
+            .exp(self.gt.infra_latency_for(&self.servers[server_idx].arch));
         self.queue.schedule(now + infra, Ev::ArriveApp(id));
     }
 
@@ -337,10 +358,19 @@ impl ClusterSim {
     fn on_slice_done(&mut self, now: f64, id: usize) {
         let (calls_left, class_idx, server_idx, client, issued_at) = {
             let r = self.requests[id].as_ref().expect("live request");
-            (r.db_calls_left, r.class_idx, r.server_idx, r.client, r.issued_at)
+            (
+                r.db_calls_left,
+                r.class_idx,
+                r.server_idx,
+                r.client,
+                r.issued_at,
+            )
         };
         if calls_left > 0 {
-            self.requests[id].as_mut().expect("live request").db_calls_left -= 1;
+            self.requests[id]
+                .as_mut()
+                .expect("live request")
+                .db_calls_left -= 1;
             let net = self.rng_db.exp(self.gt.db_net_ms);
             self.queue.schedule(now + net, Ev::DbArrive(id));
             return;
@@ -370,7 +400,10 @@ impl ClusterSim {
     }
 
     fn enter_db_cpu(&mut self, now: f64, id: usize) {
-        let mean = self.requests[id].as_ref().expect("live request").db_demand_mean;
+        let mean = self.requests[id]
+            .as_ref()
+            .expect("live request")
+            .db_demand_mean;
         let work = self.rng_db.exp(mean);
         self.db_cpu.arrive(now, id, work.max(1e-9));
         self.resched_db(now);
@@ -396,7 +429,9 @@ impl ClusterSim {
     /// Runs the cluster to completion.
     pub fn run(mut self) -> ClusterRunResult {
         for c in 0..self.clients.len() {
-            let think = self.rng_think.exp(self.class_think_ms[self.clients[c].class_idx]);
+            let think = self
+                .rng_think
+                .exp(self.class_think_ms[self.clients[c].class_idx]);
             self.queue.schedule(think, Ev::Issue(c));
         }
         self.queue.schedule(self.opts.warmup_ms, Ev::Warmup);
@@ -450,18 +485,23 @@ impl ClusterSim {
         let mut app_util = Vec::with_capacity(self.servers.len());
         for s in &mut self.servers {
             s.cpu.advance_to(end);
-            app_util
-                .push(((s.cpu.metrics().busy_time_ms - s.busy_at_warmup) / measure).clamp(0.0, 1.0));
+            app_util.push(
+                ((s.cpu.metrics().busy_time_ms - s.busy_at_warmup) / measure).clamp(0.0, 1.0),
+            );
         }
         self.db_cpu.advance_to(end);
-        let db_util =
-            ((self.db_cpu.metrics().busy_time_ms - self.db_busy_at_warmup) / measure).clamp(0.0, 1.0);
-        let disk_util =
-            ((self.disk.metrics().busy_time_ms - self.disk_busy_at_warmup) / measure).clamp(0.0, 1.0);
+        let db_util = ((self.db_cpu.metrics().busy_time_ms - self.db_busy_at_warmup) / measure)
+            .clamp(0.0, 1.0);
+        let disk_util = ((self.disk.metrics().busy_time_ms - self.disk_busy_at_warmup) / measure)
+            .clamp(0.0, 1.0);
 
         // Aggregate classes across servers.
         let mut per_class: Vec<ClassRaw> = (0..self.n_classes)
-            .map(|_| ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 })
+            .map(|_| ClassRaw {
+                rt: Welford::new(),
+                samples: Vec::new(),
+                completed: 0,
+            })
             .collect();
         for server_stats in &self.stats {
             for (ci, cr) in server_stats.iter().enumerate() {
@@ -491,7 +531,10 @@ mod tests {
 
     fn browse_assignment(clients: u32) -> Workload {
         Workload {
-            classes: vec![ClassLoad { class: ServiceClass::browse(), clients }],
+            classes: vec![ClassLoad {
+                class: ServiceClass::browse(),
+                clients,
+            }],
         }
     }
 
@@ -499,8 +542,13 @@ mod tests {
     fn single_server_cluster_matches_engine() {
         let gt = GroundTruth::default();
         let opts = SimOptions::quick(71);
-        let single =
-            TradeSim::new(&gt, &ServerArch::app_serv_f(), &browse_assignment(600), &opts).run();
+        let single = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &browse_assignment(600),
+            &opts,
+        )
+        .run();
         let cluster = ClusterSim::new(
             &gt,
             &[ServerArch::app_serv_f()],
@@ -512,8 +560,12 @@ mod tests {
         // Different RNG streams, same physics: means agree within noise.
         let rel = (cluster.per_class[0].rt.mean() - single.per_class[0].rt.mean()).abs()
             / single.per_class[0].rt.mean();
-        assert!(rel < 0.08, "cluster {} vs engine {}", cluster.per_class[0].rt.mean(),
-            single.per_class[0].rt.mean());
+        assert!(
+            rel < 0.08,
+            "cluster {} vs engine {}",
+            cluster.per_class[0].rt.mean(),
+            single.per_class[0].rt.mean()
+        );
         let x_single = single.per_class[0].completed as f64;
         let x_cluster = cluster.per_class[0].completed as f64;
         assert!((x_cluster - x_single).abs() / x_single < 0.03);
@@ -528,8 +580,16 @@ mod tests {
         let r = ClusterSim::new(&gt, &archs, &assignments, 1.0, &opts).run();
         // Both carry ~50 % CPU: 300 clients ≈ 43 req/s on an 86 req/s
         // server; 1100 ≈ 157 req/s on a 320 req/s server.
-        assert!((r.app_cpu_utilization[0] - 0.50).abs() < 0.05, "{:?}", r.app_cpu_utilization);
-        assert!((r.app_cpu_utilization[1] - 0.49).abs() < 0.05, "{:?}", r.app_cpu_utilization);
+        assert!(
+            (r.app_cpu_utilization[0] - 0.50).abs() < 0.05,
+            "{:?}",
+            r.app_cpu_utilization
+        );
+        assert!(
+            (r.app_cpu_utilization[1] - 0.49).abs() < 0.05,
+            "{:?}",
+            r.app_cpu_utilization
+        );
         // Per-server stats kept separately.
         assert!(r.per_server_class[0][0].completed > 0);
         assert!(r.per_server_class[1][0].completed > r.per_server_class[0][0].completed);
@@ -545,10 +605,18 @@ mod tests {
         let archs = vec![ServerArch::app_serv_vf(); 4];
         let assignments = vec![browse_assignment(2_100); 4];
         let r = ClusterSim::new(&gt, &archs, &assignments, 1.0, &opts).run();
-        assert!(r.db_cpu_utilization > 0.95, "db util {}", r.db_cpu_utilization);
+        assert!(
+            r.db_cpu_utilization > 0.95,
+            "db util {}",
+            r.db_cpu_utilization
+        );
         // A 4x database restores the tier's scaling.
         let fixed = ClusterSim::new(&gt, &archs, &assignments, 4.0, &opts).run();
-        assert!(fixed.db_cpu_utilization < 0.6, "db util {}", fixed.db_cpu_utilization);
+        assert!(
+            fixed.db_cpu_utilization < 0.6,
+            "db util {}",
+            fixed.db_cpu_utilization
+        );
         assert!(
             fixed.per_class[0].rt.mean() < r.per_class[0].rt.mean() / 2.0,
             "fixed {} vs saturated {}",

@@ -190,7 +190,10 @@ mod tests {
         let ratio = gt.buy_app_demand_ms / gt.browse_app_demand_ms;
         assert!((ratio - 8.761 / 4.505).abs() < 0.01, "ratio {ratio}");
         let db_ratio = gt.buy_db_demand_ms / gt.browse_db_demand_ms;
-        assert!((db_ratio - 1.613 / 0.8294).abs() < 0.01, "db ratio {db_ratio}");
+        assert!(
+            (db_ratio - 1.613 / 0.8294).abs() < 0.01,
+            "db ratio {db_ratio}"
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@ use crate::cache::{Access, SessionCache};
 use crate::config::{GroundTruth, SimOptions};
 use crate::ops::{BuySession, Op, OpTable};
 use crate::slot::SlotPool;
-use perfpred_core::{RequestType, ServerArch, Workload};
-use perfpred_desim::{EventQueue, FifoStation, PsStation, SimRng, Welford};
+use perfpred_core::{metrics, RequestType, ServerArch, Workload};
 use perfpred_desim::queue::EventHandle;
+use perfpred_desim::{EventQueue, FifoStation, PsStation, SimRng, Welford};
 
 /// Raw statistics from one run.
 #[derive(Debug, Clone)]
@@ -162,7 +162,11 @@ impl TradeSim {
                         .max(1.0) as u64,
                     None => 0,
                 };
-                clients.push(Client { class_idx: ci, session, session_bytes });
+                clients.push(Client {
+                    class_idx: ci,
+                    session,
+                    session_bytes,
+                });
             }
         }
 
@@ -170,20 +174,35 @@ impl TradeSim {
         // without goals rank last, ties keep workload order.
         let mut order: Vec<usize> = (0..workload.classes.len()).collect();
         order.sort_by(|&a, &b| {
-            let ga = workload.classes[a].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-            let gb = workload.classes[b].class.rt_goal_ms.unwrap_or(f64::INFINITY);
-            ga.partial_cmp(&gb).unwrap().then(a.cmp(&b))
+            let ga = workload.classes[a]
+                .class
+                .rt_goal_ms
+                .unwrap_or(f64::INFINITY);
+            let gb = workload.classes[b]
+                .class
+                .rt_goal_ms
+                .unwrap_or(f64::INFINITY);
+            // total_cmp: goals come from user configuration; a NaN goal
+            // must sort deterministically, not panic the engine.
+            ga.total_cmp(&gb).then(a.cmp(&b))
         });
         let mut class_priority = vec![0u32; workload.classes.len()];
         for (rank, &ci) in order.iter().enumerate() {
             class_priority[ci] = rank as u32;
         }
 
-        let cache = opts.cache.as_ref().map(|c| SessionCache::new(c.capacity_for(server)));
+        let cache = opts
+            .cache
+            .as_ref()
+            .map(|c| SessionCache::new(c.capacity_for(server)));
         let stats = workload
             .classes
             .iter()
-            .map(|_| ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 })
+            .map(|_| ClassRaw {
+                rt: Welford::new(),
+                samples: Vec::new(),
+                completed: 0,
+            })
             .collect();
 
         TradeSim {
@@ -233,9 +252,14 @@ impl TradeSim {
         );
         self.class_think_ms.push(class.think_time_ms);
         self.class_priority.push(u32::MAX);
-        self.stats.push(ClassRaw { rt: Welford::new(), samples: Vec::new(), completed: 0 });
+        self.stats.push(ClassRaw {
+            rt: Welford::new(),
+            samples: Vec::new(),
+            completed: 0,
+        });
         let idx = self.stats.len() - 1;
-        self.open_sources.push((idx, rate_rps / 1_000.0, class.request_type));
+        self.open_sources
+            .push((idx, rate_rps / 1_000.0, class.request_type));
         self
     }
 
@@ -402,7 +426,10 @@ impl TradeSim {
             (req.db_calls_left, req.class_idx, req.client, req.issued_at)
         };
         if calls_left > 0 {
-            self.requests[id].as_mut().expect("live request").db_calls_left -= 1;
+            self.requests[id]
+                .as_mut()
+                .expect("live request")
+                .db_calls_left -= 1;
             let net = self.rng_db.exp(self.gt.db_net_ms);
             self.queue.schedule(now + net, Ev::DbArrive(id));
             return;
@@ -479,7 +506,9 @@ impl TradeSim {
     pub fn run(mut self) -> RawRunResult {
         // Stagger client starts with an exponential initial think.
         for c in 0..self.clients.len() {
-            let think = self.rng_think.exp(self.class_think_ms[self.clients[c].class_idx]);
+            let think = self
+                .rng_think
+                .exp(self.class_think_ms[self.clients[c].class_idx]);
             self.queue.schedule(think, Ev::Issue(c));
         }
         for i in 0..self.open_sources.len() {
@@ -489,10 +518,16 @@ impl TradeSim {
         self.queue.schedule(self.opts.warmup_ms, Ev::Warmup);
 
         let end = self.opts.end_ms();
+        // Count events in a local and flush once after the loop: the master
+        // loop runs millions of times per simulated window and must not pay
+        // for a shared atomic per event.
+        let mut events = 0u64;
+        let wall_start = std::time::Instant::now();
         while let Some((t, ev)) = self.queue.pop() {
             if t > end {
                 break;
             }
+            events += 1;
             match ev {
                 Ev::Issue(c) => self.issue(t, c),
                 Ev::OpenIssue(i) => self.issue_open(t, i),
@@ -529,6 +564,13 @@ impl TradeSim {
                     self.disk_busy_at_warmup = self.disk.metrics().busy_time_ms;
                 }
             }
+        }
+
+        let wall = wall_start.elapsed().as_secs_f64();
+        metrics::counter("tradesim.runs").incr();
+        metrics::counter("tradesim.events").add(events);
+        if wall > 0.0 {
+            metrics::histogram("tradesim.events_per_sec").record(events as f64 / wall);
         }
 
         self.app_cpu.advance_to(end);
@@ -582,7 +624,11 @@ mod tests {
         let mrt = r.per_class[0].rt.mean();
         assert!(mrt > 14.0 && mrt < 30.0, "mrt {mrt}");
         // CPU utilisation ≈ X · 5.376 ms ≈ 15 %.
-        assert!((r.app_cpu_utilization - 0.15).abs() < 0.03, "util {}", r.app_cpu_utilization);
+        assert!(
+            (r.app_cpu_utilization - 0.15).abs() < 0.03,
+            "util {}",
+            r.app_cpu_utilization
+        );
     }
 
     #[test]
@@ -590,7 +636,11 @@ mod tests {
         let r = quick_run(&ServerArch::app_serv_f(), 1_900, 2);
         let x = r.per_class[0].completed as f64 / (r.measure_ms / 1_000.0);
         assert!((x - 186.0).abs() < 8.0, "throughput {x}");
-        assert!(r.app_cpu_utilization > 0.97, "util {}", r.app_cpu_utilization);
+        assert!(
+            r.app_cpu_utilization > 0.97,
+            "util {}",
+            r.app_cpu_utilization
+        );
         // Response time far above the light-load value.
         assert!(r.per_class[0].rt.mean() > 800.0);
     }
@@ -622,8 +672,17 @@ mod tests {
     fn store_samples_collects_raw_rts() {
         let gt = GroundTruth::default();
         let opts = SimOptions::quick(5).storing_samples();
-        let r = TradeSim::new(&gt, &ServerArch::app_serv_f(), &Workload::typical(100), &opts).run();
-        assert_eq!(r.per_class[0].samples.len() as u64, r.per_class[0].completed);
+        let r = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &opts,
+        )
+        .run();
+        assert_eq!(
+            r.per_class[0].samples.len() as u64,
+            r.per_class[0].completed
+        );
         assert!(r.per_class[0].samples.iter().all(|&s| s > 0.0));
     }
 
@@ -633,14 +692,24 @@ mod tests {
         let mut opts = SimOptions::quick(6);
         opts.cache = Some(CacheOptions::default());
         // AppServS: 64 MB usable / 512 KB ≈ 128 sessions; 600 clients thrash.
-        let r =
-            TradeSim::new(&gt, &ServerArch::app_serv_s(), &Workload::typical(600), &opts).run();
+        let r = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_s(),
+            &Workload::typical(600),
+            &opts,
+        )
+        .run();
         let miss = r.cache_miss_ratio.unwrap();
         assert!(miss > 0.5, "miss ratio {miss}");
 
         // 60 clients fit comfortably: misses only on first touch.
-        let r2 =
-            TradeSim::new(&gt, &ServerArch::app_serv_s(), &Workload::typical(60), &opts).run();
+        let r2 = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_s(),
+            &Workload::typical(60),
+            &opts,
+        )
+        .run();
         // Only cold-start (first-touch) misses: ~60 of ~1200 accesses.
         let miss2 = r2.cache_miss_ratio.unwrap();
         assert!(miss2 < 0.08, "miss ratio {miss2}");
@@ -659,7 +728,11 @@ mod tests {
     #[test]
     fn utilizations_bounded() {
         let r = quick_run(&ServerArch::app_serv_f(), 2_500, 8);
-        for u in [r.app_cpu_utilization, r.db_cpu_utilization, r.disk_utilization] {
+        for u in [
+            r.app_cpu_utilization,
+            r.db_cpu_utilization,
+            r.disk_utilization,
+        ] {
             assert!((0.0..=1.0).contains(&u), "utilization {u}");
         }
         // DB CPU busy but not the bottleneck.
@@ -693,11 +766,21 @@ mod open_tests {
     fn open_and_closed_traffic_share_the_server() {
         let gt = GroundTruth::default();
         let opts = SimOptions::quick(92);
-        let quiet =
-            TradeSim::new(&gt, &ServerArch::app_serv_f(), &Workload::typical(600), &opts).run();
-        let busy = TradeSim::new(&gt, &ServerArch::app_serv_f(), &Workload::typical(600), &opts)
-            .with_open_traffic(ServiceClass::browse().named("open"), 90.0)
-            .run();
+        let quiet = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(600),
+            &opts,
+        )
+        .run();
+        let busy = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(600),
+            &opts,
+        )
+        .with_open_traffic(ServiceClass::browse().named("open"), 90.0)
+        .run();
         // 600 closed clients ≈ 85 req/s plus 90 open ≈ 94% utilisation:
         // closed clients feel the added contention.
         assert!(
@@ -763,8 +846,7 @@ mod priority_tests {
             prio.per_class[1].rt.mean()
         );
         // Work conservation: total throughput unchanged (within noise).
-        let x =
-            |r: &RawRunResult| r.per_class.iter().map(|c| c.completed).sum::<u64>() as f64;
+        let x = |r: &RawRunResult| r.per_class.iter().map(|c| c.completed).sum::<u64>() as f64;
         assert!((x(&fifo) - x(&prio)).abs() / x(&fifo) < 0.03);
         let _ = &mut fifo_opts; // silence unused-mut on the fifo options
     }
@@ -792,34 +874,70 @@ mod db_saturation_tests {
         // 6 ms disk = ~4 ms per call => ~250 calls/s => ~220 req/s at 1.14
         // calls/request - below the fast server's 320 req/s CPU capacity,
         // so the connection, not the CPU, binds.
-        let gt = GroundTruth { db_connections: 1, disk_miss_prob: 0.5, ..Default::default() };
+        let gt = GroundTruth {
+            db_connections: 1,
+            disk_miss_prob: 0.5,
+            ..Default::default()
+        };
         let opts = SimOptions::quick(97);
-        let r = TradeSim::new(&gt, &ServerArch::app_serv_vf(), &Workload::typical(2_600), &opts)
-            .run();
+        let r = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_vf(),
+            &Workload::typical(2_600),
+            &opts,
+        )
+        .run();
         let x = r.per_class[0].completed as f64 / (r.measure_ms / 1_000.0);
         // Well below the 320 req/s CPU capacity…
-        assert!(x < 300.0, "throughput {x} not limited by the connection pool");
+        assert!(
+            x < 300.0,
+            "throughput {x} not limited by the connection pool"
+        );
         // …while the app CPU has headroom and the DB connection is the
         // choke point (db cpu util = x · calls · demand).
-        assert!(r.app_cpu_utilization < 0.95, "app util {}", r.app_cpu_utilization);
+        assert!(
+            r.app_cpu_utilization < 0.95,
+            "app util {}",
+            r.app_cpu_utilization
+        );
         // Response times blow up on connection queueing.
-        assert!(r.per_class[0].rt.mean() > 500.0, "mrt {}", r.per_class[0].rt.mean());
+        assert!(
+            r.per_class[0].rt.mean() > 500.0,
+            "mrt {}",
+            r.per_class[0].rt.mean()
+        );
     }
 
     #[test]
     fn db_connection_pool_holds_through_disk_access() {
         // High miss probability + slow disk: the disk (inside the
         // connection) saturates long before the CPUs.
-        let gt =
-            GroundTruth { disk_miss_prob: 1.0, disk_service_ms: 8.0, ..Default::default() };
+        let gt = GroundTruth {
+            disk_miss_prob: 1.0,
+            disk_service_ms: 8.0,
+            ..Default::default()
+        };
         let opts = SimOptions::quick(98);
-        let r = TradeSim::new(&gt, &ServerArch::app_serv_f(), &Workload::typical(1_500), &opts)
-            .run();
+        let r = TradeSim::new(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(1_500),
+            &opts,
+        )
+        .run();
         // Disk capacity: 1000/8 = 125 disk-ops/s = ~110 req/s at 1.14
         // calls per request.
         let x = r.per_class[0].completed as f64 / (r.measure_ms / 1_000.0);
         assert!(x < 120.0, "throughput {x} above the disk bound");
-        assert!(r.disk_utilization > 0.95, "disk util {}", r.disk_utilization);
-        assert!(r.app_cpu_utilization < 0.75, "app util {}", r.app_cpu_utilization);
+        assert!(
+            r.disk_utilization > 0.95,
+            "disk util {}",
+            r.disk_utilization
+        );
+        assert!(
+            r.app_cpu_utilization < 0.75,
+            "app util {}",
+            r.app_cpu_utilization
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use crate::config::{GroundTruth, SimOptions};
 use crate::engine::TradeSim;
-use parking_lot::Mutex;
-use perfpred_core::{ServerArch, Summary, Workload};
+use perfpred_core::{metrics, ServerArch, Summary, Workload};
+use std::sync::Mutex;
 
 /// Measurements for one service class at one operating point.
 #[derive(Debug, Clone)]
@@ -83,7 +83,11 @@ pub fn run(
     let mut total_completed = 0u64;
     let mut weighted_mrt = 0.0;
     for (load, cr) in workload.classes.iter().zip(&raw.per_class) {
-        let summary = if cr.samples.is_empty() { None } else { Summary::from_samples(&cr.samples) };
+        let summary = if cr.samples.is_empty() {
+            None
+        } else {
+            Summary::from_samples(&cr.samples)
+        };
         let mrt = cr.rt.mean();
         classes.push(ClassMeasure {
             name: load.class.name.clone(),
@@ -101,7 +105,11 @@ pub fn run(
     MeasuredPoint {
         clients: workload.total_clients(),
         classes,
-        mrt_ms: if total_completed > 0 { weighted_mrt / total_completed as f64 } else { 0.0 },
+        mrt_ms: if total_completed > 0 {
+            weighted_mrt / total_completed as f64
+        } else {
+            0.0
+        },
         throughput_rps: total_completed as f64 / secs,
         app_cpu_utilization: raw.app_cpu_utilization,
         db_cpu_utilization: raw.db_cpu_utilization,
@@ -123,13 +131,14 @@ pub fn sweep(
 ) -> Vec<MeasuredPoint> {
     assert!(!template.is_empty(), "sweep template must have clients");
     let base = f64::from(template.total_clients());
-    let results: Mutex<Vec<Option<MeasuredPoint>>> =
-        Mutex::new(vec![None; client_counts.len()]);
+    let results: Mutex<Vec<Option<MeasuredPoint>>> = Mutex::new(vec![None; client_counts.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::thread::scope(|s| {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    std::thread::scope(|s| {
         for _ in 0..workers.min(client_counts.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= client_counts.len() {
                     break;
@@ -137,49 +146,112 @@ pub fn sweep(
                 let n = client_counts[i];
                 let w = template.scaled(f64::from(n) / base);
                 let cell_opts = opts.with_seed(opts.seed.wrapping_add(0x9E37 * (i as u64 + 1)));
+                let started = std::time::Instant::now();
                 let point = run(gt, server, &w, &cell_opts);
-                results.lock()[i] = Some(point);
+                metrics::histogram("tradesim.sweep_cell_ms")
+                    .record(started.elapsed().as_secs_f64() * 1_000.0);
+                results.lock().expect("sweep results lock")[i] = Some(point);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep results lock")
         .into_iter()
         .map(|p| p.expect("every sweep cell completed"))
         .collect()
 }
 
+/// Result of a [`find_max_throughput_detailed`] search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxThroughput {
+    /// Measured plateau throughput (or, when `saturated` is false, the
+    /// rate at the heaviest probed load), requests/second.
+    pub throughput_rps: f64,
+    /// Whether the probe loop actually drove the application CPU into
+    /// saturation (utilisation > 0.98) before the plateau measurement.
+    /// When false the returned rate is a lower bound, not a maximum.
+    pub saturated: bool,
+    /// Number of probe simulations spent.
+    pub probes: u32,
+}
+
 /// Finds the server's max throughput for the template's workload mix by
 /// loading it until the application CPU saturates, then measuring the
 /// plateau (the §2 "application-specific benchmark" service).
+///
+/// Logs a warning when the search never saturates; use
+/// [`find_max_throughput_detailed`] to branch on that outcome instead.
 pub fn find_max_throughput(
     gt: &GroundTruth,
     server: &ServerArch,
     template: &Workload,
     opts: &SimOptions,
 ) -> f64 {
+    let m = find_max_throughput_detailed(gt, server, template, opts);
+    if !m.saturated {
+        eprintln!(
+            "warning: max-throughput search on {} never saturated in {} probes; \
+             reporting the last observed rate ({:.1} req/s) as a lower bound",
+            server.name, m.probes, m.throughput_rps
+        );
+    }
+    m.throughput_rps
+}
+
+/// [`find_max_throughput`] with an explicit outcome: whether saturation
+/// was actually reached, and how many probes the search spent.
+///
+/// Probe runs reuse the caller's simulation configuration (session cache,
+/// admission policy) but with short `quick`-length windows and no sample
+/// storage — only the final plateau measurement runs at the caller's full
+/// measurement quality.
+pub fn find_max_throughput_detailed(
+    gt: &GroundTruth,
+    server: &ServerArch,
+    template: &Workload,
+    opts: &SimOptions,
+) -> MaxThroughput {
     assert!(!template.is_empty());
     let base = f64::from(template.total_clients());
+    let quick = SimOptions::quick(opts.seed);
+    let probe_base = SimOptions {
+        warmup_ms: quick.warmup_ms,
+        measure_ms: quick.measure_ms,
+        store_samples: false,
+        ..*opts
+    };
     let mut n = 200.0f64;
-    let mut seed_bump = 0u64;
-    for _ in 0..24 {
-        seed_bump += 1;
+    let mut probes = 0u32;
+    while probes < 24 {
+        probes += 1;
         let w = template.scaled(n / base);
-        let probe = run(gt, server, &w, &SimOptions::quick(opts.seed.wrapping_add(seed_bump)));
+        let probe_opts = probe_base.with_seed(opts.seed.wrapping_add(u64::from(probes)));
+        let probe = run(gt, server, &w, &probe_opts);
+        metrics::counter("tradesim.max_tput.probes").incr();
         let util = probe.app_cpu_utilization;
         if util > 0.98 {
-            // Measure the plateau well past the knee.
+            // Measure the plateau well past the knee, at full quality.
             let w = template.scaled(n * 1.35 / base);
             let point = run(gt, server, &w, opts);
-            return point.throughput_rps;
+            return MaxThroughput {
+                throughput_rps: point.throughput_rps,
+                saturated: true,
+                probes,
+            };
         }
         let factor = (0.99 / util.max(0.05)).clamp(1.3, 3.0);
         n *= factor;
     }
-    // Pathological: never saturated — report the largest observed rate.
+    // Pathological: never saturated — report the heaviest observed rate,
+    // flagged so callers do not mistake it for a measured maximum.
+    metrics::counter("tradesim.max_tput.unsaturated").incr();
     let w = template.scaled(n / base);
-    run(gt, server, &w, opts).throughput_rps
+    MaxThroughput {
+        throughput_rps: run(gt, server, &w, opts).throughput_rps,
+        saturated: false,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +294,13 @@ mod tests {
         let gt = GroundTruth::default();
         let counts = [100u32, 400, 800];
         let opts = SimOptions::quick(23);
-        let points = sweep(&gt, &ServerArch::app_serv_f(), &Workload::typical(100), &counts, &opts);
+        let points = sweep(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &counts,
+            &opts,
+        );
         assert_eq!(points.len(), 3);
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.clients, counts[i]);
@@ -233,8 +311,13 @@ mod tests {
         assert!((m0 - 0.14).abs() < 0.01, "m {m0}");
         assert!((m1 - 0.14).abs() < 0.01, "m {m1}");
         // Deterministic: same call again gives identical results.
-        let again =
-            sweep(&gt, &ServerArch::app_serv_f(), &Workload::typical(100), &counts, &opts);
+        let again = sweep(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &counts,
+            &opts,
+        );
         assert_eq!(points[2].mrt_ms, again[2].mrt_ms);
     }
 
@@ -242,9 +325,38 @@ mod tests {
     fn max_throughput_close_to_design_points() {
         let gt = GroundTruth::default();
         let opts = SimOptions::quick(24);
-        let f =
-            find_max_throughput(&gt, &ServerArch::app_serv_f(), &Workload::typical(100), &opts);
+        let f = find_max_throughput(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &opts,
+        );
         assert!((f - 186.0).abs() < 7.0, "AppServF max tput {f}");
+    }
+
+    #[test]
+    fn max_throughput_search_reports_saturation() {
+        let gt = GroundTruth::default();
+        let opts = SimOptions::quick(24);
+        let m = find_max_throughput_detailed(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &opts,
+        );
+        assert!(
+            m.saturated,
+            "AppServF should saturate within the probe budget"
+        );
+        assert!((1..24).contains(&m.probes), "probes {}", m.probes);
+        // The plain wrapper returns the same measurement.
+        let f = find_max_throughput(
+            &gt,
+            &ServerArch::app_serv_f(),
+            &Workload::typical(100),
+            &opts,
+        );
+        assert_eq!(f, m.throughput_rps);
     }
 }
 
@@ -252,9 +364,9 @@ mod tests {
 /// (df = replicas − 1); falls back to the normal 1.96 beyond the table.
 fn t_quantile_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -292,7 +404,10 @@ pub fn replicate(
     opts: &SimOptions,
     replicas: usize,
 ) -> ReplicatedPoint {
-    assert!(replicas >= 2, "need at least two replicas for a confidence interval");
+    assert!(
+        replicas >= 2,
+        "need at least two replicas for a confidence interval"
+    );
     let points: Vec<MeasuredPoint> = (0..replicas)
         .map(|i| {
             run(
@@ -341,7 +456,12 @@ mod replication_tests {
         assert!(r.replicas.iter().any(|p| p.mrt_ms != first));
         // The CI is small relative to the mean at this well-sampled point.
         assert!(r.mrt_ci95_ms > 0.0);
-        assert!(r.mrt_ci95_ms < 0.2 * r.mrt_ms, "CI {} vs mean {}", r.mrt_ci95_ms, r.mrt_ms);
+        assert!(
+            r.mrt_ci95_ms < 0.2 * r.mrt_ms,
+            "CI {} vs mean {}",
+            r.mrt_ci95_ms,
+            r.mrt_ms
+        );
         // The true closed-loop throughput sits inside the CI.
         let expect = 400.0 / 7.02;
         assert!(

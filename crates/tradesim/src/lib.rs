@@ -49,4 +49,6 @@ pub mod slot;
 pub use cluster::{ClusterRunResult, ClusterSim};
 pub use config::{GroundTruth, SimOptions};
 pub use engine::TradeSim;
-pub use harness::{find_max_throughput, replicate, run, sweep, ClassMeasure, MeasuredPoint, ReplicatedPoint};
+pub use harness::{
+    find_max_throughput, replicate, run, sweep, ClassMeasure, MeasuredPoint, ReplicatedPoint,
+};

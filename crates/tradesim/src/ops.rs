@@ -57,10 +57,30 @@ pub struct OpShape {
 /// The browse mix. Weighted means: rel demand 1.01 (normalised away by
 /// [`OpTable`]), DB calls 1.14 — the §5.1 browse calibration value.
 pub const BROWSE_MIX: [OpShape; 4] = [
-    OpShape { op: Op::Home, weight: 0.20, rel_demand: 0.80, db_calls: 1.0 },
-    OpShape { op: Op::Quote, weight: 0.40, rel_demand: 0.90, db_calls: 1.0 },
-    OpShape { op: Op::Portfolio, weight: 0.25, rel_demand: 1.30, db_calls: 1.56 },
-    OpShape { op: Op::Account, weight: 0.15, rel_demand: 1.10, db_calls: 1.0 },
+    OpShape {
+        op: Op::Home,
+        weight: 0.20,
+        rel_demand: 0.80,
+        db_calls: 1.0,
+    },
+    OpShape {
+        op: Op::Quote,
+        weight: 0.40,
+        rel_demand: 0.90,
+        db_calls: 1.0,
+    },
+    OpShape {
+        op: Op::Portfolio,
+        weight: 0.25,
+        rel_demand: 1.30,
+        db_calls: 1.56,
+    },
+    OpShape {
+        op: Op::Account,
+        weight: 0.15,
+        rel_demand: 1.10,
+        db_calls: 1.0,
+    },
 ];
 
 /// The buy session flow shapes. A session is register+login, then a
@@ -69,9 +89,24 @@ pub const BROWSE_MIX: [OpShape; 4] = [
 /// demand ≈ 0.99, DB calls = (3 + 2 + 10·2 + 1)/13 = 2.0 — the §5.1 buy
 /// calibration value.
 pub const BUY_FLOW: [OpShape; 3] = [
-    OpShape { op: Op::RegisterLogin, weight: 0.0, rel_demand: 1.40, db_calls: 3.0 },
-    OpShape { op: Op::Buy, weight: 0.0, rel_demand: 1.00, db_calls: 2.0 },
-    OpShape { op: Op::Logoff, weight: 0.0, rel_demand: 0.50, db_calls: 1.0 },
+    OpShape {
+        op: Op::RegisterLogin,
+        weight: 0.0,
+        rel_demand: 1.40,
+        db_calls: 3.0,
+    },
+    OpShape {
+        op: Op::Buy,
+        weight: 0.0,
+        rel_demand: 1.00,
+        db_calls: 2.0,
+    },
+    OpShape {
+        op: Op::Logoff,
+        weight: 0.0,
+        rel_demand: 0.50,
+        db_calls: 1.0,
+    },
 ];
 
 /// Mean sequential buy requests per session (§3.1: "on average buy clients
@@ -101,13 +136,21 @@ pub fn buy_mean_rel_demand() -> f64 {
 /// Mean relative demand of the browse mix.
 pub fn browse_mean_rel_demand() -> f64 {
     let total_w: f64 = BROWSE_MIX.iter().map(|s| s.weight).sum();
-    BROWSE_MIX.iter().map(|s| s.weight * s.rel_demand).sum::<f64>() / total_w
+    BROWSE_MIX
+        .iter()
+        .map(|s| s.weight * s.rel_demand)
+        .sum::<f64>()
+        / total_w
 }
 
 /// Mean DB calls of the browse mix (should be 1.14).
 pub fn browse_mean_db_calls() -> f64 {
     let total_w: f64 = BROWSE_MIX.iter().map(|s| s.weight).sum();
-    BROWSE_MIX.iter().map(|s| s.weight * s.db_calls).sum::<f64>() / total_w
+    BROWSE_MIX
+        .iter()
+        .map(|s| s.weight * s.db_calls)
+        .sum::<f64>()
+        / total_w
 }
 
 /// Normalised per-operation absolute demands for a target class mean.
@@ -196,7 +239,12 @@ impl BuySession {
             }
             BuySession::Buying { remaining } => {
                 if remaining > 1 {
-                    (Op::Buy, BuySession::Buying { remaining: remaining - 1 })
+                    (
+                        Op::Buy,
+                        BuySession::Buying {
+                            remaining: remaining - 1,
+                        },
+                    )
                 } else {
                     (Op::Buy, BuySession::Logoff)
                 }
@@ -237,8 +285,14 @@ mod tests {
     #[test]
     fn op_table_normalises_class_means() {
         let t = OpTable::new(5.376, 10.45);
-        let browse_mean: f64 = BROWSE_MIX.iter().map(|s| s.weight * t.demand_ms(s.op)).sum();
-        assert!((browse_mean - 5.376).abs() < 1e-9, "browse mean {browse_mean}");
+        let browse_mean: f64 = BROWSE_MIX
+            .iter()
+            .map(|s| s.weight * t.demand_ms(s.op))
+            .sum();
+        assert!(
+            (browse_mean - 5.376).abs() < 1e-9,
+            "browse mean {browse_mean}"
+        );
         let buy_mean = (t.demand_ms(Op::RegisterLogin)
             + t.demand_ms(Op::Buy) * MEAN_BUYS_PER_SESSION
             + t.demand_ms(Op::Logoff))

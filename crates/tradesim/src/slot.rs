@@ -74,7 +74,8 @@ impl<T> SlotPool<T> {
         } else {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.waiting.push(Reverse((priority, seq, WaitToken(token))));
+            self.waiting
+                .push(Reverse((priority, seq, WaitToken(token))));
             self.peak_waiting = self.peak_waiting.max(self.waiting.len());
             false
         }

@@ -22,8 +22,14 @@ fn lqn_open(rate_rps: f64) -> LqnModel {
     let dp = b.processor("db-cpu").finish();
     let app = b.task("app", ap).multiplicity(gt.app_threads).finish();
     let db = b.task("db", dp).multiplicity(gt.db_connections).finish();
-    let serve = b.entry("serve", app).demand_ms(gt.browse_app_demand_ms).finish();
-    let query = b.entry("query", db).demand_ms(gt.browse_db_demand_ms).finish();
+    let serve = b
+        .entry("serve", app)
+        .demand_ms(gt.browse_app_demand_ms)
+        .finish();
+    let query = b
+        .entry("query", db)
+        .demand_ms(gt.browse_db_demand_ms)
+        .finish();
     b.call(serve, query, 1.14);
     let src = b.open_reference_task("source", cp, rate_rps).finish();
     let arrive = b.entry("arrive", src).finish();

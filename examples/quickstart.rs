@@ -15,8 +15,14 @@ fn main() {
     let predictor = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let server = ServerArch::app_serv_f();
 
-    println!("Layered queuing predictions for {} (typical workload)\n", server.name);
-    println!("{:>8}  {:>12}  {:>12}  {:>6}", "clients", "mrt (ms)", "tput (req/s)", "sat");
+    println!(
+        "Layered queuing predictions for {} (typical workload)\n",
+        server.name
+    );
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>6}",
+        "clients", "mrt (ms)", "tput (req/s)", "sat"
+    );
     for clients in [100u32, 400, 800, 1_200, 1_600, 2_000, 2_400] {
         let p = predictor
             .predict(&server, &Workload::typical(clients))

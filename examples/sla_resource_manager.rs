@@ -50,11 +50,7 @@ fn main() {
         if total > 0 {
             println!(
                 "  server {:>2} ({:>9}): buy {:>4}  browse-hi {:>4}  browse-lo {:>4}",
-                sa.server_idx,
-                pool[sa.server_idx].name,
-                sa.real[0],
-                sa.real[1],
-                sa.real[2]
+                sa.server_idx, pool[sa.server_idx].name, sa.real[0], sa.real[1], sa.real[2]
             );
         }
     }
@@ -70,13 +66,25 @@ fn main() {
         loads: (1..=10).map(|i| i * 1_000).collect(),
         runtime: RuntimeOptions::default(),
     };
-    println!("{:>6}  {:>18}  {:>16}", "slack", "avg % SLA failures", "avg % usage");
+    println!(
+        "{:>6}  {:>18}  {:>16}",
+        "slack", "avg % SLA failures", "avg % usage"
+    );
     for slack in [1.2, 1.1, 1.075, 1.0, 0.9, 0.75] {
-        let pts = sweep_loads(&planner, &truth, &pool, &paper_workload(1_000), &config, slack)
-            .expect("sweep");
+        let pts = sweep_loads(
+            &planner,
+            &truth,
+            &pool,
+            &paper_workload(1_000),
+            &config,
+            slack,
+        )
+        .expect("sweep");
         let fail = pts.iter().map(|p| p.sla_failure_pct).sum::<f64>() / pts.len() as f64;
         let usage = pts.iter().map(|p| p.server_usage_pct).sum::<f64>() / pts.len() as f64;
         println!("{:>6.3}  {:>18.2}  {:>16.1}", slack, fail, usage);
     }
-    println!("\n(slack >= y = 1.075 removes all SLA failures; lower slack trades failures for servers)");
+    println!(
+        "\n(slack >= y = 1.075 removes all SLA failures; lower slack trades failures for servers)"
+    );
 }

@@ -153,7 +153,9 @@ fn heterogeneous_mix_lowers_max_throughput_measured_and_predicted() {
     assert!(measured_buys < measured_typical * 0.9);
 
     let lqn = LqnPredictor::new(calibrate_lqn(&gt, &server, &sim()));
-    let predicted_typical = lqn.max_throughput_rps(&server, &Workload::typical(100)).unwrap();
+    let predicted_typical = lqn
+        .max_throughput_rps(&server, &Workload::typical(100))
+        .unwrap();
     let predicted_buys = lqn
         .max_throughput_rps(&server, &Workload::with_buy_pct(1_000, 25.0))
         .unwrap();
@@ -179,8 +181,7 @@ fn percentile_extrapolation_beats_nothing_and_direct_wins() {
     let point = run(&gt, &server, &Workload::typical(n_sat), &opts);
     let measured_p90 = point.p90_ms().expect("samples stored");
     let b = point.classes[0].mad_ms.unwrap();
-    let dist =
-        perfpred::core::RtDistribution::from_mean_prediction(point.mrt_ms, true, b).unwrap();
+    let dist = perfpred::core::RtDistribution::from_mean_prediction(point.mrt_ms, true, b).unwrap();
     let predicted_p90 = dist.percentile(90.0);
     assert!(
         accuracy_pct(predicted_p90, measured_p90) > 75.0,

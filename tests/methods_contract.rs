@@ -74,7 +74,9 @@ fn predictions_are_finite_positive_and_monotone() {
 #[test]
 fn empty_workload_is_identity() {
     for model in methods() {
-        let p = model.predict(&ServerArch::app_serv_f(), &Workload::empty()).unwrap();
+        let p = model
+            .predict(&ServerArch::app_serv_f(), &Workload::empty())
+            .unwrap();
         assert_eq!(p.mrt_ms, 0.0, "{}", model.method_name());
         assert_eq!(p.throughput_rps, 0.0);
         assert!(!p.saturated);
@@ -86,7 +88,12 @@ fn per_class_predictions_align_with_workload() {
     let w = Workload::with_buy_pct(900, 25.0);
     for model in methods() {
         let p = model.predict(&ServerArch::app_serv_f(), &w).unwrap();
-        assert_eq!(p.per_class_mrt_ms.len(), w.classes.len(), "{}", model.method_name());
+        assert_eq!(
+            p.per_class_mrt_ms.len(),
+            w.classes.len(),
+            "{}",
+            model.method_name()
+        );
         // Buy requests are heavier in every method's world view.
         assert!(
             p.per_class_mrt_ms[1] > p.per_class_mrt_ms[0],
@@ -106,7 +113,10 @@ fn max_clients_is_tight_for_every_method() {
         let goal = 400.0;
         let n = model.max_clients(&server, &template, goal).unwrap();
         assert!(n > 0, "{}", model.method_name());
-        let at = model.predict(&server, &Workload::typical(n)).unwrap().mrt_ms;
+        let at = model
+            .predict(&server, &Workload::typical(n))
+            .unwrap()
+            .mrt_ms;
         assert!(
             at <= goal * 1.001,
             "{}: mrt {at:.1} at its own capacity {n}",
@@ -130,9 +140,17 @@ fn saturation_flags_agree_with_throughput_plateau() {
     for model in methods() {
         let server = ServerArch::app_serv_f();
         let low = model.predict(&server, &Workload::typical(200)).unwrap();
-        assert!(!low.saturated, "{} saturated at 200 clients", model.method_name());
+        assert!(
+            !low.saturated,
+            "{} saturated at 200 clients",
+            model.method_name()
+        );
         let high = model.predict(&server, &Workload::typical(2_600)).unwrap();
-        assert!(high.saturated, "{} not saturated at 2600 clients", model.method_name());
+        assert!(
+            high.saturated,
+            "{} not saturated at 2600 clients",
+            model.method_name()
+        );
     }
 }
 

@@ -37,9 +37,12 @@ fn truth() -> HistoricalModel {
 fn hybrid_planner_full_pipeline() {
     // Hybrid (LQN-derived) plans, synthetic historical truth judges.
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
-    let planner =
-        HybridModel::advanced(&lqn, &ServerArch::case_study_servers(), &HybridOptions::default())
-            .unwrap();
+    let planner = HybridModel::advanced(
+        &lqn,
+        &ServerArch::case_study_servers(),
+        &HybridOptions::default(),
+    )
+    .unwrap();
     let pool = paper_pool();
     let template = paper_workload(4_000);
     let a = allocate(&planner, &pool, &template, 1.1).unwrap();
@@ -49,9 +52,12 @@ fn hybrid_planner_full_pipeline() {
     let buys: u32 = a.servers.iter().map(|s| s.real[0]).sum();
     assert_eq!(buys, template.classes[0].clients);
 
-    let out =
-        evaluate_runtime(&truth(), &pool, &template, &a, &RuntimeOptions::default()).unwrap();
-    assert!(out.sla_failure_pct < 25.0, "failures {}", out.sla_failure_pct);
+    let out = evaluate_runtime(&truth(), &pool, &template, &a, &RuntimeOptions::default()).unwrap();
+    assert!(
+        out.sla_failure_pct < 25.0,
+        "failures {}",
+        out.sla_failure_pct
+    );
     assert!(out.server_usage_pct > 0.0 && out.server_usage_pct <= 100.0);
 }
 
@@ -67,9 +73,15 @@ fn slack_zero_rejects_everyone_slack_large_wastes_servers() {
     let modest = allocate(&t, &pool, &template, 1.0).unwrap();
     let padded = allocate(&t, &pool, &template, 1.5).unwrap();
     let power = |a: &perfpred::resman::algorithm::Allocation| -> f64 {
-        a.used_servers().iter().map(|&i| pool[i].max_throughput_rps).sum()
+        a.used_servers()
+            .iter()
+            .map(|&i| pool[i].max_throughput_rps)
+            .sum()
     };
-    assert!(power(&padded) >= power(&modest), "more slack, more servers obtained");
+    assert!(
+        power(&padded) >= power(&modest),
+        "more slack, more servers obtained"
+    );
 }
 
 #[test]
@@ -81,10 +93,12 @@ fn uniform_error_cancelled_by_matching_slack() {
     let pool = paper_pool();
     let config = SweepConfig {
         loads: vec![2_000, 4_000, 6_000],
-        runtime: RuntimeOptions { threshold: 0.0, optimize: false },
+        runtime: RuntimeOptions {
+            threshold: 0.0,
+            optimize: false,
+        },
     };
-    let compensated =
-        sweep_loads(&planner, &t, &pool, &paper_workload(1_000), &config, y).unwrap();
+    let compensated = sweep_loads(&planner, &t, &pool, &paper_workload(1_000), &config, y).unwrap();
     for p in &compensated {
         assert_eq!(p.sla_failure_pct, 0.0, "failures at {}", p.total_clients);
     }
@@ -105,15 +119,16 @@ fn priority_order_protects_tight_goals_under_pressure() {
     let template = paper_workload(40_000);
     let a = allocate(&t, &pool, &template, 1.0).unwrap();
     let out = evaluate_runtime(&t, &pool, &template, &a, &RuntimeOptions::default()).unwrap();
-    let buy_failure =
-        f64::from(out.rejected_per_class[0]) / f64::from(template.classes[0].clients);
-    let lo_failure =
-        f64::from(out.rejected_per_class[2]) / f64::from(template.classes[2].clients);
+    let buy_failure = f64::from(out.rejected_per_class[0]) / f64::from(template.classes[0].clients);
+    let lo_failure = f64::from(out.rejected_per_class[2]) / f64::from(template.classes[2].clients);
     assert!(
         buy_failure <= lo_failure,
         "buy (priority) failure {buy_failure:.2} vs low-priority {lo_failure:.2}"
     );
-    assert!(out.sla_failure_pct > 10.0, "this load must overwhelm the pool");
+    assert!(
+        out.sla_failure_pct > 10.0,
+        "this load must overwhelm the pool"
+    );
 }
 
 #[test]
@@ -150,9 +165,12 @@ fn workload_manager_rebalances_a_hybrid_planned_division() {
     // Plan with the hybrid model, then perturb the division (as if a server
     // was drained for maintenance) and let the workload manager repair it.
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
-    let planner =
-        HybridModel::advanced(&lqn, &ServerArch::case_study_servers(), &HybridOptions::default())
-            .unwrap();
+    let planner = HybridModel::advanced(
+        &lqn,
+        &ServerArch::case_study_servers(),
+        &HybridOptions::default(),
+    )
+    .unwrap();
     let servers = ServerArch::case_study_servers().to_vec();
     let template = paper_workload(1_500);
     let alloc = allocate(&planner, &servers, &template, 1.1).unwrap();
@@ -164,17 +182,24 @@ fn workload_manager_rebalances_a_hybrid_planned_division() {
         division.assignments[1][ci] += division.assignments[0][ci];
         division.assignments[0][ci] = 0;
     }
-    let transfers =
-        rebalance(&planner, &servers, &template, &mut division, &RebalanceOptions::default())
-            .unwrap();
+    let transfers = rebalance(
+        &planner,
+        &servers,
+        &template,
+        &mut division,
+        &RebalanceOptions::default(),
+    )
+    .unwrap();
     // Conservation through the repair.
     assert_eq!(division.totals(), totals_before);
     // The manager moved clients and the repaired division meets every goal
     // according to the planning model.
-    assert!(!transfers.is_empty() || {
-        // (If server 1 could absorb everything, no move was needed.)
-        true
-    });
+    assert!(
+        !transfers.is_empty() || {
+            // (If server 1 could absorb everything, no move was needed.)
+            true
+        }
+    );
     for (si, server) in servers.iter().enumerate() {
         let w = division.server_workload(&template, si);
         if w.total_clients() == 0 {
