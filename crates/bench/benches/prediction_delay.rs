@@ -13,7 +13,7 @@
 //! * a memoizing [`PredictionCache`] collapses repeated evaluations of
 //!   the same operating point to a hash lookup.
 
-use perfpred_bench::timing::{bench, group};
+use perfpred_bench::timing::{group, Recorder};
 use perfpred_core::{PerformanceModel, PredictionCache, ServerArch, Workload};
 use perfpred_hybrid::{HybridModel, HybridOptions};
 use perfpred_hydra::{HistoricalModel, ServerObservations};
@@ -43,7 +43,7 @@ fn historical_model() -> HistoricalModel {
         .expect("synthetic calibration")
 }
 
-fn bench_single_prediction() {
+fn bench_single_prediction(rec: &mut Recorder) {
     group("predict_mrt");
     let server = ServerArch::app_serv_f();
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
@@ -58,18 +58,18 @@ fn bench_single_prediction() {
 
     for &clients in &[400u32, 1_400, 2_200] {
         let w = Workload::typical(clients);
-        bench(&format!("predict_mrt/historical/{clients}"), 50, || {
+        rec.bench(&format!("predict_mrt/historical/{clients}"), 50, || {
             hist.predict(black_box(&server), black_box(&w)).unwrap()
         });
-        bench(
+        rec.bench(
             &format!("predict_mrt/layered_queuing/{clients}"),
             20,
             || lqn.predict(black_box(&server), black_box(&w)).unwrap(),
         );
-        bench(&format!("predict_mrt/hybrid/{clients}"), 50, || {
+        rec.bench(&format!("predict_mrt/hybrid/{clients}"), 50, || {
             hybrid.predict(black_box(&server), black_box(&w)).unwrap()
         });
-        bench(
+        rec.bench(
             &format!("predict_mrt/layered_queuing+cache/{clients}"),
             50,
             || {
@@ -81,13 +81,13 @@ fn bench_single_prediction() {
     }
 }
 
-fn bench_hybrid_startup() {
+fn bench_hybrid_startup(rec: &mut Recorder) {
     // The §8.5 start-up delay: building the advanced hybrid model (pseudo
     // data for three architectures + relationship 3 + deviation factors).
     group("hybrid_startup");
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let servers = ServerArch::case_study_servers();
-    bench("hybrid_startup_advanced_3_servers", 5, || {
+    rec.bench("hybrid_startup_advanced_3_servers", 5, || {
         HybridModel::advanced(
             black_box(&lqn),
             black_box(&servers),
@@ -97,7 +97,7 @@ fn bench_hybrid_startup() {
     });
 }
 
-fn bench_max_clients_search() {
+fn bench_max_clients_search(rec: &mut Recorder) {
     // §8.2: the layered queuing method must *search* for the max
     // SLA-compliant population; the historical method inverts eqs 1–2.
     group("max_clients_for_300ms_goal");
@@ -105,18 +105,20 @@ fn bench_max_clients_search() {
     let template = Workload::typical(100);
     let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
     let hist = historical_model();
-    bench("max_clients/historical_closed_form", 50, || {
+    rec.bench("max_clients/historical_closed_form", 50, || {
         hist.max_clients(black_box(&server), black_box(&template), 300.0)
             .unwrap()
     });
-    bench("max_clients/layered_queuing_bisection", 5, || {
+    rec.bench("max_clients/layered_queuing_bisection", 5, || {
         lqn.max_clients(black_box(&server), black_box(&template), 300.0)
             .unwrap()
     });
 }
 
 fn main() {
-    bench_single_prediction();
-    bench_hybrid_startup();
-    bench_max_clients_search();
+    let mut rec = Recorder::new("bench.prediction_delay");
+    bench_single_prediction(&mut rec);
+    bench_hybrid_startup(&mut rec);
+    bench_max_clients_search(&mut rec);
+    rec.write();
 }

@@ -2,7 +2,7 @@
 //! chews through Trade workload, plus kernel microbenchmarks (event queue,
 //! processor-sharing station, LRU session cache).
 
-use perfpred_bench::timing::{bench, group};
+use perfpred_bench::timing::{group, Recorder};
 use perfpred_core::{ServerArch, Workload};
 use perfpred_desim::{EventQueue, PsStation, SimRng};
 use perfpred_tradesim::cache::SessionCache;
@@ -10,7 +10,7 @@ use perfpred_tradesim::config::{GroundTruth, SimOptions};
 use perfpred_tradesim::engine::TradeSim;
 use std::hint::black_box;
 
-fn bench_simulation() {
+fn bench_simulation(rec: &mut Recorder) {
     group("trade_sim_30s_window");
     let gt = GroundTruth::default();
     let opts = SimOptions {
@@ -20,7 +20,7 @@ fn bench_simulation() {
         ..Default::default()
     };
     for &clients in &[200u32, 1_000, 2_000] {
-        bench(
+        rec.bench(
             &format!("trade_sim_30s_window/clients/{clients}"),
             5,
             || {
@@ -36,10 +36,10 @@ fn bench_simulation() {
     }
 }
 
-fn bench_event_queue() {
+fn bench_event_queue(rec: &mut Recorder) {
     group("kernel");
     let mut rng = SimRng::seed_from(3);
-    bench("event_queue_schedule_pop_1k", 100, || {
+    rec.bench("event_queue_schedule_pop_1k", 100, || {
         let mut q: EventQueue<u32> = EventQueue::new();
         for i in 0..1_000u32 {
             q.schedule(rng.uniform() * 1_000.0, i);
@@ -52,9 +52,9 @@ fn bench_event_queue() {
     });
 }
 
-fn bench_ps_station() {
+fn bench_ps_station(rec: &mut Recorder) {
     let mut rng = SimRng::seed_from(4);
-    bench("ps_station_arrive_complete_1k", 100, || {
+    rec.bench("ps_station_arrive_complete_1k", 100, || {
         let mut ps: PsStation<u32> = PsStation::new(1.0, 50);
         let mut t = 0.0;
         let mut done = 0usize;
@@ -72,9 +72,9 @@ fn bench_ps_station() {
     });
 }
 
-fn bench_session_cache() {
+fn bench_session_cache(rec: &mut Recorder) {
     let mut rng = SimRng::seed_from(5);
-    bench("lru_cache_access_10k_thrashing", 50, || {
+    rec.bench("lru_cache_access_10k_thrashing", 50, || {
         let mut cache = SessionCache::new(128 * 512 * 1024);
         let mut misses = 0u64;
         for _ in 0..10_000 {
@@ -88,8 +88,10 @@ fn bench_session_cache() {
 }
 
 fn main() {
-    bench_simulation();
-    bench_event_queue();
-    bench_ps_station();
-    bench_session_cache();
+    let mut rec = Recorder::new("bench.simulator");
+    bench_simulation(&mut rec);
+    bench_event_queue(&mut rec);
+    bench_ps_station(&mut rec);
+    bench_session_cache(&mut rec);
+    rec.write();
 }

@@ -1,10 +1,12 @@
 //! Layered-queuing solver microbenchmarks: MVA kernels, full layered
 //! solves across populations and chain counts, and the text-format parser.
 
-use perfpred_bench::timing::{bench, group};
+use perfpred_bench::timing::{group, Recorder};
 use perfpred_lqns::format;
 use perfpred_lqns::model::LqnModel;
-use perfpred_lqns::mva::{solve_amva, AmvaOptions, ClosedNetwork, Station, StationKind};
+use perfpred_lqns::mva::{
+    solve_amva, solve_amva_into, AmvaOptions, AmvaWorkspace, ClosedNetwork, Station, StationKind,
+};
 use perfpred_lqns::solve::{solve, SolverOptions};
 use std::hint::black_box;
 
@@ -36,7 +38,7 @@ fn trade_model(population: u32, chains: usize) -> LqnModel {
     b.build().unwrap()
 }
 
-fn bench_amva() {
+fn bench_amva(rec: &mut Recorder) {
     group("amva");
     for &chains in &[1usize, 4, 16] {
         let net = ClosedNetwork {
@@ -53,23 +55,84 @@ fn bench_amva() {
                 })
                 .collect(),
         };
-        bench(&format!("amva/chains/{chains}"), 50, || {
+        rec.bench(&format!("amva/chains/{chains}"), 50, || {
             solve_amva(black_box(&net), &AmvaOptions::default()).unwrap()
         });
     }
 }
 
-fn bench_layered_solve() {
+/// Cold-vs-warm AMVA across a population sweep: the warm pass reuses one
+/// [`AmvaWorkspace`] so each solve starts from the neighbouring
+/// population's converged queue lengths (and allocates nothing).
+fn bench_warm_start(rec: &mut Recorder) {
+    group("amva_warm_start");
+    let nets: Vec<ClosedNetwork> = (0..40)
+        .map(|step| ClosedNetwork {
+            populations: vec![50.0 + 30.0 * f64::from(step), 25.0 + 10.0 * f64::from(step)],
+            think_ms: vec![7_000.0; 2],
+            stations: (0..3)
+                .map(|s| Station {
+                    kind: StationKind::Queueing {
+                        servers: 1 + s as u32,
+                    },
+                    demands: (0..2).map(|k| 1.0 + k as f64 * 0.5 + s as f64).collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    let opts = AmvaOptions::default();
+    rec.bench("amva_warm_start/sweep_40_populations/cold", 30, || {
+        let mut iters = 0usize;
+        for net in &nets {
+            iters += solve_amva(black_box(net), &opts).unwrap().iterations;
+        }
+        iters
+    });
+    rec.bench("amva_warm_start/sweep_40_populations/warm", 30, || {
+        let mut ws = AmvaWorkspace::new();
+        let mut iters = 0usize;
+        for net in &nets {
+            solve_amva_into(black_box(net), &opts, &mut ws).unwrap();
+            iters += ws.iterations();
+        }
+        iters
+    });
+
+    let cold_iters: usize = nets
+        .iter()
+        .map(|net| solve_amva(net, &opts).unwrap().iterations)
+        .sum();
+    let mut ws = AmvaWorkspace::new();
+    let warm_iters: usize = nets
+        .iter()
+        .map(|net| {
+            solve_amva_into(net, &opts, &mut ws).unwrap();
+            ws.iterations()
+        })
+        .sum();
+    println!(
+        "{:<52} cold {cold_iters} -> warm {warm_iters} fixed-point iterations",
+        "amva_warm_start/sweep_40_populations/iterations"
+    );
+    rec.note("sweep_cold_iterations", cold_iters as u64);
+    rec.note("sweep_warm_iterations", warm_iters as u64);
+    assert!(
+        warm_iters < cold_iters,
+        "warm start should save iterations: warm {warm_iters} vs cold {cold_iters}"
+    );
+}
+
+fn bench_layered_solve(rec: &mut Recorder) {
     group("layered_solve");
     for &n in &[200u32, 1_400, 4_000] {
         let m = trade_model(n, 1);
-        bench(&format!("layered_solve/population/{n}"), 30, || {
+        rec.bench(&format!("layered_solve/population/{n}"), 30, || {
             solve(black_box(&m), &SolverOptions::default()).unwrap()
         });
     }
     for &chains in &[2usize, 4] {
         let m = trade_model(1_200, chains);
-        bench(
+        rec.bench(
             &format!("layered_solve/chains_at_1200/{chains}"),
             30,
             || solve(black_box(&m), &SolverOptions::default()).unwrap(),
@@ -77,25 +140,28 @@ fn bench_layered_solve() {
     }
     // The paper's coarse criterion against the library default.
     let m = trade_model(1_400, 1);
-    bench("layered_solve/paper_20ms_criterion", 30, || {
+    rec.bench("layered_solve/paper_20ms_criterion", 30, || {
         solve(black_box(&m), &SolverOptions::paper()).unwrap()
     });
 }
 
-fn bench_format() {
+fn bench_format(rec: &mut Recorder) {
     group("format");
     let m = trade_model(1_000, 4);
     let text = format::serialize(&m);
-    bench("format_parse_trade_4_chains", 50, || {
+    rec.bench("format_parse_trade_4_chains", 50, || {
         format::parse(black_box(&text)).unwrap()
     });
-    bench("format_serialize_trade_4_chains", 50, || {
+    rec.bench("format_serialize_trade_4_chains", 50, || {
         format::serialize(black_box(&m))
     });
 }
 
 fn main() {
-    bench_amva();
-    bench_layered_solve();
-    bench_format();
+    let mut rec = Recorder::new("bench.solver");
+    bench_amva(&mut rec);
+    bench_warm_start(&mut rec);
+    bench_layered_solve(&mut rec);
+    bench_format(&mut rec);
+    rec.write();
 }

@@ -8,7 +8,7 @@ use perfpred_lqns::LqnPredictor;
 use perfpred_tradesim::calibrate::calibrate_lqn;
 use perfpred_tradesim::config::{GroundTruth, SimOptions};
 use perfpred_tradesim::harness::{find_max_throughput, run, sweep, MeasuredPoint};
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// The nominal clients→throughput gradient of the case study: one request
 /// per client per (think + light-load response) interval.
@@ -63,10 +63,10 @@ pub struct Experiments {
     /// Measurement-grade simulation options.
     pub sim: SimOptions,
     seed: u64,
-    lqn: OnceCell<LqnPredictor>,
-    historical: OnceCell<HistoricalModel>,
-    hybrid: OnceCell<HybridModel>,
-    measured_mx: OnceCell<[f64; 3]>,
+    lqn: OnceLock<LqnPredictor>,
+    historical: OnceLock<HistoricalModel>,
+    hybrid: OnceLock<HybridModel>,
+    measured_mx: OnceLock<[f64; 3]>,
 }
 
 impl Default for Experiments {
@@ -87,10 +87,10 @@ impl Experiments {
                 ..Default::default()
             },
             seed,
-            lqn: OnceCell::new(),
-            historical: OnceCell::new(),
-            hybrid: OnceCell::new(),
-            measured_mx: OnceCell::new(),
+            lqn: OnceLock::new(),
+            historical: OnceLock::new(),
+            hybrid: OnceLock::new(),
+            measured_mx: OnceLock::new(),
         }
     }
 

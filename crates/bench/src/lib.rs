@@ -20,7 +20,9 @@
 pub mod cachecheck;
 pub mod context;
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod runner;
 pub mod timing;
 
 pub use context::Experiments;

@@ -65,11 +65,14 @@ pub fn f(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }
 
-/// Writes a report under `results/<id>.txt` (relative to the workspace
-/// root when run from there, else the current directory). Failures to
-/// write are reported but not fatal — the report was already printed.
+/// Writes a report under `<dir>/<id>.txt` where `<dir>` is
+/// `PERFPRED_RESULTS_DIR` when set, else `results/` (relative to the
+/// workspace root when run from there, else the current directory).
+/// Failures to write are reported but not fatal — the report was already
+/// printed.
 pub fn save(id: &str, body: &str) {
-    let mut dir = PathBuf::from("results");
+    let mut dir = std::env::var_os("PERFPRED_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
     if !dir.exists() && std::fs::create_dir_all(&dir).is_err() {
         dir = std::env::temp_dir();
     }

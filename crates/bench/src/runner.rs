@@ -1,0 +1,181 @@
+//! The parallel experiment scheduler: runs independent experiments on a
+//! work-stealing [`std::thread::scope`] pool while keeping every
+//! user-visible output in deterministic paper order.
+//!
+//! Each experiment executes under its own fresh [`metrics::Scope`], so
+//! concurrent experiments never clobber each other's counters; the
+//! snapshot each one returns covers exactly the work performed on its
+//! worker thread (plus any lazy context calibration that experiment
+//! happened to trigger first — see DESIGN.md).
+//!
+//! Reports are pure functions of the shared [`Experiments`] context, so a
+//! run with `jobs = 1` and a run with `jobs = N` produce byte-identical
+//! report strings — the `determinism` integration test and the CI smoke
+//! job both assert this.
+
+use crate::context::Experiments;
+use crate::experiments;
+use perfpred_core::metrics::{self, MetricsSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one scheduled experiment.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// The experiment id.
+    pub id: String,
+    /// The rendered report, or `None` for an unknown id.
+    pub report: Option<String>,
+    /// Metrics recorded while the experiment ran, scoped to it.
+    pub metrics: MetricsSnapshot,
+    /// The experiment's own wall-clock time.
+    pub duration: Duration,
+}
+
+/// A whole scheduled run, outcomes in request (paper) order.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Per-experiment outcomes, in the order the ids were given.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// The worker count actually used.
+    pub jobs: usize,
+}
+
+/// Resolves the worker count: an explicit request wins, else
+/// `PERFPRED_JOBS`, else the host's available parallelism.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| {
+            std::env::var("PERFPRED_JOBS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or_else(crate::timing::available_parallelism)
+        .max(1)
+}
+
+/// Runs `ids` against the shared context on `jobs` workers, invoking
+/// `on_done` on the *calling* thread for each finished experiment in
+/// request order (streaming: an outcome is delivered as soon as it and all
+/// its predecessors are complete). Returns all outcomes in request order.
+///
+/// Work-stealing: workers repeatedly claim the next unclaimed id from a
+/// shared atomic cursor, so a slow experiment never stalls the queue
+/// behind it. With `jobs = 1` the single worker runs the ids strictly in
+/// order, matching the previous serial driver.
+pub fn run_experiments(
+    ctx: &Experiments,
+    ids: &[&str],
+    jobs: usize,
+    mut on_done: impl FnMut(&ExperimentOutcome),
+) -> RunSummary {
+    let started = Instant::now();
+    let jobs = jobs.clamp(1, ids.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ExperimentOutcome)>();
+    // If a caller ever runs the scheduler under an entered scope, workers
+    // re-enter it as the parent of their per-experiment scopes' metrics
+    // (the per-experiment Scope still wins while entered).
+    let outer = metrics::current_scope();
+
+    let mut outcomes: Vec<Option<ExperimentOutcome>> = std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let outer = outer.clone();
+            scope.spawn(move || {
+                let _outer_guard = outer.as_ref().map(metrics::Scope::enter);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(id) = ids.get(i) else { break };
+                    let outcome = run_one(ctx, id);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Collect on the scheduler thread, releasing outcomes to the
+        // callback in request order as soon as the prefix is complete.
+        let mut slots: Vec<Option<ExperimentOutcome>> = (0..ids.len()).map(|_| None).collect();
+        let mut released = 0;
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
+            while released < slots.len() {
+                let Some(ready) = slots[released].as_ref() else {
+                    break;
+                };
+                on_done(ready);
+                released += 1;
+            }
+        }
+        slots
+    });
+
+    RunSummary {
+        outcomes: outcomes
+            .iter_mut()
+            .map(|slot| slot.take().expect("worker completed every claimed id"))
+            .collect(),
+        wall: started.elapsed(),
+        jobs,
+    }
+}
+
+/// Runs a single experiment under a fresh metrics scope.
+fn run_one(ctx: &Experiments, id: &str) -> ExperimentOutcome {
+    let scope = metrics::Scope::new();
+    let start = Instant::now();
+    let report = {
+        let _guard = scope.enter();
+        experiments::run(ctx, id)
+    };
+    ExperimentOutcome {
+        id: id.to_string(),
+        report,
+        metrics: scope.snapshot(),
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_jobs_prefers_explicit_request() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_reported_not_dropped() {
+        let ctx = Experiments::quick(7);
+        let summary = run_experiments(&ctx, &["no-such-experiment"], 2, |_| {});
+        assert_eq!(summary.outcomes.len(), 1);
+        assert_eq!(summary.outcomes[0].id, "no-such-experiment");
+        assert!(summary.outcomes[0].report.is_none());
+    }
+
+    #[test]
+    fn outcomes_stream_in_request_order() {
+        // `table2` is pure solver work and much faster than `table1`'s
+        // three measurement campaigns; order must still be preserved.
+        let ctx = Experiments::quick(11);
+        let ids = ["table1", "table2"];
+        let mut seen = Vec::new();
+        let summary = run_experiments(&ctx, &ids, 2, |o| seen.push(o.id.clone()));
+        assert_eq!(seen, vec!["table1".to_string(), "table2".to_string()]);
+        assert_eq!(summary.jobs, 2);
+        for (o, id) in summary.outcomes.iter().zip(ids) {
+            assert_eq!(o.id, id);
+            assert!(o.report.is_some(), "{id} should produce a report");
+        }
+    }
+}

@@ -1,7 +1,11 @@
 //! Minimal wall-clock micro-benchmark runner for the crate's `[[bench]]`
 //! targets (`cargo bench -p perfpred-bench`): warm-up plus timed samples
-//! with mean/best reporting, no external harness.
+//! with mean/best reporting, no external harness — plus a recorder that
+//! mirrors every measurement into the machine-readable `BENCH.json`
+//! perf trajectory (see DESIGN.md).
 
+use crate::json::Json;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Formats a duration in seconds with an adaptive unit.
@@ -17,11 +21,24 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
-/// Runs `f` once to warm up, then `samples` timed times, and prints a
-/// one-line `mean / best` summary under `name`. The closure's result is
-/// passed through [`std::hint::black_box`] so the work is not optimised
-/// away.
-pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) {
+/// One bench measurement: `samples` timed runs after a warm-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStat {
+    /// The bench's display name.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Mean sample duration in seconds.
+    pub mean_s: f64,
+    /// Best sample duration in seconds.
+    pub best_s: f64,
+}
+
+/// Runs `f` once to warm up, then `samples` timed times, prints a one-line
+/// `mean / best` summary under `name`, and returns the measurement. The
+/// closure's result is passed through [`std::hint::black_box`] so the work
+/// is not optimised away.
+pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> BenchStat {
     std::hint::black_box(f());
     let mut best = f64::INFINITY;
     let mut total = 0.0;
@@ -38,9 +55,167 @@ pub fn bench<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) {
         fmt_secs(mean),
         fmt_secs(best)
     );
+    BenchStat {
+        name: name.to_string(),
+        samples: samples.max(1),
+        mean_s: mean,
+        best_s: best,
+    }
 }
 
 /// Prints a section header for a group of related benches.
 pub fn group(title: &str) {
     println!("\n== {title} ==");
+}
+
+/// The BENCH.json path: `PERFPRED_BENCH_JSON` when set, else `BENCH.json`
+/// at the workspace root. The root is resolved from this crate's
+/// compile-time location because cargo runs `[[bench]]` targets with the
+/// *package* directory as cwd but `--bin` targets with the caller's —
+/// every writer must agree on one file.
+pub fn bench_json_path() -> PathBuf {
+    if let Some(path) = std::env::var_os("PERFPRED_BENCH_JSON") {
+        return PathBuf::from(path);
+    }
+    let root: &std::path::Path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root");
+    root.join("BENCH.json")
+}
+
+/// Collects one named section of the perf trajectory and merges it into
+/// `BENCH.json` on [`Recorder::write`]: other sections are preserved, the
+/// recorded one is replaced wholesale, so each bench binary and the repro
+/// driver maintain their own slice of the file independently.
+#[derive(Debug)]
+pub struct Recorder {
+    section: String,
+    benches: Vec<BenchStat>,
+    notes: Json,
+}
+
+impl Recorder {
+    /// A recorder for `section` (e.g. `"bench.solver"` or `"repro"`).
+    pub fn new(section: &str) -> Self {
+        Recorder {
+            section: section.to_string(),
+            benches: Vec::new(),
+            notes: Json::obj(),
+        }
+    }
+
+    /// Adds one bench measurement to the section.
+    pub fn record(&mut self, stat: BenchStat) {
+        self.benches.push(stat);
+    }
+
+    /// Runs [`bench`] and records the result in one step.
+    pub fn bench<R>(&mut self, name: &str, samples: u32, f: impl FnMut() -> R) {
+        self.record(bench(name, samples, f));
+    }
+
+    /// Attaches a free-form key/value note to the section (solve counts,
+    /// cache hit rates, speedups, ...).
+    pub fn note(&mut self, key: &str, value: impl Into<Json>) {
+        self.notes.set(key, value);
+    }
+
+    /// Renders this section's JSON object.
+    fn section_json(&self) -> Json {
+        let mut section = self.notes.clone();
+        if !self.benches.is_empty() {
+            let rows = self
+                .benches
+                .iter()
+                .map(|b| {
+                    let mut row = Json::obj();
+                    row.set("name", b.name.as_str());
+                    row.set("samples", u64::from(b.samples));
+                    row.set("mean_s", b.mean_s);
+                    row.set("best_s", b.best_s);
+                    row
+                })
+                .collect();
+            section.set("benches", Json::Arr(rows));
+        }
+        section
+    }
+
+    /// Merges the section into `BENCH.json` (see [`bench_json_path`]).
+    /// A corrupt or missing file is replaced rather than failing the run.
+    pub fn write(&self) {
+        let path = bench_json_path();
+        let mut doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .filter(|d| matches!(d, Json::Obj(_)))
+            .unwrap_or_else(Json::obj);
+        doc.set("host_parallelism", available_parallelism());
+        doc.set(&format!("section.{}", self.section), self.section_json());
+        if let Err(e) = std::fs::write(&path, doc.render()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("\n[{} -> {}]", self.section, path.display());
+        }
+    }
+}
+
+/// The host's available parallelism (1 when unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let stat = bench("timing.test.noop", 3, || std::hint::black_box(2 + 2));
+        assert_eq!(stat.samples, 3);
+        assert!(stat.best_s >= 0.0);
+        assert!(stat.mean_s >= stat.best_s);
+    }
+
+    #[test]
+    fn recorder_merges_sections_without_clobbering() {
+        let dir = std::env::temp_dir().join(format!("perfpred-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH.json");
+        let mut first = Json::obj();
+        first.set("section.other", {
+            let mut s = Json::obj();
+            s.set("kept", true);
+            s
+        });
+        std::fs::write(&path, first.render()).unwrap();
+
+        // Recorder::write reads the path from the environment; temporarily
+        // point it at the scratch file.
+        std::env::set_var("PERFPRED_BENCH_JSON", &path);
+        let mut rec = Recorder::new("unit");
+        rec.record(BenchStat {
+            name: "x".into(),
+            samples: 1,
+            mean_s: 0.5,
+            best_s: 0.25,
+        });
+        rec.note("solves", 7u64);
+        rec.write();
+        std::env::remove_var("PERFPRED_BENCH_JSON");
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("section.other").and_then(|s| s.get("kept")),
+            Some(&Json::Bool(true))
+        );
+        let unit = doc.get("section.unit").unwrap();
+        assert_eq!(unit.get("solves").and_then(Json::as_f64), Some(7.0));
+        let Some(Json::Arr(rows)) = unit.get("benches") else {
+            panic!("benches array missing: {doc:?}");
+        };
+        assert_eq!(rows[0].get("name"), Some(&Json::Str("x".into())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -16,7 +16,20 @@
 //! `predcache.hits`. [`snapshot`] captures every registered metric for
 //! reporting; [`reset`] zeroes values between experiments while keeping
 //! the registered handles alive (outstanding `Arc`s keep working).
+//!
+//! # Scoped collection
+//!
+//! By default every metric lands in one process-wide registry, which is
+//! fine for a single experiment but makes concurrent experiments clobber
+//! each other's counters. A [`Scope`] gives a piece of work its own
+//! registry: while a scope is entered on a thread (see [`Scope::enter`]),
+//! `counter`/`histogram`/`snapshot`/`reset` on that thread resolve into
+//! the scope's registry instead of the global one. Scopes are cheap
+//! `Arc` handles — clone one into worker threads (or capture it with
+//! [`current_scope`]) and re-enter it there so spawned workers report
+//! into the same window as their parent.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -211,61 +224,202 @@ impl Histogram {
     }
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(Registry::default)
+impl Registry {
+    fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .expect("metrics registry lock")
+            .get(name)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("metrics registry lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .expect("metrics registry lock")
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("metrics registry lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    fn reset(&self) {
+        for c in self
+            .counters
+            .read()
+            .expect("metrics registry lock")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .read()
+            .expect("metrics registry lock")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics registry lock")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                min: h.min(),
+                max: h.max(),
+                p95: h.quantile(0.95),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
 }
 
-/// Returns the counter registered under `name`, creating it on first use.
+fn global_registry() -> &'static Arc<Registry> {
+    static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(Arc::default)
+}
+
+thread_local! {
+    /// The registry the current thread records into, when a [`Scope`] has
+    /// been entered here; `None` means the global registry.
+    static ACTIVE: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// The registry metric lookups on this thread currently resolve to.
+fn active_registry() -> Arc<Registry> {
+    ACTIVE.with(|a| match &*a.borrow() {
+        Some(reg) => Arc::clone(reg),
+        None => Arc::clone(global_registry()),
+    })
+}
+
+/// An isolated metrics registry for one unit of work (e.g. one experiment
+/// running concurrently with others).
+///
+/// While entered on a thread, all name-based metric operations on that
+/// thread (`counter`, `histogram`, `snapshot`, `reset`) use the scope's
+/// private registry. Clone the scope into spawned worker threads and
+/// [`enter`](Scope::enter) it there to aggregate their activity too.
+#[derive(Clone, Default)]
+pub struct Scope {
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl Scope {
+    /// Creates a scope with a fresh, empty registry.
+    pub fn new() -> Self {
+        Scope::default()
+    }
+
+    /// Makes this scope the destination for metrics recorded on the
+    /// current thread until the returned guard drops (scopes nest; the
+    /// previous destination is restored).
+    #[must_use = "the scope is only active while the guard lives"]
+    pub fn enter(&self) -> ScopeGuard {
+        let prev = ACTIVE.with(|a| a.replace(Some(Arc::clone(&self.registry))));
+        ScopeGuard {
+            prev,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Captures the current value of every metric recorded in this scope.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// True when both scopes share one registry.
+    pub fn same_as(&self, other: &Scope) -> bool {
+        Arc::ptr_eq(&self.registry, &other.registry)
+    }
+}
+
+/// Restores the thread's previous metrics destination on drop.
+/// Returned by [`Scope::enter`]; not `Send` — it must drop on the thread
+/// that entered the scope.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    prev: Option<Arc<Registry>>,
+    // Thread-local restore must happen on the entering thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The scope active on the current thread, if any — capture before
+/// spawning workers and re-enter inside them so their metrics land in the
+/// caller's window.
+pub fn current_scope() -> Option<Scope> {
+    ACTIVE.with(|a| {
+        a.borrow().as_ref().map(|reg| Scope {
+            registry: Arc::clone(reg),
+        })
+    })
+}
+
+/// Returns the counter registered under `name` in the active registry
+/// (the entered [`Scope`]'s, else the global one), creating it on first
+/// use.
 pub fn counter(name: &str) -> Arc<Counter> {
-    let reg = registry();
-    if let Some(c) = reg
-        .counters
-        .read()
-        .expect("metrics registry lock")
-        .get(name)
-    {
-        return Arc::clone(c);
-    }
-    let mut map = reg.counters.write().expect("metrics registry lock");
-    Arc::clone(map.entry(name.to_owned()).or_default())
+    active_registry().counter(name)
 }
 
-/// Returns the histogram registered under `name`, creating it on first use.
+/// Returns the histogram registered under `name` in the active registry
+/// (the entered [`Scope`]'s, else the global one), creating it on first
+/// use.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    let reg = registry();
-    if let Some(h) = reg
-        .histograms
-        .read()
-        .expect("metrics registry lock")
-        .get(name)
-    {
-        return Arc::clone(h);
-    }
-    let mut map = reg.histograms.write().expect("metrics registry lock");
-    Arc::clone(map.entry(name.to_owned()).or_default())
+    active_registry().histogram(name)
 }
 
-/// Zeroes every registered metric. Handles held by callers stay valid.
+/// Zeroes every metric in the active registry. Handles held by callers
+/// stay valid.
 pub fn reset() {
-    let reg = registry();
-    for c in reg.counters.read().expect("metrics registry lock").values() {
-        c.reset();
-    }
-    for h in reg
-        .histograms
-        .read()
-        .expect("metrics registry lock")
-        .values()
-    {
-        h.reset();
-    }
+    active_registry().reset();
 }
 
 /// Point-in-time value of one counter.
@@ -347,38 +501,10 @@ impl MetricsSnapshot {
     }
 }
 
-/// Captures the current value of every registered metric.
+/// Captures the current value of every metric in the active registry
+/// (the entered [`Scope`]'s, else the global one).
 pub fn snapshot() -> MetricsSnapshot {
-    let reg = registry();
-    let counters = reg
-        .counters
-        .read()
-        .expect("metrics registry lock")
-        .iter()
-        .map(|(name, c)| CounterSnapshot {
-            name: name.clone(),
-            value: c.get(),
-        })
-        .collect();
-    let histograms = reg
-        .histograms
-        .read()
-        .expect("metrics registry lock")
-        .iter()
-        .map(|(name, h)| HistogramSnapshot {
-            name: name.clone(),
-            count: h.count(),
-            sum: h.sum(),
-            mean: h.mean(),
-            min: h.min(),
-            max: h.max(),
-            p95: h.quantile(0.95),
-        })
-        .collect();
-    MetricsSnapshot {
-        counters,
-        histograms,
-    }
+    active_registry().snapshot()
 }
 
 #[cfg(test)]
@@ -457,6 +583,63 @@ mod tests {
         assert_eq!(held.get(), 0);
         held.add(2);
         assert_eq!(snapshot().counter("test.snap.counter"), 2);
+    }
+
+    #[test]
+    fn scope_isolates_metrics_from_global_registry() {
+        let global = counter("test.scope.shared");
+        global.reset();
+        let scope = Scope::new();
+        {
+            let _guard = scope.enter();
+            counter("test.scope.shared").add(5);
+            histogram("test.scope.hist").record(2.0);
+            assert_eq!(snapshot().counter("test.scope.shared"), 5);
+        }
+        // Global registry saw nothing; the scope kept everything.
+        assert_eq!(global.get(), 0);
+        assert_eq!(scope.snapshot().counter("test.scope.shared"), 5);
+        assert_eq!(
+            scope.snapshot().histogram("test.scope.hist").unwrap().count,
+            1
+        );
+        // Outside the guard we are back on the global registry (identity
+        // check: immune to concurrent tests calling the global reset()).
+        assert!(Arc::ptr_eq(&counter("test.scope.shared"), &global));
+        assert_eq!(scope.snapshot().counter("test.scope.shared"), 5);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Scope::new();
+        let inner = Scope::new();
+        let _og = outer.enter();
+        counter("test.nest").incr();
+        {
+            let _ig = inner.enter();
+            counter("test.nest").add(10);
+            assert!(current_scope().unwrap().same_as(&inner));
+        }
+        counter("test.nest").incr();
+        assert!(current_scope().unwrap().same_as(&outer));
+        assert_eq!(outer.snapshot().counter("test.nest"), 2);
+        assert_eq!(inner.snapshot().counter("test.nest"), 10);
+    }
+
+    #[test]
+    fn scope_propagates_across_threads() {
+        let scope = Scope::new();
+        let _guard = scope.enter();
+        let captured = current_scope().expect("scope is active");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = captured.enter();
+                    counter("test.scope.cross_thread").add(100);
+                });
+            }
+        });
+        assert_eq!(scope.snapshot().counter("test.scope.cross_thread"), 400);
     }
 
     #[test]

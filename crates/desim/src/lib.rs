@@ -31,6 +31,6 @@ pub mod station;
 pub mod stats;
 
 pub use queue::{EventHandle, EventQueue};
-pub use rng::SimRng;
+pub use rng::{splitmix64, SimRng};
 pub use station::{FifoStation, PsStation, StationMetrics};
 pub use stats::{P2Quantile, TimeWeighted, Welford};

@@ -204,130 +204,317 @@ impl Default for AmvaOptions {
     }
 }
 
-/// Bard–Schweitzer approximate MVA for a closed multi-class network with
-/// multiserver stations (Seidmann transformation).
-pub fn solve_amva(net: &ClosedNetwork, opts: &AmvaOptions) -> Result<MvaSolution, PredictError> {
-    net.validate()?;
-    let kn = net.n_chains();
-    let sn = net.stations.len();
+/// Reusable flat state for the Bard–Schweitzer fixed point.
+///
+/// One workspace serves any sequence of networks: every buffer is a
+/// single `Vec<f64>` indexed `[chain * stations + station]` whose
+/// capacity only ever grows, so a warm [`solve_amva_into`] performs no
+/// heap allocation at all. After a successful solve the workspace holds
+/// the solution (see the accessors) and remembers the converged queue
+/// lengths; the next solve over the *same shape* starts the fixed point
+/// from those, scaled per chain to the new population. Warm starts never
+/// change the converged answer — the Bard–Schweitzer fixed point does
+/// not depend on its starting point — only how many iterations reaching
+/// it takes, which is what makes population sweeps (calibration
+/// campaigns, max-throughput searches, resman cost sweeps) cheap. Call
+/// [`AmvaWorkspace::invalidate`] to force the next solve cold.
+#[derive(Debug, Clone, Default)]
+pub struct AmvaWorkspace {
+    kn: usize,
+    sn: usize,
+    /// Seidmann-transformed queueing demand per chain per station.
+    qdemand: Vec<f64>,
+    /// Queue lengths — the fixed-point state, kept between solves for
+    /// warm starts.
+    q: Vec<f64>,
+    /// Arrival-theorem waiting-time estimate.
+    w: Vec<f64>,
+    /// Final residence times (waiting + Seidmann delay folded back).
+    residence: Vec<f64>,
+    /// Per-station total queue over all chains, updated incrementally as
+    /// each chain's queue moves instead of rebuilt every iteration.
+    totals: Vec<f64>,
+    /// Per-chain Seidmann extra delay.
+    extra_delay: Vec<f64>,
+    /// Per-chain response time.
+    response: Vec<f64>,
+    /// Per-chain throughput, cycles per ms.
+    x: Vec<f64>,
+    /// Per-station open-load utilisation (all zero for closed solves).
+    rho_open: Vec<f64>,
+    /// Whether each station queues (false = pure delay).
+    is_queueing: Vec<bool>,
+    /// Populations of the last converged solve — the warm-start scaling
+    /// reference.
+    prev_pop: Vec<f64>,
+    /// True when `q` holds a converged solution of the current shape.
+    warm: bool,
+    /// Iterations the last solve used.
+    iterations: usize,
+}
 
-    // Seidmann transformation: per-station effective queueing demand and
-    // extra per-chain delay.
-    let mut qdemand = vec![vec![0.0f64; sn]; kn]; // [chain][station]
-    let mut extra_delay = vec![0.0f64; kn];
-    let mut is_queueing = vec![false; sn];
+impl AmvaWorkspace {
+    /// An empty workspace; buffers are sized by the first solve.
+    pub fn new() -> Self {
+        AmvaWorkspace::default()
+    }
+
+    /// Sizes every buffer for a `kn`-chain, `sn`-station network.
+    /// Growth-only on capacity; changing shape discards warm-start state.
+    fn ensure(&mut self, kn: usize, sn: usize) {
+        if kn != self.kn || sn != self.sn {
+            self.warm = false;
+            self.kn = kn;
+            self.sn = sn;
+        }
+        self.qdemand.resize(kn * sn, 0.0);
+        self.q.resize(kn * sn, 0.0);
+        self.w.resize(kn * sn, 0.0);
+        self.residence.resize(kn * sn, 0.0);
+        self.totals.resize(sn, 0.0);
+        self.extra_delay.resize(kn, 0.0);
+        self.response.resize(kn, 0.0);
+        self.x.resize(kn, 0.0);
+        self.rho_open.resize(sn, 0.0);
+        self.is_queueing.resize(sn, false);
+        self.prev_pop.resize(kn, 0.0);
+    }
+
+    /// Forgets the previous solution; the next solve starts cold.
+    pub fn invalidate(&mut self) {
+        self.warm = false;
+    }
+
+    /// True when the next same-shape solve will warm-start.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Iterations used by the last solve.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Response time per chain from the last solve, ms.
+    pub fn response_ms(&self) -> &[f64] {
+        &self.response[..self.kn]
+    }
+
+    /// Throughput per chain from the last solve, cycles per ms.
+    pub fn throughput_per_ms(&self) -> &[f64] {
+        &self.x[..self.kn]
+    }
+
+    /// Residence times of chain `k` at every station, ms.
+    pub fn residence_ms(&self, k: usize) -> &[f64] {
+        &self.residence[k * self.sn..(k + 1) * self.sn]
+    }
+
+    /// Mean chain-`k` queue length at every station.
+    pub fn queue_len(&self, k: usize) -> &[f64] {
+        &self.q[k * self.sn..(k + 1) * self.sn]
+    }
+
+    /// Copies the last solve out into an owned [`MvaSolution`].
+    pub fn to_solution(&self) -> MvaSolution {
+        MvaSolution {
+            residence_ms: (0..self.kn)
+                .map(|k| self.residence_ms(k).to_vec())
+                .collect(),
+            response_ms: self.response_ms().to_vec(),
+            throughput_per_ms: self.throughput_per_ms().to_vec(),
+            queue_len: (0..self.kn).map(|k| self.queue_len(k).to_vec()).collect(),
+            iterations: self.iterations,
+        }
+    }
+
+    /// Cold-starts chain `k`: its population spread evenly over the
+    /// queueing stations it visits, zero elsewhere.
+    fn init_chain_cold(&mut self, k: usize, nk: f64) {
+        let row = k * self.sn;
+        let visited = (0..self.sn)
+            .filter(|&s| self.is_queueing[s] && self.qdemand[row + s] > 0.0)
+            .count();
+        let share = if visited > 0 && nk > 0.0 {
+            (nk / visited as f64).min(nk)
+        } else {
+            0.0
+        };
+        for s in 0..self.sn {
+            self.q[row + s] = if self.is_queueing[s] && self.qdemand[row + s] > 0.0 {
+                share
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// The Bard–Schweitzer fixed point over workspace state. `use_rho` makes
+/// queueing-station demands inflate by `1/(1 − ρ_open[s])` (the mixed
+/// decomposition); `ws.rho_open` must then hold per-station open
+/// utilisations `< 1`. Allocation-free except for error messages.
+fn amva_fixed_point(
+    net: &ClosedNetwork,
+    opts: &AmvaOptions,
+    ws: &mut AmvaWorkspace,
+    use_rho: bool,
+) -> Result<(), PredictError> {
+    let kn = ws.kn;
+    let sn = ws.sn;
+
+    // Seidmann transformation (+ optional open-load inflation): per-station
+    // effective queueing demand and extra per-chain delay.
+    ws.extra_delay[..kn].fill(0.0);
     for (s, st) in net.stations.iter().enumerate() {
+        let inflation = if use_rho {
+            1.0 / (1.0 - ws.rho_open[s])
+        } else {
+            1.0
+        };
         match st.kind {
             StationKind::Queueing { servers } => {
-                is_queueing[s] = true;
+                ws.is_queueing[s] = true;
                 let m = f64::from(servers);
                 for (k, d) in st.demands.iter().enumerate() {
-                    qdemand[k][s] = d / m;
-                    extra_delay[k] += d * (m - 1.0) / m;
+                    let d = d * inflation;
+                    ws.qdemand[k * sn + s] = d / m;
+                    ws.extra_delay[k] += d * (m - 1.0) / m;
                 }
             }
             StationKind::Delay => {
+                ws.is_queueing[s] = false;
                 for (k, d) in st.demands.iter().enumerate() {
-                    qdemand[k][s] = *d;
+                    ws.qdemand[k * sn + s] = *d;
                 }
             }
         }
     }
 
-    // Initial queue lengths: spread each chain's population across the
-    // queueing stations it actually visits.
-    let mut q = vec![vec![0.0f64; sn]; kn];
+    // Initial queue lengths: the previous converged solution scaled to the
+    // new populations when available, else an even cold-start spread.
+    // Stale mass at stations a chain no longer visits is harmless — the
+    // damped update decays it geometrically toward the fixed point.
     for k in 0..kn {
-        let visited: Vec<usize> = (0..sn)
-            .filter(|&s| is_queueing[s] && qdemand[k][s] > 0.0)
-            .collect();
-        if !visited.is_empty() {
-            let share = net.populations[k] / visited.len() as f64;
-            for &s in &visited {
-                q[k][s] = share.min(net.populations[k]);
+        let nk = net.populations[k];
+        if ws.warm && nk > 0.0 && ws.prev_pop[k] > 0.0 {
+            let ratio = nk / ws.prev_pop[k];
+            let row = k * sn;
+            for s in 0..sn {
+                ws.q[row + s] = (ws.q[row + s] * ratio).min(nk);
             }
+        } else {
+            ws.init_chain_cold(k, nk);
         }
     }
+    for s in 0..sn {
+        ws.totals[s] = (0..kn).map(|k| ws.q[k * sn + s]).sum();
+    }
 
-    let mut w = vec![vec![0.0f64; sn]; kn];
-    let mut x = vec![0.0f64; kn];
     let mut iterations = 0;
     for iter in 1..=opts.max_iterations {
         iterations = iter;
         let mut max_delta = 0.0f64;
-        // Total queue per station (all chains) for arrival-theorem estimate.
-        let totals: Vec<f64> = (0..sn).map(|s| (0..kn).map(|k| q[k][s]).sum()).collect();
         for k in 0..kn {
             let nk = net.populations[k];
+            let row = k * sn;
             if nk <= 0.0 {
-                x[k] = 0.0;
-                w[k].fill(0.0);
+                ws.x[k] = 0.0;
+                ws.w[row..row + sn].fill(0.0);
                 continue;
             }
             let scale = (nk - 1.0).max(0.0) / nk;
-            let mut r = extra_delay[k];
+            let mut r = ws.extra_delay[k];
             for s in 0..sn {
-                let d = qdemand[k][s];
+                let d = ws.qdemand[row + s];
                 if d == 0.0 {
-                    w[k][s] = 0.0;
+                    ws.w[row + s] = 0.0;
                     continue;
                 }
-                w[k][s] = if is_queueing[s] {
+                ws.w[row + s] = if ws.is_queueing[s] {
                     // Queue seen on arrival: others' queues in full, own
                     // chain scaled by (N_k − 1)/N_k (Schweitzer estimate).
-                    let seen = totals[s] - q[k][s] + scale * q[k][s];
+                    let seen = ws.totals[s] - ws.q[row + s] + scale * ws.q[row + s];
                     d * (1.0 + seen)
                 } else {
                     d
                 };
-                r += w[k][s];
+                r += ws.w[row + s];
             }
             let cycle = net.think_ms[k] + r;
-            x[k] = if cycle > 0.0 { nk / cycle } else { 0.0 };
+            ws.x[k] = if cycle > 0.0 { nk / cycle } else { 0.0 };
             for s in 0..sn {
-                let target = x[k] * w[k][s];
-                let updated = q[k][s] + opts.damping * (target - q[k][s]);
-                max_delta = max_delta.max((updated - q[k][s]).abs());
-                q[k][s] = updated;
+                let old = ws.q[row + s];
+                let target = ws.x[k] * ws.w[row + s];
+                let updated = old + opts.damping * (target - old);
+                max_delta = max_delta.max((updated - old).abs());
+                ws.q[row + s] = updated;
+                ws.totals[s] += updated - old;
             }
         }
         if max_delta < opts.tolerance {
             break;
         }
     }
+    ws.iterations = iterations;
 
     // Final pass to report residence times consistent with the fixed point,
     // and fold the Seidmann extra delay back into the multiserver station's
     // residence so callers see the station's full residence time.
-    let mut residence = vec![vec![0.0f64; sn]; kn];
-    let mut response = vec![0.0f64; kn];
+    let mut finite = true;
     for k in 0..kn {
+        let row = k * sn;
+        ws.response[k] = 0.0;
         for (s, st) in net.stations.iter().enumerate() {
             let extra = match st.kind {
                 StationKind::Queueing { servers } => {
                     let m = f64::from(servers);
-                    st.demands[k] * (m - 1.0) / m
+                    let inflation = if use_rho {
+                        1.0 / (1.0 - ws.rho_open[s])
+                    } else {
+                        1.0
+                    };
+                    st.demands[k] * inflation * (m - 1.0) / m
                 }
                 StationKind::Delay => 0.0,
             };
-            residence[k][s] = w[k][s] + extra;
-            response[k] += residence[k][s];
+            ws.residence[row + s] = ws.w[row + s] + extra;
+            ws.response[k] += ws.residence[row + s];
         }
+        finite &= ws.response[k].is_finite();
     }
-
-    let sol = MvaSolution {
-        residence_ms: residence,
-        response_ms: response,
-        throughput_per_ms: x,
-        queue_len: q,
-        iterations,
-    };
-    if sol.response_ms.iter().any(|r| !r.is_finite()) {
+    if !finite {
+        ws.warm = false;
         return Err(PredictError::Solver(
             "AMVA produced a non-finite response time".into(),
         ));
     }
-    Ok(sol)
+    ws.prev_pop[..kn].copy_from_slice(&net.populations);
+    ws.warm = true;
+    Ok(())
+}
+
+/// Bard–Schweitzer approximate MVA into a reusable workspace. After a
+/// successful return the workspace exposes the solution through its
+/// accessors; a warm workspace performs zero heap allocations here.
+pub fn solve_amva_into(
+    net: &ClosedNetwork,
+    opts: &AmvaOptions,
+    ws: &mut AmvaWorkspace,
+) -> Result<(), PredictError> {
+    net.validate()?;
+    ws.ensure(net.n_chains(), net.stations.len());
+    amva_fixed_point(net, opts, ws, false)
+}
+
+/// Bard–Schweitzer approximate MVA for a closed multi-class network with
+/// multiserver stations (Seidmann transformation). Convenience wrapper
+/// over [`solve_amva_into`] with a throwaway workspace; hot paths should
+/// hold a workspace and call [`solve_amva_into`] directly.
+pub fn solve_amva(net: &ClosedNetwork, opts: &AmvaOptions) -> Result<MvaSolution, PredictError> {
+    let mut ws = AmvaWorkspace::new();
+    solve_amva_into(net, opts, &mut ws)?;
+    Ok(ws.to_solution())
 }
 
 #[cfg(test)]
@@ -467,9 +654,11 @@ mod tests {
             }],
         };
         let sol = solve_amva(&net, &AmvaOptions::default()).unwrap();
-        // Symmetric chains get symmetric results.
-        assert!((sol.throughput_per_ms[0] - sol.throughput_per_ms[1]).abs() < 1e-9);
-        assert!((sol.response_ms[0] - sol.response_ms[1]).abs() < 1e-9);
+        // Symmetric chains get symmetric results — up to the convergence
+        // tolerance: chains update in sequence against live totals
+        // (Gauss–Seidel), so exact symmetry is not preserved mid-iteration.
+        assert!((sol.throughput_per_ms[0] - sol.throughput_per_ms[1]).abs() < 1e-6);
+        assert!((sol.response_ms[0] - sol.response_ms[1]).abs() < 1e-6);
         // Combined throughput bounded by station capacity.
         let total = sol.throughput_per_ms[0] + sol.throughput_per_ms[1];
         assert!(total <= 1.0 / 4.0 + 1e-9);
@@ -542,6 +731,111 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_matches_cold_start_across_population_sweep() {
+        // One workspace rides the whole sweep; every point is checked
+        // against a cold solve. The fixed point must not depend on the
+        // starting queue lengths, only the iteration count may differ.
+        let opts = AmvaOptions::default();
+        let mut ws = AmvaWorkspace::new();
+        let mut warm_iters = 0usize;
+        let mut cold_iters = 0usize;
+        for step in 0..30 {
+            let n = 10.0 + 40.0 * f64::from(step);
+            let net = ClosedNetwork {
+                populations: vec![n, n / 4.0],
+                think_ms: vec![7_000.0, 3_000.0],
+                stations: vec![
+                    Station {
+                        kind: StationKind::Queueing { servers: 1 },
+                        demands: vec![4.5, 9.0],
+                    },
+                    Station {
+                        kind: StationKind::Queueing { servers: 2 },
+                        demands: vec![1.1, 2.5],
+                    },
+                    Station {
+                        kind: StationKind::Delay,
+                        demands: vec![2.5, 2.5],
+                    },
+                ],
+            };
+            let cold = solve_amva(&net, &opts).unwrap();
+            cold_iters += cold.iterations;
+            solve_amva_into(&net, &opts, &mut ws).unwrap();
+            warm_iters += ws.iterations();
+            for k in 0..2 {
+                let rel = (ws.response_ms()[k] - cold.response_ms[k]).abs()
+                    / cold.response_ms[k].max(1e-9);
+                assert!(rel < 1e-5, "n={n} chain {k}: warm differs by {rel}");
+                let relx = (ws.throughput_per_ms()[k] - cold.throughput_per_ms[k]).abs()
+                    / cold.throughput_per_ms[k].max(1e-12);
+                assert!(relx < 1e-5, "n={n} chain {k}: throughput differs by {relx}");
+            }
+        }
+        // The point of warm-starting: neighbouring populations converge in
+        // fewer iterations than cold starts over the same sweep.
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} >= cold {cold_iters}"
+        );
+    }
+
+    #[test]
+    fn workspace_shape_change_and_invalidate_stay_correct() {
+        let opts = AmvaOptions::default();
+        let mut ws = AmvaWorkspace::new();
+        // Solve a 2-chain net, then a 1-chain net (shape change → cold),
+        // then the same net again warm, then invalidated.
+        let two = ClosedNetwork {
+            populations: vec![20.0, 5.0],
+            think_ms: vec![100.0, 0.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![2.0, 3.0],
+            }],
+        };
+        solve_amva_into(&two, &opts, &mut ws).unwrap();
+        let one = single(5.0, 1, 50.0, 200.0);
+        solve_amva_into(&one, &opts, &mut ws).unwrap();
+        assert!(ws.is_warm());
+        let warm = ws.to_solution();
+        ws.invalidate();
+        assert!(!ws.is_warm());
+        solve_amva_into(&one, &opts, &mut ws).unwrap();
+        let cold = ws.to_solution();
+        let rel = (warm.response_ms[0] - cold.response_ms[0]).abs() / cold.response_ms[0];
+        assert!(rel < 1e-5, "rel {rel}");
+        let fresh = solve_amva(&one, &opts).unwrap();
+        assert_eq!(cold.response_ms, fresh.response_ms);
+    }
+
+    #[test]
+    fn warm_start_handles_population_going_to_zero_and_back() {
+        let opts = AmvaOptions::default();
+        let mut ws = AmvaWorkspace::new();
+        let mk = |p0: f64, p1: f64| ClosedNetwork {
+            populations: vec![p0, p1],
+            think_ms: vec![50.0, 50.0],
+            stations: vec![Station {
+                kind: StationKind::Queueing { servers: 1 },
+                demands: vec![5.0, 5.0],
+            }],
+        };
+        solve_amva_into(&mk(10.0, 10.0), &opts, &mut ws).unwrap();
+        // Chain 0 empties: its stale queue must not poison chain 1.
+        solve_amva_into(&mk(0.0, 10.0), &opts, &mut ws).unwrap();
+        let expect = solve_amva(&mk(0.0, 10.0), &opts).unwrap();
+        assert_eq!(ws.throughput_per_ms()[0], 0.0);
+        let rel = (ws.response_ms()[1] - expect.response_ms[1]).abs() / expect.response_ms[1];
+        assert!(rel < 1e-5, "rel {rel}");
+        // And back to a positive population (prev_pop 0 → cold init).
+        solve_amva_into(&mk(10.0, 10.0), &opts, &mut ws).unwrap();
+        let expect = solve_amva(&mk(10.0, 10.0), &opts).unwrap();
+        let rel = (ws.response_ms()[0] - expect.response_ms[0]).abs() / expect.response_ms[0];
+        assert!(rel < 1e-5, "rel {rel}");
+    }
+
+    #[test]
     fn amva_validation_errors() {
         let mut net = single(5.0, 1, 10.0, 0.0);
         net.stations[0].demands = vec![5.0, 1.0];
@@ -596,6 +890,20 @@ pub struct MixedSolution {
 ///
 /// (multiservers via the Seidmann transformation on both sides).
 pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSolution, PredictError> {
+    let mut ws = AmvaWorkspace::new();
+    solve_mixed_with(net, opts, &mut ws)
+}
+
+/// [`solve_mixed`] against a caller-held workspace: the closed-chain
+/// fixed point runs entirely in the workspace's flat buffers (no clone of
+/// the network, no per-solve state allocation) and warm-starts from the
+/// workspace's previous solution when the shape matches. Only the
+/// returned [`MixedSolution`] itself is allocated.
+pub fn solve_mixed_with(
+    net: &MixedNetwork,
+    opts: &AmvaOptions,
+    ws: &mut AmvaWorkspace,
+) -> Result<MixedSolution, PredictError> {
     net.closed.validate()?;
     let sn = net.closed.stations.len();
     for (o, oc) in net.open.iter().enumerate() {
@@ -613,36 +921,30 @@ pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSoluti
         }
     }
 
+    ws.ensure(net.closed.n_chains(), sn);
+
     // Open utilisation per station (per server).
-    let mut rho_open = vec![0.0f64; sn];
     for (s, st) in net.closed.stations.iter().enumerate() {
         let raw: f64 = net
             .open
             .iter()
             .map(|oc| oc.rate_per_ms * oc.demands[s])
             .sum();
-        rho_open[s] = match st.kind {
+        ws.rho_open[s] = match st.kind {
             StationKind::Queueing { servers } => raw / f64::from(servers),
             StationKind::Delay => 0.0,
         };
-        if rho_open[s] >= 0.999 {
+        if ws.rho_open[s] >= 0.999 {
             return Err(PredictError::Solver(format!(
                 "open load saturates station {s} (rho = {:.3})",
-                rho_open[s]
+                ws.rho_open[s]
             )));
         }
     }
 
-    // Closed chains see service slowed by the open traffic.
-    let mut inflated = net.closed.clone();
-    for (s, st) in inflated.stations.iter_mut().enumerate() {
-        if matches!(st.kind, StationKind::Queueing { .. }) {
-            for d in &mut st.demands {
-                *d /= 1.0 - rho_open[s];
-            }
-        }
-    }
-    let closed_sol = solve_amva(&inflated, opts)?;
+    // Closed chains see service slowed by the open traffic: the fixed
+    // point inflates queueing demands by 1/(1 − ρ_open) in place.
+    amva_fixed_point(&net.closed, opts, ws, true)?;
 
     // Open residences against the closed queues.
     let mut open_residence = Vec::with_capacity(net.open.len());
@@ -656,11 +958,10 @@ pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSoluti
                 StationKind::Delay => d,
                 StationKind::Queueing { servers } => {
                     let m = f64::from(servers);
-                    let q_closed: f64 = (0..net.closed.n_chains())
-                        .map(|k| closed_sol.queue_len[k][s])
-                        .sum();
+                    let q_closed: f64 =
+                        (0..net.closed.n_chains()).map(|k| ws.queue_len(k)[s]).sum();
                     // Seidmann: queueing part on d/m, the rest pure delay.
-                    (d / m) * (1.0 + q_closed) / (1.0 - rho_open[s]) + d * (m - 1.0) / m
+                    (d / m) * (1.0 + q_closed) / (1.0 - ws.rho_open[s]) + d * (m - 1.0) / m
                 }
             };
             per_station.push(w);
@@ -671,7 +972,7 @@ pub fn solve_mixed(net: &MixedNetwork, opts: &AmvaOptions) -> Result<MixedSoluti
     }
 
     Ok(MixedSolution {
-        closed: closed_sol,
+        closed: ws.to_solution(),
         open_residence_ms: open_residence,
         open_response_ms: open_response,
     })

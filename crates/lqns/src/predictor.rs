@@ -1,6 +1,7 @@
 //! The [`PerformanceModel`] implementation for the layered queuing method.
 
-use crate::solve::solve;
+use crate::mva::AmvaWorkspace;
+use crate::solve::solve_with_pool;
 use crate::trade::TradeLqnConfig;
 use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
 
@@ -51,23 +52,63 @@ impl LqnPredictor {
                 "template workload is empty".into(),
             ));
         }
+        // One workspace pool rides the whole search: each probe solves the
+        // same model shape at a neighbouring population, so every AMVA
+        // fixed point after the first warm-starts. The pool is local to
+        // this call — the search stays a pure function of its inputs.
+        let mut pool: Vec<AmvaWorkspace> = Vec::new();
         let base = f64::from(template.total_clients());
         let mut n = base.max(64.0);
         for _ in 0..40 {
             let w = template.scaled(n / base);
-            let p = self.predict(server, &w)?;
+            let p = self.predict_with_pool(server, &w, &mut pool)?;
             let util = p.utilization.unwrap_or(0.0);
             if util >= 0.99 {
                 let w = template.scaled(n * 1.35 / base);
-                return Ok(self.predict(server, &w)?.throughput_rps);
+                return Ok(self
+                    .predict_with_pool(server, &w, &mut pool)?
+                    .throughput_rps);
             }
             let factor = (0.995 / util.max(0.05)).clamp(1.25, 3.0);
             n *= factor;
         }
         // Never saturated (e.g. a non-CPU bottleneck): report the largest
         // observed rate.
-        self.predict(server, &template.scaled(n / base))
+        self.predict_with_pool(server, &template.scaled(n / base), &mut pool)
             .map(|p| p.throughput_rps)
+    }
+
+    /// [`PerformanceModel::predict`] against a caller-held AMVA workspace
+    /// pool, so a sweep of related predictions reuses solver buffers and
+    /// warm starts across calls (see [`solve_with_pool`]).
+    pub fn predict_with_pool(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+        ws_pool: &mut Vec<AmvaWorkspace>,
+    ) -> Result<Prediction, PredictError> {
+        if workload.is_empty() {
+            return Ok(Prediction {
+                mrt_ms: 0.0,
+                per_class_mrt_ms: vec![0.0; workload.classes.len()],
+                throughput_rps: 0.0,
+                utilization: Some(0.0),
+                saturated: false,
+            });
+        }
+        let model = self.config.build_model(server, workload)?;
+        let sol = solve_with_pool(&model, &self.config.solver, ws_pool)?;
+        let app_cpu = model
+            .processor_by_name("app-cpu")
+            .expect("trade model always has an app-cpu");
+        let utilization = sol.processor_utilization[app_cpu.0];
+        Ok(Prediction {
+            mrt_ms: sol.workload_mrt_ms(),
+            per_class_mrt_ms: sol.chain_response_ms.clone(),
+            throughput_rps: sol.total_throughput_rps(),
+            utilization: Some(utilization),
+            saturated: utilization >= SATURATION_UTILIZATION,
+        })
     }
 }
 
@@ -81,28 +122,9 @@ impl PerformanceModel for LqnPredictor {
         server: &ServerArch,
         workload: &Workload,
     ) -> Result<Prediction, PredictError> {
-        if workload.is_empty() {
-            return Ok(Prediction {
-                mrt_ms: 0.0,
-                per_class_mrt_ms: vec![0.0; workload.classes.len()],
-                throughput_rps: 0.0,
-                utilization: Some(0.0),
-                saturated: false,
-            });
-        }
-        let model = self.config.build_model(server, workload)?;
-        let sol = solve(&model, &self.config.solver)?;
-        let app_cpu = model
-            .processor_by_name("app-cpu")
-            .expect("trade model always has an app-cpu");
-        let utilization = sol.processor_utilization[app_cpu.0];
-        Ok(Prediction {
-            mrt_ms: sol.workload_mrt_ms(),
-            per_class_mrt_ms: sol.chain_response_ms.clone(),
-            throughput_rps: sol.total_throughput_rps(),
-            utilization: Some(utilization),
-            saturated: utilization >= SATURATION_UTILIZATION,
-        })
+        // Fresh pool per prediction: deterministic regardless of what this
+        // predictor solved before (warm-start state never crosses calls).
+        self.predict_with_pool(server, workload, &mut Vec::new())
     }
 }
 

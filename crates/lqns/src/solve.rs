@@ -20,7 +20,8 @@
 
 use crate::model::{LqnModel, Multiplicity, TaskKind};
 use crate::mva::{
-    solve_mixed, AmvaOptions, ClosedNetwork, MixedNetwork, OpenClass, Station, StationKind,
+    solve_mixed_with, AmvaOptions, AmvaWorkspace, ClosedNetwork, MixedNetwork, OpenClass, Station,
+    StationKind,
 };
 use crate::results::SolverResult;
 use perfpred_core::{metrics, PredictError};
@@ -172,6 +173,25 @@ fn prepare(model: &LqnModel) -> Result<Prepared, PredictError> {
 
 /// Solves the model analytically. See the module docs for the algorithm.
 pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, PredictError> {
+    solve_with_pool(model, opts, &mut Vec::new())
+}
+
+/// [`solve`] against a caller-held pool of AMVA workspaces, one per
+/// submodel (seed solve + one per layer). Within a solve every outer
+/// iteration re-solves the same-shaped submodels, so each workspace
+/// warm-starts from the previous iteration's queue lengths; a caller
+/// sweeping a family of models (e.g. a max-throughput population search)
+/// can hold the pool across calls to extend the warm start over the whole
+/// sweep. The pool is an implementation detail of performance only — the
+/// returned result is a pure function of `(model, opts)` up to the AMVA
+/// convergence tolerance, and callers needing bit-exact reproducibility
+/// across runs must pass pools with the same solve history (or fresh
+/// ones).
+pub fn solve_with_pool(
+    model: &LqnModel,
+    opts: &SolverOptions,
+    ws_pool: &mut Vec<AmvaWorkspace>,
+) -> Result<SolverResult, PredictError> {
     let prep = prepare(model)?;
     let kn = prep.chains.len();
     let en = model.entries().len();
@@ -193,6 +213,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
     // Metrics are accumulated locally and flushed once on exit; the outer
     // iteration must not touch the shared registry per pass.
     let mut mva_solves = 0u64;
+    let mut amva_iterations = 0u64;
     let mut last_delta = f64::INFINITY;
 
     // Chain visit totals per task and per processor (constant).
@@ -243,6 +264,12 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
 
     let max_depth = prep.depths.iter().copied().max().unwrap_or(0);
 
+    // One reusable workspace per submodel: slot 0 seeds the flat device
+    // model, slot 1 + level serves that layer. Submodel shapes are stable
+    // across outer iterations, so every re-solve after the first
+    // warm-starts from the previous iteration's queue lengths.
+    ws_pool.resize_with((max_depth + 2).max(ws_pool.len()), AmvaWorkspace::new);
+
     // Seed the processor waits from a *flat* device-level AMVA (every chain
     // queueing directly at every finite processor it uses). This
     // deliberately overestimates contention — it ignores the concurrency
@@ -288,7 +315,8 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
             // An open load that saturates a processor is unstable: the
             // mixed solver rejects it here, before any iteration.
             mva_solves += 1;
-            let sol = solve_mixed(&net, &opts.amva)?;
+            let sol = solve_mixed_with(&net, &opts.amva, &mut ws_pool[0])?;
+            amva_iterations += sol.closed.iterations as u64;
             for k in 0..kn {
                 for (si, &p) in station_procs.iter().enumerate() {
                     if proc_visits[k][p] > 0.0 {
@@ -676,7 +704,8 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
                     .collect(),
             };
             mva_solves += 1;
-            let mixed_sol = solve_mixed(&net, &opts.amva)?;
+            let mixed_sol = solve_mixed_with(&net, &opts.amva, &mut ws_pool[1 + level])?;
+            amva_iterations += mixed_sol.closed.iterations as u64;
             let sol = &mixed_sol.closed;
 
             // Fold residences back into per-call / per-visit waits,
@@ -821,6 +850,7 @@ pub fn solve(model: &LqnModel, opts: &SolverOptions) -> Result<SolverResult, Pre
     metrics::counter("lqns.solves").incr();
     metrics::counter("lqns.iterations").add(iterations as u64);
     metrics::counter("lqns.mva_solves").add(mva_solves);
+    metrics::counter("lqns.amva_iterations").add(amva_iterations);
     if last_delta.is_finite() {
         metrics::histogram("lqns.convergence_residual_ms").record(last_delta);
     }

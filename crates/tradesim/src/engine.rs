@@ -20,7 +20,7 @@ use crate::cache::{Access, SessionCache};
 use crate::config::{GroundTruth, SimOptions};
 use crate::ops::{BuySession, Op, OpTable};
 use crate::slot::SlotPool;
-use perfpred_core::{metrics, RequestType, ServerArch, Workload};
+use perfpred_core::{metrics, ClassLoad, RequestType, ServerArch, Workload};
 use perfpred_desim::queue::EventHandle;
 use perfpred_desim::{EventQueue, FifoStation, PsStation, SimRng, Welford};
 
@@ -93,11 +93,24 @@ struct Request {
     issued_at: f64,
 }
 
+/// Rough upper bound on completions one class can record in the
+/// measurement window, used to pre-size raw-sample storage: a closed
+/// client cannot cycle faster than its think time allows. Capped so a
+/// zero-think pathological class cannot reserve unbounded memory.
+fn estimated_completions(opts: &SimOptions, load: &ClassLoad) -> usize {
+    let cycles_per_client = opts.measure_ms / load.class.think_time_ms.max(1.0);
+    ((cycles_per_client * f64::from(load.clients)) as usize).min(1 << 20)
+}
+
 /// The simulator. Build with [`TradeSim::new`], execute with
 /// [`TradeSim::run`].
-pub struct TradeSim {
+///
+/// Borrows the server description for its whole life — constructing a
+/// simulator allocates no `ServerArch` clone (the name string made every
+/// sweep cell pay a heap allocation per run).
+pub struct TradeSim<'a> {
     gt: GroundTruth,
-    server: ServerArch,
+    server: &'a ServerArch,
     opts: SimOptions,
     ops: OpTable,
 
@@ -135,11 +148,11 @@ pub struct TradeSim {
     disk_busy_at_warmup: f64,
 }
 
-impl TradeSim {
+impl<'a> TradeSim<'a> {
     /// Builds a simulator for `workload` on `server` with ground truth `gt`.
     pub fn new(
         gt: &GroundTruth,
-        server: &ServerArch,
+        server: &'a ServerArch,
         workload: &Workload,
         opts: &SimOptions,
     ) -> Self {
@@ -198,16 +211,25 @@ impl TradeSim {
         let stats = workload
             .classes
             .iter()
-            .map(|_| ClassRaw {
+            .map(|load| ClassRaw {
                 rt: Welford::new(),
-                samples: Vec::new(),
+                samples: Vec::with_capacity(if opts.store_samples {
+                    estimated_completions(opts, load)
+                } else {
+                    0
+                }),
                 completed: 0,
             })
             .collect();
 
+        // Every closed client has at most one request in flight, so the
+        // request arena and free list never outgrow the client count
+        // (open traffic can still push past this; growth stays amortised).
+        let request_cap = clients.len();
+
         TradeSim {
             gt: *gt,
-            server: server.clone(),
+            server,
             opts: *opts,
             ops,
             queue: EventQueue::new(),
@@ -220,8 +242,8 @@ impl TradeSim {
             clients,
             class_think_ms,
             class_priority,
-            requests: Vec::new(),
-            free_requests: Vec::new(),
+            requests: Vec::with_capacity(request_cap),
+            free_requests: Vec::with_capacity(request_cap),
             app_threads: SlotPool::new(gt.app_threads as usize),
             app_cpu: PsStation::new(server.speed_factor, usize::MAX),
             app_cpu_ev: None,
@@ -344,7 +366,7 @@ impl TradeSim {
             pending_session_read: false,
             issued_at: now,
         });
-        let infra = self.rng_infra.exp(self.gt.infra_latency_for(&self.server));
+        let infra = self.rng_infra.exp(self.gt.infra_latency_for(self.server));
         self.queue.schedule(now + infra, Ev::ArriveApp(id));
     }
 
@@ -374,7 +396,7 @@ impl TradeSim {
             pending_session_read: false,
             issued_at: now,
         });
-        let infra = self.rng_infra.exp(self.gt.infra_latency_for(&self.server));
+        let infra = self.rng_infra.exp(self.gt.infra_latency_for(self.server));
         self.queue.schedule(now + infra, Ev::ArriveApp(id));
     }
 
@@ -750,7 +772,8 @@ mod open_tests {
     fn open_traffic_arrives_at_configured_rate() {
         let gt = GroundTruth::default();
         let opts = SimOptions::quick(91);
-        let sim = TradeSim::new(&gt, &ServerArch::app_serv_f(), &Workload::typical(0), &opts)
+        let server = ServerArch::app_serv_f();
+        let sim = TradeSim::new(&gt, &server, &Workload::typical(0), &opts)
             .with_open_traffic(ServiceClass::browse().named("open"), 40.0);
         let r = sim.run();
         // The open class is appended after the (single, empty) closed one.

@@ -4,6 +4,7 @@
 use crate::config::{GroundTruth, SimOptions};
 use crate::engine::TradeSim;
 use perfpred_core::{metrics, ServerArch, Summary, Workload};
+use perfpred_desim::splitmix64;
 use std::sync::Mutex;
 
 /// Measurements for one service class at one operating point.
@@ -120,8 +121,9 @@ pub fn run(
 
 /// Measures `template` scaled to each client count in `client_counts`, in
 /// parallel (one OS thread per hardware thread, work-stealing by index).
-/// Every cell derives its own seed from `opts.seed`, so results do not
-/// depend on scheduling.
+/// Every cell derives its own seed from `opts.seed` through a SplitMix64
+/// bijection, so results depend on neither scheduling nor collisions
+/// between cell indices.
 pub fn sweep(
     gt: &GroundTruth,
     server: &ServerArch,
@@ -131,34 +133,45 @@ pub fn sweep(
 ) -> Vec<MeasuredPoint> {
     assert!(!template.is_empty(), "sweep template must have clients");
     let base = f64::from(template.total_clients());
-    let results: Mutex<Vec<Option<MeasuredPoint>>> = Mutex::new(vec![None; client_counts.len()]);
+    // One pre-sized slot per cell: workers contend only when two finish
+    // the *same* cell (never happens), not on one global results lock.
+    let slots: Vec<Mutex<Option<MeasuredPoint>>> =
+        client_counts.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    // Workers record into the caller's metrics scope, if one is active.
+    let scope = metrics::current_scope();
     std::thread::scope(|s| {
         for _ in 0..workers.min(client_counts.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= client_counts.len() {
-                    break;
+            s.spawn(|| {
+                let _scope_guard = scope.as_ref().map(metrics::Scope::enter);
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= client_counts.len() {
+                        break;
+                    }
+                    let n = client_counts[i];
+                    let w = template.scaled(f64::from(n) / base);
+                    let cell_opts =
+                        opts.with_seed(splitmix64(opts.seed.wrapping_add(i as u64 + 1)));
+                    let started = std::time::Instant::now();
+                    let point = run(gt, server, &w, &cell_opts);
+                    metrics::histogram("tradesim.sweep_cell_ms")
+                        .record(started.elapsed().as_secs_f64() * 1_000.0);
+                    *slots[i].lock().expect("sweep cell lock") = Some(point);
                 }
-                let n = client_counts[i];
-                let w = template.scaled(f64::from(n) / base);
-                let cell_opts = opts.with_seed(opts.seed.wrapping_add(0x9E37 * (i as u64 + 1)));
-                let started = std::time::Instant::now();
-                let point = run(gt, server, &w, &cell_opts);
-                metrics::histogram("tradesim.sweep_cell_ms")
-                    .record(started.elapsed().as_secs_f64() * 1_000.0);
-                results.lock().expect("sweep results lock")[i] = Some(point);
             });
         }
     });
-    results
-        .into_inner()
-        .expect("sweep results lock")
+    slots
         .into_iter()
-        .map(|p| p.expect("every sweep cell completed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep cell lock")
+                .expect("every sweep cell completed")
+        })
         .collect()
 }
 
