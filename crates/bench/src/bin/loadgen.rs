@@ -1,0 +1,404 @@
+//! Closed-loop load generator for the `perfpred-serve` daemon.
+//!
+//! N client threads each run the classic closed loop: think (exponential,
+//! [`SimRng::exp`]) → `POST /predict` over a keep-alive connection → record
+//! the response latency. The key space is a small set of client counts, so
+//! after a warm-up pass every request rides the daemon's cache-hit path —
+//! the §8.5 "historical predictions answer online" regime the daemon
+//! exists for.
+//!
+//! Results (throughput, exact p50/p95/p99 from the merged samples,
+//! rejection and error rates) are printed and merged into `BENCH.json`
+//! under `section.serve` via [`perfpred_bench::timing::Recorder`].
+//!
+//! The client speaks raw HTTP/1.1 over `TcpStream` on purpose: the bench
+//! crate must not depend on `perfpred-serve` (the daemon depends on this
+//! crate for calibration), and a generator that hand-rolls its protocol
+//! also exercises the daemon's parser from the outside.
+
+use perfpred_bench::timing::Recorder;
+use perfpred_desim::SimRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+loadgen — closed-loop load generator for perfpred-serve
+
+USAGE: loadgen --port N [OPTIONS]
+
+  --addr HOST:PORT     daemon address (default 127.0.0.1:<--port>)
+  --port N             daemon port on 127.0.0.1
+  --port-file PATH     read the port from a file the daemon wrote
+  --clients N          concurrent closed-loop clients (default 32)
+  --duration-s X       measured seconds after warm-up (default 10)
+  --think-ms X         mean exponential think time, 0 = none (default 0.5)
+  --method NAME        prediction method to request (default lqns)
+  --server NAME        server architecture to ask about (default AppServF)
+  --key-space N        distinct client-count keys cycled through (default 4)
+  --goal-ms X          attach an SLA goal to every request (exercises
+                       admission control; rejections are counted, not errors)
+  --seed N             think-time RNG seed (default 1)
+  --quick              2 s / 16 clients smoke settings
+  --min-rps X          exit 1 unless measured throughput reaches X
+  --help               print this text
+";
+
+#[derive(Debug, Clone)]
+struct Config {
+    addr: String,
+    clients: usize,
+    duration: Duration,
+    think_ms: f64,
+    method: String,
+    server: String,
+    key_space: usize,
+    goal_ms: Option<f64>,
+    seed: u64,
+    min_rps: Option<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: String::new(),
+            clients: 32,
+            duration: Duration::from_secs(10),
+            think_ms: 0.5,
+            method: "lqns".into(),
+            server: "AppServF".into(),
+            key_space: 4,
+            goal_ms: None,
+            seed: 1,
+            min_rps: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut args = std::env::args().skip(1);
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn parsed<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag}: cannot parse '{raw}'"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--addr" => cfg.addr = value(&mut args, "--addr")?,
+            "--port" => {
+                let port: u16 = parsed(&value(&mut args, "--port")?, "--port")?;
+                cfg.addr = format!("127.0.0.1:{port}");
+            }
+            "--port-file" => {
+                let path = value(&mut args, "--port-file")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read port file {path}: {e}"))?;
+                let port: u16 = parsed(text.trim(), "--port-file")?;
+                cfg.addr = format!("127.0.0.1:{port}");
+            }
+            "--clients" => {
+                cfg.clients =
+                    parsed::<usize>(&value(&mut args, "--clients")?, "--clients")?.clamp(1, 4096);
+            }
+            "--duration-s" => {
+                let s: f64 = parsed(&value(&mut args, "--duration-s")?, "--duration-s")?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--duration-s must be positive".into());
+                }
+                cfg.duration = Duration::from_secs_f64(s);
+            }
+            "--think-ms" => {
+                let t: f64 = parsed(&value(&mut args, "--think-ms")?, "--think-ms")?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err("--think-ms must be non-negative".into());
+                }
+                cfg.think_ms = t;
+            }
+            "--method" => cfg.method = value(&mut args, "--method")?,
+            "--server" => cfg.server = value(&mut args, "--server")?,
+            "--key-space" => {
+                cfg.key_space =
+                    parsed::<usize>(&value(&mut args, "--key-space")?, "--key-space")?.clamp(1, 64);
+            }
+            "--goal-ms" => {
+                cfg.goal_ms = Some(parsed(&value(&mut args, "--goal-ms")?, "--goal-ms")?);
+            }
+            "--seed" => cfg.seed = parsed(&value(&mut args, "--seed")?, "--seed")?,
+            "--quick" => {
+                // Smoke settings: short, and no think time — the smoke
+                // job measures the daemon's cached-key serving rate, and
+                // sleep() granularity on small-HZ kernels would otherwise
+                // dominate the closed loop (order-of-10 ms overshoot on a
+                // 0.5 ms think).
+                cfg.duration = Duration::from_secs(2);
+                cfg.clients = 16;
+                cfg.think_ms = 0.0;
+            }
+            "--min-rps" => {
+                cfg.min_rps = Some(parsed(&value(&mut args, "--min-rps")?, "--min-rps")?);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        return Err("need --addr, --port or --port-file (try --help)".into());
+    }
+    Ok(cfg)
+}
+
+/// The request body for one key in the key space.
+fn body_for(cfg: &Config, key: usize) -> String {
+    let clients = 50 + 50 * (key as u32); // 50, 100, 150, ... — distinct cache keys
+    let goal = cfg
+        .goal_ms
+        .map(|g| format!(", \"goal_ms\": {g}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"method\": \"{}\", \"server\": \"{}\", \"clients\": {clients}{goal}}}",
+        cfg.method, cfg.server
+    )
+}
+
+/// One client's tally.
+#[derive(Debug, Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// A persistent keep-alive connection that reconnects on failure.
+struct Connection {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Connection {
+    fn new(addr: &str) -> Connection {
+        Connection {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(35)))?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("just ensured"))
+    }
+
+    /// Sends one POST and reads the response; returns the status code.
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<u16> {
+        let reader = self.ensure()?;
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if let Err(e) = reader.get_mut().write_all(request.as_bytes()) {
+            self.stream = None; // force reconnect next call
+            return Err(e);
+        }
+        match read_response(reader) {
+            Ok(status) => Ok(status),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one response (status line + headers + Content-Length body),
+/// discarding the body. Returns the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v;
+        }
+    }
+    if content_length > 0 {
+        let mut sink = vec![0u8; content_length];
+        reader.read_exact(&mut sink)?;
+    }
+    Ok(status)
+}
+
+/// One client thread's closed loop.
+fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
+    let mut rng = SimRng::seed_from(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64));
+    let mut conn = Connection::new(&cfg.addr);
+    let mut tally = Tally::default();
+    let mut key = id % cfg.key_space;
+    while !stop.load(Ordering::Relaxed) {
+        if cfg.think_ms > 0.0 {
+            let think = rng.exp(cfg.think_ms);
+            std::thread::sleep(Duration::from_secs_f64(think / 1e3));
+        }
+        let body = body_for(cfg, key);
+        key = (key + 1) % cfg.key_space;
+        let started = Instant::now();
+        match conn.post("/predict", &body) {
+            Ok(status) => {
+                tally
+                    .latencies_ms
+                    .push(started.elapsed().as_secs_f64() * 1e3);
+                match status {
+                    200 => tally.ok += 1,
+                    503 => tally.rejected += 1,
+                    _ => tally.errors += 1,
+                }
+            }
+            Err(_) => {
+                tally.errors += 1;
+                // Brief backoff so a dead daemon doesn't spin the loop.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    tally
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            let is_help = msg.contains("USAGE");
+            eprintln!("{msg}");
+            std::process::exit(i32::from(!is_help));
+        }
+    };
+
+    // Warm-up: solve every key once so the measured window exercises the
+    // daemon's cache-hit path (lqns misses cost ms; hits cost µs).
+    let mut warm = Connection::new(&cfg.addr);
+    for key in 0..cfg.key_space {
+        match warm.post("/predict", &body_for(&cfg, key)) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("loadgen: cannot reach {}: {e}", cfg.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "loadgen: {} clients x {:.1}s against {} ({} / {}, {} keys, think {} ms)",
+        cfg.clients,
+        cfg.duration.as_secs_f64(),
+        cfg.addr,
+        cfg.method,
+        cfg.server,
+        cfg.key_space,
+        cfg.think_ms,
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for id in 0..cfg.clients {
+        let cfg = cfg.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || client_loop(&cfg, id, &stop)));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = Tally::default();
+    for h in handles {
+        let t = h.join().expect("client thread");
+        merged.latencies_ms.extend(t.latencies_ms);
+        merged.ok += t.ok;
+        merged.rejected += t.rejected;
+        merged.errors += t.errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total = merged.ok + merged.rejected + merged.errors;
+    let throughput = merged.latencies_ms.len() as f64 / elapsed;
+    merged
+        .latencies_ms
+        .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        percentile(&merged.latencies_ms, 0.50),
+        percentile(&merged.latencies_ms, 0.95),
+        percentile(&merged.latencies_ms, 0.99),
+    );
+    let rejection_rate = if total > 0 {
+        merged.rejected as f64 / total as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "loadgen: {total} requests in {elapsed:.2}s -> {throughput:.0} req/s \
+         (ok {}, rejected {}, errors {})",
+        merged.ok, merged.rejected, merged.errors
+    );
+    println!("loadgen: latency p50 {p50:.3} ms   p95 {p95:.3} ms   p99 {p99:.3} ms");
+
+    let mut rec = Recorder::new("serve");
+    rec.note("clients", cfg.clients);
+    rec.note("duration_s", elapsed);
+    rec.note("think_ms", cfg.think_ms);
+    rec.note("method", cfg.method.as_str());
+    rec.note("server", cfg.server.as_str());
+    rec.note("key_space", cfg.key_space);
+    rec.note("requests", total);
+    rec.note("throughput_rps", throughput);
+    rec.note("p50_ms", p50);
+    rec.note("p95_ms", p95);
+    rec.note("p99_ms", p99);
+    rec.note("rejected", merged.rejected);
+    rec.note("rejection_rate", rejection_rate);
+    rec.note("errors", merged.errors);
+    rec.write();
+
+    if merged.errors > total / 100 {
+        eprintln!("loadgen: FAIL — more than 1% errors");
+        std::process::exit(1);
+    }
+    if let Some(min) = cfg.min_rps {
+        if throughput < min {
+            eprintln!("loadgen: FAIL — {throughput:.0} req/s below the {min:.0} req/s floor");
+            std::process::exit(1);
+        }
+        println!("loadgen: PASS — {throughput:.0} req/s >= {min:.0} req/s");
+    }
+}

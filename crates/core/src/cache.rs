@@ -23,7 +23,7 @@
 //! bit-for-bit identical to an uncached one, which the `repro` binary
 //! asserts for the fig 5–8 and cost experiments.
 //!
-//! ## Invalidation
+//! ## Invalidation and bounded memory
 //!
 //! Entries never expire on their own — the wrapped models are pure
 //! functions of their calibration data. If the underlying model is
@@ -31,6 +31,14 @@
 //! wrap the new model). Hit/miss counts are exposed both per-cache
 //! ([`PredictionCache::stats`]) and through the global [`crate::metrics`]
 //! registry as `predcache.hits` / `predcache.misses`.
+//!
+//! By default the cache grows without bound, which is exactly right for a
+//! batch sweep (bit-identical repro runs, every point kept) and exactly
+//! wrong for a long-running daemon. [`CacheOptions::capacity`] caps the
+//! total entry count: each shard then tracks per-entry recency and evicts
+//! its least-recently-used entries in small batches when it overflows its
+//! slice of the budget (approximate sharded LRU — recency is exact per
+//! entry, but eviction only consults the overflowing shard).
 
 use crate::error::PredictError;
 use crate::metrics;
@@ -55,6 +63,11 @@ pub struct CacheOptions {
     /// guarantees bit-identical results; larger quanta trade accuracy for
     /// hit rate on dense load grids.
     pub client_quantum: u32,
+    /// Upper bound on memoized entries across all shards; `None` (the
+    /// default) never evicts, which keeps repro sweeps bit-identical. Set
+    /// for long-running processes (the serving daemon) so an adversarial
+    /// or merely enormous key-space cannot grow memory without bound.
+    pub capacity: Option<usize>,
 }
 
 impl Default for CacheOptions {
@@ -62,6 +75,7 @@ impl Default for CacheOptions {
         CacheOptions {
             shards: 16,
             client_quantum: 1,
+            capacity: None,
         }
     }
 }
@@ -145,6 +159,14 @@ fn quantize(clients: u32, quantum: u32) -> u32 {
     }
 }
 
+/// One memoized prediction plus the recency stamp eviction consults.
+struct Entry {
+    result: Result<Prediction, PredictError>,
+    /// Tick of the last lookup that touched this entry. Atomic so the hit
+    /// path can refresh recency under the shard's *read* lock.
+    last_used: AtomicU64,
+}
+
 /// A concurrent memoizing wrapper around any [`PerformanceModel`].
 ///
 /// Implements [`PerformanceModel`] itself, so it drops into every consumer
@@ -155,7 +177,9 @@ pub struct PredictionCache<M: PerformanceModel> {
     inner: M,
     name: String,
     options: CacheOptions,
-    shards: Vec<RwLock<HashMap<Key, Result<Prediction, PredictError>>>>,
+    shards: Vec<RwLock<HashMap<Key, Entry>>>,
+    /// Logical clock for LRU stamps: bumped once per lookup/insert.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -177,6 +201,7 @@ impl<M: PerformanceModel> PredictionCache<M> {
             shards: (0..shard_count)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -219,6 +244,106 @@ impl<M: PerformanceModel> PredictionCache<M> {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+
+    /// The workload the cache actually keys and solves: `workload` itself
+    /// under exact keying, the client-quantized copy otherwise. External
+    /// solvers (see [`insert`]) must solve *this* workload so lookups and
+    /// memoized results agree.
+    ///
+    /// [`insert`]: PredictionCache::insert
+    pub fn quantized<'w>(&self, workload: &'w Workload) -> std::borrow::Cow<'w, Workload> {
+        if self.options.client_quantum <= 1 {
+            return std::borrow::Cow::Borrowed(workload);
+        }
+        let mut quantized = workload.clone();
+        for c in &mut quantized.classes {
+            c.clients = quantize(c.clients, self.options.client_quantum);
+        }
+        std::borrow::Cow::Owned(quantized)
+    }
+
+    /// Looks up a memoized prediction without ever invoking the wrapped
+    /// model. `Some` counts as a hit; `None` counts nothing — pair with
+    /// [`insert`] after solving the miss externally (the serving daemon's
+    /// solver workers do this to keep warm-start state out of the cache).
+    ///
+    /// [`insert`]: PredictionCache::insert
+    pub fn peek(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Option<Result<Prediction, PredictError>> {
+        let key = Key::new(server, workload, self.options.client_quantum);
+        let found = self.lookup(&key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("predcache.hits").incr();
+        }
+        found
+    }
+
+    /// Memoizes an externally computed prediction for `(server, workload)`
+    /// and counts it as a miss. The result must be the wrapped model's
+    /// answer for [`quantized`]`(workload)` — handing the cache anything
+    /// else breaks the lookup/solve agreement the quantization contract
+    /// guarantees.
+    ///
+    /// [`quantized`]: PredictionCache::quantized
+    pub fn insert(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+        result: Result<Prediction, PredictError>,
+    ) {
+        let key = Key::new(server, workload, self.options.client_quantum);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics::counter("predcache.misses").incr();
+        self.store(key, result);
+    }
+
+    /// Hit-path lookup: stamps recency under the shard's read lock.
+    fn lookup(&self, key: &Key) -> Option<Result<Prediction, PredictError>> {
+        let shard = &self.shards[key.shard(self.shards.len())];
+        let map = shard.read().expect("cache shard lock");
+        let entry = map.get(key)?;
+        entry
+            .last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Some(entry.result.clone())
+    }
+
+    /// Miss-path store: inserts and, when a capacity is configured, evicts
+    /// the shard's least-recently-used entries once it overflows its slice
+    /// of the budget.
+    fn store(&self, key: Key, result: Result<Prediction, PredictError>) {
+        let shard = &self.shards[key.shard(self.shards.len())];
+        let mut map = shard.write().expect("cache shard lock");
+        map.insert(
+            key,
+            Entry {
+                result,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        if let Some(capacity) = self.options.capacity {
+            let per_shard = capacity.max(1).div_ceil(self.shards.len());
+            if map.len() > per_shard {
+                // Batch eviction amortizes the recency sort: drop the
+                // oldest eighth (at least the overflow) in one pass.
+                let excess = map.len() - per_shard;
+                let batch = excess.max(per_shard / 8).max(1);
+                let mut by_age: Vec<(u64, Key)> = map
+                    .iter()
+                    .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), k.clone()))
+                    .collect();
+                by_age.sort_unstable_by_key(|(age, _)| *age);
+                for (_, old) in by_age.into_iter().take(batch) {
+                    map.remove(&old);
+                    metrics::counter("predcache.evictions").incr();
+                }
+            }
+        }
+    }
 }
 
 impl<M: PerformanceModel> PerformanceModel for PredictionCache<M> {
@@ -232,31 +357,19 @@ impl<M: PerformanceModel> PerformanceModel for PredictionCache<M> {
         workload: &Workload,
     ) -> Result<Prediction, PredictError> {
         let key = Key::new(server, workload, self.options.client_quantum);
-        let shard = &self.shards[key.shard(self.shards.len())];
-        if let Some(cached) = shard.read().expect("cache shard lock").get(&key) {
+        if let Some(cached) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             metrics::counter("predcache.hits").incr();
-            return cached.clone();
+            return cached;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         metrics::counter("predcache.misses").incr();
         // Solve the workload the key describes, so quantized lookups and
         // the memoized result always agree.
-        let result = if self.options.client_quantum > 1 {
-            let mut quantized = workload.clone();
-            for c in &mut quantized.classes {
-                c.clients = quantize(c.clients, self.options.client_quantum);
-            }
-            self.inner.predict(server, &quantized)
-        } else {
-            self.inner.predict(server, workload)
-        };
+        let result = self.inner.predict(server, &self.quantized(workload));
         // Errors are memoized too: a point the model rejects once it will
         // reject every time (models are pure).
-        shard
-            .write()
-            .expect("cache shard lock")
-            .insert(key, result.clone());
+        self.store(key, result.clone());
         result
     }
 
@@ -376,6 +489,7 @@ mod tests {
             CacheOptions {
                 shards: 4,
                 client_quantum: 50,
+                ..Default::default()
             },
         );
         // 101, 120 and 80 all round to 100: one solve, identical answers.
@@ -435,6 +549,143 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8 * loads.len() as u64);
         assert!(stats.hits >= (8 - 2) * loads.len() as u64);
+    }
+
+    #[test]
+    fn capacity_bounds_total_entries() {
+        // A metrics scope keeps the eviction-counter assertion immune to
+        // concurrent tests resetting the global registry.
+        let scope = metrics::Scope::new();
+        let _guard = scope.enter();
+        let cache = PredictionCache::with_options(
+            CountingModel::new(),
+            CacheOptions {
+                shards: 4,
+                capacity: Some(64),
+                ..Default::default()
+            },
+        );
+        for n in 1..=1_000u32 {
+            cache.predict(&server(), &Workload::typical(n)).unwrap();
+        }
+        // Per-shard budget is 64/4 = 16; a shard may transiently hold one
+        // extra entry before its eviction pass runs, never more.
+        assert!(cache.len() <= 64 + 4, "len {}", cache.len());
+        assert!(cache.len() >= 16, "len {}", cache.len());
+        assert!(metrics::snapshot().counter("predcache.evictions") > 0);
+    }
+
+    #[test]
+    fn eviction_prefers_cold_entries() {
+        let cache = PredictionCache::with_options(
+            CountingModel::new(),
+            CacheOptions {
+                shards: 1,
+                capacity: Some(32),
+                ..Default::default()
+            },
+        );
+        let hot = Workload::typical(7);
+        cache.predict(&server(), &hot).unwrap();
+        // Keep the hot key fresh while a cold stream churns the shard.
+        for n in 100..400u32 {
+            cache.predict(&server(), &Workload::typical(n)).unwrap();
+            cache.predict(&server(), &hot).unwrap();
+        }
+        let solves_before = cache.inner().solve_count();
+        cache.predict(&server(), &hot).unwrap();
+        assert_eq!(
+            cache.inner().solve_count(),
+            solves_before,
+            "hot key was evicted despite constant use"
+        );
+        assert!(cache.len() <= 33);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let cache = PredictionCache::new(CountingModel::new());
+        for n in 1..=500u32 {
+            cache.predict(&server(), &Workload::typical(n)).unwrap();
+        }
+        assert_eq!(cache.len(), 500);
+    }
+
+    #[test]
+    fn peek_and_insert_roundtrip_with_quantization() {
+        let cache = PredictionCache::with_options(
+            CountingModel::new(),
+            CacheOptions {
+                client_quantum: 10,
+                ..Default::default()
+            },
+        );
+        let w = Workload::typical(97);
+        assert!(cache.peek(&server(), &w).is_none());
+        // External solver path: solve the quantized workload, hand the
+        // result back, and expect bit-identical hits from then on.
+        let solved = cache.quantized(&w);
+        assert_eq!(solved.total_clients(), 100);
+        let result = cache.inner().predict(&server(), &solved);
+        cache.insert(&server(), &w, result.clone());
+        let via_peek = cache.peek(&server(), &w).expect("inserted");
+        assert_eq!(via_peek, result);
+        // A neighbouring population quantizing to the same key also hits.
+        let near = cache.peek(&server(), &Workload::typical(103)).expect("hit");
+        assert_eq!(near, result);
+        // predict() agrees with the externally inserted entry.
+        assert_eq!(cache.predict(&server(), &w), result);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn quantized_borrows_under_exact_keying() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let w = Workload::typical(42);
+        assert!(matches!(cache.quantized(&w), std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn concurrent_quantized_access_is_bit_identical_to_serial() {
+        // Satellite check: hammer one key-space from 8 threads with
+        // client_quantum > 1 and assert every returned prediction is
+        // bit-identical to a serial solve of the quantized workload.
+        let opts = CacheOptions {
+            shards: 4,
+            client_quantum: 25,
+            ..Default::default()
+        };
+        let cache = PredictionCache::with_options(CountingModel::new(), opts);
+        let serial = CountingModel::new();
+        let loads: Vec<u32> = (1..=200).collect();
+        std::thread::scope(|s| {
+            let cache = &cache;
+            let serial = &serial;
+            let loads = &loads;
+            for t in 0..8 {
+                s.spawn(move || {
+                    // Each thread walks the key-space from a different
+                    // offset so hits and misses interleave.
+                    for i in 0..loads.len() {
+                        let n = loads[(i + t * 37) % loads.len()];
+                        let w = Workload::typical(n);
+                        let got = cache.predict(&server(), &w).unwrap();
+                        let expect = serial.predict(&server(), &cache.quantized(&w)).unwrap();
+                        assert_eq!(got.mrt_ms.to_bits(), expect.mrt_ms.to_bits());
+                        assert_eq!(
+                            got.throughput_rps.to_bits(),
+                            expect.throughput_rps.to_bits()
+                        );
+                        assert_eq!(got.per_class_mrt_ms, expect.per_class_mrt_ms);
+                    }
+                });
+            }
+        });
+        // 200 loads quantize to multiples of 25: 1..=200 rounds to
+        // {25, 50, ..., 200} — at most 8+1 distinct keys ever solved.
+        assert!(cache.len() <= 9, "len {}", cache.len());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum PredictError {
     /// A model definition is structurally invalid (dangling reference,
     /// cyclic synchronous call graph, zero multiplicity, ...).
     InvalidModel(String),
+    /// The serving layer shed the request (solver queue full, reply
+    /// deadline blown): the prediction was never attempted and the caller
+    /// should retry later. Distinct from [`PredictError::Solver`], which
+    /// means the solve ran and failed.
+    Overloaded(String),
 }
 
 impl fmt::Display for PredictError {
@@ -32,6 +37,7 @@ impl fmt::Display for PredictError {
             PredictError::OutOfRange(msg) => write!(f, "input out of range: {msg}"),
             PredictError::Solver(msg) => write!(f, "solver error: {msg}"),
             PredictError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            PredictError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod cache;
 pub mod distribution;
 pub mod error;
 pub mod fit;
+pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod server;
@@ -35,6 +36,7 @@ pub use cache::{CacheOptions, CacheStats, PredictionCache};
 pub use distribution::{DoubleExponentialRt, ExponentialRt, RtDistribution};
 pub use error::PredictError;
 pub use fit::{ExpFit, LinearFit, PowerFit};
+pub use json::Json;
 pub use model::{PerformanceModel, Prediction};
 pub use server::ServerArch;
 pub use sla::{SlaGoal, SlaSpec};

@@ -299,7 +299,9 @@ impl Registry {
                 mean: h.mean(),
                 min: h.min(),
                 max: h.max(),
+                p50: h.quantile(0.50),
                 p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
             })
             .collect();
         MetricsSnapshot {
@@ -446,8 +448,12 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Approximate median sample.
+    pub p50: f64,
     /// Approximate 95th-percentile sample.
     pub p95: f64,
+    /// Approximate 99th-percentile sample.
+    pub p99: f64,
 }
 
 /// Everything the registry currently holds, sorted by name.
@@ -496,6 +502,38 @@ impl MetricsSnapshot {
                     h.name, h.count, h.mean, h.p95, h.max
                 );
             }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format, the
+    /// wire shape the serving daemon's `GET /metrics` answers with.
+    ///
+    /// Dotted metric names become underscore-separated (`predcache.hits` →
+    /// `predcache_hits`); counters carry a `counter` TYPE line, histograms
+    /// are exported as summaries with `quantile`-labelled samples plus the
+    /// exact `_sum` and `_count` series.
+    pub fn render_exposition(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = sanitize(&c.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for h in &self.histograms {
+            let name = sanitize(&h.name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (label, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
         }
         out
     }
@@ -583,6 +621,35 @@ mod tests {
         assert_eq!(held.get(), 0);
         held.add(2);
         assert_eq!(snapshot().counter("test.snap.counter"), 2);
+    }
+
+    #[test]
+    fn exposition_format_lists_counters_and_summaries() {
+        let scope = Scope::new();
+        let _g = scope.enter();
+        counter("test.expo.requests").add(3);
+        let h = histogram("test.expo.latency_ms");
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let text = snapshot().render_exposition();
+        assert!(text.contains("# TYPE test_expo_requests counter"));
+        assert!(text.contains("test_expo_requests 3"));
+        assert!(text.contains("# TYPE test_expo_latency_ms summary"));
+        assert!(text.contains("test_expo_latency_ms{quantile=\"0.99\"}"));
+        assert!(text.contains("test_expo_latency_ms_count 3"));
+        assert!(text.contains("test_expo_latency_ms_sum 7"));
+    }
+
+    #[test]
+    fn snapshot_quantiles_are_ordered() {
+        let h = Histogram::new();
+        for i in 1..=1_000 {
+            h.record(f64::from(i) / 10.0);
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        assert!(h.quantile(0.99) <= h.max());
     }
 
     #[test]

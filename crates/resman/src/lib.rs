@@ -19,6 +19,9 @@
 //!   allocation left unused;
 //! * [`costs`] — the two §9.1 cost metrics (% SLA failures, % server
 //!   usage), load sweeps and the slack-reduction analysis behind figs 5–8;
+//! * [`planner`] — a one-call `plan()` entry point (allocation plus
+//!   per-server predictions) for consumers outside the experiment
+//!   harness, e.g. the `perfpred-serve` daemon's `POST /plan`;
 //! * [`scenario`] — the paper's 16-server / 3-service-class experiment
 //!   setup, and the uniform-predictive-error wrapper model used to verify
 //!   that slack = y cancels a uniform error y exactly;
@@ -28,12 +31,14 @@
 
 pub mod algorithm;
 pub mod costs;
+pub mod planner;
 pub mod runtime;
 pub mod scenario;
 pub mod workload_manager;
 
 pub use algorithm::{allocate, Allocation, ServerAllocation};
 pub use costs::{slack_sweep, sweep_loads, CostModel, LoadPoint, SlackCurve, SweepConfig};
+pub use planner::{plan, Plan, ServerPlan};
 pub use runtime::{evaluate_runtime, RuntimeOptions, RuntimeOutcome};
 pub use scenario::{paper_pool, paper_workload, UniformErrorModel};
 pub use workload_manager::{rebalance, route_new_clients, Division, RebalanceOptions, Transfer};

@@ -1,0 +1,163 @@
+//! A one-call planning entry point reusable outside the experiment
+//! harness.
+//!
+//! The fig 5–8 sweeps drive [`crate::algorithm::allocate`] through
+//! bespoke loops; a consumer that just wants "here is my SLA workload and
+//! my pool — what do I obtain and what will it look like?" (the serving
+//! daemon's `POST /plan`, a capacity-planning script) previously had to
+//! re-assemble the per-server workloads and predictions by hand. [`plan`]
+//! packages that: one allocation pass plus a prediction for every server
+//! the plan populates.
+
+use crate::algorithm::{allocate, Allocation};
+use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
+
+/// One populated server in a [`Plan`]: who it is, what it was given, and
+/// what the planning model expects it to do under that load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerPlan {
+    /// Index into the pool handed to [`plan`].
+    pub server_idx: usize,
+    /// The server's architecture name (e.g. `"AppServF"`).
+    pub server: String,
+    /// Real clients per service class (workload class order).
+    pub clients_per_class: Vec<u32>,
+    /// The model's prediction for exactly this division of clients.
+    pub prediction: Prediction,
+}
+
+/// The result of one planning pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The raw Algorithm 1 output (all servers, including idle ones).
+    pub allocation: Allocation,
+    /// Predictions for every server the plan populates, pool order.
+    pub servers: Vec<ServerPlan>,
+    /// Real clients the algorithm could not place, per class.
+    pub rejected_per_class: Vec<u32>,
+    /// Total clients in the requested workload.
+    pub total_clients: u32,
+}
+
+impl Plan {
+    /// Fraction of requested clients the plan placed, in `[0, 1]`.
+    pub fn placement_ratio(&self) -> f64 {
+        if self.total_clients == 0 {
+            return 1.0;
+        }
+        let rejected: u32 = self.rejected_per_class.iter().sum();
+        1.0 - f64::from(rejected) / f64::from(self.total_clients)
+    }
+}
+
+/// Runs Algorithm 1 over `pool` for `workload` at `slack` and annotates
+/// every populated server with the model's prediction for its share.
+///
+/// `slack` must be a positive finite multiplier (§9's compensation for
+/// predictive inaccuracy; `1.0` plans at face value).
+pub fn plan<M: PerformanceModel + ?Sized>(
+    model: &M,
+    pool: &[ServerArch],
+    workload: &Workload,
+    slack: f64,
+) -> Result<Plan, PredictError> {
+    if !slack.is_finite() || slack <= 0.0 {
+        return Err(PredictError::OutOfRange(format!(
+            "slack must be positive and finite, got {slack}"
+        )));
+    }
+    if pool.is_empty() {
+        return Err(PredictError::OutOfRange("server pool is empty".into()));
+    }
+    let allocation = allocate(model, pool, workload, slack)?;
+    let mut servers = Vec::new();
+    for (idx, sa) in allocation.servers.iter().enumerate() {
+        if sa.real.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let w = allocation.server_workload(workload, idx);
+        let prediction = model.predict(&pool[idx], &w)?;
+        servers.push(ServerPlan {
+            server_idx: idx,
+            server: pool[idx].name.clone(),
+            clients_per_class: sa.real.clone(),
+            prediction,
+        });
+    }
+    Ok(Plan {
+        rejected_per_class: allocation.rejected_real.clone(),
+        total_clients: workload.total_clients(),
+        allocation,
+        servers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_model::LinearModel;
+    use crate::scenario::{paper_pool, paper_workload};
+
+    fn model() -> LinearModel {
+        LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn plan_places_everyone_when_pool_suffices() {
+        let pool = paper_pool();
+        let w = paper_workload(1_000);
+        let p = plan(&model(), &pool, &w, 1.0).unwrap();
+        assert_eq!(p.total_clients, 1_000);
+        assert_eq!(p.placement_ratio(), 1.0);
+        assert!(!p.servers.is_empty());
+        // Per-server divisions re-add to the full population.
+        let placed: u32 = p
+            .servers
+            .iter()
+            .flat_map(|s| s.clients_per_class.iter())
+            .sum();
+        assert_eq!(placed, 1_000);
+        // Every populated server carries a prediction for its share.
+        for s in &p.servers {
+            assert!(s.prediction.mrt_ms > 0.0);
+            assert_eq!(
+                s.prediction.per_class_mrt_ms.len(),
+                w.classes.len(),
+                "{}",
+                s.server
+            );
+        }
+    }
+
+    #[test]
+    fn overload_shows_up_as_rejections() {
+        let pool = vec![ServerArch::app_serv_s()];
+        let w = paper_workload(5_000);
+        let p = plan(&model(), &pool, &w, 1.0).unwrap();
+        assert!(p.placement_ratio() < 1.0);
+        assert!(p.rejected_per_class.iter().sum::<u32>() > 0);
+    }
+
+    #[test]
+    fn slack_shrinks_per_server_load() {
+        let pool = paper_pool();
+        let w = paper_workload(2_000);
+        let tight = plan(&model(), &pool, &w, 1.0).unwrap();
+        let slackful = plan(&model(), &pool, &w, 1.3).unwrap();
+        // Slack plans for 1.3× the clients, so it obtains at least as many
+        // servers for the same real workload.
+        assert!(slackful.servers.len() >= tight.servers.len());
+    }
+
+    #[test]
+    fn invalid_slack_and_empty_pool_are_rejected() {
+        let w = paper_workload(100);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(plan(&model(), &paper_pool(), &w, bad).is_err());
+        }
+        assert!(plan(&model(), &[], &w, 1.0).is_err());
+    }
+}

@@ -31,6 +31,40 @@ impl Default for RuntimeOptions {
     }
 }
 
+impl RuntimeOptions {
+    /// Builds options with a validated rejection threshold.
+    ///
+    /// The threshold is a fraction of the SLA goal, so only `[0, 1)` makes
+    /// sense: `1.0` (or more) would reject every client including the
+    /// first, and a NaN threshold silently disables rejection (`mrt >
+    /// goal × (1 − NaN)` is always false), admitting unboundedly. Both the
+    /// runtime evaluation and the serving daemon's admission controller
+    /// construct their options through here.
+    pub fn with_threshold(threshold: f64) -> Result<Self, PredictError> {
+        let opts = RuntimeOptions {
+            threshold,
+            ..Default::default()
+        };
+        opts.validate()?;
+        Ok(opts)
+    }
+
+    /// Checks the invariants [`with_threshold`] enforces, for options built
+    /// via struct literals (the fields stay public for backward
+    /// compatibility).
+    ///
+    /// [`with_threshold`]: RuntimeOptions::with_threshold
+    pub fn validate(&self) -> Result<(), PredictError> {
+        if self.threshold.is_nan() || !(0.0..1.0).contains(&self.threshold) {
+            return Err(PredictError::OutOfRange(format!(
+                "rejection threshold must be in [0, 1), got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// The runtime outcome of one allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOutcome {
@@ -137,6 +171,7 @@ pub fn evaluate_runtime<T: PerformanceModel + ?Sized>(
     allocation: &Allocation,
     opts: &RuntimeOptions,
 ) -> Result<RuntimeOutcome, PredictError> {
+    opts.validate()?;
     let kn = template.classes.len();
     // Priority orders (by response-time goal).
     let mut by_goal: Vec<usize> = (0..kn).collect();
@@ -455,6 +490,32 @@ mod tests {
         )
         .unwrap();
         assert!(out.rejected_per_class[0] >= 290); // ≈ 300 minus rounding
+    }
+
+    #[test]
+    fn threshold_validation_rejects_nan_and_out_of_range() {
+        assert!(RuntimeOptions::with_threshold(0.0).is_ok());
+        assert!(RuntimeOptions::with_threshold(0.05).is_ok());
+        assert!(RuntimeOptions::with_threshold(0.999).is_ok());
+        for bad in [f64::NAN, -0.01, 1.0, 1.5, f64::INFINITY, -f64::INFINITY] {
+            assert!(
+                RuntimeOptions::with_threshold(bad).is_err(),
+                "threshold {bad} must be rejected"
+            );
+        }
+        // Struct-literal options with a poisoned threshold fail evaluation
+        // instead of silently disabling rejection.
+        let truth = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let w = one_class(100, 300.0);
+        let a = allocate(&truth, &pool(), &w, 1.0).unwrap();
+        let bad = RuntimeOptions {
+            threshold: f64::NAN,
+            optimize: true,
+        };
+        assert!(evaluate_runtime(&truth, &pool(), &w, &a, &bad).is_err());
     }
 
     /// A stub model that always predicts NaN response times.

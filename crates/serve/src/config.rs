@@ -1,0 +1,253 @@
+//! Daemon configuration and command-line parsing (std-only, no clap).
+
+use perfpred_core::CacheOptions;
+use perfpred_resman::RuntimeOptions;
+use std::path::PathBuf;
+
+/// Which models the daemon hosts and how they are calibrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// Instant start-up: the layered queuing predictor on the paper's
+    /// Table 2 processing times, plus the advanced hybrid calibrated from
+    /// it. No simulator campaigns, so no historical model.
+    Paper,
+    /// Calibrate all three predictors against the simulated testbed with
+    /// smoke-grade simulations (seconds of start-up).
+    CalibratedQuick,
+    /// Calibrate all three predictors with measurement-grade simulations
+    /// (minutes of start-up; what the repro experiments use).
+    Calibrated,
+}
+
+impl ModelSpec {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "paper" => Ok(ModelSpec::Paper),
+            "calibrated-quick" | "quick" => Ok(ModelSpec::CalibratedQuick),
+            "calibrated" | "measured" => Ok(ModelSpec::Calibrated),
+            other => Err(format!(
+                "unknown model spec '{other}' (expected paper, calibrated-quick or calibrated)"
+            )),
+        }
+    }
+}
+
+/// Everything the daemon needs to come up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind, default `127.0.0.1`.
+    pub host: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port (pair with
+    /// `port_file` for scripts).
+    pub port: u16,
+    /// When set, the daemon writes the bound port number here once
+    /// listening — how the CI smoke job finds an ephemeral port.
+    pub port_file: Option<PathBuf>,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Layered-queuing solver threads (the micro-batching pool).
+    pub solvers: usize,
+    /// Bound on connections queued between accept and the workers;
+    /// overflow is answered with an immediate 503.
+    pub queue_depth: usize,
+    /// Most predict jobs one solver drains per lock acquisition.
+    pub batch_max: usize,
+    /// Admission-control options; the threshold is validated at parse
+    /// time via [`RuntimeOptions::with_threshold`].
+    pub admission: RuntimeOptions,
+    /// Prediction-cache shape. Serving defaults to a bounded cache
+    /// (capacity 262 144) so the daemon cannot grow without bound —
+    /// unlike the repro sweeps, which keep the unbounded default.
+    pub cache: CacheOptions,
+    /// Model hosting/calibration choice.
+    pub models: ModelSpec,
+    /// Seed for calibrated model specs.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let parallelism =
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ServeConfig {
+            host: "127.0.0.1".into(),
+            port: 7020,
+            port_file: None,
+            workers: parallelism.clamp(2, 16),
+            solvers: (parallelism / 4).clamp(1, 4),
+            queue_depth: 1024,
+            batch_max: 32,
+            admission: RuntimeOptions::default(),
+            cache: CacheOptions {
+                capacity: Some(262_144),
+                ..Default::default()
+            },
+            models: ModelSpec::Paper,
+            seed: perfpred_bench::context::DEFAULT_SEED,
+        }
+    }
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+perfpred-serve — online prediction-serving daemon
+
+USAGE: perfpred-serve [OPTIONS]
+
+  --host ADDR          interface to bind (default 127.0.0.1)
+  --port N             port to bind; 0 = ephemeral (default 7020)
+  --port-file PATH     write the bound port here once listening
+  --workers N          connection worker threads (default: CPU count, 2..16)
+  --solvers N          LQ solver threads (default: CPU count / 4, 1..4)
+  --queue-depth N      accept-queue bound, overflow => 503 (default 1024)
+  --batch-max N        max predict jobs per solver batch (default 32)
+  --threshold X        admission threshold in [0, 1) (default 0.05)
+  --cache-capacity N   prediction-cache entry bound, 0 = unbounded
+                       (default 262144)
+  --client-quantum N   cache client-count quantum (default 1 = exact)
+  --model SPEC         paper | calibrated-quick | calibrated (default paper)
+  --seed N             calibration seed (default: the paper's)
+  --help               print this text
+";
+
+impl ServeConfig {
+    /// Parses command-line arguments (everything after argv[0]).
+    ///
+    /// Returns `Err(message)` on malformed input; `--help` surfaces as an
+    /// error carrying [`USAGE`] so `main` can print-and-exit.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::default();
+        let mut args = args.into_iter();
+        fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        }
+        fn parsed<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag}: cannot parse '{raw}'"))
+        }
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                "--host" => cfg.host = value(&mut args, "--host")?,
+                "--port" => cfg.port = parsed(&value(&mut args, "--port")?, "--port")?,
+                "--port-file" => {
+                    cfg.port_file = Some(PathBuf::from(value(&mut args, "--port-file")?));
+                }
+                "--workers" => {
+                    cfg.workers = parsed::<usize>(&value(&mut args, "--workers")?, "--workers")?
+                        .clamp(1, 256);
+                }
+                "--solvers" => {
+                    cfg.solvers =
+                        parsed::<usize>(&value(&mut args, "--solvers")?, "--solvers")?.clamp(1, 64);
+                }
+                "--queue-depth" => {
+                    cfg.queue_depth =
+                        parsed::<usize>(&value(&mut args, "--queue-depth")?, "--queue-depth")?
+                            .max(1);
+                }
+                "--batch-max" => {
+                    cfg.batch_max =
+                        parsed::<usize>(&value(&mut args, "--batch-max")?, "--batch-max")?.max(1);
+                }
+                "--threshold" => {
+                    let t: f64 = parsed(&value(&mut args, "--threshold")?, "--threshold")?;
+                    cfg.admission = RuntimeOptions::with_threshold(t).map_err(|e| e.to_string())?;
+                }
+                "--cache-capacity" => {
+                    let n: usize =
+                        parsed(&value(&mut args, "--cache-capacity")?, "--cache-capacity")?;
+                    cfg.cache.capacity = if n == 0 { None } else { Some(n) };
+                }
+                "--client-quantum" => {
+                    cfg.cache.client_quantum =
+                        parsed::<u32>(&value(&mut args, "--client-quantum")?, "--client-quantum")?
+                            .max(1);
+                }
+                "--model" => cfg.models = ModelSpec::parse(&value(&mut args, "--model")?)?,
+                "--seed" => cfg.seed = parsed(&value(&mut args, "--seed")?, "--seed")?,
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServeConfig, String> {
+        ServeConfig::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_serving_shaped() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.port, 7020);
+        assert_eq!(cfg.models, ModelSpec::Paper);
+        // Bounded cache by default — a daemon must not grow unboundedly.
+        assert!(cfg.cache.capacity.is_some());
+        assert_eq!(cfg.cache.client_quantum, 1);
+        assert!(cfg.workers >= 2);
+        assert!(cfg.solvers >= 1);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cfg = parse(&[
+            "--port",
+            "0",
+            "--workers",
+            "3",
+            "--solvers",
+            "2",
+            "--queue-depth",
+            "7",
+            "--batch-max",
+            "4",
+            "--threshold",
+            "0.2",
+            "--cache-capacity",
+            "0",
+            "--client-quantum",
+            "10",
+            "--model",
+            "calibrated-quick",
+            "--seed",
+            "42",
+            "--port-file",
+            "/tmp/p",
+        ])
+        .unwrap();
+        assert_eq!(cfg.port, 0);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.solvers, 2);
+        assert_eq!(cfg.queue_depth, 7);
+        assert_eq!(cfg.batch_max, 4);
+        assert!((cfg.admission.threshold - 0.2).abs() < 1e-12);
+        assert_eq!(cfg.cache.capacity, None);
+        assert_eq!(cfg.cache.client_quantum, 10);
+        assert_eq!(cfg.models, ModelSpec::CalibratedQuick);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(
+            cfg.port_file.as_deref(),
+            Some(std::path::Path::new("/tmp/p"))
+        );
+    }
+
+    #[test]
+    fn bad_input_is_rejected_with_context() {
+        assert!(parse(&["--port"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--port", "abc"]).unwrap_err().contains("--port"));
+        assert!(parse(&["--threshold", "1.5"])
+            .unwrap_err()
+            .contains("threshold"));
+        assert!(parse(&["--threshold", "NaN"])
+            .unwrap_err()
+            .contains("threshold"));
+        assert!(parse(&["--model", "nope"]).unwrap_err().contains("nope"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--help"));
+        assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
+    }
+}

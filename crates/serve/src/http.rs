@@ -1,0 +1,371 @@
+//! A hand-rolled subset of HTTP/1.1 — just enough for the daemon's four
+//! endpoints — so the workspace stays free of external dependencies.
+//!
+//! Supports: request line + headers, `Content-Length` bodies (no chunked
+//! transfer), keep-alive, and bounded sizes. Reading is built around short
+//! socket read timeouts: a timeout *between* requests surfaces as
+//! [`ReadOutcome::Idle`] so connection workers can poll the shutdown flag
+//! without dropping the connection, while a timeout *inside* a request
+//! keeps accumulating (bounded) until the request completes or the stall
+//! budget runs out.
+
+use perfpred_core::Json;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// How many consecutive read timeouts mid-request before the connection
+/// is abandoned (with ~100 ms socket timeouts this is a multi-second
+/// stall budget for slow clients).
+pub const MAX_MID_REQUEST_STALLS: usize = 100;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The body parsed as JSON (empty body → empty object, so endpoints
+    /// with all-optional fields accept bare POSTs).
+    pub fn json(&self) -> Result<Json, String> {
+        if self.body.is_empty() {
+            return Ok(Json::obj());
+        }
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        Json::parse(text)
+    }
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Peer closed (or a malformed/oversized request forced a close).
+    Closed,
+    /// Read timeout with no request bytes pending — the connection is
+    /// healthy but quiet; poll shutdown and try again.
+    Idle,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one line (through `\n`) into `buf`, preserving partial data
+/// across timeouts. `Ok(true)` = got a full line; `Ok(false)` = clean EOF
+/// with nothing buffered; `Err` = hard error or stall/size budget blown.
+fn read_line<R: BufRead>(r: &mut R, buf: &mut Vec<u8>, limit: usize) -> io::Result<Option<bool>> {
+    let mut stalls = 0;
+    loop {
+        match r.read_until(b'\n', buf) {
+            Ok(0) => return Ok(if buf.is_empty() { Some(false) } else { None }),
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                if buf.len() > limit {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+                return Ok(Some(true));
+            }
+            // read_until returning Ok without the delimiter means EOF
+            // mid-line: treat as a truncated request.
+            Ok(_) => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() {
+                    return Err(e); // caller decides: Idle on the first line
+                }
+                stalls += 1;
+                if stalls > MAX_MID_REQUEST_STALLS {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        if buf.len() > limit {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+    }
+}
+
+/// Reads exactly `want` body bytes, tolerating (bounded) timeouts.
+fn read_body<R: BufRead>(r: &mut R, want: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut body = vec![0u8; want];
+    let mut got = 0;
+    let mut stalls = 0;
+    while got < want {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Ok(None), // EOF before the advertised length
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_MID_REQUEST_STALLS {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// Reads the next request off a (timeout-configured) connection.
+///
+/// `Err` is only returned for hard I/O errors; timeouts before the first
+/// byte come back as [`ReadOutcome::Idle`], and everything malformed,
+/// oversized or truncated comes back as [`ReadOutcome::Closed`] (the
+/// caller drops the connection).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
+    // Request line.
+    let mut line = Vec::new();
+    match read_line(r, &mut line, MAX_HEAD_BYTES) {
+        Ok(Some(true)) => {}
+        Ok(Some(false)) | Ok(None) => return Ok(ReadOutcome::Closed),
+        Err(e) if is_timeout(&e) && line.is_empty() => return Ok(ReadOutcome::Idle),
+        Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Closed),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Ok(ReadOutcome::Closed),
+        Err(e) => return Err(e),
+    }
+    let request_line = String::from_utf8_lossy(&line).trim_end().to_string();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Closed);
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Closed);
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let method = method.to_ascii_uppercase();
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = Vec::new();
+        match read_line(r, &mut hline, MAX_HEAD_BYTES) {
+            Ok(Some(true)) => {}
+            _ => return Ok(ReadOutcome::Closed),
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::Closed);
+        }
+        let text = String::from_utf8_lossy(&hline);
+        let text = text.trim_end();
+        if text.is_empty() {
+            break;
+        }
+        let Some((name, value)) = text.split_once(':') else {
+            return Ok(ReadOutcome::Closed);
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                _ => return Ok(ReadOutcome::Closed),
+            },
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => return Ok(ReadOutcome::Closed), // unsupported
+            _ => {}
+        }
+    }
+
+    // Body.
+    let body = if content_length > 0 {
+        match read_body(r, content_length)? {
+            Some(b) => b,
+            None => return Ok(ReadOutcome::Closed),
+        }
+    } else {
+        Vec::new()
+    };
+
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.render().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut obj = Json::obj();
+        obj.set("error", message);
+        Response::json(status, &obj)
+    }
+
+    /// Serializes the response; `keep_alive` controls the `Connection`
+    /// header (and must match what the connection loop then does).
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = "POST /predict?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n{\"n\": 42}";
+        let ReadOutcome::Request(req) = read(raw) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert!(req.keep_alive);
+        let json = req.json().unwrap();
+        assert_eq!(json.get("n").and_then(Json::as_u32), Some(42));
+    }
+
+    #[test]
+    fn connection_close_and_bare_get() {
+        let raw = "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ReadOutcome::Request(req) = read(raw) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "GET");
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+        assert_eq!(req.json().unwrap(), Json::obj());
+    }
+
+    #[test]
+    fn malformed_oversized_and_eof_close() {
+        assert!(matches!(read(""), ReadOutcome::Closed));
+        assert!(matches!(read("garbage\r\n\r\n"), ReadOutcome::Closed));
+        assert!(matches!(read("GET / SPDY/9\r\n\r\n"), ReadOutcome::Closed));
+        // Truncated body.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            ReadOutcome::Closed
+        ));
+        // Body over the limit.
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(read(&big), ReadOutcome::Closed));
+        // Chunked transfer unsupported.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn two_requests_pipeline_on_one_connection() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let ReadOutcome::Request(a) = read_request(&mut reader).unwrap() else {
+            panic!("first request");
+        };
+        let ReadOutcome::Request(b) = read_request(&mut reader).unwrap() else {
+            panic!("second request");
+        };
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(matches!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn response_serialization_includes_framing() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+
+        let mut out = Vec::new();
+        Response::error(503, "busy")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("503 Service Unavailable"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.contains("\"error\": \"busy\""));
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # perfpred-serve
+//!
+//! An online prediction-serving daemon for the perfpred workspace: the
+//! paper's §8.5 timing argument — historical predictions answer in
+//! microseconds while layered queuing solves cost much more, so a resource
+//! manager must consume predictions *online* — turned into a long-running
+//! service instead of a batch sweep.
+//!
+//! The daemon is a std-only, multi-threaded TCP server speaking a
+//! hand-rolled subset of HTTP/1.1 (the workspace stays dependency-free).
+//! It hosts the layered queuing, hybrid and (when calibrated) historical
+//! predictors behind [`perfpred_core::PredictionCache`] and answers:
+//!
+//! * `POST /predict` — server architecture + workload → response
+//!   time/throughput prediction, with SLA-threshold admission control;
+//! * `POST /plan` — SLA workload set + pool → resource-manager allocation
+//!   (via [`perfpred_resman::planner::plan`]);
+//! * `GET /metrics` — Prometheus-style text exposition of the
+//!   [`perfpred_core::metrics`] registry, including per-endpoint latency
+//!   histograms;
+//! * `GET /healthz` — liveness;
+//! * `POST /shutdown` — graceful drain (SIGTERM/ctrl-c do the same).
+//!
+//! ## Serving stack
+//!
+//! ```text
+//!          accept loop (bounded queue, overload ⇒ 503)
+//!               │
+//!     ┌─────────┼─────────┐
+//!  worker    worker     worker      HTTP parse + route + admission
+//!     │         │          │
+//!     │   cache hit? ──────┼──────▶ answer in-line (µs path)
+//!     │         │          │
+//!     └──── miss: enqueue ─┘
+//!               │
+//!          solver pool (micro-batching, per-worker AmvaWorkspace
+//!          warm starts, results memoized into the shared cache)
+//! ```
+//!
+//! Admission control mirrors [`perfpred_resman::runtime`]: a predict
+//! request whose predicted response time lands within
+//! `RuntimeOptions::threshold` of its SLA goal is rejected with 503 —
+//! §9's "application servers reject clients at runtime if response times
+//! are within a threshold of missing SLA goals", exercised per request.
+
+pub mod admission;
+pub mod batch;
+pub mod config;
+pub mod http;
+pub mod models;
+pub mod router;
+pub mod server;
+pub mod shutdown;
+
+pub use admission::{AdmissionController, Verdict};
+pub use config::{ModelSpec, ServeConfig};
+pub use models::{Method, ModelHost};
+pub use server::Server;
+pub use shutdown::Shutdown;

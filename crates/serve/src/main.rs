@@ -1,0 +1,82 @@
+//! The `perfpred-serve` binary: parse flags, build the model host, bind,
+//! install signal handlers, serve until drained.
+
+use perfpred_serve::admission::AdmissionController;
+use perfpred_serve::batch::JobQueue;
+use perfpred_serve::router::App;
+use perfpred_serve::shutdown::install_signal_handlers;
+use perfpred_serve::{ModelHost, ServeConfig, Server, Shutdown};
+use std::time::Instant;
+
+fn main() {
+    let cfg = match ServeConfig::from_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            // --help lands here too, carrying the usage text.
+            let is_help = msg.contains("USAGE");
+            eprintln!("{msg}");
+            std::process::exit(i32::from(!is_help));
+        }
+    };
+
+    let admission = match AdmissionController::new(cfg.admission) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("invalid admission options: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    install_signal_handlers();
+
+    eprintln!("building models ({:?}, seed {}) ...", cfg.models, cfg.seed);
+    let started = Instant::now();
+    let host = ModelHost::build(cfg.models, cfg.seed, &cfg.cache);
+    eprintln!(
+        "models ready in {:.2}s: {}",
+        started.elapsed().as_secs_f64(),
+        host.available().join(", ")
+    );
+
+    let app = App::new(
+        host,
+        admission,
+        JobQueue::new(cfg.queue_depth),
+        Shutdown::new(),
+    );
+    let server = match Server::bind(
+        &cfg.host,
+        cfg.port,
+        app,
+        cfg.workers,
+        cfg.solvers,
+        cfg.batch_max,
+        cfg.queue_depth,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}:{}: {e}", cfg.host, cfg.port);
+            std::process::exit(1);
+        }
+    };
+
+    let addr = server.local_addr();
+    if let Some(path) = &cfg.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("cannot write port file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "perfpred-serve listening on http://{addr} ({} workers, {} solvers, threshold {})",
+        cfg.workers, cfg.solvers, cfg.admission.threshold
+    );
+
+    match server.run() {
+        Ok(()) => eprintln!("perfpred-serve: drained, bye"),
+        Err(e) => {
+            eprintln!("perfpred-serve: serve loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The model host: the three predictors of the paper, each behind its own
+//! [`PredictionCache`], plus request-time method dispatch.
+
+use crate::config::ModelSpec;
+use perfpred_bench::context::Experiments;
+use perfpred_core::{
+    CacheOptions, PredictError, Prediction, PredictionCache, ServerArch, Workload,
+};
+use perfpred_hybrid::HybridModel;
+use perfpred_hydra::HistoricalModel;
+use perfpred_lqns::trade::TradeLqnConfig;
+use perfpred_lqns::LqnPredictor;
+
+/// Which predictor a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The §4 historical model (requires a calibrated daemon).
+    Historical,
+    /// The §5 layered queuing model (misses are solved on the batching
+    /// solver pool; everything else answers inline).
+    Lqns,
+    /// The §6 advanced hybrid model.
+    Hybrid,
+}
+
+impl Method {
+    /// Parses the wire name (`historical` | `lqns` | `hybrid`).
+    pub fn parse(s: &str) -> Result<Method, String> {
+        match s {
+            "historical" | "hydra" => Ok(Method::Historical),
+            "lqns" | "lqn" | "layered-queuing" => Ok(Method::Lqns),
+            "hybrid" => Ok(Method::Hybrid),
+            other => Err(format!(
+                "unknown method '{other}' (expected historical, lqns or hybrid)"
+            )),
+        }
+    }
+
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Historical => "historical",
+            Method::Lqns => "lqns",
+            Method::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The daemon's resident predictors.
+///
+/// The layered queuing predictor is always present (its construction is
+/// free). The historical and hybrid models depend on the [`ModelSpec`]:
+/// `paper` mode calibrates the hybrid from the Table 2 LQN without any
+/// simulation, so start-up is instant but the historical method is
+/// unavailable (404s); `calibrated*` modes run the simulated-testbed
+/// measurement campaigns from [`Experiments`] and host all three.
+pub struct ModelHost {
+    /// Layered queuing behind a cache; misses route to the solver pool.
+    pub lqns: PredictionCache<LqnPredictor>,
+    /// Historical model (calibrated specs only).
+    pub historical: Option<PredictionCache<HistoricalModel>>,
+    /// Hybrid model (all specs).
+    pub hybrid: Option<PredictionCache<HybridModel>>,
+    /// Servers accepted by name in requests.
+    pub servers: Vec<ServerArch>,
+}
+
+impl ModelHost {
+    /// Builds the host for a model spec. `paper` is instant; calibrated
+    /// specs run simulation campaigns (seconds for quick, minutes for
+    /// measurement-grade).
+    pub fn build(spec: ModelSpec, seed: u64, cache: &CacheOptions) -> ModelHost {
+        match spec {
+            ModelSpec::Paper => Self::paper(cache),
+            ModelSpec::CalibratedQuick => Self::calibrated(&Experiments::quick(seed), cache),
+            ModelSpec::Calibrated => Self::calibrated(&Experiments::new(seed), cache),
+        }
+    }
+
+    /// Paper mode: Table 2 LQN + hybrid calibrated purely from LQN solves.
+    pub fn paper(cache: &CacheOptions) -> ModelHost {
+        let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+        let servers = Experiments::servers();
+        let hybrid = HybridModel::advanced(&lqn, &servers, &Default::default())
+            .expect("hybrid calibration from the paper LQN");
+        ModelHost {
+            lqns: PredictionCache::with_options(lqn, cache.clone()),
+            historical: None,
+            hybrid: Some(PredictionCache::with_options(hybrid, cache.clone())),
+            servers: servers.to_vec(),
+        }
+    }
+
+    /// Calibrated mode: all three predictors from an experiment context.
+    pub fn calibrated(ctx: &Experiments, cache: &CacheOptions) -> ModelHost {
+        ModelHost {
+            lqns: PredictionCache::with_options(ctx.lqn().clone(), cache.clone()),
+            historical: Some(PredictionCache::with_options(
+                ctx.historical().clone(),
+                cache.clone(),
+            )),
+            hybrid: Some(PredictionCache::with_options(
+                ctx.hybrid().clone(),
+                cache.clone(),
+            )),
+            servers: Experiments::servers().to_vec(),
+        }
+    }
+
+    /// Wire names of the methods this host can answer.
+    pub fn available(&self) -> Vec<&'static str> {
+        let mut out = vec![Method::Lqns.name()];
+        if self.historical.is_some() {
+            out.insert(0, Method::Historical.name());
+        }
+        if self.hybrid.is_some() {
+            out.push(Method::Hybrid.name());
+        }
+        out
+    }
+
+    /// True when the host can answer this method.
+    pub fn hosts(&self, method: Method) -> bool {
+        match method {
+            Method::Lqns => true,
+            Method::Historical => self.historical.is_some(),
+            Method::Hybrid => self.hybrid.is_some(),
+        }
+    }
+
+    /// Looks a server up by name (e.g. `"AppServF"`).
+    pub fn server(&self, name: &str) -> Option<&ServerArch> {
+        self.servers.iter().find(|s| s.name == name)
+    }
+
+    /// Predicts through the method's cache, solving inline on a miss.
+    ///
+    /// This is the path for historical/hybrid requests (microsecond
+    /// closed-form solves) and for `/plan`; the router sends layered
+    /// queuing *misses* to the batching solver pool instead, so worker
+    /// threads never run an AMVA solve inline.
+    pub fn predict_inline(
+        &self,
+        method: Method,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Option<Result<Prediction, PredictError>> {
+        use perfpred_core::PerformanceModel;
+        match method {
+            Method::Lqns => Some(self.lqns.predict(server, workload)),
+            Method::Historical => self
+                .historical
+                .as_ref()
+                .map(|m| m.predict(server, workload)),
+            Method::Hybrid => self.hybrid.as_ref().map(|m| m.predict(server, workload)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in [Method::Historical, Method::Lqns, Method::Hybrid] {
+            assert_eq!(Method::parse(m.name()), Ok(m));
+        }
+        assert!(Method::parse("simulation").is_err());
+    }
+
+    #[test]
+    fn paper_host_serves_lqns_and_hybrid_but_not_historical() {
+        let host = ModelHost::paper(&CacheOptions::default());
+        assert_eq!(host.available(), vec!["lqns", "hybrid"]);
+        assert!(host.hosts(Method::Lqns));
+        assert!(host.hosts(Method::Hybrid));
+        assert!(!host.hosts(Method::Historical));
+        assert!(host.server("AppServF").is_some());
+        assert!(host.server("AppServX").is_none());
+
+        let server = host.server("AppServF").unwrap().clone();
+        let w = Workload::typical(300);
+        let lq = host
+            .predict_inline(Method::Lqns, &server, &w)
+            .unwrap()
+            .unwrap();
+        assert!(lq.mrt_ms > 0.0 && lq.throughput_rps > 0.0);
+        let hy = host
+            .predict_inline(Method::Hybrid, &server, &w)
+            .unwrap()
+            .unwrap();
+        assert!(hy.mrt_ms > 0.0);
+        assert!(host
+            .predict_inline(Method::Historical, &server, &w)
+            .is_none());
+    }
+
+    #[test]
+    fn inline_predictions_memoize() {
+        let host = ModelHost::paper(&CacheOptions::default());
+        let server = host.server("AppServVF").unwrap().clone();
+        let w = Workload::typical(120);
+        let a = host
+            .predict_inline(Method::Hybrid, &server, &w)
+            .unwrap()
+            .unwrap();
+        let b = host
+            .predict_inline(Method::Hybrid, &server, &w)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.mrt_ms.to_bits(), b.mrt_ms.to_bits());
+        assert_eq!(host.hybrid.as_ref().unwrap().len(), 1);
+    }
+}

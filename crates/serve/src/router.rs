@@ -1,0 +1,701 @@
+//! Request routing: JSON in, prediction/plan/metrics out.
+
+use crate::admission::{AdmissionController, Verdict};
+use crate::batch::{Job, JobQueue};
+use crate::http::{Request, Response};
+use crate::models::{Method, ModelHost};
+use crate::shutdown::Shutdown;
+use perfpred_core::workload::{ClassLoad, RequestType, ServiceClass};
+use perfpred_core::{metrics, Json, PredictError, Prediction, ServerArch, Workload};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How long a connection worker waits for the solver pool before giving
+/// up on a queued layered-queuing miss.
+const SOLVER_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The shared application state behind every connection worker.
+pub struct App {
+    /// Resident predictors.
+    pub host: ModelHost,
+    /// The §9 admission rule.
+    pub admission: AdmissionController,
+    /// Queue feeding the layered-queuing solver pool.
+    pub queue: Arc<JobQueue>,
+    /// Cooperative shutdown token.
+    pub shutdown: Arc<Shutdown>,
+    started: Instant,
+}
+
+impl App {
+    /// Assembles the application state.
+    pub fn new(
+        host: ModelHost,
+        admission: AdmissionController,
+        queue: Arc<JobQueue>,
+        shutdown: Arc<Shutdown>,
+    ) -> App {
+        App {
+            host,
+            admission,
+            queue,
+            shutdown,
+            started: Instant::now(),
+        }
+    }
+
+    /// Routes one request, recording a per-endpoint latency histogram.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        metrics::counter("serve.http.requests").incr();
+        let (route, response) = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => ("healthz", self.healthz()),
+            ("GET", "/metrics") => ("metrics", self.metrics()),
+            ("POST", "/predict") => ("predict", self.predict(req)),
+            ("POST", "/plan") => ("plan", self.plan(req)),
+            ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
+            (_, "/healthz" | "/metrics" | "/predict" | "/plan" | "/shutdown") => {
+                ("method_not_allowed", Response::error(405, "wrong method for this path"))
+            }
+            _ => (
+                "not_found",
+                Response::error(
+                    404,
+                    "unknown path (have: GET /healthz, GET /metrics, POST /predict, POST /plan, POST /shutdown)",
+                ),
+            ),
+        };
+        metrics::histogram(&format!("serve.http.{route}_ms"))
+            .record(started.elapsed().as_secs_f64() * 1e3);
+        response
+    }
+
+    fn healthz(&self) -> Response {
+        let mut body = Json::obj();
+        body.set("status", "ok");
+        body.set("uptime_s", self.started.elapsed().as_secs_f64());
+        body.set(
+            "models",
+            Json::Arr(
+                self.host
+                    .available()
+                    .iter()
+                    .map(|&m| Json::from(m))
+                    .collect(),
+            ),
+        );
+        body.set("draining", self.shutdown.requested());
+        Response::json(200, &body)
+    }
+
+    fn metrics(&self) -> Response {
+        Response::text(200, metrics::snapshot().render_exposition())
+    }
+
+    fn shutdown_endpoint(&self) -> Response {
+        self.shutdown.request();
+        let mut body = Json::obj();
+        body.set("draining", true);
+        Response::json(200, &body)
+    }
+
+    fn predict(&self, req: &Request) -> Response {
+        let body = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        };
+        let method = match parse_method(&body) {
+            Ok(m) => m,
+            Err(e) => return Response::error(400, &e),
+        };
+        if !self.host.hosts(method) {
+            return Response::error(
+                404,
+                &format!(
+                    "method '{}' is not hosted by this daemon (available: {})",
+                    method.name(),
+                    self.host.available().join(", ")
+                ),
+            );
+        }
+        let server = match parse_server(&body, &self.host) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &e),
+        };
+        let workload = match parse_workload(&body) {
+            Ok(w) => w,
+            Err(e) => return Response::error(400, &e),
+        };
+
+        let (result, cached) = match method {
+            Method::Lqns => self.predict_lqns(&server, &workload),
+            _ => {
+                // Historical/hybrid solves are closed-form (µs): inline.
+                let cached = peeked(&self.host, method, &server, &workload);
+                (
+                    self.host
+                        .predict_inline(method, &server, &workload)
+                        .expect("hosted method"),
+                    cached,
+                )
+            }
+        };
+        let prediction = match result {
+            Ok(p) => p,
+            Err(PredictError::Overloaded(msg)) => return Response::error(503, &msg),
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+
+        // §9 admission: reject when any class's predicted response time is
+        // within the threshold of its SLA goal.
+        let skip_admission = body.get("admission").and_then(Json::as_bool) == Some(false);
+        if !skip_admission {
+            if let Verdict::Reject {
+                class,
+                predicted_mrt_ms,
+                goal_ms,
+            } = self.admission.judge(&workload, &prediction)
+            {
+                let mut rej = Json::obj();
+                rej.set("admitted", false);
+                rej.set("class", class);
+                rej.set("predicted_mrt_ms", predicted_mrt_ms);
+                rej.set("goal_ms", goal_ms);
+                rej.set("threshold", self.admission.threshold());
+                rej.set("method", method.name());
+                rej.set("server", server.name.as_str());
+                return Response::json(503, &rej);
+            }
+        }
+
+        let mut out = Json::obj();
+        out.set("method", method.name());
+        out.set("server", server.name.as_str());
+        out.set("admitted", true);
+        out.set("cached", cached);
+        out.set("prediction", prediction_json(&prediction));
+        Response::json(200, &out)
+    }
+
+    /// The layered-queuing path: peek inline (the µs path the daemon's
+    /// throughput target rides on), queue misses to the solver pool —
+    /// except while draining, when workers must not enqueue behind a pool
+    /// that is about to exit, so they solve inline instead.
+    fn predict_lqns(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> (Result<Prediction, PredictError>, bool) {
+        use perfpred_core::PerformanceModel;
+        if let Some(found) = self.host.lqns.peek(server, workload) {
+            return (found, true);
+        }
+        if self.shutdown.requested() {
+            return (self.host.lqns.predict(server, workload), false);
+        }
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            server: server.clone(),
+            workload: workload.clone(),
+            reply,
+        };
+        if self.queue.push(job).is_err() {
+            return (
+                Err(PredictError::Overloaded(
+                    "solver queue is full, retry later".into(),
+                )),
+                false,
+            );
+        }
+        match rx.recv_timeout(SOLVER_REPLY_TIMEOUT) {
+            Ok(result) => (result, false),
+            Err(_) => (
+                Err(PredictError::Overloaded(
+                    "solver pool did not answer in time".into(),
+                )),
+                false,
+            ),
+        }
+    }
+
+    fn plan(&self, req: &Request) -> Response {
+        let body = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        };
+        let method = match parse_method(&body) {
+            Ok(m) => m,
+            Err(e) => return Response::error(400, &e),
+        };
+        let slack = match body.get("slack") {
+            None => 1.0,
+            Some(v) => match v.as_f64() {
+                Some(s) => s,
+                None => return Response::error(400, "'slack' must be a number"),
+            },
+        };
+        let workload = match parse_plan_workload(&body) {
+            Ok(w) => w,
+            Err(e) => return Response::error(400, &e),
+        };
+        let pool = match parse_pool(&body, &self.host) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &e),
+        };
+        use perfpred_core::PerformanceModel;
+        let model: &dyn PerformanceModel = match method {
+            Method::Lqns => &self.host.lqns,
+            Method::Historical => match &self.host.historical {
+                Some(m) => m,
+                None => {
+                    return Response::error(
+                        404,
+                        &format!(
+                            "method 'historical' is not hosted (available: {})",
+                            self.host.available().join(", ")
+                        ),
+                    )
+                }
+            },
+            Method::Hybrid => match &self.host.hybrid {
+                Some(m) => m,
+                None => return Response::error(404, "method 'hybrid' is not hosted"),
+            },
+        };
+        let plan = match perfpred_resman::plan(model, &pool, &workload, slack) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let mut out = Json::obj();
+        out.set("method", method.name());
+        out.set("slack", slack);
+        out.set("total_clients", u64::from(plan.total_clients));
+        out.set("placement_ratio", plan.placement_ratio());
+        out.set(
+            "rejected_per_class",
+            Json::Arr(
+                plan.rejected_per_class
+                    .iter()
+                    .map(|&r| Json::from(u64::from(r)))
+                    .collect(),
+            ),
+        );
+        out.set(
+            "servers",
+            Json::Arr(
+                plan.servers
+                    .iter()
+                    .map(|s| {
+                        let mut o = Json::obj();
+                        o.set("server", s.server.as_str());
+                        o.set("server_idx", s.server_idx);
+                        o.set(
+                            "clients_per_class",
+                            Json::Arr(
+                                s.clients_per_class
+                                    .iter()
+                                    .map(|&c| Json::from(u64::from(c)))
+                                    .collect(),
+                            ),
+                        );
+                        o.set("prediction", prediction_json(&s.prediction));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        Response::json(200, &out)
+    }
+}
+
+/// Did the method's cache already hold this key? (Peek-before-predict for
+/// the inline methods, so responses can report `"cached"` truthfully
+/// without a second solve.)
+fn peeked(host: &ModelHost, method: Method, server: &ServerArch, workload: &Workload) -> bool {
+    match method {
+        Method::Lqns => false, // handled by predict_lqns
+        Method::Historical => host
+            .historical
+            .as_ref()
+            .is_some_and(|c| c.peek(server, workload).is_some()),
+        Method::Hybrid => host
+            .hybrid
+            .as_ref()
+            .is_some_and(|c| c.peek(server, workload).is_some()),
+    }
+}
+
+fn parse_method(body: &Json) -> Result<Method, String> {
+    match body.get("method") {
+        None => Ok(Method::Lqns),
+        Some(v) => match v.as_str() {
+            Some(s) => Method::parse(s),
+            None => Err("'method' must be a string".into()),
+        },
+    }
+}
+
+fn parse_server(body: &Json, host: &ModelHost) -> Result<ServerArch, String> {
+    let name = match body.get("server") {
+        None => "AppServF",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "'server' must be a string".to_string())?,
+    };
+    host.server(name).cloned().ok_or_else(|| {
+        let known: Vec<&str> = host.servers.iter().map(|s| s.name.as_str()).collect();
+        format!("unknown server '{name}' (known: {})", known.join(", "))
+    })
+}
+
+/// Parses the request workload: either the `"workload": {"classes": [...]}`
+/// long form or the `"clients": n` shorthand (optionally with `"buy_pct"`
+/// and a `"goal_ms"` applied to every class).
+fn parse_workload(body: &Json) -> Result<Workload, String> {
+    if let Some(spec) = body.get("workload") {
+        return parse_workload_classes(spec);
+    }
+    let clients = body
+        .get("clients")
+        .and_then(Json::as_u32)
+        .ok_or_else(|| "need 'workload' or a whole-number 'clients'".to_string())?;
+    let mut w = match body.get("buy_pct") {
+        None => Workload::typical(clients),
+        Some(v) => {
+            let pct = v.as_f64().ok_or("'buy_pct' must be a number")?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(format!("'buy_pct' must be in [0, 100], got {pct}"));
+            }
+            Workload::with_buy_pct(clients, pct)
+        }
+    };
+    if let Some(goal) = body.get("goal_ms") {
+        let goal = goal.as_f64().ok_or("'goal_ms' must be a number")?;
+        if !goal.is_finite() || goal <= 0.0 {
+            return Err(format!("'goal_ms' must be positive, got {goal}"));
+        }
+        for c in &mut w.classes {
+            c.class.rt_goal_ms = Some(goal);
+        }
+    }
+    Ok(w)
+}
+
+fn parse_workload_classes(spec: &Json) -> Result<Workload, String> {
+    let classes = spec
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "'workload' needs a 'classes' array".to_string())?;
+    if classes.is_empty() {
+        return Err("'workload.classes' must not be empty".into());
+    }
+    let mut out = Vec::with_capacity(classes.len());
+    for (i, c) in classes.iter().enumerate() {
+        let request_type = match c.get("type").and_then(Json::as_str) {
+            Some("browse") | None => RequestType::Browse,
+            Some("buy") => RequestType::Buy,
+            Some(other) => return Err(format!("class {i}: unknown type '{other}'")),
+        };
+        let clients = c
+            .get("clients")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| format!("class {i}: needs whole-number 'clients'"))?;
+        let think_time_ms = match c.get("think_ms") {
+            None => 7_000.0,
+            Some(v) => {
+                let t = v
+                    .as_f64()
+                    .ok_or(format!("class {i}: 'think_ms' must be a number"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(format!("class {i}: 'think_ms' must be non-negative"));
+                }
+                t
+            }
+        };
+        let rt_goal_ms = match c.get("goal_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let g = v
+                    .as_f64()
+                    .ok_or(format!("class {i}: 'goal_ms' must be a number"))?;
+                if !g.is_finite() || g <= 0.0 {
+                    return Err(format!("class {i}: 'goal_ms' must be positive"));
+                }
+                Some(g)
+            }
+        };
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("class-{i}"), str::to_string);
+        out.push(ClassLoad {
+            class: ServiceClass {
+                name,
+                request_type,
+                think_time_ms,
+                rt_goal_ms,
+            },
+            clients,
+        });
+    }
+    Ok(Workload { classes: out })
+}
+
+/// `/plan` workload: long form, or `"total_clients": n` → the §9.1 paper
+/// workload mix (10 % buy @150 ms, 45 % browse @300 ms, 45 % @600 ms).
+fn parse_plan_workload(body: &Json) -> Result<Workload, String> {
+    if let Some(spec) = body.get("workload") {
+        return parse_workload_classes(spec);
+    }
+    let total = body
+        .get("total_clients")
+        .and_then(Json::as_u32)
+        .ok_or_else(|| "need 'workload' or a whole-number 'total_clients'".to_string())?;
+    Ok(perfpred_resman::paper_workload(total))
+}
+
+/// `/plan` pool: `"pool": ["AppServS", ...]` by name, default the paper's
+/// 16-server pool.
+fn parse_pool(body: &Json, host: &ModelHost) -> Result<Vec<ServerArch>, String> {
+    match body.get("pool") {
+        None => Ok(perfpred_resman::paper_pool()),
+        Some(v) => {
+            let names = v
+                .as_arr()
+                .ok_or("'pool' must be an array of server names")?;
+            if names.is_empty() {
+                return Err("'pool' must not be empty".into());
+            }
+            names
+                .iter()
+                .map(|n| {
+                    let name = n.as_str().ok_or("'pool' entries must be strings")?;
+                    host.server(name)
+                        .cloned()
+                        .ok_or_else(|| format!("unknown server '{name}' in pool"))
+                })
+                .collect()
+        }
+    }
+}
+
+fn prediction_json(p: &Prediction) -> Json {
+    let mut o = Json::obj();
+    o.set("mrt_ms", p.mrt_ms);
+    o.set(
+        "per_class_mrt_ms",
+        Json::Arr(p.per_class_mrt_ms.iter().map(|&v| Json::from(v)).collect()),
+    );
+    o.set("throughput_rps", p.throughput_rps);
+    match p.utilization {
+        Some(u) => o.set("utilization", u),
+        None => o.set("utilization", Json::Null),
+    };
+    o.set("saturated", p.saturated);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::solver_loop;
+    use perfpred_core::CacheOptions;
+    use perfpred_resman::RuntimeOptions;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn app() -> App {
+        App::new(
+            ModelHost::paper(&CacheOptions::default()),
+            AdmissionController::new(RuntimeOptions::default()).unwrap(),
+            JobQueue::new(64),
+            Shutdown::new(),
+        )
+    }
+
+    /// Runs the solver inline until the queue drains (tests have no solver
+    /// threads, so lqns misses are pre-solved or drained explicitly).
+    fn drain(app: &App) {
+        let drained = Shutdown::new();
+        drained.request();
+        solver_loop(&app.queue, &app.host.lqns, 8, &drained);
+    }
+
+    fn body_json(r: &Response) -> Json {
+        Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthz_reports_models_and_uptime() {
+        let app = app();
+        let r = app.handle(&request("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        let j = body_json(&r);
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(j.get("draining").and_then(Json::as_bool), Some(false));
+        let models = j.get("models").and_then(Json::as_arr).unwrap();
+        assert_eq!(models.len(), 2); // paper mode: lqns + hybrid
+    }
+
+    #[test]
+    fn predict_hybrid_inline_and_reports_cached_on_repeat() {
+        let app = app();
+        let body = r#"{"method": "hybrid", "server": "AppServF", "clients": 200}"#;
+        let first = app.handle(&request("POST", "/predict", body));
+        assert_eq!(
+            first.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let j = body_json(&first);
+        assert_eq!(j.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("admitted").and_then(Json::as_bool), Some(true));
+        let mrt = j
+            .get("prediction")
+            .and_then(|p| p.get("mrt_ms"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(mrt > 0.0);
+
+        let second = app.handle(&request("POST", "/predict", body));
+        let j2 = body_json(&second);
+        assert_eq!(j2.get("cached").and_then(Json::as_bool), Some(true));
+        let mrt2 = j2
+            .get("prediction")
+            .and_then(|p| p.get("mrt_ms"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(mrt.to_bits(), mrt2.to_bits());
+    }
+
+    #[test]
+    fn predict_lqns_drains_through_the_queue_and_hits_after() {
+        let app = app();
+        let body = r#"{"method": "lqns", "server": "AppServVF", "clients": 150}"#;
+        // No solver threads running: pre-solve by draining after pushing is
+        // impossible (push blocks on reply), so drive the shutdown-inline
+        // path instead, which memoizes like the solvers do.
+        app.shutdown.request();
+        let first = app.handle(&request("POST", "/predict", body));
+        assert_eq!(
+            first.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&first.body)
+        );
+        assert_eq!(
+            body_json(&first).get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+        let second = app.handle(&request("POST", "/predict", body));
+        assert_eq!(
+            body_json(&second).get("cached").and_then(Json::as_bool),
+            Some(true)
+        );
+        drain(&app);
+    }
+
+    #[test]
+    fn admission_rejects_with_a_structured_503() {
+        let app = app();
+        app.shutdown.request(); // inline lqns solves
+                                // 600 clients on the slow architecture blow a 150 ms goal.
+        let body = r#"{"method": "lqns", "server": "AppServS", "clients": 900, "goal_ms": 150}"#;
+        let r = app.handle(&request("POST", "/predict", body));
+        assert_eq!(r.status, 503, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("admitted").and_then(Json::as_bool), Some(false));
+        assert!(j.get("class").and_then(Json::as_str).is_some());
+        assert!(j.get("predicted_mrt_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(j.get("goal_ms").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(j.get("threshold").and_then(Json::as_f64), Some(0.05));
+        // The same request with admission disabled answers 200.
+        let body_off = r#"{"method": "lqns", "server": "AppServS", "clients": 900, "goal_ms": 150, "admission": false}"#;
+        assert_eq!(
+            app.handle(&request("POST", "/predict", body_off)).status,
+            200
+        );
+    }
+
+    #[test]
+    fn predict_validates_input() {
+        let app = app();
+        assert_eq!(
+            app.handle(&request("POST", "/predict", "{not json")).status,
+            400
+        );
+        assert_eq!(
+            app.handle(&request(
+                "POST",
+                "/predict",
+                r#"{"clients": 10, "method": "nope"}"#
+            ))
+            .status,
+            400
+        );
+        assert_eq!(
+            app.handle(&request(
+                "POST",
+                "/predict",
+                r#"{"clients": 10, "server": "Cray"}"#
+            ))
+            .status,
+            400
+        );
+        assert_eq!(
+            app.handle(&request("POST", "/predict", r#"{"server": "AppServF"}"#))
+                .status,
+            400
+        );
+        // Historical is not hosted in paper mode.
+        assert_eq!(
+            app.handle(&request(
+                "POST",
+                "/predict",
+                r#"{"clients": 10, "method": "historical"}"#
+            ))
+            .status,
+            404
+        );
+        assert_eq!(app.handle(&request("GET", "/nope", "")).status, 404);
+        assert_eq!(app.handle(&request("DELETE", "/predict", "")).status, 405);
+    }
+
+    #[test]
+    fn plan_allocates_the_paper_scenario() {
+        let app = app();
+        let body = r#"{"method": "hybrid", "total_clients": 800, "slack": 1.1}"#;
+        let r = app.handle(&request("POST", "/plan", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("total_clients").and_then(Json::as_u32), Some(800));
+        let ratio = j.get("placement_ratio").and_then(Json::as_f64).unwrap();
+        assert!(ratio > 0.0 && ratio <= 1.0);
+        let servers = j.get("servers").and_then(Json::as_arr).unwrap();
+        assert!(!servers.is_empty());
+        for s in servers {
+            assert!(s.get("prediction").and_then(|p| p.get("mrt_ms")).is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_expose_request_counters() {
+        let _scope = metrics::Scope::new();
+        let guard = _scope.enter();
+        let app = app();
+        app.handle(&request("GET", "/healthz", ""));
+        let r = app.handle(&request("GET", "/metrics", ""));
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("serve_http_requests"), "{text}");
+        drop(guard);
+    }
+}

@@ -1,0 +1,287 @@
+//! The TCP server: bounded accept queue, connection worker pool, solver
+//! pool, and the graceful-drain ordering between them.
+
+use crate::batch::solver_loop;
+use crate::http::{read_request, ReadOutcome, Response};
+use crate::router::App;
+use crate::shutdown::Shutdown;
+use perfpred_core::metrics;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Socket read timeout: the cadence at which idle keep-alive connections
+/// re-check the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+/// Accept-loop poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+
+/// Bounded queue of accepted connections awaiting a worker.
+struct ConnQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            conns: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// `Err(stream)` hands the connection back on overflow.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut conns = self.conns.lock().expect("conn queue lock");
+        if conns.len() >= self.capacity {
+            return Err(stream);
+        }
+        conns.push_back(stream);
+        drop(conns);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, wait: Duration) -> Option<TcpStream> {
+        let conns = self.conns.lock().expect("conn queue lock");
+        let (mut conns, _) = self
+            .available
+            .wait_timeout_while(conns, wait, |c| c.is_empty())
+            .expect("conn queue lock");
+        conns.pop_front()
+    }
+}
+
+/// A bound-and-listening daemon, one `run()` away from serving.
+///
+/// Splitting bind from run lets callers (tests, `--port 0` scripts) learn
+/// the ephemeral address before the blocking serve loop starts.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    app: Arc<App>,
+    workers: usize,
+    solvers: usize,
+    batch_max: usize,
+    conn_queue: Arc<ConnQueue>,
+}
+
+impl Server {
+    /// Binds `host:port` (port 0 = ephemeral) around an assembled [`App`].
+    pub fn bind(
+        host: &str,
+        port: u16,
+        app: App,
+        workers: usize,
+        solvers: usize,
+        batch_max: usize,
+        queue_depth: usize,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind((host, port))?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            app: Arc::new(app),
+            workers: workers.max(1),
+            solvers: solvers.max(1),
+            batch_max: batch_max.max(1),
+            conn_queue: Arc::new(ConnQueue::new(queue_depth)),
+        })
+    }
+
+    /// The bound address (resolves `--port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The token that stops this server (shared with the [`App`]).
+    pub fn shutdown_handle(&self) -> Arc<Shutdown> {
+        Arc::clone(&self.app.shutdown)
+    }
+
+    /// Serves until shutdown is requested, then drains: the accept loop
+    /// stops first, connection workers finish their in-flight requests,
+    /// and only after the workers have joined do the solvers exit — so
+    /// every job a worker enqueued gets solved and answered.
+    pub fn run(self) -> io::Result<()> {
+        let shutdown = self.shutdown_handle();
+        self.listener.set_nonblocking(true)?;
+
+        let mut solver_handles = Vec::with_capacity(self.solvers);
+        // Solvers ignore the shared token and watch this private one, so
+        // they outlive the workers during the drain.
+        let solvers_done = Shutdown::new();
+        for i in 0..self.solvers {
+            let queue = Arc::clone(&self.app.queue);
+            let cache_app = Arc::clone(&self.app);
+            let done = Arc::clone(&solvers_done);
+            let batch_max = self.batch_max;
+            solver_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-solver-{i}"))
+                    .spawn(move || solver_loop(&queue, &cache_app.host.lqns, batch_max, &done))
+                    .expect("spawn solver thread"),
+            );
+        }
+
+        let mut worker_handles = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let app = Arc::clone(&self.app);
+            let conns = Arc::clone(&self.conn_queue);
+            let stop = Arc::clone(&shutdown);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&app, &conns, &stop))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        // Accept loop: nonblocking so the shutdown flag is honoured within
+        // one poll interval even with no clients connecting.
+        while !shutdown.requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics::counter("serve.accepted").incr();
+                    if let Err(stream) = self.conn_queue.push(stream) {
+                        metrics::counter("serve.accept_overflow").incr();
+                        reject_overloaded(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: workers first (they stop pulling new connections and
+        // finish in-flight requests), then the solver pool.
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        solvers_done.request();
+        for h in solver_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort 503 for connections shed at the accept queue.
+fn reject_overloaded(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let _ = Response::error(503, "server is overloaded, retry later").write_to(&mut stream, false);
+}
+
+/// One connection worker: pull a connection, serve its keep-alive request
+/// stream, repeat. Exits once shutdown is requested and the current
+/// connection is finished.
+fn worker_loop(app: &App, conns: &ConnQueue, shutdown: &Shutdown) {
+    loop {
+        match conns.pop(Duration::from_millis(20)) {
+            Some(stream) => serve_connection(app, stream, shutdown),
+            None => {
+                if shutdown.requested() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serves requests off one connection until the peer closes, asks to
+/// close, errors, or shutdown interrupts an idle wait.
+fn serve_connection(app: &App, stream: TcpStream, shutdown: &Shutdown) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(req)) => {
+                let response = app.handle(&req);
+                // An idle daemon drains instantly; one that is answering
+                // closes each connection after the in-flight response.
+                let keep = req.keep_alive && !shutdown.requested();
+                if response.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Idle) => {
+                if shutdown.requested() {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionController;
+    use crate::batch::JobQueue;
+    use crate::models::ModelHost;
+    use perfpred_core::CacheOptions;
+    use perfpred_resman::RuntimeOptions;
+    use std::io::{Read as _, Write as _};
+
+    fn start() -> (SocketAddr, Arc<Shutdown>, std::thread::JoinHandle<()>) {
+        let app = App::new(
+            ModelHost::paper(&CacheOptions::default()),
+            AdmissionController::new(RuntimeOptions::default()).unwrap(),
+            JobQueue::new(64),
+            Shutdown::new(),
+        );
+        let server = Server::bind("127.0.0.1", 0, app, 2, 1, 8, 16).unwrap();
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, shutdown, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_healthz_and_drains_cleanly() {
+        let (addr, shutdown, handle) = start();
+        let reply = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"status\": \"ok\""), "{reply}");
+        shutdown.request();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let (addr, _shutdown, handle) = start();
+        let reply = roundtrip(addr, "POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        // run() returns once the flag propagates through accept + workers.
+        handle.join().unwrap();
+    }
+}

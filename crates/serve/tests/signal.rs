@@ -1,0 +1,28 @@
+//! End-to-end signal handling, isolated in its own test process: raising
+//! SIGTERM sets the process-global shutdown flag every [`Shutdown`] token
+//! observes. This cannot live with the unit tests — the flag is global,
+//! so it would trip every concurrently running server test.
+
+#![cfg(unix)]
+
+use perfpred_serve::shutdown::install_signal_handlers;
+use perfpred_serve::Shutdown;
+
+#[test]
+fn sigterm_requests_shutdown_process_wide() {
+    let token = Shutdown::new();
+    assert!(!token.requested());
+
+    install_signal_handlers();
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    let rc = unsafe { raise(SIGTERM) };
+    assert_eq!(rc, 0, "raise(SIGTERM) failed");
+
+    // The handler stored the flag synchronously (raise returns after the
+    // handler has run on this thread).
+    assert!(token.requested());
+    assert!(Shutdown::new().requested(), "flag is global, not per-token");
+}
