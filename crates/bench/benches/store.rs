@@ -1,0 +1,193 @@
+//! Observation-store performance: ingest throughput through the full
+//! log-append + incremental-fold pipeline, raw log append and replay
+//! rates, refit latency, and a recovery bit-identity check.
+//!
+//! The store closes the paper's calibration loop online — §6's HYDRA
+//! calibration, re-run continuously as observations arrive — so its costs
+//! must stay far off the serving path's µs budget: ingest is bounded by
+//! one 64-byte record write plus O(1) anchor-cell folds, and a refit is a
+//! handful of closed-form regressions over the folded grid.
+//!
+//! Results land in `BENCH.json` under `section.store` via
+//! [`perfpred_bench::timing::Recorder`], including the derived
+//! `ingest_obs_per_s` / `replay_obs_per_s` rates and a
+//! `recovery_bit_identical` flag (replaying a log must rebuild the exact
+//! serialized model the live store published).
+
+use perfpred_bench::timing::{group, Recorder};
+use perfpred_core::ServerArch;
+use perfpred_store::{
+    LogOptions, Observation, ObservationLog, ObservationStore, RefitOptions, Refitter,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// A scratch directory under the system temp dir, cleared on entry.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "perfpred-bench-store-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic AppServF measurement sweep shaped like the paper's curves:
+/// exponential MRT growth below saturation, linear above — the same shape
+/// the store's integration tests use.
+fn trace(scale: f64, count: u32) -> Vec<Observation> {
+    let m = 1_000.0 / 7_020.0;
+    let n_star = 186.0 / m;
+    (0..count)
+        .map(|i| {
+            let frac = 0.15 + 1.45 * f64::from(i % 29) / 28.0;
+            let n = (frac * n_star).round().max(1.0);
+            let mrt = if frac < 1.0 {
+                scale * 20.0 * (1.8 * frac).exp()
+            } else {
+                scale * (7.0 * n / 1.3 - 6_000.0).max(100.0)
+            };
+            let mut o = Observation::typical("AppServF", n as u32, mrt);
+            if frac <= 0.9 {
+                o.throughput_rps = m * n;
+            }
+            o.timestamp_us = u64::from(i) * 250_000;
+            o
+        })
+        .collect()
+}
+
+fn opts() -> RefitOptions {
+    RefitOptions {
+        refit_window: 128,
+        ..RefitOptions::default()
+    }
+}
+
+/// Ingest through the full pipeline: validate + append + fold + (every
+/// window) refit + publish. The derived obs/s rate is the acceptance
+/// number — the store must sustain ≥ 50k obs/s.
+fn bench_ingest(rec: &mut Recorder) {
+    group("store_ingest");
+    let servers = [ServerArch::app_serv_f()];
+    const TOTAL: u32 = 16_384;
+    const BATCH: usize = 512;
+    let data = trace(1.0, TOTAL);
+
+    let dir = scratch("ingest");
+    let store = ObservationStore::open(&dir, LogOptions::default(), &servers, opts())
+        .expect("open scratch store")
+        .0;
+    let stat = rec_bench_once(rec, "store_ingest/16384_obs_batch_512", 10, || {
+        for chunk in data.chunks(BATCH) {
+            store.ingest(black_box(chunk)).expect("ingest");
+        }
+    });
+    let obs_per_s = f64::from(TOTAL) / stat;
+    rec.note("ingest_obs_per_s", obs_per_s);
+    rec.note("ingest_batch", BATCH);
+    println!("store_ingest: {obs_per_s:.0} obs/s through append+fold+refit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // In-memory variant isolates the fold/refit cost from the log write.
+    let store = ObservationStore::in_memory(&servers, opts());
+    let stat = rec_bench_once(rec, "store_ingest/16384_obs_in_memory", 10, || {
+        for chunk in data.chunks(BATCH) {
+            store.ingest(black_box(chunk)).expect("ingest");
+        }
+    });
+    rec.note("ingest_in_memory_obs_per_s", f64::from(TOTAL) / stat);
+}
+
+/// Raw segmented-log append (no folding), and replay of the result.
+fn bench_log(rec: &mut Recorder) {
+    group("store_log");
+    const TOTAL: u32 = 16_384;
+    let data = trace(1.0, TOTAL);
+
+    let dir = scratch("log");
+    let (mut log, _) =
+        ObservationLog::open(&dir, LogOptions::default(), |_| {}).expect("open scratch log");
+    let stat = rec_bench_once(rec, "store_log/append_16384", 10, || {
+        log.append_batch(black_box(&data)).expect("append");
+    });
+    rec.note("log_append_obs_per_s", f64::from(TOTAL) / stat);
+    log.sync().expect("sync");
+    let records = log.len();
+    drop(log);
+
+    // Replay rate: scan + CRC-check + decode every surviving record.
+    let stat = rec_bench_once(rec, "store_log/replay", 10, || {
+        let mut n = 0u64;
+        let (_, report) =
+            ObservationLog::open(&dir, LogOptions::default(), |_| n += 1).expect("replay");
+        assert_eq!(n, report.records);
+        black_box(report.records)
+    });
+    rec.note("replay_obs_per_s", records as f64 / stat);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One full refit over an established anchor grid — the latency a window
+/// boundary or drift trigger pays while holding the store lock.
+fn bench_refit(rec: &mut Recorder) {
+    group("store_refit");
+    let servers = ServerArch::case_study_servers();
+    let mut refitter = Refitter::new(&servers, opts());
+    for obs in trace(1.0, 2_048) {
+        refitter.fold(&obs);
+    }
+    rec.bench("store_refit/fit_established_grid", 50, || {
+        black_box(refitter.fit()).expect("established grid fits")
+    });
+}
+
+/// Recovery bit-identity: replaying the log must rebuild byte-for-byte
+/// the serialized model the live store last published.
+fn check_recovery(rec: &mut Recorder) {
+    group("store_recovery");
+    let servers = [ServerArch::app_serv_f()];
+    let dir = scratch("recovery");
+    let live = ObservationStore::open(&dir, LogOptions::default(), &servers, opts())
+        .expect("open live store")
+        .0;
+    for chunk in trace(1.0, 1_024).chunks(100) {
+        live.ingest(chunk).expect("ingest");
+    }
+    live.sync().expect("sync");
+    let live_version = live.registry().version();
+    let live_model = live.current_model_serialized().expect("live model");
+    drop(live);
+
+    let (recovered, report) = ObservationStore::open(&dir, LogOptions::default(), &servers, opts())
+        .expect("reopen store");
+    let identical = recovered.registry().version() == live_version
+        && recovered.current_model_serialized().as_deref() == Some(live_model.as_str());
+    println!(
+        "store_recovery: {} records -> version {} (bit-identical: {identical})",
+        report.records, live_version,
+    );
+    rec.note("recovery_records", report.records);
+    rec.note("recovery_version", live_version);
+    rec.note("recovery_bit_identical", identical);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(identical, "replayed model differs from the live fit");
+}
+
+/// Runs [`Recorder::bench`] and returns the mean sample seconds so the
+/// caller can derive a rate note.
+fn rec_bench_once<R>(rec: &mut Recorder, name: &str, samples: u32, f: impl FnMut() -> R) -> f64 {
+    let stat = perfpred_bench::timing::bench(name, samples, f);
+    let mean = stat.mean_s;
+    rec.record(stat);
+    mean
+}
+
+fn main() {
+    let mut rec = Recorder::new("store");
+    bench_ingest(&mut rec);
+    bench_log(&mut rec);
+    bench_refit(&mut rec);
+    check_recovery(&mut rec);
+    rec.write();
+}

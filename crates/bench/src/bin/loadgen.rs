@@ -11,12 +11,20 @@
 //! rejection and error rates) are printed and merged into `BENCH.json`
 //! under `section.serve` via [`perfpred_bench::timing::Recorder`].
 //!
+//! With `--report-observations` the generator also closes the daemon's
+//! continuous-refit loop: the key space spreads across 0.15–1.55 of the
+//! server's saturation point, each prediction's `(clients, mrt_ms,
+//! throughput_rps)` is fed back to `POST /observe` in batches, and the
+//! run ends by reading `GET /models` to report how many model versions
+//! the ingested observations produced.
+//!
 //! The client speaks raw HTTP/1.1 over `TcpStream` on purpose: the bench
 //! crate must not depend on `perfpred-serve` (the daemon depends on this
 //! crate for calibration), and a generator that hand-rolls its protocol
 //! also exercises the daemon's parser from the outside.
 
 use perfpred_bench::timing::Recorder;
+use perfpred_core::Json;
 use perfpred_desim::SimRng;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -43,6 +51,13 @@ USAGE: loadgen --port N [OPTIONS]
   --seed N             think-time RNG seed (default 1)
   --quick              2 s / 16 clients smoke settings
   --min-rps X          exit 1 unless measured throughput reaches X
+  --report-observations
+                       feed each prediction back to POST /observe (keys
+                       then span 0.15-1.55 of the server's saturation
+                       point, and admission control is bypassed so
+                       saturated points still answer)
+  --min-refits N       exit 1 unless at least N refits were triggered
+                       (implies --report-observations)
   --help               print this text
 ";
 
@@ -58,6 +73,8 @@ struct Config {
     goal_ms: Option<f64>,
     seed: u64,
     min_rps: Option<f64>,
+    report_observations: bool,
+    min_refits: Option<u64>,
 }
 
 impl Default for Config {
@@ -73,6 +90,8 @@ impl Default for Config {
             goal_ms: None,
             seed: 1,
             min_rps: None,
+            report_observations: false,
+            min_refits: None,
         }
     }
 }
@@ -143,6 +162,11 @@ fn parse_args() -> Result<Config, String> {
             "--min-rps" => {
                 cfg.min_rps = Some(parsed(&value(&mut args, "--min-rps")?, "--min-rps")?);
             }
+            "--report-observations" => cfg.report_observations = true,
+            "--min-refits" => {
+                cfg.min_refits = Some(parsed(&value(&mut args, "--min-refits")?, "--min-refits")?);
+                cfg.report_observations = true;
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -152,15 +176,40 @@ fn parse_args() -> Result<Config, String> {
     Ok(cfg)
 }
 
+/// The client count behind one key. Plain runs use small distinct cache
+/// keys; observation-reporting runs spread keys across 0.15–1.55 of the
+/// server's saturation point so the refitter sees both sides of the
+/// transition region (the §4.2 two-points-per-equation minimum).
+fn clients_for(cfg: &Config, key: usize) -> u32 {
+    if !cfg.report_observations {
+        return 50 + 50 * (key as u32); // 50, 100, 150, ...
+    }
+    let mx = perfpred_core::ServerArch::case_study_servers()
+        .iter()
+        .find(|s| s.name == cfg.server)
+        .map_or(186.0, |s| s.max_throughput_rps);
+    let n_star = mx / (1_000.0 / 7_020.0);
+    let steps = cfg.key_space.max(2) - 1;
+    let frac = 0.15 + 1.40 * (key as f64) / steps as f64;
+    ((frac * n_star).round() as u32).max(1)
+}
+
 /// The request body for one key in the key space.
 fn body_for(cfg: &Config, key: usize) -> String {
-    let clients = 50 + 50 * (key as u32); // 50, 100, 150, ... — distinct cache keys
+    let clients = clients_for(cfg, key);
     let goal = cfg
         .goal_ms
         .map(|g| format!(", \"goal_ms\": {g}"))
         .unwrap_or_default();
+    // Reporting runs drive saturated operating points on purpose —
+    // admission control would 503 them, so it is bypassed.
+    let admission = if cfg.report_observations {
+        ", \"admission\": false"
+    } else {
+        ""
+    };
     format!(
-        "{{\"method\": \"{}\", \"server\": \"{}\", \"clients\": {clients}{goal}}}",
+        "{{\"method\": \"{}\", \"server\": \"{}\", \"clients\": {clients}{goal}{admission}}}",
         cfg.method, cfg.server
     )
 }
@@ -172,6 +221,8 @@ struct Tally {
     ok: u64,
     rejected: u64,
     errors: u64,
+    observations: u64,
+    refits: u64,
 }
 
 /// A persistent keep-alive connection that reconnects on failure.
@@ -200,17 +251,31 @@ impl Connection {
 
     /// Sends one POST and reads the response; returns the status code.
     fn post(&mut self, path: &str, body: &str) -> std::io::Result<u16> {
-        let reader = self.ensure()?;
+        self.post_capture(path, body).map(|(status, _)| status)
+    }
+
+    /// Sends one POST and returns `(status, body)`.
+    fn post_capture(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
         let request = format!(
             "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
+        self.roundtrip(&request)
+    }
+
+    /// Sends one GET and returns `(status, body)`.
+    fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.roundtrip(&format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n"))
+    }
+
+    fn roundtrip(&mut self, request: &str) -> std::io::Result<(u16, String)> {
+        let reader = self.ensure()?;
         if let Err(e) = reader.get_mut().write_all(request.as_bytes()) {
             self.stream = None; // force reconnect next call
             return Err(e);
         }
         match read_response(reader) {
-            Ok(status) => Ok(status),
+            Ok(found) => Ok(found),
             Err(e) => {
                 self.stream = None;
                 Err(e)
@@ -219,9 +284,9 @@ impl Connection {
     }
 }
 
-/// Reads one response (status line + headers + Content-Length body),
-/// discarding the body. Returns the status code.
-fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+/// Reads one response (status line + headers + Content-Length body).
+/// Returns the status code and the body text.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -246,11 +311,57 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
             content_length = v;
         }
     }
+    let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        let mut sink = vec![0u8; content_length];
-        reader.read_exact(&mut sink)?;
+        reader.read_exact(&mut body)?;
     }
-    Ok(status)
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Observations a reporting client has predicted but not yet fed back:
+/// `(clients, mrt_ms, throughput_rps)`.
+type Pending = Vec<(u32, f64, f64)>;
+
+/// How many predictions a reporting client accumulates before one
+/// `POST /observe` batch.
+const OBSERVE_BATCH: usize = 32;
+
+/// Feeds accumulated predictions back to `POST /observe` as one batch,
+/// counting accepted observations and triggered refits into the tally.
+fn flush_observations(
+    conn: &mut Connection,
+    cfg: &Config,
+    pending: &mut Pending,
+    tally: &mut Tally,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let items: Vec<String> = pending
+        .iter()
+        .map(|(clients, mrt, tput)| {
+            format!(
+                "{{\"server\": \"{}\", \"clients\": {clients}, \
+                 \"mrt_ms\": {mrt}, \"throughput_rps\": {tput}}}",
+                cfg.server
+            )
+        })
+        .collect();
+    let body = format!("{{\"batch\": [{}]}}", items.join(", "));
+    pending.clear();
+    match conn.post_capture("/observe", &body) {
+        Ok((200, text)) => {
+            if let Ok(j) = Json::parse(&text) {
+                if let Some(n) = j.get("accepted").and_then(Json::as_f64) {
+                    tally.observations += n as u64;
+                }
+                if let Some(refits) = j.get("refits").and_then(Json::as_arr) {
+                    tally.refits += refits.len() as u64;
+                }
+            }
+        }
+        _ => tally.errors += 1,
+    }
 }
 
 /// One client thread's closed loop.
@@ -259,21 +370,42 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
     let mut conn = Connection::new(&cfg.addr);
     let mut tally = Tally::default();
     let mut key = id % cfg.key_space;
+    let mut pending: Pending = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         if cfg.think_ms > 0.0 {
             let think = rng.exp(cfg.think_ms);
             std::thread::sleep(Duration::from_secs_f64(think / 1e3));
         }
         let body = body_for(cfg, key);
+        let clients = clients_for(cfg, key);
         key = (key + 1) % cfg.key_space;
         let started = Instant::now();
-        match conn.post("/predict", &body) {
-            Ok(status) => {
+        match conn.post_capture("/predict", &body) {
+            Ok((status, text)) => {
                 tally
                     .latencies_ms
                     .push(started.elapsed().as_secs_f64() * 1e3);
                 match status {
-                    200 => tally.ok += 1,
+                    200 => {
+                        tally.ok += 1;
+                        if cfg.report_observations {
+                            if let Some(p) = Json::parse(&text)
+                                .ok()
+                                .as_ref()
+                                .and_then(|j| j.get("prediction"))
+                            {
+                                if let (Some(mrt), Some(tput)) = (
+                                    p.get("mrt_ms").and_then(Json::as_f64),
+                                    p.get("throughput_rps").and_then(Json::as_f64),
+                                ) {
+                                    pending.push((clients, mrt, tput));
+                                }
+                            }
+                            if pending.len() >= OBSERVE_BATCH {
+                                flush_observations(&mut conn, cfg, &mut pending, &mut tally);
+                            }
+                        }
+                    }
                     503 => tally.rejected += 1,
                     _ => tally.errors += 1,
                 }
@@ -285,6 +417,7 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
             }
         }
     }
+    flush_observations(&mut conn, cfg, &mut pending, &mut tally);
     tally
 }
 
@@ -347,8 +480,28 @@ fn main() {
         merged.ok += t.ok;
         merged.rejected += t.rejected;
         merged.errors += t.errors;
+        merged.observations += t.observations;
+        merged.refits += t.refits;
     }
     let elapsed = started.elapsed().as_secs_f64();
+
+    // The end-of-run model state, when this run fed the refit loop.
+    let model_version = if cfg.report_observations {
+        let version = warm
+            .get("/models")
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .and_then(|(_, text)| Json::parse(&text).ok())
+            .and_then(|j| j.get("current").and_then(Json::as_f64))
+            .map_or(0, |v| v as u64);
+        println!(
+            "loadgen: reported {} observations -> {} refits, model version {}",
+            merged.observations, merged.refits, version
+        );
+        Some(version)
+    } else {
+        None
+    };
 
     let total = merged.ok + merged.rejected + merged.errors;
     let throughput = merged.latencies_ms.len() as f64 / elapsed;
@@ -373,7 +526,14 @@ fn main() {
     );
     println!("loadgen: latency p50 {p50:.3} ms   p95 {p95:.3} ms   p99 {p99:.3} ms");
 
-    let mut rec = Recorder::new("serve");
+    // Observation-reporting runs are a different workload (saturated keys,
+    // admission bypassed) — they keep their own BENCH.json slice so the
+    // plain serving trajectory stays comparable across runs.
+    let mut rec = Recorder::new(if cfg.report_observations {
+        "serve.observe"
+    } else {
+        "serve"
+    });
     rec.note("clients", cfg.clients);
     rec.note("duration_s", elapsed);
     rec.note("think_ms", cfg.think_ms);
@@ -388,6 +548,12 @@ fn main() {
     rec.note("rejected", merged.rejected);
     rec.note("rejection_rate", rejection_rate);
     rec.note("errors", merged.errors);
+    if let Some(version) = model_version {
+        rec.note("report_observations", true);
+        rec.note("observations_reported", merged.observations);
+        rec.note("refits_triggered", merged.refits);
+        rec.note("model_version", version);
+    }
     rec.write();
 
     if merged.errors > total / 100 {
@@ -400,5 +566,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("loadgen: PASS — {throughput:.0} req/s >= {min:.0} req/s");
+    }
+    if let Some(min) = cfg.min_refits {
+        if merged.refits < min {
+            eprintln!(
+                "loadgen: FAIL — {} refits below the {min} refit floor",
+                merged.refits
+            );
+            std::process::exit(1);
+        }
+        println!("loadgen: PASS — {} refits >= {min}", merged.refits);
     }
 }

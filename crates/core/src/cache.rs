@@ -28,7 +28,13 @@
 //! Entries never expire on their own — the wrapped models are pure
 //! functions of their calibration data. If the underlying model is
 //! re-calibrated, call [`PredictionCache::clear`] (or drop the cache and
-//! wrap the new model). Hit/miss counts are exposed both per-cache
+//! wrap the new model). Models that are *continuously* re-calibrated (the
+//! serve daemon's registry-backed historical model) instead carry a
+//! **model version** in every key: [`PredictionCache::set_model_version`]
+//! makes all entries memoized under older versions unreachable at once,
+//! without flushing in-flight work — a request already past its lookup
+//! keeps the version it started with, and stale entries simply age out of
+//! the LRU. Hit/miss counts are exposed both per-cache
 //! ([`PredictionCache::stats`]) and through the global [`crate::metrics`]
 //! registry as `predcache.hits` / `predcache.misses`.
 //!
@@ -112,17 +118,20 @@ struct ClassKey {
     clients: u32,
 }
 
-/// Full cache key: server identity plus the per-class workload shape
-/// (which also pins down totals like buy-% exactly).
+/// Full cache key: the model version the entry was solved under, the
+/// server identity, and the per-class workload shape (which also pins
+/// down totals like buy-% exactly).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
+    version: u64,
     server: String,
     classes: Vec<ClassKey>,
 }
 
 impl Key {
-    fn new(server: &ServerArch, workload: &Workload, quantum: u32) -> Key {
+    fn new(version: u64, server: &ServerArch, workload: &Workload, quantum: u32) -> Key {
         Key {
+            version,
             server: server.name.clone(),
             classes: workload
                 .classes
@@ -180,6 +189,9 @@ pub struct PredictionCache<M: PerformanceModel> {
     shards: Vec<RwLock<HashMap<Key, Entry>>>,
     /// Logical clock for LRU stamps: bumped once per lookup/insert.
     tick: AtomicU64,
+    /// The model version stamped into new keys; entries keyed under older
+    /// versions become unreachable when this advances.
+    model_version: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -202,6 +214,7 @@ impl<M: PerformanceModel> PredictionCache<M> {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             tick: AtomicU64::new(0),
+            model_version: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -210,6 +223,22 @@ impl<M: PerformanceModel> PredictionCache<M> {
     /// The wrapped model.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// The model version currently stamped into keys (0 until a hot swap).
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::Relaxed)
+    }
+
+    /// Advances the model version stamped into keys.
+    ///
+    /// Call when the wrapped model's answers change (a registry hot swap):
+    /// every entry memoized under an older version is immediately
+    /// unreachable — no flush, no write locks, and lookups already past
+    /// their key construction finish against the version they started
+    /// with. Stale entries are evicted by the normal LRU pressure.
+    pub fn set_model_version(&self, version: u64) {
+        self.model_version.store(version, Ordering::Relaxed);
     }
 
     /// Hit/miss totals since construction (or the last [`clear`]).
@@ -273,7 +302,12 @@ impl<M: PerformanceModel> PredictionCache<M> {
         server: &ServerArch,
         workload: &Workload,
     ) -> Option<Result<Prediction, PredictError>> {
-        let key = Key::new(server, workload, self.options.client_quantum);
+        let key = Key::new(
+            self.model_version(),
+            server,
+            workload,
+            self.options.client_quantum,
+        );
         let found = self.lookup(&key);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -295,7 +329,12 @@ impl<M: PerformanceModel> PredictionCache<M> {
         workload: &Workload,
         result: Result<Prediction, PredictError>,
     ) {
-        let key = Key::new(server, workload, self.options.client_quantum);
+        let key = Key::new(
+            self.model_version(),
+            server,
+            workload,
+            self.options.client_quantum,
+        );
         self.misses.fetch_add(1, Ordering::Relaxed);
         metrics::counter("predcache.misses").incr();
         self.store(key, result);
@@ -356,7 +395,12 @@ impl<M: PerformanceModel> PerformanceModel for PredictionCache<M> {
         server: &ServerArch,
         workload: &Workload,
     ) -> Result<Prediction, PredictError> {
-        let key = Key::new(server, workload, self.options.client_quantum);
+        let key = Key::new(
+            self.model_version(),
+            server,
+            workload,
+            self.options.client_quantum,
+        );
         if let Some(cached) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             metrics::counter("predcache.hits").incr();
@@ -686,6 +730,29 @@ mod tests {
         // 200 loads quantize to multiples of 25: 1..=200 rounds to
         // {25, 50, ..., 200} — at most 8+1 distinct keys ever solved.
         assert!(cache.len() <= 9, "len {}", cache.len());
+    }
+
+    #[test]
+    fn model_version_swap_invalidates_without_flushing() {
+        let cache = PredictionCache::new(CountingModel::new());
+        let w = Workload::typical(250);
+        assert_eq!(cache.model_version(), 0);
+        let v0 = cache.predict(&server(), &w).unwrap();
+        assert_eq!(cache.inner().solve_count(), 1);
+
+        // A hot swap: old entries become unreachable, nothing is flushed.
+        cache.set_model_version(3);
+        assert_eq!(cache.model_version(), 3);
+        assert!(cache.peek(&server(), &w).is_none(), "stale hit after swap");
+        let v3 = cache.predict(&server(), &w).unwrap();
+        assert_eq!(cache.inner().solve_count(), 2, "swap must force a re-solve");
+        assert_eq!(v0.mrt_ms.to_bits(), v3.mrt_ms.to_bits()); // same pure model
+        assert_eq!(cache.len(), 2, "old entry survives until LRU evicts it");
+
+        // In-flight work keyed under the old version can still land and be
+        // read back under that version.
+        cache.set_model_version(0);
+        assert!(cache.peek(&server(), &w).is_some());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Crash-safe file writes shared by every durable component.
+//!
+//! Both the observation store's manifest and the historical-model files in
+//! `perfpred-hydra` must survive a crash mid-write: a direct
+//! `fs::write(path, ..)` truncates the destination first, so a crash
+//! between the truncate and the final flush leaves a torn file behind.
+//! [`atomic_write`] takes the classic temp-file + rename route instead —
+//! the destination either holds its old contents or the complete new
+//! ones, never a prefix.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// The bytes are written to a sibling temp file (same directory, so the
+/// rename cannot cross filesystems), fsync'd, and renamed over `path`;
+/// on Unix the directory is fsync'd too so the rename itself is durable.
+/// A crash at any point leaves either the old file or the new one.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // Process-unique temp name: concurrent writers of *different* targets
+    // never collide, and a stale temp from a crashed run is overwritten.
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+
+    let mut tmp = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    tmp.write_all(contents)?;
+    tmp.sync_all()?;
+    drop(tmp);
+
+    if let Err(e) = std::fs::rename(&tmp_path, path) {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(e);
+    }
+    if let Some(d) = dir {
+        sync_dir(d)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so a just-completed rename/create in it is durable.
+/// A no-op on platforms where directories cannot be opened for sync.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(f) => match f.sync_all() {
+            Ok(()) => Ok(()),
+            // Some filesystems refuse fsync on directory handles; the
+            // write itself already succeeded, so don't fail the caller.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(e) if e.kind() == io::ErrorKind::PermissionDenied => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perfpred-fsutil-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_files_and_replaces_existing_ones() {
+        let dir = scratch("replace");
+        let path = dir.join("target.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch("clean");
+        atomic_write(&dir.join("a"), b"x").unwrap();
+        atomic_write(&dir.join("b"), b"y").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2, "{names:?}");
+        assert!(!names.iter().any(|n| n.contains(".tmp.")), "{names:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_paths_without_a_file_name() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

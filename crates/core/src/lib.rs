@@ -23,6 +23,7 @@ pub mod cache;
 pub mod distribution;
 pub mod error;
 pub mod fit;
+pub mod fsutil;
 pub mod json;
 pub mod metrics;
 pub mod model;

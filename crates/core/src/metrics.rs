@@ -34,6 +34,18 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
+/// Well-known metric names shared across crates, so producers (the
+/// observation store) and consumers (the serve daemon's `/metrics`
+/// exposition, smoke tests) agree on spelling without a dependency edge.
+pub mod names {
+    /// Counts every observation folded into the continuous refitter —
+    /// rendered as `store_observations_total` in the exposition.
+    pub const STORE_OBSERVATIONS_TOTAL: &str = "store.observations_total";
+    /// Counts every successful refit + model publish — rendered as
+    /// `store_refits_total` in the exposition.
+    pub const STORE_REFITS_TOTAL: &str = "store.refits_total";
+}
+
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
 pub struct Counter {

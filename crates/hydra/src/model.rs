@@ -69,6 +69,7 @@ struct PercentileModel {
 #[derive(Debug, Clone)]
 pub struct HistoricalModelBuilder {
     think_ms: f64,
+    gradient: Option<f64>,
     observations: Vec<ServerObservations>,
     r3_points: Vec<(f64, f64)>,
     class_dev: [f64; 2],
@@ -79,6 +80,7 @@ impl Default for HistoricalModelBuilder {
     fn default() -> Self {
         HistoricalModelBuilder {
             think_ms: 7_000.0,
+            gradient: None,
             observations: Vec::new(),
             r3_points: Vec::new(),
             class_dev: [1.0, 1.0],
@@ -97,6 +99,20 @@ impl HistoricalModelBuilder {
     /// Adds one established server's observations.
     pub fn observations(mut self, obs: ServerObservations) -> Self {
         self.observations.push(obs);
+        self
+    }
+
+    /// Pins the clients→throughput gradient `m` directly instead of
+    /// fitting it from pooled throughput points.
+    ///
+    /// This is the incremental-fit entry point: a continuous refitter
+    /// (`perfpred-store`) maintains the least-squares sums `Σn·x` / `Σn²`
+    /// itself as observations stream in, and hands the resulting gradient
+    /// here — folding points one at a time then reproduces a batch
+    /// calibration over the same data exactly, because the builder no
+    /// longer re-derives `m` from a (lossy) point set.
+    pub fn gradient(mut self, m: f64) -> Self {
+        self.gradient = Some(m);
         self
     }
 
@@ -132,17 +148,28 @@ impl HistoricalModelBuilder {
                 "historical model needs at least one established server".into(),
             ));
         }
-        // Pooled throughput gradient; fall back to the think-time estimate
-        // when no throughput samples were recorded.
-        let pooled: Vec<(f64, f64)> = self
-            .observations
-            .iter()
-            .flat_map(|o| o.throughput_points.iter().copied())
-            .collect();
-        let m = if pooled.is_empty() {
-            ThroughputRelation::from_think_time(self.think_ms).m
-        } else {
-            ThroughputRelation::fit(&pooled)?.m
+        // A pinned gradient wins; otherwise fit the pooled throughput
+        // points, falling back to the think-time estimate when no
+        // throughput samples were recorded.
+        let m = match self.gradient {
+            Some(m) if m.is_finite() && m > 0.0 => m,
+            Some(m) => {
+                return Err(PredictError::Calibration(format!(
+                    "pinned gradient must be finite and positive, got {m}"
+                )))
+            }
+            None => {
+                let pooled: Vec<(f64, f64)> = self
+                    .observations
+                    .iter()
+                    .flat_map(|o| o.throughput_points.iter().copied())
+                    .collect();
+                if pooled.is_empty() {
+                    ThroughputRelation::from_think_time(self.think_ms).m
+                } else {
+                    ThroughputRelation::fit(&pooled)?.m
+                }
+            }
         };
 
         let mut established = Vec::with_capacity(self.observations.len());
@@ -608,6 +635,28 @@ mod tests {
         assert!(m
             .predict_percentile(&ServerArch::app_serv_f(), &Workload::typical(100), 90.0)
             .is_err());
+    }
+
+    #[test]
+    fn pinned_gradient_overrides_pooled_fit() {
+        // The obs() helper records throughput points implying m ≈ 0.1428;
+        // a pinned gradient must win over that pooled fit.
+        let m = HistoricalModel::builder()
+            .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+            .gradient(0.125)
+            .build()
+            .unwrap();
+        assert_eq!(m.gradient(), 0.125);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                HistoricalModel::builder()
+                    .observations(obs("AppServF", 186.0, 84.0, 1.0e-4))
+                    .gradient(bad)
+                    .build()
+                    .is_err(),
+                "gradient {bad} accepted"
+            );
+        }
     }
 
     #[test]

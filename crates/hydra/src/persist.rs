@@ -27,6 +27,7 @@ use crate::model::{HistoricalModel, HistoricalModelBuilder};
 use crate::relationship1::Relationship1;
 use perfpred_core::PredictError;
 use std::fmt::Write as _;
+use std::path::Path;
 
 fn perr(line_no: usize, msg: impl std::fmt::Display) -> PredictError {
     PredictError::Calibration(format!("model file line {line_no}: {msg}"))
@@ -231,6 +232,25 @@ pub fn parse(text: &str) -> Result<HistoricalModel, PredictError> {
     builder.build()
 }
 
+/// Writes a calibrated model to `path` crash-safely.
+///
+/// Delegates to [`perfpred_core::fsutil::atomic_write`] (the same helper
+/// behind the observation store's manifest): the bytes land in a sibling
+/// temp file that is fsync'd and renamed over `path`, so a crash
+/// mid-write can never leave a torn model file — the previous calibration
+/// survives intact until the new one is fully durable.
+pub fn save(model: &HistoricalModel, path: &Path) -> std::io::Result<()> {
+    perfpred_core::fsutil::atomic_write(path, serialize(model).as_bytes())
+}
+
+/// Reads a model file written by [`save`] (or any [`serialize`] output).
+pub fn load(path: &Path) -> Result<HistoricalModel, PredictError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        PredictError::Calibration(format!("cannot read model file {}: {e}", path.display()))
+    })?;
+    parse(&text)
+}
+
 /// Fidelity check used by tests: maximum relative parameter difference
 /// between two models' established fits.
 pub fn max_fit_divergence(a: &HistoricalModel, b: &HistoricalModel) -> f64 {
@@ -346,6 +366,33 @@ mod tests {
         let b = m2.predict_percentile(&f, &w, 90.0).unwrap();
         assert!((a - b).abs() / a < 1e-6);
         let _ = m;
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("perfpred-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.hist");
+        let m = model();
+        save(&m, &path).unwrap();
+        // Overwrite with a re-save: atomic replace, still parseable.
+        save(&m, &path).unwrap();
+        let m2 = load(&path).unwrap();
+        assert!(max_fit_divergence(&m, &m2) < 1e-9);
+        // No temp droppings next to the model file.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_reports_missing_files_with_the_path() {
+        let err = load(Path::new("/nonexistent/perfpred/model.hist")).unwrap_err();
+        assert!(err.to_string().contains("model.hist"), "{err}");
     }
 
     #[test]

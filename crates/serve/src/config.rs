@@ -63,6 +63,14 @@ pub struct ServeConfig {
     pub models: ModelSpec,
     /// Seed for calibrated model specs.
     pub seed: u64,
+    /// Directory for the durable observation log. `None` keeps the
+    /// observation store in memory (refits still run, nothing persists).
+    pub store_dir: Option<PathBuf>,
+    /// Observations between scheduled refits.
+    pub refit_window: usize,
+    /// Mean relative error over recent observations that triggers an
+    /// early (drift) refit; `0` disables drift detection.
+    pub drift_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +92,9 @@ impl Default for ServeConfig {
             },
             models: ModelSpec::Paper,
             seed: perfpred_bench::context::DEFAULT_SEED,
+            store_dir: None,
+            refit_window: 128,
+            drift_threshold: 0.25,
         }
     }
 }
@@ -107,6 +118,10 @@ USAGE: perfpred-serve [OPTIONS]
   --client-quantum N   cache client-count quantum (default 1 = exact)
   --model SPEC         paper | calibrated-quick | calibrated (default paper)
   --seed N             calibration seed (default: the paper's)
+  --store-dir PATH     durable observation log directory; unset = in-memory
+  --refit-window N     observations between scheduled refits (default 128)
+  --drift-threshold X  mean relative error triggering an early refit,
+                       0 disables drift detection (default 0.25)
   --help               print this text
 ";
 
@@ -166,6 +181,24 @@ impl ServeConfig {
                 }
                 "--model" => cfg.models = ModelSpec::parse(&value(&mut args, "--model")?)?,
                 "--seed" => cfg.seed = parsed(&value(&mut args, "--seed")?, "--seed")?,
+                "--store-dir" => {
+                    cfg.store_dir = Some(PathBuf::from(value(&mut args, "--store-dir")?));
+                }
+                "--refit-window" => {
+                    cfg.refit_window =
+                        parsed::<usize>(&value(&mut args, "--refit-window")?, "--refit-window")?
+                            .max(1);
+                }
+                "--drift-threshold" => {
+                    let t: f64 =
+                        parsed(&value(&mut args, "--drift-threshold")?, "--drift-threshold")?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!(
+                            "--drift-threshold must be a non-negative number, got {t}"
+                        ));
+                    }
+                    cfg.drift_threshold = t;
+                }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
         }
@@ -218,6 +251,12 @@ mod tests {
             "42",
             "--port-file",
             "/tmp/p",
+            "--store-dir",
+            "/tmp/obs",
+            "--refit-window",
+            "32",
+            "--drift-threshold",
+            "0.4",
         ])
         .unwrap();
         assert_eq!(cfg.port, 0);
@@ -234,6 +273,12 @@ mod tests {
             cfg.port_file.as_deref(),
             Some(std::path::Path::new("/tmp/p"))
         );
+        assert_eq!(
+            cfg.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/obs"))
+        );
+        assert_eq!(cfg.refit_window, 32);
+        assert!((cfg.drift_threshold - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -247,6 +292,9 @@ mod tests {
             .unwrap_err()
             .contains("threshold"));
         assert!(parse(&["--model", "nope"]).unwrap_err().contains("nope"));
+        assert!(parse(&["--drift-threshold", "-1"])
+            .unwrap_err()
+            .contains("drift-threshold"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("--help"));
         assert!(parse(&["--help"]).unwrap_err().contains("USAGE"));
     }

@@ -15,13 +15,20 @@
 //!
 //! * `POST /predict` — server architecture + workload → response
 //!   time/throughput prediction, with SLA-threshold admission control;
+//! * `POST /observe` — ingest measured operating points (single or
+//!   batched) into the [`perfpred_store`] observation log; every full
+//!   refit window (or on detected drift) the historical model is refitted
+//!   and hot-swapped without dropping in-flight work;
+//! * `GET /models` — the versioned model registry: current version,
+//!   triggers, observation counts;
 //! * `POST /plan` — SLA workload set + pool → resource-manager allocation
 //!   (via [`perfpred_resman::planner::plan`]);
 //! * `GET /metrics` — Prometheus-style text exposition of the
 //!   [`perfpred_core::metrics`] registry, including per-endpoint latency
-//!   histograms;
+//!   histograms and the serving `serve_model_version`;
 //! * `GET /healthz` — liveness;
-//! * `POST /shutdown` — graceful drain (SIGTERM/ctrl-c do the same).
+//! * `POST /shutdown` — graceful drain (SIGTERM/ctrl-c do the same),
+//!   fsyncing the observation log tail last.
 //!
 //! ## Serving stack
 //!

@@ -6,6 +6,8 @@ use perfpred_serve::batch::JobQueue;
 use perfpred_serve::router::App;
 use perfpred_serve::shutdown::install_signal_handlers;
 use perfpred_serve::{ModelHost, ServeConfig, Server, Shutdown};
+use perfpred_store::{LogOptions, ObservationStore, RefitOptions};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -29,20 +31,58 @@ fn main() {
 
     install_signal_handlers();
 
+    // The observation store comes up first: replaying a durable log may
+    // already publish model versions the host then serves from.
+    let refit_opts = RefitOptions {
+        refit_window: cfg.refit_window,
+        drift_threshold: cfg.drift_threshold,
+        ..RefitOptions::default()
+    };
+    let servers = perfpred_bench::context::Experiments::servers();
+    let store = match &cfg.store_dir {
+        None => Arc::new(ObservationStore::in_memory(&servers, refit_opts)),
+        Some(dir) => {
+            let started = Instant::now();
+            match ObservationStore::open(dir, LogOptions::default(), &servers, refit_opts) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "observation log {}: {} records replayed from {} segments in {:.2}s{}",
+                        dir.display(),
+                        report.records,
+                        report.segments,
+                        started.elapsed().as_secs_f64(),
+                        if report.torn_bytes > 0 {
+                            format!(" ({} torn bytes truncated)", report.torn_bytes)
+                        } else {
+                            String::new()
+                        },
+                    );
+                    Arc::new(store)
+                }
+                Err(e) => {
+                    eprintln!("cannot open observation store {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+
     eprintln!("building models ({:?}, seed {}) ...", cfg.models, cfg.seed);
     let started = Instant::now();
-    let host = ModelHost::build(cfg.models, cfg.seed, &cfg.cache);
+    let host = ModelHost::build(cfg.models, cfg.seed, &cfg.cache, &store);
     eprintln!(
-        "models ready in {:.2}s: {}",
+        "models ready in {:.2}s: {} (model version {})",
         started.elapsed().as_secs_f64(),
-        host.available().join(", ")
+        host.available().join(", "),
+        store.registry().version(),
     );
 
-    let app = App::new(
+    let app = App::with_store(
         host,
         admission,
         JobQueue::new(cfg.queue_depth),
         Shutdown::new(),
+        store,
     );
     let server = match Server::bind(
         &cfg.host,

@@ -7,9 +7,10 @@ use perfpred_core::{
     CacheOptions, PredictError, Prediction, PredictionCache, ServerArch, Workload,
 };
 use perfpred_hybrid::HybridModel;
-use perfpred_hydra::HistoricalModel;
 use perfpred_lqns::trade::TradeLqnConfig;
 use perfpred_lqns::LqnPredictor;
+use perfpred_store::{ModelRegistry, ObservationStore, RegistryModel};
+use std::sync::Arc;
 
 /// Which predictor a request wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,16 +50,22 @@ impl Method {
 /// The daemon's resident predictors.
 ///
 /// The layered queuing predictor is always present (its construction is
-/// free). The historical and hybrid models depend on the [`ModelSpec`]:
-/// `paper` mode calibrates the hybrid from the Table 2 LQN without any
-/// simulation, so start-up is instant but the historical method is
-/// unavailable (404s); `calibrated*` modes run the simulated-testbed
-/// measurement campaigns from [`Experiments`] and host all three.
+/// free). The historical predictor serves whatever model is current in a
+/// hot-swappable [`ModelRegistry`]: `paper` mode starts with an empty
+/// registry (historical 404s until the observation store's first refit
+/// publishes a version); `calibrated*` modes seed it from the
+/// [`Experiments`] measurement campaigns. The hybrid model depends on the
+/// [`ModelSpec`] as before.
 pub struct ModelHost {
     /// Layered queuing behind a cache; misses route to the solver pool.
     pub lqns: PredictionCache<LqnPredictor>,
-    /// Historical model (calibrated specs only).
-    pub historical: Option<PredictionCache<HistoricalModel>>,
+    /// Historical predictions through the registry's current model. The
+    /// cache keys carry the model version, so a hot swap invalidates
+    /// stale entries without flushing in-flight work.
+    pub historical: PredictionCache<RegistryModel>,
+    /// The versioned model registry behind `historical` (shared with the
+    /// observation store that publishes refits into it).
+    pub registry: Arc<ModelRegistry>,
     /// Hybrid model (all specs).
     pub hybrid: Option<PredictionCache<HybridModel>>,
     /// Servers accepted by name in requests.
@@ -66,39 +73,75 @@ pub struct ModelHost {
 }
 
 impl ModelHost {
-    /// Builds the host for a model spec. `paper` is instant; calibrated
-    /// specs run simulation campaigns (seconds for quick, minutes for
-    /// measurement-grade).
-    pub fn build(spec: ModelSpec, seed: u64, cache: &CacheOptions) -> ModelHost {
-        match spec {
-            ModelSpec::Paper => Self::paper(cache),
-            ModelSpec::CalibratedQuick => Self::calibrated(&Experiments::quick(seed), cache),
-            ModelSpec::Calibrated => Self::calibrated(&Experiments::new(seed), cache),
-        }
+    /// Builds the host for a model spec, sharing the observation store's
+    /// registry so refits swap straight into the serving path. `paper` is
+    /// instant; calibrated specs run simulation campaigns (seconds for
+    /// quick, minutes for measurement-grade) and seed the registry —
+    /// unless the store already replayed a model out of its log, which
+    /// wins over the seed.
+    pub fn build(
+        spec: ModelSpec,
+        seed: u64,
+        cache: &CacheOptions,
+        store: &ObservationStore,
+    ) -> ModelHost {
+        let host = match spec {
+            ModelSpec::Paper => Self::paper_with_registry(cache, store.registry()),
+            ModelSpec::CalibratedQuick => {
+                let ctx = Experiments::quick(seed);
+                store.seed_if_empty(ctx.historical().clone());
+                Self::calibrated(&ctx, cache, store.registry())
+            }
+            ModelSpec::Calibrated => {
+                let ctx = Experiments::new(seed);
+                store.seed_if_empty(ctx.historical().clone());
+                Self::calibrated(&ctx, cache, store.registry())
+            }
+        };
+        host.note_model_version();
+        host
+    }
+
+    /// Paper mode with a standalone (empty) registry — handy in tests.
+    pub fn paper(cache: &CacheOptions) -> ModelHost {
+        Self::paper_with_registry(cache, Arc::new(ModelRegistry::new()))
     }
 
     /// Paper mode: Table 2 LQN + hybrid calibrated purely from LQN solves.
-    pub fn paper(cache: &CacheOptions) -> ModelHost {
+    /// The historical method comes up empty and becomes available as soon
+    /// as `registry` receives its first published version.
+    pub fn paper_with_registry(cache: &CacheOptions, registry: Arc<ModelRegistry>) -> ModelHost {
         let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
         let servers = Experiments::servers();
         let hybrid = HybridModel::advanced(&lqn, &servers, &Default::default())
             .expect("hybrid calibration from the paper LQN");
         ModelHost {
             lqns: PredictionCache::with_options(lqn, cache.clone()),
-            historical: None,
+            historical: PredictionCache::with_options(
+                RegistryModel::new(Arc::clone(&registry)),
+                cache.clone(),
+            ),
+            registry,
             hybrid: Some(PredictionCache::with_options(hybrid, cache.clone())),
             servers: servers.to_vec(),
         }
     }
 
     /// Calibrated mode: all three predictors from an experiment context.
-    pub fn calibrated(ctx: &Experiments, cache: &CacheOptions) -> ModelHost {
+    /// The caller seeds `registry` (see [`ModelHost::build`]) so the
+    /// historical method answers immediately.
+    pub fn calibrated(
+        ctx: &Experiments,
+        cache: &CacheOptions,
+        registry: Arc<ModelRegistry>,
+    ) -> ModelHost {
         ModelHost {
             lqns: PredictionCache::with_options(ctx.lqn().clone(), cache.clone()),
-            historical: Some(PredictionCache::with_options(
-                ctx.historical().clone(),
+            historical: PredictionCache::with_options(
+                RegistryModel::new(Arc::clone(&registry)),
                 cache.clone(),
-            )),
+            ),
+            registry,
             hybrid: Some(PredictionCache::with_options(
                 ctx.hybrid().clone(),
                 cache.clone(),
@@ -107,10 +150,18 @@ impl ModelHost {
         }
     }
 
+    /// Re-reads the registry's current version into the historical cache's
+    /// key space. Call after any publish (refit, seed, replay) so entries
+    /// cached against older versions become unreachable without flushing
+    /// other methods' entries or in-flight solves.
+    pub fn note_model_version(&self) {
+        self.historical.set_model_version(self.registry.version());
+    }
+
     /// Wire names of the methods this host can answer.
     pub fn available(&self) -> Vec<&'static str> {
         let mut out = vec![Method::Lqns.name()];
-        if self.historical.is_some() {
+        if self.registry.version() > 0 {
             out.insert(0, Method::Historical.name());
         }
         if self.hybrid.is_some() {
@@ -119,11 +170,12 @@ impl ModelHost {
         out
     }
 
-    /// True when the host can answer this method.
+    /// True when the host can answer this method. Historical flips on at
+    /// the first published model version.
     pub fn hosts(&self, method: Method) -> bool {
         match method {
             Method::Lqns => true,
-            Method::Historical => self.historical.is_some(),
+            Method::Historical => self.registry.version() > 0,
             Method::Hybrid => self.hybrid.is_some(),
         }
     }
@@ -148,10 +200,13 @@ impl ModelHost {
         use perfpred_core::PerformanceModel;
         match method {
             Method::Lqns => Some(self.lqns.predict(server, workload)),
-            Method::Historical => self
-                .historical
-                .as_ref()
-                .map(|m| m.predict(server, workload)),
+            Method::Historical => {
+                if self.registry.version() == 0 {
+                    None
+                } else {
+                    Some(self.historical.predict(server, workload))
+                }
+            }
             Method::Hybrid => self.hybrid.as_ref().map(|m| m.predict(server, workload)),
         }
     }
@@ -194,6 +249,45 @@ mod tests {
         assert!(host
             .predict_inline(Method::Historical, &server, &w)
             .is_none());
+    }
+
+    #[test]
+    fn historical_flips_on_at_the_first_published_version() {
+        use perfpred_hydra::{HistoricalModel, ServerObservations};
+        use perfpred_store::RefitTrigger;
+
+        let host = ModelHost::paper(&CacheOptions::default());
+        let server = host.server("AppServF").unwrap().clone();
+        let w = Workload::typical(300);
+        assert!(!host.hosts(Method::Historical));
+        assert!(host
+            .predict_inline(Method::Historical, &server, &w)
+            .is_none());
+
+        let mx = 186.0;
+        let n_star = mx / 0.1424;
+        let model = HistoricalModel::builder()
+            .observations(
+                ServerObservations::new("AppServF", mx)
+                    .with_lower(0.15 * n_star, 20.0)
+                    .with_lower(0.60 * n_star, 28.0)
+                    .with_upper(1.20 * n_star, 1_000.0 / mx * 1.20 * n_star - 7_000.0)
+                    .with_upper(1.55 * n_star, 1_000.0 / mx * 1.55 * n_star - 7_000.0),
+            )
+            .gradient(0.1424)
+            .build()
+            .unwrap();
+        host.registry.publish(model, 4, RefitTrigger::Window);
+        host.note_model_version();
+
+        assert!(host.hosts(Method::Historical));
+        assert_eq!(host.available(), vec!["historical", "lqns", "hybrid"]);
+        let p = host
+            .predict_inline(Method::Historical, &server, &w)
+            .unwrap()
+            .unwrap();
+        assert!(p.mrt_ms > 0.0);
+        assert_eq!(host.historical.model_version(), 1);
     }
 
     #[test]

@@ -7,8 +7,9 @@ use crate::models::{Method, ModelHost};
 use crate::shutdown::Shutdown;
 use perfpred_core::workload::{ClassLoad, RequestType, ServiceClass};
 use perfpred_core::{metrics, Json, PredictError, Prediction, ServerArch, Workload};
+use perfpred_store::{Observation, ObservationStore, StoreError};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How long a connection worker waits for the solver pool before giving
 /// up on a queued layered-queuing miss.
@@ -22,23 +23,61 @@ pub struct App {
     pub admission: AdmissionController,
     /// Queue feeding the layered-queuing solver pool.
     pub queue: Arc<JobQueue>,
+    /// Observation intake: durable log + continuous refit + registry.
+    pub store: Arc<ObservationStore>,
     /// Cooperative shutdown token.
     pub shutdown: Arc<Shutdown>,
     started: Instant,
 }
 
 impl App {
-    /// Assembles the application state.
+    /// Assembles the application state with an in-memory observation
+    /// store whose registry backs `host.historical` — the configuration
+    /// tests use. The daemon's `main` wires a durable store through
+    /// [`App::with_store`] instead.
     pub fn new(
         host: ModelHost,
         admission: AdmissionController,
         queue: Arc<JobQueue>,
         shutdown: Arc<Shutdown>,
     ) -> App {
+        let store = Arc::new(ObservationStore::in_memory(
+            &host.servers,
+            perfpred_store::RefitOptions::default(),
+        ));
+        // `host.historical` keeps its own registry here; /observe refits
+        // publish into the store's registry, so rebind the host to it.
+        let host = crate::models::ModelHost {
+            historical: perfpred_core::PredictionCache::with_options(
+                perfpred_store::RegistryModel::new(store.registry()),
+                perfpred_core::CacheOptions::default(),
+            ),
+            registry: store.registry(),
+            ..host
+        };
+        Self::with_store(host, admission, queue, shutdown, store)
+    }
+
+    /// Assembles the application state around an existing observation
+    /// store. `host` must have been built against the same store (see
+    /// [`ModelHost::build`]) so the registry behind `/observe` refits is
+    /// the one the historical predictor serves from.
+    pub fn with_store(
+        host: ModelHost,
+        admission: AdmissionController,
+        queue: Arc<JobQueue>,
+        shutdown: Arc<Shutdown>,
+        store: Arc<ObservationStore>,
+    ) -> App {
+        debug_assert!(
+            Arc::ptr_eq(&host.registry, &store.registry()),
+            "host and store must share one registry"
+        );
         App {
             host,
             admission,
             queue,
+            store,
             shutdown,
             started: Instant::now(),
         }
@@ -51,17 +90,19 @@ impl App {
         let (route, response) = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => ("healthz", self.healthz()),
             ("GET", "/metrics") => ("metrics", self.metrics()),
+            ("GET", "/models") => ("models", self.models()),
             ("POST", "/predict") => ("predict", self.predict(req)),
+            ("POST", "/observe") => ("observe", self.observe(req)),
             ("POST", "/plan") => ("plan", self.plan(req)),
             ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
-            (_, "/healthz" | "/metrics" | "/predict" | "/plan" | "/shutdown") => {
+            (_, "/healthz" | "/metrics" | "/models" | "/predict" | "/observe" | "/plan" | "/shutdown") => {
                 ("method_not_allowed", Response::error(405, "wrong method for this path"))
             }
             _ => (
                 "not_found",
                 Response::error(
                     404,
-                    "unknown path (have: GET /healthz, GET /metrics, POST /predict, POST /plan, POST /shutdown)",
+                    "unknown path (have: GET /healthz, GET /metrics, GET /models, POST /predict, POST /observe, POST /plan, POST /shutdown)",
                 ),
             ),
         };
@@ -89,7 +130,161 @@ impl App {
     }
 
     fn metrics(&self) -> Response {
-        Response::text(200, metrics::snapshot().render_exposition())
+        let mut text = metrics::snapshot().render_exposition();
+        // The serving model version, labelled so scrapes can watch hot
+        // swaps happen (satellite of the perfpred-store tentpole).
+        let version = self.host.registry.version();
+        text.push_str(&format!(
+            "serve_model_version{{method=\"historical\",model_version=\"{version}\"}} {version}\n"
+        ));
+        Response::text(200, text)
+    }
+
+    /// `GET /models`: the registry's version history — what the serving
+    /// model is, how it got there, and how much data is behind it.
+    fn models(&self) -> Response {
+        let mut body = Json::obj();
+        body.set("current", self.host.registry.version());
+        body.set("observations", self.store.observations());
+        body.set("skipped_unknown_server", self.store.skipped_unknown());
+        match self.store.log_len() {
+            Some(n) => body.set("log_records", n),
+            None => body.set("log_records", Json::Null),
+        };
+        body.set(
+            "versions",
+            Json::Arr(
+                self.host
+                    .registry
+                    .versions()
+                    .iter()
+                    .map(|v| {
+                        let mut o = Json::obj();
+                        o.set("version", v.version);
+                        o.set("trigger", v.trigger.name());
+                        o.set("observations", v.observations);
+                        o.set("gradient", v.model.gradient());
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        Response::json(200, &body)
+    }
+
+    /// `POST /observe`: ingest measured operating points — one object or
+    /// `{"batch": [...]}` — into the observation store. Responses report
+    /// any refits the batch triggered; the historical prediction cache is
+    /// re-keyed to the new model version on the spot.
+    fn observe(&self, req: &Request) -> Response {
+        let body = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        };
+        let parsed: Result<Vec<Observation>, String> = match body.get("batch") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    self.parse_observation(item)
+                        .map_err(|e| format!("batch[{i}]: {e}"))
+                })
+                .collect(),
+            Some(_) => Err("'batch' must be an array".into()),
+            None => self.parse_observation(&body).map(|o| vec![o]),
+        };
+        let batch = match parsed {
+            Ok(b) if b.is_empty() => return Response::error(400, "empty batch"),
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e),
+        };
+        let outcome = match self.store.ingest(&batch) {
+            Ok(o) => o,
+            Err(StoreError::InvalidObservation(msg)) => {
+                return Response::error(400, &format!("invalid observation: {msg}"))
+            }
+            Err(StoreError::Io(e)) => {
+                return Response::error(500, &format!("observation log I/O failed: {e}"))
+            }
+        };
+        if !outcome.refits.is_empty() {
+            // Re-key the historical cache so stale entries age out.
+            self.host.note_model_version();
+        }
+        let mut out = Json::obj();
+        out.set("accepted", outcome.accepted);
+        out.set("observations", self.store.observations());
+        out.set("model_version", self.host.registry.version());
+        out.set(
+            "refits",
+            Json::Arr(
+                outcome
+                    .refits
+                    .iter()
+                    .map(|r| {
+                        let mut o = Json::obj();
+                        o.set("version", r.version);
+                        o.set("trigger", r.trigger.name());
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        Response::json(200, &out)
+    }
+
+    /// Parses one observation object: `server` (known architecture),
+    /// `clients`, `mrt_ms`, optional `buy_pct` / `throughput_rps` /
+    /// `timestamp_us` (defaults to the arrival wall clock).
+    fn parse_observation(&self, j: &Json) -> Result<Observation, String> {
+        let server = j
+            .get("server")
+            .and_then(Json::as_str)
+            .ok_or("needs a 'server' string")?;
+        if self.host.server(server).is_none() {
+            let known: Vec<&str> = self.host.servers.iter().map(|s| s.name.as_str()).collect();
+            return Err(format!(
+                "unknown server '{server}' (known: {})",
+                known.join(", ")
+            ));
+        }
+        let clients = j
+            .get("clients")
+            .and_then(Json::as_u32)
+            .ok_or("needs whole-number 'clients'")?;
+        let mrt_ms = j
+            .get("mrt_ms")
+            .and_then(Json::as_f64)
+            .ok_or("needs numeric 'mrt_ms'")?;
+        let buy_pct = match j.get("buy_pct") {
+            None => 0.0,
+            Some(v) => v.as_f64().ok_or("'buy_pct' must be a number")? as f32,
+        };
+        let throughput_rps = match j.get("throughput_rps") {
+            None => 0.0,
+            Some(v) => v.as_f64().ok_or("'throughput_rps' must be a number")?,
+        };
+        let timestamp_us = match j.get("timestamp_us") {
+            None => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
+            Some(v) => {
+                v.as_f64()
+                    .filter(|t| *t >= 0.0)
+                    .ok_or("'timestamp_us' must be a non-negative number")? as u64
+            }
+        };
+        let obs = Observation {
+            server: server.to_string(),
+            clients,
+            buy_pct,
+            mrt_ms,
+            throughput_rps,
+            timestamp_us,
+        };
+        obs.validate().map_err(|e| e.to_string())?;
+        Ok(obs)
     }
 
     fn shutdown_endpoint(&self) -> Response {
@@ -245,18 +440,18 @@ impl App {
         use perfpred_core::PerformanceModel;
         let model: &dyn PerformanceModel = match method {
             Method::Lqns => &self.host.lqns,
-            Method::Historical => match &self.host.historical {
-                Some(m) => m,
-                None => {
+            Method::Historical => {
+                if self.host.registry.version() == 0 {
                     return Response::error(
                         404,
                         &format!(
                             "method 'historical' is not hosted (available: {})",
                             self.host.available().join(", ")
                         ),
-                    )
+                    );
                 }
-            },
+                &self.host.historical
+            }
             Method::Hybrid => match &self.host.hybrid {
                 Some(m) => m,
                 None => return Response::error(404, "method 'hybrid' is not hosted"),
@@ -314,10 +509,9 @@ impl App {
 fn peeked(host: &ModelHost, method: Method, server: &ServerArch, workload: &Workload) -> bool {
     match method {
         Method::Lqns => false, // handled by predict_lqns
-        Method::Historical => host
-            .historical
-            .as_ref()
-            .is_some_and(|c| c.peek(server, workload).is_some()),
+        Method::Historical => {
+            host.registry.version() > 0 && host.historical.peek(server, workload).is_some()
+        }
         Method::Hybrid => host
             .hybrid
             .as_ref()
@@ -696,6 +890,156 @@ mod tests {
         assert_eq!(r.status, 200);
         let text = String::from_utf8(r.body).unwrap();
         assert!(text.contains("serve_http_requests"), "{text}");
+        assert!(
+            text.contains("serve_model_version{method=\"historical\",model_version=\"0\"} 0"),
+            "{text}"
+        );
         drop(guard);
+    }
+
+    /// A synthetic AppServF measurement sweep as `/observe` batch items.
+    fn observe_batch(count: usize, scale: f64) -> String {
+        let m = 1_000.0 / 7_020.0;
+        let n_star = 186.0 / m;
+        let items: Vec<String> = (0..count)
+            .map(|i| {
+                let frac = 0.15 + 1.45 * ((i % 29) as f64) / 28.0;
+                let n = (frac * n_star).round().max(1.0);
+                let mrt = if frac < 1.0 {
+                    scale * 20.0 * (1.8 * frac).exp()
+                } else {
+                    scale * (7.0 * n / 1.3 - 6_000.0).max(100.0)
+                };
+                let tput = if frac <= 0.9 { m * n } else { 0.0 };
+                format!(
+                    r#"{{"server": "AppServF", "clients": {}, "mrt_ms": {mrt}, "throughput_rps": {tput}, "timestamp_us": {i}}}"#,
+                    n as u32
+                )
+            })
+            .collect();
+        format!(r#"{{"batch": [{}]}}"#, items.join(", "))
+    }
+
+    fn predict_historical_mrt(app: &App) -> (f64, bool) {
+        let body = r#"{"method": "historical", "clients": 300, "admission": false}"#;
+        let r = app.handle(&request("POST", "/predict", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        (
+            j.get("prediction")
+                .and_then(|p| p.get("mrt_ms"))
+                .and_then(Json::as_f64)
+                .unwrap(),
+            j.get("cached").and_then(Json::as_bool).unwrap(),
+        )
+    }
+
+    #[test]
+    fn observe_refits_and_flips_historical_on() {
+        let app = app();
+        // No model yet: historical 404s and /models shows version 0.
+        assert_eq!(
+            app.handle(&request(
+                "POST",
+                "/predict",
+                r#"{"clients": 10, "method": "historical"}"#
+            ))
+            .status,
+            404
+        );
+        let j = body_json(&app.handle(&request("GET", "/models", "")));
+        assert_eq!(j.get("current").and_then(Json::as_u32), Some(0));
+
+        // One default refit window of observations triggers the first fit.
+        let r = app.handle(&request("POST", "/observe", &observe_batch(128, 1.0)));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("accepted").and_then(Json::as_u32), Some(128));
+        assert!(j.get("model_version").and_then(Json::as_u32).unwrap() >= 1);
+        let refits = j.get("refits").and_then(Json::as_arr).unwrap();
+        assert!(!refits.is_empty(), "window refit expected");
+
+        // Historical serves now, and /models records the version history.
+        let (mrt, cached) = predict_historical_mrt(&app);
+        assert!(mrt > 0.0);
+        assert!(!cached);
+        let j = body_json(&app.handle(&request("GET", "/models", "")));
+        assert!(j.get("current").and_then(Json::as_u32).unwrap() >= 1);
+        assert_eq!(j.get("observations").and_then(Json::as_u32), Some(128));
+        assert!(!j.get("versions").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn refit_swaps_the_model_without_flushing_the_cache() {
+        let app = app();
+        app.handle(&request("POST", "/observe", &observe_batch(128, 1.0)));
+        let (before, _) = predict_historical_mrt(&app);
+        let (_, cached) = predict_historical_mrt(&app);
+        assert!(cached, "second identical predict must hit the cache");
+
+        // A slower regime: the next window refits, the swap re-keys the
+        // cache, and the same request re-solves against the new model.
+        let r = app.handle(&request("POST", "/observe", &observe_batch(128, 1.6)));
+        let j = body_json(&r);
+        assert!(
+            !j.get("refits").and_then(Json::as_arr).unwrap().is_empty(),
+            "{j:?}"
+        );
+        let (after, cached) = predict_historical_mrt(&app);
+        assert!(!cached, "post-swap predict must miss the stale entry");
+        assert!(
+            (after - before).abs() > 1e-9,
+            "post-refit prediction must differ: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn observe_validates_input() {
+        let app = app();
+        // Unknown server.
+        assert_eq!(
+            app.handle(&request(
+                "POST",
+                "/observe",
+                r#"{"server": "Cray", "clients": 5, "mrt_ms": 10}"#
+            ))
+            .status,
+            400
+        );
+        // Missing fields.
+        assert_eq!(
+            app.handle(&request("POST", "/observe", r#"{"server": "AppServF"}"#))
+                .status,
+            400
+        );
+        // Bad values inside a batch name the offending index.
+        let r = app.handle(&request(
+            "POST",
+            "/observe",
+            r#"{"batch": [{"server": "AppServF", "clients": 5, "mrt_ms": 10}, {"server": "AppServF", "clients": 5, "mrt_ms": -3}]}"#,
+        ));
+        assert_eq!(r.status, 400);
+        assert!(
+            String::from_utf8_lossy(&r.body).contains("batch[1]"),
+            "{:?}",
+            String::from_utf8_lossy(&r.body)
+        );
+        // Empty batch.
+        assert_eq!(
+            app.handle(&request("POST", "/observe", r#"{"batch": []}"#))
+                .status,
+            400
+        );
+        // A single valid observation is accepted without the batch form.
+        let r = app.handle(&request(
+            "POST",
+            "/observe",
+            r#"{"server": "AppServF", "clients": 250, "mrt_ms": 42.5}"#,
+        ));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        assert_eq!(
+            body_json(&r).get("accepted").and_then(Json::as_u32),
+            Some(1)
+        );
     }
 }

@@ -170,6 +170,12 @@ impl Server {
         for h in solver_handles {
             let _ = h.join();
         }
+        // Last in the drain order: force the observation log's tail to
+        // disk, now that no worker can append behind us.
+        self.app
+            .store
+            .sync()
+            .map_err(|e| io::Error::other(format!("observation log sync: {e}")))?;
         Ok(())
     }
 }

@@ -1,0 +1,511 @@
+//! The append-only, segmented, crash-safe observation log.
+//!
+//! A log is a directory: numbered segment files (`seg-00000000.obs`,
+//! `seg-00000001.obs`, …) of fixed-size CRC-framed records (see
+//! [`crate::record`]) plus a `MANIFEST.json` written atomically
+//! (temp + rename, [`perfpred_core::fsutil::atomic_write`]) that pins the
+//! format version, record size and segment capacity.
+//!
+//! ## Durability contract
+//!
+//! Appends go to the tail of the *active* segment with plain sequential
+//! writes — no per-record fsync, which is what keeps ingest in the
+//! hundreds of thousands of records per second. A segment is fsync'd when
+//! it *seals* (rotation), and callers can force the active tail down with
+//! [`ObservationLog::sync`] (the serve daemon does this on drain). A
+//! crash therefore loses at most the unsynced tail of the active segment
+//! — and loses it *cleanly*: recovery scans records in order, stops at
+//! the first CRC failure or short record, truncates the torn tail, and
+//! resumes appending from the last valid record.
+
+use crate::record::{Observation, StoreError, RECORD_BYTES};
+use perfpred_core::fsutil::{atomic_write, sync_dir};
+use perfpred_core::{metrics, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// On-disk format version understood by this module.
+const FORMAT: u32 = 1;
+/// Manifest file name inside the log directory.
+pub const MANIFEST: &str = "MANIFEST.json";
+
+/// Tuning knobs for [`ObservationLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogOptions {
+    /// Records per segment before rotation (default 65 536 — 4 MiB
+    /// segments at 64-byte records).
+    pub segment_records: usize,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        LogOptions {
+            segment_records: 65_536,
+        }
+    }
+}
+
+/// What recovery found while replaying a log directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Valid records replayed, in append order.
+    pub records: u64,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Bytes discarded past the last valid record (torn tail, corruption).
+    pub torn_bytes: u64,
+}
+
+/// A handle on one log directory, positioned for appending.
+#[derive(Debug)]
+pub struct ObservationLog {
+    dir: PathBuf,
+    segment_records: usize,
+    active: File,
+    active_id: u64,
+    active_records: usize,
+    sealed_records: u64,
+}
+
+fn segment_name(id: u64) -> String {
+    format!("seg-{id:08}.obs")
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    let id = name.strip_prefix("seg-")?.strip_suffix(".obs")?;
+    if id.len() != 8 || !id.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    id.parse().ok()
+}
+
+fn manifest_json(segment_records: usize, next_segment_id: u64) -> String {
+    let mut m = Json::obj();
+    m.set("format", u64::from(FORMAT));
+    m.set("record_bytes", RECORD_BYTES as u64);
+    m.set("segment_records", segment_records as u64);
+    m.set("next_segment_id", next_segment_id);
+    m.render()
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl ObservationLog {
+    /// Opens (creating if necessary) the log in `dir`, replaying every
+    /// valid record through `on_record` in append order.
+    ///
+    /// Recovery semantics: scanning stops at the first record that fails
+    /// its CRC (or at a short tail), the torn bytes are truncated away,
+    /// any later segment files are discarded, and the log resumes
+    /// appending immediately after the last valid record.
+    pub fn open(
+        dir: &Path,
+        opts: LogOptions,
+        mut on_record: impl FnMut(Observation),
+    ) -> io::Result<(ObservationLog, ReplayReport)> {
+        std::fs::create_dir_all(dir)?;
+        let segment_records = Self::load_or_init_manifest(dir, opts)?;
+
+        // Discover segments in id order.
+        let mut ids: Vec<u64> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_id(&e.file_name().to_string_lossy()))
+            .collect();
+        ids.sort_unstable();
+
+        let mut report = ReplayReport {
+            segments: ids.len(),
+            ..Default::default()
+        };
+        let mut survivors: Vec<(u64, usize)> = Vec::new(); // (id, records)
+        let mut corrupted = false;
+        let mut scan_idx = 0;
+        while scan_idx < ids.len() {
+            let id = ids[scan_idx];
+            scan_idx += 1;
+            let path = dir.join(segment_name(id));
+            let bytes = std::fs::read(&path)?;
+            let mut valid = 0usize;
+            for chunk in bytes.chunks(RECORD_BYTES) {
+                let rec: Option<Observation> = <&[u8; RECORD_BYTES]>::try_from(chunk)
+                    .ok()
+                    .and_then(Observation::decode);
+                match rec {
+                    Some(obs) => {
+                        on_record(obs);
+                        valid += 1;
+                    }
+                    None => {
+                        corrupted = true;
+                        break;
+                    }
+                }
+            }
+            let valid_bytes = (valid * RECORD_BYTES) as u64;
+            report.records += valid as u64;
+            if corrupted || valid_bytes < bytes.len() as u64 {
+                // Torn tail or corruption: truncate to the valid prefix
+                // and stop — everything past the last valid CRC is lost.
+                report.torn_bytes += bytes.len() as u64 - valid_bytes;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid_bytes)?;
+                f.sync_all()?;
+                survivors.push((id, valid));
+                break;
+            }
+            survivors.push((id, valid));
+        }
+        // Segments past the stopping point are unreachable history.
+        for &id in &ids[scan_idx..] {
+            let path = dir.join(segment_name(id));
+            if let Ok(meta) = std::fs::metadata(&path) {
+                report.torn_bytes += meta.len();
+            }
+            std::fs::remove_file(&path)?;
+        }
+        if report.torn_bytes > 0 {
+            metrics::counter("store.torn_bytes").add(report.torn_bytes);
+            sync_dir(dir)?;
+        }
+
+        let (active_id, active_records) = match survivors.last() {
+            Some(&(id, records)) => (id, records),
+            None => {
+                let path = dir.join(segment_name(0));
+                OpenOptions::new()
+                    .create(true)
+                    .truncate(false)
+                    .write(true)
+                    .open(&path)?;
+                sync_dir(dir)?;
+                (0, 0)
+            }
+        };
+        let sealed_records = report.records - active_records as u64;
+        // `truncate(false)`: the active segment still holds its surviving
+        // records — appends resume past them via the seek below.
+        let mut active = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(segment_name(active_id)))?;
+        active.seek(SeekFrom::Start((active_records * RECORD_BYTES) as u64))?;
+
+        let mut log = ObservationLog {
+            dir: dir.to_path_buf(),
+            segment_records,
+            active,
+            active_id,
+            active_records,
+            sealed_records,
+        };
+        if log.active_records >= log.segment_records {
+            log.rotate()?;
+        }
+        Ok((log, report))
+    }
+
+    /// Reads the manifest (validating format and record size) or writes a
+    /// fresh one. Returns the segment capacity in force — an existing
+    /// manifest's capacity wins over `opts` so offset math never changes
+    /// under an existing log.
+    fn load_or_init_manifest(dir: &Path, opts: LogOptions) -> io::Result<usize> {
+        let path = dir.join(MANIFEST);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let m = Json::parse(&text)
+                    .map_err(|e| bad_data(format!("manifest {}: {e}", path.display())))?;
+                let field = |name: &str| -> io::Result<u64> {
+                    m.get(name)
+                        .and_then(Json::as_f64)
+                        .map(|v| v as u64)
+                        .ok_or_else(|| bad_data(format!("manifest is missing '{name}'")))
+                };
+                if field("format")? != u64::from(FORMAT) {
+                    return Err(bad_data(format!(
+                        "unsupported log format {} (expected {FORMAT})",
+                        field("format")?
+                    )));
+                }
+                if field("record_bytes")? != RECORD_BYTES as u64 {
+                    return Err(bad_data(format!(
+                        "log has {}-byte records, this build expects {RECORD_BYTES}",
+                        field("record_bytes")?
+                    )));
+                }
+                Ok((field("segment_records")? as usize).max(1))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let capacity = opts.segment_records.max(1);
+                atomic_write(&path, manifest_json(capacity, 1).as_bytes())?;
+                Ok(capacity)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends one observation (validated and CRC-framed).
+    pub fn append(&mut self, obs: &Observation) -> Result<(), StoreError> {
+        self.append_batch(std::slice::from_ref(obs))
+    }
+
+    /// Appends a batch in order, rotating segments as they fill. The whole
+    /// batch is validated before the first byte is written, so a rejected
+    /// observation never leaves a partial batch behind.
+    pub fn append_batch(&mut self, batch: &[Observation]) -> Result<(), StoreError> {
+        let mut encoded = Vec::with_capacity(batch.len());
+        for obs in batch {
+            encoded.push(obs.encode()?);
+        }
+        let mut offset = 0usize;
+        while offset < encoded.len() {
+            let space = self.segment_records - self.active_records;
+            let take = space.min(encoded.len() - offset);
+            // One write syscall per segment-contiguous run.
+            let mut buf = Vec::with_capacity(take * RECORD_BYTES);
+            for rec in &encoded[offset..offset + take] {
+                buf.extend_from_slice(rec);
+            }
+            self.active.write_all(&buf)?;
+            self.active_records += take;
+            offset += take;
+            if self.active_records >= self.segment_records {
+                self.rotate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (fsync) and starts the next one; the
+    /// manifest is rewritten atomically so a crash between the two steps
+    /// still recovers cleanly from the directory scan.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.active.sync_all()?;
+        let next_id = self.active_id + 1;
+        let path = self.dir.join(segment_name(next_id));
+        // A fresh segment must start empty; any file already at this id is
+        // unreachable history (recovery deleted reachable ones).
+        let active = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)?;
+        atomic_write(
+            &self.dir.join(MANIFEST),
+            manifest_json(self.segment_records, next_id + 1).as_bytes(),
+        )?;
+        sync_dir(&self.dir)?;
+        self.sealed_records += self.active_records as u64;
+        self.active = active;
+        self.active_id = next_id;
+        self.active_records = 0;
+        metrics::counter("store.segments_sealed").incr();
+        Ok(())
+    }
+
+    /// Forces the active tail to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.active.sync_all()
+    }
+
+    /// Total records in the log (sealed + active).
+    pub fn len(&self) -> u64 {
+        self.sealed_records + self.active_records as u64
+    }
+
+    /// True when no record has ever been appended (or all were torn away).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("perfpred-log-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn obs(i: u32) -> Observation {
+        Observation {
+            server: "AppServF".into(),
+            clients: 100 + i,
+            buy_pct: 0.0,
+            mrt_ms: 50.0 + f64::from(i),
+            throughput_rps: 0.14 * f64::from(100 + i),
+            timestamp_us: u64::from(i) * 1_000,
+        }
+    }
+
+    fn reopen(dir: &Path, opts: LogOptions) -> (ObservationLog, ReplayReport, Vec<Observation>) {
+        let mut seen = Vec::new();
+        let (log, report) = ObservationLog::open(dir, opts, |o| seen.push(o)).unwrap();
+        (log, report, seen)
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = scratch("roundtrip");
+        let (mut log, report, seen) = reopen(&dir, LogOptions::default());
+        assert_eq!(report.records, 0);
+        assert!(seen.is_empty());
+        for i in 0..10 {
+            log.append(&obs(i)).unwrap();
+        }
+        log.append_batch(&(10..25).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(log.len(), 25);
+        drop(log);
+
+        let (log, report, seen) = reopen(&dir, LogOptions::default());
+        assert_eq!(report.records, 25);
+        assert_eq!(log.len(), 25);
+        assert_eq!(seen.len(), 25);
+        for (i, o) in seen.iter().enumerate() {
+            assert_eq!(o, &obs(i as u32), "record {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_survive_reopen() {
+        let dir = scratch("rotate");
+        let opts = LogOptions { segment_records: 8 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..30).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        // 30 records at 8/segment: seg 0..2 full (sealed), seg 3 holds 6.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("seg-"))
+            .collect();
+        assert_eq!(names.len(), 4, "{names:?}");
+
+        let (mut log, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 30);
+        assert_eq!(report.segments, 4);
+        assert_eq!(seen.len(), 30);
+        // Appending continues in the partial tail segment.
+        log.append(&obs(30)).unwrap();
+        assert_eq!(log.len(), 31);
+        drop(log);
+        let (_, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 31);
+        assert_eq!(seen.last().unwrap(), &obs(30));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let dir = scratch("torn");
+        let (mut log, _, _) = reopen(&dir, LogOptions::default());
+        log.append_batch(&(0..5).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        log.sync().unwrap();
+        drop(log);
+        // Tear the last record in half — a crash mid-write.
+        let seg = dir.join(segment_name(0));
+        let full = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(full - (RECORD_BYTES as u64) / 2).unwrap();
+        drop(f);
+
+        let (mut log, report, seen) = reopen(&dir, LogOptions::default());
+        assert_eq!(report.records, 4, "replay stops at the last valid CRC");
+        assert_eq!(report.torn_bytes, (RECORD_BYTES as u64) / 2);
+        assert_eq!(seen.len(), 4);
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            4 * RECORD_BYTES as u64
+        );
+        // New appends land where the torn record used to start.
+        log.append(&obs(99)).unwrap();
+        drop(log);
+        let (_, report, seen) = reopen(&dir, LogOptions::default());
+        assert_eq!(report.records, 5);
+        assert_eq!(seen[4], obs(99));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_mid_segment_drops_everything_after() {
+        let dir = scratch("midcorrupt");
+        let opts = LogOptions { segment_records: 4 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..10).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        // Flip a byte inside record 1 of segment 0.
+        let seg = dir.join(segment_name(0));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[RECORD_BYTES + 7] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (log, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 1, "only the prefix before the bad CRC");
+        assert_eq!(seen.len(), 1);
+        assert_eq!(log.len(), 1);
+        // The later segments were discarded entirely.
+        let segs: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("seg-"))
+            .collect();
+        assert_eq!(segs, vec![segment_name(0)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_pins_record_size_and_format() {
+        let dir = scratch("manifest");
+        let (log, _, _) = reopen(&dir, LogOptions::default());
+        drop(log);
+        let path = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"record_bytes\""), "{text}");
+        // A manifest claiming a different record size must refuse to open.
+        std::fs::write(&path, text.replace("64", "128")).unwrap();
+        let err = ObservationLog::open(&dir, LogOptions::default(), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn existing_segment_capacity_wins_over_new_options() {
+        let dir = scratch("capacity");
+        let (mut log, _, _) = reopen(&dir, LogOptions { segment_records: 4 });
+        log.append_batch(&(0..6).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        // Reopen with a different capacity: the manifest's 4 still rules.
+        let (mut log, report, _) = reopen(
+            &dir,
+            LogOptions {
+                segment_records: 1024,
+            },
+        );
+        assert_eq!(report.records, 6);
+        log.append_batch(&(6..9).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        let (_, report, seen) = reopen(&dir, LogOptions::default());
+        assert_eq!(report.records, 9);
+        assert_eq!(seen.len(), 9);
+        // 9 records at 4/segment = 3 segment files.
+        assert_eq!(report.segments, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! The assembled observation store: log + refitter + registry.
+//!
+//! [`ObservationStore`] is the single entry point the serve daemon uses.
+//! One mutex guards *both* the log and the refitter so the durable append
+//! order is exactly the fold order — the property that makes replay after
+//! a restart reconstruct the serving model bit for bit. The registry hot
+//! swap happens inside the same critical section (publishing is cheap:
+//! one `Arc` push and one atomic store), while readers stay lock-free
+//! throughout via [`ModelRegistry::current`].
+
+use crate::log::{LogOptions, ObservationLog, ReplayReport};
+use crate::record::{Observation, StoreError};
+use crate::refit::{RefitOptions, RefitTrigger, Refitter};
+use crate::registry::ModelRegistry;
+use perfpred_core::{metrics, metrics::names, ServerArch};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One refit that happened during an ingest call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefitEvent {
+    /// Version number the new model was published under.
+    pub version: u64,
+    /// What triggered it.
+    pub trigger: RefitTrigger,
+}
+
+/// What an [`ObservationStore::ingest`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Observations accepted (validated, logged, folded).
+    pub accepted: u64,
+    /// Refits published while folding this batch, in order.
+    pub refits: Vec<RefitEvent>,
+}
+
+struct Inner {
+    /// `None` for a purely in-memory store (tests, `--store-dir` unset).
+    log: Option<ObservationLog>,
+    refitter: Refitter,
+}
+
+/// Durable observation intake with continuous refit and hot model reload.
+pub struct ObservationStore {
+    inner: Mutex<Inner>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl ObservationStore {
+    /// An in-memory store: observations fold into the refitter but nothing
+    /// is persisted.
+    pub fn in_memory(servers: &[ServerArch], opts: RefitOptions) -> ObservationStore {
+        ObservationStore {
+            inner: Mutex::new(Inner {
+                log: None,
+                refitter: Refitter::new(servers, opts),
+            }),
+            registry: Arc::new(ModelRegistry::new()),
+        }
+    }
+
+    /// Opens (creating if needed) the durable store in `dir`, replaying
+    /// the log through the refit pipeline so the registry comes back up
+    /// holding exactly the model the log justifies. Returns the store and
+    /// what recovery found.
+    pub fn open(
+        dir: &Path,
+        log_opts: LogOptions,
+        servers: &[ServerArch],
+        refit_opts: RefitOptions,
+    ) -> Result<(ObservationStore, ReplayReport), StoreError> {
+        let mut refitter = Refitter::new(servers, refit_opts);
+        let registry = Arc::new(ModelRegistry::new());
+        let mut replayed = 0u64;
+        let (log, report) = ObservationLog::open(dir, log_opts, |obs| {
+            // Replay runs the exact ingest fold path: same triggers, same
+            // publishes, same version numbering.
+            if let Some(trigger) = refitter.fold(&obs) {
+                if let Some(model) = refitter.fit() {
+                    registry.publish(model, refitter.folded(), trigger);
+                }
+            }
+            replayed += 1;
+        })?;
+        metrics::counter(names::STORE_OBSERVATIONS_TOTAL).add(replayed);
+        Ok((
+            ObservationStore {
+                inner: Mutex::new(Inner {
+                    log: Some(log),
+                    refitter,
+                }),
+                registry,
+            },
+            report,
+        ))
+    }
+
+    /// The shared registry (hand this to the serve daemon's model host).
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Seeds the registry with an externally calibrated model — used when
+    /// the daemon starts in calibrated mode so predictions work before the
+    /// first refit. Only applies while the registry is still empty, so a
+    /// replayed log always wins over the seed.
+    pub fn seed_if_empty(&self, model: perfpred_hydra::HistoricalModel) -> Option<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        if self.registry.version() != 0 {
+            return None;
+        }
+        inner.refitter.seed(model.clone());
+        Some(self.registry.publish(model, 0, RefitTrigger::Seed))
+    }
+
+    /// Validates, logs and folds a batch of observations, publishing any
+    /// refits it triggers. All-or-nothing on validation: one bad
+    /// observation rejects the whole batch before anything is written.
+    pub fn ingest(&self, batch: &[Observation]) -> Result<IngestOutcome, StoreError> {
+        for obs in batch {
+            obs.validate()?;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(log) = inner.log.as_mut() {
+            log.append_batch(batch)?;
+        }
+        let mut outcome = IngestOutcome {
+            accepted: batch.len() as u64,
+            refits: Vec::new(),
+        };
+        for obs in batch {
+            if let Some(trigger) = inner.refitter.fold(obs) {
+                if let Some(model) = inner.refitter.fit() {
+                    let observations = inner.refitter.folded();
+                    let version = self.registry.publish(model, observations, trigger);
+                    outcome.refits.push(RefitEvent { version, trigger });
+                }
+            }
+        }
+        drop(inner);
+        metrics::counter(names::STORE_OBSERVATIONS_TOTAL).add(outcome.accepted);
+        if !outcome.refits.is_empty() {
+            metrics::counter(names::STORE_REFITS_TOTAL).add(outcome.refits.len() as u64);
+        }
+        Ok(outcome)
+    }
+
+    /// Forces the log tail to disk (no-op for in-memory stores).
+    pub fn sync(&self) -> Result<(), StoreError> {
+        if let Some(log) = self.inner.lock().unwrap().log.as_mut() {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Total observations folded into the refitter (replayed + ingested,
+    /// excluding unknown-server skips).
+    pub fn observations(&self) -> u64 {
+        self.inner.lock().unwrap().refitter.folded()
+    }
+
+    /// Observations skipped because their server is unknown.
+    pub fn skipped_unknown(&self) -> u64 {
+        self.inner.lock().unwrap().refitter.skipped_unknown()
+    }
+
+    /// Records in the durable log, if any.
+    pub fn log_len(&self) -> Option<u64> {
+        self.inner.lock().unwrap().log.as_ref().map(|l| l.len())
+    }
+
+    /// The current serving model serialized (for determinism assertions).
+    pub fn current_model_serialized(&self) -> Option<String> {
+        self.registry
+            .current()
+            .map(|v| perfpred_hydra::persist::serialize(&v.model))
+    }
+}

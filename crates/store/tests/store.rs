@@ -1,0 +1,234 @@
+//! End-to-end store tests: incremental-vs-batch fit equivalence, crash
+//! recovery at a torn record, and deterministic replay of the full
+//! ingest → refit → publish pipeline.
+
+use perfpred_core::ServerArch;
+use perfpred_hydra::persist::serialize;
+use perfpred_store::{
+    LogOptions, Observation, ObservationStore, RefitOptions, RefitTrigger, Refitter, RECORD_BYTES,
+};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfpred-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic AppServF measurement sweep shaped like the paper's curves:
+/// exponential MRT growth below saturation, linear above.
+fn trace(scale: f64, count: u32) -> Vec<Observation> {
+    let m = 1_000.0 / 7_020.0;
+    let n_star = 186.0 / m;
+    (0..count)
+        .map(|i| {
+            let frac = 0.15 + 1.45 * f64::from(i % 29) / 28.0;
+            let n = (frac * n_star).round().max(1.0);
+            let mrt = if frac < 1.0 {
+                scale * 20.0 * (1.8 * frac).exp()
+            } else {
+                scale * (7.0 * n / 1.3 - 6_000.0).max(100.0)
+            };
+            let mut o = Observation::typical("AppServF", n as u32, mrt);
+            if frac <= 0.9 {
+                o.throughput_rps = m * n;
+            }
+            o.timestamp_us = u64::from(i) * 250_000;
+            o
+        })
+        .collect()
+}
+
+fn opts() -> RefitOptions {
+    RefitOptions {
+        refit_window: 40,
+        drift_threshold: 0.25,
+        drift_window: 20,
+        ..RefitOptions::default()
+    }
+}
+
+/// Satellite: incremental fits equal batch fits — coefficients within
+/// 1e-12 and the anchor grid bit-identical.
+#[test]
+fn incremental_fit_equals_batch_fit() {
+    let servers = [ServerArch::app_serv_f()];
+    let data = trace(1.0, 200);
+
+    // Batch: fold everything, fit once at the end.
+    let mut batch = Refitter::new(&servers, opts());
+    for obs in &data {
+        batch.fold(obs);
+    }
+    let batch_model = batch.fit().expect("batch fit");
+
+    // Incremental: fold one at a time, fitting at every trigger along the
+    // way (the continuous-refit schedule).
+    let mut inc = Refitter::new(&servers, opts());
+    let mut fits = 0;
+    for obs in &data {
+        if inc.fold(obs).is_some() && inc.fit().is_some() {
+            fits += 1;
+        }
+    }
+    assert!(
+        fits >= 2,
+        "the window schedule must have refitted, got {fits}"
+    );
+    let inc_model = inc.fit().expect("incremental fit");
+
+    // Anchor grid: bit-identical running sums.
+    assert_eq!(
+        batch.anchor_grid("AppServF").unwrap(),
+        inc.anchor_grid("AppServF").unwrap(),
+        "anchor grids must match bit for bit"
+    );
+
+    // Coefficients: within 1e-12 (identical sums → identical arithmetic,
+    // so in practice exactly equal).
+    let b = batch_model.established_r1("AppServF").unwrap();
+    let i = inc_model.established_r1("AppServF").unwrap();
+    assert!((b.lower.c - i.lower.c).abs() <= 1e-12);
+    assert!((b.lower.lambda - i.lower.lambda).abs() <= 1e-12);
+    assert!((b.upper.slope - i.upper.slope).abs() <= 1e-12);
+    assert!((b.upper.intercept - i.upper.intercept).abs() <= 1e-12);
+    assert!((batch_model.gradient() - inc_model.gradient()).abs() <= 1e-12);
+    assert_eq!(serialize(&batch_model), serialize(&inc_model));
+}
+
+/// Satellite: crash recovery. Truncate a segment mid-record; replay stops
+/// at the last valid CRC and the rebuilt registry matches a reference fit
+/// of the surviving prefix.
+#[test]
+fn crash_recovery_matches_reference_fit_of_surviving_prefix() {
+    let dir = scratch("crash");
+    let servers = [ServerArch::app_serv_f()];
+    let log_opts = LogOptions {
+        segment_records: 64,
+    };
+    let data = trace(1.0, 100);
+
+    let (store, _) = ObservationStore::open(&dir, log_opts, &servers, opts()).unwrap();
+    store.ingest(&data).unwrap();
+    store.sync().unwrap();
+    let full_version = store.registry().version();
+    assert!(full_version >= 1, "ingest must have refitted");
+    drop(store);
+
+    // Simulate a crash mid-write: chop the active segment mid-record,
+    // losing the last record of the second segment (records 64..100 live
+    // in seg-00000001, so 36 records → keep 35.5).
+    let seg = dir.join("seg-00000001.obs");
+    let len = std::fs::metadata(&seg).unwrap().len();
+    assert_eq!(len, 36 * RECORD_BYTES as u64);
+    let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - RECORD_BYTES as u64 / 2).unwrap();
+    drop(f);
+
+    let (recovered, report) = ObservationStore::open(&dir, log_opts, &servers, opts()).unwrap();
+    assert_eq!(report.records, 99, "one torn record lost");
+    assert_eq!(report.torn_bytes, RECORD_BYTES as u64 / 2);
+    assert_eq!(recovered.observations(), 99);
+
+    // Reference: an in-memory pipeline fed exactly the surviving prefix.
+    let reference = ObservationStore::in_memory(&servers, opts());
+    reference.ingest(&data[..99]).unwrap();
+    assert_eq!(
+        recovered.registry().version(),
+        reference.registry().version()
+    );
+    assert_eq!(
+        recovered.current_model_serialized().unwrap(),
+        reference.current_model_serialized().unwrap(),
+        "recovered model must equal the reference fit of the surviving prefix"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tentpole acceptance: restarting over the same log reproduces the fitted
+/// model bit-identically, including the version history.
+#[test]
+fn replay_is_deterministic_across_restarts() {
+    let dir = scratch("replay");
+    let servers = ServerArch::case_study_servers();
+    let data = trace(1.0, 150);
+
+    let (store, report) =
+        ObservationStore::open(&dir, LogOptions::default(), &servers, opts()).unwrap();
+    assert_eq!(report.records, 0);
+    // Ingest in uneven batches, as HTTP clients would.
+    for chunk in data.chunks(7) {
+        store.ingest(chunk).unwrap();
+    }
+    store.sync().unwrap();
+    let versions_before = store.registry().versions();
+    let model_before = store.current_model_serialized().unwrap();
+    drop(store);
+
+    let (replayed, report) =
+        ObservationStore::open(&dir, LogOptions::default(), &servers, opts()).unwrap();
+    assert_eq!(report.records, 150);
+    assert_eq!(report.torn_bytes, 0);
+    let versions_after = replayed.registry().versions();
+    assert_eq!(versions_before.len(), versions_after.len());
+    for (a, b) in versions_before.iter().zip(&versions_after) {
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.trigger, b.trigger);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(serialize(&a.model), serialize(&b.model));
+    }
+    assert_eq!(replayed.current_model_serialized().unwrap(), model_before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Drift ingestion end to end: a workload shift publishes a drift-triggered
+/// version before the window would have filled.
+#[test]
+fn drift_publishes_a_new_version_early() {
+    let servers = [ServerArch::app_serv_f()];
+    let store = ObservationStore::in_memory(
+        &servers,
+        RefitOptions {
+            refit_window: 1_000,
+            drift_threshold: 0.25,
+            drift_window: 20,
+            ..RefitOptions::default()
+        },
+    );
+    // Baseline model from a calibration seed (not the log).
+    let mut seedfit = Refitter::new(&servers, opts());
+    for obs in trace(1.0, 80) {
+        seedfit.fold(&obs);
+    }
+    assert_eq!(
+        store.seed_if_empty(seedfit.fit().unwrap()),
+        Some(1),
+        "seed takes version 1"
+    );
+    assert_eq!(store.registry().versions()[0].trigger, RefitTrigger::Seed);
+
+    // The system slows down 60 %: drift must fire long before 1000 folds.
+    let outcome = store.ingest(&trace(1.6, 120)).unwrap();
+    let drift: Vec<_> = outcome
+        .refits
+        .iter()
+        .filter(|r| r.trigger == RefitTrigger::Drift)
+        .collect();
+    assert!(!drift.is_empty(), "expected a drift refit, got {outcome:?}");
+    assert!(store.registry().version() >= 2);
+}
+
+/// Validation is all-or-nothing: a bad record rejects the batch and leaves
+/// nothing behind in the log or the refitter.
+#[test]
+fn invalid_observation_rejects_the_whole_batch() {
+    let dir = scratch("reject");
+    let servers = [ServerArch::app_serv_f()];
+    let (store, _) = ObservationStore::open(&dir, LogOptions::default(), &servers, opts()).unwrap();
+    let mut batch = trace(1.0, 5);
+    batch[3].mrt_ms = f64::NAN;
+    assert!(store.ingest(&batch).is_err());
+    assert_eq!(store.observations(), 0);
+    assert_eq!(store.log_len(), Some(0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
