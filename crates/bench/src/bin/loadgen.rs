@@ -58,6 +58,14 @@ USAGE: loadgen --port N [OPTIONS]
                        saturated points still answer)
   --min-refits N       exit 1 unless at least N refits were triggered
                        (implies --report-observations)
+  --chaos              chaos mode: clients retry transport resets (the
+                       daemon may be running with PERFPRED_FAULTS), count
+                       degraded-mode answers, and a probe thread fires
+                       malformed/oversized requests at fresh connections
+                       checking every byte the daemon answers is valid
+                       HTTP; results land in BENCH.json under serve.chaos
+  --min-availability X exit 1 unless the fraction of requests answered 200
+                       reaches X (chaos mode's success-rate floor)
   --help               print this text
 ";
 
@@ -75,6 +83,8 @@ struct Config {
     min_rps: Option<f64>,
     report_observations: bool,
     min_refits: Option<u64>,
+    chaos: bool,
+    min_availability: Option<f64>,
 }
 
 impl Default for Config {
@@ -92,6 +102,8 @@ impl Default for Config {
             min_rps: None,
             report_observations: false,
             min_refits: None,
+            chaos: false,
+            min_availability: None,
         }
     }
 }
@@ -167,6 +179,18 @@ fn parse_args() -> Result<Config, String> {
                 cfg.min_refits = Some(parsed(&value(&mut args, "--min-refits")?, "--min-refits")?);
                 cfg.report_observations = true;
             }
+            "--chaos" => cfg.chaos = true,
+            "--min-availability" => {
+                let a: f64 = parsed(
+                    &value(&mut args, "--min-availability")?,
+                    "--min-availability",
+                )?;
+                if !(0.0..=1.0).contains(&a) {
+                    return Err("--min-availability must be in [0, 1]".into());
+                }
+                cfg.min_availability = Some(a);
+                cfg.chaos = true;
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -223,6 +247,10 @@ struct Tally {
     errors: u64,
     observations: u64,
     refits: u64,
+    /// 200s served by the degraded ladder (`"mode": "degraded"`).
+    degraded: u64,
+    /// Transport failures retried in chaos mode (reconnect + resend).
+    retries: u64,
 }
 
 /// A persistent keep-alive connection that reconnects on failure.
@@ -380,7 +408,20 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
         let clients = clients_for(cfg, key);
         key = (key + 1) % cfg.key_space;
         let started = Instant::now();
-        match conn.post_capture("/predict", &body) {
+        // Chaos mode injects accept-time connection resets on purpose;
+        // a reset before any response bytes is retryable by definition,
+        // so spend up to two reconnects before scoring an error.
+        let mut outcome = conn.post_capture("/predict", &body);
+        if cfg.chaos {
+            let mut attempts = 0;
+            while outcome.is_err() && attempts < 2 && !stop.load(Ordering::Relaxed) {
+                attempts += 1;
+                tally.retries += 1;
+                std::thread::sleep(Duration::from_millis(2));
+                outcome = conn.post_capture("/predict", &body);
+            }
+        }
+        match outcome {
             Ok((status, text)) => {
                 tally
                     .latencies_ms
@@ -388,6 +429,9 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
                 match status {
                     200 => {
                         tally.ok += 1;
+                        if text.contains("\"mode\": \"degraded\"") {
+                            tally.degraded += 1;
+                        }
                         if cfg.report_observations {
                             if let Some(p) = Json::parse(&text)
                                 .ok()
@@ -421,6 +465,75 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
     tally
 }
 
+/// What the chaos probe saw: probes delivered and responses that were
+/// not valid HTTP.
+#[derive(Debug, Default)]
+struct ProbeReport {
+    sent: u64,
+    malformed: u64,
+}
+
+/// The chaos probe: fires deliberately hostile requests — garbage
+/// framing, an oversized Content-Length, a header flood — each on a
+/// fresh connection, and verifies that every byte the daemon sends back
+/// is a well-formed HTTP response (or a clean close with no bytes at
+/// all). Any other answer is exactly the malformed-response bug class
+/// the chaos harness exists to catch.
+fn chaos_probe(addr: &str, stop: &AtomicBool) -> ProbeReport {
+    let mut report = ProbeReport::default();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        i += 1;
+        let probe = match i % 3 {
+            0 => "NONSENSE\r\n\r\n".to_string(),
+            1 => format!(
+                "POST /predict HTTP/1.1\r\nHost: probe\r\nContent-Length: {}\r\n\r\n",
+                64 * 1024 * 1024
+            ),
+            _ => {
+                let mut s = String::from("GET /healthz HTTP/1.1\r\nHost: probe\r\n");
+                for h in 0..100 {
+                    s.push_str(&format!("X-Flood-{h}: v\r\n"));
+                }
+                s.push_str("\r\n");
+                s
+            }
+        };
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                report.sent += 1;
+                let _ = stream.set_nodelay(true);
+                // Short timeout: under full load the closed-loop clients
+                // hold every connection worker, so a probe can sit in the
+                // accept queue a while — recycle instead of waiting.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                if stream.write_all(probe.as_bytes()).is_ok() {
+                    // Half-close so the server's post-reject drain sees
+                    // EOF immediately instead of waiting out its timeout.
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    // Drain whatever comes back until close or timeout;
+                    // an injected accept-reset (empty read) is fine, raw
+                    // non-HTTP bytes are not.
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        }
+                    }
+                    if !buf.is_empty() && !buf.starts_with(b"HTTP/1.1 ") {
+                        report.malformed += 1;
+                    }
+                }
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    report
+}
+
 /// Nearest-rank percentile over sorted samples.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -441,15 +554,28 @@ fn main() {
     };
 
     // Warm-up: solve every key once so the measured window exercises the
-    // daemon's cache-hit path (lqns misses cost ms; hits cost µs).
+    // daemon's cache-hit path (lqns misses cost ms; hits cost µs). Chaos
+    // daemons may reset accepted connections, so give each key a few
+    // tries before concluding the daemon is unreachable.
     let mut warm = Connection::new(&cfg.addr);
     for key in 0..cfg.key_space {
-        match warm.post("/predict", &body_for(&cfg, key)) {
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("loadgen: cannot reach {}: {e}", cfg.addr);
-                std::process::exit(1);
+        let tries = if cfg.chaos { 10 } else { 1 };
+        let mut last_err = None;
+        for _ in 0..tries {
+            match warm.post("/predict", &body_for(&cfg, key)) {
+                Ok(_) => {
+                    last_err = None;
+                    break;
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
             }
+        }
+        if let Some(e) = last_err {
+            eprintln!("loadgen: cannot reach {}: {e}", cfg.addr);
+            std::process::exit(1);
         }
     }
 
@@ -465,6 +591,11 @@ fn main() {
     );
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
+    let probe = cfg.chaos.then(|| {
+        let addr = cfg.addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || chaos_probe(&addr, &stop))
+    });
     let mut handles = Vec::with_capacity(cfg.clients);
     for id in 0..cfg.clients {
         let cfg = cfg.clone();
@@ -482,7 +613,10 @@ fn main() {
         merged.errors += t.errors;
         merged.observations += t.observations;
         merged.refits += t.refits;
+        merged.degraded += t.degraded;
+        merged.retries += t.retries;
     }
+    let probe_report = probe.map(|h| h.join().expect("probe thread"));
     let elapsed = started.elapsed().as_secs_f64();
 
     // The end-of-run model state, when this run fed the refit loop.
@@ -519,17 +653,32 @@ fn main() {
         0.0
     };
 
+    let availability = if total > 0 {
+        merged.ok as f64 / total as f64
+    } else {
+        0.0
+    };
+
     println!(
         "loadgen: {total} requests in {elapsed:.2}s -> {throughput:.0} req/s \
          (ok {}, rejected {}, errors {})",
         merged.ok, merged.rejected, merged.errors
     );
     println!("loadgen: latency p50 {p50:.3} ms   p95 {p95:.3} ms   p99 {p99:.3} ms");
+    if let Some(probe) = &probe_report {
+        println!(
+            "loadgen: chaos — availability {:.4}, degraded {}, retries {}, \
+             probes {} (malformed responses {})",
+            availability, merged.degraded, merged.retries, probe.sent, probe.malformed
+        );
+    }
 
-    // Observation-reporting runs are a different workload (saturated keys,
-    // admission bypassed) — they keep their own BENCH.json slice so the
-    // plain serving trajectory stays comparable across runs.
-    let mut rec = Recorder::new(if cfg.report_observations {
+    // Observation-reporting and chaos runs are different workloads — each
+    // keeps its own BENCH.json slice so the plain serving trajectory
+    // stays comparable across runs.
+    let mut rec = Recorder::new(if cfg.chaos {
+        "serve.chaos"
+    } else if cfg.report_observations {
         "serve.observe"
     } else {
         "serve"
@@ -554,11 +703,40 @@ fn main() {
         rec.note("refits_triggered", merged.refits);
         rec.note("model_version", version);
     }
+    if let Some(probe) = &probe_report {
+        rec.note("availability", availability);
+        rec.note("degraded", merged.degraded);
+        rec.note("retries", merged.retries);
+        rec.note("probes_sent", probe.sent);
+        rec.note("probe_malformed_responses", probe.malformed);
+    }
     rec.write();
 
-    if merged.errors > total / 100 {
+    if let Some(probe) = &probe_report {
+        if probe.malformed > 0 {
+            eprintln!(
+                "loadgen: FAIL — {} malformed HTTP responses to chaos probes",
+                probe.malformed
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "loadgen: PASS — all {} probe responses were well-formed HTTP",
+            probe.sent
+        );
+    }
+    // Chaos runs gate on the availability floor instead: transport-level
+    // give-ups after retries are what --min-availability scores.
+    if !cfg.chaos && merged.errors > total / 100 {
         eprintln!("loadgen: FAIL — more than 1% errors");
         std::process::exit(1);
+    }
+    if let Some(min) = cfg.min_availability {
+        if availability < min {
+            eprintln!("loadgen: FAIL — availability {availability:.4} below the {min} floor");
+            std::process::exit(1);
+        }
+        println!("loadgen: PASS — availability {availability:.4} >= {min}");
     }
     if let Some(min) = cfg.min_rps {
         if throughput < min {

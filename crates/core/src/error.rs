@@ -27,6 +27,10 @@ pub enum PredictError {
     /// should retry later. Distinct from [`PredictError::Solver`], which
     /// means the solve ran and failed.
     Overloaded(String),
+    /// The request's deadline budget ran out before a solver could answer
+    /// — the job was shed from the queue (or the reply never arrived in
+    /// budget) and the serving layer should fall back or answer 504.
+    DeadlineExpired(String),
 }
 
 impl fmt::Display for PredictError {
@@ -38,6 +42,7 @@ impl fmt::Display for PredictError {
             PredictError::Solver(msg) => write!(f, "solver error: {msg}"),
             PredictError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
             PredictError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            PredictError::DeadlineExpired(msg) => write!(f, "deadline expired: {msg}"),
         }
     }
 }

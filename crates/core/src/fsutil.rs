@@ -52,6 +52,25 @@ pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Creates (or opens, without truncating) `path` for writing and makes
+/// the *file's existence* durable: the new inode is fsync'd and so is the
+/// parent directory entry. A file-level `sync_all` alone does not commit
+/// the directory entry — a crash right after creation could make a
+/// freshly rotated log segment vanish even though its (empty) data was
+/// "synced". Callers that need a truncated file pass `truncate`.
+pub fn create_durable(path: &Path, truncate: bool) -> io::Result<File> {
+    let file = OpenOptions::new()
+        .create(true)
+        .truncate(truncate)
+        .write(true)
+        .open(path)?;
+    file.sync_all()?;
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        sync_dir(dir)?;
+    }
+    Ok(file)
+}
+
 /// Fsyncs a directory so a just-completed rename/create in it is durable.
 /// A no-op on platforms where directories cannot be opened for sync.
 pub fn sync_dir(dir: &Path) -> io::Result<()> {
@@ -60,7 +79,14 @@ pub fn sync_dir(dir: &Path) -> io::Result<()> {
             Ok(()) => Ok(()),
             // Some filesystems refuse fsync on directory handles; the
             // write itself already succeeded, so don't fail the caller.
-            Err(e) if e.kind() == io::ErrorKind::InvalidInput => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::InvalidInput | io::ErrorKind::Unsupported
+                ) =>
+            {
+                Ok(())
+            }
             Err(e) => Err(e),
         },
         Err(e) if e.kind() == io::ErrorKind::PermissionDenied => Ok(()),
@@ -108,5 +134,21 @@ mod tests {
     #[test]
     fn rejects_paths_without_a_file_name() {
         assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+
+    #[test]
+    fn create_durable_creates_and_preserves_existing_contents() {
+        let dir = scratch("durable");
+        let path = dir.join("seg.obs");
+        drop(create_durable(&path, false).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        std::fs::write(&path, b"payload").unwrap();
+        // Reopening without truncate keeps the bytes ...
+        drop(create_durable(&path, false).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        // ... and with truncate empties them.
+        drop(create_durable(&path, true).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,7 @@ pub mod accuracy;
 pub mod cache;
 pub mod distribution;
 pub mod error;
+pub mod faults;
 pub mod fit;
 pub mod fsutil;
 pub mod json;

@@ -44,6 +44,15 @@ pub mod names {
     /// Counts every successful refit + model publish — rendered as
     /// `store_refits_total` in the exposition.
     pub const STORE_REFITS_TOTAL: &str = "store.refits_total";
+    /// Counts solver jobs shed because their request deadline had already
+    /// expired — rendered as `serve_deadline_expired_total`.
+    pub const SERVE_DEADLINE_EXPIRED_TOTAL: &str = "serve.deadline_expired_total";
+    /// Counts `/predict` responses answered in degraded mode (fallback to
+    /// a non-queuing model) — rendered as `serve_degraded_total`.
+    pub const SERVE_DEGRADED_TOTAL: &str = "serve.degraded_total";
+    /// Counts ingests failed by an injected `store_io_err` fault —
+    /// rendered as `store_injected_io_errors_total`.
+    pub const STORE_INJECTED_IO_ERRORS_TOTAL: &str = "store.injected_io_errors_total";
 }
 
 /// A monotonically increasing atomic counter.

@@ -9,12 +9,14 @@
 //! every result into the shared [`PredictionCache`].
 
 use crate::shutdown::Shutdown;
+use perfpred_core::faults::{self, FaultSite};
+use perfpred_core::metrics::names;
 use perfpred_core::{metrics, PredictError, Prediction, PredictionCache, ServerArch, Workload};
 use perfpred_lqns::{AmvaWorkspace, LqnPredictor};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One queued layered-queuing solve.
 pub struct Job {
@@ -25,6 +27,11 @@ pub struct Job {
     pub workload: Workload,
     /// Where the waiting connection worker receives the result.
     pub reply: mpsc::Sender<Result<Prediction, PredictError>>,
+    /// When the requester stops caring. A job whose deadline has passed
+    /// by the time a solver picks it up is shed unsolved — the worker has
+    /// already fallen back or answered 504, so solving would only burn a
+    /// solver slot that queued-behind jobs still in budget are waiting on.
+    pub deadline: Option<Instant>,
 }
 
 /// A bounded MPMC queue of solver jobs.
@@ -104,6 +111,20 @@ pub fn solver_loop(
         }
         metrics::histogram("serve.batch_size").record(batch.len() as f64);
         for job in batch {
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                metrics::counter(names::SERVE_DEADLINE_EXPIRED_TOTAL).incr();
+                let _ = job.reply.send(Err(PredictError::DeadlineExpired(
+                    "shed before solving: queue wait exceeded the request budget".into(),
+                )));
+                continue;
+            }
+            // Chaos harness: stall the solver the way a CPU-starved or
+            // page-faulting host would, so deadline shedding and degraded
+            // fallback get exercised under test.
+            if let Some(delay) = faults::delay(FaultSite::SolverDelay) {
+                metrics::counter("serve.faults.solver_delay").incr();
+                std::thread::sleep(delay);
+            }
             let result = solve_one(cache, &job, &mut pool);
             // A dropped receiver just means the client went away.
             let _ = job.reply.send(result);
@@ -147,6 +168,7 @@ mod tests {
                 server: server.clone(),
                 workload: Workload::typical(clients),
                 reply: tx,
+                deadline: None,
             },
             rx,
         )
@@ -167,6 +189,35 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert!(q.is_empty());
         assert!(q.pop_batch(8, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_unsolved_and_in_budget_jobs_still_answer() {
+        let q = JobQueue::new(16);
+        let cache = PredictionCache::with_options(
+            LqnPredictor::new(TradeLqnConfig::paper_table2()),
+            CacheOptions::default(),
+        );
+        let server = ServerArch::app_serv_f();
+
+        let (mut expired, rx_expired) = queue_job(&server, 150);
+        expired.deadline = Some(Instant::now() - Duration::from_millis(5));
+        let (mut live, rx_live) = queue_job(&server, 250);
+        live.deadline = Some(Instant::now() + Duration::from_secs(30));
+        assert!(q.push(expired).is_ok());
+        assert!(q.push(live).is_ok());
+
+        let shutdown = Shutdown::new();
+        shutdown.request();
+        solver_loop(&q, &cache, 8, &shutdown);
+
+        match rx_expired.try_recv().expect("shed reply delivered") {
+            Err(PredictError::DeadlineExpired(_)) => {}
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert!(rx_live.try_recv().expect("live reply delivered").is_ok());
+        // The shed job must not have been solved into the cache.
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

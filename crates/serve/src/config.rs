@@ -71,6 +71,10 @@ pub struct ServeConfig {
     /// Mean relative error over recent observations that triggers an
     /// early (drift) refit; `0` disables drift detection.
     pub drift_threshold: f64,
+    /// Default `/predict` deadline budget in milliseconds; `0` disables
+    /// deadlines (requests then wait the full solver reply timeout). A
+    /// request's own `deadline_ms` field overrides this per call.
+    pub deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +99,7 @@ impl Default for ServeConfig {
             store_dir: None,
             refit_window: 128,
             drift_threshold: 0.25,
+            deadline_ms: 1_000,
         }
     }
 }
@@ -122,7 +127,15 @@ USAGE: perfpred-serve [OPTIONS]
   --refit-window N     observations between scheduled refits (default 128)
   --drift-threshold X  mean relative error triggering an early refit,
                        0 disables drift detection (default 0.25)
+  --deadline-ms N      default /predict deadline budget in ms; past it the
+                       daemon answers from the degraded ladder (cache,
+                       historical, hybrid) or 504s. 0 disables deadlines
+                       (default 1000)
   --help               print this text
+
+Fault injection (chaos testing): set PERFPRED_FAULTS to a spec like
+  solver_delay=5ms:p0.1,store_io_err=p0.01,accept_reset=p0.05
+and optionally PERFPRED_FAULT_SEED for a reproducible draw sequence.
 ";
 
 impl ServeConfig {
@@ -199,6 +212,10 @@ impl ServeConfig {
                     }
                     cfg.drift_threshold = t;
                 }
+                "--deadline-ms" => {
+                    cfg.deadline_ms =
+                        parsed::<u64>(&value(&mut args, "--deadline-ms")?, "--deadline-ms")?;
+                }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
         }
@@ -257,6 +274,8 @@ mod tests {
             "32",
             "--drift-threshold",
             "0.4",
+            "--deadline-ms",
+            "250",
         ])
         .unwrap();
         assert_eq!(cfg.port, 0);
@@ -279,6 +298,16 @@ mod tests {
         );
         assert_eq!(cfg.refit_window, 32);
         assert!((cfg.drift_threshold - 0.4).abs() < 1e-12);
+        assert_eq!(cfg.deadline_ms, 250);
+    }
+
+    #[test]
+    fn deadline_defaults_to_a_second_and_zero_disables() {
+        assert_eq!(parse(&[]).unwrap().deadline_ms, 1_000);
+        assert_eq!(parse(&["--deadline-ms", "0"]).unwrap().deadline_ms, 0);
+        assert!(parse(&["--deadline-ms", "-3"])
+            .unwrap_err()
+            .contains("--deadline-ms"));
     }
 
     #[test]

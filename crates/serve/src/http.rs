@@ -14,7 +14,11 @@ use std::io::{self, BufRead, Write};
 
 /// Upper bound on request line + headers.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
-/// Upper bound on a request body.
+/// Upper bound on the number of header lines in one request.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body (1 MiB). A `Content-Length` above this
+/// is answered with 413 before a single body byte is buffered, so one
+/// request can never make the daemon allocate gigabytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// How many consecutive read timeouts mid-request before the connection
 /// is abandoned (with ~100 ms socket timeouts this is a multi-second
@@ -51,11 +55,21 @@ impl Request {
 pub enum ReadOutcome {
     /// A complete request.
     Request(Request),
-    /// Peer closed (or a malformed/oversized request forced a close).
+    /// Peer closed (or a malformed/truncated request forced a close).
     Closed,
     /// Read timeout with no request bytes pending — the connection is
     /// healthy but quiet; poll shutdown and try again.
     Idle,
+    /// The request blew a size limit but the framing was still intact
+    /// enough to answer: the caller writes this error response
+    /// (`Connection: close`) and then drops the connection, so
+    /// keep-alive clients see a status instead of a reset.
+    Reject {
+        /// 413 (body too large) or 431 (head too large / too many headers).
+        status: u16,
+        /// Human-readable reason for the error envelope.
+        message: &'static str,
+    },
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -128,9 +142,10 @@ fn read_body<R: BufRead>(r: &mut R, want: usize) -> io::Result<Option<Vec<u8>>> 
 /// Reads the next request off a (timeout-configured) connection.
 ///
 /// `Err` is only returned for hard I/O errors; timeouts before the first
-/// byte come back as [`ReadOutcome::Idle`], and everything malformed,
-/// oversized or truncated comes back as [`ReadOutcome::Closed`] (the
-/// caller drops the connection).
+/// byte come back as [`ReadOutcome::Idle`], malformed or truncated
+/// framing comes back as [`ReadOutcome::Closed`] (the caller drops the
+/// connection), and size-limit violations with intact framing come back
+/// as [`ReadOutcome::Reject`] (413/431) so the client gets an answer.
 pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
     // Request line.
     let mut line = Vec::new();
@@ -139,7 +154,12 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
         Ok(Some(false)) | Ok(None) => return Ok(ReadOutcome::Closed),
         Err(e) if is_timeout(&e) && line.is_empty() => return Ok(ReadOutcome::Idle),
         Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Closed),
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Ok(ReadOutcome::Closed),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(ReadOutcome::Reject {
+                status: 431,
+                message: "request line too long",
+            })
+        }
         Err(e) => return Err(e),
     }
     let request_line = String::from_utf8_lossy(&line).trim_end().to_string();
@@ -158,20 +178,37 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
     let mut head_bytes = line.len();
+    let mut headers = 0usize;
     loop {
         let mut hline = Vec::new();
         match read_line(r, &mut hline, MAX_HEAD_BYTES) {
             Ok(Some(true)) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(ReadOutcome::Reject {
+                    status: 431,
+                    message: "header line too long",
+                })
+            }
             _ => return Ok(ReadOutcome::Closed),
         }
         head_bytes += hline.len();
         if head_bytes > MAX_HEAD_BYTES {
-            return Ok(ReadOutcome::Closed);
+            return Ok(ReadOutcome::Reject {
+                status: 431,
+                message: "request head exceeds 8 KiB",
+            });
         }
         let text = String::from_utf8_lossy(&hline);
         let text = text.trim_end();
         if text.is_empty() {
             break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Ok(ReadOutcome::Reject {
+                status: 431,
+                message: "too many header fields",
+            });
         }
         let Some((name, value)) = text.split_once(':') else {
             return Ok(ReadOutcome::Closed);
@@ -179,9 +216,19 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<ReadOutcome> {
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
         match name.as_str() {
-            "content-length" => match value.parse::<usize>() {
-                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
-                _ => return Ok(ReadOutcome::Closed),
+            // Parsed as u64 first so a body advertised beyond the cap is
+            // *rejected with 413*, never buffered, and never silently
+            // dropped (pre-fix behaviour closed the connection, which a
+            // keep-alive client saw as a reset mid-POST).
+            "content-length" => match value.parse::<u64>() {
+                Ok(n) if n as usize <= MAX_BODY_BYTES => content_length = n as usize,
+                Ok(_) => {
+                    return Ok(ReadOutcome::Reject {
+                        status: 413,
+                        message: "request body exceeds 1 MiB",
+                    })
+                }
+                Err(_) => return Ok(ReadOutcome::Closed),
             },
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
             "transfer-encoding" => return Ok(ReadOutcome::Closed), // unsupported
@@ -269,8 +316,10 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Response",
     }
 }
@@ -319,16 +368,76 @@ mod tests {
             read("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
             ReadOutcome::Closed
         ));
-        // Body over the limit.
-        let big = format!(
-            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-            MAX_BODY_BYTES + 1
-        );
-        assert!(matches!(read(&big), ReadOutcome::Closed));
+        // Unparseable Content-Length is malformed framing, not a 413.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: umpteen\r\n\r\n"),
+            ReadOutcome::Closed
+        ));
         // Chunked transfer unsupported.
         assert!(matches!(
             read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
             ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413_before_buffering() {
+        // The advertised body is never sent; the parser must still answer
+        // from the headers alone instead of waiting or allocating.
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read(&big),
+            ReadOutcome::Reject { status: 413, .. }
+        ));
+        // Absurd 64-bit lengths must not wrap on 32-bit usize either.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n"),
+            ReadOutcome::Reject { status: 413, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_with_431() {
+        // Too many header fields.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            read(&raw),
+            ReadOutcome::Reject { status: 431, .. }
+        ));
+
+        // One header line longer than the whole head budget.
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "v".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            read(&raw),
+            ReadOutcome::Reject { status: 431, .. }
+        ));
+
+        // Many modest headers that together blow the head budget.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..40 {
+            raw.push_str(&format!("X-Pad{i}: {}\r\n", "p".repeat(250)));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            read(&raw),
+            ReadOutcome::Reject { status: 431, .. }
+        ));
+
+        // An oversized request line is a 431 too.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            read(&raw),
+            ReadOutcome::Reject { status: 431, .. }
         ));
     }
 

@@ -31,6 +31,17 @@ fn main() {
 
     install_signal_handlers();
 
+    // Fault injection (chaos testing) is opt-in via PERFPRED_FAULTS; a
+    // malformed spec is a hard startup error, not a silently clean run.
+    match perfpred_core::faults::init_from_env() {
+        Ok(None) => {}
+        Ok(Some(plan)) => eprintln!("fault injection armed: {}", plan.render()),
+        Err(e) => {
+            eprintln!("invalid {}: {e}", perfpred_core::faults::FAULTS_ENV);
+            std::process::exit(1);
+        }
+    }
+
     // The observation store comes up first: replaying a durable log may
     // already publish model versions the host then serves from.
     let refit_opts = RefitOptions {
@@ -77,13 +88,14 @@ fn main() {
         store.registry().version(),
     );
 
-    let app = App::with_store(
+    let mut app = App::with_store(
         host,
         admission,
         JobQueue::new(cfg.queue_depth),
         Shutdown::new(),
         store,
     );
+    app.deadline = std::time::Duration::from_millis(cfg.deadline_ms);
     let server = match Server::bind(
         &cfg.host,
         cfg.port,

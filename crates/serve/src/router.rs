@@ -5,6 +5,7 @@ use crate::batch::{Job, JobQueue};
 use crate::http::{Request, Response};
 use crate::models::{Method, ModelHost};
 use crate::shutdown::Shutdown;
+use perfpred_core::metrics::names;
 use perfpred_core::workload::{ClassLoad, RequestType, ServiceClass};
 use perfpred_core::{metrics, Json, PredictError, Prediction, ServerArch, Workload};
 use perfpred_store::{Observation, ObservationStore, StoreError};
@@ -12,8 +13,13 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How long a connection worker waits for the solver pool before giving
-/// up on a queued layered-queuing miss.
+/// up on a queued layered-queuing miss (an upper bound — a request
+/// deadline shortens the wait to its remaining budget).
 const SOLVER_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default per-request deadline budget when the request body does not
+/// carry a `deadline_ms` (overridable daemon-wide with `--deadline-ms`).
+pub const DEFAULT_DEADLINE: Duration = Duration::from_millis(1_000);
 
 /// The shared application state behind every connection worker.
 pub struct App {
@@ -27,6 +33,9 @@ pub struct App {
     pub store: Arc<ObservationStore>,
     /// Cooperative shutdown token.
     pub shutdown: Arc<Shutdown>,
+    /// Per-request deadline budget for `/predict` (zero disables
+    /// deadlines entirely; a request's own `deadline_ms` overrides it).
+    pub deadline: Duration,
     started: Instant,
 }
 
@@ -79,6 +88,7 @@ impl App {
             queue,
             store,
             shutdown,
+            deadline: DEFAULT_DEADLINE,
             started: Instant::now(),
         }
     }
@@ -321,9 +331,13 @@ impl App {
             Ok(w) => w,
             Err(e) => return Response::error(400, &e),
         };
+        let deadline = match parse_deadline(&body, self.deadline) {
+            Ok(d) => d,
+            Err(e) => return Response::error(400, &e),
+        };
 
         let (result, cached) = match method {
-            Method::Lqns => self.predict_lqns(&server, &workload),
+            Method::Lqns => self.predict_lqns(&server, &workload, deadline),
             _ => {
                 // Historical/hybrid solves are closed-form (µs): inline.
                 let cached = peeked(&self.host, method, &server, &workload);
@@ -335,9 +349,30 @@ impl App {
                 )
             }
         };
+        // Degraded serving: when the solver pool cannot answer in budget
+        // (queue saturated, job shed, reply late), fall back to the
+        // cheapest model that still answers instead of failing the
+        // request. Admission below judges the fallback prediction exactly
+        // as it would a normal one.
+        let mut mode = "normal";
+        let mut served_by = method.name();
         let prediction = match result {
             Ok(p) => p,
-            Err(PredictError::Overloaded(msg)) => return Response::error(503, &msg),
+            Err(e) if degradable(&e) => match self.degraded_fallback(&server, &workload) {
+                Some((p, by)) => {
+                    metrics::counter(names::SERVE_DEGRADED_TOTAL).incr();
+                    mode = "degraded";
+                    served_by = by;
+                    p
+                }
+                None => {
+                    let status = match e {
+                        PredictError::DeadlineExpired(_) => 504,
+                        _ => 503,
+                    };
+                    return Response::error(status, &e.to_string());
+                }
+            },
             Err(e) => return Response::error(400, &e.to_string()),
         };
 
@@ -367,9 +402,40 @@ impl App {
         out.set("method", method.name());
         out.set("server", server.name.as_str());
         out.set("admitted", true);
+        out.set("mode", mode);
+        out.set("served_by", served_by);
         out.set("cached", cached);
         out.set("prediction", prediction_json(&prediction));
         Response::json(200, &out)
+    }
+
+    /// The degraded-serving ladder, tried in cost order once the solver
+    /// pool has failed this request: (1) a cache entry another solver
+    /// published while this request waited, (2) the historical model —
+    /// the paper's §4 method is a closed-form lookup that answers in
+    /// microseconds from the same registry `/observe` refits feed — and
+    /// (3) the hybrid model's closed form. Returns the prediction and
+    /// which model produced it, or `None` when nothing can answer.
+    fn degraded_fallback(
+        &self,
+        server: &ServerArch,
+        workload: &Workload,
+    ) -> Option<(Prediction, &'static str)> {
+        if let Some(Ok(p)) = self.host.lqns.peek(server, workload) {
+            return Some((p, "lqns-cache"));
+        }
+        if self.host.registry.version() > 0 {
+            if let Some(Ok(p)) = self
+                .host
+                .predict_inline(Method::Historical, server, workload)
+            {
+                return Some((p, Method::Historical.name()));
+            }
+        }
+        if let Some(Ok(p)) = self.host.predict_inline(Method::Hybrid, server, workload) {
+            return Some((p, Method::Hybrid.name()));
+        }
+        None
     }
 
     /// The layered-queuing path: peek inline (the µs path the daemon's
@@ -380,6 +446,7 @@ impl App {
         &self,
         server: &ServerArch,
         workload: &Workload,
+        deadline: Option<Instant>,
     ) -> (Result<Prediction, PredictError>, bool) {
         use perfpred_core::PerformanceModel;
         if let Some(found) = self.host.lqns.peek(server, workload) {
@@ -393,6 +460,7 @@ impl App {
             server: server.clone(),
             workload: workload.clone(),
             reply,
+            deadline,
         };
         if self.queue.push(job).is_err() {
             return (
@@ -402,8 +470,27 @@ impl App {
                 false,
             );
         }
-        match rx.recv_timeout(SOLVER_REPLY_TIMEOUT) {
+        // Wait for the remaining budget, never longer than the pool's own
+        // reply bound. The solver sheds jobs whose deadline passed while
+        // queued; this arm covers the complementary case where the job is
+        // *being* solved (or still queued) when the budget runs out here.
+        let wait = match deadline {
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .min(SOLVER_REPLY_TIMEOUT),
+            None => SOLVER_REPLY_TIMEOUT,
+        };
+        match rx.recv_timeout(wait) {
             Ok(result) => (result, false),
+            Err(_) if deadline.is_some_and(|d| Instant::now() >= d) => {
+                metrics::counter(names::SERVE_DEADLINE_EXPIRED_TOTAL).incr();
+                (
+                    Err(PredictError::DeadlineExpired(
+                        "solver did not answer within the request budget".into(),
+                    )),
+                    false,
+                )
+            }
             Err(_) => (
                 Err(PredictError::Overloaded(
                     "solver pool did not answer in time".into(),
@@ -501,6 +588,34 @@ impl App {
         );
         Response::json(200, &out)
     }
+}
+
+/// Errors the degraded-serving ladder may absorb: the serving layer
+/// failed the request, not the request itself. Anything else (bad input,
+/// solver divergence) must surface to the client unchanged.
+fn degradable(e: &PredictError) -> bool {
+    matches!(
+        e,
+        PredictError::Overloaded(_) | PredictError::DeadlineExpired(_)
+    )
+}
+
+/// Parses the optional `deadline_ms` body field into an absolute
+/// deadline. Absent → the daemon default; `0` → deadlines off for this
+/// request (callers that prefer waiting the full solver timeout over a
+/// degraded answer).
+fn parse_deadline(body: &Json, default: Duration) -> Result<Option<Instant>, String> {
+    let budget = match body.get("deadline_ms") {
+        None => default,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                .ok_or("'deadline_ms' must be a non-negative number")?;
+            Duration::from_secs_f64(ms / 1e3)
+        }
+    };
+    Ok((budget > Duration::ZERO).then(|| Instant::now() + budget))
 }
 
 /// Did the method's cache already hold this key? (Peek-before-predict for
@@ -759,6 +874,9 @@ mod tests {
             .unwrap();
         assert!(mrt > 0.0);
 
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("normal"));
+        assert_eq!(j.get("served_by").and_then(Json::as_str), Some("hybrid"));
+
         let second = app.handle(&request("POST", "/predict", body));
         let j2 = body_json(&second);
         assert_eq!(j2.get("cached").and_then(Json::as_bool), Some(true));
@@ -932,6 +1050,89 @@ mod tests {
                 .unwrap(),
             j.get("cached").and_then(Json::as_bool).unwrap(),
         )
+    }
+
+    #[test]
+    fn deadline_miss_degrades_to_the_historical_model_bit_for_bit() {
+        let app = app();
+        // Calibrate the historical model through /observe first.
+        let r = app.handle(&request("POST", "/observe", &observe_batch(128, 1.0)));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+
+        // No solver threads run in this test, so an lqns miss with a 1 ms
+        // budget expires in the queue and must fall back.
+        let body = r#"{"method": "lqns", "clients": 300, "deadline_ms": 1, "admission": false}"#;
+        let r = app.handle(&request("POST", "/predict", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(
+            j.get("served_by").and_then(Json::as_str),
+            Some("historical")
+        );
+        let degraded = j
+            .get("prediction")
+            .and_then(|p| p.get("mrt_ms"))
+            .and_then(Json::as_f64)
+            .unwrap();
+
+        // The degraded answer and a pure method=historical request for
+        // the same workload must be the same bits — the fallback serves
+        // through the very cache the historical method uses.
+        let (pure, _) = predict_historical_mrt(&app);
+        assert_eq!(degraded.to_bits(), pure.to_bits());
+    }
+
+    #[test]
+    fn saturated_queue_degrades_to_hybrid() {
+        let app = App::new(
+            ModelHost::paper(&CacheOptions::default()),
+            AdmissionController::new(RuntimeOptions::default()).unwrap(),
+            JobQueue::new(1),
+            Shutdown::new(),
+        );
+        // Fill the single queue slot so the next miss overflows.
+        let (tx, _rx) = mpsc::channel();
+        let server = app.host.server("AppServF").unwrap().clone();
+        assert!(app
+            .queue
+            .push(Job {
+                server,
+                workload: Workload::typical(5),
+                reply: tx,
+                deadline: None,
+            })
+            .is_ok());
+
+        let body = r#"{"method": "lqns", "clients": 400, "admission": false}"#;
+        let r = app.handle(&request("POST", "/predict", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(j.get("served_by").and_then(Json::as_str), Some("hybrid"));
+    }
+
+    #[test]
+    fn deadline_with_no_fallback_answers_504() {
+        let mut host = ModelHost::paper(&CacheOptions::default());
+        host.hybrid = None; // nothing on the degraded ladder can answer
+        let app = App::new(
+            host,
+            AdmissionController::new(RuntimeOptions::default()).unwrap(),
+            JobQueue::new(64),
+            Shutdown::new(),
+        );
+        let body = r#"{"method": "lqns", "clients": 350, "deadline_ms": 1}"#;
+        let r = app.handle(&request("POST", "/predict", body));
+        assert_eq!(r.status, 504, "{:?}", String::from_utf8_lossy(&r.body));
+
+        // deadline_ms must be a non-negative number.
+        let r = app.handle(&request(
+            "POST",
+            "/predict",
+            r#"{"method": "lqns", "clients": 10, "deadline_ms": -5}"#,
+        ));
+        assert_eq!(r.status, 400, "{:?}", String::from_utf8_lossy(&r.body));
     }
 
     #[test]

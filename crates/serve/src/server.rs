@@ -5,9 +5,10 @@ use crate::batch::solver_loop;
 use crate::http::{read_request, ReadOutcome, Response};
 use crate::router::App;
 use crate::shutdown::Shutdown;
+use perfpred_core::faults::{self, FaultSite};
 use perfpred_core::metrics;
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -148,6 +149,15 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     metrics::counter("serve.accepted").incr();
+                    // Chaos harness: drop the connection on the floor the
+                    // way a dying LB or flaky network would, before any
+                    // bytes are exchanged. Clients must treat the reset as
+                    // retryable.
+                    if faults::fires(FaultSite::AcceptReset) {
+                        metrics::counter("serve.faults.accept_reset").incr();
+                        drop(stream);
+                        continue;
+                    }
                     if let Err(stream) = self.conn_queue.push(stream) {
                         metrics::counter("serve.accept_overflow").incr();
                         reject_overloaded(stream);
@@ -180,11 +190,49 @@ impl Server {
     }
 }
 
+/// Upper bound on bytes drained from a connection we are closing with an
+/// error response. Enough for any in-flight request head plus a capped
+/// body; past this the peer is hostile and an RST is acceptable.
+const DRAIN_BUDGET_BYTES: usize = 256 * 1024;
+
 /// Best-effort 503 for connections shed at the accept queue.
+///
+/// The response is written *first*, then the unread request bytes are
+/// drained before the socket drops. Closing with unread data pending
+/// makes the kernel send an RST, which on many stacks discards the
+/// just-queued response — the pre-fix behaviour meant a client midway
+/// through POSTing a body saw a connection reset instead of the 503.
 fn reject_overloaded(stream: TcpStream) {
     let mut stream = stream;
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
-    let _ = Response::error(503, "server is overloaded, retry later").write_to(&mut stream, false);
+    if Response::error(503, "server is overloaded, retry later")
+        .write_to(&mut stream, false)
+        .is_err()
+    {
+        return;
+    }
+    drain_then_close(stream);
+}
+
+/// Signals end-of-response, then reads (and discards) whatever the peer
+/// is still sending, bounded by [`DRAIN_BUDGET_BYTES`] and the socket
+/// read timeout, so the close is a FIN rather than an RST.
+fn drain_then_close(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < DRAIN_BUDGET_BYTES {
+        match stream.read(&mut sink) {
+            Ok(0) => return, // peer saw our FIN and finished
+            Ok(n) => drained += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Timeout or hard error: the peer went quiet without closing;
+            // we have given it a fair window to read the response.
+            Err(_) => return,
+        }
+    }
 }
 
 /// One connection worker: pull a connection, serve its keep-alive request
@@ -235,6 +283,20 @@ fn serve_connection(app: &App, stream: TcpStream, shutdown: &Shutdown) {
                     return;
                 }
             }
+            Ok(ReadOutcome::Reject { status, message }) => {
+                // A size limit tripped but the framing was intact: answer
+                // with the status, then close. The unread remainder (e.g.
+                // an oversized body the parser refused to buffer) is
+                // drained so the response survives the close.
+                metrics::counter("serve.rejected_requests").incr();
+                if Response::error(status, message)
+                    .write_to(&mut writer, false)
+                    .is_ok()
+                {
+                    drain_then_close(reader.into_inner());
+                }
+                return;
+            }
             Ok(ReadOutcome::Closed) | Err(_) => return,
         }
     }
@@ -248,7 +310,7 @@ mod tests {
     use crate::models::ModelHost;
     use perfpred_core::CacheOptions;
     use perfpred_resman::RuntimeOptions;
-    use std::io::{Read as _, Write as _};
+    use std::io::Write as _;
 
     fn start() -> (SocketAddr, Arc<Shutdown>, std::thread::JoinHandle<()>) {
         let app = App::new(
@@ -278,6 +340,26 @@ mod tests {
         let reply = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
         assert!(reply.contains("\"status\": \"ok\""), "{reply}");
+        shutdown.request();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_post_gets_a_413_not_a_reset() {
+        let (addr, shutdown, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let head = format!(
+            "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            8 * 1024 * 1024
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        // Keep sending body bytes the way a naive client would; the
+        // server must answer from the headers and drain, not reset.
+        let _ = stream.write_all(&vec![b'x'; 64 * 1024]);
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
         shutdown.request();
         handle.join().unwrap();
     }

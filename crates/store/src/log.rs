@@ -19,7 +19,7 @@
 //! resumes appending from the last valid record.
 
 use crate::record::{Observation, StoreError, RECORD_BYTES};
-use perfpred_core::fsutil::{atomic_write, sync_dir};
+use perfpred_core::fsutil::{atomic_write, create_durable, sync_dir};
 use perfpred_core::{metrics, Json};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek as _, SeekFrom, Write as _};
@@ -174,13 +174,12 @@ impl ObservationLog {
         let (active_id, active_records) = match survivors.last() {
             Some(&(id, records)) => (id, records),
             None => {
+                // First-ever segment: make its *directory entry* durable
+                // too (create_durable fsyncs the file and the parent), or
+                // a crash here could bring the log back up with a
+                // manifest pointing at a segment that vanished.
                 let path = dir.join(segment_name(0));
-                OpenOptions::new()
-                    .create(true)
-                    .truncate(false)
-                    .write(true)
-                    .open(&path)?;
-                sync_dir(dir)?;
+                drop(create_durable(&path, false)?);
                 (0, 0)
             }
         };
@@ -282,22 +281,25 @@ impl ObservationLog {
     /// Seals the active segment (fsync) and starts the next one; the
     /// manifest is rewritten atomically so a crash between the two steps
     /// still recovers cleanly from the directory scan.
+    ///
+    /// Durability ordering: (1) the sealing segment's data reaches disk,
+    /// (2) the new segment's inode *and* directory entry reach disk
+    /// (`create_durable` fsyncs both — a plain create left the entry
+    /// uncommitted, so a crash right after rotation could lose the new
+    /// segment file entirely), (3) the manifest rename lands (atomic
+    /// temp + rename, which fsyncs the directory again). Each step only
+    /// becomes visible after everything it references is durable.
     fn rotate(&mut self) -> io::Result<()> {
         self.active.sync_all()?;
         let next_id = self.active_id + 1;
         let path = self.dir.join(segment_name(next_id));
         // A fresh segment must start empty; any file already at this id is
         // unreachable history (recovery deleted reachable ones).
-        let active = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .write(true)
-            .open(&path)?;
+        let active = create_durable(&path, true)?;
         atomic_write(
             &self.dir.join(MANIFEST),
             manifest_json(self.segment_records, next_id + 1).as_bytes(),
         )?;
-        sync_dir(&self.dir)?;
         self.sealed_records += self.active_records as u64;
         self.active = active;
         self.active_id = next_id;

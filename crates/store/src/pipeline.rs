@@ -12,6 +12,7 @@ use crate::log::{LogOptions, ObservationLog, ReplayReport};
 use crate::record::{Observation, StoreError};
 use crate::refit::{RefitOptions, RefitTrigger, Refitter};
 use crate::registry::ModelRegistry;
+use perfpred_core::faults::{self, FaultPlan, FaultSite};
 use perfpred_core::{metrics, metrics::names, ServerArch};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -44,6 +45,10 @@ struct Inner {
 pub struct ObservationStore {
     inner: Mutex<Inner>,
     registry: Arc<ModelRegistry>,
+    /// Captured once at construction (not re-read per call) so a test's
+    /// store keeps its injected faults even when another test in the same
+    /// binary swaps the process-global plan.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ObservationStore {
@@ -56,6 +61,7 @@ impl ObservationStore {
                 refitter: Refitter::new(servers, opts),
             }),
             registry: Arc::new(ModelRegistry::new()),
+            faults: faults::active(),
         }
     }
 
@@ -90,9 +96,18 @@ impl ObservationStore {
                     refitter,
                 }),
                 registry,
+                faults: faults::active(),
             },
             report,
         ))
+    }
+
+    /// Replaces the store's captured fault plan — how chaos tests arm a
+    /// specific store instance without touching the process-global plan
+    /// other tests in the same binary might be reading.
+    pub fn with_faults(mut self, plan: Option<Arc<FaultPlan>>) -> ObservationStore {
+        self.faults = plan;
+        self
     }
 
     /// The shared registry (hand this to the serve daemon's model host).
@@ -121,6 +136,21 @@ impl ObservationStore {
             obs.validate()?;
         }
         let mut inner = self.inner.lock().unwrap();
+        // Injected I/O failure, placed *before* the append so a fired
+        // fault fails the batch atomically: nothing reaches the log and
+        // nothing folds into the refitter, exactly like a real write
+        // error surfaced by append_batch. Recovery therefore replays a
+        // state byte-identical to one where the batch never arrived.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.fires(FaultSite::StoreIoErr))
+        {
+            metrics::counter(names::STORE_INJECTED_IO_ERRORS_TOTAL).incr();
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected store I/O fault",
+            )));
+        }
         if let Some(log) = inner.log.as_mut() {
             log.append_batch(batch)?;
         }

@@ -218,6 +218,62 @@ fn drift_publishes_a_new_version_early() {
     assert!(store.registry().version() >= 2);
 }
 
+/// Fault injection: injected store I/O errors fail batches atomically —
+/// nothing from a failed batch reaches the log or the refitter — so
+/// replay after a restart reconstructs the accepted-batch state
+/// byte-identically.
+#[test]
+fn injected_write_errors_fail_batches_atomically_and_replay_byte_identically() {
+    use perfpred_core::faults::FaultPlan;
+    use perfpred_store::StoreError;
+    use std::sync::Arc;
+
+    let dir = scratch("faults");
+    let servers = [ServerArch::app_serv_f()];
+    let (store, _) = ObservationStore::open(&dir, LogOptions::default(), &servers, opts()).unwrap();
+    // Arm this store instance only — the process-global plan stays off so
+    // parallel tests in this binary are unaffected.
+    let plan = Arc::new(FaultPlan::parse("store_io_err=p0.4", 7).unwrap());
+    let store = store.with_faults(Some(plan));
+
+    // Mirror every *accepted* batch into an in-memory reference pipeline.
+    let data = trace(1.0, 140);
+    let reference = ObservationStore::in_memory(&servers, opts());
+    let mut failed = 0;
+    for chunk in data.chunks(7) {
+        match store.ingest(chunk) {
+            Ok(_) => {
+                reference.ingest(chunk).unwrap();
+            }
+            Err(StoreError::Io(_)) => failed += 1,
+            Err(e) => panic!("unexpected ingest error: {e}"),
+        }
+    }
+    assert!(failed > 0, "a p=0.4 fault plan must have fired");
+    assert!(store.observations() > 0, "some batches must have landed");
+    assert_eq!(store.observations(), reference.observations());
+    assert_eq!(store.log_len(), Some(store.observations()));
+    assert!(store.registry().version() >= 1, "ingest must have refitted");
+    assert_eq!(store.registry().version(), reference.registry().version());
+    store.sync().unwrap();
+    drop(store);
+
+    let (replayed, report) =
+        ObservationStore::open(&dir, LogOptions::default(), &servers, opts()).unwrap();
+    assert_eq!(report.records, reference.observations());
+    assert_eq!(report.torn_bytes, 0);
+    assert_eq!(
+        replayed.registry().version(),
+        reference.registry().version()
+    );
+    assert_eq!(
+        replayed.current_model_serialized().unwrap(),
+        reference.current_model_serialized().unwrap(),
+        "replayed model must equal the reference fit of the accepted batches"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Validation is all-or-nothing: a bad record rejects the batch and leaves
 /// nothing behind in the log or the refitter.
 #[test]
