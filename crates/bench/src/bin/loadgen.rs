@@ -1,11 +1,23 @@
-//! Closed-loop load generator for the `perfpred-serve` daemon.
+//! Load generator for the `perfpred-serve` daemon: closed-loop by
+//! default, open-loop with `--rate`.
 //!
-//! N client threads each run the classic closed loop: think (exponential,
-//! [`SimRng::exp`]) → `POST /predict` over a keep-alive connection → record
-//! the response latency. The key space is a small set of client counts, so
-//! after a warm-up pass every request rides the daemon's cache-hit path —
-//! the §8.5 "historical predictions answer online" regime the daemon
-//! exists for.
+//! **Closed loop** — N client threads each run the classic cycle: think
+//! (exponential, [`SimRng::exp`]) → `POST /predict` over a keep-alive
+//! connection → record the response latency. The key space is a small set
+//! of client counts, so after a warm-up pass every request rides the
+//! daemon's cache-hit path — the §8.5 "historical predictions answer
+//! online" regime the daemon exists for.
+//!
+//! **Open loop** (`--rate R`) — arrivals follow a seeded Poisson process
+//! at R req/s, split evenly across the sender threads, each round-robining
+//! over its share of `--connections` keep-alive sockets. Latency is
+//! measured from each request's *scheduled* arrival instant, not from the
+//! moment the sender got around to writing it, so a stalled server inflates
+//! the recorded tail instead of silently pausing the clock (the
+//! coordinated-omission trap closed loops fall into). `--idle-connections`
+//! additionally parks that many accepted keep-alive sockets for the whole
+//! run — the "p99 with 10k idle connections multiplexed" measurement the
+//! reactor core exists for.
 //!
 //! Results (throughput, exact p50/p95/p99 from the merged samples,
 //! rejection and error rates) are printed and merged into `BENCH.json`
@@ -40,9 +52,26 @@ USAGE: loadgen --port N [OPTIONS]
   --addr HOST:PORT     daemon address (default 127.0.0.1:<--port>)
   --port N             daemon port on 127.0.0.1
   --port-file PATH     read the port from a file the daemon wrote
-  --clients N          concurrent closed-loop clients (default 32)
+  --clients N          concurrent closed-loop clients, or sender threads
+                       in open-loop mode (default 32)
   --duration-s X       measured seconds after warm-up (default 10)
   --think-ms X         mean exponential think time, 0 = none (default 0.5)
+  --rate R             OPEN-LOOP mode: Poisson arrivals at R req/s total
+                       (seeded, split across sender threads); latency is
+                       measured from each request's scheduled arrival
+                       instant, so queueing delay shows up in the tail
+                       instead of being coordinated-omitted away
+  --connections N      keep-alive connections round-robined by the open-
+                       loop senders (default: one per sender thread)
+  --idle-connections N park N extra accepted keep-alive sockets for the
+                       whole run (measures multiplexing cost at high
+                       connection counts)
+  --bench-section NAME BENCH.json section to record under (default serve,
+                       serve.observe or serve.chaos by mode)
+  --note KEY=VAL       attach an extra note to the BENCH.json section
+                       (repeatable; VAL records as a number when it parses
+                       as one — lets an orchestrating script embed
+                       companion measurements, e.g. a baseline's req/s)
   --method NAME        prediction method to request (default lqns)
   --server NAME        server architecture to ask about (default AppServF)
   --key-space N        distinct client-count keys cycled through (default 4)
@@ -85,6 +114,11 @@ struct Config {
     min_refits: Option<u64>,
     chaos: bool,
     min_availability: Option<f64>,
+    rate: Option<f64>,
+    connections: usize,
+    idle_connections: usize,
+    bench_section: Option<String>,
+    notes: Vec<(String, String)>,
 }
 
 impl Default for Config {
@@ -104,6 +138,11 @@ impl Default for Config {
             min_refits: None,
             chaos: false,
             min_availability: None,
+            rate: None,
+            connections: 0,
+            idle_connections: 0,
+            bench_section: None,
+            notes: Vec::new(),
         }
     }
 }
@@ -191,11 +230,48 @@ fn parse_args() -> Result<Config, String> {
                 cfg.min_availability = Some(a);
                 cfg.chaos = true;
             }
+            "--rate" => {
+                let r: f64 = parsed(&value(&mut args, "--rate")?, "--rate")?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rate must be positive".into());
+                }
+                cfg.rate = Some(r);
+            }
+            "--connections" => {
+                cfg.connections =
+                    parsed::<usize>(&value(&mut args, "--connections")?, "--connections")?
+                        .clamp(1, 65_536);
+            }
+            "--idle-connections" => {
+                cfg.idle_connections = parsed::<usize>(
+                    &value(&mut args, "--idle-connections")?,
+                    "--idle-connections",
+                )?
+                .min(60_000);
+            }
+            "--bench-section" => {
+                cfg.bench_section = Some(value(&mut args, "--bench-section")?);
+            }
+            "--note" => {
+                let raw = value(&mut args, "--note")?;
+                let (key, val) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--note wants KEY=VAL, got '{raw}'"))?;
+                cfg.notes.push((key.to_string(), val.to_string()));
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     if cfg.addr.is_empty() {
         return Err("need --addr, --port or --port-file (try --help)".into());
+    }
+    if cfg.rate.is_some() && (cfg.report_observations || cfg.chaos) {
+        return Err(
+            "--rate (open loop) cannot be combined with --report-observations or --chaos".into(),
+        );
+    }
+    if cfg.connections > 0 && cfg.rate.is_none() {
+        return Err("--connections only applies to open-loop mode (add --rate)".into());
     }
     Ok(cfg)
 }
@@ -465,8 +541,79 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
     tally
 }
 
-/// What the chaos probe saw: probes delivered and responses that were
-/// not valid HTTP.
+/// Sleeps until `deadline` in short slices so a raised stop flag is
+/// honoured within ~50 ms even when Poisson gaps are long.
+fn sleep_until(deadline: Instant, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(50)));
+    }
+}
+
+/// One open-loop sender thread: a seeded Poisson arrival schedule at this
+/// thread's share of `--rate`, round-robined over its share of
+/// `--connections` keep-alive sockets.
+///
+/// Coordinated-omission safety is the whole design: each request's
+/// arrival instant is drawn from the schedule *before* the send, and the
+/// latency sample is `completion - scheduled`. If the server (or a busy
+/// connection) makes the sender late, the lateness is charged to the
+/// request — the schedule never stretches to match a slow server the way
+/// a closed loop's does.
+fn open_loop_worker(
+    cfg: &Config,
+    id: usize,
+    workers: usize,
+    n_conns: usize,
+    epoch: Instant,
+    stop: &AtomicBool,
+) -> Tally {
+    let mut rng = SimRng::seed_from(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64));
+    let rate = cfg.rate.expect("open loop requires --rate") / workers as f64;
+    let mean_gap_ms = 1e3 / rate;
+    let mut conns: Vec<Connection> = (0..n_conns.max(1))
+        .map(|_| Connection::new(&cfg.addr))
+        .collect();
+    let mut tally = Tally::default();
+    let mut key = id % cfg.key_space;
+    let mut turn = 0usize;
+    let mut next_ms = rng.exp(mean_gap_ms);
+    while !stop.load(Ordering::Relaxed) {
+        let scheduled = epoch + Duration::from_secs_f64(next_ms / 1e3);
+        next_ms += rng.exp(mean_gap_ms);
+        sleep_until(scheduled, stop);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let body = body_for(cfg, key);
+        key = (key + 1) % cfg.key_space;
+        let slot = turn % conns.len();
+        let conn = &mut conns[slot];
+        turn += 1;
+        let outcome = conn.post_capture("/predict", &body);
+        // From the *scheduled* arrival, not the send: queueing delay in
+        // the sender counts against the server that caused it.
+        let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok((status, _)) => {
+                tally.latencies_ms.push(latency_ms);
+                match status {
+                    200 => tally.ok += 1,
+                    503 => tally.rejected += 1,
+                    _ => tally.errors += 1,
+                }
+            }
+            Err(_) => tally.errors += 1, // connection reconnects on next use
+        }
+    }
+    tally
+}
 #[derive(Debug, Default)]
 struct ProbeReport {
     sent: u64,
@@ -579,16 +726,62 @@ fn main() {
         }
     }
 
-    println!(
-        "loadgen: {} clients x {:.1}s against {} ({} / {}, {} keys, think {} ms)",
-        cfg.clients,
-        cfg.duration.as_secs_f64(),
-        cfg.addr,
-        cfg.method,
-        cfg.server,
-        cfg.key_space,
-        cfg.think_ms,
-    );
+    // Idle keep-alive sockets, parked for the whole run: the daemon must
+    // hold every one open (accepted, registered, swept past) while the
+    // active load runs — the high-connection-count multiplexing cost the
+    // reactor core is built to flatten. One probe request on the last
+    // socket confirms the accept queue actually drained.
+    let mut parked: Vec<TcpStream> = Vec::with_capacity(cfg.idle_connections);
+    if cfg.idle_connections > 0 {
+        for i in 0..cfg.idle_connections {
+            match TcpStream::connect(&cfg.addr) {
+                Ok(s) => parked.push(s),
+                Err(e) => {
+                    eprintln!(
+                        "loadgen: FAIL — idle connection {}/{} refused: {e}",
+                        i + 1,
+                        cfg.idle_connections
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        let mut probe = Connection::new(&cfg.addr);
+        if !matches!(probe.get("/healthz"), Ok((200, _))) {
+            eprintln!("loadgen: FAIL — daemon unhealthy after parking idle connections");
+            std::process::exit(1);
+        }
+        println!(
+            "loadgen: parked {} idle keep-alive connections",
+            parked.len()
+        );
+    }
+
+    if let Some(rate) = cfg.rate {
+        println!(
+            "loadgen: OPEN LOOP {rate} req/s Poisson x {:.1}s against {} \
+             ({} senders, {} connections, {} idle, {} / {}, {} keys)",
+            cfg.duration.as_secs_f64(),
+            cfg.addr,
+            cfg.clients,
+            cfg.connections.max(cfg.clients),
+            cfg.idle_connections,
+            cfg.method,
+            cfg.server,
+            cfg.key_space,
+        );
+    } else {
+        println!(
+            "loadgen: {} clients x {:.1}s against {} ({} / {}, {} keys, think {} ms)",
+            cfg.clients,
+            cfg.duration.as_secs_f64(),
+            cfg.addr,
+            cfg.method,
+            cfg.server,
+            cfg.key_space,
+            cfg.think_ms,
+        );
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let probe = cfg.chaos.then(|| {
@@ -597,10 +790,25 @@ fn main() {
         std::thread::spawn(move || chaos_probe(&addr, &stop))
     });
     let mut handles = Vec::with_capacity(cfg.clients);
-    for id in 0..cfg.clients {
-        let cfg = cfg.clone();
-        let stop = Arc::clone(&stop);
-        handles.push(std::thread::spawn(move || client_loop(&cfg, id, &stop)));
+    if cfg.rate.is_some() {
+        // Distribute --connections across the sender threads; every
+        // sender gets at least one socket.
+        let workers = cfg.clients;
+        let total_conns = cfg.connections.max(workers);
+        for id in 0..workers {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let n_conns = total_conns / workers + usize::from(id < total_conns % workers);
+            handles.push(std::thread::spawn(move || {
+                open_loop_worker(&cfg, id, workers, n_conns, started, &stop)
+            }));
+        }
+    } else {
+        for id in 0..cfg.clients {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || client_loop(&cfg, id, &stop)));
+        }
     }
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
@@ -673,19 +881,39 @@ fn main() {
         );
     }
 
-    // Observation-reporting and chaos runs are different workloads — each
-    // keeps its own BENCH.json slice so the plain serving trajectory
-    // stays comparable across runs.
-    let mut rec = Recorder::new(if cfg.chaos {
-        "serve.chaos"
-    } else if cfg.report_observations {
-        "serve.observe"
-    } else {
-        "serve"
+    // Observation-reporting, chaos and open-loop runs are different
+    // workloads — each keeps its own BENCH.json slice so the plain serving
+    // trajectory stays comparable across runs. --bench-section overrides
+    // (the CI reactor leg lands under serve.reactor this way).
+    let section = cfg.bench_section.clone().unwrap_or_else(|| {
+        if cfg.chaos {
+            "serve.chaos".into()
+        } else if cfg.report_observations {
+            "serve.observe".into()
+        } else if cfg.rate.is_some() {
+            "serve.open".into()
+        } else {
+            "serve".into()
+        }
     });
+    let mut rec = Recorder::new(&section);
     rec.note("clients", cfg.clients);
     rec.note("duration_s", elapsed);
     rec.note("think_ms", cfg.think_ms);
+    if let Some(rate) = cfg.rate {
+        rec.note("open_loop", true);
+        rec.note("offered_rate_rps", rate);
+        rec.note("connections", cfg.connections.max(cfg.clients));
+    }
+    if cfg.idle_connections > 0 {
+        rec.note("idle_connections", cfg.idle_connections);
+    }
+    for (key, val) in &cfg.notes {
+        match val.parse::<f64>() {
+            Ok(n) => rec.note(key, n),
+            Err(_) => rec.note(key, val.as_str()),
+        }
+    }
     rec.note("method", cfg.method.as_str());
     rec.note("server", cfg.server.as_str());
     rec.note("key_space", cfg.key_space);

@@ -14,7 +14,7 @@
 //! spec    := entry ("," entry)*
 //! entry   := site "=" duration ":" "p" probability   (sites with a delay)
 //!          | site ("=" | ":") "p" probability        (all sites)
-//! site    := "solver_delay" | "store_io_err" | "accept_reset"
+//! site    := "solver_delay" | "store_io_err" | "accept_reset" | "conn_reset"
 //! duration:= <float> ("us" | "ms" | "s")             (solver_delay only)
 //! probability := <float in [0, 1]>
 //! ```
@@ -57,13 +57,18 @@ pub enum FaultSite {
     /// Drop an accepted connection on the floor without a byte written
     /// (models a client or network reset at the accept boundary).
     AcceptReset,
+    /// Reset an established connection mid-stream, from the read/write
+    /// paths of the reactor's connection state machine (models a client
+    /// vanishing between requests or mid-response).
+    ConnReset,
 }
 
 /// All sites, in [`FaultSite::index`] order.
-pub const SITES: [FaultSite; 3] = [
+pub const SITES: [FaultSite; 4] = [
     FaultSite::SolverDelay,
     FaultSite::StoreIoErr,
     FaultSite::AcceptReset,
+    FaultSite::ConnReset,
 ];
 
 impl FaultSite {
@@ -73,6 +78,7 @@ impl FaultSite {
             FaultSite::SolverDelay => "solver_delay",
             FaultSite::StoreIoErr => "store_io_err",
             FaultSite::AcceptReset => "accept_reset",
+            FaultSite::ConnReset => "conn_reset",
         }
     }
 
@@ -98,6 +104,7 @@ impl FaultSite {
             FaultSite::SolverDelay => 0,
             FaultSite::StoreIoErr => 1,
             FaultSite::AcceptReset => 2,
+            FaultSite::ConnReset => 3,
         }
     }
 }
@@ -157,7 +164,7 @@ fn parse_duration(raw: &str, entry: &str) -> Result<Duration, String> {
 impl FaultPlan {
     /// Parses a spec (see the module docs for the grammar) under `seed`.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
-        let mut sites: [Option<SiteSpec>; SITES.len()] = [None; 3];
+        let mut sites: [Option<SiteSpec>; SITES.len()] = [None; SITES.len()];
         for entry in spec.split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
@@ -388,6 +395,19 @@ mod tests {
             assert!(!never.fires(FaultSite::AcceptReset));
             assert!(always.fires(FaultSite::AcceptReset));
         }
+    }
+
+    #[test]
+    fn conn_reset_site_parses_and_draws() {
+        let plan = FaultPlan::parse("conn_reset:p0.5", 11).unwrap();
+        assert!(plan.site(FaultSite::ConnReset).is_some());
+        let hits = (0..1000)
+            .filter(|_| plan.fires(FaultSite::ConnReset))
+            .count();
+        assert!((350..650).contains(&hits), "p0.5 over 1000 draws: {hits}");
+        // Parameterless: a duration is rejected.
+        assert!(FaultPlan::parse("conn_reset=5ms:p0.1", 0).is_err());
+        assert_eq!(plan.render(), "conn_reset:p0.5");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod model;
 pub mod server;
 pub mod sla;
 pub mod summary;
+pub mod sys;
 pub mod workload;
 
 pub use accuracy::{accuracy_pct, mean_accuracy_pct, AccuracyReport};

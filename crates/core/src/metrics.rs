@@ -56,7 +56,13 @@ pub mod names {
 }
 
 /// A monotonically increasing atomic counter.
+///
+/// Aligned to a 64-byte cache line: counters are handed out as individual
+/// `Arc` allocations, and without the alignment two hot counters (or a
+/// counter and an unrelated allocation) can land on one line and pay
+/// cross-core false-sharing invalidations on every `incr`.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Counter {
     value: AtomicU64,
 }
@@ -85,6 +91,81 @@ impl Counter {
     /// Resets to zero.
     pub fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One cache-line-aligned counter lane of a [`ShardedCounter`].
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedLane {
+    value: AtomicU64,
+}
+
+/// A counter striped across per-shard lanes, each padded to its own
+/// 64-byte cache line.
+///
+/// A plain [`Counter`] bumped from every reactor shard makes all cores
+/// contend on one cache line; a `ShardedCounter` gives each shard a
+/// private lane (`lane(i).`[`add`](ShardedLane::add)) so the steady-state
+/// increment never leaves the owning core. Reads ([`get`](Self::get), and
+/// the registry snapshot behind `/metrics`) sum the lanes — aggregation
+/// happens at scrape time, not on the hot path.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    lanes: Box<[PaddedLane]>,
+}
+
+impl ShardedCounter {
+    /// A counter with `lanes` stripes (at least one).
+    pub fn new(lanes: usize) -> Self {
+        ShardedCounter {
+            lanes: (0..lanes.max(1)).map(|_| PaddedLane::default()).collect(),
+        }
+    }
+
+    /// The number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// A handle to lane `i` (wrapping, so any shard id is safe).
+    pub fn lane(&self, i: usize) -> ShardedLane<'_> {
+        ShardedLane {
+            lane: &self.lanes[i % self.lanes.len()],
+        }
+    }
+
+    /// The aggregate across all lanes.
+    pub fn get(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.value.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every lane.
+    pub fn reset(&self) {
+        for l in self.lanes.iter() {
+            l.value.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One shard's private view of a [`ShardedCounter`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedLane<'a> {
+    lane: &'a PaddedLane,
+}
+
+impl ShardedLane<'_> {
+    /// Adds one to this lane.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to this lane.
+    pub fn add(&self, n: u64) {
+        self.lane.value.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -248,10 +329,27 @@ impl Histogram {
 #[derive(Debug, Default)]
 struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    sharded: RwLock<BTreeMap<String, Arc<ShardedCounter>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {
+    fn sharded_counter(&self, name: &str, lanes: usize) -> Arc<ShardedCounter> {
+        if let Some(c) = self
+            .sharded
+            .read()
+            .expect("metrics registry lock")
+            .get(name)
+        {
+            return Arc::clone(c);
+        }
+        let mut map = self.sharded.write().expect("metrics registry lock");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(ShardedCounter::new(lanes))),
+        )
+    }
+
     fn counter(&self, name: &str) -> Arc<Counter> {
         if let Some(c) = self
             .counters
@@ -287,6 +385,9 @@ impl Registry {
         {
             c.reset();
         }
+        for c in self.sharded.read().expect("metrics registry lock").values() {
+            c.reset();
+        }
         for h in self
             .histograms
             .read()
@@ -298,7 +399,9 @@ impl Registry {
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
+        // Plain and sharded counters render identically: the lanes are an
+        // implementation detail of the write path, aggregated at scrape.
+        let mut counters: Vec<CounterSnapshot> = self
             .counters
             .read()
             .expect("metrics registry lock")
@@ -307,7 +410,18 @@ impl Registry {
                 name: name.clone(),
                 value: c.get(),
             })
+            .chain(
+                self.sharded
+                    .read()
+                    .expect("metrics registry lock")
+                    .iter()
+                    .map(|(name, c)| CounterSnapshot {
+                        name: name.clone(),
+                        value: c.get(),
+                    }),
+            )
             .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
         let histograms = self
             .histograms
             .read()
@@ -430,6 +544,14 @@ pub fn current_scope() -> Option<Scope> {
 /// use.
 pub fn counter(name: &str) -> Arc<Counter> {
     active_registry().counter(name)
+}
+
+/// Returns the sharded counter registered under `name` in the active
+/// registry, creating it with `lanes` stripes on first use (an existing
+/// counter keeps its lane count; `ShardedCounter::lane` wraps, so any
+/// shard id stays valid either way).
+pub fn sharded_counter(name: &str, lanes: usize) -> Arc<ShardedCounter> {
+    active_registry().sharded_counter(name, lanes)
 }
 
 /// Returns the histogram registered under `name` in the active registry
@@ -728,6 +850,57 @@ mod tests {
             }
         });
         assert_eq!(scope.snapshot().counter("test.scope.cross_thread"), 400);
+    }
+
+    #[test]
+    fn counters_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<Counter>(), 64);
+        assert_eq!(std::mem::size_of::<Counter>(), 64);
+        // Sharded lanes each own a full line, so lane i and lane i+1
+        // never share one.
+        let sharded = ShardedCounter::new(4);
+        let a = std::ptr::from_ref(sharded.lane(0).lane) as usize;
+        let b = std::ptr::from_ref(sharded.lane(1).lane) as usize;
+        assert_eq!(b - a, 64);
+    }
+
+    #[test]
+    fn sharded_counter_aggregates_lanes_on_read() {
+        let scope = Scope::new();
+        let _g = scope.enter();
+        let c = sharded_counter("test.sharded.accepted", 4);
+        assert_eq!(c.lanes(), 4);
+        c.lane(0).incr();
+        c.lane(1).add(10);
+        c.lane(5).add(100); // wraps onto lane 1
+        assert_eq!(c.get(), 111);
+        // Scrapes see the aggregate under the plain counter name.
+        assert_eq!(snapshot().counter("test.sharded.accepted"), 111);
+        assert!(snapshot()
+            .render_exposition()
+            .contains("test_sharded_accepted 111"));
+        // Same name resolves to the same instance; reset zeroes lanes.
+        let again = sharded_counter("test.sharded.accepted", 9);
+        assert!(Arc::ptr_eq(&c, &again));
+        assert_eq!(again.lanes(), 4);
+        reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn sharded_lanes_record_concurrently_without_loss() {
+        let c = ShardedCounter::new(8);
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let lane = c.lane(i);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        lane.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
     }
 
     #[test]

@@ -43,8 +43,13 @@ pub struct ServeConfig {
     /// When set, the daemon writes the bound port number here once
     /// listening — how the CI smoke job finds an ephemeral port.
     pub port_file: Option<PathBuf>,
-    /// Connection-handling worker threads.
+    /// Connection-handling worker threads (threaded core), or the
+    /// blocking-dispatcher pool size (reactor core).
     pub workers: usize,
+    /// Epoll reactor shards for the event-driven core; `0` selects the
+    /// classic thread-per-connection core. Defaults to the CPU count
+    /// (1..8) on Linux and `0` elsewhere, where epoll does not exist.
+    pub reactor_shards: usize,
     /// Layered-queuing solver threads (the micro-batching pool).
     pub solvers: usize,
     /// Bound on connections queued between accept and the workers;
@@ -86,6 +91,11 @@ impl Default for ServeConfig {
             port: 7020,
             port_file: None,
             workers: parallelism.clamp(2, 16),
+            reactor_shards: if cfg!(target_os = "linux") {
+                parallelism.clamp(1, 8)
+            } else {
+                0
+            },
             solvers: (parallelism / 4).clamp(1, 4),
             queue_depth: 1024,
             batch_max: 32,
@@ -113,9 +123,15 @@ USAGE: perfpred-serve [OPTIONS]
   --host ADDR          interface to bind (default 127.0.0.1)
   --port N             port to bind; 0 = ephemeral (default 7020)
   --port-file PATH     write the bound port here once listening
-  --workers N          connection worker threads (default: CPU count, 2..16)
+  --workers N          connection worker threads (threaded core) or
+                       blocking-dispatcher threads (reactor core)
+                       (default: CPU count, 2..16)
+  --reactor-shards N   epoll reactor shards for the event-driven core;
+                       0 = classic thread-per-connection core
+                       (default on Linux: CPU count, 1..8; elsewhere 0)
   --solvers N          LQ solver threads (default: CPU count / 4, 1..4)
-  --queue-depth N      accept-queue bound, overflow => 503 (default 1024)
+  --queue-depth N      accept-queue / dispatch-queue bound, overflow => 503
+                       (default 1024)
   --batch-max N        max predict jobs per solver batch (default 32)
   --threshold X        admission threshold in [0, 1) (default 0.05)
   --cache-capacity N   prediction-cache entry bound, 0 = unbounded
@@ -164,6 +180,16 @@ impl ServeConfig {
                 "--workers" => {
                     cfg.workers = parsed::<usize>(&value(&mut args, "--workers")?, "--workers")?
                         .clamp(1, 256);
+                }
+                "--reactor-shards" => {
+                    cfg.reactor_shards = parsed::<usize>(
+                        &value(&mut args, "--reactor-shards")?,
+                        "--reactor-shards",
+                    )?
+                    .min(256);
+                    if cfg.reactor_shards > 0 && !cfg!(target_os = "linux") {
+                        return Err("--reactor-shards requires Linux (epoll)".into());
+                    }
                 }
                 "--solvers" => {
                     cfg.solvers =
@@ -241,6 +267,25 @@ mod tests {
         assert_eq!(cfg.cache.client_quantum, 1);
         assert!(cfg.workers >= 2);
         assert!(cfg.solvers >= 1);
+        if cfg!(target_os = "linux") {
+            assert!(cfg.reactor_shards >= 1, "reactor is the default on Linux");
+        } else {
+            assert_eq!(cfg.reactor_shards, 0);
+        }
+    }
+
+    #[test]
+    fn reactor_shards_flag_selects_the_core() {
+        let cfg = parse(&["--reactor-shards", "0"]).unwrap();
+        assert_eq!(cfg.reactor_shards, 0, "0 falls back to the threaded core");
+        if cfg!(target_os = "linux") {
+            assert_eq!(parse(&["--reactor-shards", "4"]).unwrap().reactor_shards, 4);
+        } else {
+            assert!(parse(&["--reactor-shards", "4"]).is_err());
+        }
+        assert!(parse(&["--reactor-shards", "x"])
+            .unwrap_err()
+            .contains("--reactor-shards"));
     }
 
     #[test]

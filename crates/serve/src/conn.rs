@@ -1,0 +1,751 @@
+//! Per-connection state machine for the event-driven serving core.
+//!
+//! Each reactor connection moves through
+//! `ReadHead → ReadBody → Dispatch → Write → Drain`, parsing requests
+//! *incrementally* out of a pooled read buffer: the nonblocking socket
+//! delivers bytes in arbitrary chunks, so [`parse_head`] is re-run over
+//! the accumulated buffer until a full head (then body) is present,
+//! producing exactly the outcomes `http::read_request` produces on the
+//! blocking core — same 413/431 limits, same malformed-framing closes —
+//! so the two cores answer byte-identically.
+//!
+//! Nothing here allocates on the steady-state path: requests parse into
+//! a reused [`Request`] scratch (strings cleared, capacity kept),
+//! responses serialize into a reused write buffer, and a whole
+//! connection's buffers ([`ConnBufs`]) detach back to a per-shard
+//! [`BufPool`] while the connection idles between keep-alive requests —
+//! ten thousand parked connections hold sockets, not buffers.
+
+use crate::http::{Request, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Bytes added to the read buffer per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Upper bound on buffered inbound bytes per connection: one maximal
+/// request (head + body) plus a chunk of pipelined follow-on. A client
+/// flooding faster than we dispatch keeps the rest in the kernel buffer.
+const READ_CAP: usize = MAX_HEAD_BYTES + MAX_BODY_BYTES + READ_CHUNK;
+/// Pooled buffers larger than this are shrunk before re-pooling, so one
+/// 1 MiB body doesn't pin megabytes in the pool forever.
+const MAX_POOLED_CAPACITY: usize = 64 * 1024;
+/// Initial capacity for pooled buffers (a typical head + JSON response).
+const INITIAL_CAPACITY: usize = 4 * 1024;
+/// Bound on bytes drained from a connection being closed with an error
+/// response — same budget as the blocking core's `drain_then_close`.
+pub const DRAIN_BUDGET_BYTES: usize = 256 * 1024;
+
+/// A parsed head's framing facts, carried from `ReadHead` to `ReadBody`.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadInfo {
+    /// Bytes of request line + headers + terminating empty line.
+    pub head_len: usize,
+    /// Advertised `Content-Length` (0 when absent).
+    pub content_length: usize,
+}
+
+impl HeadInfo {
+    /// Total framed size of the request: head plus body.
+    pub fn total_len(&self) -> usize {
+        self.head_len + self.content_length
+    }
+}
+
+/// What one incremental head-parse attempt produced.
+#[derive(Debug)]
+pub enum HeadOutcome {
+    /// Head complete: method/path/keep-alive are parsed into the scratch
+    /// request; the body (if any) still needs `content_length` bytes.
+    Complete(HeadInfo),
+    /// Not enough bytes yet; keep reading.
+    Partial,
+    /// Malformed or unsupported framing; close without answering (the
+    /// blocking core's `ReadOutcome::Closed`).
+    Malformed,
+    /// A size limit tripped but framing was intact enough to answer:
+    /// write this error (`Connection: close`), then drain and close.
+    Reject {
+        /// 413 (body too large) or 431 (head too large / too many headers).
+        status: u16,
+        /// Human-readable reason for the error envelope.
+        message: &'static str,
+    },
+}
+
+/// One complete line (through `\n`) starting at `*pos`, or `None`.
+fn next_line<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let rest = &buf[*pos..];
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    *pos += nl + 1;
+    Some(&rest[..=nl])
+}
+
+/// Incrementally parses an HTTP/1.1 request head out of `buf`, writing
+/// method, path and keep-alive into the reused `req` scratch (body is
+/// left alone — the caller copies it once `content_length` bytes are
+/// buffered). Re-run from scratch whenever more bytes arrive; heads are
+/// capped at 8 KiB so the rescan stays trivially cheap.
+///
+/// Limit and malformed-framing behaviour mirrors `http::read_request`
+/// outcome-for-outcome; `tests/reactor.rs` holds the two byte-identical.
+pub fn parse_head(buf: &[u8], req: &mut Request) -> HeadOutcome {
+    let mut pos = 0usize;
+
+    // Request line.
+    let Some(line) = next_line(buf, &mut pos) else {
+        return if buf.len() > MAX_HEAD_BYTES {
+            HeadOutcome::Reject {
+                status: 431,
+                message: "request line too long",
+            }
+        } else {
+            HeadOutcome::Partial
+        };
+    };
+    if line.len() > MAX_HEAD_BYTES {
+        return HeadOutcome::Reject {
+            status: 431,
+            message: "request line too long",
+        };
+    }
+    let text = String::from_utf8_lossy(line);
+    let text = text.trim_end();
+    let mut parts = text.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HeadOutcome::Malformed;
+    };
+    if !version.starts_with("HTTP/1.") {
+        return HeadOutcome::Malformed;
+    }
+    req.method.clear();
+    req.method.push_str(method);
+    req.method.make_ascii_uppercase();
+    req.path.clear();
+    req.path
+        .push_str(target.split('?').next().unwrap_or(target));
+    req.keep_alive = true; // HTTP/1.1 default
+
+    // Headers.
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    let mut headers = 0usize;
+    loop {
+        let Some(hline) = next_line(buf, &mut pos) else {
+            // An unterminated header line past the whole head budget can
+            // never become legal; answer now instead of buffering on.
+            return if buf.len() - pos > MAX_HEAD_BYTES {
+                HeadOutcome::Reject {
+                    status: 431,
+                    message: "header line too long",
+                }
+            } else {
+                HeadOutcome::Partial
+            };
+        };
+        if hline.len() > MAX_HEAD_BYTES {
+            return HeadOutcome::Reject {
+                status: 431,
+                message: "header line too long",
+            };
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return HeadOutcome::Reject {
+                status: 431,
+                message: "request head exceeds 8 KiB",
+            };
+        }
+        let text = String::from_utf8_lossy(hline);
+        let text = text.trim_end();
+        if text.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return HeadOutcome::Reject {
+                status: 431,
+                message: "too many header fields",
+            };
+        }
+        let Some((name, value)) = text.split_once(':') else {
+            return HeadOutcome::Malformed;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<u64>() {
+                Ok(n) if n as usize <= MAX_BODY_BYTES => content_length = n as usize,
+                Ok(_) => {
+                    return HeadOutcome::Reject {
+                        status: 413,
+                        message: "request body exceeds 1 MiB",
+                    }
+                }
+                Err(_) => return HeadOutcome::Malformed,
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            req.keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return HeadOutcome::Malformed; // unsupported
+        }
+    }
+
+    HeadOutcome::Complete(HeadInfo {
+        head_len: pos,
+        content_length,
+    })
+}
+
+/// The buffers and scratch one active connection borrows from the pool.
+#[derive(Debug, Default)]
+pub struct ConnBufs {
+    /// Accumulated inbound bytes awaiting parse.
+    pub read: Vec<u8>,
+    /// Serialized response bytes awaiting flush.
+    pub write: Vec<u8>,
+    /// The reused parse target (strings cleared, capacity kept).
+    pub req: Request,
+}
+
+/// A per-shard free list of [`ConnBufs`]. Connections borrow on first
+/// inbound byte and return the set once they go idle between requests,
+/// so buffer memory scales with *active* connections, not open sockets.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<ConnBufs>,
+    cap: usize,
+}
+
+impl BufPool {
+    /// A pool retaining at most `cap` idle buffer sets.
+    pub fn new(cap: usize) -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Borrows a buffer set (allocating a fresh one only when the pool is
+    /// dry — the amortized steady state pops and pushes).
+    pub fn get(&mut self) -> ConnBufs {
+        self.free.pop().unwrap_or_else(|| ConnBufs {
+            read: Vec::with_capacity(INITIAL_CAPACITY),
+            write: Vec::with_capacity(INITIAL_CAPACITY),
+            req: Request {
+                method: String::new(),
+                path: String::new(),
+                body: Vec::new(),
+                keep_alive: true,
+            },
+        })
+    }
+
+    /// Returns a buffer set, clearing it and shedding outsized capacity
+    /// (one 1 MiB request must not pin megabytes in the pool).
+    pub fn put(&mut self, mut bufs: ConnBufs) {
+        if self.free.len() >= self.cap {
+            return;
+        }
+        bufs.read.clear();
+        bufs.write.clear();
+        bufs.req.body.clear();
+        if bufs.read.capacity() > MAX_POOLED_CAPACITY {
+            bufs.read.shrink_to(INITIAL_CAPACITY);
+        }
+        if bufs.write.capacity() > MAX_POOLED_CAPACITY {
+            bufs.write.shrink_to(INITIAL_CAPACITY);
+        }
+        if bufs.req.body.capacity() > MAX_POOLED_CAPACITY {
+            bufs.req.body.shrink_to(INITIAL_CAPACITY);
+        }
+        self.free.push(bufs);
+    }
+
+    /// Idle buffer sets currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffer sets are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Accumulating request line + headers (idle keep-alive connections
+    /// park here with an empty buffer).
+    ReadHead,
+    /// Head parsed; awaiting the advertised body bytes.
+    ReadBody,
+    /// Request handed to a dispatcher; response not yet produced. Epoll
+    /// interest drops to zero — inbound pipelined bytes wait in the
+    /// kernel buffer until the in-order response is written.
+    Dispatch,
+    /// Response bytes pending in the write buffer.
+    Write,
+    /// Error response written; discarding inbound until EOF or budget so
+    /// the close is a FIN the peer can read the response through, not an
+    /// RST that destroys it.
+    Drain,
+}
+
+/// What [`Conn::advance`] wants the reactor to do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Step {
+    /// A complete request sits in the scratch (`bufs.req`); dispatch it.
+    Dispatch,
+    /// Waiting for more inbound bytes (epoll interest: readable).
+    WantRead,
+    /// Write buffer not yet flushed (epoll interest: writable).
+    WantWrite,
+    /// Connection finished or broken; deregister and drop it.
+    Close,
+}
+
+/// One nonblocking connection owned by a reactor shard.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Current state-machine position.
+    pub state: State,
+    /// Borrowed buffers; `None` while idling between requests.
+    pub bufs: Option<ConnBufs>,
+    head: Option<HeadInfo>,
+    write_pos: usize,
+    /// Close instead of re-entering `ReadHead` once the write flushes.
+    pub close_after_write: bool,
+    /// Enter `Drain` (rather than closing outright) after the flush —
+    /// the reject path, where the peer may still be mid-send.
+    pub drain_after_write: bool,
+    /// Last time a byte moved in either direction — the slow-loris clock.
+    pub last_progress: Instant,
+    /// Events currently armed in epoll for this socket.
+    pub interest: u32,
+    drained: usize,
+    peer_eof: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted, already-nonblocking socket.
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            state: State::ReadHead,
+            bufs: None,
+            head: None,
+            write_pos: 0,
+            close_after_write: false,
+            drain_after_write: false,
+            last_progress: now,
+            interest: 0,
+            drained: 0,
+            peer_eof: false,
+        }
+    }
+
+    /// True while the connection holds no buffers and no partial state —
+    /// a parked keep-alive socket costing only its fd.
+    pub fn is_idle(&self) -> bool {
+        self.state == State::ReadHead && self.bufs.is_none()
+    }
+
+    /// Reads whatever the socket has (up to the per-connection cap),
+    /// appending to the pooled read buffer. Returns `true` if any bytes
+    /// arrived. Records EOF; `advance` turns it into `Close` once the
+    /// buffered bytes are exhausted.
+    pub fn fill(&mut self, pool: &mut BufPool, now: Instant) -> io::Result<bool> {
+        if self.bufs.is_none() {
+            self.bufs = Some(pool.get());
+        }
+        let bufs = self.bufs.as_mut().expect("bufs attached above");
+        let mut got = false;
+        while bufs.read.len() < READ_CAP {
+            let len = bufs.read.len();
+            let want = READ_CHUNK.min(READ_CAP - len);
+            bufs.read.resize(len + want, 0);
+            match self.stream.read(&mut bufs.read[len..len + want]) {
+                Ok(0) => {
+                    bufs.read.truncate(len);
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    bufs.read.truncate(len + n);
+                    self.last_progress = now;
+                    got = true;
+                    if n < want {
+                        break; // short read: socket is drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    bufs.read.truncate(len);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    bufs.read.truncate(len);
+                }
+                Err(e) => {
+                    bufs.read.truncate(len);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// Advances the read-side state machine over the buffered bytes:
+    /// parses the head, then waits out the body, then yields `Dispatch`
+    /// with the request in the scratch. Reject outcomes queue their error
+    /// response themselves and come back as `WantWrite`.
+    pub fn advance(&mut self, now: Instant) -> Step {
+        loop {
+            match self.state {
+                State::ReadHead => {
+                    let Some(bufs) = self.bufs.as_mut() else {
+                        return if self.peer_eof {
+                            Step::Close
+                        } else {
+                            Step::WantRead
+                        };
+                    };
+                    if bufs.read.is_empty() {
+                        return if self.peer_eof {
+                            Step::Close
+                        } else {
+                            Step::WantRead
+                        };
+                    }
+                    match parse_head(&bufs.read, &mut bufs.req) {
+                        HeadOutcome::Complete(info) => {
+                            self.head = Some(info);
+                            self.state = State::ReadBody;
+                        }
+                        HeadOutcome::Partial => {
+                            // EOF mid-head is a truncated request: close
+                            // without answering, like the blocking core.
+                            return if self.peer_eof {
+                                Step::Close
+                            } else {
+                                Step::WantRead
+                            };
+                        }
+                        HeadOutcome::Malformed => return Step::Close,
+                        HeadOutcome::Reject { status, message } => {
+                            return self.queue_reject(status, message, now);
+                        }
+                    }
+                }
+                State::ReadBody => {
+                    let info = self.head.expect("ReadBody requires a parsed head");
+                    let bufs = self.bufs.as_mut().expect("ReadBody requires buffers");
+                    if bufs.read.len() < info.total_len() {
+                        return if self.peer_eof {
+                            Step::Close
+                        } else {
+                            Step::WantRead
+                        };
+                    }
+                    bufs.req.body.clear();
+                    bufs.req
+                        .body
+                        .extend_from_slice(&bufs.read[info.head_len..info.total_len()]);
+                    // Consume the framed request; pipelined successors
+                    // slide to the front (usually a no-op copy of zero
+                    // remaining bytes).
+                    bufs.read.drain(..info.total_len());
+                    self.head = None;
+                    self.state = State::Dispatch;
+                    return Step::Dispatch;
+                }
+                // Dispatch/Write/Drain don't advance on reads.
+                State::Dispatch => return Step::WantRead,
+                State::Write => return Step::WantWrite,
+                State::Drain => return self.drain_step(now),
+            }
+        }
+    }
+
+    /// Serializes `response` into the write buffer and transitions to
+    /// `Write`. `keep` mirrors the blocking core's per-response choice
+    /// (`req.keep_alive && !shutdown`).
+    pub fn queue_response(
+        &mut self,
+        response: &crate::http::Response,
+        keep: bool,
+        pool: &mut BufPool,
+    ) {
+        if self.bufs.is_none() {
+            self.bufs = Some(pool.get());
+        }
+        let bufs = self.bufs.as_mut().expect("bufs attached above");
+        response.write_into(&mut bufs.write, keep);
+        self.close_after_write = !keep;
+        self.state = State::Write;
+    }
+
+    /// Queues a 413/431 reject: error response, `Connection: close`,
+    /// then drain. Returns the follow-up step from flushing.
+    fn queue_reject(&mut self, status: u16, message: &'static str, now: Instant) -> Step {
+        perfpred_core::metrics::counter("serve.rejected_requests").incr();
+        let response = crate::http::Response::error(status, message);
+        let bufs = self.bufs.as_mut().expect("reject follows a parse");
+        response.write_into(&mut bufs.write, false);
+        self.close_after_write = true;
+        self.drain_after_write = true;
+        self.state = State::Write;
+        self.flush(now)
+    }
+
+    /// Flushes the write buffer. `WantWrite` means the socket filled up
+    /// (arm writable interest); otherwise the connection either closes,
+    /// drains, or returns to `ReadHead` — where buffered pipelined bytes
+    /// are paged through `advance` by the caller.
+    pub fn flush(&mut self, now: Instant) -> Step {
+        debug_assert_eq!(self.state, State::Write);
+        let bufs = self.bufs.as_mut().expect("Write requires buffers");
+        while self.write_pos < bufs.write.len() {
+            match self.stream.write(&bufs.write[self.write_pos..]) {
+                Ok(0) => return Step::Close,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_progress = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::WantWrite,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Step::Close,
+            }
+        }
+        bufs.write.clear();
+        self.write_pos = 0;
+        if self.drain_after_write {
+            // Signal end-of-response, then absorb what the peer is still
+            // sending so the close is a FIN, not an RST.
+            let _ = self.stream.shutdown(std::net::Shutdown::Write);
+            self.state = State::Drain;
+            return self.drain_step(now);
+        }
+        if self.close_after_write {
+            return Step::Close;
+        }
+        self.state = State::ReadHead;
+        // Pipelined successors may already be buffered — epoll will never
+        // re-report bytes that left the kernel, so re-enter the parser
+        // instead of parking (it returns `WantRead` if the buffer is dry).
+        self.advance(now)
+    }
+
+    /// One nonblocking pass of the bounded post-reject drain.
+    fn drain_step(&mut self, now: Instant) -> Step {
+        let mut sink = [0u8; 4096];
+        while self.drained < DRAIN_BUDGET_BYTES {
+            match self.stream.read(&mut sink) {
+                Ok(0) => return Step::Close, // peer saw the FIN and finished
+                Ok(n) => {
+                    self.drained += n;
+                    self.last_progress = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Step::WantRead,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Step::Close,
+            }
+        }
+        Step::Close // budget blown: the peer is hostile, RST is fine
+    }
+
+    /// Releases the buffers back to the pool if the connection is parked
+    /// between requests with nothing buffered in either direction.
+    pub fn release_if_idle(&mut self, pool: &mut BufPool) {
+        if self.state != State::ReadHead {
+            return;
+        }
+        let empty = self
+            .bufs
+            .as_ref()
+            .is_some_and(|b| b.read.is_empty() && b.write.is_empty());
+        if empty {
+            pool.put(self.bufs.take().expect("checked above"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch() -> Request {
+        Request {
+            method: String::new(),
+            path: String::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    /// Parses a full request (head + body) in one shot, the way the
+    /// reactor does across its ReadHead/ReadBody states.
+    fn parse_full(buf: &[u8], req: &mut Request) -> Result<Option<usize>, HeadOutcome> {
+        match parse_head(buf, req) {
+            HeadOutcome::Complete(info) => {
+                if buf.len() < info.total_len() {
+                    return Ok(None);
+                }
+                req.body.clear();
+                req.body
+                    .extend_from_slice(&buf[info.head_len..info.total_len()]);
+                Ok(Some(info.total_len()))
+            }
+            HeadOutcome::Partial => Ok(None),
+            other => Err(other),
+        }
+    }
+
+    #[test]
+    fn parses_incrementally_at_every_split_point() {
+        let raw = b"POST /predict?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n{\"n\": 42}";
+        let mut req = scratch();
+        for split in 0..raw.len() {
+            assert!(
+                parse_full(&raw[..split], &mut req).unwrap().is_none(),
+                "prefix of {split} bytes must be Partial"
+            );
+        }
+        let consumed = parse_full(raw, &mut req).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"{\"n\": 42}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn scratch_reuse_resets_every_field() {
+        let mut req = scratch();
+        let a = b"POST /long-path HTTP/1.1\r\nConnection: close\r\nContent-Length: 3\r\n\r\nabc";
+        parse_full(a, &mut req).unwrap().unwrap();
+        assert!(!req.keep_alive);
+        // A shorter request next: no stale suffix may survive.
+        let b = b"GET /b HTTP/1.1\r\n\r\n";
+        let consumed = parse_full(b, &mut req).unwrap().unwrap();
+        assert_eq!(consumed, b.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/b");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive, "keep-alive must reset to the 1.1 default");
+    }
+
+    #[test]
+    fn limits_match_the_blocking_parser() {
+        let mut req = scratch();
+        // Oversized Content-Length: 413 from the head alone.
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_head(big.as_bytes(), &mut req),
+            HeadOutcome::Reject { status: 413, .. }
+        ));
+        // Unparseable Content-Length is malformed framing, not a reject.
+        assert!(matches!(
+            parse_head(
+                b"POST / HTTP/1.1\r\nContent-Length: umpteen\r\n\r\n",
+                &mut req
+            ),
+            HeadOutcome::Malformed
+        ));
+        // Chunked transfer unsupported.
+        assert!(matches!(
+            parse_head(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                &mut req
+            ),
+            HeadOutcome::Malformed
+        ));
+        // Too many header fields.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            parse_head(raw.as_bytes(), &mut req),
+            HeadOutcome::Reject { status: 431, .. }
+        ));
+        // Cumulative head size cap.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..40 {
+            raw.push_str(&format!("X-Pad{i}: {}\r\n", "p".repeat(250)));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            parse_head(raw.as_bytes(), &mut req),
+            HeadOutcome::Reject { status: 431, .. }
+        ));
+        // Oversized request line — even before its newline ever arrives.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            parse_head(raw.as_bytes(), &mut req),
+            HeadOutcome::Reject { status: 431, .. }
+        ));
+        let unterminated = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_head(&unterminated, &mut req),
+            HeadOutcome::Reject { status: 431, .. }
+        ));
+        // Bad version / garbage.
+        assert!(matches!(
+            parse_head(b"GET / SPDY/9\r\n\r\n", &mut req),
+            HeadOutcome::Malformed
+        ));
+        assert!(matches!(
+            parse_head(b"garbage\r\n\r\n", &mut req),
+            HeadOutcome::Malformed
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_frame() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut req = scratch();
+        let consumed = parse_full(raw, &mut req).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        let rest = &raw[consumed..];
+        let consumed = parse_full(rest, &mut req).unwrap().unwrap();
+        assert_eq!(req.path, "/b");
+        assert_eq!(consumed, rest.len());
+    }
+
+    #[test]
+    fn bare_lf_lines_parse_like_the_blocking_core() {
+        let mut req = scratch();
+        let raw = b"GET /lf HTTP/1.1\nHost: h\n\n";
+        let consumed = parse_full(raw, &mut req).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.path, "/lf");
+    }
+
+    #[test]
+    fn pool_recycles_and_sheds_outsized_buffers() {
+        let mut pool = BufPool::new(2);
+        let mut a = pool.get();
+        a.read
+            .extend_from_slice(&vec![0u8; 2 * MAX_POOLED_CAPACITY]);
+        a.req.body.extend_from_slice(b"leftover");
+        pool.put(a);
+        assert_eq!(pool.len(), 1);
+        let a = pool.get();
+        assert!(a.read.is_empty() && a.write.is_empty() && a.req.body.is_empty());
+        assert!(a.read.capacity() <= MAX_POOLED_CAPACITY);
+        // The cap bounds retention.
+        pool.put(a);
+        pool.put(ConnBufs::default());
+        pool.put(ConnBufs::default());
+        assert_eq!(pool.len(), 2);
+    }
+}

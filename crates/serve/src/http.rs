@@ -26,7 +26,10 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 pub const MAX_MID_REQUEST_STALLS: usize = 100;
 
 /// One parsed request.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Default` gives `keep_alive: false`; only the reactor's scratch-swap
+/// (`mem::take`) relies on it, and every parse resets the flag anyway.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Request {
     /// `GET`, `POST`, … (uppercased as received).
     pub method: String,
@@ -306,6 +309,27 @@ impl Response {
         w.write_all(&self.body)?;
         w.flush()
     }
+
+    /// Serializes the response into a caller-owned scratch buffer —
+    /// byte-identical to [`Response::write_to`] — so pooled connections
+    /// build status line + headers + body into one reusable `Vec<u8>` and
+    /// issue a single write. Appends without clearing, which lets callers
+    /// batch pipelined responses; integer formatting stays on the stack,
+    /// so once the buffer has grown to its steady-state size this
+    /// performs no heap allocation.
+    pub fn write_into(&self, buf: &mut Vec<u8>, keep_alive: bool) {
+        write!(
+            buf,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .expect("writing into a Vec cannot fail");
+        buf.extend_from_slice(&self.body);
+    }
 }
 
 /// The reason phrase for the status codes the daemon emits.
@@ -476,5 +500,34 @@ mod tests {
         assert!(text.contains("503 Service Unavailable"));
         assert!(text.contains("Connection: close"));
         assert!(text.contains("\"error\": \"busy\""));
+    }
+
+    #[test]
+    fn write_into_matches_write_to_byte_for_byte() {
+        let mut obj = Json::obj();
+        obj.set("a", 1.5);
+        let responses = [
+            Response::text(200, "ok"),
+            Response::json(200, &obj),
+            Response::error(503, "busy"),
+            Response::text(431, ""),
+        ];
+        let mut scratch = Vec::new();
+        for resp in &responses {
+            for keep_alive in [true, false] {
+                let mut streamed = Vec::new();
+                resp.write_to(&mut streamed, keep_alive).unwrap();
+                scratch.clear();
+                resp.write_into(&mut scratch, keep_alive);
+                assert_eq!(scratch, streamed);
+            }
+        }
+        // Appending (pipelined batching) concatenates framed responses.
+        scratch.clear();
+        responses[0].write_into(&mut scratch, true);
+        let first_len = scratch.len();
+        responses[2].write_into(&mut scratch, true);
+        assert!(scratch.len() > first_len);
+        assert!(scratch[first_len..].starts_with(b"HTTP/1.1 503"));
     }
 }

@@ -55,8 +55,11 @@
 pub mod admission;
 pub mod batch;
 pub mod config;
+pub mod conn;
 pub mod http;
 pub mod models;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod shutdown;
@@ -64,5 +67,7 @@ pub mod shutdown;
 pub use admission::{AdmissionController, Verdict};
 pub use config::{ModelSpec, ServeConfig};
 pub use models::{Method, ModelHost};
+#[cfg(target_os = "linux")]
+pub use reactor::ReactorServer;
 pub use server::Server;
 pub use shutdown::Shutdown;

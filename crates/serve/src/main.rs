@@ -96,6 +96,40 @@ fn main() {
         store,
     );
     app.deadline = std::time::Duration::from_millis(cfg.deadline_ms);
+
+    // `--reactor-shards N` (the Linux default) serves through the
+    // event-driven epoll core; `--reactor-shards 0` falls back to the
+    // classic thread-per-connection core. Both share the same App, so
+    // responses are byte-identical either way.
+    #[cfg(target_os = "linux")]
+    if cfg.reactor_shards > 0 {
+        let server = match perfpred_serve::ReactorServer::bind(
+            &cfg.host,
+            cfg.port,
+            app,
+            cfg.reactor_shards,
+            cfg.workers,
+            cfg.solvers,
+            cfg.batch_max,
+            cfg.queue_depth,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind {}:{}: {e}", cfg.host, cfg.port);
+                std::process::exit(1);
+            }
+        };
+        announce(&cfg, server.local_addr(), "reactor", cfg.reactor_shards);
+        match server.run() {
+            Ok(()) => eprintln!("perfpred-serve: drained, bye"),
+            Err(e) => {
+                eprintln!("perfpred-serve: serve loop failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let server = match Server::bind(
         &cfg.host,
         cfg.port,
@@ -111,19 +145,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-
-    let addr = server.local_addr();
-    if let Some(path) = &cfg.port_file {
-        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
-            eprintln!("cannot write port file {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
-    println!(
-        "perfpred-serve listening on http://{addr} ({} workers, {} solvers, threshold {})",
-        cfg.workers, cfg.solvers, cfg.admission.threshold
-    );
-
+    announce(&cfg, server.local_addr(), "threaded", cfg.workers);
     match server.run() {
         Ok(()) => eprintln!("perfpred-serve: drained, bye"),
         Err(e) => {
@@ -131,4 +153,24 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Writes the port file (a hard error if asked for and impossible — CI
+/// scripts would hang otherwise) and prints the listening banner.
+fn announce(cfg: &ServeConfig, addr: std::net::SocketAddr, core: &str, units: usize) {
+    if let Some(path) = &cfg.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("cannot write port file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let unit_name = if core == "reactor" {
+        "shards"
+    } else {
+        "workers"
+    };
+    println!(
+        "perfpred-serve listening on http://{addr} ({core} core, {units} {unit_name}, {} solvers, threshold {})",
+        cfg.solvers, cfg.admission.threshold
+    );
 }

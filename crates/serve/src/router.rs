@@ -37,6 +37,50 @@ pub struct App {
     /// deadlines entirely; a request's own `deadline_ms` overrides it).
     pub deadline: Duration,
     started: Instant,
+    routes: RouteMetrics,
+}
+
+/// Route indices for [`RouteMetrics`]; the discriminant doubles as the
+/// latency-histogram slot.
+#[derive(Clone, Copy)]
+enum Route {
+    Healthz,
+    Metrics,
+    Models,
+    Predict,
+    Observe,
+    Plan,
+    Shutdown,
+    MethodNotAllowed,
+    NotFound,
+}
+
+/// Per-endpoint telemetry handles, resolved once at assembly time. The
+/// pre-fix hot path re-built the histogram name with `format!` (a heap
+/// allocation plus a registry hash probe) on every request.
+struct RouteMetrics {
+    requests: Arc<metrics::Counter>,
+    latency: [Arc<metrics::Histogram>; 9],
+}
+
+impl RouteMetrics {
+    fn resolve() -> RouteMetrics {
+        let hist = |route: &str| metrics::histogram(&format!("serve.http.{route}_ms"));
+        RouteMetrics {
+            requests: metrics::counter("serve.http.requests"),
+            latency: [
+                hist("healthz"),
+                hist("metrics"),
+                hist("models"),
+                hist("predict"),
+                hist("observe"),
+                hist("plan"),
+                hist("shutdown"),
+                hist("method_not_allowed"),
+                hist("not_found"),
+            ],
+        }
+    }
 }
 
 impl App {
@@ -90,35 +134,81 @@ impl App {
             shutdown,
             deadline: DEFAULT_DEADLINE,
             started: Instant::now(),
+            routes: RouteMetrics::resolve(),
         }
     }
 
     /// Routes one request, recording a per-endpoint latency histogram.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_at(req, Instant::now())
+    }
+
+    /// Routes one request whose deadline budget is anchored at `arrival`
+    /// — the instant the request came off the wire — so time spent queued
+    /// inside the daemon (e.g. a reactor dispatch offload) consumes the
+    /// request's budget instead of resetting it.
+    pub fn handle_at(&self, req: &Request, arrival: Instant) -> Response {
         let started = Instant::now();
-        metrics::counter("serve.http.requests").incr();
+        self.routes.requests.incr();
         let (route, response) = match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => ("healthz", self.healthz()),
-            ("GET", "/metrics") => ("metrics", self.metrics()),
-            ("GET", "/models") => ("models", self.models()),
-            ("POST", "/predict") => ("predict", self.predict(req)),
-            ("POST", "/observe") => ("observe", self.observe(req)),
-            ("POST", "/plan") => ("plan", self.plan(req)),
-            ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
+            ("GET", "/healthz") => (Route::Healthz, self.healthz()),
+            ("GET", "/metrics") => (Route::Metrics, self.metrics()),
+            ("GET", "/models") => (Route::Models, self.models()),
+            ("POST", "/predict") => (Route::Predict, self.predict(req, arrival)),
+            ("POST", "/observe") => (Route::Observe, self.observe(req)),
+            ("POST", "/plan") => (Route::Plan, self.plan(req)),
+            ("POST", "/shutdown") => (Route::Shutdown, self.shutdown_endpoint()),
             (_, "/healthz" | "/metrics" | "/models" | "/predict" | "/observe" | "/plan" | "/shutdown") => {
-                ("method_not_allowed", Response::error(405, "wrong method for this path"))
+                (Route::MethodNotAllowed, Response::error(405, "wrong method for this path"))
             }
             _ => (
-                "not_found",
+                Route::NotFound,
                 Response::error(
                     404,
                     "unknown path (have: GET /healthz, GET /metrics, GET /models, POST /predict, POST /observe, POST /plan, POST /shutdown)",
                 ),
             ),
         };
-        metrics::histogram(&format!("serve.http.{route}_ms"))
-            .record(started.elapsed().as_secs_f64() * 1e3);
+        self.routes.latency[route as usize].record(started.elapsed().as_secs_f64() * 1e3);
         response
+    }
+
+    /// Nonblocking routing for the reactor shards: `Some` when the route
+    /// cannot stall the event loop (GET endpoints, `/shutdown`, unknown
+    /// paths, and `/predict` answers that are cache hits or closed-form
+    /// solves), `None` when the request must go to a dispatcher thread
+    /// (`/observe` and `/plan` do real I/O or seconds-scale planning; an
+    /// lqns `/predict` miss queues a solve and waits on the reply).
+    pub fn try_handle(&self, req: &Request, arrival: Instant) -> Option<Response> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/observe") | ("POST", "/plan") => None,
+            ("POST", "/predict") if self.predict_may_block(req) => None,
+            _ => Some(self.handle_at(req, arrival)),
+        }
+    }
+
+    /// Would this `/predict` wait on the solver pool? Only a
+    /// layered-queuing cache miss does; parse failures and closed-form
+    /// methods answer inline. The parse here is redundant with
+    /// [`App::handle_at`] (sub-µs for the bodies this endpoint takes) and
+    /// errs toward offloading when in doubt.
+    fn predict_may_block(&self, req: &Request) -> bool {
+        let Ok(body) = req.json() else {
+            return false;
+        };
+        let Ok(method) = parse_method(&body) else {
+            return false;
+        };
+        if method != Method::Lqns || !self.host.hosts(method) {
+            return false;
+        }
+        let Ok(server) = parse_server(&body, &self.host) else {
+            return false;
+        };
+        let Ok(workload) = parse_workload(&body) else {
+            return false;
+        };
+        self.host.lqns.peek(&server, &workload).is_none()
     }
 
     fn healthz(&self) -> Response {
@@ -304,7 +394,7 @@ impl App {
         Response::json(200, &body)
     }
 
-    fn predict(&self, req: &Request) -> Response {
+    fn predict(&self, req: &Request, arrival: Instant) -> Response {
         let body = match req.json() {
             Ok(b) => b,
             Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
@@ -331,7 +421,7 @@ impl App {
             Ok(w) => w,
             Err(e) => return Response::error(400, &e),
         };
-        let deadline = match parse_deadline(&body, self.deadline) {
+        let deadline = match parse_deadline(&body, self.deadline, arrival) {
             Ok(d) => d,
             Err(e) => return Response::error(400, &e),
         };
@@ -601,10 +691,14 @@ fn degradable(e: &PredictError) -> bool {
 }
 
 /// Parses the optional `deadline_ms` body field into an absolute
-/// deadline. Absent → the daemon default; `0` → deadlines off for this
-/// request (callers that prefer waiting the full solver timeout over a
-/// degraded answer).
-fn parse_deadline(body: &Json, default: Duration) -> Result<Option<Instant>, String> {
+/// deadline anchored at `arrival`. Absent → the daemon default; `0` →
+/// deadlines off for this request (callers that prefer waiting the full
+/// solver timeout over a degraded answer).
+fn parse_deadline(
+    body: &Json,
+    default: Duration,
+    arrival: Instant,
+) -> Result<Option<Instant>, String> {
     let budget = match body.get("deadline_ms") {
         None => default,
         Some(v) => {
@@ -615,7 +709,7 @@ fn parse_deadline(body: &Json, default: Duration) -> Result<Option<Instant>, Str
             Duration::from_secs_f64(ms / 1e3)
         }
     };
-    Ok((budget > Duration::ZERO).then(|| Instant::now() + budget))
+    Ok((budget > Duration::ZERO).then(|| arrival + budget))
 }
 
 /// Did the method's cache already hold this key? (Peek-before-predict for

@@ -148,7 +148,10 @@ impl Server {
         while !shutdown.requested() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    metrics::counter("serve.accepted").incr();
+                    // One padded lane: the reactor core stripes this same
+                    // counter per shard, so both cores publish one
+                    // `serve.accepted` aggregate on scrape.
+                    metrics::sharded_counter("serve.accepted", 1).lane(0).incr();
                     // Chaos harness: drop the connection on the floor the
                     // way a dying LB or flaky network would, before any
                     // bytes are exchanged. Clients must treat the reset as
@@ -203,12 +206,12 @@ const DRAIN_BUDGET_BYTES: usize = 256 * 1024;
 /// just-queued response — the pre-fix behaviour meant a client midway
 /// through POSTing a body saw a connection reset instead of the 503.
 fn reject_overloaded(stream: TcpStream) {
+    use std::io::Write as _;
     let mut stream = stream;
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
-    if Response::error(503, "server is overloaded, retry later")
-        .write_to(&mut stream, false)
-        .is_err()
-    {
+    let mut scratch = Vec::with_capacity(256);
+    Response::error(503, "server is overloaded, retry later").write_into(&mut scratch, false);
+    if stream.write_all(&scratch).is_err() {
         return;
     }
     drain_then_close(stream);
@@ -262,11 +265,16 @@ fn serve_connection(app: &App, stream: TcpStream, shutdown: &Shutdown) {
     {
         return;
     }
+    use std::io::Write as _;
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    // One scratch buffer serializes every response on this connection —
+    // status line, headers and body become a single write instead of
+    // per-request `write!` formatting straight into the socket.
+    let mut scratch: Vec<u8> = Vec::with_capacity(1024);
     loop {
         match read_request(&mut reader) {
             Ok(ReadOutcome::Request(req)) => {
@@ -274,7 +282,9 @@ fn serve_connection(app: &App, stream: TcpStream, shutdown: &Shutdown) {
                 // An idle daemon drains instantly; one that is answering
                 // closes each connection after the in-flight response.
                 let keep = req.keep_alive && !shutdown.requested();
-                if response.write_to(&mut writer, keep).is_err() || !keep {
+                scratch.clear();
+                response.write_into(&mut scratch, keep);
+                if writer.write_all(&scratch).is_err() || !keep {
                     return;
                 }
             }
@@ -289,10 +299,9 @@ fn serve_connection(app: &App, stream: TcpStream, shutdown: &Shutdown) {
                 // an oversized body the parser refused to buffer) is
                 // drained so the response survives the close.
                 metrics::counter("serve.rejected_requests").incr();
-                if Response::error(status, message)
-                    .write_to(&mut writer, false)
-                    .is_ok()
-                {
+                scratch.clear();
+                Response::error(status, message).write_into(&mut scratch, false);
+                if writer.write_all(&scratch).is_ok() {
                     drain_then_close(reader.into_inner());
                 }
                 return;

@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-const CHAOS_SPEC: &str = "solver_delay=40ms:p0.35,accept_reset=p0.1,store_io_err=p0.25";
+// `conn_reset` only fires in the reactor core's connection state machine;
+// the threaded leg never draws from that site.
+const CHAOS_SPEC: &str =
+    "solver_delay=40ms:p0.35,accept_reset=p0.1,store_io_err=p0.25,conn_reset=p0.03";
 const CHAOS_SEED: u64 = 42;
 const CLIENTS: usize = 6;
 const REQUESTS_PER_CLIENT: usize = 50;
@@ -55,8 +58,9 @@ impl Daemon {
     /// Starts a daemon over the durable store in `dir`, shaped like
     /// `main` wires it: paper models sharing the store's registry, a
     /// deliberately shallow solver queue, and a tight default deadline so
-    /// injected solver delays actually blow budgets.
-    fn start(dir: &std::path::Path) -> Daemon {
+    /// injected solver delays actually blow budgets. `reactor` selects
+    /// the epoll core (Linux) instead of the thread-per-connection core.
+    fn start(dir: &std::path::Path, reactor: bool) -> Daemon {
         let servers = perfpred_bench::context::Experiments::servers();
         let (store, _report) =
             ObservationStore::open(dir, LogOptions::default(), &servers, refit_opts()).unwrap();
@@ -70,10 +74,24 @@ impl Daemon {
             Arc::clone(&store),
         );
         app.deadline = Duration::from_millis(200);
-        let server = Server::bind("127.0.0.1", 0, app, 4, 2, 8, 8).unwrap();
-        let addr = server.local_addr();
-        let shutdown = server.shutdown_handle();
-        let handle = thread::spawn(move || server.run().unwrap());
+        let (addr, shutdown, handle) = if reactor {
+            #[cfg(target_os = "linux")]
+            {
+                let server =
+                    perfpred_serve::ReactorServer::bind("127.0.0.1", 0, app, 2, 4, 2, 8, 8)
+                        .unwrap();
+                let addr = server.local_addr();
+                let shutdown = server.shutdown_handle();
+                (addr, shutdown, thread::spawn(move || server.run().unwrap()))
+            }
+            #[cfg(not(target_os = "linux"))]
+            unreachable!("the reactor leg only runs on Linux")
+        } else {
+            let server = Server::bind("127.0.0.1", 0, app, 4, 2, 8, 8).unwrap();
+            let addr = server.local_addr();
+            let shutdown = server.shutdown_handle();
+            (addr, shutdown, thread::spawn(move || server.run().unwrap()))
+        };
         Daemon {
             addr,
             shutdown,
@@ -254,6 +272,25 @@ fn client_loop(addr: SocketAddr, t: usize) -> ClientTally {
     tally
 }
 
+/// Fans out the client workload against one daemon and aggregates.
+fn run_clients(addr: SocketAddr) -> ClientTally {
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| thread::spawn(move || client_loop(addr, t)))
+        .collect();
+    let mut total = ClientTally::default();
+    for h in handles {
+        let t = h.join().unwrap();
+        total.predicts += t.predicts;
+        total.predict_ok += t.predict_ok;
+        total.degraded += t.degraded;
+        total.observes += t.observes;
+        total.observe_ok += t.observe_ok;
+        total.observe_io_failed += t.observe_io_failed;
+        total.malformed.extend(t.malformed);
+    }
+    total
+}
+
 /// The whole chaos scenario in one test so the process-global fault plan
 /// has a single owner.
 #[test]
@@ -271,38 +308,22 @@ fn chaos_run_stays_available_wellformed_and_recovers_byte_identically() {
     let watchdog = {
         let done = Arc::clone(&done);
         thread::spawn(move || {
-            let deadline = std::time::Instant::now() + Duration::from_secs(180);
+            let deadline = std::time::Instant::now() + Duration::from_secs(300);
             while std::time::Instant::now() < deadline {
                 if done.load(Ordering::Relaxed) {
                     return;
                 }
                 thread::sleep(Duration::from_millis(100));
             }
-            eprintln!("chaos test deadlocked: 180s elapsed without completing");
+            eprintln!("chaos test deadlocked: 300s elapsed without completing");
             std::process::abort();
         })
     };
 
-    let mut daemon = Daemon::start(&dir);
+    let mut daemon = Daemon::start(&dir, false);
     let store = Arc::clone(&daemon.store);
 
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|t| {
-            let addr = daemon.addr;
-            thread::spawn(move || client_loop(addr, t))
-        })
-        .collect();
-    let mut total = ClientTally::default();
-    for h in handles {
-        let t = h.join().unwrap();
-        total.predicts += t.predicts;
-        total.predict_ok += t.predict_ok;
-        total.degraded += t.degraded;
-        total.observes += t.observes;
-        total.observe_ok += t.observe_ok;
-        total.observe_io_failed += t.observe_io_failed;
-        total.malformed.extend(t.malformed);
-    }
+    let total = run_clients(daemon.addr);
 
     // 1. Protocol integrity: every byte stream the server produced was an
     //    HTTP/1.1 response, under resets, floods of fresh connections and
@@ -361,6 +382,43 @@ fn chaos_run_stays_available_wellformed_and_recovers_byte_identically() {
     assert_eq!(report.records, log_len);
     assert_eq!(replayed.registry().version(), version_before);
     assert_eq!(replayed.current_model_serialized(), model_before);
+    drop(replayed);
+
+    // 5. The same chaos against the reactor core (Linux): availability,
+    //    protocol integrity and graceful drain hold with epoll shards in
+    //    place of the worker pool — now with mid-stream connection resets
+    //    armed as well, which only the reactor's state machine draws.
+    #[cfg(target_os = "linux")]
+    {
+        let dir = scratch("reactor");
+        let mut daemon = Daemon::start(&dir, true);
+        let total = run_clients(daemon.addr);
+        assert!(
+            total.malformed.is_empty(),
+            "reactor produced malformed responses: {:?}",
+            total.malformed
+        );
+        let availability = total.predict_ok as f64 / total.predicts as f64;
+        assert!(
+            availability >= 0.99,
+            "reactor predict availability {availability:.4} ({} of {})",
+            total.predict_ok,
+            total.predicts
+        );
+        assert!(
+            total.degraded > 0,
+            "no degraded responses on the reactor leg"
+        );
+        assert!(
+            metrics::counter("serve.faults.conn_reset").get() > 0,
+            "the conn_reset site never fired against the reactor"
+        );
+        // Graceful drain: stop() joins run(), which hangs if any shard,
+        // dispatcher or solver fails to exit.
+        daemon.stop();
+        drop(daemon);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     done.store(true, Ordering::Relaxed);
     watchdog.join().unwrap();
