@@ -94,7 +94,17 @@ USAGE: loadgen --port N [OPTIONS]
                        checking every byte the daemon answers is valid
                        HTTP; results land in BENCH.json under serve.chaos
   --min-availability X exit 1 unless the fraction of requests answered 200
-                       reaches X (chaos mode's success-rate floor)
+                       reaches X (chaos mode's success-rate floor; with
+                       --targets it gates the run without implying chaos)
+  --targets A,B,...    CLUSTER mode: closed-loop clients fan out across
+                       several daemon addresses (e.g. a router plus the
+                       nodes behind it). A transport failure retries the
+                       next target — counted as a retry, not an error —
+                       so a node death costs latency, not availability.
+                       Per-target requests/errors/retries/p99 land in the
+                       summary and in BENCH.json (default section:
+                       cluster), plus the primary's replication lag read
+                       from GET /cluster at the end of the run
   --help               print this text
 ";
 
@@ -119,6 +129,7 @@ struct Config {
     idle_connections: usize,
     bench_section: Option<String>,
     notes: Vec<(String, String)>,
+    targets: Vec<String>,
 }
 
 impl Default for Config {
@@ -143,6 +154,7 @@ impl Default for Config {
             idle_connections: 0,
             bench_section: None,
             notes: Vec::new(),
+            targets: Vec::new(),
         }
     }
 }
@@ -228,7 +240,17 @@ fn parse_args() -> Result<Config, String> {
                     return Err("--min-availability must be in [0, 1]".into());
                 }
                 cfg.min_availability = Some(a);
-                cfg.chaos = true;
+            }
+            "--targets" => {
+                cfg.targets = value(&mut args, "--targets")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if cfg.targets.is_empty() {
+                    return Err("--targets wants ADDR,ADDR,...".into());
+                }
             }
             "--rate" => {
                 let r: f64 = parsed(&value(&mut args, "--rate")?, "--rate")?;
@@ -262,8 +284,27 @@ fn parse_args() -> Result<Config, String> {
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
+    // Outside cluster mode, an availability floor implies the chaos
+    // harness (retries + probe thread) exactly as it always has; with
+    // --targets the floor gates the fan-out run on its own.
+    if cfg.min_availability.is_some() && cfg.targets.is_empty() {
+        cfg.chaos = true;
+    }
+    if !cfg.targets.is_empty() {
+        if cfg.rate.is_some() {
+            return Err("--targets is closed-loop only (drop --rate)".into());
+        }
+        if cfg.chaos || cfg.report_observations {
+            return Err(
+                "--targets cannot be combined with --chaos or --report-observations".into(),
+            );
+        }
+        if cfg.addr.is_empty() {
+            cfg.addr = cfg.targets[0].clone();
+        }
+    }
     if cfg.addr.is_empty() {
-        return Err("need --addr, --port or --port-file (try --help)".into());
+        return Err("need --addr, --port, --port-file or --targets (try --help)".into());
     }
     if cfg.rate.is_some() && (cfg.report_observations || cfg.chaos) {
         return Err(
@@ -541,6 +582,125 @@ fn client_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> Tally {
     tally
 }
 
+/// Per-target slice of a cluster-mode run. `requests` counts outcomes
+/// charged to this target (answers plus final transport give-ups);
+/// `errors` is HTTP-level failures plus give-ups; `retries` is transport
+/// failures that were retried on the next target — kept apart from
+/// errors so a node death under failover shows up as retries (latency
+/// cost) rather than lost requests.
+#[derive(Debug, Default, Clone)]
+struct TargetStats {
+    requests: u64,
+    errors: u64,
+    retries: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// One client thread's closed loop in `--targets` cluster mode: requests
+/// round-robin across the target set, and a transport failure fails over
+/// to the next target within the same logical request. Latency is
+/// measured across the whole attempt chain, so failover cost lands in
+/// the tail of the merged distribution, not in the error count.
+fn cluster_loop(cfg: &Config, id: usize, stop: &AtomicBool) -> (Tally, Vec<TargetStats>) {
+    let mut rng = SimRng::seed_from(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64));
+    let n = cfg.targets.len();
+    let mut conns: Vec<Connection> = cfg.targets.iter().map(|a| Connection::new(a)).collect();
+    let mut per = vec![TargetStats::default(); n];
+    let mut tally = Tally::default();
+    let mut key = id % cfg.key_space;
+    let mut turn = id; // stagger threads across the target set
+    while !stop.load(Ordering::Relaxed) {
+        if cfg.think_ms > 0.0 {
+            let think = rng.exp(cfg.think_ms);
+            std::thread::sleep(Duration::from_secs_f64(think / 1e3));
+        }
+        let body = body_for(cfg, key);
+        key = (key + 1) % cfg.key_space;
+        let first = turn % n;
+        turn += 1;
+        let started = Instant::now();
+        // At least two attempts even against a single target (a router in
+        // front of a failing-over cluster resets once, then recovers).
+        let attempts = n.max(2);
+        let mut outcome = None;
+        let mut slot = first;
+        for attempt in 0..attempts {
+            slot = (first + attempt) % n;
+            match conns[slot].post_capture("/predict", &body) {
+                Ok(found) => {
+                    outcome = Some(found);
+                    break;
+                }
+                Err(_) => {
+                    if stop.load(Ordering::Relaxed) || attempt + 1 == attempts {
+                        break;
+                    }
+                    per[slot].retries += 1;
+                    tally.retries += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        match outcome {
+            Some((status, text)) => {
+                let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+                tally.latencies_ms.push(latency_ms);
+                per[slot].requests += 1;
+                per[slot].latencies_ms.push(latency_ms);
+                match status {
+                    200 => {
+                        tally.ok += 1;
+                        if text.contains("\"mode\": \"degraded\"") {
+                            tally.degraded += 1;
+                        }
+                    }
+                    503 => tally.rejected += 1,
+                    _ => {
+                        tally.errors += 1;
+                        per[slot].errors += 1;
+                    }
+                }
+            }
+            None => {
+                if stop.load(Ordering::Relaxed) {
+                    break; // an abandoned attempt chain is not an error
+                }
+                tally.errors += 1;
+                per[slot].requests += 1;
+                per[slot].errors += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    (tally, per)
+}
+
+/// Reads `GET /cluster` on every target and returns the worst replication
+/// lag visible anywhere: a follower's own lag, or the laggiest entry in
+/// the primary's follower list. Targets without the route (a router, a
+/// standalone daemon) are skipped.
+fn probe_replication_lag(targets: &[String]) -> Option<u64> {
+    let mut worst: Option<u64> = None;
+    for addr in targets {
+        let mut conn = Connection::new(addr);
+        let Ok((200, text)) = conn.get("/cluster") else {
+            continue;
+        };
+        let Ok(j) = Json::parse(&text) else { continue };
+        if let Some(lag) = j.get("lag").and_then(Json::as_f64) {
+            worst = Some(worst.unwrap_or(0).max(lag as u64));
+        }
+        if let Some(followers) = j.get("followers").and_then(Json::as_arr) {
+            for f in followers {
+                if let Some(lag) = f.get("lag").and_then(Json::as_f64) {
+                    worst = Some(worst.unwrap_or(0).max(lag as u64));
+                }
+            }
+        }
+    }
+    worst
+}
+
 /// Sleeps until `deadline` in short slices so a raised stop flag is
 /// honoured within ~50 ms even when Poisson gaps are long.
 fn sleep_until(deadline: Instant, stop: &AtomicBool) {
@@ -704,25 +864,42 @@ fn main() {
     // daemon's cache-hit path (lqns misses cost ms; hits cost µs). Chaos
     // daemons may reset accepted connections, so give each key a few
     // tries before concluding the daemon is unreachable.
+    let warm_addrs: Vec<String> = if cfg.targets.is_empty() {
+        vec![cfg.addr.clone()]
+    } else {
+        cfg.targets.clone() // every node's cache gets hot, not just one
+    };
     let mut warm = Connection::new(&cfg.addr);
-    for key in 0..cfg.key_space {
-        let tries = if cfg.chaos { 10 } else { 1 };
-        let mut last_err = None;
-        for _ in 0..tries {
-            match warm.post("/predict", &body_for(&cfg, key)) {
-                Ok(_) => {
-                    last_err = None;
-                    break;
-                }
-                Err(e) => {
-                    last_err = Some(e);
-                    std::thread::sleep(Duration::from_millis(20));
+    for addr in &warm_addrs {
+        let mut conn = Connection::new(addr);
+        for key in 0..cfg.key_space {
+            // Chaos daemons reset connections on purpose, and cluster
+            // nodes may still be settling after a (re)start — give those
+            // modes a few tries before concluding the daemon is gone.
+            let tries = if cfg.chaos {
+                10
+            } else if !cfg.targets.is_empty() {
+                5
+            } else {
+                1
+            };
+            let mut last_err = None;
+            for _ in 0..tries {
+                match conn.post("/predict", &body_for(&cfg, key)) {
+                    Ok(_) => {
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
                 }
             }
-        }
-        if let Some(e) = last_err {
-            eprintln!("loadgen: cannot reach {}: {e}", cfg.addr);
-            std::process::exit(1);
+            if let Some(e) = last_err {
+                eprintln!("loadgen: cannot reach {addr}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -757,7 +934,20 @@ fn main() {
         );
     }
 
-    if let Some(rate) = cfg.rate {
+    if !cfg.targets.is_empty() {
+        println!(
+            "loadgen: CLUSTER {} clients x {:.1}s across {} targets [{}] \
+             ({} / {}, {} keys, think {} ms)",
+            cfg.clients,
+            cfg.duration.as_secs_f64(),
+            cfg.targets.len(),
+            cfg.targets.join(", "),
+            cfg.method,
+            cfg.server,
+            cfg.key_space,
+            cfg.think_ms,
+        );
+    } else if let Some(rate) = cfg.rate {
         println!(
             "loadgen: OPEN LOOP {rate} req/s Poisson x {:.1}s against {} \
              ({} senders, {} connections, {} idle, {} / {}, {} keys)",
@@ -789,7 +979,8 @@ fn main() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || chaos_probe(&addr, &stop))
     });
-    let mut handles = Vec::with_capacity(cfg.clients);
+    let mut handles: Vec<std::thread::JoinHandle<(Tally, Vec<TargetStats>)>> =
+        Vec::with_capacity(cfg.clients);
     if cfg.rate.is_some() {
         // Distribute --connections across the sender threads; every
         // sender gets at least one socket.
@@ -800,21 +991,33 @@ fn main() {
             let stop = Arc::clone(&stop);
             let n_conns = total_conns / workers + usize::from(id < total_conns % workers);
             handles.push(std::thread::spawn(move || {
-                open_loop_worker(&cfg, id, workers, n_conns, started, &stop)
+                (
+                    open_loop_worker(&cfg, id, workers, n_conns, started, &stop),
+                    Vec::new(),
+                )
             }));
+        }
+    } else if !cfg.targets.is_empty() {
+        for id in 0..cfg.clients {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || cluster_loop(&cfg, id, &stop)));
         }
     } else {
         for id in 0..cfg.clients {
             let cfg = cfg.clone();
             let stop = Arc::clone(&stop);
-            handles.push(std::thread::spawn(move || client_loop(&cfg, id, &stop)));
+            handles.push(std::thread::spawn(move || {
+                (client_loop(&cfg, id, &stop), Vec::new())
+            }));
         }
     }
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
     let mut merged = Tally::default();
+    let mut per_target = vec![TargetStats::default(); cfg.targets.len()];
     for h in handles {
-        let t = h.join().expect("client thread");
+        let (t, per) = h.join().expect("client thread");
         merged.latencies_ms.extend(t.latencies_ms);
         merged.ok += t.ok;
         merged.rejected += t.rejected;
@@ -823,6 +1026,12 @@ fn main() {
         merged.refits += t.refits;
         merged.degraded += t.degraded;
         merged.retries += t.retries;
+        for (agg, p) in per_target.iter_mut().zip(per) {
+            agg.requests += p.requests;
+            agg.errors += p.errors;
+            agg.retries += p.retries;
+            agg.latencies_ms.extend(p.latencies_ms);
+        }
     }
     let probe_report = probe.map(|h| h.join().expect("probe thread"));
     let elapsed = started.elapsed().as_secs_f64();
@@ -881,12 +1090,44 @@ fn main() {
         );
     }
 
+    // Cluster mode: the per-target breakdown (errors apart from transport
+    // retries — a failed-over request is a retry, not a lost request) and
+    // the replication lag left behind after the run.
+    let mut target_p99 = vec![f64::NAN; per_target.len()];
+    let replication_lag = if cfg.targets.is_empty() {
+        None
+    } else {
+        for (i, stats) in per_target.iter_mut().enumerate() {
+            stats
+                .latencies_ms
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            target_p99[i] = percentile(&stats.latencies_ms, 0.99);
+            println!(
+                "loadgen: target {} — {} answered, {} errors, {} transport retries, \
+                 p99 {:.3} ms",
+                cfg.targets[i], stats.requests, stats.errors, stats.retries, target_p99[i]
+            );
+        }
+        println!(
+            "loadgen: cluster — availability {:.4}, errors {}, transport retries {}",
+            availability, merged.errors, merged.retries
+        );
+        let lag = probe_replication_lag(&cfg.targets);
+        match lag {
+            Some(l) => println!("loadgen: replication lag {l} records (worst across targets)"),
+            None => println!("loadgen: no target exposes GET /cluster (lag not recorded)"),
+        }
+        lag
+    };
+
     // Observation-reporting, chaos and open-loop runs are different
     // workloads — each keeps its own BENCH.json slice so the plain serving
     // trajectory stays comparable across runs. --bench-section overrides
     // (the CI reactor leg lands under serve.reactor this way).
     let section = cfg.bench_section.clone().unwrap_or_else(|| {
-        if cfg.chaos {
+        if !cfg.targets.is_empty() {
+            "cluster".into()
+        } else if cfg.chaos {
             "serve.chaos".into()
         } else if cfg.report_observations {
             "serve.observe".into()
@@ -938,6 +1179,21 @@ fn main() {
         rec.note("probes_sent", probe.sent);
         rec.note("probe_malformed_responses", probe.malformed);
     }
+    if !cfg.targets.is_empty() {
+        rec.note("targets", cfg.targets.len() as u64);
+        rec.note("availability", availability);
+        rec.note("transport_retries", merged.retries);
+        for (i, stats) in per_target.iter().enumerate() {
+            rec.note(&format!("target.{i}.addr"), cfg.targets[i].as_str());
+            rec.note(&format!("target.{i}.requests"), stats.requests);
+            rec.note(&format!("target.{i}.errors"), stats.errors);
+            rec.note(&format!("target.{i}.retries"), stats.retries);
+            rec.note(&format!("target.{i}.p99_ms"), target_p99[i]);
+        }
+        if let Some(lag) = replication_lag {
+            rec.note("replication_lag_records", lag);
+        }
+    }
     rec.write();
 
     if let Some(probe) = &probe_report {
@@ -953,9 +1209,9 @@ fn main() {
             probe.sent
         );
     }
-    // Chaos runs gate on the availability floor instead: transport-level
-    // give-ups after retries are what --min-availability scores.
-    if !cfg.chaos && merged.errors > total / 100 {
+    // Runs with an availability floor gate on that floor instead: there,
+    // transport-level give-ups after retries are what's being scored.
+    if !cfg.chaos && cfg.min_availability.is_none() && merged.errors > total / 100 {
         eprintln!("loadgen: FAIL — more than 1% errors");
         std::process::exit(1);
     }

@@ -1,0 +1,95 @@
+//! The epoch lease: a tiny JSON file recording who last held the
+//! primary role, under which epoch, and where the log stood when that
+//! epoch began.
+//!
+//! The lease is written with [`perfpred_core::fsutil::atomic_write`]
+//! (temp + rename + directory fsync), so a crash mid-takeover leaves
+//! either the old lease or the new one — never a torn file. Each node
+//! keeps its lease next to its own observation log; there is no shared
+//! disk. The lease's job is local: after a restart it tells the node
+//! what epoch it last served under, which the rejoin handshake then
+//! compares against the live cluster (see `crates/cluster` fencing
+//! rules) before any write is accepted.
+
+use perfpred_core::fsutil::atomic_write;
+use perfpred_core::Json;
+use std::io;
+use std::path::Path;
+
+/// Lease file name inside a node's cluster directory.
+pub const LEASE_FILE: &str = "LEASE.json";
+
+/// One persisted lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The epoch this lease asserts.
+    pub epoch: u64,
+    /// Node id of the holder.
+    pub node: String,
+    /// Log length at the instant this epoch began. Records below this
+    /// index are common history; records above it belong to this epoch.
+    pub sealed_len: u64,
+}
+
+impl Lease {
+    /// Writes the lease atomically into `dir`.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut m = Json::obj();
+        m.set("epoch", self.epoch);
+        m.set("node", self.node.as_str());
+        m.set("sealed_len", self.sealed_len);
+        atomic_write(&dir.join(LEASE_FILE), m.render().as_bytes())
+    }
+
+    /// Reads the lease from `dir`; `Ok(None)` when none was ever written.
+    pub fn read(dir: &Path) -> io::Result<Option<Lease>> {
+        let text = match std::fs::read_to_string(dir.join(LEASE_FILE)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let m = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("lease: {e}")))?;
+        let num = |name: &str| -> io::Result<u64> {
+            m.get(name)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("lease missing '{name}'"),
+                    )
+                })
+        };
+        Ok(Some(Lease {
+            epoch: num("epoch")?,
+            node: m
+                .get("node")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            sealed_len: num("sealed_len")?,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_round_trips_and_absence_is_none() {
+        let dir = std::env::temp_dir().join(format!("perfpred-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(Lease::read(&dir).ok().flatten(), None);
+        let lease = Lease {
+            epoch: 4,
+            node: "node-b".into(),
+            sealed_len: 1234,
+        };
+        lease.write(&dir).unwrap();
+        assert_eq!(Lease::read(&dir).unwrap(), Some(lease));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

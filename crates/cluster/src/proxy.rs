@@ -1,0 +1,821 @@
+//! The router front tier: one `perfpred-router` in front of N serve
+//! nodes.
+//!
+//! Requests are routed on the consistent-hash [`Ring`] keyed by the
+//! *server-config name* in the request body (`"server": "AppServF"`),
+//! so each serve node keeps a warm prediction cache for the configs it
+//! owns; bounded-load spill keeps a hot config from melting one node.
+//! `POST /observe` ignores the ring and always goes to the current
+//! primary (the only writable node — see [`crate::repl`]); everything
+//! else fans out across admitted replicas.
+//!
+//! Health: a prober thread GETs `/healthz` on every upstream each
+//! interval. The response carries `model_version` and `cluster_role`
+//! (one request answers liveness, staleness and who-is-primary at
+//! once). Three consecutive failures eject an upstream; readmission
+//! requires the jittered exponential backoff to expire *and* a probe to
+//! succeed. An upstream whose model version trails the fleet maximum by
+//! more than `max_version_lag` is treated as unhealthy — it would serve
+//! predictions from a stale model.
+//!
+//! Connections are pooled keep-alive on both sides: the client loop
+//! serves many requests per accepted connection, and each upstream keeps
+//! a small stack of idle connections that forwarding checks out and
+//! returns.
+
+use crate::ring::Ring;
+use perfpred_core::{metrics, Json};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen host.
+    pub host: String,
+    /// Listen port (0 = ephemeral).
+    pub port: u16,
+    /// Upstream serve nodes, as `host:port` strings.
+    pub upstreams: Vec<String>,
+    /// Virtual nodes per upstream on the hash ring.
+    pub vnodes: usize,
+    /// Bounded-load factor `c` (≤ 1.0 disables spill).
+    pub load_factor: f64,
+    /// Health probe cadence.
+    pub probe_interval: Duration,
+    /// Consecutive probe failures before eject.
+    pub eject_after: u32,
+    /// Model versions an upstream may trail the fleet max before it is
+    /// considered stale (and ejected from reads).
+    pub max_version_lag: u64,
+    /// Per-request upstream I/O timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            upstreams: Vec::new(),
+            vnodes: 64,
+            load_factor: 1.25,
+            probe_interval: Duration::from_millis(200),
+            eject_after: 3,
+            max_version_lag: 8,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Mutable health view of one upstream.
+#[derive(Debug)]
+struct Health {
+    admitted: bool,
+    consecutive_failures: u32,
+    /// While `Some`, the upstream is ejected until this instant.
+    ejected_until: Option<Instant>,
+    backoff_exp: u32,
+    is_primary: bool,
+    probes_failed: u64,
+}
+
+/// One upstream serve node: address, health, load and connection pool.
+#[derive(Debug)]
+struct Upstream {
+    addr: String,
+    health: Mutex<Health>,
+    model_version: AtomicU64,
+    in_flight: AtomicUsize,
+    pool: Mutex<VecDeque<TcpStream>>,
+}
+
+const POOL_IDLE_MAX: usize = 8;
+const BACKOFF_BASE: Duration = Duration::from_millis(500);
+const BACKOFF_CAP: Duration = Duration::from_secs(15);
+
+impl Upstream {
+    fn new(addr: &str) -> Upstream {
+        Upstream {
+            addr: addr.to_string(),
+            health: Mutex::new(Health {
+                admitted: true,
+                consecutive_failures: 0,
+                ejected_until: None,
+                backoff_exp: 0,
+                is_primary: false,
+                probes_failed: 0,
+            }),
+            model_version: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            pool: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn checkout(&self, timeout: Duration) -> io::Result<TcpStream> {
+        if let Some(conn) = self.pool.lock().unwrap().pop_front() {
+            return Ok(conn);
+        }
+        let addr =
+            self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable upstream")
+            })?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(stream)
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_IDLE_MAX {
+            pool.push_back(conn);
+        }
+    }
+
+    /// Transport-level failure seen by forwarding: counts toward eject.
+    fn note_failure(&self, eject_after: u32) {
+        let mut h = self.health.lock().unwrap();
+        h.consecutive_failures += 1;
+        if h.admitted && h.consecutive_failures >= eject_after {
+            h.admitted = false;
+            let exp = h.backoff_exp.min(5);
+            let base = BACKOFF_BASE.as_millis() as u64 * (1u64 << exp);
+            // Deterministic jitter (±25%) from the address hash and the
+            // eject count, so restarted upstreams don't thunder back in
+            // lock-step.
+            let salt = crate::ring::fnv1a64(self.addr.as_bytes()) ^ u64::from(h.backoff_exp);
+            let jitter = (base / 4).max(1);
+            let backoff =
+                Duration::from_millis(base - jitter / 2 + (salt % jitter)).min(BACKOFF_CAP);
+            h.ejected_until = Some(Instant::now() + backoff);
+            h.backoff_exp += 1;
+            metrics::counter("router.ejects").incr();
+        }
+    }
+
+    fn note_success(&self) {
+        let mut h = self.health.lock().unwrap();
+        h.consecutive_failures = 0;
+        if !h.admitted {
+            h.admitted = true;
+            h.ejected_until = None;
+            h.backoff_exp = 0;
+            metrics::counter("router.readmits").incr();
+        }
+    }
+}
+
+/// Shared router state: the ring plus live upstream views.
+#[derive(Debug)]
+pub struct RouterState {
+    ring: Ring,
+    upstreams: Vec<Arc<Upstream>>,
+    cfg: RouterConfig,
+    started: Instant,
+    requests: AtomicU64,
+    forward_errors: AtomicU64,
+}
+
+impl RouterState {
+    fn new(cfg: RouterConfig) -> Arc<RouterState> {
+        let upstreams = cfg
+            .upstreams
+            .iter()
+            .map(|a| Arc::new(Upstream::new(a)))
+            .collect();
+        Arc::new(RouterState {
+            ring: Ring::new(&cfg.upstreams, cfg.vnodes, cfg.load_factor),
+            upstreams,
+            cfg: cfg.clone(),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Indices admitted for reads, honoring ejection windows + staleness.
+    /// The staleness baseline is the max version among *health-admitted*
+    /// upstreams: a dead node's last probed version is frozen in time and
+    /// must not hold the survivors to a bar none of them can reach until
+    /// the new primary has refitted past the ghost.
+    fn admitted(&self) -> Vec<bool> {
+        let views: Vec<(bool, u64)> = self
+            .upstreams
+            .iter()
+            .map(|u| {
+                let h = u.health.lock().unwrap();
+                (h.admitted, u.model_version.load(Ordering::Relaxed))
+            })
+            .collect();
+        let max_version = views
+            .iter()
+            .filter(|(alive, _)| *alive)
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0);
+        views
+            .into_iter()
+            .map(|(alive, v)| alive && max_version.saturating_sub(v) <= self.cfg.max_version_lag)
+            .collect()
+    }
+
+    fn loads(&self) -> Vec<usize> {
+        self.upstreams
+            .iter()
+            .map(|u| u.in_flight.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `/router/status` document.
+    fn status_json(&self) -> Json {
+        let mut m = Json::obj();
+        m.set("uptime_s", self.started.elapsed().as_secs_f64());
+        m.set("requests", self.requests.load(Ordering::Relaxed));
+        m.set(
+            "forward_errors",
+            self.forward_errors.load(Ordering::Relaxed),
+        );
+        let admitted = self.admitted();
+        let mut list = Vec::new();
+        for (i, u) in self.upstreams.iter().enumerate() {
+            let h = u.health.lock().unwrap();
+            let mut o = Json::obj();
+            o.set("addr", u.addr.as_str());
+            o.set("admitted", admitted[i]);
+            o.set("primary", h.is_primary);
+            o.set("model_version", u.model_version.load(Ordering::Relaxed));
+            o.set("in_flight", u.in_flight.load(Ordering::Relaxed));
+            o.set("consecutive_failures", u64::from(h.consecutive_failures));
+            o.set("probes_failed", h.probes_failed);
+            list.push(o);
+        }
+        m.set("upstreams", list);
+        m
+    }
+}
+
+/// The bound router: accept loop plus prober thread.
+#[derive(Debug)]
+pub struct RouterServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+}
+
+impl RouterServer {
+    /// Binds the listen socket and starts the health prober.
+    pub fn bind(cfg: RouterConfig) -> io::Result<RouterServer> {
+        if cfg.upstreams.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one --upstreams entry",
+            ));
+        }
+        let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+        let addr = listener.local_addr()?;
+        let state = RouterState::new(cfg);
+        let prober = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("router-probe".into())
+            .spawn(move || loop {
+                probe_all(&prober);
+                std::thread::sleep(prober.cfg.probe_interval);
+            })?;
+        Ok(RouterServer {
+            listener,
+            addr,
+            state,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves forever (thread per client connection, keep-alive).
+    pub fn run(&self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("router-conn".into())
+                .spawn(move || {
+                    let _ = serve_client(stream, &state);
+                });
+        }
+        Ok(())
+    }
+}
+
+/// One probe round: GET /healthz on every upstream.
+fn probe_all(state: &RouterState) {
+    for u in &state.upstreams {
+        // Respect the ejection window: no probe until backoff expires.
+        {
+            let h = u.health.lock().unwrap();
+            if let Some(until) = h.ejected_until {
+                if Instant::now() < until {
+                    continue;
+                }
+            }
+        }
+        match probe_one(u, Duration::from_millis(750)) {
+            Ok((version, is_primary)) => {
+                u.model_version.store(version, Ordering::Relaxed);
+                let mut h = u.health.lock().unwrap();
+                h.is_primary = is_primary;
+                drop(h);
+                u.note_success();
+            }
+            Err(_) => {
+                let mut h = u.health.lock().unwrap();
+                h.probes_failed += 1;
+                h.is_primary = false;
+                drop(h);
+                u.note_failure(state.cfg.eject_after);
+            }
+        }
+    }
+}
+
+/// GET /healthz on one upstream; returns (model_version, is_primary).
+fn probe_one(u: &Upstream, timeout: Duration) -> io::Result<(u64, bool)> {
+    let conn = u.checkout(timeout)?;
+    let mut conn = conn;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    write!(
+        conn,
+        "GET /healthz HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+        u.addr
+    )?;
+    let mut reader = BufReader::new(conn);
+    let resp = read_response(&mut reader)?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!("healthz status {}", resp.status)));
+    }
+    let body = String::from_utf8_lossy(&resp.body);
+    let doc = Json::parse(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("healthz: {e}")))?;
+    let version = doc
+        .get("model_version")
+        .and_then(Json::as_f64)
+        .map_or(0, |v| v as u64);
+    let role = doc
+        .get("cluster_role")
+        .and_then(Json::as_str)
+        .unwrap_or("primary"); // single-node daemons are writable
+    if resp.keep_alive {
+        u.checkin(reader.into_inner());
+    }
+    Ok((version, role == "primary"))
+}
+
+/// A parsed client request (just enough to route and re-emit).
+struct ProxyRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// A parsed upstream response (relayed headers only).
+struct ProxyResponse {
+    status: u16,
+    content_type: String,
+    allow: Option<String>,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+const MAX_HEAD: usize = 8 * 1024;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Reads one HTTP/1.1 request; `Ok(None)` on clean close between
+/// requests.
+fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<ProxyRequest>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(ProxyRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one HTTP/1.1 response from an upstream.
+fn read_response<R: BufRead>(r: &mut R) -> io::Result<ProxyResponse> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut content_type = "application/json".to_string();
+    let mut allow = None;
+    let mut keep_alive = true;
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                "content-type" => content_type = value.to_string(),
+                "allow" => allow = Some(value.to_string()),
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(ProxyResponse {
+        status,
+        content_type,
+        allow,
+        body,
+        keep_alive,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+fn write_client_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    allow: Option<&str>,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n",
+        reason(status)
+    )?;
+    if let Some(allow) = allow {
+        write!(w, "Allow: {allow}\r\n")?;
+    }
+    write!(
+        w,
+        "Content-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    let mut m = Json::obj();
+    m.set("error", message);
+    m.render().into_bytes()
+}
+
+/// Extracts the consistent-hash key: the `server` field of a JSON body,
+/// falling back to the path for body-less requests.
+fn hash_key(req: &ProxyRequest) -> String {
+    if !req.body.is_empty() {
+        if let Ok(doc) = Json::parse(&String::from_utf8_lossy(&req.body)) {
+            if let Some(server) = doc.get("server").and_then(Json::as_str) {
+                return server.to_string();
+            }
+        }
+    }
+    req.path.clone()
+}
+
+/// One client connection: route and forward until close.
+fn serve_client(stream: TcpStream, state: &RouterState) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                write_client_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    None,
+                    &error_body(&e.to_string()),
+                    false,
+                )?;
+                return Ok(());
+            }
+            Err(_) => return Ok(()),
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = req.keep_alive;
+
+        if req.path == "/router/status" {
+            let (status, body) = if req.method == "GET" {
+                (200, state.status_json().render().into_bytes())
+            } else {
+                (405, error_body("wrong method for this path"))
+            };
+            write_client_response(
+                &mut writer,
+                status,
+                "application/json",
+                (status == 405).then_some("GET"),
+                &body,
+                keep_alive,
+            )?;
+            if !keep_alive {
+                return Ok(());
+            }
+            continue;
+        }
+
+        let resp = forward_with_retries(state, &req);
+        match resp {
+            Some(resp) => {
+                write_client_response(
+                    &mut writer,
+                    resp.status,
+                    &resp.content_type,
+                    resp.allow.as_deref(),
+                    &resp.body,
+                    keep_alive,
+                )?;
+            }
+            None => {
+                state.forward_errors.fetch_add(1, Ordering::Relaxed);
+                write_client_response(
+                    &mut writer,
+                    503,
+                    "application/json",
+                    None,
+                    &error_body("no healthy upstream"),
+                    keep_alive,
+                )?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Picks upstreams (primary for writes, ring for reads) and forwards,
+/// trying up to three distinct upstreams on transport failure.
+fn forward_with_retries(state: &RouterState, req: &ProxyRequest) -> Option<ProxyResponse> {
+    let is_write = req.method == "POST" && req.path == "/observe";
+    let mut tried = vec![false; state.upstreams.len()];
+    for _attempt in 0..3 {
+        let idx = if is_write {
+            // Writes go to the primary, wherever it currently is.
+            state
+                .upstreams
+                .iter()
+                .enumerate()
+                .position(|(i, u)| !tried[i] && u.health.lock().unwrap().is_primary)?
+        } else {
+            let mut admitted = state.admitted();
+            for (i, t) in tried.iter().enumerate() {
+                if *t {
+                    admitted[i] = false;
+                }
+            }
+            state
+                .ring
+                .route(&hash_key(req), &admitted, &state.loads())?
+        };
+        tried[idx] = true;
+        let u = &state.upstreams[idx];
+        u.in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = forward_once(u, req, state.cfg.io_timeout);
+        u.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(resp) => {
+                u.note_success();
+                return Some(resp);
+            }
+            Err(_) => {
+                metrics::counter("router.forward_retries").incr();
+                u.note_failure(state.cfg.eject_after);
+            }
+        }
+    }
+    None
+}
+
+/// One forward on one upstream, reusing a pooled connection. A stale
+/// pooled connection (closed by the upstream between requests) surfaces
+/// as an error here and the caller retries on a fresh one.
+fn forward_once(u: &Upstream, req: &ProxyRequest, timeout: Duration) -> io::Result<ProxyResponse> {
+    let mut conn = u.checkout(timeout)?;
+    write!(
+        conn,
+        "{} {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        req.method,
+        req.path,
+        u.addr,
+        req.body.len()
+    )?;
+    conn.write_all(&req.body)?;
+    conn.flush()?;
+    let mut reader = BufReader::new(conn);
+    let resp = read_response(&mut reader)?;
+    if resp.keep_alive {
+        u.checkin(reader.into_inner());
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal in-process upstream speaking just enough HTTP.
+    fn stub_upstream(
+        model_version: u64,
+        role: &'static str,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                while let Ok(Some(req)) = read_request(&mut reader) {
+                    let body = if req.path == "/healthz" {
+                        format!(
+                            "{{\"model_version\": {model_version}, \"cluster_role\": \"{role}\"}}"
+                        )
+                    } else {
+                        format!("{{\"echo\": \"{} {}\"}}", req.method, req.path)
+                    };
+                    let ok = write_client_response(
+                        &mut writer,
+                        200,
+                        "application/json",
+                        None,
+                        body.as_bytes(),
+                        true,
+                    );
+                    if ok.is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn get(addr: &str, path: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(
+            conn,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        let resp = read_response(&mut reader).unwrap();
+        (
+            resp.status,
+            String::from_utf8_lossy(&resp.body).into_owned(),
+        )
+    }
+
+    #[test]
+    fn routes_reads_and_reports_status() {
+        let (a, _ha) = stub_upstream(5, "primary");
+        let (b, _hb) = stub_upstream(5, "follower");
+        let cfg = RouterConfig {
+            upstreams: vec![a, b],
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        };
+        let server = RouterServer::bind(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.run());
+        // Give the prober a round to discover roles.
+        std::thread::sleep(Duration::from_millis(300));
+
+        let (status, body) = get(&addr, "/models");
+        assert_eq!(status, 200);
+        assert!(body.contains("GET /models"), "{body}");
+        let (status, body) = get(&addr, "/router/status");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"primary\": true"), "{body}");
+        assert!(body.contains("\"model_version\": 5"), "{body}");
+    }
+
+    #[test]
+    fn dead_upstream_is_ejected_and_requests_fail_over() {
+        let (live, _h) = stub_upstream(1, "primary");
+        // A dead address: bind, grab the port, drop the listener.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = RouterConfig {
+            upstreams: vec![dead, live],
+            probe_interval: Duration::from_millis(50),
+            io_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        };
+        let server = RouterServer::bind(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(400));
+
+        // Every read lands on the live upstream regardless of hash.
+        for i in 0..10 {
+            let (status, body) = get(&addr, &format!("/models?k={i}"));
+            assert_eq!(status, 200, "{body}");
+        }
+        let (_, status_body) = get(&addr, "/router/status");
+        assert!(status_body.contains("\"admitted\": false"), "{status_body}");
+    }
+}

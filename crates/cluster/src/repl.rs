@@ -1,0 +1,585 @@
+//! Log-shipping replication: the primary's hub and the follower's
+//! replicator, plus failover and the rejoin handshake.
+//!
+//! ## Stream shape
+//!
+//! A follower connects to the primary's replication port and sends
+//! [`Hello`](crate::wire::Message::Hello) with its epoch and log length.
+//! The primary validates (see *Fencing*), replies `Welcome`, then enters
+//! a lock-step loop: ship a `Records` frame (raw 64-byte records read
+//! straight from the segment files), wait for the follower's `Ack`,
+//! repeat; when the log is idle it ships `Heartbeat`s instead. The
+//! follower applies each batch through its own
+//! [`ObservationStore::ingest`] — the same validate → append → fold →
+//! publish path a primary runs — so its log *files* and its registry are
+//! byte-identical to the primary's by the store's replay-determinism
+//! property.
+//!
+//! ## Rollback and fencing
+//!
+//! Epochs order primaries in time. The invariant: records below a
+//! `Welcome`'s `sealed_len` are common history; records above it belong
+//! to the epoch that sealed there. Because shipping is order-preserving,
+//! a node whose log length is ≤ the current primary's `sealed_len` holds
+//! a true prefix and may (re)join as a follower at any epoch. A node
+//! whose log is *longer* under an *older* epoch holds records the
+//! current epoch never adopted; the hub answers `Welcome` (which carries
+//! the seal point) and closes without streaming, and what happens next
+//! depends on what those extra records *are*:
+//!
+//! * A live **follower** merely replicated them — nothing was acked to a
+//!   client on their strength. It rolls its store back to the seal point
+//!   ([`ObservationStore::rollback_to`]) and reconnects holding a true
+//!   prefix; replay determinism makes its rebuilt registry byte-identical
+//!   to the new primary's history.
+//! * A restarting **primary** acked those writes to clients. Discarding
+//!   them silently is not the protocol's call, so it fences: reads keep
+//!   serving from its last model, writes are refused, and an operator
+//!   resolves it (usually by wiping the store and resyncing).
+//!
+//! A *same-epoch* log longer than anything the primary published cannot
+//! be a failover artifact — that is corruption or identity confusion,
+//! answered with [`reject::DIVERGENT`] and fenced. A primary that
+//! receives a `Hello` carrying a *newer* epoch has been superseded and
+//! fences itself immediately.
+//!
+//! ## Failover
+//!
+//! The designated follower tracks time since the last frame from any
+//! primary. When that exceeds the grace period it takes over: fsync the
+//! replicated tail, bump the epoch in the store manifest, persist the
+//! [`Lease`], and only then flip its in-memory role — a crash anywhere
+//! in that sequence leaves either the old state or the new, never a
+//! half-promoted node.
+
+use crate::lease::Lease;
+use crate::state::{ClusterState, Role};
+use crate::wire::{reject, Message, PROTO_VERSION};
+use perfpred_core::faults::{self, FaultSite};
+use perfpred_core::metrics;
+use perfpred_store::{Observation, ObservationStore, SegmentReader, RECORD_BYTES};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Records per `Records` frame (32 KiB of payload at 64-byte records).
+const BATCH_RECORDS: usize = 512;
+
+/// Tuning for the primary-side hub.
+#[derive(Debug, Clone)]
+pub struct HubConfig {
+    /// Heartbeat cadence on an idle log; also bounds how long a fence is
+    /// unnoticed mid-stream.
+    pub heartbeat: Duration,
+    /// Per-connection I/O timeout (a follower that stops acking is cut).
+    pub io_timeout: Duration,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            heartbeat: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The primary-side replication listener. Every node runs one; it only
+/// streams while its node's role is [`Role::Primary`], answering
+/// [`reject::NOT_PRIMARY`] otherwise — which is how followers discover
+/// who the primary is by cycling the peer list.
+#[derive(Debug)]
+pub struct ReplicationHub {
+    addr: SocketAddr,
+}
+
+impl ReplicationHub {
+    /// Binds the replication port and spawns the accept loop (a daemon
+    /// thread per connection). Requires a durable store.
+    pub fn bind(
+        host: &str,
+        port: u16,
+        state: Arc<ClusterState>,
+        store: Arc<ObservationStore>,
+        cfg: HubConfig,
+    ) -> io::Result<ReplicationHub> {
+        let dir = store.log_dir().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a durable store (--store-dir)",
+            )
+        })?;
+        let listener = TcpListener::bind((host, port))?;
+        let addr = listener.local_addr()?;
+        std::thread::Builder::new()
+            .name("repl-hub".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    let Ok(stream) = conn else { continue };
+                    let state = Arc::clone(&state);
+                    let store = Arc::clone(&store);
+                    let dir = dir.clone();
+                    let cfg = cfg.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("repl-send".into())
+                        .spawn(move || {
+                            let _ = serve_follower(stream, &state, &store, &dir, &cfg);
+                        });
+                }
+            })?;
+        Ok(ReplicationHub { addr })
+    }
+
+    /// The bound replication address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// One follower connection, primary side: handshake then lock-step ship.
+fn serve_follower(
+    mut stream: TcpStream,
+    state: &ClusterState,
+    store: &ObservationStore,
+    dir: &std::path::Path,
+    cfg: &HubConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+    let Message::Hello {
+        proto,
+        epoch,
+        log_len,
+        node,
+    } = Message::read(&mut stream)?
+    else {
+        return Ok(()); // protocol breach: drop silently
+    };
+    if proto != PROTO_VERSION {
+        Message::Reject {
+            reason: format!("protocol {proto} unsupported (want {PROTO_VERSION})"),
+        }
+        .write(&mut stream)?;
+        return Ok(());
+    }
+    if epoch > state.epoch() {
+        // A newer epoch exists: this node's primacy is over.
+        metrics::counter("cluster.fenced").incr();
+        state.fence();
+        Message::Reject {
+            reason: reject::SUPERSEDED.into(),
+        }
+        .write(&mut stream)?;
+        return Ok(());
+    }
+    if state.role() != Role::Primary {
+        Message::Reject {
+            reason: reject::NOT_PRIMARY.into(),
+        }
+        .write(&mut stream)?;
+        return Ok(());
+    }
+    let watch = store.watch();
+    let published = watch.len();
+    // Prefix rule: an older-epoch log longer than our seal point holds
+    // records the current epoch never adopted. Answer `Welcome` anyway —
+    // it carries the seal point — and close without streaming: a live
+    // follower rolls its log back to the seal and reconnects, while a
+    // restarting primary fences instead (its tail holds client-acked
+    // writes no replica ever saw; see `rejoin_check`).
+    if epoch < state.epoch() && log_len > state.sealed_len() {
+        Message::Welcome {
+            epoch: state.epoch(),
+            log_len: published,
+            sealed_len: state.sealed_len(),
+        }
+        .write(&mut stream)?;
+        return Ok(());
+    }
+    if log_len > published {
+        // A *same-epoch* log longer than anything we published is not a
+        // failover artifact — it is corruption or identity confusion, and
+        // there is no safe point to roll back to.
+        Message::Reject {
+            reason: reject::DIVERGENT.into(),
+        }
+        .write(&mut stream)?;
+        return Ok(());
+    }
+    Message::Welcome {
+        epoch: state.epoch(),
+        log_len: published,
+        sealed_len: state.sealed_len(),
+    }
+    .write(&mut stream)?;
+    state.note_follower(&node, log_len);
+    metrics::counter("cluster.follower_connects").incr();
+
+    let reader = SegmentReader::open(dir)?;
+    let mut cursor = log_len;
+    let result = loop {
+        if state.role() != Role::Primary {
+            break Message::Reject {
+                reason: reject::NOT_PRIMARY.into(),
+            }
+            .write(&mut stream);
+        }
+        let published = watch.wait_beyond(cursor, cfg.heartbeat);
+        // Recheck after blocking: a fence can land while we wait, and the
+        // very ingest that woke us may be a post-fence divergent tail the
+        // follower must never see.
+        if state.role() != Role::Primary {
+            break Message::Reject {
+                reason: reject::NOT_PRIMARY.into(),
+            }
+            .write(&mut stream);
+        }
+        if published <= cursor {
+            if let Err(e) = (Message::Heartbeat {
+                epoch: state.epoch(),
+                log_len: published,
+            })
+            .write(&mut stream)
+            {
+                break Err(e);
+            }
+            continue;
+        }
+        let take = ((published - cursor) as usize).min(BATCH_RECORDS);
+        let bytes = match reader.read_records(cursor, take) {
+            Ok(b) => b,
+            Err(e) => break Err(e),
+        };
+        // Injected partition: cut the frame mid-write or drop it whole.
+        if faults::fires(FaultSite::ReplPartialFrame) {
+            metrics::counter("cluster.injected_partial_frames").incr();
+            let mut buf = Vec::new();
+            (Message::Records {
+                start: cursor,
+                bytes,
+            })
+            .write(&mut buf)?;
+            let _ = stream.write_all(&buf[..buf.len() / 2]);
+            let _ = stream.flush();
+            break Ok(());
+        }
+        if faults::fires(FaultSite::ReplConnDrop) {
+            metrics::counter("cluster.injected_conn_drops").incr();
+            break Ok(());
+        }
+        if let Err(e) = (Message::Records {
+            start: cursor,
+            bytes,
+        })
+        .write(&mut stream)
+        {
+            break Err(e);
+        }
+        cursor += take as u64;
+        match Message::read(&mut stream) {
+            Ok(Message::Ack { applied }) => state.note_follower(&node, applied),
+            Ok(_) => break Ok(()), // protocol breach
+            Err(e) => break Err(e),
+        }
+    };
+    state.drop_follower(&node);
+    result
+}
+
+/// Tuning for the follower-side replicator.
+#[derive(Debug, Clone)]
+pub struct ReplicatorConfig {
+    /// Replication addresses of every peer node (the follower cycles
+    /// these until one answers `Welcome`).
+    pub peers: Vec<String>,
+    /// How long without a frame from any primary before the designated
+    /// follower takes over.
+    pub grace: Duration,
+    /// Whether this node may take over on primary death.
+    pub designated: bool,
+    /// Where the epoch lease is persisted (the store directory).
+    pub lease_dir: PathBuf,
+    /// Per-connection read timeout; should exceed the hub heartbeat.
+    pub io_timeout: Duration,
+}
+
+/// Spawns the follower loop; the thread exits when the node stops being
+/// a follower (takeover) or fences.
+pub fn spawn_replicator(
+    cfg: ReplicatorConfig,
+    state: Arc<ClusterState>,
+    store: Arc<ObservationStore>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("repl-pull".into())
+        .spawn(move || replicate_loop(&cfg, &state, &store))
+        .expect("spawn replicator")
+}
+
+fn replicate_loop(cfg: &ReplicatorConfig, state: &ClusterState, store: &ObservationStore) {
+    let mut last_contact = Instant::now();
+    let mut peer_idx = 0usize;
+    loop {
+        match state.role() {
+            Role::Follower => {}
+            Role::Primary | Role::Fenced => return,
+        }
+        if cfg.peers.is_empty() {
+            return;
+        }
+        let peer = &cfg.peers[peer_idx % cfg.peers.len()];
+        peer_idx += 1;
+        match pull_from(peer, cfg, state, store, &mut last_contact) {
+            Ok(()) => {}
+            Err(_) => {
+                // Connection refused / timed out / died: try the next peer.
+            }
+        }
+        if state.role() != Role::Follower {
+            return;
+        }
+        if cfg.designated && last_contact.elapsed() > cfg.grace {
+            take_over(cfg, state, store);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One attempt against one peer: handshake, then apply frames until the
+/// connection dies or the peer stops being primary.
+fn pull_from(
+    peer: &str,
+    cfg: &ReplicatorConfig,
+    state: &ClusterState,
+    store: &ObservationStore,
+    last_contact: &mut Instant,
+) -> io::Result<()> {
+    let addr = peer
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable peer"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+    let log_len = store.log_len().unwrap_or(0);
+    Message::Hello {
+        proto: PROTO_VERSION,
+        epoch: state.epoch(),
+        log_len,
+        node: state.node().to_string(),
+    }
+    .write(&mut stream)?;
+    match Message::read(&mut stream)? {
+        Message::Welcome {
+            epoch,
+            log_len: source_len,
+            sealed_len,
+        } => {
+            if epoch < state.epoch() {
+                return Ok(()); // stale primary; keep cycling
+            }
+            if epoch > state.epoch() && log_len > sealed_len {
+                // Our tail extends past the seal point of the epoch now
+                // in force: those records were replicated from a primary
+                // that epoch deposed, and the cluster never adopted them.
+                // Roll back to the seal and resync — replay determinism
+                // makes the rebuilt state identical to the new primary's
+                // history, so the next connect streams from a true prefix.
+                eprintln!(
+                    "cluster: node {} rolling back {} records past epoch \
+                     {epoch}'s seal point ({sealed_len}) to resync",
+                    state.node(),
+                    log_len - sealed_len,
+                );
+                if let Err(e) = store.rollback_to(sealed_len) {
+                    // The store may be left log-less: fence rather than
+                    // keep ingesting into thin air.
+                    eprintln!(
+                        "cluster: node {} rollback failed, fencing: {e}",
+                        state.node()
+                    );
+                    metrics::counter("cluster.fenced").incr();
+                    state.fence();
+                    return Ok(());
+                }
+                metrics::counter("cluster.rollbacks").incr();
+                state.adopt_epoch(epoch, sealed_len);
+                let _ = store.set_epoch(epoch);
+                *last_contact = Instant::now();
+                return Ok(()); // reconnect with the shortened log
+            }
+            state.adopt_epoch(epoch, sealed_len);
+            let _ = store.set_epoch(epoch);
+            state.note_source_len(source_len);
+            state.note_applied(log_len);
+            *last_contact = Instant::now();
+        }
+        Message::Reject { reason } => {
+            if reason == reject::DIVERGENT {
+                eprintln!(
+                    "cluster: node {} fenced — log diverges from the current epoch",
+                    state.node()
+                );
+                metrics::counter("cluster.fenced").incr();
+                state.fence();
+            }
+            return Ok(());
+        }
+        _ => return Ok(()),
+    }
+    loop {
+        if state.role() != Role::Follower {
+            return Ok(());
+        }
+        match Message::read(&mut stream)? {
+            Message::Records { start, bytes } => {
+                let local = store.log_len().unwrap_or(0);
+                if start != local || bytes.len() % RECORD_BYTES != 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("records frame at {start} does not align with local log {local}"),
+                    ));
+                }
+                let mut batch = Vec::with_capacity(bytes.len() / RECORD_BYTES);
+                for chunk in bytes.chunks(RECORD_BYTES) {
+                    let rec = <&[u8; RECORD_BYTES]>::try_from(chunk).unwrap();
+                    let obs = Observation::decode(rec).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "undecodable record in frame")
+                    })?;
+                    batch.push(obs);
+                }
+                store
+                    .ingest(&batch)
+                    .map_err(|e| io::Error::other(format!("apply failed: {e}")))?;
+                let applied = store.log_len().unwrap_or(0);
+                state.note_applied(applied);
+                state.note_source_len(start + (bytes.len() / RECORD_BYTES) as u64);
+                metrics::counter("cluster.records_applied")
+                    .add((bytes.len() / RECORD_BYTES) as u64);
+                *last_contact = Instant::now();
+                Message::Ack { applied }.write(&mut stream)?;
+            }
+            Message::Heartbeat { epoch, log_len } => {
+                state.adopt_epoch(epoch, state.sealed_len());
+                state.note_source_len(log_len);
+                *last_contact = Instant::now();
+            }
+            Message::Reject { reason } => {
+                if reason == reject::DIVERGENT {
+                    metrics::counter("cluster.fenced").incr();
+                    state.fence();
+                }
+                return Ok(());
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Failover: seal, bump, persist, then flip — in that order.
+fn take_over(cfg: &ReplicatorConfig, state: &ClusterState, store: &ObservationStore) {
+    let _ = store.sync();
+    let sealed_len = store.log_len().unwrap_or(0);
+    let epoch = state.epoch() + 1;
+    if let Err(e) = store.set_epoch(epoch) {
+        eprintln!("cluster: takeover aborted, cannot persist epoch: {e}");
+        return;
+    }
+    let lease = Lease {
+        epoch,
+        node: state.node().to_string(),
+        sealed_len,
+    };
+    if let Err(e) = lease.write(&cfg.lease_dir) {
+        eprintln!("cluster: takeover aborted, cannot persist lease: {e}");
+        return;
+    }
+    state.promote(epoch, sealed_len);
+    metrics::counter("cluster.takeovers").incr();
+    eprintln!(
+        "cluster: node {} took over as primary (epoch {epoch}, sealed at {sealed_len})",
+        state.node()
+    );
+}
+
+/// What the startup rejoin handshake decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejoinOutcome {
+    /// No live primary with a newer claim was found: keep the configured
+    /// primary role.
+    Primary,
+    /// A newer primary is live and our log is a safe prefix: run as a
+    /// follower instead.
+    Demoted,
+    /// A newer primary is live and our log has a divergent tail: fenced.
+    Fenced,
+}
+
+/// A restarting node configured as primary must ask the cluster before
+/// trusting that configuration: probe every peer once; whoever answers
+/// `Welcome` with an epoch ≥ ours is the real primary, and the prefix
+/// rule decides whether we demote or fence. With no reachable claimant
+/// the configured role stands (cold start).
+pub fn rejoin_check(
+    peers: &[String],
+    state: &ClusterState,
+    store: &ObservationStore,
+) -> RejoinOutcome {
+    let log_len = store.log_len().unwrap_or(0);
+    for peer in peers {
+        let Ok(mut addrs) = peer.to_socket_addrs() else {
+            continue;
+        };
+        let Some(addr) = addrs.next() else { continue };
+        let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+            continue;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(1000)))
+            .ok();
+        if (Message::Hello {
+            proto: PROTO_VERSION,
+            epoch: state.epoch(),
+            log_len,
+            node: state.node().to_string(),
+        })
+        .write(&mut stream)
+        .is_err()
+        {
+            continue;
+        }
+        match Message::read(&mut stream) {
+            Ok(Message::Welcome {
+                epoch, sealed_len, ..
+            }) if epoch >= state.epoch() => {
+                if log_len > sealed_len && epoch > state.epoch() {
+                    // Our tail extends past the new epoch's seal point.
+                    // Unlike a follower (which rolls back and resyncs),
+                    // a restarting primary holds *client-acked* writes in
+                    // that tail — discarding them silently is not ours to
+                    // decide, so fence and leave it to an operator.
+                    metrics::counter("cluster.fenced").incr();
+                    state.fence();
+                    return RejoinOutcome::Fenced;
+                }
+                state.adopt_epoch(epoch, sealed_len);
+                let _ = store.set_epoch(epoch);
+                state.demote();
+                return RejoinOutcome::Demoted;
+            }
+            Ok(Message::Reject { reason }) if reason == reject::DIVERGENT => {
+                metrics::counter("cluster.fenced").incr();
+                state.fence();
+                return RejoinOutcome::Fenced;
+            }
+            _ => continue,
+        }
+    }
+    RejoinOutcome::Primary
+}

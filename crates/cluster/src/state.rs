@@ -1,0 +1,243 @@
+//! Shared, thread-safe view of this node's place in the cluster.
+//!
+//! One [`ClusterState`] is created at daemon startup and shared by the
+//! serve app (the `/cluster` route and the `/observe` write gate), the
+//! replication hub (primary side) and the replicator (follower side).
+//! Transitions are monotone in epoch: a node only ever *adopts* a higher
+//! epoch, and once [`Role::Fenced`] it stays fenced until an operator
+//! intervenes (wiping or resyncing its store) — fencing exists precisely
+//! because the node's local history can no longer be trusted.
+
+use perfpred_core::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What this node is allowed to do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts observations; streams the log to followers.
+    Primary,
+    /// Applies the replicated stream; serves reads; rejects writes.
+    Follower,
+    /// Holds a divergent log tail (or was superseded): serves reads from
+    /// its last model, rejects writes, never streams.
+    Fenced,
+}
+
+impl Role {
+    /// Lower-case wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+            Role::Fenced => "fenced",
+        }
+    }
+}
+
+/// Progress of one follower, tracked by the primary's hub.
+#[derive(Debug, Clone, Copy)]
+struct FollowerProgress {
+    acked: u64,
+    last_contact: Instant,
+}
+
+/// This node's cluster identity and live status.
+#[derive(Debug)]
+pub struct ClusterState {
+    node: String,
+    role: Mutex<Role>,
+    epoch: AtomicU64,
+    sealed_len: AtomicU64,
+    /// Highest primary log length this node has heard of (follower side:
+    /// from heartbeats and record frames). `lag = source_len - applied`.
+    source_len: AtomicU64,
+    /// Records this node has durably applied (follower side).
+    applied: AtomicU64,
+    followers: Mutex<BTreeMap<String, FollowerProgress>>,
+}
+
+impl ClusterState {
+    /// A fresh state for `node`, starting in `role` under `epoch`.
+    pub fn new(node: &str, role: Role, epoch: u64, sealed_len: u64) -> ClusterState {
+        ClusterState {
+            node: node.to_string(),
+            role: Mutex::new(role),
+            epoch: AtomicU64::new(epoch),
+            sealed_len: AtomicU64::new(sealed_len),
+            source_len: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            followers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The current role.
+    pub fn role(&self) -> Role {
+        *self.role.lock().unwrap()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Log length at which the current epoch began.
+    pub fn sealed_len(&self) -> u64 {
+        self.sealed_len.load(Ordering::Acquire)
+    }
+
+    /// True when this node may accept observations.
+    pub fn is_writable(&self) -> bool {
+        self.role() == Role::Primary
+    }
+
+    /// Becomes primary under `epoch`, sealing the log at `sealed_len`.
+    /// Called by failover *after* the lease and manifest epoch are
+    /// durable, so the in-memory flip is the last step.
+    pub fn promote(&self, epoch: u64, sealed_len: u64) {
+        let mut role = self.role.lock().unwrap();
+        self.epoch.store(epoch, Ordering::Release);
+        self.sealed_len.store(sealed_len, Ordering::Release);
+        *role = Role::Primary;
+    }
+
+    /// Adopts a (never lower) epoch learned from the live primary.
+    pub fn adopt_epoch(&self, epoch: u64, sealed_len: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.sealed_len.fetch_max(sealed_len, Ordering::AcqRel);
+    }
+
+    /// Demotes to follower (an old primary rejoining a safe prefix).
+    pub fn demote(&self) {
+        let mut role = self.role.lock().unwrap();
+        if *role == Role::Primary {
+            *role = Role::Follower;
+        }
+    }
+
+    /// Fences this node: reads keep working, writes and streaming stop.
+    pub fn fence(&self) {
+        *self.role.lock().unwrap() = Role::Fenced;
+    }
+
+    /// Follower-side progress: records applied locally.
+    pub fn note_applied(&self, applied: u64) {
+        self.applied.fetch_max(applied, Ordering::AcqRel);
+    }
+
+    /// Follower-side view of the primary's log length.
+    pub fn note_source_len(&self, len: u64) {
+        self.source_len.fetch_max(len, Ordering::AcqRel);
+    }
+
+    /// Replication lag in records as seen from this node (0 on a primary).
+    pub fn lag(&self) -> u64 {
+        self.source_len
+            .load(Ordering::Acquire)
+            .saturating_sub(self.applied.load(Ordering::Acquire))
+    }
+
+    /// Primary-side bookkeeping: a follower connected or acked progress.
+    pub fn note_follower(&self, node: &str, acked: u64) {
+        let mut followers = self.followers.lock().unwrap();
+        let entry = followers
+            .entry(node.to_string())
+            .or_insert(FollowerProgress {
+                acked: 0,
+                last_contact: Instant::now(),
+            });
+        entry.acked = entry.acked.max(acked);
+        entry.last_contact = Instant::now();
+    }
+
+    /// Primary-side bookkeeping: a follower's stream closed.
+    pub fn drop_follower(&self, node: &str) {
+        self.followers.lock().unwrap().remove(node);
+    }
+
+    /// The `/cluster` status document. `log_len` is the node's own log
+    /// length right now (the store knows; the state does not).
+    pub fn status_json(&self, log_len: u64) -> Json {
+        let role = self.role();
+        let mut m = Json::obj();
+        m.set("node", self.node.as_str());
+        m.set("role", role.name());
+        m.set("epoch", self.epoch());
+        m.set("sealed_len", self.sealed_len());
+        m.set("log_len", log_len);
+        m.set("writable", role == Role::Primary);
+        match role {
+            Role::Primary => {
+                let followers = self.followers.lock().unwrap();
+                let mut list = Vec::new();
+                for (node, progress) in followers.iter() {
+                    let mut f = Json::obj();
+                    f.set("node", node.as_str());
+                    f.set("acked", progress.acked);
+                    f.set("lag", log_len.saturating_sub(progress.acked));
+                    f.set(
+                        "last_contact_ms",
+                        progress.last_contact.elapsed().as_secs_f64() * 1e3,
+                    );
+                    list.push(f);
+                }
+                m.set("followers", list);
+                m.set("lag", 0u64);
+            }
+            Role::Follower | Role::Fenced => {
+                m.set("source_len", self.source_len.load(Ordering::Acquire));
+                m.set("lag", self.lag());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_epoch_monotone() {
+        let state = ClusterState::new("node-a", Role::Follower, 1, 0);
+        assert!(!state.is_writable());
+        state.adopt_epoch(3, 50);
+        state.adopt_epoch(2, 10); // stale: ignored
+        assert_eq!(state.epoch(), 3);
+        assert_eq!(state.sealed_len(), 50);
+        state.promote(4, 120);
+        assert!(state.is_writable());
+        state.fence();
+        assert!(!state.is_writable());
+        assert_eq!(state.role(), Role::Fenced);
+        // Fenced stays fenced even through demote().
+        state.demote();
+        assert_eq!(state.role(), Role::Fenced);
+    }
+
+    #[test]
+    fn status_reports_lag_and_followers() {
+        let state = ClusterState::new("node-a", Role::Primary, 2, 100);
+        state.note_follower("node-b", 90);
+        let status = state.status_json(120);
+        assert_eq!(status.get("role").and_then(Json::as_str), Some("primary"));
+        assert_eq!(status.get("epoch").and_then(Json::as_f64), Some(2.0));
+        let rendered = status.render();
+        assert!(rendered.contains("node-b"), "{rendered}");
+        assert!(rendered.contains("\"lag\": 30"), "{rendered}");
+
+        let follower = ClusterState::new("node-b", Role::Follower, 2, 100);
+        follower.note_source_len(120);
+        follower.note_applied(90);
+        assert_eq!(follower.lag(), 30);
+        let status = follower.status_json(90);
+        assert_eq!(status.get("writable").and_then(Json::as_bool), Some(false));
+    }
+}

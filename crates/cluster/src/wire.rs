@@ -1,0 +1,292 @@
+//! The replication wire protocol: typed messages over [`perfpred_core::frame`].
+//!
+//! Every message is one CRC-guarded frame (`[len][kind][payload][crc]`).
+//! Fixed-width integers are little-endian; strings are a `u16` length
+//! followed by UTF-8 bytes. The protocol is deliberately tiny:
+//!
+//! | kind | message     | direction          | meaning                                  |
+//! |------|-------------|--------------------|------------------------------------------|
+//! | 1    | `Hello`     | follower → primary | identify; carry epoch + local log length |
+//! | 2    | `Welcome`   | primary → follower | accept; carry epoch + lengths            |
+//! | 3    | `Records`   | primary → follower | raw 64-byte records from a start index   |
+//! | 4    | `Heartbeat` | primary → follower | liveness + current log length            |
+//! | 5    | `Ack`       | follower → primary | applied-through progress                 |
+//! | 6    | `Reject`    | primary → follower | refuse the stream, with a reason         |
+//!
+//! A `Hello` whose epoch exceeds the receiver's is how an old primary
+//! learns it has been superseded (see `crates/cluster`'s fencing rules).
+
+use perfpred_core::frame::{self, Frame};
+use std::io::{self, Read, Write};
+
+/// Protocol revision; bumped on any incompatible change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Why a primary refused a replication stream.
+pub mod reject {
+    /// The receiving node is not the primary.
+    pub const NOT_PRIMARY: &str = "not-primary";
+    /// The follower's log is longer than the primary's sealed length —
+    /// it holds a divergent tail and must fence itself.
+    pub const DIVERGENT: &str = "divergent";
+    /// The follower announced a newer epoch than ours; we fenced.
+    pub const SUPERSEDED: &str = "superseded";
+}
+
+/// One replication protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Follower identifies itself when a connection opens.
+    Hello {
+        /// Protocol revision the sender speaks.
+        proto: u32,
+        /// The sender's cluster epoch (from its manifest).
+        epoch: u64,
+        /// Records in the sender's local log.
+        log_len: u64,
+        /// The sender's node id.
+        node: String,
+    },
+    /// Primary accepts the stream and anchors the follower's view.
+    Welcome {
+        /// The primary's epoch; the follower adopts it.
+        epoch: u64,
+        /// Records in the primary's log right now.
+        log_len: u64,
+        /// Length at which the current epoch began (takeover seal point).
+        /// A follower whose log is longer than this under an older epoch
+        /// holds writes no quorum ever saw — it must fence.
+        sealed_len: u64,
+    },
+    /// A run of raw encoded records starting at a global record index.
+    Records {
+        /// Global index of the first record in `bytes`.
+        start: u64,
+        /// Concatenated 64-byte CRC-framed records.
+        bytes: Vec<u8>,
+    },
+    /// Primary liveness on an idle log.
+    Heartbeat {
+        /// The primary's epoch.
+        epoch: u64,
+        /// Records in the primary's log.
+        log_len: u64,
+    },
+    /// Follower progress: records applied so far.
+    Ack {
+        /// The follower's log length after applying.
+        applied: u64,
+    },
+    /// Stream refused; the connection closes after this.
+    Reject {
+        /// One of the [`reject`] reasons (free text tolerated).
+        reason: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_RECORDS: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+const KIND_ACK: u8 = 5;
+const KIND_REJECT: u8 = 6;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "string field exceeds u16 length",
+        ));
+    }
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "replication payload too short",
+            ));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap());
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string field"))
+    }
+}
+
+impl Message {
+    /// Writes this message as one frame.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let (kind, payload) = self.encode()?;
+        frame::write_frame(w, kind, &payload)
+    }
+
+    fn encode(&self) -> io::Result<(u8, Vec<u8>)> {
+        let mut buf = Vec::new();
+        let kind = match self {
+            Message::Hello {
+                proto,
+                epoch,
+                log_len,
+                node,
+            } => {
+                put_u32(&mut buf, *proto);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *log_len);
+                put_str(&mut buf, node)?;
+                KIND_HELLO
+            }
+            Message::Welcome {
+                epoch,
+                log_len,
+                sealed_len,
+            } => {
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *log_len);
+                put_u64(&mut buf, *sealed_len);
+                KIND_WELCOME
+            }
+            Message::Records { start, bytes } => {
+                put_u64(&mut buf, *start);
+                buf.extend_from_slice(bytes);
+                KIND_RECORDS
+            }
+            Message::Heartbeat { epoch, log_len } => {
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *log_len);
+                KIND_HEARTBEAT
+            }
+            Message::Ack { applied } => {
+                put_u64(&mut buf, *applied);
+                KIND_ACK
+            }
+            Message::Reject { reason } => {
+                put_str(&mut buf, reason)?;
+                KIND_REJECT
+            }
+        };
+        Ok((kind, buf))
+    }
+
+    /// Reads one message, verifying framing and field layout.
+    pub fn read<R: Read>(r: &mut R) -> io::Result<Message> {
+        Message::decode(frame::read_frame(r)?)
+    }
+
+    fn decode(frame: Frame) -> io::Result<Message> {
+        let mut c = Cursor(&frame.payload);
+        let msg = match frame.kind {
+            KIND_HELLO => Message::Hello {
+                proto: c.u32()?,
+                epoch: c.u64()?,
+                log_len: c.u64()?,
+                node: c.str()?,
+            },
+            KIND_WELCOME => Message::Welcome {
+                epoch: c.u64()?,
+                log_len: c.u64()?,
+                sealed_len: c.u64()?,
+            },
+            KIND_RECORDS => Message::Records {
+                start: c.u64()?,
+                bytes: c.0.to_vec(),
+            },
+            KIND_HEARTBEAT => Message::Heartbeat {
+                epoch: c.u64()?,
+                log_len: c.u64()?,
+            },
+            KIND_ACK => Message::Ack { applied: c.u64()? },
+            KIND_REJECT => Message::Reject { reason: c.str()? },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown replication message kind {other}"),
+                ))
+            }
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = [
+            Message::Hello {
+                proto: PROTO_VERSION,
+                epoch: 2,
+                log_len: 100,
+                node: "node-b".into(),
+            },
+            Message::Welcome {
+                epoch: 2,
+                log_len: 150,
+                sealed_len: 120,
+            },
+            Message::Records {
+                start: 100,
+                bytes: vec![7u8; 128],
+            },
+            Message::Heartbeat {
+                epoch: 2,
+                log_len: 150,
+            },
+            Message::Ack { applied: 128 },
+            Message::Reject {
+                reason: reject::DIVERGENT.into(),
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &messages {
+            m.write(&mut wire).unwrap();
+        }
+        let mut r = std::io::Cursor::new(wire);
+        for m in &messages {
+            assert_eq!(&Message::read(&mut r).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn short_payloads_are_invalid_data() {
+        let mut wire = Vec::new();
+        frame::write_frame(&mut wire, 2, &[0u8; 4]).unwrap(); // Welcome needs 24
+        let err = Message::read(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut wire = Vec::new();
+        frame::write_frame(&mut wire, 99, b"").unwrap();
+        let err = Message::read(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,148 @@
+//! Replication under injected faults. Lives in its own test binary
+//! because it installs a process-global fault plan — the hub's send
+//! path reads `faults::fires`, and sharing a process with the clean
+//! replication tests would contaminate them.
+
+use perfpred_cluster::repl::{spawn_replicator, HubConfig, ReplicationHub, ReplicatorConfig};
+use perfpred_cluster::state::{ClusterState, Role};
+use perfpred_core::faults::{self, FaultPlan};
+use perfpred_core::{metrics, ServerArch};
+use perfpred_store::{LogOptions, Observation, ObservationStore, RefitOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfpred-chrepl-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn trace(count: u32) -> Vec<Observation> {
+    let m = 1_000.0 / 7_020.0;
+    let n_star = 186.0 / m;
+    (0..count)
+        .map(|i| {
+            let frac = 0.15 + 1.45 * f64::from(i % 29) / 28.0;
+            let n = (frac * n_star).round().max(1.0);
+            let mrt = if frac < 1.0 {
+                20.0 * (1.8 * frac).exp()
+            } else {
+                (7.0 * n / 1.3 - 6_000.0).max(100.0)
+            };
+            let mut o = Observation::typical("AppServF", n as u32, mrt);
+            if frac <= 0.9 {
+                o.throughput_rps = m * n;
+            }
+            o.timestamp_us = u64::from(i) * 250_000;
+            o
+        })
+        .collect()
+}
+
+fn open_store(dir: &Path) -> Arc<ObservationStore> {
+    let servers = [ServerArch::app_serv_f()];
+    let opts = RefitOptions {
+        refit_window: 40,
+        drift_threshold: 0.25,
+        drift_window: 20,
+        ..RefitOptions::default()
+    };
+    let (store, _) = ObservationStore::open(
+        dir,
+        LogOptions {
+            segment_records: 32,
+        },
+        &servers,
+        opts,
+    )
+    .unwrap();
+    Arc::new(store)
+}
+
+fn log_bytes(dir: &Path) -> Vec<u8> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("seg-"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        out.extend_from_slice(&std::fs::read(dir.join(name)).unwrap());
+    }
+    out
+}
+
+#[test]
+fn replication_converges_through_dropped_and_torn_frames() {
+    // Aggressive rates so the stream breaks many times over ~100 batches.
+    let plan = FaultPlan::parse("repl_conn_drop:p0.25,repl_partial_frame:p0.25", 0xC10D).unwrap();
+    faults::install(Some(Arc::new(plan)));
+
+    let dir_a = scratch("a");
+    let dir_b = scratch("b");
+    let store_a = open_store(&dir_a);
+    let store_b = open_store(&dir_b);
+    let state_a = Arc::new(ClusterState::new("node-a", Role::Primary, 0, 0));
+    let state_b = Arc::new(ClusterState::new("node-b", Role::Follower, 0, 0));
+
+    let hub = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_a),
+        Arc::clone(&store_a),
+        HubConfig {
+            heartbeat: Duration::from_millis(25),
+            io_timeout: Duration::from_secs(1),
+        },
+    )
+    .unwrap();
+    let _repl = spawn_replicator(
+        ReplicatorConfig {
+            peers: vec![hub.addr().to_string()],
+            grace: Duration::from_secs(3600),
+            designated: false,
+            lease_dir: dir_b.clone(),
+            io_timeout: Duration::from_millis(500),
+        },
+        Arc::clone(&state_b),
+        Arc::clone(&store_b),
+    );
+
+    // Tiny batches force many Records frames, so faults get many chances.
+    let data = trace(400);
+    for chunk in data.chunks(4) {
+        store_a.ingest(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let start = Instant::now();
+    while store_b.log_len() != Some(400) {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "follower stuck at {:?}/400 under faults",
+            store_b.log_len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    faults::install(None);
+
+    let drops = metrics::counter("cluster.injected_conn_drops").get();
+    let tears = metrics::counter("cluster.injected_partial_frames").get();
+    assert!(
+        drops + tears > 0,
+        "fault plan armed but never fired (drops={drops}, tears={tears})"
+    );
+    assert_eq!(log_bytes(&dir_a), log_bytes(&dir_b));
+    assert_eq!(
+        store_a.current_model_serialized().unwrap(),
+        store_b.current_model_serialized().unwrap()
+    );
+    assert_eq!(store_a.registry().version(), store_b.registry().version());
+    assert_eq!(state_b.role(), Role::Follower, "faults never trip fencing");
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}

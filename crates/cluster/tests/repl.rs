@@ -1,0 +1,409 @@
+//! Cross-node replication tests: a follower's log files and model
+//! registry must be byte-identical to the primary's, failover must
+//! promote the designated follower under a bumped epoch, a divergent
+//! old primary must fence on rejoin, and a follower that replicated
+//! past the new epoch's seal point must roll back and resync.
+
+use perfpred_cluster::repl::{
+    rejoin_check, spawn_replicator, HubConfig, RejoinOutcome, ReplicationHub, ReplicatorConfig,
+};
+use perfpred_cluster::state::{ClusterState, Role};
+use perfpred_cluster::Lease;
+use perfpred_core::ServerArch;
+use perfpred_store::{LogOptions, Observation, ObservationStore, RefitOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfpred-cluster-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic AppServF sweep shaped like the paper's curves.
+fn trace(count: u32) -> Vec<Observation> {
+    let m = 1_000.0 / 7_020.0;
+    let n_star = 186.0 / m;
+    (0..count)
+        .map(|i| {
+            let frac = 0.15 + 1.45 * f64::from(i % 29) / 28.0;
+            let n = (frac * n_star).round().max(1.0);
+            let mrt = if frac < 1.0 {
+                20.0 * (1.8 * frac).exp()
+            } else {
+                (7.0 * n / 1.3 - 6_000.0).max(100.0)
+            };
+            let mut o = Observation::typical("AppServF", n as u32, mrt);
+            if frac <= 0.9 {
+                o.throughput_rps = m * n;
+            }
+            o.timestamp_us = u64::from(i) * 250_000;
+            o
+        })
+        .collect()
+}
+
+fn refit_opts() -> RefitOptions {
+    RefitOptions {
+        refit_window: 40,
+        drift_threshold: 0.25,
+        drift_window: 20,
+        ..RefitOptions::default()
+    }
+}
+
+fn log_opts() -> LogOptions {
+    LogOptions {
+        segment_records: 32,
+    }
+}
+
+fn open_store(dir: &Path) -> Arc<ObservationStore> {
+    let servers = [ServerArch::app_serv_f()];
+    let (store, _) = ObservationStore::open(dir, log_opts(), &servers, refit_opts()).unwrap();
+    Arc::new(store)
+}
+
+fn hub_cfg() -> HubConfig {
+    HubConfig {
+        heartbeat: Duration::from_millis(50),
+        io_timeout: Duration::from_secs(2),
+    }
+}
+
+fn repl_cfg(
+    peers: Vec<String>,
+    lease_dir: &Path,
+    designated: bool,
+    grace: Duration,
+) -> ReplicatorConfig {
+    ReplicatorConfig {
+        peers,
+        grace,
+        designated,
+        lease_dir: lease_dir.to_path_buf(),
+        io_timeout: Duration::from_secs(1),
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// All segment files in a log directory, concatenated in id order.
+fn log_bytes(dir: &Path) -> Vec<u8> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("seg-"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        out.extend_from_slice(&std::fs::read(dir.join(name)).unwrap());
+    }
+    out
+}
+
+#[test]
+fn follower_converges_to_byte_identical_state() {
+    let dir_a = scratch("ident-a");
+    let dir_b = scratch("ident-b");
+    let store_a = open_store(&dir_a);
+    let store_b = open_store(&dir_b);
+    let state_a = Arc::new(ClusterState::new("node-a", Role::Primary, 0, 0));
+    let state_b = Arc::new(ClusterState::new("node-b", Role::Follower, 0, 0));
+
+    // Some history lands *before* the follower ever connects: the stream
+    // must start from record 0, reading sealed segments off disk.
+    let data = trace(200);
+    store_a.ingest(&data[..80]).unwrap();
+
+    let hub = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_a),
+        Arc::clone(&store_a),
+        hub_cfg(),
+    )
+    .unwrap();
+    let _repl = spawn_replicator(
+        repl_cfg(
+            vec![hub.addr().to_string()],
+            &dir_b,
+            false,
+            Duration::from_secs(3600),
+        ),
+        Arc::clone(&state_b),
+        Arc::clone(&store_b),
+    );
+
+    // The rest arrives live, in small batches, while replication runs.
+    for chunk in data[80..].chunks(7) {
+        store_a.ingest(chunk).unwrap();
+    }
+    wait_until("follower to catch up", Duration::from_secs(20), || {
+        store_b.log_len() == Some(200)
+    });
+
+    // Byte-identical log files, identical model, identical version.
+    assert_eq!(log_bytes(&dir_a), log_bytes(&dir_b));
+    assert_eq!(
+        store_a.current_model_serialized().unwrap(),
+        store_b.current_model_serialized().unwrap()
+    );
+    assert_eq!(store_a.registry().version(), store_b.registry().version());
+    assert!(store_a.registry().version() > 0, "refits must have run");
+    assert_eq!(state_b.lag(), 0);
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn failover_promotes_designated_follower_and_fences_divergent_primary() {
+    let dir_a = scratch("fail-a");
+    let dir_b = scratch("fail-b");
+    let dir_c = scratch("fail-c");
+    let store_a = open_store(&dir_a);
+    let store_b = open_store(&dir_b);
+    let state_a = Arc::new(ClusterState::new("node-a", Role::Primary, 0, 0));
+    let state_b = Arc::new(ClusterState::new("node-b", Role::Follower, 0, 0));
+
+    let hub_a = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_a),
+        Arc::clone(&store_a),
+        hub_cfg(),
+    )
+    .unwrap();
+    // Every node runs a hub; B's answers not-primary until it takes over.
+    let hub_b = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_b),
+        Arc::clone(&store_b),
+        hub_cfg(),
+    )
+    .unwrap();
+    let _repl_b = spawn_replicator(
+        repl_cfg(
+            vec![hub_a.addr().to_string()],
+            &dir_b,
+            true,
+            Duration::from_millis(400),
+        ),
+        Arc::clone(&state_b),
+        Arc::clone(&store_b),
+    );
+
+    let data = trace(120);
+    store_a.ingest(&data[..100]).unwrap();
+    wait_until("follower to catch up", Duration::from_secs(20), || {
+        store_b.log_len() == Some(100)
+    });
+
+    // "Kill" the primary: its hub stops streaming, then it keeps taking
+    // writes no one replicates — the divergent-tail scenario.
+    state_a.fence();
+    store_a.ingest(&data[100..]).unwrap();
+
+    wait_until(
+        "designated follower takeover",
+        Duration::from_secs(20),
+        || state_b.role() == Role::Primary,
+    );
+    assert_eq!(state_b.epoch(), 1, "takeover bumps the epoch");
+    assert_eq!(state_b.sealed_len(), 100);
+    assert_eq!(store_b.epoch(), Some(1), "epoch persisted in the manifest");
+    let lease = Lease::read(&dir_b).unwrap().expect("lease written");
+    assert_eq!(lease.epoch, 1);
+    assert_eq!(lease.node, "node-b");
+    assert_eq!(lease.sealed_len, 100);
+    assert!(state_b.is_writable());
+
+    // Writes flow on the new primary.
+    store_b.ingest(&trace(10)).unwrap();
+
+    // The old primary restarts and asks the cluster before serving: its
+    // log (120) is longer than the sealed length (100) under an older
+    // epoch — divergent, so it must fence.
+    let restarted_a = Arc::new(ClusterState::new(
+        "node-a",
+        Role::Primary,
+        store_a.epoch().unwrap_or(0),
+        0,
+    ));
+    let outcome = rejoin_check(&[hub_b.addr().to_string()], &restarted_a, &store_a);
+    assert_eq!(outcome, RejoinOutcome::Fenced);
+    assert_eq!(restarted_a.role(), Role::Fenced);
+    assert!(!restarted_a.is_writable());
+
+    // A fresh node C joins the new primary from scratch and converges to
+    // byte-identical state — cycling past the dead/fenced node A.
+    let store_c = open_store(&dir_c);
+    let state_c = Arc::new(ClusterState::new("node-c", Role::Follower, 0, 0));
+    let _repl_c = spawn_replicator(
+        repl_cfg(
+            vec![hub_a.addr().to_string(), hub_b.addr().to_string()],
+            &dir_c,
+            false,
+            Duration::from_secs(3600),
+        ),
+        Arc::clone(&state_c),
+        Arc::clone(&store_c),
+    );
+    wait_until("node C to catch up", Duration::from_secs(20), || {
+        store_c.log_len() == store_b.log_len()
+    });
+    assert_eq!(log_bytes(&dir_b), log_bytes(&dir_c));
+    assert_eq!(
+        store_b.current_model_serialized(),
+        store_c.current_model_serialized()
+    );
+    assert_eq!(store_c.epoch(), Some(1), "C adopted the new epoch");
+    assert_eq!(state_c.epoch(), 1);
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+    std::fs::remove_dir_all(&dir_c).unwrap();
+}
+
+#[test]
+fn prefix_follower_rejoins_without_fencing() {
+    let dir_a = scratch("prefix-a");
+    let dir_b = scratch("prefix-b");
+    let store_a = open_store(&dir_a);
+    let state_a = Arc::new(ClusterState::new("node-a", Role::Primary, 0, 0));
+    let hub_a = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_a),
+        Arc::clone(&store_a),
+        hub_cfg(),
+    )
+    .unwrap();
+    store_a.ingest(&trace(60)).unwrap();
+
+    // First stint: replicate part of the history, then disconnect by
+    // dropping the replicator's role to non-follower... simplest honest
+    // simulation: run a replicator, wait for full catch-up, then add
+    // more primary history and run a *second* replicator session on the
+    // same store — its Hello carries log_len 60, a true prefix, and it
+    // resumes cleanly from there.
+    let store_b = open_store(&dir_b);
+    {
+        let state_b = Arc::new(ClusterState::new("node-b", Role::Follower, 0, 0));
+        let handle = spawn_replicator(
+            repl_cfg(
+                vec![hub_a.addr().to_string()],
+                &dir_b,
+                false,
+                Duration::from_secs(3600),
+            ),
+            Arc::clone(&state_b),
+            Arc::clone(&store_b),
+        );
+        wait_until("first stint catch-up", Duration::from_secs(20), || {
+            store_b.log_len() == Some(60)
+        });
+        // Fence the *local* state to stop this replicator session; the
+        // store itself is untouched.
+        state_b.fence();
+        let _ = handle.join();
+    }
+    store_a.ingest(&trace(40)).unwrap();
+
+    let state_b2 = Arc::new(ClusterState::new("node-b", Role::Follower, 0, 0));
+    let _repl = spawn_replicator(
+        repl_cfg(
+            vec![hub_a.addr().to_string()],
+            &dir_b,
+            false,
+            Duration::from_secs(3600),
+        ),
+        Arc::clone(&state_b2),
+        Arc::clone(&store_b),
+    );
+    wait_until("rejoin catch-up", Duration::from_secs(20), || {
+        store_b.log_len() == Some(100)
+    });
+    assert_eq!(state_b2.role(), Role::Follower, "prefix rejoin, no fence");
+    assert_eq!(log_bytes(&dir_a), log_bytes(&dir_b));
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn follower_ahead_of_the_seal_rolls_back_and_resyncs() {
+    let dir_b = scratch("rollback-b");
+    let dir_c = scratch("rollback-c");
+    let store_b = open_store(&dir_b);
+    let store_c = open_store(&dir_c);
+
+    // History: a primary A (now dead) appended 112 records in epoch 0.
+    // B replicated 100 of them before taking over; C replicated all 112 —
+    // the designated follower is not necessarily the most caught-up one.
+    let data = trace(130);
+    store_b.ingest(&data[..100]).unwrap();
+    store_c.ingest(&data[..112]).unwrap();
+
+    // B is the new primary: epoch 1, sealed at its own length, taking
+    // fresh writes whose content differs from A's unadopted tail.
+    store_b.set_epoch(1).unwrap();
+    let state_b = Arc::new(ClusterState::new("node-b", Role::Primary, 1, 100));
+    let hub_b = ReplicationHub::bind(
+        "127.0.0.1",
+        0,
+        Arc::clone(&state_b),
+        Arc::clone(&store_b),
+        hub_cfg(),
+    )
+    .unwrap();
+    store_b.ingest(&trace(25)).unwrap();
+
+    // C joins holding 12 epoch-0 records past B's seal point. It must
+    // roll back to the seal, resync, and stay a follower — not fence.
+    let rollbacks_before = perfpred_core::metrics::counter("cluster.rollbacks").get();
+    let state_c = Arc::new(ClusterState::new("node-c", Role::Follower, 0, 0));
+    let _repl = spawn_replicator(
+        repl_cfg(
+            vec![hub_b.addr().to_string()],
+            &dir_c,
+            false,
+            Duration::from_secs(3600),
+        ),
+        Arc::clone(&state_c),
+        Arc::clone(&store_c),
+    );
+    wait_until(
+        "rolled-back follower catch-up",
+        Duration::from_secs(20),
+        || store_c.log_len() == store_b.log_len(),
+    );
+
+    assert_eq!(state_c.role(), Role::Follower, "rollback, not a fence");
+    assert_eq!(state_c.epoch(), 1);
+    assert_eq!(store_c.epoch(), Some(1));
+    assert!(
+        perfpred_core::metrics::counter("cluster.rollbacks").get() > rollbacks_before,
+        "the rollback path must actually have run"
+    );
+    assert_eq!(log_bytes(&dir_b), log_bytes(&dir_c));
+    assert_eq!(
+        store_b.current_model_serialized().unwrap(),
+        store_c.current_model_serialized().unwrap()
+    );
+    assert_eq!(store_b.registry().version(), store_c.registry().version());
+    assert!(store_b.registry().version() > 0, "refits must have run");
+
+    std::fs::remove_dir_all(&dir_b).unwrap();
+    std::fs::remove_dir_all(&dir_c).unwrap();
+}

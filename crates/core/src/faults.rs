@@ -15,6 +15,7 @@
 //! entry   := site "=" duration ":" "p" probability   (sites with a delay)
 //!          | site ("=" | ":") "p" probability        (all sites)
 //! site    := "solver_delay" | "store_io_err" | "accept_reset" | "conn_reset"
+//!          | "repl_conn_drop" | "repl_partial_frame"
 //! duration:= <float> ("us" | "ms" | "s")             (solver_delay only)
 //! probability := <float in [0, 1]>
 //! ```
@@ -61,14 +62,24 @@ pub enum FaultSite {
     /// paths of the reactor's connection state machine (models a client
     /// vanishing between requests or mid-response).
     ConnReset,
+    /// Drop a replication connection between frames (models a network
+    /// partition between a primary and a follower; the follower
+    /// reconnects and resumes from its applied offset).
+    ReplConnDrop,
+    /// Cut a replication frame short mid-write and then drop the
+    /// connection (models a crash mid-send; the receiver must discard
+    /// the partial frame rather than apply garbage).
+    ReplPartialFrame,
 }
 
 /// All sites, in [`FaultSite::index`] order.
-pub const SITES: [FaultSite; 4] = [
+pub const SITES: [FaultSite; 6] = [
     FaultSite::SolverDelay,
     FaultSite::StoreIoErr,
     FaultSite::AcceptReset,
     FaultSite::ConnReset,
+    FaultSite::ReplConnDrop,
+    FaultSite::ReplPartialFrame,
 ];
 
 impl FaultSite {
@@ -79,6 +90,8 @@ impl FaultSite {
             FaultSite::StoreIoErr => "store_io_err",
             FaultSite::AcceptReset => "accept_reset",
             FaultSite::ConnReset => "conn_reset",
+            FaultSite::ReplConnDrop => "repl_conn_drop",
+            FaultSite::ReplPartialFrame => "repl_partial_frame",
         }
     }
 
@@ -105,6 +118,8 @@ impl FaultSite {
             FaultSite::StoreIoErr => 1,
             FaultSite::AcceptReset => 2,
             FaultSite::ConnReset => 3,
+            FaultSite::ReplConnDrop => 4,
+            FaultSite::ReplPartialFrame => 5,
         }
     }
 }
@@ -408,6 +423,21 @@ mod tests {
         // Parameterless: a duration is rejected.
         assert!(FaultPlan::parse("conn_reset=5ms:p0.1", 0).is_err());
         assert_eq!(plan.render(), "conn_reset:p0.5");
+    }
+
+    #[test]
+    fn replication_sites_parse_and_draw() {
+        let plan = FaultPlan::parse("repl_conn_drop:p0.5,repl_partial_frame:p0.5", 3).unwrap();
+        assert!(plan.site(FaultSite::ReplConnDrop).is_some());
+        assert!(plan.site(FaultSite::ReplPartialFrame).is_some());
+        let drops = (0..1000)
+            .filter(|_| plan.fires(FaultSite::ReplConnDrop))
+            .count();
+        assert!((350..650).contains(&drops), "p0.5 over 1000 draws: {drops}");
+        // Parameterless: a duration is rejected.
+        assert!(FaultPlan::parse("repl_conn_drop=5ms:p0.1", 0).is_err());
+        assert!(FaultPlan::parse("repl_partial_frame=5ms:p0.1", 0).is_err());
+        assert_eq!(plan.render(), "repl_conn_drop:p0.5,repl_partial_frame:p0.5");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Length-prefixed, CRC-guarded frames for cluster replication streams.
+//!
+//! The cluster wire protocol (see `crates/cluster`) moves observation-log
+//! records and control messages between nodes over TCP. Every message is
+//! one frame:
+//!
+//! ```text
+//! [len u32 LE][kind u8][payload bytes][crc32 u32 LE]
+//! ```
+//!
+//! `len` counts `kind + payload` (it excludes itself and the trailing
+//! CRC), and the CRC-32 (IEEE 802.3, the same polynomial the store's
+//! 64-byte records use) covers `kind + payload`. A reader that sees a
+//! bad length or CRC knows the stream is torn — it drops the connection
+//! and reconnects rather than applying garbage. Frames are capped at
+//! [`MAX_FRAME_BYTES`] so a corrupt length prefix cannot ask a receiver
+//! to buffer gigabytes.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on `kind + payload` — a record batch of ~64 Ki records.
+/// A length prefix above this is treated as stream corruption.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024 + 1;
+
+/// One decoded frame: the kind tag and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-defined message tag (the cluster crate assigns meanings).
+    pub kind: u8,
+    /// Opaque message body.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame. The caller flushes (or relies on `TcpStream`'s
+/// unbuffered writes) — this emits a single contiguous byte run so a
+/// crash mid-call leaves at most one torn frame at the stream tail.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES} cap",
+                payload.len()
+            ),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + len + 4);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(payload);
+    buf.extend_from_slice(&crc.finish().to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads one frame, verifying the length cap and CRC. An EOF before the
+/// first length byte maps to `UnexpectedEof` (a clean close between
+/// frames and a torn frame look the same to the caller: reconnect).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let mut crc = Crc32::new();
+    crc.update(&body);
+    if crc.finish() != u32::from_le_bytes(crc_buf) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    let kind = body[0];
+    body.remove(0);
+    Ok(Frame {
+        kind,
+        payload: body,
+    })
+}
+
+/// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) —
+/// the streaming counterpart of [`crc32`].
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// A fresh checksum state.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// CRC-32 (IEEE 802.3) over a byte slice — identical to the checksum the
+/// observation store stamps on its 64-byte records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc_matches_reference_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        let mut inc = Crc32::new();
+        inc.update(b"1234");
+        inc.update(b"56789");
+        assert_eq!(inc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, b"hello").unwrap();
+        write_frame(&mut wire, 4, b"").unwrap();
+        let mut r = Cursor::new(wire);
+        let a = read_frame(&mut r).unwrap();
+        assert_eq!(a.kind, 3);
+        assert_eq!(a.payload, b"hello");
+        let b = read_frame(&mut r).unwrap();
+        assert_eq!(b.kind, 4);
+        assert!(b.payload.is_empty());
+        // Stream exhausted: the next read is UnexpectedEof.
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn wire_layout_is_the_documented_bytes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x05, b"ab").unwrap();
+        // len = kind + 2 payload bytes = 3, little-endian.
+        assert_eq!(&wire[..4], &[3, 0, 0, 0]);
+        assert_eq!(wire[4], 0x05);
+        assert_eq!(&wire[5..7], b"ab");
+        let crc = crc32(&[0x05, b'a', b'b']);
+        assert_eq!(&wire[7..], &crc.to_le_bytes());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b"payload").unwrap();
+        // Flip a payload bit: CRC mismatch.
+        let mut bad = wire.clone();
+        bad[6] ^= 0x40;
+        let err = read_frame(&mut Cursor::new(bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncate mid-frame: UnexpectedEof, not a partial frame.
+        let torn = &wire[..wire.len() - 3];
+        let err = read_frame(&mut Cursor::new(torn.to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // A hostile length prefix is rejected before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.push(1);
+        let err = read_frame(&mut Cursor::new(huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Zero-length frames (no kind byte) are likewise corruption.
+        let zero = 0u32.to_le_bytes().to_vec();
+        let err = read_frame(&mut Cursor::new(zero)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_at_write_time() {
+        let big = vec![0u8; MAX_FRAME_BYTES];
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, 1, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(wire.is_empty(), "nothing written on refusal");
+    }
+}

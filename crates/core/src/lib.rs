@@ -24,6 +24,7 @@ pub mod distribution;
 pub mod error;
 pub mod faults;
 pub mod fit;
+pub mod frame;
 pub mod fsutil;
 pub mod json;
 pub mod metrics;

@@ -5,8 +5,10 @@
 //! cache misses are not solved on connection workers. They become [`Job`]s
 //! on a bounded [`JobQueue`]; a small pool of solver threads drains jobs
 //! in batches, solving each against a thread-local [`AmvaWorkspace`] pool
-//! so consecutive solves in a batch warm-start each other, and memoizes
-//! every result into the shared [`PredictionCache`].
+//! (buffers are reused allocation-free, but warm-start state is dropped
+//! between jobs so every memoized entry is a pure function of its inputs
+//! — cluster replicas rely on that for byte-identical answers), and
+//! memoizes every result into the shared [`PredictionCache`].
 
 use crate::shutdown::Shutdown;
 use perfpred_core::faults::{self, FaultSite};
@@ -145,6 +147,13 @@ fn solve_one(
     }
     let solved = cache.quantized(&job.workload);
     let started = std::time::Instant::now();
+    // Reuse the pool's buffers but drop its warm-start state: a memoized
+    // entry must be a pure function of (server, workload, model), or
+    // replicas serving the same model would cache answers that differ in
+    // the last bits depending on what each node happened to solve before.
+    for ws in pool.iter_mut() {
+        ws.invalidate();
+    }
     let result = cache.inner().predict_with_pool(&job.server, &solved, pool);
     metrics::histogram("serve.solve_ms").record(started.elapsed().as_secs_f64() * 1e3);
     cache.insert(&job.server, &job.workload, result.clone());

@@ -1,5 +1,6 @@
 //! Daemon configuration and command-line parsing (std-only, no clap).
 
+use perfpred_cluster::Role;
 use perfpred_core::CacheOptions;
 use perfpred_resman::RuntimeOptions;
 use std::path::PathBuf;
@@ -30,6 +31,29 @@ impl ModelSpec {
             )),
         }
     }
+}
+
+/// Replicated-cluster membership: who this node is, which role it boots
+/// in, where its replication hub listens, and who its peers are.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's name (unique within the cluster).
+    pub node: String,
+    /// Boot role. A configured primary still runs the rejoin handshake
+    /// against its peers before accepting writes.
+    pub role: Role,
+    /// Replication hub port; `0` = ephemeral (pair with
+    /// `repl_port_file`). The hub binds the daemon's `--host`.
+    pub repl_port: u16,
+    /// When set, the bound replication port is written here.
+    pub repl_port_file: Option<PathBuf>,
+    /// Replication addresses (`host:port`) of the other nodes.
+    pub peers: Vec<String>,
+    /// Whether this follower takes over when the primary goes silent.
+    pub designated: bool,
+    /// How long the primary must be silent before the designated
+    /// follower seizes the epoch.
+    pub failover_grace_ms: u64,
 }
 
 /// Everything the daemon needs to come up.
@@ -80,6 +104,8 @@ pub struct ServeConfig {
     /// deadlines (requests then wait the full solver reply timeout). A
     /// request's own `deadline_ms` field overrides this per call.
     pub deadline_ms: u64,
+    /// Replicated-cluster membership; `None` = standalone daemon.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +136,7 @@ impl Default for ServeConfig {
             refit_window: 128,
             drift_threshold: 0.25,
             deadline_ms: 1_000,
+            cluster: None,
         }
     }
 }
@@ -147,6 +174,20 @@ USAGE: perfpred-serve [OPTIONS]
                        daemon answers from the degraded ladder (cache,
                        historical, hybrid) or 504s. 0 disables deadlines
                        (default 1000)
+
+Clustering (any of these flags enables cluster mode; requires --store-dir):
+  --cluster-node NAME  this node's name (required in cluster mode)
+  --cluster-role ROLE  primary | follower (default primary)
+  --repl-port N        replication hub port; 0 = ephemeral (default 0)
+  --repl-port-file P   write the bound replication port here
+  --repl-peers A,B     replication addresses of the other nodes
+                       (required for followers)
+  --designated-successor
+                       this follower takes over when the primary goes
+                       silent past the grace period
+  --failover-grace-ms N
+                       primary silence before takeover (default 3000)
+
   --help               print this text
 
 Fault injection (chaos testing): set PERFPRED_FAULTS to a spec like
@@ -162,6 +203,18 @@ impl ServeConfig {
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<ServeConfig, String> {
         let mut cfg = ServeConfig::default();
         let mut args = args.into_iter();
+        // Cluster flags are collected loose and validated together at the
+        // end, so flag order never matters.
+        let mut cluster_touched = false;
+        let mut cluster = ClusterConfig {
+            node: String::new(),
+            role: Role::Primary,
+            repl_port: 0,
+            repl_port_file: None,
+            peers: Vec::new(),
+            designated: false,
+            failover_grace_ms: 3_000,
+        };
         fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
             args.next().ok_or_else(|| format!("{flag} needs a value"))
         }
@@ -242,8 +295,68 @@ impl ServeConfig {
                     cfg.deadline_ms =
                         parsed::<u64>(&value(&mut args, "--deadline-ms")?, "--deadline-ms")?;
                 }
+                "--cluster-node" => {
+                    cluster.node = value(&mut args, "--cluster-node")?;
+                    cluster_touched = true;
+                }
+                "--cluster-role" => {
+                    cluster.role = match value(&mut args, "--cluster-role")?.as_str() {
+                        "primary" => Role::Primary,
+                        "follower" => Role::Follower,
+                        other => {
+                            return Err(format!(
+                                "--cluster-role: expected primary or follower, got '{other}'"
+                            ))
+                        }
+                    };
+                    cluster_touched = true;
+                }
+                "--repl-port" => {
+                    cluster.repl_port = parsed(&value(&mut args, "--repl-port")?, "--repl-port")?;
+                    cluster_touched = true;
+                }
+                "--repl-port-file" => {
+                    cluster.repl_port_file =
+                        Some(PathBuf::from(value(&mut args, "--repl-port-file")?));
+                    cluster_touched = true;
+                }
+                "--repl-peers" => {
+                    cluster.peers = value(&mut args, "--repl-peers")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    cluster_touched = true;
+                }
+                "--designated-successor" => {
+                    cluster.designated = true;
+                    cluster_touched = true;
+                }
+                "--failover-grace-ms" => {
+                    cluster.failover_grace_ms = parsed::<u64>(
+                        &value(&mut args, "--failover-grace-ms")?,
+                        "--failover-grace-ms",
+                    )?
+                    .max(1);
+                    cluster_touched = true;
+                }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
             }
+        }
+        if cluster_touched {
+            if cluster.node.is_empty() {
+                return Err("cluster mode needs --cluster-node NAME".into());
+            }
+            if cfg.store_dir.is_none() {
+                return Err("cluster mode needs --store-dir (the log is what replicates)".into());
+            }
+            if cluster.role == Role::Follower && cluster.peers.is_empty() {
+                return Err("a follower needs --repl-peers to pull from".into());
+            }
+            if cluster.designated && cluster.role != Role::Follower {
+                return Err("--designated-successor only makes sense on a follower".into());
+            }
+            cfg.cluster = Some(cluster);
         }
         Ok(cfg)
     }
@@ -353,6 +466,79 @@ mod tests {
         assert!(parse(&["--deadline-ms", "-3"])
             .unwrap_err()
             .contains("--deadline-ms"));
+    }
+
+    #[test]
+    fn cluster_flags_assemble_and_validate() {
+        assert!(parse(&[]).unwrap().cluster.is_none());
+
+        let cfg = parse(&[
+            "--store-dir",
+            "/tmp/obs",
+            "--cluster-node",
+            "b",
+            "--cluster-role",
+            "follower",
+            "--repl-peers",
+            "127.0.0.1:7040, 127.0.0.1:7041",
+            "--repl-port",
+            "7042",
+            "--repl-port-file",
+            "/tmp/rp",
+            "--designated-successor",
+            "--failover-grace-ms",
+            "750",
+        ])
+        .unwrap();
+        let c = cfg.cluster.unwrap();
+        assert_eq!(c.node, "b");
+        assert_eq!(c.role, Role::Follower);
+        assert_eq!(c.peers, vec!["127.0.0.1:7040", "127.0.0.1:7041"]);
+        assert_eq!(c.repl_port, 7042);
+        assert_eq!(
+            c.repl_port_file.as_deref(),
+            Some(std::path::Path::new("/tmp/rp"))
+        );
+        assert!(c.designated);
+        assert_eq!(c.failover_grace_ms, 750);
+
+        // A primary needs no peers; flag order does not matter.
+        let c = parse(&["--cluster-node", "a", "--store-dir", "/tmp/obs"])
+            .unwrap()
+            .cluster
+            .unwrap();
+        assert_eq!(c.role, Role::Primary);
+        assert_eq!(c.failover_grace_ms, 3_000);
+
+        // Validation: node name, store dir, follower peers, successor role.
+        assert!(parse(&["--repl-port", "7040", "--store-dir", "/tmp/o"])
+            .unwrap_err()
+            .contains("--cluster-node"));
+        assert!(parse(&["--cluster-node", "a"])
+            .unwrap_err()
+            .contains("--store-dir"));
+        assert!(parse(&[
+            "--cluster-node",
+            "b",
+            "--cluster-role",
+            "follower",
+            "--store-dir",
+            "/tmp/o"
+        ])
+        .unwrap_err()
+        .contains("--repl-peers"));
+        assert!(parse(&[
+            "--cluster-node",
+            "a",
+            "--designated-successor",
+            "--store-dir",
+            "/tmp/o"
+        ])
+        .unwrap_err()
+        .contains("follower"));
+        assert!(parse(&["--cluster-role", "king"])
+            .unwrap_err()
+            .contains("primary or follower"));
     }
 
     #[test]

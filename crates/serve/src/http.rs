@@ -264,6 +264,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// `Allow` header value (RFC 9110 requires it on 405s so clients
+    /// learn which methods the path *does* answer).
+    pub allow: Option<&'static str>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -274,6 +277,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            allow: None,
             body: value.render().into_bytes(),
         }
     }
@@ -283,6 +287,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            allow: None,
             body: body.into().into_bytes(),
         }
     }
@@ -294,18 +299,31 @@ impl Response {
         Response::json(status, &obj)
     }
 
+    /// A 405 for a known path hit with the wrong method. Carries the
+    /// `Allow` header and keeps the connection open — a wrong verb is a
+    /// client mistake, not a protocol violation worth a teardown.
+    pub fn method_not_allowed(allow: &'static str) -> Response {
+        let mut resp = Response::error(405, "method not allowed");
+        resp.allow = Some(allow);
+        resp
+    }
+
     /// Serializes the response; `keep_alive` controls the `Connection`
     /// header (and must match what the connection loop then does).
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        if let Some(allow) = self.allow {
+            write!(w, "Allow: {allow}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -320,7 +338,7 @@ impl Response {
     pub fn write_into(&self, buf: &mut Vec<u8>, keep_alive: bool) {
         write!(
             buf,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
@@ -328,6 +346,10 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         )
         .expect("writing into a Vec cannot fail");
+        if let Some(allow) = self.allow {
+            write!(buf, "Allow: {allow}\r\n").expect("writing into a Vec cannot fail");
+        }
+        buf.extend_from_slice(b"\r\n");
         buf.extend_from_slice(&self.body);
     }
 }
@@ -339,6 +361,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -503,6 +526,24 @@ mod tests {
     }
 
     #[test]
+    fn method_not_allowed_carries_the_allow_header() {
+        let mut out = Vec::new();
+        Response::method_not_allowed("GET, POST")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET, POST\r\n"));
+        assert!(
+            text.contains("Connection: keep-alive\r\n"),
+            "a wrong verb must not tear down the connection"
+        );
+        // The Allow header sits inside the head, before the blank line.
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text[..head_end].contains("Allow:"));
+    }
+
+    #[test]
     fn write_into_matches_write_to_byte_for_byte() {
         let mut obj = Json::obj();
         obj.set("a", 1.5);
@@ -511,6 +552,7 @@ mod tests {
             Response::json(200, &obj),
             Response::error(503, "busy"),
             Response::text(431, ""),
+            Response::method_not_allowed("GET"),
         ];
         let mut scratch = Vec::new();
         for resp in &responses {

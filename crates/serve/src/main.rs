@@ -1,6 +1,10 @@
 //! The `perfpred-serve` binary: parse flags, build the model host, bind,
 //! install signal handlers, serve until drained.
 
+use perfpred_cluster::{
+    rejoin_check, spawn_replicator, ClusterState, HubConfig, Lease, RejoinOutcome, ReplicationHub,
+    ReplicatorConfig, Role,
+};
 use perfpred_serve::admission::AdmissionController;
 use perfpred_serve::batch::JobQueue;
 use perfpred_serve::router::App;
@@ -8,7 +12,7 @@ use perfpred_serve::shutdown::install_signal_handlers;
 use perfpred_serve::{ModelHost, ServeConfig, Server, Shutdown};
 use perfpred_store::{LogOptions, ObservationStore, RefitOptions};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let cfg = match ServeConfig::from_args(std::env::args().skip(1)) {
@@ -88,6 +92,84 @@ fn main() {
         store.registry().version(),
     );
 
+    // Cluster membership: the replication hub and (for followers) the
+    // pull loop come up before the HTTP listener so a follower never
+    // serves a single request ahead of its first catch-up attempt.
+    let cluster_state = cfg.cluster.as_ref().map(|cc| {
+        let dir = cfg
+            .store_dir
+            .as_ref()
+            .expect("config validation requires --store-dir in cluster mode");
+        let epoch = store.epoch().unwrap_or(0);
+        // A lease from this node's own takeover pins the seal point for
+        // judging older-epoch rejoins; any other lease is stale.
+        let sealed = match Lease::read(dir) {
+            Ok(Some(l)) if l.epoch == epoch => l.sealed_len,
+            _ => 0,
+        };
+        let state = Arc::new(ClusterState::new(&cc.node, cc.role, epoch, sealed));
+
+        // A configured primary asks the cluster before trusting its role:
+        // a newer epoch elsewhere demotes it, a divergent tail fences it.
+        if cc.role == Role::Primary && !cc.peers.is_empty() {
+            match rejoin_check(&cc.peers, &state, &store) {
+                RejoinOutcome::Primary => {}
+                RejoinOutcome::Demoted => eprintln!(
+                    "cluster: a newer epoch ({}) is serving; rejoining as follower",
+                    state.epoch()
+                ),
+                RejoinOutcome::Fenced => eprintln!(
+                    "cluster: log diverges from the current primary; fenced (reads only — \
+                     wipe {} to rejoin as a fresh follower)",
+                    dir.display()
+                ),
+            }
+        }
+
+        let hub = match ReplicationHub::bind(
+            &cfg.host,
+            cc.repl_port,
+            Arc::clone(&state),
+            Arc::clone(&store),
+            HubConfig::default(),
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot bind replication hub on {}: {e}", cfg.host);
+                std::process::exit(1);
+            }
+        };
+        if let Some(path) = &cc.repl_port_file {
+            if let Err(e) = std::fs::write(path, format!("{}\n", hub.addr().port())) {
+                eprintln!("cannot write repl port file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if !cc.peers.is_empty() {
+            // The pull loop exits on its own while this node is primary
+            // and re-engages logic-side on demotion.
+            spawn_replicator(
+                ReplicatorConfig {
+                    peers: cc.peers.clone(),
+                    grace: Duration::from_millis(cc.failover_grace_ms),
+                    designated: cc.designated,
+                    lease_dir: dir.clone(),
+                    io_timeout: Duration::from_secs(5),
+                },
+                Arc::clone(&state),
+                Arc::clone(&store),
+            );
+        }
+        eprintln!(
+            "cluster node '{}': role {}, epoch {}, replication on {}",
+            cc.node,
+            state.role().name(),
+            state.epoch(),
+            hub.addr(),
+        );
+        state
+    });
+
     let mut app = App::with_store(
         host,
         admission,
@@ -96,6 +178,9 @@ fn main() {
         store,
     );
     app.deadline = std::time::Duration::from_millis(cfg.deadline_ms);
+    if let Some(state) = cluster_state {
+        app = app.with_cluster(state);
+    }
 
     // `--reactor-shards N` (the Linux default) serves through the
     // event-driven epoll core; `--reactor-shards 0` falls back to the

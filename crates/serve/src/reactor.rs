@@ -143,14 +143,18 @@ struct DispatchQueue {
     jobs: Mutex<VecDeque<DispatchJob>>,
     available: Condvar,
     capacity: usize,
+    /// Mirror of the live queue length, shared with `App.dispatch_depth`
+    /// so `/healthz` reads it without taking the queue lock.
+    depth: Arc<AtomicUsize>,
 }
 
 impl DispatchQueue {
-    fn new(capacity: usize) -> DispatchQueue {
+    fn new(capacity: usize, depth: Arc<AtomicUsize>) -> DispatchQueue {
         DispatchQueue {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            depth,
         }
     }
 
@@ -161,6 +165,7 @@ impl DispatchQueue {
             return Err(job);
         }
         jobs.push_back(job);
+        self.depth.store(jobs.len(), Ordering::Relaxed);
         drop(jobs);
         self.available.notify_one();
         Ok(())
@@ -172,7 +177,9 @@ impl DispatchQueue {
             .available
             .wait_timeout_while(jobs, wait, |j| j.is_empty())
             .expect("dispatch queue lock");
-        jobs.pop_front()
+        let job = jobs.pop_front();
+        self.depth.store(jobs.len(), Ordering::Relaxed);
+        job
     }
 }
 
@@ -209,6 +216,9 @@ impl ReactorServer {
     ) -> io::Result<ReactorServer> {
         let listener = TcpListener::bind((host, port))?;
         let addr = listener.local_addr()?;
+        // Publish the shard count so /healthz can report the serving
+        // topology (0 means the threaded core is running instead).
+        app.reactor_shards.store(shards.max(1), Ordering::Relaxed);
         Ok(ReactorServer {
             listener,
             addr,
@@ -271,7 +281,10 @@ impl ReactorServer {
         }
 
         // Dispatcher pool for blocking work, with its own drain token.
-        let dispatch = Arc::new(DispatchQueue::new(self.queue_depth));
+        let dispatch = Arc::new(DispatchQueue::new(
+            self.queue_depth,
+            Arc::clone(&self.app.dispatch_depth),
+        ));
         let handles: Vec<Arc<ShardHandle>> = (0..self.shards)
             .map(|_| ShardHandle::new().map(Arc::new))
             .collect::<io::Result<_>>()?;

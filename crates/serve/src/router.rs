@@ -5,10 +5,12 @@ use crate::batch::{Job, JobQueue};
 use crate::http::{Request, Response};
 use crate::models::{Method, ModelHost};
 use crate::shutdown::Shutdown;
+use perfpred_cluster::ClusterState;
 use perfpred_core::metrics::names;
 use perfpred_core::workload::{ClassLoad, RequestType, ServiceClass};
 use perfpred_core::{metrics, Json, PredictError, Prediction, ServerArch, Workload};
 use perfpred_store::{Observation, ObservationStore, StoreError};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -36,6 +38,14 @@ pub struct App {
     /// Per-request deadline budget for `/predict` (zero disables
     /// deadlines entirely; a request's own `deadline_ms` overrides it).
     pub deadline: Duration,
+    /// Cluster membership, when this daemon runs as a replicated node:
+    /// gates `/observe` on the primary role and backs `GET /cluster`.
+    pub cluster: Option<Arc<ClusterState>>,
+    /// Reactor shard count (0 under the threaded core), published by
+    /// `ReactorServer::bind` for `/healthz`.
+    pub reactor_shards: Arc<AtomicUsize>,
+    /// Live depth of the reactor's dispatch offload queue, for `/healthz`.
+    pub dispatch_depth: Arc<AtomicUsize>,
     started: Instant,
     routes: RouteMetrics,
 }
@@ -47,6 +57,7 @@ enum Route {
     Healthz,
     Metrics,
     Models,
+    Cluster,
     Predict,
     Observe,
     Plan,
@@ -60,7 +71,7 @@ enum Route {
 /// allocation plus a registry hash probe) on every request.
 struct RouteMetrics {
     requests: Arc<metrics::Counter>,
-    latency: [Arc<metrics::Histogram>; 9],
+    latency: [Arc<metrics::Histogram>; 10],
 }
 
 impl RouteMetrics {
@@ -72,6 +83,7 @@ impl RouteMetrics {
                 hist("healthz"),
                 hist("metrics"),
                 hist("models"),
+                hist("cluster"),
                 hist("predict"),
                 hist("observe"),
                 hist("plan"),
@@ -133,9 +145,19 @@ impl App {
             store,
             shutdown,
             deadline: DEFAULT_DEADLINE,
+            cluster: None,
+            reactor_shards: Arc::new(AtomicUsize::new(0)),
+            dispatch_depth: Arc::new(AtomicUsize::new(0)),
             started: Instant::now(),
             routes: RouteMetrics::resolve(),
         }
+    }
+
+    /// Attaches cluster membership: `/observe` starts refusing on
+    /// non-primary roles and `GET /cluster` reports replication status.
+    pub fn with_cluster(mut self, cluster: Arc<ClusterState>) -> App {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// Routes one request, recording a per-endpoint latency histogram.
@@ -154,18 +176,22 @@ impl App {
             ("GET", "/healthz") => (Route::Healthz, self.healthz()),
             ("GET", "/metrics") => (Route::Metrics, self.metrics()),
             ("GET", "/models") => (Route::Models, self.models()),
+            ("GET", "/cluster") => (Route::Cluster, self.cluster_status()),
             ("POST", "/predict") => (Route::Predict, self.predict(req, arrival)),
             ("POST", "/observe") => (Route::Observe, self.observe(req)),
             ("POST", "/plan") => (Route::Plan, self.plan(req)),
             ("POST", "/shutdown") => (Route::Shutdown, self.shutdown_endpoint()),
-            (_, "/healthz" | "/metrics" | "/models" | "/predict" | "/observe" | "/plan" | "/shutdown") => {
-                (Route::MethodNotAllowed, Response::error(405, "wrong method for this path"))
+            (_, "/healthz" | "/metrics" | "/models" | "/cluster") => {
+                (Route::MethodNotAllowed, Response::method_not_allowed("GET"))
+            }
+            (_, "/predict" | "/observe" | "/plan" | "/shutdown") => {
+                (Route::MethodNotAllowed, Response::method_not_allowed("POST"))
             }
             _ => (
                 Route::NotFound,
                 Response::error(
                     404,
-                    "unknown path (have: GET /healthz, GET /metrics, GET /models, POST /predict, POST /observe, POST /plan, POST /shutdown)",
+                    "unknown path (have: GET /healthz, GET /metrics, GET /models, GET /cluster, POST /predict, POST /observe, POST /plan, POST /shutdown)",
                 ),
             ),
         };
@@ -226,7 +252,36 @@ impl App {
             ),
         );
         body.set("draining", self.shutdown.requested());
+        // Fields the router's health probe keys on: one GET answers
+        // liveness, model staleness and who-accepts-writes. A standalone
+        // daemon is its own primary.
+        body.set("model_version", self.host.registry.version());
+        body.set(
+            "cluster_role",
+            self.cluster.as_ref().map_or("primary", |c| c.role().name()),
+        );
+        body.set(
+            "reactor_shards",
+            self.reactor_shards.load(Ordering::Relaxed) as u64,
+        );
+        body.set(
+            "dispatch_queue_depth",
+            self.dispatch_depth.load(Ordering::Relaxed) as u64,
+        );
+        body.set("solver_queue_depth", self.queue.len() as u64);
         Response::json(200, &body)
+    }
+
+    /// `GET /cluster`: replication status — role, epoch, seal point and
+    /// (on the primary) per-follower ack progress.
+    fn cluster_status(&self) -> Response {
+        match &self.cluster {
+            Some(c) => Response::json(200, &c.status_json(self.store.log_len().unwrap_or(0))),
+            None => Response::error(
+                404,
+                "clustering is not configured (start with --cluster-node / --repl-peers)",
+            ),
+        }
     }
 
     fn metrics(&self) -> Response {
@@ -277,6 +332,18 @@ impl App {
     /// any refits the batch triggered; the historical prediction cache is
     /// re-keyed to the new model version on the spot.
     fn observe(&self, req: &Request) -> Response {
+        // Only the cluster primary appends: a follower taking writes would
+        // fork the log the whole tier replays from. 409 (not 5xx) so load
+        // balancers don't count a correctly-refusing replica as unhealthy.
+        if let Some(c) = &self.cluster {
+            if !c.is_writable() {
+                let mut out = Json::obj();
+                out.set("error", "this node does not accept observations");
+                out.set("role", c.role().name());
+                out.set("epoch", c.epoch());
+                return Response::json(409, &out);
+            }
+        }
         let body = match req.json() {
             Ok(b) => b,
             Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
@@ -1073,6 +1140,74 @@ mod tests {
         );
         assert_eq!(app.handle(&request("GET", "/nope", "")).status, 404);
         assert_eq!(app.handle(&request("DELETE", "/predict", "")).status, 405);
+    }
+
+    #[test]
+    fn wrong_method_on_a_known_path_answers_405_with_allow() {
+        let app = app();
+        let r = app.handle(&request("DELETE", "/predict", ""));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("POST"));
+        let r = app.handle(&request("POST", "/healthz", ""));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("GET"));
+        let r = app.handle(&request("PUT", "/cluster", ""));
+        assert_eq!(r.status, 405);
+        assert_eq!(r.allow, Some("GET"));
+        // Unknown paths stay 404 with no Allow.
+        let r = app.handle(&request("DELETE", "/nope", ""));
+        assert_eq!((r.status, r.allow), (404, None));
+    }
+
+    #[test]
+    fn healthz_reports_cluster_and_queue_fields() {
+        let app = app();
+        let j = body_json(&app.handle(&request("GET", "/healthz", "")));
+        assert_eq!(j.get("model_version").and_then(Json::as_u32), Some(0));
+        assert_eq!(
+            j.get("cluster_role").and_then(Json::as_str),
+            Some("primary"),
+            "a standalone daemon is its own primary"
+        );
+        assert_eq!(j.get("reactor_shards").and_then(Json::as_u32), Some(0));
+        assert_eq!(
+            j.get("dispatch_queue_depth").and_then(Json::as_u32),
+            Some(0)
+        );
+        assert_eq!(j.get("solver_queue_depth").and_then(Json::as_u32), Some(0));
+    }
+
+    #[test]
+    fn cluster_route_and_observe_gate_follow_the_role() {
+        use perfpred_cluster::{ClusterState, Role};
+        // Without cluster config the route 404s and observes flow.
+        let plain = app();
+        assert_eq!(plain.handle(&request("GET", "/cluster", "")).status, 404);
+
+        let state = Arc::new(ClusterState::new("node-x", Role::Follower, 3, 0));
+        let app = plain.with_cluster(Arc::clone(&state));
+        let j = body_json(&app.handle(&request("GET", "/cluster", "")));
+        assert_eq!(j.get("role").and_then(Json::as_str), Some("follower"));
+        assert_eq!(j.get("epoch").and_then(Json::as_u32), Some(3));
+        assert_eq!(j.get("writable").and_then(Json::as_bool), Some(false));
+        let j = body_json(&app.handle(&request("GET", "/healthz", "")));
+        assert_eq!(
+            j.get("cluster_role").and_then(Json::as_str),
+            Some("follower")
+        );
+
+        // A follower refuses observations with a structured 409 ...
+        let body = r#"{"server": "AppServF", "clients": 10, "mrt_ms": 42.0}"#;
+        let r = app.handle(&request("POST", "/observe", body));
+        assert_eq!(r.status, 409, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("role").and_then(Json::as_str), Some("follower"));
+        assert_eq!(j.get("epoch").and_then(Json::as_u32), Some(3));
+
+        // ... and accepts them the moment it is promoted.
+        state.promote(4, 0);
+        let r = app.handle(&request("POST", "/observe", body));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
     }
 
     #[test]

@@ -374,6 +374,36 @@ mod tests {
     }
 
     #[test]
+    fn wrong_method_gets_a_405_and_the_connection_survives() {
+        let (addr, shutdown, handle) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"DELETE /predict HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
+        let mut first = String::new();
+        let mut buf = [0u8; 4096];
+        // Accumulate until the JSON error body's closing brace arrives —
+        // one response can straddle reads.
+        while !first.contains('}') {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "connection reset instead of a 405: {first:?}");
+            first.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+        assert!(first.starts_with("HTTP/1.1 405"), "{first}");
+        assert!(first.contains("Allow: POST\r\n"), "{first}");
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        // The same socket still answers the next (correct) request.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+        shutdown.request();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn shutdown_endpoint_stops_the_server() {
         let (addr, _shutdown, handle) = start();
         let reply = roundtrip(addr, "POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n");

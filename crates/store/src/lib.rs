@@ -30,8 +30,8 @@ pub mod record;
 pub mod refit;
 pub mod registry;
 
-pub use log::{LogOptions, ObservationLog, ReplayReport};
-pub use pipeline::{IngestOutcome, ObservationStore, RefitEvent};
+pub use log::{LogOptions, ObservationLog, ReplayReport, SegmentReader};
+pub use pipeline::{IngestOutcome, LogWatch, ObservationStore, RefitEvent};
 pub use record::{crc32, Observation, StoreError, RECORD_BYTES, SERVER_NAME_BYTES};
 pub use refit::{AnchorGrid, RefitOptions, RefitTrigger, Refitter};
 pub use registry::{ModelRegistry, ModelVersion, RegistryModel};

@@ -22,7 +22,7 @@ use crate::record::{Observation, StoreError, RECORD_BYTES};
 use perfpred_core::fsutil::{atomic_write, create_durable, sync_dir};
 use perfpred_core::{metrics, Json};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Seek as _, SeekFrom, Write as _};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// On-disk format version understood by this module.
@@ -62,6 +62,7 @@ pub struct ReplayReport {
 pub struct ObservationLog {
     dir: PathBuf,
     segment_records: usize,
+    epoch: u64,
     active: File,
     active_id: u64,
     active_records: usize,
@@ -80,12 +81,13 @@ fn parse_segment_id(name: &str) -> Option<u64> {
     id.parse().ok()
 }
 
-fn manifest_json(segment_records: usize, next_segment_id: u64) -> String {
+fn manifest_json(segment_records: usize, next_segment_id: u64, epoch: u64) -> String {
     let mut m = Json::obj();
     m.set("format", u64::from(FORMAT));
     m.set("record_bytes", RECORD_BYTES as u64);
     m.set("segment_records", segment_records as u64);
     m.set("next_segment_id", next_segment_id);
+    m.set("epoch", epoch);
     m.render()
 }
 
@@ -97,17 +99,22 @@ impl ObservationLog {
     /// Opens (creating if necessary) the log in `dir`, replaying every
     /// valid record through `on_record` in append order.
     ///
-    /// Recovery semantics: scanning stops at the first record that fails
-    /// its CRC (or at a short tail), the torn bytes are truncated away,
-    /// any later segment files are discarded, and the log resumes
-    /// appending immediately after the last valid record.
+    /// Recovery semantics distinguish the two ways a segment can be bad.
+    /// A torn tail in the *final* segment is the expected crash artifact
+    /// (appends are not fsync'd record-by-record): the torn bytes are
+    /// truncated away and appending resumes after the last valid record.
+    /// A torn or short *non-final* segment can never result from a clean
+    /// crash — rotation fsyncs a segment before the next one is created —
+    /// so it is real corruption, and replay fails loudly with
+    /// `InvalidData` rather than silently skipping records and serving a
+    /// model fit on a hole in the history.
     pub fn open(
         dir: &Path,
         opts: LogOptions,
         mut on_record: impl FnMut(Observation),
     ) -> io::Result<(ObservationLog, ReplayReport)> {
         std::fs::create_dir_all(dir)?;
-        let segment_records = Self::load_or_init_manifest(dir, opts)?;
+        let (segment_records, epoch) = Self::load_or_init_manifest(dir, opts)?;
 
         // Discover segments in id order.
         let mut ids: Vec<u64> = std::fs::read_dir(dir)?
@@ -121,14 +128,12 @@ impl ObservationLog {
             ..Default::default()
         };
         let mut survivors: Vec<(u64, usize)> = Vec::new(); // (id, records)
-        let mut corrupted = false;
-        let mut scan_idx = 0;
-        while scan_idx < ids.len() {
-            let id = ids[scan_idx];
-            scan_idx += 1;
+        for (idx, &id) in ids.iter().enumerate() {
+            let is_final = idx + 1 == ids.len();
             let path = dir.join(segment_name(id));
             let bytes = std::fs::read(&path)?;
             let mut valid = 0usize;
+            let mut corrupted = false;
             for chunk in bytes.chunks(RECORD_BYTES) {
                 let rec: Option<Observation> = <&[u8; RECORD_BYTES]>::try_from(chunk)
                     .ok()
@@ -145,26 +150,25 @@ impl ObservationLog {
                 }
             }
             let valid_bytes = (valid * RECORD_BYTES) as u64;
+            let torn = corrupted || valid_bytes < bytes.len() as u64;
+            if !is_final && (torn || valid < segment_records) {
+                return Err(bad_data(format!(
+                    "sealed segment {} holds {valid} valid records (capacity \
+                     {segment_records}) with later segments present — this is \
+                     corruption, not a crash tail; refusing to skip records",
+                    path.display()
+                )));
+            }
             report.records += valid as u64;
-            if corrupted || valid_bytes < bytes.len() as u64 {
-                // Torn tail or corruption: truncate to the valid prefix
-                // and stop — everything past the last valid CRC is lost.
+            if torn {
+                // Torn tail in the final segment: truncate to the valid
+                // prefix — everything past the last valid CRC is lost.
                 report.torn_bytes += bytes.len() as u64 - valid_bytes;
                 let f = OpenOptions::new().write(true).open(&path)?;
                 f.set_len(valid_bytes)?;
                 f.sync_all()?;
-                survivors.push((id, valid));
-                break;
             }
             survivors.push((id, valid));
-        }
-        // Segments past the stopping point are unreachable history.
-        for &id in &ids[scan_idx..] {
-            let path = dir.join(segment_name(id));
-            if let Ok(meta) = std::fs::metadata(&path) {
-                report.torn_bytes += meta.len();
-            }
-            std::fs::remove_file(&path)?;
         }
         if report.torn_bytes > 0 {
             metrics::counter("store.torn_bytes").add(report.torn_bytes);
@@ -196,6 +200,7 @@ impl ObservationLog {
         let mut log = ObservationLog {
             dir: dir.to_path_buf(),
             segment_records,
+            epoch,
             active,
             active_id,
             active_records,
@@ -208,10 +213,11 @@ impl ObservationLog {
     }
 
     /// Reads the manifest (validating format and record size) or writes a
-    /// fresh one. Returns the segment capacity in force — an existing
-    /// manifest's capacity wins over `opts` so offset math never changes
-    /// under an existing log.
-    fn load_or_init_manifest(dir: &Path, opts: LogOptions) -> io::Result<usize> {
+    /// fresh one. Returns the segment capacity and cluster epoch in force
+    /// — an existing manifest's capacity wins over `opts` so offset math
+    /// never changes under an existing log. Manifests written before the
+    /// cluster era carry no epoch; they read back as epoch 0.
+    fn load_or_init_manifest(dir: &Path, opts: LogOptions) -> io::Result<(usize, u64)> {
         let path = dir.join(MANIFEST);
         match std::fs::read_to_string(&path) {
             Ok(text) => {
@@ -235,12 +241,16 @@ impl ObservationLog {
                         field("record_bytes")?
                     )));
                 }
-                Ok((field("segment_records")? as usize).max(1))
+                let epoch = m
+                    .get("epoch")
+                    .and_then(Json::as_f64)
+                    .map_or(0, |v| v as u64);
+                Ok(((field("segment_records")? as usize).max(1), epoch))
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 let capacity = opts.segment_records.max(1);
-                atomic_write(&path, manifest_json(capacity, 1).as_bytes())?;
-                Ok(capacity)
+                atomic_write(&path, manifest_json(capacity, 1, 0).as_bytes())?;
+                Ok((capacity, 0))
             }
             Err(e) => Err(e),
         }
@@ -298,7 +308,7 @@ impl ObservationLog {
         let active = create_durable(&path, true)?;
         atomic_write(
             &self.dir.join(MANIFEST),
-            manifest_json(self.segment_records, next_id + 1).as_bytes(),
+            manifest_json(self.segment_records, next_id + 1, self.epoch).as_bytes(),
         )?;
         self.sealed_records += self.active_records as u64;
         self.active = active;
@@ -311,6 +321,63 @@ impl ObservationLog {
     /// Forces the active tail to disk.
     pub fn sync(&mut self) -> io::Result<()> {
         self.active.sync_all()
+    }
+
+    /// The cluster epoch recorded in the manifest (0 until a failover
+    /// ever bumps it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Persists a new cluster epoch into the manifest (atomic rename).
+    /// Failover bumps this on the surviving node *before* it accepts its
+    /// first write under the new epoch, so a crash during takeover never
+    /// yields a log with new-epoch records under an old-epoch manifest.
+    pub fn set_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        atomic_write(
+            &self.dir.join(MANIFEST),
+            manifest_json(self.segment_records, self.active_id + 1, epoch).as_bytes(),
+        )?;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Truncates the log directory to its first `keep` records: segments
+    /// wholly past the boundary are deleted, the one straddling it is
+    /// sheared to a record-aligned length. The records below `keep` are
+    /// untouched, so a subsequent [`ObservationLog::open`] replays them
+    /// cleanly. This is the follower rollback path (discarding a
+    /// replicated tail the new epoch never adopted) — it must never run
+    /// against a log something else holds open for appending.
+    pub fn truncate_records(dir: &Path, keep: u64) -> io::Result<()> {
+        let (segment_records, _epoch) = Self::load_or_init_manifest(dir, LogOptions::default())?;
+        let cap = segment_records as u64;
+        let mut ids: Vec<u64> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_id(&e.file_name().to_string_lossy()))
+            .collect();
+        ids.sort_unstable();
+        let mut changed = false;
+        for id in ids {
+            let first_record = id * cap;
+            let path = dir.join(segment_name(id));
+            if first_record >= keep {
+                std::fs::remove_file(&path)?;
+                changed = true;
+                continue;
+            }
+            let keep_bytes = (keep - first_record).min(cap) * RECORD_BYTES as u64;
+            if std::fs::metadata(&path)?.len() > keep_bytes {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(keep_bytes)?;
+                f.sync_all()?;
+                changed = true;
+            }
+        }
+        if changed {
+            sync_dir(dir)?;
+        }
+        Ok(())
     }
 
     /// Total records in the log (sealed + active).
@@ -326,6 +393,64 @@ impl ObservationLog {
     /// The log directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+/// A read-only cursor-free view of a log directory that streams raw
+/// encoded record bytes — the replication sender's read path.
+///
+/// The reader holds no file handles and no position: each call maps a
+/// global record index to `(segment, offset)` using the manifest's
+/// segment capacity (which is pinned for the life of the log — see
+/// [`ObservationLog::open`]). Callers must only ask for records below
+/// the writer's *published* length (the pipeline's log watch advances
+/// after `write_all` returns), so reads observe fully-written bytes via
+/// page-cache coherence without any fsync on this path.
+#[derive(Debug, Clone)]
+pub struct SegmentReader {
+    dir: PathBuf,
+    segment_records: usize,
+}
+
+impl SegmentReader {
+    /// Opens a reader on `dir`, taking the segment capacity from the
+    /// manifest so its offset math agrees with the writer's.
+    pub fn open(dir: &Path) -> io::Result<SegmentReader> {
+        let path = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&path)?;
+        let m = Json::parse(&text)
+            .map_err(|e| bad_data(format!("manifest {}: {e}", path.display())))?;
+        let segment_records = m
+            .get("segment_records")
+            .and_then(Json::as_f64)
+            .map(|v| v as usize)
+            .ok_or_else(|| bad_data("manifest is missing 'segment_records'".into()))?
+            .max(1);
+        Ok(SegmentReader {
+            dir: dir.to_path_buf(),
+            segment_records,
+        })
+    }
+
+    /// Reads `count` records starting at global record index `start`,
+    /// returning exactly `count * RECORD_BYTES` raw bytes. A short read
+    /// is an error: the caller asked past the committed length.
+    pub fn read_records(&self, start: u64, count: usize) -> io::Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(count * RECORD_BYTES);
+        let mut index = start;
+        let end = start + count as u64;
+        while index < end {
+            let seg_id = index / self.segment_records as u64;
+            let offset = (index % self.segment_records as u64) as usize;
+            let take = (self.segment_records - offset).min((end - index) as usize);
+            let mut f = File::open(self.dir.join(segment_name(seg_id)))?;
+            f.seek(SeekFrom::Start((offset * RECORD_BYTES) as u64))?;
+            let at = out.len();
+            out.resize(at + take * RECORD_BYTES, 0);
+            f.read_exact(&mut out[at..])?;
+            index += take as u64;
+        }
+        Ok(out)
     }
 }
 
@@ -443,30 +568,156 @@ mod tests {
     }
 
     #[test]
-    fn corruption_mid_segment_drops_everything_after() {
+    fn corruption_in_a_sealed_segment_fails_replay_loudly() {
         let dir = scratch("midcorrupt");
         let opts = LogOptions { segment_records: 4 };
         let (mut log, _, _) = reopen(&dir, opts);
         log.append_batch(&(0..10).map(obs).collect::<Vec<_>>())
             .unwrap();
         drop(log);
-        // Flip a byte inside record 1 of segment 0.
+        // Flip a byte inside record 1 of segment 0 — a *sealed* segment
+        // with later segments present. This cannot be a crash tail (seals
+        // are fsync'd before the next segment exists), so replay must
+        // refuse rather than silently skip 9 of the 10 records.
         let seg = dir.join(segment_name(0));
         let mut bytes = std::fs::read(&seg).unwrap();
         bytes[RECORD_BYTES + 7] ^= 0xFF;
         std::fs::write(&seg, &bytes).unwrap();
 
-        let (log, report, seen) = reopen(&dir, opts);
-        assert_eq!(report.records, 1, "only the prefix before the bad CRC");
-        assert_eq!(seen.len(), 1);
-        assert_eq!(log.len(), 1);
-        // The later segments were discarded entirely.
+        let err = ObservationLog::open(&dir, opts, |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("refusing"), "{err}");
+        // Nothing was deleted or truncated: the evidence survives for an
+        // operator to inspect.
         let segs: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .filter(|n| n.starts_with("seg-"))
             .collect();
-        assert_eq!(segs, vec![segment_name(0)]);
+        assert_eq!(segs.len(), 3, "{segs:?}");
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            4 * RECORD_BYTES as u64
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_in_a_non_final_segment_fails_replay_loudly() {
+        let dir = scratch("midtorn");
+        let opts = LogOptions { segment_records: 4 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..10).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        // Shear segment 1 to a record-aligned 2 of 4 records: every
+        // surviving record decodes cleanly, so only the capacity check —
+        // not the CRC — can catch the hole.
+        let seg = dir.join(segment_name(1));
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(2 * RECORD_BYTES as u64).unwrap();
+        drop(f);
+
+        let err = ObservationLog::open(&dir, opts, |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The same shear on the *final* segment is an ordinary crash
+        // tail: truncate-and-continue, no error.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..10).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        let tail = dir.join(segment_name(2));
+        let f = OpenOptions::new().write(true).open(&tail).unwrap();
+        f.set_len(RECORD_BYTES as u64).unwrap();
+        drop(f);
+        let (_, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 9);
+        assert_eq!(seen.len(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_records_shears_the_tail_and_replay_survives() {
+        let dir = scratch("truncate");
+        let opts = LogOptions { segment_records: 4 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..11).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        // Keep 6 of 11: seg 2 (records 8..) goes away entirely, seg 1 is
+        // sheared to 2 of its 4 records, seg 0 is untouched.
+        ObservationLog::truncate_records(&dir, 6).unwrap();
+        let (mut log, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 6);
+        assert_eq!(seen.len(), 6);
+        for (i, o) in seen.iter().enumerate() {
+            assert_eq!(o, &obs(i as u32), "record {i}");
+        }
+        // Appending resumes exactly at the shear point.
+        log.append(&obs(42)).unwrap();
+        drop(log);
+        let (_, report, seen) = reopen(&dir, opts);
+        assert_eq!(report.records, 7);
+        assert_eq!(seen[6], obs(42));
+        // Truncating to a segment boundary and to zero both replay clean.
+        ObservationLog::truncate_records(&dir, 4).unwrap();
+        let (log, report, _) = reopen(&dir, opts);
+        assert_eq!(report.records, 4);
+        drop(log);
+        ObservationLog::truncate_records(&dir, 0).unwrap();
+        let (log, report, _) = reopen(&dir, opts);
+        assert_eq!(report.records, 0);
+        assert!(log.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_reader_streams_raw_bytes_across_segments() {
+        let dir = scratch("reader");
+        let opts = LogOptions { segment_records: 4 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        log.append_batch(&(0..10).map(obs).collect::<Vec<_>>())
+            .unwrap();
+
+        let reader = SegmentReader::open(&dir).unwrap();
+        // A range spanning two segment boundaries comes back byte-exact.
+        let bytes = reader.read_records(2, 7).unwrap();
+        assert_eq!(bytes.len(), 7 * RECORD_BYTES);
+        for (i, chunk) in bytes.chunks(RECORD_BYTES).enumerate() {
+            let rec = <&[u8; RECORD_BYTES]>::try_from(chunk).unwrap();
+            assert_eq!(Observation::decode(rec).unwrap(), obs(2 + i as u32));
+        }
+        // The raw bytes equal the writer's encoding exactly.
+        assert_eq!(&bytes[..RECORD_BYTES], obs(2).encode().unwrap().as_slice());
+        // Asking past the committed length is an error, not a short read.
+        assert!(reader.read_records(8, 5).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_persists_through_rotation_and_reopen() {
+        let dir = scratch("epoch");
+        let opts = LogOptions { segment_records: 4 };
+        let (mut log, _, _) = reopen(&dir, opts);
+        assert_eq!(log.epoch(), 0, "fresh logs start at epoch 0");
+        log.set_epoch(3).unwrap();
+        // Rotation rewrites the manifest; the epoch must ride along.
+        log.append_batch(&(0..6).map(obs).collect::<Vec<_>>())
+            .unwrap();
+        drop(log);
+        let (log, report, _) = reopen(&dir, opts);
+        assert_eq!(log.epoch(), 3);
+        assert_eq!(report.records, 6);
+        // A pre-cluster manifest (no epoch field) reads back as epoch 0.
+        let path = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped = text.replace("  \"epoch\": 3,\n", "");
+        assert_ne!(stripped, text, "test must actually strip the field");
+        drop(log);
+        std::fs::write(&path, stripped).unwrap();
+        let (log, _, _) = reopen(&dir, opts);
+        assert_eq!(log.epoch(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -14,8 +14,57 @@ use crate::refit::{RefitOptions, RefitTrigger, Refitter};
 use crate::registry::ModelRegistry;
 use perfpred_core::faults::{self, FaultPlan, FaultSite};
 use perfpred_core::{metrics, metrics::names, ServerArch};
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A watchable record counter: the replication sender parks on this
+/// instead of polling the log. [`ObservationStore::ingest`] advances it
+/// (outside the store's main mutex) after every durable append.
+#[derive(Debug, Default)]
+pub struct LogWatch {
+    len: Mutex<u64>,
+    grew: Condvar,
+}
+
+impl LogWatch {
+    /// Publishes a new log length (monotonic; stale advances are ignored).
+    pub fn advance(&self, len: u64) {
+        let mut cur = self.len.lock().unwrap();
+        if len > *cur {
+            *cur = len;
+            self.grew.notify_all();
+        }
+    }
+
+    /// The last published length.
+    #[allow(clippy::len_without_is_empty)] // a counter, not a container
+    pub fn len(&self) -> u64 {
+        *self.len.lock().unwrap()
+    }
+
+    /// Forces the published length to exactly `len`, downward included —
+    /// only the follower rollback path uses this, on a node that is not
+    /// streaming to anyone (a follower's hub answers not-primary before
+    /// ever parking on the watch).
+    pub fn reset(&self, len: u64) {
+        let mut cur = self.len.lock().unwrap();
+        *cur = len;
+        self.grew.notify_all();
+    }
+
+    /// Blocks until the published length exceeds `n` (returning the new
+    /// length) or `timeout` elapses (returning the current one). Senders
+    /// use the timeout return to emit heartbeats on an idle log.
+    pub fn wait_beyond(&self, n: u64, timeout: Duration) -> u64 {
+        let guard = self.len.lock().unwrap();
+        let (guard, _) = self
+            .grew
+            .wait_timeout_while(guard, timeout, |len| *len <= n)
+            .unwrap();
+        *guard
+    }
+}
 
 /// One refit that happened during an ingest call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,12 +88,17 @@ struct Inner {
     /// `None` for a purely in-memory store (tests, `--store-dir` unset).
     log: Option<ObservationLog>,
     refitter: Refitter,
+    /// Construction parameters, retained so [`ObservationStore::rollback_to`]
+    /// can rebuild a fresh refitter over the surviving log prefix.
+    servers: Vec<ServerArch>,
+    refit_opts: RefitOptions,
 }
 
 /// Durable observation intake with continuous refit and hot model reload.
 pub struct ObservationStore {
     inner: Mutex<Inner>,
     registry: Arc<ModelRegistry>,
+    watch: Arc<LogWatch>,
     /// Captured once at construction (not re-read per call) so a test's
     /// store keeps its injected faults even when another test in the same
     /// binary swaps the process-global plan.
@@ -59,8 +113,11 @@ impl ObservationStore {
             inner: Mutex::new(Inner {
                 log: None,
                 refitter: Refitter::new(servers, opts),
+                servers: servers.to_vec(),
+                refit_opts: opts,
             }),
             registry: Arc::new(ModelRegistry::new()),
+            watch: Arc::new(LogWatch::default()),
             faults: faults::active(),
         }
     }
@@ -89,13 +146,18 @@ impl ObservationStore {
             replayed += 1;
         })?;
         metrics::counter(names::STORE_OBSERVATIONS_TOTAL).add(replayed);
+        let watch = Arc::new(LogWatch::default());
+        watch.advance(log.len());
         Ok((
             ObservationStore {
                 inner: Mutex::new(Inner {
                     log: Some(log),
                     refitter,
+                    servers: servers.to_vec(),
+                    refit_opts,
                 }),
                 registry,
+                watch,
                 faults: faults::active(),
             },
             report,
@@ -151,8 +213,10 @@ impl ObservationStore {
                 "injected store I/O fault",
             )));
         }
+        let mut appended_len = None;
         if let Some(log) = inner.log.as_mut() {
             log.append_batch(batch)?;
+            appended_len = Some(log.len());
         }
         let mut outcome = IngestOutcome {
             accepted: batch.len() as u64,
@@ -168,11 +232,60 @@ impl ObservationStore {
             }
         }
         drop(inner);
+        if let Some(len) = appended_len {
+            self.watch.advance(len);
+        }
         metrics::counter(names::STORE_OBSERVATIONS_TOTAL).add(outcome.accepted);
         if !outcome.refits.is_empty() {
             metrics::counter(names::STORE_REFITS_TOTAL).add(outcome.refits.len() as u64);
         }
         Ok(outcome)
+    }
+
+    /// Rolls the durable log back to its first `keep` records, rebuilding
+    /// the refitter and registry by replaying the surviving prefix — the
+    /// follower-side divergence recovery path. Replay determinism makes
+    /// the rebuilt state byte-identical to one that never appended the
+    /// dropped tail, so resyncing from the new primary converges to its
+    /// exact log bytes and version history. Reads keep serving the
+    /// pre-rollback model until the replay's first publish.
+    ///
+    /// On error the store is left without a log (appends would silently
+    /// stop persisting), so the caller must fence the node rather than
+    /// keep ingesting.
+    pub fn rollback_to(&self, keep: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(log) = inner.log.take() else {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "rollback requires a durable log",
+            )));
+        };
+        if keep > log.len() {
+            let len = log.len();
+            inner.log = Some(log);
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot roll back to {keep}: log holds only {len} records"),
+            )));
+        }
+        let dir = log.dir().to_path_buf();
+        drop(log); // close the append handle before file surgery
+        ObservationLog::truncate_records(&dir, keep)?;
+        let mut refitter = Refitter::new(&inner.servers, inner.refit_opts);
+        self.registry.rewind();
+        let (log, _report) = ObservationLog::open(&dir, LogOptions::default(), |obs| {
+            if let Some(trigger) = refitter.fold(&obs) {
+                if let Some(model) = refitter.fit() {
+                    self.registry.publish(model, refitter.folded(), trigger);
+                }
+            }
+        })?;
+        inner.refitter = refitter;
+        inner.log = Some(log);
+        self.watch.reset(keep);
+        metrics::counter("store.rollbacks").incr();
+        Ok(())
     }
 
     /// Forces the log tail to disk (no-op for in-memory stores).
@@ -197,6 +310,36 @@ impl ObservationStore {
     /// Records in the durable log, if any.
     pub fn log_len(&self) -> Option<u64> {
         self.inner.lock().unwrap().log.as_ref().map(|l| l.len())
+    }
+
+    /// The durable log's directory, if any — replication senders open a
+    /// [`crate::SegmentReader`] on it.
+    pub fn log_dir(&self) -> Option<PathBuf> {
+        self.inner
+            .lock()
+            .unwrap()
+            .log
+            .as_ref()
+            .map(|l| l.dir().to_path_buf())
+    }
+
+    /// The watchable log-length counter replication senders park on.
+    /// Always present; it only ever advances for durable stores.
+    pub fn watch(&self) -> Arc<LogWatch> {
+        Arc::clone(&self.watch)
+    }
+
+    /// The cluster epoch in the log's manifest (`None` for in-memory).
+    pub fn epoch(&self) -> Option<u64> {
+        self.inner.lock().unwrap().log.as_ref().map(|l| l.epoch())
+    }
+
+    /// Persists a new cluster epoch (no-op for in-memory stores).
+    pub fn set_epoch(&self, epoch: u64) -> Result<(), StoreError> {
+        if let Some(log) = self.inner.lock().unwrap().log.as_mut() {
+            log.set_epoch(epoch)?;
+        }
+        Ok(())
     }
 
     /// The current serving model serialized (for determinism assertions).

@@ -37,6 +37,11 @@ pub struct ModelVersion {
 pub struct ModelRegistry {
     current: AtomicPtr<ModelVersion>,
     versions: Mutex<Vec<Arc<ModelVersion>>>,
+    /// Versions retired by [`rewind`](Self::rewind), kept alive for the
+    /// registry's lifetime so the raw-pointer safety contract of
+    /// [`current`](Self::current) holds across a rewind: a reader that
+    /// loaded the pointer just before the rewind can still revive it.
+    retired: Mutex<Vec<Arc<ModelVersion>>>,
 }
 
 impl Default for ModelRegistry {
@@ -51,7 +56,22 @@ impl ModelRegistry {
         ModelRegistry {
             current: AtomicPtr::new(std::ptr::null_mut()),
             versions: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Retires every published version so the history can be rebuilt from
+    /// scratch — the follower rollback path, where a divergent log tail is
+    /// discarded and the surviving prefix replayed. Version numbering
+    /// restarts at 1, which is exactly what makes the rebuilt registry
+    /// byte-identical to one that never saw the dropped tail. `current`
+    /// keeps serving the last retired version until the rebuild's first
+    /// publish, so reads never hit an empty registry mid-rollback; retired
+    /// entries stay alive for the registry's lifetime (see the safety
+    /// model above).
+    pub fn rewind(&self) {
+        let mut versions = self.versions.lock().unwrap();
+        self.retired.lock().unwrap().append(&mut versions);
     }
 
     /// Publishes a fitted model as the next version and hot-swaps it in.
@@ -234,6 +254,27 @@ mod tests {
             .mrt_ms;
         assert!(old < new);
         assert_eq!(held.version, 1);
+    }
+
+    #[test]
+    fn rewind_restarts_numbering_without_breaking_live_readers() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish(fitted(20.0), 10, RefitTrigger::Window);
+        reg.publish(fitted(32.0), 20, RefitTrigger::Drift);
+        let held = reg.current().unwrap();
+        reg.rewind();
+        // The retired current keeps serving until the rebuild publishes.
+        assert_eq!(reg.version(), 2);
+        assert!(reg.versions().is_empty());
+        assert_eq!(held.version, 2);
+        let server = ServerArch::app_serv_f();
+        let wl = Workload::typical(200);
+        assert!(held.model.predict(&server, &wl).is_ok());
+        // Rebuilding restarts numbering at 1 — the property that makes a
+        // rolled-back follower's registry byte-identical to the primary's.
+        assert_eq!(reg.publish(fitted(20.0), 10, RefitTrigger::Window), 1);
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.versions().len(), 1);
     }
 
     #[test]
