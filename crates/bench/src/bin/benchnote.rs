@@ -1,0 +1,78 @@
+//! Merges free-form notes into one `BENCH.json` section from the shell.
+//!
+//! [`perfpred_bench::timing::Recorder`] replaces its section wholesale,
+//! which is right for a bench binary that owns its slice but wrong for
+//! an orchestrating script that wants to *annotate* a section another
+//! process just wrote (the autoscale smoke adds the observed replica
+//! trajectory and the journal-replay verdict to the `ctl` section the
+//! phased loadgen run created). This tool reads the file, merges the
+//! given keys into the named section, and writes it back through the
+//! same [`perfpred_core::Json`] renderer, so the file's byte style never
+//! depends on which writer touched it last.
+//!
+//! Usage: `benchnote SECTION KEY=VAL [KEY=VAL ...]`
+//!
+//! Values that parse as numbers record as numbers, `true`/`false` as
+//! booleans, everything else as strings — the same convention as
+//! loadgen's `--note`.
+
+use perfpred_bench::timing::bench_json_path;
+use perfpred_core::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(section) = args.next().filter(|s| !s.starts_with('-')) else {
+        eprintln!("usage: benchnote SECTION KEY=VAL [KEY=VAL ...]");
+        std::process::exit(2);
+    };
+    let pairs: Vec<(String, String)> = args
+        .map(|raw| {
+            raw.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .unwrap_or_else(|| {
+                    eprintln!("benchnote: want KEY=VAL, got '{raw}'");
+                    std::process::exit(2);
+                })
+        })
+        .collect();
+    if pairs.is_empty() {
+        eprintln!("usage: benchnote SECTION KEY=VAL [KEY=VAL ...]");
+        std::process::exit(2);
+    }
+
+    let path = bench_json_path();
+    let mut doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|d| matches!(d, Json::Obj(_)))
+        .unwrap_or_else(Json::obj);
+    let key = format!("section.{section}");
+    let mut sec = match doc.get(&key) {
+        Some(existing @ Json::Obj(_)) => existing.clone(),
+        _ => Json::obj(),
+    };
+    for (k, v) in &pairs {
+        match v.as_str() {
+            "true" => {
+                sec.set(k, true);
+            }
+            "false" => {
+                sec.set(k, false);
+            }
+            other => match other.parse::<f64>() {
+                Ok(n) => {
+                    sec.set(k, n);
+                }
+                Err(_) => {
+                    sec.set(k, other);
+                }
+            },
+        }
+    }
+    doc.set(&key, sec);
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("benchnote: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("[{section} +{} notes -> {}]", pairs.len(), path.display());
+}

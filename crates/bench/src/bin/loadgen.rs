@@ -17,7 +17,12 @@
 //! coordinated-omission trap closed loops fall into). `--idle-connections`
 //! additionally parks that many accepted keep-alive sockets for the whole
 //! run — the "p99 with 10k idle connections multiplexed" measurement the
-//! reactor core exists for.
+//! reactor core exists for. `--phases "rate@secs,..."` generalises the
+//! schedule to a piecewise-constant rate — the surge-then-recede shape
+//! the autoscaling control plane is demonstrated against — with each
+//! phase's p50/p95/p99 reported separately (a sample belongs to the
+//! phase its *scheduled* arrival falls in, so attribution is
+//! deterministic even when a slow server makes the sender late).
 //!
 //! Results (throughput, exact p50/p95/p99 from the merged samples,
 //! rejection and error rates) are printed and merged into `BENCH.json`
@@ -61,6 +66,13 @@ USAGE: loadgen --port N [OPTIONS]
                        measured from each request's scheduled arrival
                        instant, so queueing delay shows up in the tail
                        instead of being coordinated-omitted away
+  --phases R@S,R@S,... OPEN-LOOP mode with a time-varying schedule: each
+                       phase offers R req/s (Poisson) for S seconds, in
+                       order. Total duration is the sum of the phases
+                       (--duration-s is ignored); latencies are reported
+                       per phase (p50/p95/p99) as well as merged. The
+                       autoscaling demo drives its 1 -> 3 -> 1 replica
+                       cycle with this flag
   --connections N      keep-alive connections round-robined by the open-
                        loop senders (default: one per sender thread)
   --idle-connections N park N extra accepted keep-alive sockets for the
@@ -125,6 +137,8 @@ struct Config {
     chaos: bool,
     min_availability: Option<f64>,
     rate: Option<f64>,
+    /// Open-loop `(rate_rps, seconds)` schedule; empty unless `--phases`.
+    phases: Vec<(f64, f64)>,
     connections: usize,
     idle_connections: usize,
     bench_section: Option<String>,
@@ -150,6 +164,7 @@ impl Default for Config {
             chaos: false,
             min_availability: None,
             rate: None,
+            phases: Vec::new(),
             connections: 0,
             idle_connections: 0,
             bench_section: None,
@@ -259,6 +274,30 @@ fn parse_args() -> Result<Config, String> {
                 }
                 cfg.rate = Some(r);
             }
+            "--phases" => {
+                let raw = value(&mut args, "--phases")?;
+                cfg.phases = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|part| {
+                        let (r, s) = part
+                            .split_once('@')
+                            .ok_or_else(|| format!("--phases wants RATE@SECS,..., got '{part}'"))?;
+                        let rate: f64 = parsed(r.trim(), "--phases")?;
+                        let secs: f64 = parsed(s.trim(), "--phases")?;
+                        if !rate.is_finite() || rate <= 0.0 || !secs.is_finite() || secs <= 0.0 {
+                            return Err(format!(
+                                "--phases rates and durations must be positive, got '{part}'"
+                            ));
+                        }
+                        Ok((rate, secs))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                if cfg.phases.is_empty() {
+                    return Err("--phases wants RATE@SECS,RATE@SECS,...".into());
+                }
+            }
             "--connections" => {
                 cfg.connections =
                     parsed::<usize>(&value(&mut args, "--connections")?, "--connections")?
@@ -290,9 +329,13 @@ fn parse_args() -> Result<Config, String> {
     if cfg.min_availability.is_some() && cfg.targets.is_empty() {
         cfg.chaos = true;
     }
+    let open_loop = cfg.rate.is_some() || !cfg.phases.is_empty();
+    if cfg.rate.is_some() && !cfg.phases.is_empty() {
+        return Err("--rate and --phases are both open-loop schedules (pick one)".into());
+    }
     if !cfg.targets.is_empty() {
-        if cfg.rate.is_some() {
-            return Err("--targets is closed-loop only (drop --rate)".into());
+        if open_loop {
+            return Err("--targets is closed-loop only (drop --rate/--phases)".into());
         }
         if cfg.chaos || cfg.report_observations {
             return Err(
@@ -306,13 +349,19 @@ fn parse_args() -> Result<Config, String> {
     if cfg.addr.is_empty() {
         return Err("need --addr, --port, --port-file or --targets (try --help)".into());
     }
-    if cfg.rate.is_some() && (cfg.report_observations || cfg.chaos) {
+    if open_loop && (cfg.report_observations || cfg.chaos) {
         return Err(
-            "--rate (open loop) cannot be combined with --report-observations or --chaos".into(),
+            "open loop (--rate/--phases) cannot be combined with --report-observations or --chaos"
+                .into(),
         );
     }
-    if cfg.connections > 0 && cfg.rate.is_none() {
-        return Err("--connections only applies to open-loop mode (add --rate)".into());
+    if cfg.connections > 0 && !open_loop {
+        return Err("--connections only applies to open-loop mode (add --rate or --phases)".into());
+    }
+    // A phased schedule defines its own total duration.
+    if !cfg.phases.is_empty() {
+        let total: f64 = cfg.phases.iter().map(|&(_, s)| s).sum();
+        cfg.duration = Duration::from_secs_f64(total);
     }
     Ok(cfg)
 }
@@ -368,6 +417,10 @@ struct Tally {
     degraded: u64,
     /// Transport failures retried in chaos mode (reconnect + resend).
     retries: u64,
+    /// Latency samples bucketed by `--phases` index (empty otherwise).
+    /// A sample is attributed to the phase its *scheduled* arrival falls
+    /// in, so phase boundaries are deterministic under sender lag.
+    phase_latencies: Vec<Vec<f64>>,
 }
 
 /// A persistent keep-alive connection that reconnects on failure.
@@ -735,18 +788,31 @@ fn open_loop_worker(
     stop: &AtomicBool,
 ) -> Tally {
     let mut rng = SimRng::seed_from(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(id as u64));
-    let rate = cfg.rate.expect("open loop requires --rate") / workers as f64;
-    let mean_gap_ms = 1e3 / rate;
+    let plan = phase_plan(cfg);
+    // Arrival times are the running sum of per-phase exponential gaps,
+    // the gap drawn from whichever phase the schedule cursor sits in —
+    // a piecewise-homogeneous Poisson process over the --phases steps
+    // (one homogeneous phase for plain --rate).
+    let phase_of = |t_ms: f64| {
+        plan.iter()
+            .position(|&(_, end)| t_ms < end)
+            .unwrap_or(plan.len() - 1)
+    };
     let mut conns: Vec<Connection> = (0..n_conns.max(1))
         .map(|_| Connection::new(&cfg.addr))
         .collect();
-    let mut tally = Tally::default();
+    let mut tally = Tally {
+        phase_latencies: vec![Vec::new(); plan.len()],
+        ..Tally::default()
+    };
     let mut key = id % cfg.key_space;
     let mut turn = 0usize;
-    let mut next_ms = rng.exp(mean_gap_ms);
+    let mut next_ms = 0.0;
     while !stop.load(Ordering::Relaxed) {
-        let scheduled = epoch + Duration::from_secs_f64(next_ms / 1e3);
+        let mean_gap_ms = 1e3 * workers as f64 / plan[phase_of(next_ms)].0;
         next_ms += rng.exp(mean_gap_ms);
+        let phase = phase_of(next_ms);
+        let scheduled = epoch + Duration::from_secs_f64(next_ms / 1e3);
         sleep_until(scheduled, stop);
         if stop.load(Ordering::Relaxed) {
             break;
@@ -763,6 +829,7 @@ fn open_loop_worker(
         match outcome {
             Ok((status, _)) => {
                 tally.latencies_ms.push(latency_ms);
+                tally.phase_latencies[phase].push(latency_ms);
                 match status {
                     200 => tally.ok += 1,
                     503 => tally.rejected += 1,
@@ -773,6 +840,23 @@ fn open_loop_worker(
         }
     }
     tally
+}
+
+/// The open-loop schedule as `(rate_rps, cumulative_end_ms)` steps: the
+/// `--phases` list, or plain `--rate` as a single phase spanning the run.
+fn phase_plan(cfg: &Config) -> Vec<(f64, f64)> {
+    if cfg.phases.is_empty() {
+        let rate = cfg.rate.expect("open loop requires --rate or --phases");
+        return vec![(rate, cfg.duration.as_secs_f64() * 1e3)];
+    }
+    let mut end_ms = 0.0;
+    cfg.phases
+        .iter()
+        .map(|&(rate, secs)| {
+            end_ms += secs * 1e3;
+            (rate, end_ms)
+        })
+        .collect()
 }
 #[derive(Debug, Default)]
 struct ProbeReport {
@@ -947,6 +1031,24 @@ fn main() {
             cfg.key_space,
             cfg.think_ms,
         );
+    } else if !cfg.phases.is_empty() {
+        let schedule: Vec<String> = cfg
+            .phases
+            .iter()
+            .map(|&(r, s)| format!("{r}rps@{s}s"))
+            .collect();
+        println!(
+            "loadgen: OPEN LOOP phased [{}] x {:.1}s against {} \
+             ({} senders, {} connections, {} / {}, {} keys)",
+            schedule.join(", "),
+            cfg.duration.as_secs_f64(),
+            cfg.addr,
+            cfg.clients,
+            cfg.connections.max(cfg.clients),
+            cfg.method,
+            cfg.server,
+            cfg.key_space,
+        );
     } else if let Some(rate) = cfg.rate {
         println!(
             "loadgen: OPEN LOOP {rate} req/s Poisson x {:.1}s against {} \
@@ -981,7 +1083,7 @@ fn main() {
     });
     let mut handles: Vec<std::thread::JoinHandle<(Tally, Vec<TargetStats>)>> =
         Vec::with_capacity(cfg.clients);
-    if cfg.rate.is_some() {
+    if cfg.rate.is_some() || !cfg.phases.is_empty() {
         // Distribute --connections across the sender threads; every
         // sender gets at least one socket.
         let workers = cfg.clients;
@@ -1015,10 +1117,14 @@ fn main() {
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
     let mut merged = Tally::default();
+    let mut phase_latencies: Vec<Vec<f64>> = vec![Vec::new(); cfg.phases.len()];
     let mut per_target = vec![TargetStats::default(); cfg.targets.len()];
     for h in handles {
         let (t, per) = h.join().expect("client thread");
         merged.latencies_ms.extend(t.latencies_ms);
+        for (agg, got) in phase_latencies.iter_mut().zip(t.phase_latencies) {
+            agg.extend(got);
+        }
         merged.ok += t.ok;
         merged.rejected += t.rejected;
         merged.errors += t.errors;
@@ -1082,6 +1188,26 @@ fn main() {
         merged.ok, merged.rejected, merged.errors
     );
     println!("loadgen: latency p50 {p50:.3} ms   p95 {p95:.3} ms   p99 {p99:.3} ms");
+
+    // Phased runs: each phase's percentiles come from its own samples, so
+    // the tail of a heavy phase is visible instead of being averaged away
+    // by the quiet ones on either side of it.
+    let mut phase_stats: Vec<(u64, f64, f64, f64)> = Vec::new();
+    for (i, lat) in phase_latencies.iter_mut().enumerate() {
+        lat.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let (p50, p95, p99) = (
+            percentile(lat, 0.50),
+            percentile(lat, 0.95),
+            percentile(lat, 0.99),
+        );
+        let (rate, secs) = cfg.phases[i];
+        println!(
+            "loadgen: phase {i} ({rate} req/s x {secs}s) — {} requests, \
+             p50 {p50:.3} ms   p95 {p95:.3} ms   p99 {p99:.3} ms",
+            lat.len()
+        );
+        phase_stats.push((lat.len() as u64, p50, p95, p99));
+    }
     if let Some(probe) = &probe_report {
         println!(
             "loadgen: chaos — availability {:.4}, degraded {}, retries {}, \
@@ -1131,6 +1257,8 @@ fn main() {
             "serve.chaos".into()
         } else if cfg.report_observations {
             "serve.observe".into()
+        } else if !cfg.phases.is_empty() {
+            "serve.phased".into()
         } else if cfg.rate.is_some() {
             "serve.open".into()
         } else {
@@ -1141,10 +1269,24 @@ fn main() {
     rec.note("clients", cfg.clients);
     rec.note("duration_s", elapsed);
     rec.note("think_ms", cfg.think_ms);
-    if let Some(rate) = cfg.rate {
+    if cfg.rate.is_some() || !cfg.phases.is_empty() {
         rec.note("open_loop", true);
-        rec.note("offered_rate_rps", rate);
         rec.note("connections", cfg.connections.max(cfg.clients));
+    }
+    if let Some(rate) = cfg.rate {
+        rec.note("offered_rate_rps", rate);
+    }
+    if !cfg.phases.is_empty() {
+        rec.note("phases", cfg.phases.len() as u64);
+        for (i, &(rate, secs)) in cfg.phases.iter().enumerate() {
+            let (n, p50, p95, p99) = phase_stats[i];
+            rec.note(&format!("phase.{i}.rate_rps"), rate);
+            rec.note(&format!("phase.{i}.duration_s"), secs);
+            rec.note(&format!("phase.{i}.requests"), n);
+            rec.note(&format!("phase.{i}.p50_ms"), p50);
+            rec.note(&format!("phase.{i}.p95_ms"), p95);
+            rec.note(&format!("phase.{i}.p99_ms"), p99);
+        }
     }
     if cfg.idle_connections > 0 {
         rec.note("idle_connections", cfg.idle_connections);

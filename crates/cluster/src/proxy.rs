@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Router tuning.
@@ -171,40 +171,25 @@ impl Upstream {
     }
 }
 
-/// Shared router state: the ring plus live upstream views.
+/// One immutable routing generation: the ring plus the upstream set it
+/// was built from. `POST /admin/upstreams` builds a fresh `Topology` and
+/// swaps the shared `Arc` — every in-flight request keeps routing (and
+/// retrying) against the snapshot it captured at arrival, so a swap can
+/// neither double-send a request across generations nor strand it
+/// against a half-updated ring.
 #[derive(Debug)]
-pub struct RouterState {
+struct Topology {
     ring: Ring,
     upstreams: Vec<Arc<Upstream>>,
-    cfg: RouterConfig,
-    started: Instant,
-    requests: AtomicU64,
-    forward_errors: AtomicU64,
 }
 
-impl RouterState {
-    fn new(cfg: RouterConfig) -> Arc<RouterState> {
-        let upstreams = cfg
-            .upstreams
-            .iter()
-            .map(|a| Arc::new(Upstream::new(a)))
-            .collect();
-        Arc::new(RouterState {
-            ring: Ring::new(&cfg.upstreams, cfg.vnodes, cfg.load_factor),
-            upstreams,
-            cfg: cfg.clone(),
-            started: Instant::now(),
-            requests: AtomicU64::new(0),
-            forward_errors: AtomicU64::new(0),
-        })
-    }
-
+impl Topology {
     /// Indices admitted for reads, honoring ejection windows + staleness.
     /// The staleness baseline is the max version among *health-admitted*
     /// upstreams: a dead node's last probed version is frozen in time and
     /// must not hold the survivors to a bar none of them can reach until
     /// the new primary has refitted past the ghost.
-    fn admitted(&self) -> Vec<bool> {
+    fn admitted(&self, max_version_lag: u64) -> Vec<bool> {
         let views: Vec<(bool, u64)> = self
             .upstreams
             .iter()
@@ -221,7 +206,7 @@ impl RouterState {
             .unwrap_or(0);
         views
             .into_iter()
-            .map(|(alive, v)| alive && max_version.saturating_sub(v) <= self.cfg.max_version_lag)
+            .map(|(alive, v)| alive && max_version.saturating_sub(v) <= max_version_lag)
             .collect()
     }
 
@@ -231,9 +216,89 @@ impl RouterState {
             .map(|u| u.in_flight.load(Ordering::Relaxed))
             .collect()
     }
+}
+
+/// Shared router state: the current topology generation plus counters.
+#[derive(Debug)]
+pub struct RouterState {
+    topology: RwLock<Arc<Topology>>,
+    cfg: RouterConfig,
+    started: Instant,
+    requests: AtomicU64,
+    forward_errors: AtomicU64,
+    topology_swaps: AtomicU64,
+}
+
+impl RouterState {
+    fn new(cfg: RouterConfig) -> Arc<RouterState> {
+        let upstreams = cfg
+            .upstreams
+            .iter()
+            .map(|a| Arc::new(Upstream::new(a)))
+            .collect();
+        Arc::new(RouterState {
+            topology: RwLock::new(Arc::new(Topology {
+                ring: Ring::new(&cfg.upstreams, cfg.vnodes, cfg.load_factor),
+                upstreams,
+            })),
+            cfg: cfg.clone(),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+            topology_swaps: AtomicU64::new(0),
+        })
+    }
+
+    /// Captures the current topology generation (one `Arc` clone under a
+    /// read lock held for nanoseconds).
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read().unwrap())
+    }
+
+    /// Atomically replaces the upstream set: a fresh ring over `addrs`,
+    /// reusing the live [`Upstream`] (health, pools, in-flight counts)
+    /// for every address that survives the swap so an unchanged node
+    /// keeps its probe history and warm connections. Returns the new
+    /// generation number.
+    fn reload_upstreams(&self, addrs: &[String]) -> io::Result<u64> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "upstream set must not be empty",
+            ));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for a in addrs {
+            if !seen.insert(a.as_str()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate upstream '{a}'"),
+                ));
+            }
+        }
+        let current = self.topology();
+        let upstreams = addrs
+            .iter()
+            .map(|a| {
+                current
+                    .upstreams
+                    .iter()
+                    .find(|u| u.addr == *a)
+                    .map_or_else(|| Arc::new(Upstream::new(a)), Arc::clone)
+            })
+            .collect();
+        let next = Arc::new(Topology {
+            ring: Ring::new(addrs, self.cfg.vnodes, self.cfg.load_factor),
+            upstreams,
+        });
+        *self.topology.write().unwrap() = next;
+        metrics::counter("router.topology_swaps").incr();
+        Ok(self.topology_swaps.fetch_add(1, Ordering::Relaxed) + 1)
+    }
 
     /// The `/router/status` document.
     fn status_json(&self) -> Json {
+        let topo = self.topology();
         let mut m = Json::obj();
         m.set("uptime_s", self.started.elapsed().as_secs_f64());
         m.set("requests", self.requests.load(Ordering::Relaxed));
@@ -241,9 +306,13 @@ impl RouterState {
             "forward_errors",
             self.forward_errors.load(Ordering::Relaxed),
         );
-        let admitted = self.admitted();
+        m.set(
+            "topology_swaps",
+            self.topology_swaps.load(Ordering::Relaxed),
+        );
+        let admitted = topo.admitted(self.cfg.max_version_lag);
         let mut list = Vec::new();
-        for (i, u) in self.upstreams.iter().enumerate() {
+        for (i, u) in topo.upstreams.iter().enumerate() {
             let h = u.health.lock().unwrap();
             let mut o = Json::obj();
             o.set("addr", u.addr.as_str());
@@ -314,9 +383,12 @@ impl RouterServer {
     }
 }
 
-/// One probe round: GET /healthz on every upstream.
+/// One probe round: GET /healthz on every upstream of the current
+/// topology generation (an upstream removed mid-round still gets its
+/// last probe — harmless, its `Arc` dies when the round ends).
 fn probe_all(state: &RouterState) {
-    for u in &state.upstreams {
+    let topo = state.topology();
+    for u in &topo.upstreams {
         // Respect the ejection window: no probe until backoff expires.
         {
             let h = u.health.lock().unwrap();
@@ -615,6 +687,27 @@ fn serve_client(stream: TcpStream, state: &RouterState) -> io::Result<()> {
             continue;
         }
 
+        if req.path == "/admin/upstreams" {
+            let (status, body, allow) = if req.method == "POST" {
+                let (status, body) = admin_upstreams(state, &req.body);
+                (status, body, None)
+            } else {
+                (405, error_body("wrong method for this path"), Some("POST"))
+            };
+            write_client_response(
+                &mut writer,
+                status,
+                "application/json",
+                allow,
+                &body,
+                keep_alive,
+            )?;
+            if !keep_alive {
+                return Ok(());
+            }
+            continue;
+        }
+
         let resp = forward_with_retries(state, &req);
         match resp {
             Some(resp) => {
@@ -645,32 +738,75 @@ fn serve_client(stream: TcpStream, state: &RouterState) -> io::Result<()> {
     }
 }
 
+/// `POST /admin/upstreams`: replace the routed upstream set at runtime.
+/// Body: `{"upstreams": ["host:port", ...]}`. Surviving addresses keep
+/// their health state and connection pools; the swap is atomic and
+/// in-flight requests finish on the topology they started on.
+fn admin_upstreams(state: &RouterState, body: &[u8]) -> (u16, Vec<u8>) {
+    let doc = match Json::parse(&String::from_utf8_lossy(body)) {
+        Ok(d) => d,
+        Err(e) => return (400, error_body(&format!("bad JSON: {e}"))),
+    };
+    let addrs: Vec<String> = match doc.get("upstreams").and_then(Json::as_arr) {
+        Some(list) => {
+            let mut addrs = Vec::with_capacity(list.len());
+            for item in list {
+                match item.as_str() {
+                    Some(s) if !s.trim().is_empty() => addrs.push(s.trim().to_string()),
+                    _ => {
+                        return (
+                            400,
+                            error_body("'upstreams' entries must be non-empty strings"),
+                        )
+                    }
+                }
+            }
+            addrs
+        }
+        None => return (400, error_body("need an 'upstreams' array")),
+    };
+    match state.reload_upstreams(&addrs) {
+        Ok(generation) => {
+            let mut out = Json::obj();
+            out.set(
+                "upstreams",
+                Json::Arr(addrs.iter().map(|a| Json::from(a.as_str())).collect()),
+            );
+            out.set("generation", generation);
+            (200, out.render().into_bytes())
+        }
+        Err(e) => (400, error_body(&e.to_string())),
+    }
+}
+
 /// Picks upstreams (primary for writes, ring for reads) and forwards,
-/// trying up to three distinct upstreams on transport failure.
+/// trying up to three distinct upstreams on transport failure. The whole
+/// attempt chain runs against one topology snapshot captured at entry:
+/// a concurrent `/admin/upstreams` swap cannot re-route attempt two onto
+/// a node that already saw attempt one, and cannot shrink `tried` under
+/// the loop.
 fn forward_with_retries(state: &RouterState, req: &ProxyRequest) -> Option<ProxyResponse> {
+    let topo = state.topology();
     let is_write = req.method == "POST" && req.path == "/observe";
-    let mut tried = vec![false; state.upstreams.len()];
+    let mut tried = vec![false; topo.upstreams.len()];
     for _attempt in 0..3 {
         let idx = if is_write {
             // Writes go to the primary, wherever it currently is.
-            state
-                .upstreams
+            topo.upstreams
                 .iter()
                 .enumerate()
                 .position(|(i, u)| !tried[i] && u.health.lock().unwrap().is_primary)?
         } else {
-            let mut admitted = state.admitted();
+            let mut admitted = topo.admitted(state.cfg.max_version_lag);
             for (i, t) in tried.iter().enumerate() {
                 if *t {
                     admitted[i] = false;
                 }
             }
-            state
-                .ring
-                .route(&hash_key(req), &admitted, &state.loads())?
+            topo.ring.route(&hash_key(req), &admitted, &topo.loads())?
         };
         tried[idx] = true;
-        let u = &state.upstreams[idx];
+        let u = &topo.upstreams[idx];
         u.in_flight.fetch_add(1, Ordering::Relaxed);
         let result = forward_once(u, req, state.cfg.io_timeout);
         u.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -789,6 +925,194 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"primary\": true"), "{body}");
         assert!(body.contains("\"model_version\": 5"), "{body}");
+    }
+
+    /// A stub upstream that counts every non-healthz request it answers.
+    fn counting_upstream(counter: Arc<AtomicU64>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    while let Ok(Some(req)) = read_request(&mut reader) {
+                        let body = if req.path == "/healthz" {
+                            "{\"model_version\": 1, \"cluster_role\": \"primary\"}".to_string()
+                        } else {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            format!("{{\"echo\": \"{}\"}}", req.path)
+                        };
+                        if write_client_response(
+                            &mut writer,
+                            200,
+                            "application/json",
+                            None,
+                            body.as_bytes(),
+                            true,
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(
+            conn,
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        let resp = read_response(&mut reader).unwrap();
+        (
+            resp.status,
+            String::from_utf8_lossy(&resp.body).into_owned(),
+        )
+    }
+
+    #[test]
+    fn admin_upstreams_swaps_the_set_and_validates_input() {
+        let (a, _ha) = stub_upstream(1, "primary");
+        let (b, _hb) = stub_upstream(1, "follower");
+        let cfg = RouterConfig {
+            upstreams: vec![a.clone()],
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        };
+        let server = RouterServer::bind(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Bad bodies 400 and leave the set alone.
+        for bad in [
+            "{not json",
+            r#"{"upstreams": []}"#,
+            r#"{"upstreams": "x"}"#,
+            r#"{"upstreams": [""]}"#,
+            r#"{}"#,
+        ] {
+            let (status, body) = post(&addr, "/admin/upstreams", bad);
+            assert_eq!(status, 400, "{bad}: {body}");
+        }
+        let (status, body) = post(
+            &addr,
+            "/admin/upstreams",
+            &format!(r#"{{"upstreams": ["{a}", "{a}"]}}"#),
+        );
+        assert_eq!(status, 400, "duplicates must be refused: {body}");
+
+        // A valid swap adds the second node ...
+        let (status, body) = post(
+            &addr,
+            "/admin/upstreams",
+            &format!(r#"{{"upstreams": ["{a}", "{b}"]}}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\": 1"), "{body}");
+        let (_, status_body) = get(&addr, "/router/status");
+        assert!(status_body.contains(&b), "{status_body}");
+        assert!(
+            status_body.contains("\"topology_swaps\": 1"),
+            "{status_body}"
+        );
+
+        // Wrong method answers 405.
+        let (status, _) = get(&addr, "/admin/upstreams");
+        assert_eq!(status, 405);
+
+        // ... and removing the first still routes everything to b.
+        let (status, body) = post(
+            &addr,
+            "/admin/upstreams",
+            &format!(r#"{{"upstreams": ["{b}"]}}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        for i in 0..5 {
+            let (status, body) = get(&addr, &format!("/models?k={i}"));
+            assert_eq!(status, 200, "{body}");
+        }
+        let (_, status_body) = get(&addr, "/router/status");
+        assert!(!status_body.contains(&a), "{status_body}");
+    }
+
+    #[test]
+    fn requests_racing_a_topology_swap_are_never_lost_or_double_sent() {
+        let served = Arc::new(AtomicU64::new(0));
+        let (a, _ha) = counting_upstream(Arc::clone(&served));
+        let (b, _hb) = counting_upstream(Arc::clone(&served));
+        let cfg = RouterConfig {
+            upstreams: vec![a.clone()],
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        };
+        let server = RouterServer::bind(cfg).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.run());
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Swapper: flip the upstream set as fast as it can.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let swapper = {
+            let (addr, a, b) = (addr.clone(), a.clone(), b.clone());
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut flip = false;
+                let mut swaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let body = if flip {
+                        format!(r#"{{"upstreams": ["{a}"]}}"#)
+                    } else {
+                        format!(r#"{{"upstreams": ["{a}", "{b}"]}}"#)
+                    };
+                    let (status, _) = post(&addr, "/admin/upstreams", &body);
+                    assert_eq!(status, 200);
+                    swaps += 1;
+                    flip = !flip;
+                }
+                swaps
+            })
+        };
+
+        // Client threads: every request must come back exactly once, 200.
+        let sent = Arc::new(AtomicU64::new(0));
+        let clients: Vec<_> = (0..4)
+            .map(|t| {
+                let addr = addr.clone();
+                let sent = Arc::clone(&sent);
+                std::thread::spawn(move || {
+                    for i in 0..150 {
+                        let path = format!("/models?t={t}&i={i}");
+                        let (status, body) = get(&addr, &path);
+                        assert_eq!(status, 200, "{body}");
+                        assert!(body.contains(&path), "{body}");
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let swaps = swapper.join().unwrap();
+        assert!(swaps > 0, "the swapper must have raced the clients");
+
+        // No request was lost (all 600 answered 200 above) and none was
+        // double-sent: the upstreams saw exactly as many forwards as the
+        // clients sent (both upstreams were healthy throughout, so no
+        // transport retry can legitimately duplicate).
+        assert_eq!(served.load(Ordering::Relaxed), sent.load(Ordering::Relaxed));
     }
 
     #[test]

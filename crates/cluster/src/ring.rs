@@ -176,7 +176,7 @@ mod tests {
     fn bounded_load_spills_hot_keys() {
         let ring = Ring::new(&names(3), 64, 1.25);
         let admitted = vec![true; 3];
-        let home = ring.route("hot-key", &admitted, &vec![0; 3]).unwrap();
+        let home = ring.route("hot-key", &admitted, &[0; 3]).unwrap();
         // Pile load on the home node: the same key must spill elsewhere.
         let mut loads = vec![0usize; 3];
         loads[home] = 100;
@@ -184,7 +184,7 @@ mod tests {
         assert_ne!(spilled, home, "over-cap upstream must spill");
         // With the cap disabled (c <= 1), affinity is absolute.
         let pure = Ring::new(&names(3), 64, 1.0);
-        let h = pure.route("hot-key", &admitted, &vec![0; 3]).unwrap();
+        let h = pure.route("hot-key", &admitted, &[0; 3]).unwrap();
         assert_eq!(pure.route("hot-key", &admitted, &loads).unwrap(), h);
     }
 

@@ -1,0 +1,243 @@
+//! Actuation: turning a [`crate::plan::Decision`] into the world.
+//!
+//! Three levers, matching the tentpole spec:
+//!
+//! * per-node admission thresholds via `POST /admin/threshold`;
+//! * the router's upstream set via `POST /admin/upstreams` (the router
+//!   swaps its consistent-hash ring atomically, so in-flight requests
+//!   finish on the topology they started on);
+//! * the node fleet itself, through a [`NodeLauncher`] — the binary
+//!   spawns real `perfpred-serve` processes from a `--spawn-cmd`
+//!   template and drains them with SIGTERM; tests plug in in-process
+//!   servers.
+//!
+//! The zero-loss ordering on scale-down is: remove the victim from the
+//! router *first*, wait a settle interval for its in-flight requests to
+//! finish, and only then drain the node.
+
+use crate::httpc;
+use crate::scrape;
+use perfpred_core::Json;
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Pushes an admission threshold to one serve node.
+pub fn push_threshold(addr: &str, threshold: f64, timeout: Duration) -> io::Result<()> {
+    let mut body = Json::obj();
+    body.set("threshold", threshold);
+    let reply = httpc::post_json(addr, "/admin/threshold", &body.render(), timeout)?;
+    if reply.ok() {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!(
+            "threshold push to {addr} got {}",
+            reply.status
+        )))
+    }
+}
+
+/// Replaces the router's upstream set.
+pub fn reload_router(router: &str, upstreams: &[String], timeout: Duration) -> io::Result<()> {
+    let mut body = Json::obj();
+    body.set(
+        "upstreams",
+        Json::Arr(upstreams.iter().map(|u| Json::from(u.as_str())).collect()),
+    );
+    let reply = httpc::post_json(router, "/admin/upstreams", &body.render(), timeout)?;
+    if reply.ok() {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!(
+            "router reload got {}: {}",
+            reply.status,
+            reply.body.trim()
+        )))
+    }
+}
+
+/// Polls a node's `/healthz` until it answers ok or the deadline passes.
+pub fn wait_healthy(addr: &str, deadline: Duration) -> bool {
+    let until = Instant::now() + deadline;
+    let probe_timeout = Duration::from_millis(500);
+    loop {
+        if scrape::scrape_node(addr, probe_timeout).ok {
+            return true;
+        }
+        if Instant::now() >= until {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Brings serve nodes up and down. The controller only ever asks for
+/// *one more node* or *this node gone*; fleet arithmetic stays in the
+/// control loop.
+pub trait NodeLauncher: Send {
+    /// Starts node number `index` and returns its `host:port` once it is
+    /// reachable.
+    fn spawn(&mut self, index: u32) -> io::Result<String>;
+
+    /// Gracefully drains the node at `addr` (it has already been removed
+    /// from the router).
+    fn drain(&mut self, addr: &str) -> io::Result<()>;
+}
+
+/// Launcher for fixed fleets (no `--spawn-cmd`): cannot spawn, drains
+/// over HTTP via `POST /shutdown`.
+pub struct HttpLauncher {
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl NodeLauncher for HttpLauncher {
+    fn spawn(&mut self, _index: u32) -> io::Result<String> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "no --spawn-cmd configured; cannot grow the tier",
+        ))
+    }
+
+    fn drain(&mut self, addr: &str) -> io::Result<()> {
+        let reply = httpc::post_json(addr, "/shutdown", "{}", self.timeout)?;
+        if reply.ok() {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!(
+                "drain of {addr} got {}",
+                reply.status
+            )))
+        }
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+/// Launcher that spawns real node processes from a command template.
+///
+/// The template is split on whitespace (no quoting); `{port_file}` and
+/// `{index}` are substituted per spawn. The spawned process must write
+/// its bound port to the port file once listening (`perfpred-serve
+/// --port 0 --port-file {port_file}` does).
+pub struct ProcessLauncher {
+    template: String,
+    dir: PathBuf,
+    children: Vec<(String, std::process::Child)>,
+    /// How long to wait for a spawned node's port file.
+    pub spawn_deadline: Duration,
+    /// How long a SIGTERM'd node gets to drain before a hard kill.
+    pub drain_deadline: Duration,
+}
+
+impl ProcessLauncher {
+    /// A launcher around `template`, writing port files under `dir`.
+    pub fn new(template: &str, dir: PathBuf) -> ProcessLauncher {
+        ProcessLauncher {
+            template: template.to_string(),
+            dir,
+            children: Vec::new(),
+            spawn_deadline: Duration::from_secs(15),
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl NodeLauncher for ProcessLauncher {
+    fn spawn(&mut self, index: u32) -> io::Result<String> {
+        std::fs::create_dir_all(&self.dir)?;
+        let port_file = self.dir.join(format!("node-{index}.port"));
+        let _ = std::fs::remove_file(&port_file);
+        let cmd = self
+            .template
+            .replace("{port_file}", &port_file.to_string_lossy())
+            .replace("{index}", &index.to_string());
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        let (program, args) = parts
+            .split_first()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty --spawn-cmd"))?;
+        let child = std::process::Command::new(program).args(args).spawn()?;
+        // The node writes its ephemeral port once it is listening.
+        let until = Instant::now() + self.spawn_deadline;
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            if Instant::now() >= until {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("node {index} never wrote {}", port_file.display()),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let addr = format!("127.0.0.1:{port}");
+        self.children.push((addr.clone(), child));
+        Ok(addr)
+    }
+
+    fn drain(&mut self, addr: &str) -> io::Result<()> {
+        let Some(pos) = self.children.iter().position(|(a, _)| a == addr) else {
+            // Not ours (an initial node started by a script): HTTP drain.
+            return HttpLauncher {
+                timeout: Duration::from_secs(2),
+            }
+            .drain(addr);
+        };
+        let (_, mut child) = self.children.remove(pos);
+        #[cfg(unix)]
+        {
+            // SIGTERM: the serve daemon's handler drains in-flight work.
+            unsafe {
+                kill(child.id() as i32, SIGTERM);
+            }
+            let until = Instant::now() + self.drain_deadline;
+            loop {
+                if child.try_wait()?.is_some() {
+                    return Ok(());
+                }
+                if Instant::now() >= until {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        // Non-unix, or the grace period expired: hard stop.
+        child.kill()?;
+        let _ = child.wait();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_launcher_refuses_to_spawn() {
+        let mut l = HttpLauncher {
+            timeout: Duration::from_millis(100),
+        };
+        let err = l.spawn(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn process_launcher_substitutes_and_times_out_on_silent_nodes() {
+        // `true` exits immediately without writing a port file, so the
+        // spawn must fail with a timeout rather than hang.
+        let dir = std::env::temp_dir().join(format!("perfpred-ctl-launch-{}", std::process::id()));
+        let mut l = ProcessLauncher::new("true {port_file} {index}", dir);
+        l.spawn_deadline = Duration::from_millis(300);
+        let err = l.spawn(0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

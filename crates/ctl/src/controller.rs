@@ -1,0 +1,230 @@
+//! The control loop: scrape → decide → journal → actuate, once per tick.
+//!
+//! The loop is deliberately thin — all judgement lives in the pure
+//! [`decide`] function, all side effects in [`crate::actuate`] — so the
+//! journalled decision stream is a complete causal record: anything the
+//! controller did can be traced to a decision frame, and every decision
+//! frame can be recomputed from its recorded inputs.
+
+use crate::actuate::{self, NodeLauncher};
+use crate::journal::Journal;
+use crate::plan::{decide, ActionKind, CtlConfig, CtlState, Decision, TickInputs};
+use crate::scrape;
+use perfpred_core::PerformanceModel;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// The running control plane.
+pub struct Controller<'m> {
+    /// Planning configuration.
+    pub cfg: CtlConfig,
+    planner: &'m dyn PerformanceModel,
+    checker: Option<&'m dyn PerformanceModel>,
+    /// Hysteresis state.
+    pub state: CtlState,
+    /// Managed node addresses, in spawn order.
+    pub nodes: Vec<String>,
+    /// Router admin address, when a router fronts the tier.
+    pub router: Option<String>,
+    launcher: Box<dyn NodeLauncher>,
+    journal: Journal,
+    /// Log decisions without actuating.
+    pub dry_run: bool,
+    /// Per-request scrape/actuation timeout.
+    pub timeout: Duration,
+    /// Settle time between removing a node from the router and draining
+    /// it (lets in-flight requests finish on the old topology).
+    pub drain_settle: Duration,
+    /// Next node index handed to the launcher (monotonic, so respawned
+    /// nodes never reuse a port file).
+    next_index: u32,
+}
+
+impl<'m> Controller<'m> {
+    /// Builds a controller over `nodes` and writes the journal header.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: CtlConfig,
+        planner: &'m dyn PerformanceModel,
+        checker: Option<&'m dyn PerformanceModel>,
+        nodes: Vec<String>,
+        router: Option<String>,
+        launcher: Box<dyn NodeLauncher>,
+        journal_path: &Path,
+        dry_run: bool,
+    ) -> io::Result<Controller<'m>> {
+        let state = CtlState::starting_at((nodes.len() as u32).max(1));
+        let journal = Journal::create(journal_path, &cfg, &state)?;
+        let next_index = nodes.len() as u32;
+        Ok(Controller {
+            cfg,
+            planner,
+            checker,
+            state,
+            nodes,
+            router,
+            launcher,
+            journal,
+            dry_run,
+            timeout: Duration::from_secs(2),
+            drain_settle: Duration::from_millis(300),
+            next_index,
+        })
+    }
+
+    /// Scrapes every managed node.
+    fn scrape_tick(&self, tick: u64) -> TickInputs {
+        TickInputs {
+            tick,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|addr| scrape::scrape_node(addr, self.timeout))
+                .collect(),
+        }
+    }
+
+    /// One control tick: scrape, decide, journal, actuate.
+    pub fn tick(&mut self, tick: u64) -> io::Result<Decision> {
+        let inputs = self.scrape_tick(tick);
+        let (decision, next) = decide(&self.cfg, self.planner, self.checker, &self.state, &inputs);
+        self.journal.append_decision(&inputs, &decision)?;
+        if self.dry_run {
+            // Dry-run still advances hysteresis state so the journalled
+            // schedule shows what a live controller would have done.
+            self.state = next;
+            return Ok(decision);
+        }
+        let (ok, detail) = self.actuate(&decision);
+        self.journal.append_outcome(tick, ok, &detail)?;
+        self.state = next;
+        Ok(decision)
+    }
+
+    /// Applies a decision to the tier. Failures are reported in the
+    /// outcome (and the next tick's scrape sees reality), never panics.
+    fn actuate(&mut self, decision: &Decision) -> (bool, String) {
+        let mut ok = true;
+        let mut notes: Vec<String> = Vec::new();
+        for addr in &decision.threshold_syncs {
+            match actuate::push_threshold(addr, self.cfg.threshold, self.timeout) {
+                Ok(()) => notes.push(format!("threshold {addr}")),
+                Err(e) => {
+                    ok = false;
+                    notes.push(format!("threshold {addr} failed: {e}"));
+                }
+            }
+        }
+        match decision.action.kind {
+            ActionKind::Hold => {}
+            ActionKind::ScaleUp => {
+                for _ in self.nodes.len()..decision.action.to as usize {
+                    let index = self.next_index;
+                    self.next_index += 1;
+                    match self.launcher.spawn(index) {
+                        Ok(addr) => {
+                            if !actuate::wait_healthy(&addr, Duration::from_secs(15)) {
+                                ok = false;
+                                notes.push(format!("spawned {addr} never became healthy"));
+                                continue;
+                            }
+                            if let Err(e) =
+                                actuate::push_threshold(&addr, self.cfg.threshold, self.timeout)
+                            {
+                                notes.push(format!("threshold {addr} failed: {e}"));
+                            }
+                            notes.push(format!("spawned {addr}"));
+                            self.nodes.push(addr);
+                        }
+                        Err(e) => {
+                            ok = false;
+                            notes.push(format!("spawn failed: {e}"));
+                            break;
+                        }
+                    }
+                }
+                if let Err(e) = self.sync_router() {
+                    ok = false;
+                    notes.push(format!("router reload failed: {e}"));
+                }
+            }
+            ActionKind::ScaleDown => {
+                let keep = (decision.action.to as usize).max(1);
+                let victims = self.nodes.split_off(keep.min(self.nodes.len()));
+                // Zero-loss order: router first, then drain.
+                if let Err(e) = self.sync_router() {
+                    ok = false;
+                    notes.push(format!("router reload failed: {e}"));
+                }
+                if !victims.is_empty() {
+                    std::thread::sleep(self.drain_settle);
+                }
+                for victim in victims {
+                    match self.launcher.drain(&victim) {
+                        Ok(()) => notes.push(format!("drained {victim}")),
+                        Err(e) => {
+                            ok = false;
+                            notes.push(format!("drain of {victim} failed: {e}"));
+                        }
+                    }
+                }
+            }
+        }
+        (ok, notes.join("; "))
+    }
+
+    /// Pushes the current node set to the router.
+    fn sync_router(&self) -> io::Result<()> {
+        match &self.router {
+            Some(router) => actuate::reload_router(router, &self.nodes, self.timeout),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs the loop: one tick every `interval`, stopping after
+    /// `max_ticks` when nonzero.
+    pub fn run(&mut self, interval: Duration, max_ticks: u64) -> io::Result<()> {
+        let mut tick = 0u64;
+        loop {
+            let decision = self.tick(tick)?;
+            if decision.action.kind != ActionKind::Hold {
+                eprintln!(
+                    "perfpred-ctl: tick {tick}: {} {} -> {} ({})",
+                    decision.action.kind.name(),
+                    decision.action.from,
+                    decision.action.to,
+                    decision.action.reason
+                );
+            }
+            tick += 1;
+            if max_ticks > 0 && tick >= max_ticks {
+                return Ok(());
+            }
+            std::thread::sleep(interval);
+        }
+    }
+}
+
+/// Folds a synthetic scrape trace through `decide`, journalling each
+/// tick — the offline twin of [`Controller::run`] used by tests and the
+/// hysteresis analysis. Returns the decision sequence.
+pub fn run_trace(
+    cfg: &CtlConfig,
+    planner: &dyn PerformanceModel,
+    checker: Option<&dyn PerformanceModel>,
+    initial: CtlState,
+    trace: &[TickInputs],
+    journal_path: &Path,
+) -> io::Result<Vec<Decision>> {
+    let mut journal = Journal::create(journal_path, cfg, &initial)?;
+    let mut state = initial;
+    let mut decisions = Vec::with_capacity(trace.len());
+    for inputs in trace {
+        let (decision, next) = decide(cfg, planner, checker, &state, inputs);
+        journal.append_decision(inputs, &decision)?;
+        state = next;
+        decisions.push(decision);
+    }
+    Ok(decisions)
+}

@@ -1,0 +1,260 @@
+//! The decision journal: every control tick appended as a CRC-framed
+//! record, durable via `fsync`, and *replayable* — feeding the recorded
+//! inputs back through [`crate::plan::decide`] regenerates the decision
+//! frames byte for byte.
+//!
+//! Three frame kinds share one file:
+//!
+//! * `0` — header: the [`CtlConfig`] and initial [`CtlState`], written
+//!   once at creation. Replay reconstructs the planner from this.
+//! * `1` — decision: `{"decision": ..., "inputs": ...}` — the tick's
+//!   scrapes and what was decided from them. Replay *recomputes* these.
+//! * `2` — outcome: what actuation did (spawned addresses, drain
+//!   failures). Outcomes are observations of the world, not decisions,
+//!   so replay copies them through verbatim.
+//!
+//! Byte-identity rests on three legs: [`perfpred_core::Json`] objects
+//! render key-sorted, `decide` is pure, and the paper-mode models are
+//! deterministic. The journal tests (and the CI smoke job) hold all
+//! three by diffing a replayed file against the original.
+
+use crate::models::Models;
+use crate::plan::{decide, CtlConfig, CtlState, Decision, TickInputs};
+use perfpred_core::frame::{read_frame, write_frame};
+use perfpred_core::{fsutil, Json, PerformanceModel};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Frame kind: journal header (config + initial state).
+pub const FRAME_HEADER: u8 = 0;
+/// Frame kind: one tick's inputs and decision.
+pub const FRAME_DECISION: u8 = 1;
+/// Frame kind: one actuation outcome.
+pub const FRAME_OUTCOME: u8 = 2;
+
+/// An append-only, fsync-durable decision journal.
+pub struct Journal {
+    file: BufWriter<File>,
+}
+
+impl Journal {
+    /// Creates (truncating) the journal and writes the header frame.
+    pub fn create(path: &Path, cfg: &CtlConfig, initial: &CtlState) -> io::Result<Journal> {
+        let file = fsutil::create_durable(path, true)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fsutil::sync_dir(dir)?;
+        }
+        let mut journal = Journal {
+            file: BufWriter::new(file),
+        };
+        let mut doc = Json::obj();
+        doc.set("config", cfg.to_json());
+        doc.set("format", 1u64);
+        doc.set("initial", initial.to_json());
+        journal.append(FRAME_HEADER, &doc)?;
+        Ok(journal)
+    }
+
+    /// Appends one frame and forces it to disk.
+    pub fn append(&mut self, kind: u8, doc: &Json) -> io::Result<()> {
+        write_frame(&mut self.file, kind, doc.render().as_bytes())?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
+    }
+
+    /// Appends a decision frame.
+    pub fn append_decision(&mut self, inputs: &TickInputs, decision: &Decision) -> io::Result<()> {
+        self.append(FRAME_DECISION, &decision_doc(inputs, decision))
+    }
+
+    /// Appends an actuation-outcome frame.
+    pub fn append_outcome(&mut self, tick: u64, ok: bool, detail: &str) -> io::Result<()> {
+        let mut doc = Json::obj();
+        doc.set("detail", detail);
+        doc.set("ok", ok);
+        doc.set("tick", tick);
+        self.append(FRAME_OUTCOME, &doc)
+    }
+}
+
+/// The decision frame's document.
+fn decision_doc(inputs: &TickInputs, decision: &Decision) -> Json {
+    let mut doc = Json::obj();
+    doc.set("decision", decision.to_json());
+    doc.set("inputs", inputs.to_json());
+    doc
+}
+
+/// One parsed journal entry.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Frame kind (`FRAME_*`).
+    pub kind: u8,
+    /// The frame's JSON document.
+    pub doc: Json,
+}
+
+/// Reads every frame of a journal.
+pub fn read_journal(path: &Path) -> io::Result<Vec<JournalEntry>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut entries = Vec::new();
+    loop {
+        match read_frame(&mut reader) {
+            Ok(frame) => {
+                let text = String::from_utf8_lossy(&frame.payload);
+                let doc = Json::parse(&text)
+                    .map_err(|e| io::Error::other(format!("journal frame: {e}")))?;
+                entries.push(JournalEntry {
+                    kind: frame.kind,
+                    doc,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(entries)
+}
+
+/// Replays journal entries through `decide` with an explicit planner:
+/// header and outcome frames pass through (re-rendered — a no-op for
+/// frames this module wrote), decision frames are *recomputed* from
+/// their recorded inputs. Returns `(kind, payload)` pairs ready to
+/// frame.
+pub fn replay_with(
+    entries: &[JournalEntry],
+    planner: &dyn PerformanceModel,
+    checker: Option<&dyn PerformanceModel>,
+) -> Result<Vec<(u8, String)>, String> {
+    let header = entries
+        .first()
+        .filter(|e| e.kind == FRAME_HEADER)
+        .ok_or("journal does not start with a header frame")?;
+    let cfg = CtlConfig::from_json(header.doc.get("config").ok_or("header lacks 'config'")?)?;
+    let mut state =
+        CtlState::from_json(header.doc.get("initial").ok_or("header lacks 'initial'")?)?;
+    let mut out = Vec::with_capacity(entries.len());
+    for entry in entries {
+        match entry.kind {
+            FRAME_DECISION => {
+                let inputs = TickInputs::from_json(
+                    entry.doc.get("inputs").ok_or("decision lacks 'inputs'")?,
+                )?;
+                let (decision, next) = decide(&cfg, planner, checker, &state, &inputs);
+                state = next;
+                out.push((FRAME_DECISION, decision_doc(&inputs, &decision).render()));
+            }
+            _ => out.push((entry.kind, entry.doc.render())),
+        }
+    }
+    Ok(out)
+}
+
+/// Replays `src` into `dst` using the paper-mode models named by the
+/// journal's own header. When `decide` is pure (it is) and the models
+/// are deterministic (paper mode is), `dst` is byte-identical to `src`
+/// minus any difference in actuation outcomes — and since outcomes are
+/// copied verbatim, byte-identical outright.
+pub fn replay_file(src: &Path, dst: &Path) -> io::Result<usize> {
+    let entries = read_journal(src)?;
+    let header = entries
+        .first()
+        .filter(|e| e.kind == FRAME_HEADER)
+        .ok_or_else(|| io::Error::other("journal does not start with a header frame"))?;
+    let cfg = header
+        .doc
+        .get("config")
+        .ok_or_else(|| io::Error::other("header lacks 'config'"))
+        .and_then(|c| CtlConfig::from_json(c).map_err(io::Error::other))?;
+    let models = Models::paper(&Default::default());
+    let frames = replay_with(
+        &entries,
+        models.planner(cfg.method),
+        Some(models.checker(cfg.method)),
+    )
+    .map_err(io::Error::other)?;
+    let file = fsutil::create_durable(dst, true)?;
+    let mut writer = BufWriter::new(file);
+    for (kind, payload) in &frames {
+        write_frame(&mut writer, *kind, payload.as_bytes())?;
+    }
+    writer.flush()?;
+    writer.get_ref().sync_data()?;
+    if let Some(dir) = dst.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fsutil::sync_dir(dir)?;
+    }
+    Ok(frames.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape::NodeScrape;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("perfpred-ctl-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn frames_round_trip_and_outcomes_pass_through() {
+        let path = tmp("roundtrip.journal");
+        let cfg = CtlConfig::default();
+        let initial = CtlState::starting_at(1);
+        let mut j = Journal::create(&path, &cfg, &initial).unwrap();
+        j.append_outcome(0, true, "noop").unwrap();
+        drop(j);
+        let entries = read_journal(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, FRAME_HEADER);
+        assert_eq!(
+            CtlConfig::from_json(entries[0].doc.get("config").unwrap()).unwrap(),
+            cfg
+        );
+        assert_eq!(entries[1].kind, FRAME_OUTCOME);
+        assert_eq!(entries[1].doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_run_byte_for_byte() {
+        // Plan with the real paper models so replay_file's reconstruction
+        // matches what was journalled.
+        let models = Models::paper(&Default::default());
+        let cfg = CtlConfig {
+            goal_ms: 120.0,
+            threshold: 0.05,
+            ..CtlConfig::default()
+        };
+        let planner = models.planner(cfg.method);
+        let checker = Some(models.checker(cfg.method));
+        let mut state = CtlState::starting_at(1);
+        let path = tmp("replay-src.journal");
+        let mut j = Journal::create(&path, &cfg, &state).unwrap();
+        for tick in 0..6u64 {
+            let rps = if tick < 3 { 5.0 } else { 60.0 };
+            let inputs = TickInputs {
+                tick,
+                nodes: vec![NodeScrape {
+                    ok: true,
+                    total_rps: rps,
+                    browse_rps: rps,
+                    threshold: cfg.threshold,
+                    ..NodeScrape::down("127.0.0.1:7001")
+                }],
+            };
+            let (decision, next) = decide(&cfg, planner, checker, &state, &inputs);
+            j.append_decision(&inputs, &decision).unwrap();
+            j.append_outcome(tick, true, "dry").unwrap();
+            state = next;
+        }
+        drop(j);
+        let dst = tmp("replay-dst.journal");
+        let n = replay_file(&path, &dst).unwrap();
+        assert_eq!(n, 13, "header + 6 decisions + 6 outcomes");
+        let a = std::fs::read(&path).unwrap();
+        let b = std::fs::read(&dst).unwrap();
+        assert_eq!(a, b, "replay must be byte-identical");
+    }
+}

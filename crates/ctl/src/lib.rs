@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # perfpred-ctl
+//!
+//! A predictive control plane for the serving cluster: the §9 resource
+//! manager run *online*, against live telemetry, with its decisions
+//! journalled and replayable.
+//!
+//! Each control tick the daemon scrapes every serve node's `/healthz`
+//! and `/metrics` (smoothed per-class arrival rates, queue depths, live
+//! admission threshold, `/predict` latency quantiles), estimates the
+//! client population via Little's law (`N = λ · (Z + R)`), and asks the
+//! homogeneous-tier replica planner
+//! ([`perfpred_resman::online::plan_replicas`]) for the smallest
+//! replica count whose per-replica share the performance model predicts
+//! to meet every SLA goal with the admission margin. Proposed
+//! allocations are validated with a cheap what-if pass — a cross-check
+//! prediction by the *other* model, or a short discrete-event
+//! simulation — before actuation through the serve nodes' admin
+//! endpoints, a node supervisor, and the router's atomic upstream swap.
+//!
+//! * [`scrape`] — per-node and router telemetry, JSON-round-trippable;
+//! * [`plan`] — the pure decision core (population estimate, replica
+//!   plan, hysteresis, what-if validation);
+//! * [`models`] — the resident paper-mode predictors and method
+//!   dispatch;
+//! * [`journal`] — the CRC-framed, fsync-durable decision journal and
+//!   its byte-identical replay;
+//! * [`actuate`] — admin-endpoint pushes, router reload, and the
+//!   [`actuate::NodeLauncher`] supervisor (process spawn + SIGTERM
+//!   drain);
+//! * [`controller`] — the tick loop tying them together;
+//! * [`httpc`] — the minimal one-shot HTTP client underneath it all.
+
+pub mod actuate;
+pub mod controller;
+pub mod httpc;
+pub mod journal;
+pub mod models;
+pub mod plan;
+pub mod scrape;
+
+pub use actuate::{HttpLauncher, NodeLauncher, ProcessLauncher};
+pub use controller::{run_trace, Controller};
+pub use journal::{read_journal, replay_file, replay_with, Journal, JournalEntry};
+pub use models::{server_arch, Models, PlanMethod, WhatIfMode};
+pub use plan::{
+    decide, Action, ActionKind, CtlConfig, CtlState, Decision, TickInputs, WhatIfVerdict,
+};
+pub use scrape::{scrape_node, scrape_router, NodeScrape, RouterScrape};

@@ -1,0 +1,246 @@
+//! `perfpred-ctl` — the predictive autoscaling control plane.
+
+use perfpred_core::CacheOptions;
+use perfpred_ctl::actuate::{HttpLauncher, NodeLauncher, ProcessLauncher};
+use perfpred_ctl::models::{Models, PlanMethod, WhatIfMode};
+use perfpred_ctl::plan::CtlConfig;
+use perfpred_ctl::{replay_file, Controller};
+use perfpred_resman::online::ReplicaBounds;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "\
+perfpred-ctl: predictive control plane for the perfpred serving cluster
+
+USAGE:
+  perfpred-ctl [--nodes a:p,b:p] [--router addr] [OPTIONS]
+  perfpred-ctl --replay IN --journal OUT
+
+PLANNING:
+  --goal-ms F            SLA response-time goal, ms        [3000]
+  --threshold F          admission margin in [0, 1)        [0.05]
+  --think-ms F           client think time for Little's law [7000]
+  --server NAME          tier architecture                  [AppServF]
+  --method M             planning model: hybrid | lqns      [hybrid]
+  --whatif W             validation: off | predict | sim    [predict]
+  --min-replicas N       replica floor                      [1]
+  --max-replicas N       replica ceiling                    [8]
+
+HYSTERESIS:
+  --scale-up-ticks N     consecutive ticks before growing   [2]
+  --scale-down-ticks N   consecutive ticks before shrinking [4]
+  --up-cooldown-ticks N  ticks between scale-ups            [3]
+  --down-cooldown-ticks N ticks between scale-downs         [3]
+
+RUNTIME:
+  --nodes LIST           comma-separated initial node addresses
+  --router ADDR          router admin address (upstream reloads)
+  --tick-ms N            control tick interval, ms          [1000]
+  --max-ticks N          stop after N ticks (0 = forever)   [0]
+  --journal PATH         decision journal        [perfpred-ctl.journal]
+  --spawn-cmd TMPL       node launch command; {port_file} and {index}
+                         are substituted (whitespace-split, no quoting)
+  --spawn-dir DIR        port-file directory for --spawn-cmd [temp dir]
+  --dry-run              decide and journal, never actuate
+  --replay IN            recompute decisions from journal IN into
+                         --journal and exit (byte-identical check)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args::default();
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    fn parsed<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        s.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--goal-ms" => out.cfg.goal_ms = parsed(&value("--goal-ms", &mut args)?, "--goal-ms")?,
+            "--threshold" => {
+                out.cfg.threshold = parsed(&value("--threshold", &mut args)?, "--threshold")?
+            }
+            "--think-ms" => {
+                out.cfg.think_ms = parsed(&value("--think-ms", &mut args)?, "--think-ms")?
+            }
+            "--server" => out.cfg.server = value("--server", &mut args)?,
+            "--method" => out.cfg.method = PlanMethod::parse(&value("--method", &mut args)?)?,
+            "--whatif" => out.cfg.whatif = WhatIfMode::parse(&value("--whatif", &mut args)?)?,
+            "--min-replicas" => {
+                out.min = parsed(&value("--min-replicas", &mut args)?, "--min-replicas")?
+            }
+            "--max-replicas" => {
+                out.max = parsed(&value("--max-replicas", &mut args)?, "--max-replicas")?
+            }
+            "--scale-up-ticks" => {
+                out.cfg.scale_up_ticks =
+                    parsed(&value("--scale-up-ticks", &mut args)?, "--scale-up-ticks")?
+            }
+            "--scale-down-ticks" => {
+                out.cfg.scale_down_ticks = parsed(
+                    &value("--scale-down-ticks", &mut args)?,
+                    "--scale-down-ticks",
+                )?
+            }
+            "--up-cooldown-ticks" => {
+                out.cfg.up_cooldown_ticks = parsed(
+                    &value("--up-cooldown-ticks", &mut args)?,
+                    "--up-cooldown-ticks",
+                )?
+            }
+            "--down-cooldown-ticks" => {
+                out.cfg.down_cooldown_ticks = parsed(
+                    &value("--down-cooldown-ticks", &mut args)?,
+                    "--down-cooldown-ticks",
+                )?
+            }
+            "--nodes" => {
+                out.nodes = value("--nodes", &mut args)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--router" => out.router = Some(value("--router", &mut args)?),
+            "--tick-ms" => out.tick_ms = parsed(&value("--tick-ms", &mut args)?, "--tick-ms")?,
+            "--max-ticks" => {
+                out.max_ticks = parsed(&value("--max-ticks", &mut args)?, "--max-ticks")?
+            }
+            "--journal" => out.journal = PathBuf::from(value("--journal", &mut args)?),
+            "--spawn-cmd" => out.spawn_cmd = Some(value("--spawn-cmd", &mut args)?),
+            "--spawn-dir" => out.spawn_dir = Some(PathBuf::from(value("--spawn-dir", &mut args)?)),
+            "--dry-run" => out.dry_run = true,
+            "--replay" => out.replay = Some(PathBuf::from(value("--replay", &mut args)?)),
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(out)
+}
+
+struct Args {
+    cfg: CtlConfig,
+    min: u32,
+    max: u32,
+    nodes: Vec<String>,
+    router: Option<String>,
+    tick_ms: u64,
+    max_ticks: u64,
+    journal: PathBuf,
+    spawn_cmd: Option<String>,
+    spawn_dir: Option<PathBuf>,
+    dry_run: bool,
+    replay: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            cfg: CtlConfig::default(),
+            min: 1,
+            max: 8,
+            nodes: Vec::new(),
+            router: None,
+            tick_ms: 1_000,
+            max_ticks: 0,
+            journal: PathBuf::from("perfpred-ctl.journal"),
+            spawn_cmd: None,
+            spawn_dir: None,
+            dry_run: false,
+            replay: None,
+        }
+    }
+}
+
+fn main() {
+    let mut args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(src) = &args.replay {
+        match replay_file(src, &args.journal) {
+            Ok(n) => {
+                println!(
+                    "replayed {n} frames from {} into {}",
+                    src.display(),
+                    args.journal.display()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("perfpred-ctl: replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    args.cfg.bounds = match ReplicaBounds::new(args.min, args.max) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfpred-ctl: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = args.cfg.server_arch() {
+        eprintln!("perfpred-ctl: {e}");
+        std::process::exit(2);
+    }
+    if args.nodes.is_empty() {
+        eprintln!("perfpred-ctl: need at least one --nodes address\n\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    let launcher: Box<dyn NodeLauncher> = match &args.spawn_cmd {
+        Some(template) => {
+            let dir = args.spawn_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("perfpred-ctl-{}", std::process::id()))
+            });
+            Box::new(ProcessLauncher::new(template, dir))
+        }
+        None => Box::new(HttpLauncher {
+            timeout: Duration::from_secs(2),
+        }),
+    };
+
+    let models = Models::paper(&CacheOptions::default());
+    let planner = models.planner(args.cfg.method);
+    let checker = Some(models.checker(args.cfg.method));
+    eprintln!(
+        "perfpred-ctl: {} node(s), method {}, whatif {}, goal {} ms, replicas [{}, {}]{}",
+        args.nodes.len(),
+        args.cfg.method.name(),
+        args.cfg.whatif.name(),
+        args.cfg.goal_ms,
+        args.cfg.bounds.min,
+        args.cfg.bounds.max,
+        if args.dry_run { ", dry-run" } else { "" },
+    );
+    let mut controller = match Controller::new(
+        args.cfg,
+        planner,
+        checker,
+        args.nodes,
+        args.router,
+        launcher,
+        &args.journal,
+        args.dry_run,
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perfpred-ctl: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = controller.run(Duration::from_millis(args.tick_ms), args.max_ticks) {
+        eprintln!("perfpred-ctl: {e}");
+        std::process::exit(1);
+    }
+}

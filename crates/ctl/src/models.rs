@@ -1,0 +1,173 @@
+//! The control plane's resident predictors and planning-method dispatch.
+//!
+//! `perfpred-ctl` plans with one closed-form or solver-backed model and
+//! cross-checks proposed allocations with the *other* one (`--whatif
+//! predict`): two independently-derived models agreeing is the cheap
+//! version of the paper's multi-method comparison, run on every scaling
+//! decision instead of once per study. Both sit behind
+//! [`PredictionCache`]s, so a steady-state control loop (same estimated
+//! population tick after tick) answers its what-ifs from cache.
+
+use perfpred_core::{CacheOptions, PerformanceModel, PredictionCache, ServerArch};
+use perfpred_hybrid::HybridModel;
+use perfpred_lqns::trade::TradeLqnConfig;
+use perfpred_lqns::LqnPredictor;
+
+/// Which model drives the replica plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMethod {
+    /// §6 hybrid model (microsecond closed-form solves; the default).
+    Hybrid,
+    /// §5 layered queuing model (AMVA solve per cache miss).
+    Lqns,
+}
+
+impl PlanMethod {
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Result<PlanMethod, String> {
+        match s {
+            "hybrid" => Ok(PlanMethod::Hybrid),
+            "lqns" | "lqn" | "layered-queuing" => Ok(PlanMethod::Lqns),
+            other => Err(format!(
+                "unknown method '{other}' (expected hybrid or lqns)"
+            )),
+        }
+    }
+
+    /// The canonical name (journal header, CLI echo).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanMethod::Hybrid => "hybrid",
+            PlanMethod::Lqns => "lqns",
+        }
+    }
+}
+
+/// How a proposed allocation is validated before actuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhatIfMode {
+    /// No validation pass.
+    Off,
+    /// Re-predict the proposed per-replica share with the *other* model.
+    Predict,
+    /// Short discrete-event simulation of the proposed share.
+    Sim,
+}
+
+impl WhatIfMode {
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Result<WhatIfMode, String> {
+        match s {
+            "off" | "none" => Ok(WhatIfMode::Off),
+            "predict" => Ok(WhatIfMode::Predict),
+            "sim" => Ok(WhatIfMode::Sim),
+            other => Err(format!(
+                "unknown what-if mode '{other}' (expected off, predict or sim)"
+            )),
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WhatIfMode::Off => "off",
+            WhatIfMode::Predict => "predict",
+            WhatIfMode::Sim => "sim",
+        }
+    }
+}
+
+/// Resolves a case-study server architecture by its wire name.
+pub fn server_arch(name: &str) -> Option<ServerArch> {
+    ServerArch::case_study_servers()
+        .into_iter()
+        .find(|s| s.name == name)
+}
+
+/// The daemon's two resident models, each behind a cache.
+pub struct Models {
+    /// §5 layered queuing predictor.
+    pub lqns: PredictionCache<LqnPredictor>,
+    /// §6 hybrid model, calibrated from the LQN (paper mode).
+    pub hybrid: PredictionCache<HybridModel>,
+}
+
+impl Models {
+    /// Paper-mode models: Table 2 LQN plus a hybrid calibrated purely
+    /// from LQN solves — fully deterministic, which is what makes journal
+    /// replay byte-identical across runs and machines.
+    pub fn paper(cache: &CacheOptions) -> Models {
+        let lqn = LqnPredictor::new(TradeLqnConfig::paper_table2());
+        let servers = ServerArch::case_study_servers();
+        let hybrid = HybridModel::advanced(&lqn, &servers, &Default::default())
+            .expect("hybrid calibration from the paper LQN");
+        Models {
+            lqns: PredictionCache::with_options(lqn, cache.clone()),
+            hybrid: PredictionCache::with_options(hybrid, cache.clone()),
+        }
+    }
+
+    /// The model that drives the plan.
+    pub fn planner(&self, method: PlanMethod) -> &dyn PerformanceModel {
+        match method {
+            PlanMethod::Hybrid => &self.hybrid,
+            PlanMethod::Lqns => &self.lqns,
+        }
+    }
+
+    /// The cross-check model for `--whatif predict`: whichever one is
+    /// *not* planning.
+    pub fn checker(&self, method: PlanMethod) -> &dyn PerformanceModel {
+        match method {
+            PlanMethod::Hybrid => &self.lqns,
+            PlanMethod::Lqns => &self.hybrid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in [PlanMethod::Hybrid, PlanMethod::Lqns] {
+            assert_eq!(PlanMethod::parse(m.name()).unwrap(), m);
+        }
+        for w in [WhatIfMode::Off, WhatIfMode::Predict, WhatIfMode::Sim] {
+            assert_eq!(WhatIfMode::parse(w.name()).unwrap(), w);
+        }
+        assert!(PlanMethod::parse("psychic").is_err());
+        assert!(WhatIfMode::parse("maybe").is_err());
+    }
+
+    #[test]
+    fn server_archs_resolve_by_name() {
+        assert_eq!(server_arch("AppServF").unwrap().name, "AppServF");
+        assert!(server_arch("AppServNope").is_none());
+    }
+
+    #[test]
+    fn paper_models_answer_and_disagree_slightly() {
+        let models = Models::paper(&CacheOptions::default());
+        let server = server_arch("AppServF").unwrap();
+        let w = perfpred_core::Workload::typical(100);
+        let a = models
+            .planner(PlanMethod::Hybrid)
+            .predict(&server, &w)
+            .unwrap();
+        let b = models
+            .checker(PlanMethod::Hybrid)
+            .predict(&server, &w)
+            .unwrap();
+        assert!(a.mrt_ms > 0.0 && b.mrt_ms > 0.0);
+        // Two different methods, one calibrated from the other: close but
+        // not the same object.
+        assert!(
+            (a.mrt_ms - b.mrt_ms).abs() / b.mrt_ms < 0.5,
+            "{} vs {}",
+            a.mrt_ms,
+            b.mrt_ms
+        );
+    }
+}

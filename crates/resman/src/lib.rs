@@ -22,6 +22,10 @@
 //! * [`planner`] — a one-call `plan()` entry point (allocation plus
 //!   per-server predictions) for consumers outside the experiment
 //!   harness, e.g. the `perfpred-serve` daemon's `POST /plan`;
+//! * [`online`] — replica planning over a homogeneous serving tier: the
+//!   smallest replica count whose per-replica share meets every SLA goal
+//!   with the admission margin (the `perfpred-ctl` control loop's
+//!   planner);
 //! * [`scenario`] — the paper's 16-server / 3-service-class experiment
 //!   setup, and the uniform-predictive-error wrapper model used to verify
 //!   that slack = y cancels a uniform error y exactly;
@@ -31,6 +35,7 @@
 
 pub mod algorithm;
 pub mod costs;
+pub mod online;
 pub mod planner;
 pub mod runtime;
 pub mod scenario;
@@ -38,6 +43,9 @@ pub mod workload_manager;
 
 pub use algorithm::{allocate, Allocation, ServerAllocation};
 pub use costs::{slack_sweep, sweep_loads, CostModel, LoadPoint, SlackCurve, SweepConfig};
+pub use online::{
+    meets_goals, per_replica_workload, plan_replicas, ReplicaBounds, ReplicaCandidate, ReplicaPlan,
+};
 pub use planner::{plan, Plan, ServerPlan};
 pub use runtime::{evaluate_runtime, RuntimeOptions, RuntimeOutcome};
 pub use scenario::{paper_pool, paper_workload, UniformErrorModel};

@@ -1,0 +1,335 @@
+//! Online replica planning — §9's allocation question asked against a
+//! *homogeneous serving tier* instead of the paper's heterogeneous pool.
+//!
+//! The offline planner ([`crate::planner::plan`]) answers "which of
+//! these 16 different servers do I obtain?". The live cluster behind
+//! `perfpred-router` asks a simpler question on every control tick:
+//! *how many identical replicas of one serve node does the current
+//! workload need so that no class's predicted response time comes
+//! within the admission threshold of its SLA goal?* This module answers
+//! it with the same prediction-driven feasibility rule the runtime model
+//! uses (`mrt ≤ goal × (1 − threshold)`, NaN counts as a miss), scanning
+//! replica counts from a floor to a ceiling and returning the *smallest*
+//! feasible count — the §9 cost model in miniature: every extra replica
+//! is server-usage cost, every missing one is SLA-failure cost.
+//!
+//! The scan is deterministic (no clocks, no randomness): the same
+//! workload, bounds and model always produce the same plan, which is
+//! what lets `perfpred-ctl` journal its decisions and replay them
+//! byte-for-byte.
+
+use crate::runtime::RuntimeOptions;
+use perfpred_core::workload::ClassLoad;
+use perfpred_core::{PerformanceModel, PredictError, Prediction, ServerArch, Workload};
+
+/// Replica-count bounds for [`plan_replicas`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaBounds {
+    /// Fewest replicas the plan may propose (≥ 1).
+    pub min: u32,
+    /// Most replicas the plan may propose (≥ `min`).
+    pub max: u32,
+}
+
+impl ReplicaBounds {
+    /// Bounds `[min, max]`, validated.
+    pub fn new(min: u32, max: u32) -> Result<ReplicaBounds, PredictError> {
+        if min == 0 || max < min {
+            return Err(PredictError::OutOfRange(format!(
+                "replica bounds need 1 <= min <= max, got [{min}, {max}]"
+            )));
+        }
+        Ok(ReplicaBounds { min, max })
+    }
+}
+
+/// One evaluated replica count: the per-replica share it implies and the
+/// model's verdict on that share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaCandidate {
+    /// The replica count evaluated.
+    pub replicas: u32,
+    /// The per-replica workload share (ceil split per class).
+    pub per_replica: Workload,
+    /// The model's prediction for one replica under that share, or the
+    /// error that made this count unjudgeable (counts as infeasible).
+    pub prediction: Result<Prediction, PredictError>,
+    /// Did every populated goal class clear `goal × (1 − threshold)`?
+    pub feasible: bool,
+}
+
+/// The outcome of one [`plan_replicas`] scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPlan {
+    /// The proposed replica count: the smallest feasible count, or
+    /// `bounds.max` when nothing in range is feasible.
+    pub replicas: u32,
+    /// The per-replica workload at the proposed count.
+    pub per_replica: Workload,
+    /// The model's prediction for one replica at the proposed count
+    /// (`None` only when the proposal is an infeasible fallback whose
+    /// prediction errored).
+    pub prediction: Option<Prediction>,
+    /// True when the proposed count actually meets every goal.
+    pub feasible: bool,
+    /// The threshold the feasibility rule used.
+    pub threshold: f64,
+    /// Every count evaluated, ascending (the scan stops at the first
+    /// feasible count, so this ends there).
+    pub candidates: Vec<ReplicaCandidate>,
+}
+
+/// Splits `workload` across `replicas` identical nodes: each class's
+/// clients are ceil-divided, the conservative share (the most loaded
+/// replica under any reasonable spread carries at least this).
+pub fn per_replica_workload(workload: &Workload, replicas: u32) -> Workload {
+    assert!(replicas >= 1, "need at least one replica");
+    Workload {
+        classes: workload
+            .classes
+            .iter()
+            .map(|load| ClassLoad {
+                class: load.class.clone(),
+                clients: load.clients.div_ceil(replicas),
+            })
+            .collect(),
+    }
+}
+
+/// The §9 feasibility rule over one prediction: every populated class
+/// with a goal must clear `goal × (1 − threshold)`; NaN or a missing
+/// per-class entry is a miss.
+pub fn meets_goals(workload: &Workload, prediction: &Prediction, threshold: f64) -> bool {
+    workload.classes.iter().enumerate().all(|(i, load)| {
+        if load.clients == 0 {
+            return true;
+        }
+        let Some(goal) = load.class.rt_goal_ms else {
+            return true;
+        };
+        let mrt = prediction
+            .per_class_mrt_ms
+            .get(i)
+            .copied()
+            .unwrap_or(f64::NAN);
+        !mrt.is_nan() && mrt <= goal * (1.0 - threshold)
+    })
+}
+
+/// Scans replica counts in `bounds` (ascending) and returns the smallest
+/// count whose per-replica share the model predicts to meet every SLA
+/// goal with the admission margin. When no count in range is feasible,
+/// the plan proposes `bounds.max` with `feasible: false` — the best the
+/// tier can do; the caller decides whether to alert or shed.
+///
+/// A prediction error at some count marks that count infeasible and the
+/// scan continues (a saturated solver mid-range must not hide a feasible
+/// larger tier). `threshold` is validated exactly as at the admission
+/// boundary (`[0, 1)`, not NaN).
+pub fn plan_replicas<M: PerformanceModel + ?Sized>(
+    model: &M,
+    server: &ServerArch,
+    workload: &Workload,
+    bounds: ReplicaBounds,
+    threshold: f64,
+) -> Result<ReplicaPlan, PredictError> {
+    let opts = RuntimeOptions::with_threshold(threshold)?;
+    if workload.classes.is_empty() {
+        return Err(PredictError::OutOfRange(
+            "workload has no service classes".into(),
+        ));
+    }
+    let mut candidates = Vec::new();
+    for replicas in bounds.min..=bounds.max {
+        let per_replica = per_replica_workload(workload, replicas);
+        let prediction = model.predict(server, &per_replica);
+        let feasible = prediction
+            .as_ref()
+            .map(|p| meets_goals(&per_replica, p, opts.threshold))
+            .unwrap_or(false);
+        candidates.push(ReplicaCandidate {
+            replicas,
+            per_replica,
+            prediction,
+            feasible,
+        });
+        if feasible {
+            break;
+        }
+    }
+    let chosen = candidates.last().expect("bounds guarantee >= 1 candidate");
+    Ok(ReplicaPlan {
+        replicas: chosen.replicas,
+        per_replica: chosen.per_replica.clone(),
+        prediction: chosen.prediction.as_ref().ok().cloned(),
+        feasible: chosen.feasible,
+        threshold: opts.threshold,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_model::LinearModel;
+    use perfpred_core::workload::{RequestType, ServiceClass};
+
+    fn goal_workload(clients: u32, goal_ms: f64) -> Workload {
+        Workload {
+            classes: vec![ClassLoad {
+                class: ServiceClass {
+                    name: "browse".into(),
+                    request_type: RequestType::Browse,
+                    think_time_ms: 7_000.0,
+                    rt_goal_ms: Some(goal_ms),
+                },
+                clients,
+            }],
+        }
+    }
+
+    fn server() -> ServerArch {
+        ServerArch::app_serv_f()
+    }
+
+    #[test]
+    fn picks_the_smallest_feasible_count() {
+        // mrt = 10 + 1·clients; goal 100 at threshold 0 ⇒ need ≤ 90
+        // clients per replica ⇒ 300 clients need ceil(300/r) ≤ 90 ⇒ r = 4.
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let plan = plan_replicas(
+            &model,
+            &server(),
+            &goal_workload(300, 100.0),
+            ReplicaBounds::new(1, 10).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        assert!(plan.feasible);
+        assert_eq!(plan.replicas, 4);
+        assert_eq!(plan.per_replica.total_clients(), 75);
+        assert_eq!(plan.candidates.len(), 4, "scan stops at first feasible");
+        // The margin tightens the bar: threshold 0.2 ⇒ need ≤ 70 clients.
+        let tight = plan_replicas(
+            &model,
+            &server(),
+            &goal_workload(300, 100.0),
+            ReplicaBounds::new(1, 10).unwrap(),
+            0.2,
+        )
+        .unwrap();
+        assert!(tight.feasible);
+        assert_eq!(tight.replicas, 5);
+    }
+
+    #[test]
+    fn infeasible_range_falls_back_to_max() {
+        // Base alone blows the goal: no count can ever work.
+        let model = LinearModel {
+            base_ms: 500.0,
+            per_client_ms: 1.0,
+        };
+        let plan = plan_replicas(
+            &model,
+            &server(),
+            &goal_workload(100, 100.0),
+            ReplicaBounds::new(1, 6).unwrap(),
+            0.05,
+        )
+        .unwrap();
+        assert!(!plan.feasible);
+        assert_eq!(plan.replicas, 6);
+        assert_eq!(plan.candidates.len(), 6, "the whole range was scanned");
+    }
+
+    #[test]
+    fn goalless_workloads_are_feasible_at_the_floor() {
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        let w = Workload::typical(10_000); // no rt_goal_ms
+        let plan = plan_replicas(
+            &model,
+            &server(),
+            &w,
+            ReplicaBounds::new(2, 8).unwrap(),
+            0.05,
+        )
+        .unwrap();
+        assert!(plan.feasible);
+        assert_eq!(plan.replicas, 2, "nothing to violate ⇒ the floor wins");
+    }
+
+    #[test]
+    fn invalid_inputs_are_refused() {
+        let model = LinearModel {
+            base_ms: 10.0,
+            per_client_ms: 1.0,
+        };
+        assert!(ReplicaBounds::new(0, 3).is_err());
+        assert!(ReplicaBounds::new(4, 3).is_err());
+        let bounds = ReplicaBounds::new(1, 3).unwrap();
+        for bad in [f64::NAN, -0.1, 1.0] {
+            assert!(
+                plan_replicas(&model, &server(), &goal_workload(10, 100.0), bounds, bad).is_err()
+            );
+        }
+        let empty = Workload { classes: vec![] };
+        assert!(plan_replicas(&model, &server(), &empty, bounds, 0.05).is_err());
+    }
+
+    /// The ISSUE's property: across a deterministic parameter sweep, the
+    /// planner never proposes an allocation whose predicted mrt violates
+    /// the SLA margin when some count in range is feasible — and it
+    /// always proposes the *smallest* such count.
+    #[test]
+    fn never_proposes_violating_plan_when_a_feasible_one_exists() {
+        let bounds = ReplicaBounds::new(1, 12).unwrap();
+        for base_ms in [5.0, 50.0, 200.0] {
+            for per_client_ms in [0.2, 1.0, 4.0] {
+                for clients in [1u32, 37, 240, 1_000] {
+                    for goal_ms in [60.0, 150.0, 400.0] {
+                        for threshold in [0.0, 0.05, 0.3] {
+                            let model = LinearModel {
+                                base_ms,
+                                per_client_ms,
+                            };
+                            let w = goal_workload(clients, goal_ms);
+                            let plan =
+                                plan_replicas(&model, &server(), &w, bounds, threshold).unwrap();
+                            // Brute force: which counts are feasible?
+                            let feasible: Vec<u32> = (bounds.min..=bounds.max)
+                                .filter(|&r| {
+                                    let share = per_replica_workload(&w, r);
+                                    let p = model.predict(&server(), &share).unwrap();
+                                    meets_goals(&share, &p, threshold)
+                                })
+                                .collect();
+                            match feasible.first() {
+                                Some(&smallest) => {
+                                    assert!(
+                                        plan.feasible,
+                                        "{base_ms}/{per_client_ms}/{clients}/{goal_ms}/{threshold}"
+                                    );
+                                    assert_eq!(plan.replicas, smallest);
+                                    // The proposed plan's own prediction
+                                    // honours the margin.
+                                    let p = plan.prediction.expect("feasible plan has prediction");
+                                    assert!(meets_goals(&plan.per_replica, &p, threshold));
+                                }
+                                None => {
+                                    assert!(!plan.feasible);
+                                    assert_eq!(plan.replicas, bounds.max);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -7,9 +7,18 @@
 //! comparison to the *predicted* response times of an incoming `/predict`
 //! request, so a caller asking "may I place this workload here?" is told
 //! no (503) before the server ever misses a goal.
+//!
+//! The threshold is hot-reloadable: `POST /admin/threshold` (driven by
+//! the `perfpred-ctl` control plane) swaps it atomically under live
+//! traffic, so a fleet can be retuned without a restart. The value lives
+//! as f64 bits in an [`AtomicU64`] shared by every clone of the
+//! controller — a request in flight sees either the old or the new
+//! threshold, never a torn value.
 
 use perfpred_core::{metrics, Prediction, Workload};
 use perfpred_resman::RuntimeOptions;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The controller's answer for one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,11 +45,12 @@ impl Verdict {
     }
 }
 
-/// Stateless admission controller sharing [`RuntimeOptions`] with the
-/// resource manager's runtime evaluation.
-#[derive(Debug, Clone, Copy)]
+/// Admission controller sharing [`RuntimeOptions`] with the resource
+/// manager's runtime evaluation. Clones share one threshold cell, so a
+/// [`AdmissionController::set_threshold`] on any clone retunes them all.
+#[derive(Debug, Clone)]
 pub struct AdmissionController {
-    opts: RuntimeOptions,
+    threshold_bits: Arc<AtomicU64>,
 }
 
 impl AdmissionController {
@@ -48,12 +58,24 @@ impl AdmissionController {
     /// outside `[0, 1)` are rejected by [`RuntimeOptions::validate`]).
     pub fn new(opts: RuntimeOptions) -> Result<AdmissionController, perfpred_core::PredictError> {
         opts.validate()?;
-        Ok(AdmissionController { opts })
+        Ok(AdmissionController {
+            threshold_bits: Arc::new(AtomicU64::new(opts.threshold.to_bits())),
+        })
     }
 
-    /// The (validated) rejection threshold.
+    /// The current (validated) rejection threshold.
     pub fn threshold(&self) -> f64 {
-        self.opts.threshold
+        f64::from_bits(self.threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Atomically swaps the threshold under live traffic. The candidate
+    /// goes through the same [`RuntimeOptions`] validation as at build
+    /// time, so an invalid value leaves the running threshold untouched.
+    pub fn set_threshold(&self, threshold: f64) -> Result<(), perfpred_core::PredictError> {
+        let opts = RuntimeOptions::with_threshold(threshold)?;
+        self.threshold_bits
+            .store(opts.threshold.to_bits(), Ordering::Relaxed);
+        Ok(())
     }
 
     /// Judges one prediction against the workload's SLA goals.
@@ -63,6 +85,7 @@ impl AdmissionController {
     /// predicted mean response time is NaN or exceeds
     /// `goal × (1 − threshold)`.
     pub fn judge(&self, workload: &Workload, prediction: &Prediction) -> Verdict {
+        let threshold = self.threshold();
         for (i, load) in workload.classes.iter().enumerate() {
             if load.clients == 0 {
                 continue;
@@ -75,7 +98,7 @@ impl AdmissionController {
                 .get(i)
                 .copied()
                 .unwrap_or(f64::NAN);
-            if mrt.is_nan() || mrt > goal * (1.0 - self.opts.threshold) {
+            if mrt.is_nan() || mrt > goal * (1.0 - threshold) {
                 metrics::counter("serve.admission.rejected").incr();
                 return Verdict::Reject {
                     class: load.class.name.clone(),
@@ -169,5 +192,26 @@ mod tests {
             };
             assert!(AdmissionController::new(opts).is_err());
         }
+    }
+
+    #[test]
+    fn hot_reload_is_shared_across_clones_and_validated() {
+        let c = AdmissionController::new(RuntimeOptions::with_threshold(0.05).unwrap()).unwrap();
+        let clone = c.clone();
+        // 286 ms vs goal 300 rejects at 5 % ...
+        assert!(!c
+            .judge(&workload(Some(300.0), 10), &prediction(286.0))
+            .admitted());
+        // ... admits after loosening to 0 % through the *clone* ...
+        clone.set_threshold(0.0).unwrap();
+        assert_eq!(c.threshold(), 0.0);
+        assert!(c
+            .judge(&workload(Some(300.0), 10), &prediction(286.0))
+            .admitted());
+        // ... and an invalid candidate leaves the running value alone.
+        for bad in [f64::NAN, -0.1, 1.0] {
+            assert!(clone.set_threshold(bad).is_err());
+        }
+        assert_eq!(c.threshold(), 0.0);
     }
 }

@@ -1,0 +1,216 @@
+//! Per-class arrival-rate metering for the control plane.
+//!
+//! The §9 planner sizes a cluster from the *offered load* — how many
+//! requests per second each service class is pushing at the tier — but
+//! the daemon's registries only hold monotonic counters, forcing every
+//! scraper to differentiate (and to agree on a smoothing window). This
+//! meter does the differentiation once, server-side: `/predict` arrivals
+//! bump lock-free per-class counters, and each scrape folds the deltas
+//! into an exponentially-weighted moving average with a fixed time
+//! constant, so `/healthz` and `/metrics` expose a ready-to-use
+//! requests-per-second *gauge* per class.
+//!
+//! The EWMA weight is `1 − exp(−Δt/τ)` with τ = 10 s: irregular scrape
+//! cadences converge to the same smoothed rate a fixed-step EWMA would
+//! see, and a single slow scrape cannot overshoot the average.
+
+use perfpred_core::Workload;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Smoothing time constant for the arrival-rate EWMA.
+const TAU_S: f64 = 10.0;
+
+/// Minimum fold interval: scrapes closer together than this reuse the
+/// last folded rates instead of dividing by a near-zero Δt.
+const MIN_FOLD_S: f64 = 0.05;
+
+/// Arrival classes the meter distinguishes. `Total` counts every
+/// `/predict` arrival; `Browse`/`Buy` count arrivals whose workload
+/// populates that request type (a mixed workload bumps both).
+const CLASSES: [&str; 3] = ["total", "browse", "buy"];
+const TOTAL: usize = 0;
+const BROWSE: usize = 1;
+const BUY: usize = 2;
+
+/// One smoothed arrival rate, per class, requests per second.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArrivalRates {
+    /// Every `/predict` arrival.
+    pub total_rps: f64,
+    /// Arrivals whose workload populates a browse class.
+    pub browse_rps: f64,
+    /// Arrivals whose workload populates a buy class.
+    pub buy_rps: f64,
+}
+
+#[derive(Debug)]
+struct Folded {
+    at: Instant,
+    counts: [u64; 3],
+    ewma_rps: [f64; 3],
+}
+
+/// The meter: lock-free counters on the request path, a mutex-guarded
+/// fold on the (cold) scrape path.
+#[derive(Debug)]
+pub struct ArrivalMeter {
+    counts: [AtomicU64; 3],
+    folded: Mutex<Folded>,
+}
+
+impl ArrivalMeter {
+    /// A fresh meter; rates start at zero.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ArrivalMeter {
+        ArrivalMeter {
+            counts: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            folded: Mutex::new(Folded {
+                at: Instant::now(),
+                counts: [0; 3],
+                ewma_rps: [0.0; 3],
+            }),
+        }
+    }
+
+    /// Records one `/predict` arrival for `workload` (request path:
+    /// three relaxed atomic adds, no lock).
+    pub fn note(&self, workload: &Workload) {
+        self.counts[TOTAL].fetch_add(1, Ordering::Relaxed);
+        let mut browse = false;
+        let mut buy = false;
+        for load in &workload.classes {
+            if load.clients == 0 {
+                continue;
+            }
+            match load.class.request_type {
+                perfpred_core::workload::RequestType::Browse => browse = true,
+                perfpred_core::workload::RequestType::Buy => buy = true,
+            }
+        }
+        if browse {
+            self.counts[BROWSE].fetch_add(1, Ordering::Relaxed);
+        }
+        if buy {
+            self.counts[BUY].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds counter deltas since the last fold into the EWMA and returns
+    /// the smoothed per-class rates (scrape path).
+    pub fn rates(&self) -> ArrivalRates {
+        self.rates_at(Instant::now())
+    }
+
+    fn rates_at(&self, now: Instant) -> ArrivalRates {
+        let mut f = self.folded.lock().unwrap();
+        let dt = now.saturating_duration_since(f.at).as_secs_f64();
+        if dt >= MIN_FOLD_S {
+            let w = 1.0 - (-dt / TAU_S).exp();
+            for i in 0..CLASSES.len() {
+                let count = self.counts[i].load(Ordering::Relaxed);
+                let inst = (count - f.counts[i]) as f64 / dt;
+                f.ewma_rps[i] += w * (inst - f.ewma_rps[i]);
+                f.counts[i] = count;
+            }
+            f.at = now;
+        }
+        ArrivalRates {
+            total_rps: f.ewma_rps[TOTAL],
+            browse_rps: f.ewma_rps[BROWSE],
+            buy_rps: f.ewma_rps[BUY],
+        }
+    }
+
+    /// Raw monotonic arrival count (total class), for tests and counters.
+    pub fn total(&self) -> u64 {
+        self.counts[TOTAL].load(Ordering::Relaxed)
+    }
+
+    /// Prometheus-exposition gauge lines for the three class rates.
+    pub fn render_exposition(&self) -> String {
+        let r = self.rates();
+        let mut out = String::from("# TYPE serve_arrival_rate_rps gauge\n");
+        for (name, v) in CLASSES.iter().zip([r.total_rps, r.browse_rps, r.buy_rps]) {
+            out.push_str(&format!("serve_arrival_rate_rps{{class=\"{name}\"}} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ewma_converges_to_a_steady_rate() {
+        let m = ArrivalMeter::new();
+        // A browse + buy mix, so both class meters tick.
+        let w = Workload::with_buy_pct(100, 10.0);
+        let epoch = m.folded.lock().unwrap().at;
+        // 100 req/s for 60 simulated seconds, folded once a second.
+        for tick in 1..=60u64 {
+            for _ in 0..100 {
+                m.note(&w);
+            }
+            m.rates_at(epoch + Duration::from_secs(tick));
+        }
+        let r = m.rates_at(epoch + Duration::from_secs(60));
+        assert!(
+            (r.total_rps - 100.0).abs() < 1.0,
+            "total ewma {} should be ~100",
+            r.total_rps
+        );
+        assert!(r.browse_rps > 90.0, "{r:?}");
+        assert!(r.buy_rps > 90.0, "{r:?}");
+    }
+
+    #[test]
+    fn rapid_scrapes_reuse_the_last_fold() {
+        let m = ArrivalMeter::new();
+        let w = Workload::typical(10);
+        let epoch = m.folded.lock().unwrap().at;
+        for _ in 0..50 {
+            m.note(&w);
+        }
+        let first = m.rates_at(epoch + Duration::from_secs(1));
+        // A scrape 1 ms later must not re-divide by the tiny Δt.
+        let again = m.rates_at(epoch + Duration::from_millis(1_001));
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn class_counters_follow_the_workload_mix() {
+        use perfpred_core::workload::{ClassLoad, RequestType, ServiceClass};
+        let m = ArrivalMeter::new();
+        let browse_only = Workload {
+            classes: vec![ClassLoad {
+                class: ServiceClass {
+                    name: "b".into(),
+                    request_type: RequestType::Browse,
+                    think_time_ms: 0.0,
+                    rt_goal_ms: None,
+                },
+                clients: 1,
+            }],
+        };
+        m.note(&browse_only);
+        assert_eq!(m.counts[TOTAL].load(Ordering::Relaxed), 1);
+        assert_eq!(m.counts[BROWSE].load(Ordering::Relaxed), 1);
+        assert_eq!(m.counts[BUY].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exposition_lists_every_class() {
+        let m = ArrivalMeter::new();
+        let text = m.render_exposition();
+        for class in CLASSES {
+            assert!(
+                text.contains(&format!("serve_arrival_rate_rps{{class=\"{class}\"}}")),
+                "{text}"
+            );
+        }
+    }
+}

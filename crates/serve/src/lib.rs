@@ -53,6 +53,7 @@
 //! are within a threshold of missing SLA goals", exercised per request.
 
 pub mod admission;
+pub mod arrivals;
 pub mod batch;
 pub mod config;
 pub mod conn;
@@ -65,6 +66,7 @@ pub mod server;
 pub mod shutdown;
 
 pub use admission::{AdmissionController, Verdict};
+pub use arrivals::{ArrivalMeter, ArrivalRates};
 pub use config::{ModelSpec, ServeConfig};
 pub use models::{Method, ModelHost};
 #[cfg(target_os = "linux")]

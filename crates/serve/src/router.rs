@@ -1,6 +1,7 @@
 //! Request routing: JSON in, prediction/plan/metrics out.
 
 use crate::admission::{AdmissionController, Verdict};
+use crate::arrivals::ArrivalMeter;
 use crate::batch::{Job, JobQueue};
 use crate::http::{Request, Response};
 use crate::models::{Method, ModelHost};
@@ -46,6 +47,8 @@ pub struct App {
     pub reactor_shards: Arc<AtomicUsize>,
     /// Live depth of the reactor's dispatch offload queue, for `/healthz`.
     pub dispatch_depth: Arc<AtomicUsize>,
+    /// Per-class arrival-rate EWMA, the control plane's load signal.
+    pub arrivals: Arc<ArrivalMeter>,
     started: Instant,
     routes: RouteMetrics,
 }
@@ -62,6 +65,7 @@ enum Route {
     Observe,
     Plan,
     Shutdown,
+    AdminThreshold,
     MethodNotAllowed,
     NotFound,
 }
@@ -71,7 +75,7 @@ enum Route {
 /// allocation plus a registry hash probe) on every request.
 struct RouteMetrics {
     requests: Arc<metrics::Counter>,
-    latency: [Arc<metrics::Histogram>; 10],
+    latency: [Arc<metrics::Histogram>; 11],
 }
 
 impl RouteMetrics {
@@ -88,6 +92,7 @@ impl RouteMetrics {
                 hist("observe"),
                 hist("plan"),
                 hist("shutdown"),
+                hist("admin_threshold"),
                 hist("method_not_allowed"),
                 hist("not_found"),
             ],
@@ -148,6 +153,7 @@ impl App {
             cluster: None,
             reactor_shards: Arc::new(AtomicUsize::new(0)),
             dispatch_depth: Arc::new(AtomicUsize::new(0)),
+            arrivals: Arc::new(ArrivalMeter::new()),
             started: Instant::now(),
             routes: RouteMetrics::resolve(),
         }
@@ -181,17 +187,18 @@ impl App {
             ("POST", "/observe") => (Route::Observe, self.observe(req)),
             ("POST", "/plan") => (Route::Plan, self.plan(req)),
             ("POST", "/shutdown") => (Route::Shutdown, self.shutdown_endpoint()),
+            ("POST", "/admin/threshold") => (Route::AdminThreshold, self.admin_threshold(req)),
             (_, "/healthz" | "/metrics" | "/models" | "/cluster") => {
                 (Route::MethodNotAllowed, Response::method_not_allowed("GET"))
             }
-            (_, "/predict" | "/observe" | "/plan" | "/shutdown") => {
+            (_, "/predict" | "/observe" | "/plan" | "/shutdown" | "/admin/threshold") => {
                 (Route::MethodNotAllowed, Response::method_not_allowed("POST"))
             }
             _ => (
                 Route::NotFound,
                 Response::error(
                     404,
-                    "unknown path (have: GET /healthz, GET /metrics, GET /models, GET /cluster, POST /predict, POST /observe, POST /plan, POST /shutdown)",
+                    "unknown path (have: GET /healthz, GET /metrics, GET /models, GET /cluster, POST /predict, POST /observe, POST /plan, POST /shutdown, POST /admin/threshold)",
                 ),
             ),
         };
@@ -269,7 +276,41 @@ impl App {
             self.dispatch_depth.load(Ordering::Relaxed) as u64,
         );
         body.set("solver_queue_depth", self.queue.len() as u64);
+        // Control-plane inputs: the live admission threshold and the
+        // smoothed per-class arrival rates, so `perfpred-ctl` reads the
+        // whole load picture from one scrape.
+        body.set("threshold", self.admission.threshold());
+        let rates = self.arrivals.rates();
+        let mut arrival = Json::obj();
+        arrival.set("total_rps", rates.total_rps);
+        arrival.set("browse_rps", rates.browse_rps);
+        arrival.set("buy_rps", rates.buy_rps);
+        body.set("arrival", arrival);
         Response::json(200, &body)
+    }
+
+    /// `POST /admin/threshold`: hot-reload the admission threshold. The
+    /// body is `{"threshold": 0.1}`; the candidate passes the same
+    /// validation as at startup, so a bad value 400s and leaves the
+    /// running threshold untouched.
+    fn admin_threshold(&self, req: &Request) -> Response {
+        let body = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        };
+        let threshold = match body.get("threshold").and_then(Json::as_f64) {
+            Some(t) => t,
+            None => return Response::error(400, "need a numeric 'threshold'"),
+        };
+        let previous = self.admission.threshold();
+        if let Err(e) = self.admission.set_threshold(threshold) {
+            return Response::error(400, &e.to_string());
+        }
+        metrics::counter("serve.admin.threshold_reloads").incr();
+        let mut out = Json::obj();
+        out.set("threshold", self.admission.threshold());
+        out.set("previous", previous);
+        Response::json(200, &out)
     }
 
     /// `GET /cluster`: replication status — role, epoch, seal point and
@@ -291,6 +332,22 @@ impl App {
         let version = self.host.registry.version();
         text.push_str(&format!(
             "serve_model_version{{method=\"historical\",model_version=\"{version}\"}} {version}\n"
+        ));
+        // Control-plane gauges: smoothed arrival rates plus live queue
+        // depths (the registry only holds monotonic counters; these are
+        // instantaneous values, so they are appended as gauge lines).
+        text.push_str(&self.arrivals.render_exposition());
+        text.push_str("# TYPE serve_dispatch_queue_depth gauge\n");
+        text.push_str(&format!(
+            "serve_dispatch_queue_depth {}\n",
+            self.dispatch_depth.load(Ordering::Relaxed)
+        ));
+        text.push_str("# TYPE serve_solver_queue_depth gauge\n");
+        text.push_str(&format!("serve_solver_queue_depth {}\n", self.queue.len()));
+        text.push_str("# TYPE serve_admission_threshold gauge\n");
+        text.push_str(&format!(
+            "serve_admission_threshold {}\n",
+            self.admission.threshold()
         ));
         Response::text(200, text)
     }
@@ -488,6 +545,7 @@ impl App {
             Ok(w) => w,
             Err(e) => return Response::error(400, &e),
         };
+        self.arrivals.note(&workload);
         let deadline = match parse_deadline(&body, self.deadline, arrival) {
             Ok(d) => d,
             Err(e) => return Response::error(400, &e),
@@ -1421,6 +1479,99 @@ mod tests {
             (after - before).abs() > 1e-9,
             "post-refit prediction must differ: {before} vs {after}"
         );
+    }
+
+    #[test]
+    fn admin_threshold_hot_reloads_the_admission_rule() {
+        let app = app();
+        app.shutdown.request(); // inline lqns solves
+        assert_eq!(app.admission.threshold(), 0.05);
+
+        // A workload that trips the default 5 % threshold ...
+        let predict = r#"{"method": "lqns", "server": "AppServS", "clients": 900, "goal_ms": 150}"#;
+        assert_eq!(
+            app.handle(&request("POST", "/predict", predict)).status,
+            503
+        );
+
+        // ... 400s on bad reload bodies (threshold unchanged) ...
+        for bad in [
+            "{not json",
+            r#"{"threshold": "high"}"#,
+            r#"{"threshold": 1.0}"#,
+            r#"{"threshold": -0.5}"#,
+            r#"{}"#,
+        ] {
+            assert_eq!(
+                app.handle(&request("POST", "/admin/threshold", bad)).status,
+                400,
+                "{bad}"
+            );
+        }
+        assert_eq!(app.admission.threshold(), 0.05);
+
+        // ... and a valid reload takes effect on the very next request.
+        let r = app.handle(&request(
+            "POST",
+            "/admin/threshold",
+            r#"{"threshold": 0.9}"#,
+        ));
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let j = body_json(&r);
+        assert_eq!(j.get("threshold").and_then(Json::as_f64), Some(0.9));
+        assert_eq!(j.get("previous").and_then(Json::as_f64), Some(0.05));
+        assert_eq!(
+            app.handle(&request("POST", "/predict", predict)).status,
+            503
+        );
+        // Loosening all the way readmits the same workload.
+        let light = r#"{"method": "lqns", "server": "AppServS", "clients": 100, "goal_ms": 150}"#;
+        app.handle(&request(
+            "POST",
+            "/admin/threshold",
+            r#"{"threshold": 0.0}"#,
+        ));
+        assert_eq!(app.handle(&request("POST", "/predict", light)).status, 200);
+
+        // Wrong method answers 405 with Allow.
+        let r = app.handle(&request("GET", "/admin/threshold", ""));
+        assert_eq!((r.status, r.allow), (405, Some("POST")));
+        drain(&app);
+    }
+
+    #[test]
+    fn healthz_and_metrics_expose_control_plane_gauges() {
+        let _scope = metrics::Scope::new();
+        let guard = _scope.enter();
+        let app = app();
+        // Drive a few predicts so the arrival meter has counted something.
+        for _ in 0..3 {
+            app.handle(&request(
+                "POST",
+                "/predict",
+                r#"{"method": "hybrid", "clients": 50}"#,
+            ));
+        }
+        assert_eq!(app.arrivals.total(), 3);
+        let j = body_json(&app.handle(&request("GET", "/healthz", "")));
+        assert_eq!(j.get("threshold").and_then(Json::as_f64), Some(0.05));
+        let arrival = j.get("arrival").expect("healthz carries arrival rates");
+        for key in ["total_rps", "browse_rps", "buy_rps"] {
+            assert!(arrival.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
+        let r = app.handle(&request("GET", "/metrics", ""));
+        let text = String::from_utf8(r.body).unwrap();
+        for line in [
+            "serve_arrival_rate_rps{class=\"total\"}",
+            "serve_arrival_rate_rps{class=\"browse\"}",
+            "serve_arrival_rate_rps{class=\"buy\"}",
+            "serve_dispatch_queue_depth 0",
+            "serve_solver_queue_depth 0",
+            "serve_admission_threshold 0.05",
+        ] {
+            assert!(text.contains(line), "missing {line} in:\n{text}");
+        }
+        drop(guard);
     }
 
     #[test]

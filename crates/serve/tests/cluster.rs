@@ -202,7 +202,7 @@ fn client_loop(router: SocketAddr, t: usize, stop: &AtomicBool, phase: &AtomicUs
     let mut i = 0usize;
     while !stop.load(Ordering::Relaxed) {
         i += 1;
-        if i % 4 == 0 {
+        if i.is_multiple_of(4) {
             let (a_n, a_mrt) = observation_point(t * 17 + i * 5);
             let (b_n, b_mrt) = observation_point(t * 17 + i * 5 + 13);
             let body = format!(
@@ -423,7 +423,7 @@ fn three_node_failover_under_faulted_replication_keeps_serving() {
         node_a.store.epoch().unwrap_or(0),
         0,
     ));
-    let outcome = rejoin_check(&[node_b.hub_addr.clone()], &restarted, &node_a.store);
+    let outcome = rejoin_check(std::slice::from_ref(&node_b.hub_addr), &restarted, &node_a.store);
     assert_ne!(
         outcome,
         RejoinOutcome::Primary,

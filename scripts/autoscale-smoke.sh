@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Autoscale smoke: a router fronting one serve node, with perfpred-ctl
+# managing the fleet against the SLA.
+#
+#   1. dry-run leg — ctl journals intents against the idle tier without
+#      actuating anything, and the journal replays byte-identically;
+#   2. live leg — phased open-loop load (quiet, surge, recede) drives the
+#      planner's target to three replicas and back down to one. The run
+#      asserts the peak and final replica counts from /router/status,
+#      zero lost requests across the node drains, every phase's p99 under
+#      the SLA goal, and a byte-identical decision-journal replay.
+#
+# CI runs this as the autoscale-smoke job; run locally from the repo root
+# it records the demo into BENCH.json `section.ctl` (honours
+# PERFPRED_BENCH_JSON like every other bench writer).
+#
+# Requires: target/release/{perfpred-serve,perfpred-router,perfpred-ctl,
+# loadgen,benchnote} already built.
+set -euxo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release
+WORK=$(mktemp -d -t perfpred-autoscale-XXXXXX)
+GOAL_MS=150
+# 10 rps settles the tier at one replica; 800 rps pushes the estimated
+# population (Little's law at 7 s think time) far past the two-replica
+# knee so the EWMA crosses the three-replica boundary within a few ticks;
+# the long quiet tail lets the rate estimate decay back through both
+# scale-down thresholds.
+PHASES="10@5,800@30,5@40"
+
+cleanup() {
+  kill "${CTL_PID:-}" "${ROUTER_PID:-}" "${NODE0_PID:-}" "${POLL_PID:-}" 2>/dev/null || true
+  # ctl-spawned nodes carry their port-file path on the command line.
+  pkill -f "$WORK/spawn" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# --- the initial tier: one serve node behind the router -----------------
+rm -f "$WORK/node-0.port"
+$BIN/perfpred-serve --port 0 --port-file "$WORK/node-0.port" --model paper \
+  > "$WORK/node-0.log" 2>&1 &
+NODE0_PID=$!
+for i in $(seq 1 150); do [ -s "$WORK/node-0.port" ] && break; sleep 0.2; done
+[ -s "$WORK/node-0.port" ] || { cat "$WORK/node-0.log"; exit 1; }
+NODE0="127.0.0.1:$(cat "$WORK/node-0.port")"
+
+rm -f "$WORK/router.port"
+$BIN/perfpred-router --port 0 --port-file "$WORK/router.port" \
+  --upstreams "$NODE0" --probe-interval-ms 200 > "$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+for i in $(seq 1 150); do [ -s "$WORK/router.port" ] && break; sleep 0.2; done
+[ -s "$WORK/router.port" ] || { cat "$WORK/router.log"; exit 1; }
+ROUTER="127.0.0.1:$(cat "$WORK/router.port")"
+
+upstreams() {
+  curl -sf "http://$ROUTER/router/status" | grep -o '"addr"' | wc -l
+}
+[ "$(upstreams)" -eq 1 ]
+
+# --- dry-run leg: decide and journal, never actuate ---------------------
+$BIN/perfpred-ctl --nodes "$NODE0" --router "$ROUTER" --dry-run \
+  --goal-ms "$GOAL_MS" --tick-ms 200 --max-ticks 5 \
+  --journal "$WORK/dry.journal"
+[ "$(upstreams)" -eq 1 ] # dry-run must not have touched the tier
+$BIN/perfpred-ctl --replay "$WORK/dry.journal" --journal "$WORK/dry.replayed"
+cmp "$WORK/dry.journal" "$WORK/dry.replayed"
+
+# --- live leg: ctl actuates, phased load drives 1 -> 3 -> 1 -------------
+$BIN/perfpred-ctl --nodes "$NODE0" --router "$ROUTER" \
+  --spawn-cmd "$BIN/perfpred-serve --port 0 --port-file {port_file} --model paper" \
+  --spawn-dir "$WORK/spawn" \
+  --goal-ms "$GOAL_MS" --threshold 0.05 --think-ms 7000 \
+  --method hybrid --whatif predict \
+  --min-replicas 1 --max-replicas 3 \
+  --scale-up-ticks 2 --scale-down-ticks 3 \
+  --up-cooldown-ticks 2 --down-cooldown-ticks 2 \
+  --tick-ms 500 --max-ticks 190 \
+  --journal "$WORK/ctl.journal" > "$WORK/ctl.log" 2>&1 &
+CTL_PID=$!
+
+# Track the replica peak the router actually served from.
+echo 1 > "$WORK/peak"
+(
+  set +e
+  peak=1
+  while :; do
+    c=$(upstreams)
+    if [ -n "$c" ] && [ "$c" -gt "$peak" ]; then
+      peak=$c
+      echo "$peak" > "$WORK/peak"
+    fi
+    sleep 0.3
+  done
+) &
+POLL_PID=$!
+
+$BIN/loadgen --addr "$ROUTER" --phases "$PHASES" --clients 8 \
+  --method hybrid --server AppServF --bench-section ctl \
+  --note sla_goal_ms="$GOAL_MS" --note max_replicas=3 --note tick_ms=500 \
+  | tee "$WORK/loadgen.log"
+# Zero lost requests across both node drains, not merely "under 1%".
+grep -q 'errors 0)' "$WORK/loadgen.log"
+
+# The quiet tail must shrink the tier back to one replica.
+for i in $(seq 1 120); do
+  [ "$(upstreams)" -eq 1 ] && break
+  sleep 0.5
+done
+FINAL=$(upstreams)
+PEAK=$(cat "$WORK/peak")
+kill "$POLL_PID" 2>/dev/null || true
+[ "$FINAL" -eq 1 ]
+[ "$PEAK" -eq 3 ]
+grep 'scale_up' "$WORK/ctl.log"
+grep 'scale_down' "$WORK/ctl.log"
+
+# Let ctl finish its tick budget so the journal's last frame is complete,
+# then prove the whole live run replays byte-identically.
+wait "$CTL_PID"
+$BIN/perfpred-ctl --replay "$WORK/ctl.journal" --journal "$WORK/ctl.replayed"
+cmp "$WORK/ctl.journal" "$WORK/ctl.replayed"
+
+# Every phase's p99 must sit under the SLA goal (the surge phase spans
+# the scale-up, so a convergence stall would show up in its tail).
+BENCH_PATH="${PERFPRED_BENCH_JSON:-BENCH.json}"
+GOAL_MS="$GOAL_MS" BENCH_PATH="$BENCH_PATH" python3 - <<'EOF'
+import json, os
+sec = json.load(open(os.environ["BENCH_PATH"]))["section.ctl"]
+goal = float(os.environ["GOAL_MS"])
+p99s = [sec[f"phase.{i}.p99_ms"] for i in range(int(sec["phases"]))]
+assert all(p < goal for p in p99s), f"p99 {p99s} vs goal {goal}"
+print("p99 under the SLA goal in every phase:", p99s)
+EOF
+
+# Record the observed trajectory next to the loadgen numbers.
+$BIN/benchnote ctl \
+  replicas_initial=1 "replicas_peak=$PEAK" "replicas_final=$FINAL" \
+  lost_requests=0 journal_replay_identical=true dry_run_replay_identical=true
+
+tail -n 20 "$WORK/ctl.log"
+echo "autoscale smoke: PASS (1 -> $PEAK -> $FINAL, journal replay byte-identical)"
